@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the end-to-end pipeline: synthetic trace
+//! generation throughput and full detector ingestion (records and bulk
+//! units).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use tiresias_bench::scenarios::ccd_trouble_workload;
+use tiresias_core::{Record, TiresiasBuilder};
+
+fn bench_datagen(c: &mut Criterion) {
+    let workload = ccd_trouble_workload(1.0, 300.0, 7);
+    let mut group = c.benchmark_group("datagen");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("generate_unit", |b| {
+        let mut u = 0u64;
+        b.iter(|| {
+            u += 1;
+            workload.generate_unit(black_box(u))
+        })
+    });
+    group.finish();
+}
+
+fn bench_detector_records(c: &mut Criterion) {
+    let workload = ccd_trouble_workload(0.5, 100.0, 8);
+    // Pre-generate a batch of record-level events.
+    let records: Vec<(String, u64)> = (0..16u64)
+        .flat_map(|u| {
+            let tree = workload.tree();
+            workload
+                .generate_records(u)
+                .into_iter()
+                .map(move |(n, t)| (tree.path_of(n).to_string(), t))
+        })
+        .collect();
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("push_records", |b| {
+        b.iter_batched(
+            || {
+                TiresiasBuilder::new()
+                    .timeunit_secs(900)
+                    .window_len(96)
+                    .threshold(8.0)
+                    .season_length(24)
+                    .warmup_units(8)
+                    .build()
+                    .expect("valid")
+            },
+            |mut d| {
+                for (path, t) in &records {
+                    d.push(Record::new(path, *t)).expect("in order");
+                }
+                d
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_detector_bulk(c: &mut Criterion) {
+    let workload = ccd_trouble_workload(1.0, 300.0, 9);
+    let units = workload.generate_units(0, 48);
+    let tree = workload.tree();
+    let mut group = c.benchmark_group("detector_bulk");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(units.len() as u64));
+    group.bench_function("ingest_units", |b| {
+        b.iter_batched(
+            || {
+                let mut d = TiresiasBuilder::new()
+                    .timeunit_secs(900)
+                    .window_len(192)
+                    .threshold(10.0)
+                    .season_length(96)
+                    .warmup_units(16)
+                    .build()
+                    .expect("valid");
+                // Adopt the workload tree so node ids line up.
+                d.adopt_tree(tree.clone()).expect("fresh detector");
+                d
+            },
+            |mut d| {
+                for u in &units {
+                    d.ingest_unit(u).expect("bulk ingest");
+                }
+                d
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen, bench_detector_records, bench_detector_bulk);
+criterion_main!(benches);

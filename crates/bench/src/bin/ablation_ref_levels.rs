@@ -1,0 +1,51 @@
+//! Ablation: false-alarm rate vs reference-series depth h (§V-B5).
+//!
+//! Marginal heavy hitters that oscillate around θ re-enter the set with
+//! split-approximated forecasts; reference series repair exactly that.
+//! This sweep measures alarms raised on an anomaly-free seasonal stream
+//! (every alarm is false) as h grows.
+
+use tiresias_bench::fmt::Table;
+use tiresias_core::{Algorithm, TiresiasBuilder};
+use tiresias_datagen::{ccd_location_spec, Workload, WorkloadConfig};
+
+fn main() {
+    println!("Ablation — false alarms on an anomaly-free stream vs reference depth h\n");
+    let mut table = Table::new(vec!["h (ref levels)", "false alarms", "ref cells kept"]);
+    for h in [0usize, 1, 2, 3] {
+        let tree = ccd_location_spec(0.05).build().expect("valid spec");
+        let workload = Workload::new(
+            tree.clone(),
+            WorkloadConfig { noise_sigma: 0.05, ..WorkloadConfig::ccd(150.0) },
+            1002,
+        );
+        let mut detector = TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(192)
+            .threshold(10.0)
+            .season_length(96)
+            .sensitivity(2.8, 8.0)
+            .warmup_units(192)
+            .algorithm(Algorithm::Ada)
+            .ref_levels(h)
+            .root_label("SHO")
+            .build()
+            .expect("valid configuration");
+        detector.adopt_tree(tree).expect("fresh detector");
+        for unit in 0..288u64 {
+            detector
+                .ingest_unit(&workload.generate_unit(unit))
+                .expect("bulk ingest");
+        }
+        let mem = detector.memory_report();
+        table.row(vec![
+            h.to_string(),
+            detector.anomalies().len().to_string(),
+            mem.reference_cells.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape: alarms fall sharply as h covers the levels where");
+    println!("marginal heavy hitters live, at a modest reference-memory cost —");
+    println!("the accuracy/memory trade of the paper's Tables IV & V.");
+}

@@ -1,0 +1,89 @@
+//! Ablation: forecasting model choice on the CCD workload — EWMA vs
+//! single-season Holt-Winters vs the paper's two-factor (daily + weekly)
+//! combination (§VI).
+//!
+//! One-step-ahead forecasting on a smooth diurnal curve is forgiving, so
+//! the seasonal advantage concentrates where the curve moves fastest —
+//! the morning ramp — and that is exactly where spike detection needs a
+//! trustworthy baseline. The sweep reports both overall and ramp-hour
+//! error.
+
+use tiresias_bench::fmt::Table;
+use tiresias_datagen::{ccd_trouble_tree_with_mix, ArrivalModel, Workload, WorkloadConfig};
+use tiresias_hhh::{Model, ModelSpec};
+use tiresias_timeseries::SeasonalFactor;
+
+fn main() {
+    // Hourly units over three weeks: two to fit, one to score.
+    let (tree, mix) = ccd_trouble_tree_with_mix(1.0);
+    let config = WorkloadConfig {
+        timeunit_secs: 3600,
+        arrival: ArrivalModel::ccd(800.0),
+        zipf_exponent: 1.0,
+        noise_sigma: 0.08,
+    };
+    let workload = Workload::with_popularity(tree, config, &mix, 131);
+    let series: Vec<f64> = (0..3 * 168u64)
+        .map(|u| workload.generate_unit(u).iter().sum())
+        .collect();
+    let split = 2 * 168;
+    let (train, test) = series.split_at(split);
+
+    let candidates: Vec<(&str, ModelSpec)> = vec![
+        ("EWMA (0.5)", ModelSpec::Ewma { alpha: 0.5 }),
+        (
+            "Holt-Winters daily",
+            ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 24 },
+        ),
+        (
+            "Holt-Winters weekly",
+            ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 168 },
+        ),
+        (
+            "Multi-seasonal (0.76 day + 0.24 week)",
+            ModelSpec::MultiSeasonal {
+                alpha: 0.5,
+                beta: 0.05,
+                gamma: 0.3,
+                factors: vec![SeasonalFactor::new(24, 0.76), SeasonalFactor::new(168, 0.24)],
+            },
+        ),
+    ];
+
+    println!("Ablation — forecast quality of the model choices (§VI), hourly units\n");
+    let mut table = Table::new(vec!["Model", "RMSE", "RMSE ramp (06-12h)", "vs EWMA"]);
+    let mut ewma_rmse = None;
+    for (label, spec) in candidates {
+        let (mut model, _) = Model::replay(&spec, train, 0).expect("valid spec");
+        let mut sq = 0.0;
+        let mut ramp_sq = 0.0;
+        let mut ramp_n = 0usize;
+        for (i, &actual) in test.iter().enumerate() {
+            let f = model.forecast();
+            let e = (actual - f) * (actual - f);
+            sq += e;
+            let hour = (split + i) % 24;
+            if (6..12).contains(&hour) {
+                ramp_sq += e;
+                ramp_n += 1;
+            }
+            model.observe(actual);
+        }
+        let rmse = (sq / test.len() as f64).sqrt();
+        let ramp = (ramp_sq / ramp_n.max(1) as f64).sqrt();
+        let rel = match ewma_rmse {
+            None => {
+                ewma_rmse = Some(rmse);
+                "100%".to_string()
+            }
+            Some(base) => format!("{:.0}%", rmse / base * 100.0),
+        };
+        table.row(vec![label.into(), format!("{rmse:.1}"), format!("{ramp:.1}"), rel]);
+    }
+    println!("{table}");
+    println!("Shape: the daily Holt-Winters beats EWMA overall and most clearly on the");
+    println!("morning ramp, where an EWMA lags the curve and would mistake the daily");
+    println!("rise for a spike (or hide one). Weekly-only underfits the diurnal swing;");
+    println!("the paper's weighted blend tracks the daily model while absorbing the");
+    println!("weekend dip that a daily-only season misses.");
+}

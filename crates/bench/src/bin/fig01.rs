@@ -1,0 +1,68 @@
+//! Fig. 1 — CCDF of the normalized count of appearances across nodes and
+//! timeunits, per hierarchy level: (a) CCD trouble issues, (b) CCD
+//! network locations, (c) SCD network locations.
+
+use tiresias_bench::scenarios::{
+    ccd_location_workload, ccd_trouble_workload, scd_workload, UNITS_PER_WEEK,
+};
+use tiresias_datagen::Workload;
+use tiresias_hhh::aggregate_weights;
+use tiresias_timeseries::stats::{ccdf, log_space};
+
+fn ccdf_per_level(workload: &Workload, units: usize, label: &str) {
+    let tree = workload.tree();
+    let depths = tree.max_depth();
+    // Collect normalized per-node-per-unit aggregate counts by level.
+    let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); depths + 1];
+    let mut max_count: f64 = 0.0;
+    let mut raw: Vec<(usize, f64)> = Vec::new();
+    for unit in 0..units as u64 {
+        let counts = workload.generate_unit(unit);
+        let agg = aggregate_weights(tree, &counts);
+        for n in tree.iter() {
+            let v = agg[n.index()];
+            max_count = max_count.max(v);
+            raw.push((tree.depth(n), v));
+        }
+    }
+    for (d, v) in raw {
+        per_level[d].push(if max_count > 0.0 { v / max_count } else { 0.0 });
+    }
+    let points = log_space(1e-4, 1.0, 13);
+    println!("\n{label}: CCDF of normalized counts (rows = normalized count)");
+    print!("{:>10}", "x");
+    for d in 0..=depths {
+        print!("  {:>9}", format!("level {d}"));
+    }
+    println!();
+    let curves: Vec<Vec<f64>> = (0..=depths).map(|d| ccdf(&per_level[d], &points)).collect();
+    for (i, &p) in points.iter().enumerate() {
+        print!("{p:>10.4}");
+        for curve in &curves {
+            print!("  {:>9.5}", curve[i]);
+        }
+        println!();
+    }
+    // Sparsity headline: fraction of zero samples at the deepest levels.
+    for d in [depths.saturating_sub(1), depths] {
+        let zeros = per_level[d].iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / per_level[d].len().max(1) as f64;
+        println!("level {d}: {:.1}% of (node, unit) samples are empty", frac * 100.0);
+    }
+}
+
+fn main() {
+    println!("Fig. 1 — CCDF of normalized appearance counts per level");
+    let units = UNITS_PER_WEEK;
+    ccdf_per_level(
+        &ccd_trouble_workload(1.0, 300.0, 41),
+        units,
+        "(a) CCD trouble issues",
+    );
+    ccdf_per_level(
+        &ccd_location_workload(0.2, 300.0, 42),
+        units,
+        "(b) CCD network locations",
+    );
+    ccdf_per_level(&scd_workload(0.01, 300.0, 43), units, "(c) SCD network locations");
+}

@@ -1,0 +1,45 @@
+//! Fig. 9 — relative error `RE[t+k]` of an EWMA forecast biased by ξ at
+//! a split, after k clean iterations (α = 0.5, constant unit series).
+//! Closed form (Eq. 1–2) and simulation side by side.
+
+use tiresias_bench::fmt::Table;
+use tiresias_timeseries::{split_bias_relative_error, Ewma, Forecaster};
+
+fn main() {
+    let alpha = 0.5;
+    println!("Fig. 9 — split-bias error decay (alpha = {alpha}, T[i] = 1, F[t] = 1)\n");
+    let mut table = Table::new(vec![
+        "k",
+        "xi=2F closed",
+        "xi=2F sim",
+        "xi=F closed",
+        "xi=F sim",
+        "xi=0.5F closed",
+        "xi=0.5F sim",
+    ]);
+    let xis = [2.0, 1.0, 0.5];
+    let mut sims: Vec<(Ewma, Ewma)> = xis
+        .iter()
+        .map(|&xi| {
+            (
+                Ewma::with_initial(alpha, 1.0 + xi).expect("valid alpha"),
+                Ewma::with_initial(alpha, 1.0).expect("valid alpha"),
+            )
+        })
+        .collect();
+    for k in 1..=10u32 {
+        let mut cells = vec![k.to_string()];
+        for (i, &xi) in xis.iter().enumerate() {
+            let (biased, clean) = &mut sims[i];
+            biased.observe(1.0);
+            clean.observe(1.0);
+            let sim = (biased.forecast() - clean.forecast()).abs() / clean.forecast();
+            let closed = split_bias_relative_error(alpha, xi, clean.forecast(), k);
+            cells.push(format!("{closed:.6}"));
+            cells.push(format!("{sim:.6}"));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+    println!("The error halves every iteration: (1-alpha)^k decay, matching the paper's log-linear plot.");
+}

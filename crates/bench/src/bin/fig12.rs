@@ -1,0 +1,69 @@
+//! Fig. 12 — mean absolute time-series error of ADA against the STA
+//! ground truth, per split rule and reference depth h: (a) by timeunit
+//! offset, (b) by hierarchy depth.
+
+use tiresias_bench::compare::{compare_ada_sta, CompareConfig};
+use tiresias_bench::fmt::{pct, Table};
+use tiresias_bench::scenarios::ccd_trouble_workload;
+use tiresias_hhh::{ModelSpec, SplitRule};
+
+fn main() {
+    let workload = ccd_trouble_workload(1.0, 300.0, 71);
+    let base = CompareConfig {
+        theta: 10.0,
+        ell: 192,
+        warmup: 96,
+        instances: 96,
+        model: ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 },
+        rule: SplitRule::LongTermHistory,
+        ref_levels: 2,
+        rt: 2.8,
+        dt: 8.0,
+    };
+
+    let configs: Vec<(String, CompareConfig)> = vec![
+        ("Long-Term-History; h=0".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 0, ..base.clone() }),
+        ("Long-Term-History; h=1".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 1, ..base.clone() }),
+        ("Long-Term-History; h=2".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 2, ..base.clone() }),
+        ("EWMA a=0.8; h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.8 }, ..base.clone() }),
+        ("EWMA a=0.4; h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.4 }, ..base.clone() }),
+        ("Last-Time-Unit; h=2".into(), CompareConfig { rule: SplitRule::LastTimeUnit, ..base.clone() }),
+        ("Uniform; h=2".into(), CompareConfig { rule: SplitRule::Uniform, ..base.clone() }),
+    ];
+
+    println!("Fig. 12 — ADA time-series error vs STA ground truth (CCD, {} instances)\n", base.instances);
+    let mut results = Vec::new();
+    for (label, cfg) in &configs {
+        let r = compare_ada_sta(&workload, cfg);
+        println!(
+            "{label:<26} mean error {:>7}   heavy hitter sets matched: {}",
+            pct(r.mean_rel_error),
+            r.membership_matched
+        );
+        results.push((label.clone(), r));
+    }
+
+    println!("\n(a) error by timeunit offset (0 = most recent)\n");
+    let mut ta = Table::new(vec!["offset", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform"]);
+    for offset in [0usize, 2, 5, 10, 20, 40] {
+        let mut row = vec![offset.to_string()];
+        for (_, r) in &results {
+            row.push(pct(r.err_by_offset.get(offset).copied().unwrap_or(0.0)));
+        }
+        ta.row(row);
+    }
+    println!("{ta}");
+
+    println!("(b) error by hierarchy depth\n");
+    let depths = results[0].1.err_by_depth.len();
+    let mut tb = Table::new(vec!["depth", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform"]);
+    for d in 0..depths {
+        let mut row = vec![d.to_string()];
+        for (_, r) in &results {
+            row.push(pct(r.err_by_depth[d]));
+        }
+        tb.row(row);
+    }
+    println!("{tb}");
+    println!("Paper shape: h=2 brings the error to ~1%; Long-Term-History is slightly best; errors are stable across offsets.");
+}

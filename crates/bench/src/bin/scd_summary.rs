@@ -1,0 +1,73 @@
+//! §VII-A SCD prose results: runtime, memory and series-accuracy deltas
+//! of ADA vs STA on the set-top-box crash workload.
+
+use tiresias_bench::compare::{compare_ada_sta, CompareConfig};
+use tiresias_bench::fmt::pct;
+use tiresias_bench::perf::{memory_sweep, run_perf, PerfConfig};
+use tiresias_bench::scenarios::scd_workload;
+use tiresias_hhh::ModelSpec;
+
+fn main() {
+    // A larger hierarchy than CCD trouble (the paper's SCD tree is the
+    // biggest of the three), scaled to stay laptop-friendly.
+    let workload = scd_workload(0.02, 500.0, 121);
+    println!(
+        "SCD summary (§VII-A prose) — tree of {} nodes\n",
+        workload.tree().len()
+    );
+
+    let model = ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 };
+    let perf_cfg = PerfConfig {
+        theta: 10.0,
+        ell: 192,
+        warmup: 96,
+        instances: 96,
+        model: model.clone(),
+        coarsen: 1,
+        ref_levels: 1,
+    };
+    let perf = run_perf(&workload, &perf_cfg);
+    println!(
+        "runtime: ADA compute {:.3}s, STA compute {:.3}s → {:.1}x speedup ({:.1}x incl. reading)",
+        perf.ada.total().as_secs_f64(),
+        perf.sta.total().as_secs_f64(),
+        perf.speedup_compute(),
+        perf.speedup_total()
+    );
+
+    let (ada_mem, sta_mem) = memory_sweep(&workload, &perf_cfg, &[0, 1]);
+    for (h, r) in &ada_mem {
+        println!(
+            "memory: ADA h={h} uses {:.0}% of STA ({} vs {} cells)",
+            r.total_cells() as f64 / sta_mem.total_cells().max(1) as f64 * 100.0,
+            r.total_cells(),
+            sta_mem.total_cells()
+        );
+    }
+
+    let cmp = compare_ada_sta(
+        &workload,
+        &CompareConfig {
+            theta: 10.0,
+            ell: 192,
+            warmup: 96,
+            instances: 96,
+            model,
+            rule: tiresias_hhh::SplitRule::LongTermHistory,
+            ref_levels: 1,
+            rt: 2.8,
+            dt: 8.0,
+        },
+    );
+    println!(
+        "series error with h=1: {} (paper reports ~0.8%); detection accuracy {} (paper: no FPs, ~0.13% FNs)",
+        pct(cmp.mean_rel_error),
+        pct(cmp.confusion.accuracy())
+    );
+    println!(
+        "heavy hitter sets matched STA at every instance: {}",
+        cmp.membership_matched
+    );
+    println!("\nPaper shape: SCD's lower variance means fewer splits, so ADA is even");
+    println!("closer to exact here than on CCD, while STA slows with the bigger tree.");
+}

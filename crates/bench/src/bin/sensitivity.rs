@@ -1,0 +1,78 @@
+//! Sensitivity test of the detection thresholds RT / DT and the heavy
+//! hitter threshold θ — the paper selects RT = 2.8, DT = 8 "by
+//! sensitivity test" (§VII); this sweep reproduces the trade-off curve
+//! against injected ground truth.
+
+use tiresias_bench::fmt::{pct, Table};
+use tiresias_bench::practice::{inject_schedule, run_practice, PracticeConfig};
+use tiresias_bench::scenarios::ccd_location_workload;
+use tiresias_core::ControlChartConfig;
+use tiresias_hhh::ModelSpec;
+
+fn config(rt: f64, dt: f64, theta: f64) -> PracticeConfig {
+    PracticeConfig {
+        theta,
+        ell: 192,
+        warmup: 144,
+        instances: 384,
+        model: ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 },
+        rt,
+        dt,
+        chart: ControlChartConfig { level: 1, window: 96, k: 3.0, min_samples: 48 },
+    }
+}
+
+fn main() {
+    println!("Sensitivity sweep — RT / DT / theta against injected ground truth\n");
+
+    let make_workload = |seed: u64| {
+        let mut w = ccd_location_workload(0.1, 300.0, seed);
+        inject_schedule(&mut w, 16, 168, 500, 500.0, seed + 1);
+        w
+    };
+
+    println!("(a) RT sweep (DT = 8, theta = 10)\n");
+    let mut ta = Table::new(vec!["RT", "recall", "false alarms", "alarms total"]);
+    for rt in [1.5, 2.0, 2.8, 4.0, 6.0] {
+        let w = make_workload(141);
+        let r = run_practice(&w, &config(rt, 8.0, 10.0));
+        ta.row(vec![
+            format!("{rt}"),
+            pct(r.tiresias_truth.recall()),
+            r.tiresias_truth.false_positives.to_string(),
+            r.n_tiresias.to_string(),
+        ]);
+    }
+    println!("{ta}");
+
+    println!("(b) DT sweep (RT = 2.8, theta = 10)\n");
+    let mut tb = Table::new(vec!["DT", "recall", "false alarms", "alarms total"]);
+    for dt in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        let w = make_workload(142);
+        let r = run_practice(&w, &config(2.8, dt, 10.0));
+        tb.row(vec![
+            format!("{dt}"),
+            pct(r.tiresias_truth.recall()),
+            r.tiresias_truth.false_positives.to_string(),
+            r.n_tiresias.to_string(),
+        ]);
+    }
+    println!("{tb}");
+
+    println!("(c) theta sweep (RT = 2.8, DT = 8)\n");
+    let mut tc = Table::new(vec!["theta", "recall", "false alarms", "alarms total"]);
+    for theta in [5.0, 10.0, 20.0, 40.0] {
+        let w = make_workload(143);
+        let r = run_practice(&w, &config(2.8, 8.0, theta));
+        tc.row(vec![
+            format!("{theta}"),
+            pct(r.tiresias_truth.recall()),
+            r.tiresias_truth.false_positives.to_string(),
+            r.n_tiresias.to_string(),
+        ]);
+    }
+    println!("{tc}");
+    println!("Expected shape: lower thresholds raise recall and false alarms together;");
+    println!("the paper's (RT=2.8, DT=8) sits at the knee. A small theta keeps deep,");
+    println!("sparse anomalies coverable without flooding the tracker.");
+}

@@ -1,0 +1,83 @@
+//! Table VI — Tiresias (ADA) compared against the current-practice
+//! reference method (VHO-level control charts), on a CCD-like stream
+//! with injected ground-truth anomalies at every hierarchy level.
+
+use tiresias_bench::fmt::{pct, Table};
+use tiresias_bench::practice::{inject_schedule, run_practice, PracticeConfig};
+use tiresias_bench::scenarios::ccd_location_workload;
+use tiresias_core::ControlChartConfig;
+use tiresias_hhh::ModelSpec;
+
+fn main() {
+    let mut workload = ccd_location_workload(0.15, 400.0, 111);
+    let cfg = PracticeConfig {
+        theta: 10.0,
+        ell: 288,
+        warmup: 192,
+        instances: 768, // eight days of 15-minute units
+        model: ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 },
+        rt: 2.8,
+        dt: 8.0,
+        // k = 4σ: the paper tuned RT/DT "in comparison with the
+        // reference method" (§VII); we calibrate the chart band the same
+        // way so the two methods alarm at comparable severities.
+        chart: ControlChartConfig { level: 1, window: 96, k: 4.0, min_samples: 48 },
+    };
+    // Inject anomalies across all levels of the scoring span.
+    let injected = inject_schedule(
+        &mut workload,
+        24,
+        cfg.warmup as u64 + 48,
+        (cfg.warmup + cfg.instances) as u64 - 48,
+        600.0,
+        112,
+    );
+    let r = run_practice(&workload, &cfg);
+
+    println!("Table VI — Tiresias vs the reference method (control charts at VHO level)\n");
+    let mut table = Table::new(vec!["Performance metric", "Paper", "Measured"]);
+    table.row(vec!["Type 1 (Accuracy)".into(), "94.1%".into(), pct(r.report.type1())]);
+    table.row(vec!["Type 2".into(), "90.9%".into(), pct(r.report.type2())]);
+    table.row(vec!["Type 3".into(), "94.1%".into(), pct(r.report.type3())]);
+    println!("{table}");
+    println!(
+        "cases: {} reference alarms, {} tiresias alarms, TA={} MA={} NA={} TN={}",
+        r.n_reference,
+        r.n_tiresias,
+        r.report.true_alarms,
+        r.report.missed_anomalies,
+        r.report.new_anomalies,
+        r.report.true_negatives
+    );
+
+    println!("\nNew-anomaly (NA) distribution by level after ancestor dedup (paper: 5% / 56.3% / 29.3% / 9.4%):");
+    let total: usize = r.na_by_level.iter().map(|&(_, c)| c).sum();
+    let names = ["VHO", "IO", "CO", "DSLAM"];
+    for &(level, count) in &r.na_by_level {
+        println!(
+            "  level {} ({}): {} ({})",
+            level,
+            names.get(level - 1).unwrap_or(&"?"),
+            count,
+            if total > 0 { pct(count as f64 / total as f64) } else { "-".into() }
+        );
+    }
+
+    println!("\nScoring against the {} injected ground-truth anomalies:", injected.len());
+    println!(
+        "  Tiresias: recall {} (TP={} FN={} FP={})",
+        pct(r.tiresias_truth.recall()),
+        r.tiresias_truth.true_positives,
+        r.tiresias_truth.false_negatives,
+        r.tiresias_truth.false_positives
+    );
+    println!(
+        "  Chart:    recall {} (TP={} FN={} FP={})",
+        pct(r.chart_truth.recall()),
+        r.chart_truth.true_positives,
+        r.chart_truth.false_negatives,
+        r.chart_truth.false_positives
+    );
+    println!("\nPaper shape: high Type 1/2/3 agreement, and most of Tiresias' extra");
+    println!("anomalies sit below the VHO level where the reference method is blind.");
+}

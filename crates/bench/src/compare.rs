@@ -1,0 +1,217 @@
+//! ADA-vs-STA comparison runner behind Fig. 12 (time-series accuracy)
+//! and Table V (anomaly detection accuracy).
+
+use tiresias_core::{is_anomalous, ConfusionCounts};
+use tiresias_datagen::Workload;
+use tiresias_hhh::{Ada, HhhConfig, ModelSpec, SplitRule, Sta};
+
+/// Parameters of one ADA-vs-STA run.
+#[derive(Debug, Clone)]
+pub struct CompareConfig {
+    /// Heavy hitter threshold θ.
+    pub theta: f64,
+    /// Window length ℓ.
+    pub ell: usize,
+    /// Warm-up units used to initialise both trackers.
+    pub warmup: usize,
+    /// Scored instances after warm-up.
+    pub instances: usize,
+    /// Forecasting model.
+    pub model: ModelSpec,
+    /// ADA split rule under test.
+    pub rule: SplitRule,
+    /// Reference-series levels h.
+    pub ref_levels: usize,
+    /// Relative sensitivity RT.
+    pub rt: f64,
+    /// Absolute sensitivity DT.
+    pub dt: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            theta: 10.0,
+            ell: 192,
+            warmup: 96,
+            instances: 100,
+            model: ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 },
+            rule: SplitRule::LongTermHistory,
+            ref_levels: 2,
+            rt: 2.8,
+            dt: 8.0,
+        }
+    }
+}
+
+/// Outcome of one ADA-vs-STA run (STA is ground truth).
+#[derive(Debug, Clone)]
+pub struct CompareResult {
+    /// Mean absolute series error by timeunit offset (0 = newest),
+    /// normalised by the mean STA series value — Fig. 12(a).
+    pub err_by_offset: Vec<f64>,
+    /// Mean normalised absolute error by node depth — Fig. 12(b).
+    pub err_by_depth: Vec<f64>,
+    /// Overall mean normalised absolute error.
+    pub mean_rel_error: f64,
+    /// Anomaly-decision agreement (STA as truth) — Table V.
+    pub confusion: ConfusionCounts,
+    /// `true` iff the heavy hitter sets matched at every instance
+    /// (the paper observed they always do; Lemma 1 guarantees it).
+    pub membership_matched: bool,
+}
+
+/// Runs ADA and STA side by side on the same generated stream and scores
+/// ADA's series and detections against STA's exact reconstruction.
+pub fn compare_ada_sta(workload: &Workload, cfg: &CompareConfig) -> CompareResult {
+    let tree = workload.tree();
+    let base = HhhConfig::new(cfg.theta, cfg.ell)
+        .with_model(cfg.model.clone())
+        .with_split_rule(cfg.rule)
+        .with_ref_levels(cfg.ref_levels);
+
+    let warmup_units = workload.generate_units(0, cfg.warmup);
+    let mut ada =
+        Ada::with_history(base.clone(), tree, &warmup_units).expect("valid configuration");
+    let mut sta = Sta::new(base).expect("valid configuration");
+    for u in &warmup_units {
+        sta.push_timeunit(tree, u);
+    }
+
+    const MAX_OFFSETS: usize = 48;
+    let mut err_sum_off = vec![0.0; MAX_OFFSETS];
+    let mut err_cnt_off = vec![0usize; MAX_OFFSETS];
+    let mut err_sum_depth = vec![0.0; tree.max_depth() + 1];
+    let mut err_cnt_depth = vec![0usize; tree.max_depth() + 1];
+    let mut sta_sum = 0.0;
+    let mut sta_cnt = 0usize;
+    let mut err_total = 0.0;
+    let mut err_total_cnt = 0usize;
+    let mut confusion = ConfusionCounts::default();
+    let mut membership_matched = true;
+
+    for i in 0..cfg.instances {
+        let unit = workload.generate_unit((cfg.warmup + i) as u64);
+        ada.push_timeunit(tree, &unit);
+        sta.push_timeunit(tree, &unit);
+
+        let mut ada_members: Vec<_> = ada.heavy_hitters().to_vec();
+        let mut sta_members: Vec<_> = sta.heavy_hitters().to_vec();
+        ada_members.sort();
+        sta_members.sort();
+        if ada_members != sta_members {
+            membership_matched = false;
+        }
+
+        for &n in &sta_members {
+            let Some(truth) = sta.actual_series(n) else { continue };
+            let Some(view) = ada.view(n) else { continue };
+            let approx: Vec<f64> = view.actual.iter().collect();
+            if approx.len() != truth.len() {
+                continue;
+            }
+            let depth = tree.depth(n);
+            let len = truth.len();
+            for (idx, (&t, a)) in truth.iter().zip(approx.iter()).enumerate() {
+                let offset = len - 1 - idx; // 0 = newest
+                let e = (t - a).abs();
+                if offset < MAX_OFFSETS {
+                    err_sum_off[offset] += e;
+                    err_cnt_off[offset] += 1;
+                }
+                err_sum_depth[depth] += e;
+                err_cnt_depth[depth] += 1;
+                err_total += e;
+                err_total_cnt += 1;
+                sta_sum += t.abs();
+                sta_cnt += 1;
+            }
+            // Detection agreement on the newest unit.
+            let (st, sf) = sta.latest(n).expect("member has series");
+            let truth_flag = is_anomalous(st, sf, cfg.rt, cfg.dt);
+            let ada_flag = is_anomalous(view.latest_actual, view.latest_forecast, cfg.rt, cfg.dt);
+            confusion.record(truth_flag, ada_flag);
+        }
+    }
+
+    let scale = if sta_cnt > 0 { sta_sum / sta_cnt as f64 } else { 1.0 };
+    let norm = |sum: f64, cnt: usize| -> f64 {
+        if cnt == 0 || scale <= 0.0 {
+            0.0
+        } else {
+            (sum / cnt as f64) / scale
+        }
+    };
+    CompareResult {
+        err_by_offset: err_sum_off
+            .iter()
+            .zip(err_cnt_off.iter())
+            .map(|(&s, &c)| norm(s, c))
+            .collect(),
+        err_by_depth: err_sum_depth
+            .iter()
+            .zip(err_cnt_depth.iter())
+            .map(|(&s, &c)| norm(s, c))
+            .collect(),
+        mean_rel_error: norm(err_total, err_total_cnt),
+        confusion,
+        membership_matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::ccd_trouble_workload;
+    use tiresias_hhh::ModelSpec;
+
+    fn small_cfg() -> CompareConfig {
+        CompareConfig {
+            theta: 8.0,
+            ell: 48,
+            warmup: 24,
+            instances: 24,
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            rule: SplitRule::LongTermHistory,
+            ref_levels: 2,
+            rt: 2.8,
+            dt: 8.0,
+        }
+    }
+
+    #[test]
+    fn membership_always_matches() {
+        let w = ccd_trouble_workload(0.3, 60.0, 11);
+        let r = compare_ada_sta(&w, &small_cfg());
+        assert!(r.membership_matched, "Lemma 1 must hold");
+    }
+
+    #[test]
+    fn reference_levels_reduce_series_error() {
+        let w = ccd_trouble_workload(0.3, 60.0, 12);
+        let mut with_ref = small_cfg();
+        with_ref.ref_levels = 2;
+        let mut without = small_cfg();
+        without.ref_levels = 0;
+        let r_with = compare_ada_sta(&w, &with_ref);
+        let r_without = compare_ada_sta(&w, &without);
+        assert!(
+            r_with.mean_rel_error <= r_without.mean_rel_error + 1e-9,
+            "h=2 ({}) must not be worse than h=0 ({})",
+            r_with.mean_rel_error,
+            r_without.mean_rel_error
+        );
+    }
+
+    #[test]
+    fn detection_accuracy_is_high() {
+        let w = ccd_trouble_workload(0.3, 60.0, 13);
+        let r = compare_ada_sta(&w, &small_cfg());
+        assert!(r.confusion.total() > 0);
+        assert!(
+            r.confusion.accuracy() > 0.9,
+            "accuracy {} too low",
+            r.confusion.accuracy()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the
+//! Tiresias paper's evaluation (§VII).
+//!
+//! Each binary in `src/bin/` reproduces one artefact:
+//!
+//! | binary        | paper artefact |
+//! |---------------|----------------|
+//! | `table1`      | Table I — CCD first-level ticket mix |
+//! | `table2`      | Table II — hierarchy degrees |
+//! | `fig01`       | Fig. 1 — CCDF of normalized counts per level |
+//! | `fig02`       | Fig. 2 — normalized 15-minute count series |
+//! | `fig09`       | Fig. 9 — split-bias error decay |
+//! | `fig11`       | Fig. 11 — FFT spectra / dominant periods |
+//! | `fig12`       | Fig. 12 — ADA series error by split rule and h |
+//! | `table3`      | Table III — running time ADA vs STA |
+//! | `table4`      | Table IV — normalized memory costs |
+//! | `table5`      | Table V — ADA detection accuracy vs STA |
+//! | `table6`      | Table VI — Tiresias vs the reference method |
+//! | `scd_summary` | §VII-A SCD prose results |
+//!
+//! The heavy lifting lives in this library so binaries stay thin and the
+//! runners are unit-testable at reduced scale.
+
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod fmt;
+pub mod perf;
+pub mod practice;
+pub mod scenarios;

@@ -1,0 +1,235 @@
+//! Runtime and memory measurement runners behind Tables III and IV and
+//! the §VII-A SCD summary.
+
+use std::time::{Duration, Instant};
+
+use tiresias_datagen::Workload;
+use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, SplitRule, StageTimings, Sta};
+
+use crate::scenarios::coarsen_units;
+
+/// Parameters of a performance run.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Heavy hitter threshold θ.
+    pub theta: f64,
+    /// Window length ℓ (in *coarse* units).
+    pub ell: usize,
+    /// Warm-up units (coarse).
+    pub warmup: usize,
+    /// Measured instances (coarse).
+    pub instances: usize,
+    /// Forecasting model.
+    pub model: ModelSpec,
+    /// How many base (15-minute) units aggregate into one timeunit
+    /// (1 = 15 min, 4 = 1 hour — the Δ sweep of Table III).
+    pub coarsen: usize,
+    /// Reference-series levels for ADA.
+    pub ref_levels: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            theta: 10.0,
+            ell: 192,
+            warmup: 96,
+            instances: 96,
+            model: ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 },
+            coarsen: 1,
+            ref_levels: 2,
+        }
+    }
+}
+
+/// Timings and memory of one ADA + STA run over an identical stream.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Wall-clock time spent generating (= "reading") the trace, shared
+    /// by both algorithms.
+    pub reading: Duration,
+    /// ADA stage timings.
+    pub ada: StageTimings,
+    /// STA stage timings.
+    pub sta: StageTimings,
+    /// ADA memory accounting at the end of the run.
+    pub ada_mem: MemoryReport,
+    /// STA memory accounting at the end of the run.
+    pub sta_mem: MemoryReport,
+    /// Number of processed instances.
+    pub instances: usize,
+}
+
+impl PerfResult {
+    /// STA/ADA total-time speedup including trace reading.
+    pub fn speedup_total(&self) -> f64 {
+        let ada = (self.ada.total() + self.reading).as_secs_f64();
+        let sta = (self.sta.total() + self.reading).as_secs_f64();
+        if ada > 0.0 {
+            sta / ada
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// STA/ADA speedup excluding trace reading (the paper's 41–50×
+    /// number).
+    pub fn speedup_compute(&self) -> f64 {
+        let ada = self.ada.total().as_secs_f64();
+        let sta = self.sta.total().as_secs_f64();
+        if ada > 0.0 {
+            sta / ada
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// ADA memory as a fraction of STA memory (Table IV's ratio).
+    pub fn memory_ratio(&self) -> f64 {
+        let sta = self.sta_mem.total_cells();
+        if sta == 0 {
+            0.0
+        } else {
+            self.ada_mem.total_cells() as f64 / sta as f64
+        }
+    }
+}
+
+/// Runs ADA and STA over the same generated stream and reports stage
+/// timings and memory.
+pub fn run_perf(workload: &Workload, cfg: &PerfConfig) -> PerfResult {
+    let tree = workload.tree();
+    let base = HhhConfig::new(cfg.theta, cfg.ell)
+        .with_model(cfg.model.clone())
+        .with_split_rule(SplitRule::LongTermHistory)
+        .with_ref_levels(cfg.ref_levels);
+
+    // "Reading traces": generating the synthetic stream stands in for
+    // parsing the raw logs; it is identical work for both algorithms.
+    let t0 = Instant::now();
+    let total_base_units = (cfg.warmup + cfg.instances) * cfg.coarsen;
+    let base_units = workload.generate_units(0, total_base_units);
+    let units = if cfg.coarsen > 1 {
+        coarsen_units(&base_units, cfg.coarsen)
+    } else {
+        base_units
+    };
+    let reading = t0.elapsed();
+
+    let (warmup_units, live_units) = units.split_at(cfg.warmup.min(units.len()));
+
+    let mut ada =
+        Ada::with_history(base.clone(), tree, warmup_units).expect("valid configuration");
+    let mut sta = Sta::new(base).expect("valid configuration");
+    for u in warmup_units {
+        sta.push_timeunit(tree, u);
+    }
+    // Warm-up costs are excluded (cold-start effects, as in Table IV).
+    let ada_warm = ada.timings();
+    let sta_warm = sta.timings();
+
+    for u in live_units {
+        ada.push_timeunit(tree, u);
+    }
+    for u in live_units {
+        sta.push_timeunit(tree, u);
+    }
+
+    let mut ada_t = ada.timings();
+    let mut sta_t = sta.timings();
+    ada_t.updating_hierarchies = ada_t.updating_hierarchies.saturating_sub(ada_warm.updating_hierarchies);
+    ada_t.creating_time_series = ada_t.creating_time_series.saturating_sub(ada_warm.creating_time_series);
+    sta_t.updating_hierarchies = sta_t.updating_hierarchies.saturating_sub(sta_warm.updating_hierarchies);
+    sta_t.creating_time_series = sta_t.creating_time_series.saturating_sub(sta_warm.creating_time_series);
+
+    PerfResult {
+        reading,
+        ada: ada_t,
+        sta: sta_t,
+        ada_mem: ada.memory_report(tree),
+        sta_mem: sta.memory_report(tree),
+        instances: live_units.len(),
+    }
+}
+
+/// Memory accounting for ADA at several reference depths `h`, plus STA,
+/// over the same stream (Table IV).
+pub fn memory_sweep(
+    workload: &Workload,
+    cfg: &PerfConfig,
+    ref_levels: &[usize],
+) -> (Vec<(usize, MemoryReport)>, MemoryReport) {
+    let tree = workload.tree();
+    let units = workload.generate_units(0, cfg.warmup + cfg.instances);
+    let mut ada_reports = Vec::new();
+    for &h in ref_levels {
+        let config = HhhConfig::new(cfg.theta, cfg.ell)
+            .with_model(cfg.model.clone())
+            .with_ref_levels(h);
+        let (warm, live) = units.split_at(cfg.warmup.min(units.len()));
+        let mut ada = Ada::with_history(config, tree, warm).expect("valid configuration");
+        for u in live {
+            ada.push_timeunit(tree, u);
+        }
+        ada_reports.push((h, ada.memory_report(tree)));
+    }
+    let config = HhhConfig::new(cfg.theta, cfg.ell).with_model(cfg.model.clone());
+    let mut sta = Sta::new(config).expect("valid configuration");
+    for u in &units {
+        sta.push_timeunit(tree, u);
+    }
+    (ada_reports, sta.memory_report(tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::ccd_trouble_workload;
+
+    fn tiny_cfg() -> PerfConfig {
+        PerfConfig {
+            theta: 8.0,
+            ell: 32,
+            warmup: 16,
+            instances: 16,
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            coarsen: 1,
+            ref_levels: 2,
+        }
+    }
+
+    #[test]
+    fn ada_is_faster_and_smaller_than_sta() {
+        let w = ccd_trouble_workload(0.5, 80.0, 21);
+        let r = run_perf(&w, &tiny_cfg());
+        assert_eq!(r.instances, 16);
+        assert!(r.speedup_compute() > 1.0, "speedup {}", r.speedup_compute());
+        assert!(r.memory_ratio() < 1.0, "memory ratio {}", r.memory_ratio());
+    }
+
+    #[test]
+    fn coarsening_reduces_instances() {
+        let w = ccd_trouble_workload(0.3, 40.0, 22);
+        let mut cfg = tiny_cfg();
+        cfg.coarsen = 4;
+        cfg.warmup = 4;
+        cfg.instances = 4;
+        let r = run_perf(&w, &cfg);
+        assert_eq!(r.instances, 4);
+    }
+
+    #[test]
+    fn memory_grows_with_reference_depth() {
+        let w = ccd_trouble_workload(0.3, 60.0, 23);
+        let (ada_reports, sta_report) = memory_sweep(&w, &tiny_cfg(), &[0, 1, 2]);
+        assert_eq!(ada_reports.len(), 3);
+        for pair in ada_reports.windows(2) {
+            assert!(
+                pair[0].1.total_cells() <= pair[1].1.total_cells(),
+                "memory must not shrink as h grows"
+            );
+        }
+        // STA keeps the full raw history, dwarfing ADA.
+        assert!(sta_report.total_cells() > ada_reports[0].1.total_cells());
+    }
+}

@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::{CategoryPath, NodeId};
+
+/// The Definition-4 anomaly decision: a spike is anomalous iff the
+/// observed count exceeds the forecast **both** relatively
+/// (`actual / forecast > rt`) and absolutely (`actual − forecast > dt`).
+///
+/// Using both differences minimises false detections at the daily peak
+/// (where absolute deviations are naturally large) and in the night
+/// trough (where tiny absolute changes are relatively large). A
+/// non-positive forecast counts as an infinite ratio, so the absolute
+/// test alone decides.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::is_anomalous;
+///
+/// assert!(is_anomalous(50.0, 10.0, 2.8, 8.0));   // 5× and +40
+/// assert!(!is_anomalous(25.0, 10.0, 2.8, 8.0));  // only 2.5×
+/// assert!(!is_anomalous(12.0, 5.0, 2.0, 8.0));   // only +7
+/// ```
+pub fn is_anomalous(actual: f64, forecast: f64, rt: f64, dt: f64) -> bool {
+    let relative_ok = if forecast > 0.0 {
+        actual / forecast > rt
+    } else {
+        actual > 0.0
+    };
+    relative_ok && (actual - forecast > dt)
+}
+
+/// Direction of an anomalous deviation.
+///
+/// The paper detects **spikes** only — unexpected increases, the
+/// interesting direction for customer-call data — and names drop
+/// detection as out of scope. [`AnomalyKind::Drop`] is this library's
+/// extension for data where rate collapses matter (e.g. heartbeat-like
+/// telemetry); enable it with
+/// [`crate::TiresiasBuilder::detect_drops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// The observed count exceeded the forecast (the paper's anomaly).
+    Spike,
+    /// The observed count collapsed below the forecast (extension).
+    Drop,
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnomalyKind::Spike => write!(f, "spike"),
+            AnomalyKind::Drop => write!(f, "drop"),
+        }
+    }
+}
+
+/// The mirrored Definition-4 test for drops: anomalous iff the forecast
+/// exceeds the observation both relatively (`forecast / actual > rt`,
+/// with `actual ≤ 0` counting as an infinite ratio) and absolutely
+/// (`forecast − actual > dt`).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::is_drop;
+///
+/// assert!(is_drop(2.0, 40.0, 2.8, 8.0));    // collapse from 40 to 2
+/// assert!(!is_drop(20.0, 40.0, 2.8, 8.0));  // only halved
+/// ```
+pub fn is_drop(actual: f64, forecast: f64, rt: f64, dt: f64) -> bool {
+    let relative_ok = if actual > 0.0 {
+        forecast / actual > rt
+    } else {
+        forecast > 0.0
+    };
+    relative_ok && (forecast - actual > dt)
+}
+
+/// An anomalous event located by Tiresias: a heavy hitter whose observed
+/// count in one timeunit exceeded its forecast beyond both sensitivity
+/// thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyEvent {
+    /// The heavy hitter node (id within the detector's tree).
+    pub node: NodeId,
+    /// Category path of the node, stable across tree growth.
+    pub path: CategoryPath,
+    /// Depth of the node in the hierarchy (1 = first level).
+    pub level: usize,
+    /// Timeunit index of the spike.
+    pub unit: u64,
+    /// Start of the timeunit in seconds.
+    pub time_secs: u64,
+    /// Observed (modified) count `T[n, 1]`.
+    pub actual: f64,
+    /// Forecast `F[n, 1]`.
+    pub forecast: f64,
+    /// Direction of the deviation (always [`AnomalyKind::Spike`] unless
+    /// drop detection is enabled).
+    pub kind: AnomalyKind,
+}
+
+impl AnomalyEvent {
+    /// Ratio `actual / forecast` (∞ when the forecast is non-positive).
+    pub fn ratio(&self) -> f64 {
+        if self.forecast > 0.0 {
+            self.actual / self.forecast
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Absolute excess `actual − forecast`.
+    pub fn excess(&self) -> f64 {
+        self.actual - self.forecast
+    }
+}
+
+impl std::fmt::Display for AnomalyEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at {} (unit {}): observed {:.1} vs forecast {:.1}",
+            self.kind, self.path, self.unit, self.actual, self.forecast
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_thresholds_must_pass() {
+        assert!(is_anomalous(100.0, 10.0, 2.8, 8.0));
+        assert!(!is_anomalous(20.0, 10.0, 2.8, 8.0)); // ratio 2 < 2.8
+        assert!(!is_anomalous(3.0, 1.0, 2.8, 8.0)); // excess 2 < 8
+    }
+
+    #[test]
+    fn zero_forecast_counts_as_infinite_ratio() {
+        assert!(is_anomalous(9.0, 0.0, 2.8, 8.0));
+        assert!(!is_anomalous(7.0, 0.0, 2.8, 8.0)); // excess 7 < 8
+        assert!(!is_anomalous(0.0, 0.0, 2.8, 8.0));
+    }
+
+    #[test]
+    fn negative_forecast_is_treated_like_zero() {
+        assert!(is_anomalous(9.0, -3.0, 2.8, 8.0));
+    }
+
+    #[test]
+    fn drop_rule_mirrors_spike_rule() {
+        assert!(is_drop(0.0, 20.0, 2.8, 8.0));
+        assert!(!is_drop(0.0, 0.0, 2.8, 8.0));
+        assert!(!is_drop(15.0, 20.0, 2.8, 8.0)); // ratio too small
+        assert!(!is_drop(2.0, 9.0, 2.8, 8.0)); // excess 7 < 8
+    }
+
+    #[test]
+    fn event_accessors() {
+        let mut tree = tiresias_hierarchy::Tree::new("r");
+        let n = tree.insert_path(&["a"]);
+        let e = AnomalyEvent {
+            node: n,
+            path: "a".parse().unwrap(),
+            level: 1,
+            unit: 42,
+            time_secs: 42 * 900,
+            actual: 30.0,
+            forecast: 10.0,
+            kind: AnomalyKind::Spike,
+        };
+        assert_eq!(e.ratio(), 3.0);
+        assert_eq!(e.excess(), 20.0);
+        assert!(e.to_string().contains("unit 42"));
+        let zero = AnomalyEvent { forecast: 0.0, ..e };
+        assert!(zero.ratio().is_infinite());
+    }
+}

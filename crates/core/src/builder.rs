@@ -1,0 +1,305 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hhh::{HhhConfig, ModelSpec, SplitRule};
+
+use crate::detector::Tiresias;
+use crate::error::CoreError;
+
+/// Which heavy hitter maintenance algorithm the detector runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The adaptive algorithm (§V-B) — the paper's contribution and the
+    /// default.
+    Ada,
+    /// The exact strawman (§V-A) — Θ(ℓ·|tree|) per instance; useful as
+    /// ground truth and for the paper's performance comparisons.
+    Sta,
+}
+
+/// Builder for a [`Tiresias`] detector (the system parameters of §VII).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::{Algorithm, TiresiasBuilder};
+///
+/// let detector = TiresiasBuilder::new()
+///     .timeunit_secs(900)        // Δ = 15 minutes
+///     .window_len(672)           // ℓ = one week of units
+///     .threshold(10.0)           // θ
+///     .sensitivity(2.8, 8.0)     // RT, DT
+///     .season_length(96)         // daily season
+///     .algorithm(Algorithm::Ada)
+///     .ref_levels(2)
+///     .build()?;
+/// assert_eq!(detector.units_processed(), 0);
+/// # Ok::<(), tiresias_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiresiasBuilder {
+    pub(crate) timeunit_secs: u64,
+    pub(crate) window_len: usize,
+    pub(crate) theta: f64,
+    pub(crate) rt: f64,
+    pub(crate) dt: f64,
+    pub(crate) season_length: usize,
+    pub(crate) hw_alpha: f64,
+    pub(crate) hw_beta: f64,
+    pub(crate) hw_gamma: f64,
+    pub(crate) model: Option<ModelSpec>,
+    pub(crate) split_rule: SplitRule,
+    pub(crate) ref_levels: usize,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) warmup_units: Option<usize>,
+    pub(crate) auto_seasonality: Option<usize>,
+    pub(crate) root_label: String,
+    pub(crate) detect_drops: bool,
+}
+
+impl Default for TiresiasBuilder {
+    fn default() -> Self {
+        TiresiasBuilder {
+            timeunit_secs: 900,
+            window_len: 8064,
+            theta: 10.0,
+            rt: 2.8,
+            dt: 8.0,
+            season_length: 96,
+            hw_alpha: 0.5,
+            hw_beta: 0.05,
+            hw_gamma: 0.3,
+            model: None,
+            split_rule: SplitRule::default(),
+            ref_levels: 2,
+            algorithm: Algorithm::Ada,
+            warmup_units: None,
+            auto_seasonality: None,
+            root_label: "All".to_string(),
+            detect_drops: false,
+        }
+    }
+}
+
+impl TiresiasBuilder {
+    /// Starts from the paper's defaults: Δ = 15 min, ℓ = 8 064 (12
+    /// weeks), θ = 10, RT = 2.8, DT = 8, daily Holt-Winters season,
+    /// Long-Term-History splits, h = 2 reference levels, ADA.
+    pub fn new() -> Self {
+        TiresiasBuilder::default()
+    }
+
+    /// Timeunit size Δ in seconds.
+    #[must_use]
+    pub fn timeunit_secs(mut self, secs: u64) -> Self {
+        self.timeunit_secs = secs;
+        self
+    }
+
+    /// Sliding-window length ℓ in timeunits.
+    #[must_use]
+    pub fn window_len(mut self, ell: usize) -> Self {
+        self.window_len = ell;
+        self
+    }
+
+    /// Heavy hitter threshold θ.
+    #[must_use]
+    pub fn threshold(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sensitivity thresholds: relative `RT` and absolute `DT`
+    /// (Definition 4).
+    #[must_use]
+    pub fn sensitivity(mut self, rt: f64, dt: f64) -> Self {
+        self.rt = rt;
+        self.dt = dt;
+        self
+    }
+
+    /// Seasonal period υ in timeunits for the default Holt-Winters
+    /// model. Ignored if an explicit [`TiresiasBuilder::model`] is set.
+    #[must_use]
+    pub fn season_length(mut self, units: usize) -> Self {
+        self.season_length = units;
+        self
+    }
+
+    /// Holt-Winters smoothing rates (α, β, γ) for the default model.
+    #[must_use]
+    pub fn smoothing(mut self, alpha: f64, beta: f64, gamma: f64) -> Self {
+        self.hw_alpha = alpha;
+        self.hw_beta = beta;
+        self.hw_gamma = gamma;
+        self
+    }
+
+    /// Explicit forecasting model, overriding
+    /// [`TiresiasBuilder::season_length`] and
+    /// [`TiresiasBuilder::smoothing`].
+    #[must_use]
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.model = Some(spec);
+        self
+    }
+
+    /// ADA split-ratio heuristic.
+    #[must_use]
+    pub fn split_rule(mut self, rule: SplitRule) -> Self {
+        self.split_rule = rule;
+        self
+    }
+
+    /// Number of reference-series levels `h` (§V-B5).
+    #[must_use]
+    pub fn ref_levels(mut self, h: usize) -> Self {
+        self.ref_levels = h;
+        self
+    }
+
+    /// Heavy hitter maintenance algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Number of warm-up timeunits buffered before detection starts
+    /// (defaults to the model's preferred history, 2υ for seasonal
+    /// models). The tracker is initialised from the buffered history
+    /// exactly as STA would (Fig. 5, lines 2–5).
+    #[must_use]
+    pub fn warmup_units(mut self, units: usize) -> Self {
+        self.warmup_units = Some(units);
+        self
+    }
+
+    /// Derives the seasonal periods automatically from the warm-up data
+    /// via FFT + wavelet analysis (§VI, Step 3), keeping at most
+    /// `max_factors` factors. Make the warm-up at least twice the
+    /// longest period you expect.
+    #[must_use]
+    pub fn auto_seasonality(mut self, max_factors: usize) -> Self {
+        self.auto_seasonality = Some(max_factors);
+        self
+    }
+
+    /// Label of the hierarchy root node.
+    #[must_use]
+    pub fn root_label(mut self, label: impl Into<String>) -> Self {
+        self.root_label = label.into();
+        self
+    }
+
+    /// Also reports **drops** — counts collapsing below the forecast by
+    /// the mirrored Definition-4 test. The paper detects spikes only
+    /// (drops in call volume are uninteresting for customer-care data);
+    /// enable this extension for telemetry where rate collapses matter.
+    ///
+    /// Drops are only observable while the node *remains a heavy
+    /// hitter*: a count that falls below θ leaves the tracked set
+    /// altogether, so a total silence is invisible — the structural
+    /// reason the paper scopes drop detection out of the heavy-hitter
+    /// framing. Choose θ below the level whose collapses you care
+    /// about.
+    #[must_use]
+    pub fn detect_drops(mut self, enabled: bool) -> Self {
+        self.detect_drops = enabled;
+        self
+    }
+
+    /// The model spec the detector will start from (before any
+    /// auto-seasonality refinement).
+    pub(crate) fn base_model(&self) -> ModelSpec {
+        self.model.clone().unwrap_or(ModelSpec::HoltWinters {
+            alpha: self.hw_alpha,
+            beta: self.hw_beta,
+            gamma: self.hw_gamma,
+            season: self.season_length,
+        })
+    }
+
+    /// The heavy hitter tracker configuration this builder resolves to.
+    pub(crate) fn hhh_config(&self, model: ModelSpec) -> HhhConfig {
+        HhhConfig::new(self.theta, self.window_len)
+            .with_model(model)
+            .with_split_rule(self.split_rule)
+            .with_ref_levels(self.ref_levels)
+    }
+
+    /// Builds the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid parameters
+    /// (zero timeunit or window, non-positive θ, RT ≤ 1, negative DT,
+    /// zero season).
+    pub fn build(self) -> Result<Tiresias, CoreError> {
+        if self.timeunit_secs == 0 {
+            return Err(CoreError::InvalidConfig("timeunit_secs must be positive".into()));
+        }
+        if self.window_len == 0 {
+            return Err(CoreError::InvalidConfig("window_len must be positive".into()));
+        }
+        if !(self.theta > 0.0) {
+            return Err(CoreError::InvalidConfig("threshold must be positive".into()));
+        }
+        if !(self.rt > 1.0) {
+            return Err(CoreError::InvalidConfig(
+                "relative sensitivity RT must exceed 1".into(),
+            ));
+        }
+        if self.dt < 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "absolute sensitivity DT must be non-negative".into(),
+            ));
+        }
+        if self.season_length == 0 && self.model.is_none() {
+            return Err(CoreError::InvalidConfig("season_length must be positive".into()));
+        }
+        self.hhh_config(self.base_model())
+            .validate()
+            .map_err(CoreError::InvalidConfig)?;
+        Ok(Tiresias::from_builder(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        assert!(TiresiasBuilder::new().build().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(TiresiasBuilder::new().timeunit_secs(0).build().is_err());
+        assert!(TiresiasBuilder::new().window_len(0).build().is_err());
+        assert!(TiresiasBuilder::new().threshold(0.0).build().is_err());
+        assert!(TiresiasBuilder::new().sensitivity(1.0, 8.0).build().is_err());
+        assert!(TiresiasBuilder::new().sensitivity(2.8, -1.0).build().is_err());
+        assert!(TiresiasBuilder::new().season_length(0).build().is_err());
+    }
+
+    #[test]
+    fn explicit_model_overrides_season() {
+        let b = TiresiasBuilder::new()
+            .season_length(96)
+            .model(ModelSpec::Ewma { alpha: 0.4 });
+        assert_eq!(b.base_model(), ModelSpec::Ewma { alpha: 0.4 });
+    }
+
+    #[test]
+    fn base_model_uses_smoothing() {
+        let b = TiresiasBuilder::new().season_length(4).smoothing(0.9, 0.8, 0.7);
+        match b.base_model() {
+            ModelSpec::HoltWinters { alpha, beta, gamma, season } => {
+                assert_eq!((alpha, beta, gamma, season), (0.9, 0.8, 0.7, 4));
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,601 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, StageTimings, Sta};
+use tiresias_hierarchy::{NodeId, Tree};
+use tiresias_spectral::SeasonalityAnalysis;
+use tiresias_timeseries::SeasonalFactor;
+
+use crate::anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
+use crate::builder::{Algorithm, TiresiasBuilder};
+use crate::error::CoreError;
+use crate::record::Record;
+use crate::store::EventStore;
+
+/// The running heavy hitter tracker.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Tracker {
+    Ada(Box<Ada>),
+    Sta(Box<Sta>),
+}
+
+/// Detector lifecycle: buffering warm-up history, then running.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum State {
+    Warmup { units: Vec<Vec<f64>> },
+    Running { tracker: Tracker },
+}
+
+/// The Tiresias online anomaly detector (Fig. 3 of the paper).
+///
+/// Feed timestamped [`Record`]s with [`Tiresias::push`] (or whole
+/// timeunits with [`Tiresias::ingest_unit`]); closed timeunits flow
+/// through heavy hitter tracking, seasonal forecasting and the
+/// Definition-4 decision rule, and detected [`AnomalyEvent`]s accumulate
+/// in the queryable [`EventStore`].
+///
+/// See the crate-level example for end-to-end usage.
+///
+/// The whole detector state is serialisable (serde): checkpoint it with
+/// any serde format and resume the stream after a restart — warm-up
+/// buffers, tracker state, forecaster models and the anomaly store all
+/// round-trip.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Tiresias {
+    builder: TiresiasBuilder,
+    tree: Tree,
+    state: State,
+    /// Index of the currently open timeunit (`None` until the first
+    /// record or advance).
+    open_unit: Option<u64>,
+    #[serde(with = "node_counts_serde")]
+    open_counts: HashMap<NodeId, f64>,
+    store: EventStore,
+    warmup_target: usize,
+    resolved_model: ModelSpec,
+    units_processed: u64,
+    reading: std::time::Duration,
+    detecting: std::time::Duration,
+}
+
+/// Serialises the open-unit counts as a sequence of pairs so JSON (whose
+/// map keys must be strings) round-trips.
+mod node_counts_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<NodeId, f64>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&NodeId, &f64)> = map.iter().collect();
+        serde::Serialize::serialize(&pairs, s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<NodeId, f64>, D::Error> {
+        let pairs: Vec<(NodeId, f64)> = serde::Deserialize::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl Tiresias {
+    pub(crate) fn from_builder(builder: TiresiasBuilder) -> Self {
+        let warmup_target = builder
+            .warmup_units
+            .unwrap_or_else(|| builder.base_model().preferred_history());
+        let resolved_model = builder.base_model();
+        let tree = Tree::new(builder.root_label.clone());
+        Tiresias {
+            builder,
+            tree,
+            state: State::Warmup { units: Vec::new() },
+            open_unit: None,
+            open_counts: HashMap::new(),
+            store: EventStore::new(),
+            warmup_target,
+            resolved_model,
+            units_processed: 0,
+            reading: std::time::Duration::ZERO,
+            detecting: std::time::Duration::ZERO,
+        }
+    }
+
+    /// The classification tree built from the categories seen so far.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Timeunits fully processed (including warm-up).
+    pub fn units_processed(&self) -> u64 {
+        self.units_processed
+    }
+
+    /// `true` once the warm-up buffer is converted into a running
+    /// tracker and detection is active.
+    pub fn is_warmed_up(&self) -> bool {
+        matches!(self.state, State::Running { .. })
+    }
+
+    /// The forecasting model in use (after any auto-seasonality
+    /// resolution).
+    pub fn model_spec(&self) -> &ModelSpec {
+        &self.resolved_model
+    }
+
+    /// The currently open (not yet closed) timeunit index.
+    pub fn current_unit(&self) -> Option<u64> {
+        self.open_unit
+    }
+
+    /// All anomalies detected so far, oldest first.
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        self.store.events()
+    }
+
+    /// The queryable anomaly store.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// Mutable access to the anomaly store (e.g. for
+    /// [`EventStore::dedup_ancestors`]).
+    pub fn store_mut(&mut self) -> &mut EventStore {
+        &mut self.store
+    }
+
+    /// The current heavy hitter set (empty during warm-up).
+    pub fn heavy_hitters(&self) -> Vec<NodeId> {
+        match &self.state {
+            State::Warmup { .. } => Vec::new(),
+            State::Running { tracker } => match tracker {
+                Tracker::Ada(a) => a.heavy_hitters().to_vec(),
+                Tracker::Sta(s) => s.heavy_hitters().to_vec(),
+            },
+        }
+    }
+
+    /// Cumulative stage timings across the detector's lifetime.
+    pub fn timings(&self) -> StageTimings {
+        let mut t = match &self.state {
+            State::Warmup { .. } => StageTimings::default(),
+            State::Running { tracker } => match tracker {
+                Tracker::Ada(a) => a.timings(),
+                Tracker::Sta(s) => s.timings(),
+            },
+        };
+        t.reading_traces += self.reading;
+        t.detecting_anomalies += self.detecting;
+        t
+    }
+
+    /// Memory accounting of the running tracker (zeros during warm-up).
+    pub fn memory_report(&self) -> MemoryReport {
+        match &self.state {
+            State::Warmup { .. } => MemoryReport::default(),
+            State::Running { tracker } => match tracker {
+                Tracker::Ada(a) => a.memory_report(&self.tree),
+                Tracker::Sta(s) => s.memory_report(&self.tree),
+            },
+        }
+    }
+
+    /// Ingests one record, closing earlier timeunits as the stream
+    /// advances past them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfOrder`] if the record's timestamp falls
+    /// before the open timeunit, and propagates tracker construction
+    /// errors at the warm-up boundary.
+    pub fn push(&mut self, record: Record) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let unit = record.unit(self.builder.timeunit_secs);
+        match self.open_unit {
+            None => self.open_unit = Some(unit),
+            Some(open) if unit < open => {
+                return Err(CoreError::OutOfOrder {
+                    timestamp: record.timestamp_secs,
+                    open_unit_start: open * self.builder.timeunit_secs,
+                });
+            }
+            Some(open) if unit > open => {
+                self.reading += t0.elapsed();
+                self.close_until(unit)?;
+                let t1 = Instant::now();
+                let node = self.tree.insert_category(&record.path);
+                *self.open_counts.entry(node).or_insert(0.0) += 1.0;
+                self.reading += t1.elapsed();
+                return Ok(());
+            }
+            Some(_) => {}
+        }
+        let node = self.tree.insert_category(&record.path);
+        *self.open_counts.entry(node).or_insert(0.0) += 1.0;
+        self.reading += t0.elapsed();
+        Ok(())
+    }
+
+    /// Advances the clock to `t_secs`, closing every timeunit that ends
+    /// at or before it (including empty ones — gaps become zero-count
+    /// units, which matters for the time series).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker construction errors at the warm-up boundary.
+    pub fn advance_to(&mut self, t_secs: u64) -> Result<(), CoreError> {
+        let target = t_secs / self.builder.timeunit_secs;
+        if self.open_unit.is_none() {
+            self.open_unit = Some(target);
+            return Ok(());
+        }
+        self.close_until(target)
+    }
+
+    /// Ingests one whole pre-aggregated timeunit of direct counts
+    /// (indexed by [`NodeId::index`] over the current tree) — the bulk
+    /// API used by experiments that generate counts directly. Returns
+    /// the anomalies detected in that unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if record-level pushes are
+    /// pending in the open unit (the two APIs cannot be mixed within a
+    /// unit), and propagates tracker errors.
+    pub fn ingest_unit(&mut self, direct: &[f64]) -> Result<Vec<AnomalyEvent>, CoreError> {
+        if !self.open_counts.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "ingest_unit cannot be mixed with pending record-level pushes".into(),
+            ));
+        }
+        let before = self.store.len();
+        let mut dense = direct.to_vec();
+        dense.resize(self.tree.len().max(dense.len()), 0.0);
+        let unit = self.open_unit.unwrap_or(0);
+        self.process_closed_unit(unit, dense)?;
+        self.open_unit = Some(unit + 1);
+        Ok(self.store.events()[before..].to_vec())
+    }
+
+    /// Extends the tree with a category without recording data (useful
+    /// to pre-build a known hierarchy before bulk ingestion).
+    pub fn register_category(&mut self, path: &str) -> NodeId {
+        let p: tiresias_hierarchy::CategoryPath =
+            path.parse().expect("category paths parse infallibly");
+        self.tree.insert_category(&p)
+    }
+
+    /// Replaces the detector's (still empty) tree with a pre-built
+    /// hierarchy, preserving its [`NodeId`] assignment — required when
+    /// [`Tiresias::ingest_unit`] vectors are indexed by an external
+    /// tree's node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if any data was already
+    /// ingested or categories registered.
+    pub fn adopt_tree(&mut self, tree: Tree) -> Result<(), CoreError> {
+        if self.units_processed > 0 || !self.open_counts.is_empty() || self.tree.len() > 1 {
+            return Err(CoreError::InvalidConfig(
+                "adopt_tree must be called before any data or categories".into(),
+            ));
+        }
+        self.tree = tree;
+        Ok(())
+    }
+
+    /// Closes units `[open, target)`.
+    fn close_until(&mut self, target: u64) -> Result<(), CoreError> {
+        let Some(mut open) = self.open_unit else {
+            self.open_unit = Some(target);
+            return Ok(());
+        };
+        while open < target {
+            let mut dense = vec![0.0; self.tree.len()];
+            for (&n, &c) in &self.open_counts {
+                dense[n.index()] = c;
+            }
+            self.open_counts.clear();
+            self.process_closed_unit(open, dense)?;
+            open += 1;
+        }
+        self.open_unit = Some(open.max(target));
+        Ok(())
+    }
+
+    /// Pipeline for one closed timeunit (Steps 2–5 of Fig. 3).
+    fn process_closed_unit(&mut self, unit: u64, dense: Vec<f64>) -> Result<(), CoreError> {
+        match &mut self.state {
+            State::Warmup { units } => {
+                units.push(dense);
+                if units.len() >= self.warmup_target.max(1) {
+                    self.finish_warmup()?;
+                }
+            }
+            State::Running { tracker } => {
+                match tracker {
+                    Tracker::Ada(a) => a.push_timeunit(&self.tree, &dense),
+                    Tracker::Sta(s) => s.push_timeunit(&self.tree, &dense),
+                }
+                let t0 = Instant::now();
+                let (rt, dt) = (self.builder.rt, self.builder.dt);
+                let mut new_events = Vec::new();
+                let candidates: Vec<(NodeId, f64, f64)> = match tracker {
+                    Tracker::Ada(a) => a
+                        .heavy_hitters()
+                        .iter()
+                        .filter_map(|&n| {
+                            a.view(n).map(|v| (n, v.latest_actual, v.latest_forecast))
+                        })
+                        .collect(),
+                    Tracker::Sta(s) => s
+                        .heavy_hitters()
+                        .to_vec()
+                        .into_iter()
+                        .filter_map(|n| s.latest(n).map(|(a, f)| (n, a, f)))
+                        .collect(),
+                };
+                for (n, actual, forecast) in candidates {
+                    let kind = if is_anomalous(actual, forecast, rt, dt) {
+                        Some(AnomalyKind::Spike)
+                    } else if self.builder.detect_drops && is_drop(actual, forecast, rt, dt) {
+                        Some(AnomalyKind::Drop)
+                    } else {
+                        None
+                    };
+                    if let Some(kind) = kind {
+                        new_events.push(AnomalyEvent {
+                            node: n,
+                            path: self.tree.path_of(n),
+                            level: self.tree.depth(n),
+                            unit,
+                            time_secs: unit * self.builder.timeunit_secs,
+                            actual,
+                            forecast,
+                            kind,
+                        });
+                    }
+                }
+                self.store.extend(new_events);
+                self.detecting += t0.elapsed();
+            }
+        }
+        self.units_processed += 1;
+        Ok(())
+    }
+
+    /// Converts the warm-up buffer into a running tracker, resolving
+    /// auto-seasonality if requested (Fig. 3, Step 3).
+    fn finish_warmup(&mut self) -> Result<(), CoreError> {
+        let State::Warmup { units } = &mut self.state else {
+            return Ok(());
+        };
+        let units = std::mem::take(units);
+        // Auto-seasonality: analyse the root aggregate (= total count per
+        // unit, since the hierarchy is additive).
+        if let Some(max_factors) = self.builder.auto_seasonality {
+            let totals: Vec<f64> = units.iter().map(|u| u.iter().sum()).collect();
+            let analysis = SeasonalityAnalysis::analyze(&totals, max_factors.max(1));
+            let seasons = analysis.seasons();
+            if !seasons.is_empty() {
+                self.resolved_model = if seasons.len() == 1 {
+                    ModelSpec::HoltWinters {
+                        alpha: self.builder.hw_alpha,
+                        beta: self.builder.hw_beta,
+                        gamma: self.builder.hw_gamma,
+                        season: (seasons[0].period_units.round() as usize).max(2),
+                    }
+                } else {
+                    ModelSpec::MultiSeasonal {
+                        alpha: self.builder.hw_alpha,
+                        beta: self.builder.hw_beta,
+                        gamma: self.builder.hw_gamma,
+                        factors: seasons
+                            .iter()
+                            .map(|s| {
+                                SeasonalFactor::new(
+                                    (s.period_units.round() as usize).max(2),
+                                    s.weight,
+                                )
+                            })
+                            .collect(),
+                    }
+                };
+            }
+        }
+        let config: HhhConfig = self.builder.hhh_config(self.resolved_model.clone());
+        let tracker = match self.builder.algorithm {
+            Algorithm::Ada => {
+                Tracker::Ada(Box::new(Ada::with_history(config, &self.tree, &units)?))
+            }
+            Algorithm::Sta => {
+                let mut sta = Sta::new(config)?;
+                let mut padded = units;
+                for u in &mut padded {
+                    u.resize(self.tree.len(), 0.0);
+                    sta.push_timeunit(&self.tree, u);
+                }
+                Tracker::Sta(Box::new(sta))
+            }
+        };
+        self.state = State::Running { tracker };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TiresiasBuilder;
+
+    fn small_detector(warmup: usize) -> Tiresias {
+        TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(32)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(warmup)
+            .ref_levels(0)
+            .build()
+            .unwrap()
+    }
+
+    fn feed_unit(d: &mut Tiresias, unit: u64, path: &str, count: u64) {
+        for i in 0..count {
+            d.push(Record::new(path, unit * 900 + i)).unwrap();
+        }
+        d.advance_to((unit + 1) * 900).unwrap();
+    }
+
+    #[test]
+    fn warmup_then_detection() {
+        let mut d = small_detector(8);
+        for u in 0..8 {
+            feed_unit(&mut d, u, "TV/NoService", 10);
+        }
+        assert!(d.is_warmed_up());
+        assert!(d.anomalies().is_empty());
+        // Steady traffic: still nothing.
+        feed_unit(&mut d, 8, "TV/NoService", 10);
+        assert!(d.anomalies().is_empty());
+        // Burst: detected at the leaf.
+        feed_unit(&mut d, 9, "TV/NoService", 100);
+        assert_eq!(d.anomalies().len(), 1);
+        let e = &d.anomalies()[0];
+        assert_eq!(e.path.to_string(), "TV/NoService");
+        assert_eq!(e.unit, 9);
+        assert!(e.actual >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_records_are_rejected() {
+        let mut d = small_detector(2);
+        d.push(Record::new("a", 5000)).unwrap();
+        d.advance_to(9000).unwrap();
+        let err = d.push(Record::new("a", 100)).unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn gaps_produce_zero_units() {
+        let mut d = small_detector(2);
+        feed_unit(&mut d, 0, "a", 10);
+        feed_unit(&mut d, 1, "a", 10);
+        // Jump 5 units ahead: 4 empty units close silently.
+        d.push(Record::new("a", 6 * 900)).unwrap();
+        assert_eq!(d.units_processed(), 6);
+    }
+
+    #[test]
+    fn push_auto_advances_units() {
+        let mut d = small_detector(2);
+        d.push(Record::new("a", 0)).unwrap();
+        d.push(Record::new("a", 950)).unwrap(); // next unit
+        assert_eq!(d.units_processed(), 1);
+        assert_eq!(d.current_unit(), Some(1));
+    }
+
+    #[test]
+    fn ingest_unit_bulk_api() {
+        let mut d = small_detector(2);
+        let leaf = d.register_category("x/y");
+        let mut unit = vec![0.0; d.tree().len()];
+        unit[leaf.index()] = 10.0;
+        for _ in 0..4 {
+            let events = d.ingest_unit(&unit).unwrap();
+            assert!(events.is_empty());
+        }
+        let mut burst = unit.clone();
+        burst[leaf.index()] = 90.0;
+        let events = d.ingest_unit(&burst).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].node, leaf);
+    }
+
+    #[test]
+    fn mixing_apis_within_a_unit_is_rejected() {
+        let mut d = small_detector(2);
+        d.push(Record::new("a", 0)).unwrap();
+        assert!(d.ingest_unit(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn sta_algorithm_detects_too() {
+        let mut d = TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(16)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(8)
+            .algorithm(Algorithm::Sta)
+            .build()
+            .unwrap();
+        for u in 0..9 {
+            feed_unit(&mut d, u, "TV", 10);
+        }
+        feed_unit(&mut d, 9, "TV", 100);
+        assert_eq!(d.anomalies().len(), 1);
+    }
+
+    #[test]
+    fn new_categories_grow_the_tree() {
+        let mut d = small_detector(2);
+        feed_unit(&mut d, 0, "a/b", 6);
+        let before = d.tree().len();
+        feed_unit(&mut d, 1, "c/d/e", 6);
+        assert!(d.tree().len() > before);
+    }
+
+    #[test]
+    fn auto_seasonality_resolves_period() {
+        let mut d = TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(64)
+            .threshold(3.0)
+            .season_length(99) // wrong on purpose; auto should fix it
+            .auto_seasonality(1)
+            .warmup_units(48)
+            .build()
+            .unwrap();
+        let leaf = d.register_category("x");
+        // Period-8 pattern during warm-up.
+        for u in 0..48u64 {
+            let count = 10.0 + 8.0 * ((u % 8) as f64 / 8.0 * std::f64::consts::TAU).sin();
+            let mut unit = vec![0.0; d.tree().len()];
+            unit[leaf.index()] = count.max(0.0).round();
+            d.ingest_unit(&unit).unwrap();
+        }
+        assert!(d.is_warmed_up());
+        match d.model_spec() {
+            ModelSpec::HoltWinters { season, .. } => {
+                assert!((6..=10).contains(season), "detected season {season}");
+            }
+            other => panic!("expected single-season model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_visible_after_warmup() {
+        let mut d = small_detector(3);
+        for u in 0..5 {
+            feed_unit(&mut d, u, "hot/leaf", 20);
+        }
+        let hh = d.heavy_hitters();
+        assert!(!hh.is_empty());
+        let leaf = d.tree().find(&["hot", "leaf"]).unwrap();
+        assert!(hh.contains(&leaf));
+    }
+
+    #[test]
+    fn timings_track_stages() {
+        let mut d = small_detector(2);
+        for u in 0..6 {
+            feed_unit(&mut d, u, "a", 10);
+        }
+        let t = d.timings();
+        assert!(t.reading_traces > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use tiresias_hhh::HhhError;
+use tiresias_hierarchy::HierarchyError;
+
+/// Errors produced by the Tiresias detector.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The builder configuration was invalid.
+    InvalidConfig(String),
+    /// A record's timestamp fell before the currently open timeunit.
+    OutOfOrder {
+        /// The offending timestamp (seconds).
+        timestamp: u64,
+        /// Start of the currently open timeunit (seconds).
+        open_unit_start: u64,
+    },
+    /// An error bubbled up from the heavy hitter tracker.
+    Hhh(HhhError),
+    /// An error bubbled up from the hierarchy.
+    Hierarchy(HierarchyError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            CoreError::OutOfOrder { timestamp, open_unit_start } => write!(
+                f,
+                "record timestamp {timestamp} precedes the open timeunit starting at {open_unit_start}"
+            ),
+            CoreError::Hhh(e) => write!(f, "heavy hitter tracker error: {e}"),
+            CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Hhh(e) => Some(e),
+            CoreError::Hierarchy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HhhError> for CoreError {
+    fn from(e: HhhError) -> Self {
+        CoreError::Hhh(e)
+    }
+}
+
+impl From<HierarchyError> for CoreError {
+    fn from(e: HierarchyError) -> Self {
+        CoreError::Hierarchy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+        let e = CoreError::OutOfOrder { timestamp: 5, open_unit_start: 900 };
+        assert!(e.to_string().contains("900"));
+        let e = CoreError::from(HierarchyError::EmptyLabel);
+        assert!(e.source().is_some());
+    }
+}

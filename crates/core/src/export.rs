@@ -1,0 +1,131 @@
+//! Plain-text export of detected anomalies — the machine-readable side
+//! of the paper's report database (Fig. 3(f)), without pulling in a
+//! serialisation dependency.
+
+use std::fmt::Write as _;
+
+use crate::anomaly::AnomalyEvent;
+use crate::store::EventStore;
+
+/// CSV header matching [`events_to_csv`].
+pub const CSV_HEADER: &str = "unit,time_secs,level,path,kind,actual,forecast,ratio,excess";
+
+fn escape_csv(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises events to CSV (with header), one row per anomaly.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::{events_to_csv, AnomalyEvent, EventStore};
+/// use tiresias_hierarchy::Tree;
+///
+/// let mut tree = Tree::new("All");
+/// let n = tree.insert_path(&["TV"]);
+/// let mut store = EventStore::new();
+/// store.insert(AnomalyEvent {
+///     node: n,
+///     path: "TV".parse().unwrap(),
+///     level: 1,
+///     unit: 3,
+///     time_secs: 2700,
+///     actual: 42.0,
+///     forecast: 6.0,
+///     kind: tiresias_core::AnomalyKind::Spike,
+/// });
+/// let csv = events_to_csv(store.events());
+/// assert!(csv.lines().nth(1).unwrap().starts_with("3,2700,1,TV,spike,42"));
+/// ```
+pub fn events_to_csv(events: &[AnomalyEvent]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for e in events {
+        let ratio = if e.forecast > 0.0 {
+            format!("{:.4}", e.actual / e.forecast)
+        } else {
+            "inf".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.4},{:.4},{},{:.4}",
+            e.unit,
+            e.time_secs,
+            e.level,
+            escape_csv(&e.path.to_string()),
+            e.kind,
+            e.actual,
+            e.forecast,
+            ratio,
+            e.excess()
+        );
+    }
+    out
+}
+
+impl EventStore {
+    /// Serialises the whole store to CSV (see [`events_to_csv`]).
+    pub fn to_csv(&self) -> String {
+        events_to_csv(self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiresias_hierarchy::Tree;
+
+    fn event(path: &str, unit: u64) -> AnomalyEvent {
+        let mut tree = Tree::new("r");
+        let p: tiresias_hierarchy::CategoryPath = path.parse().unwrap();
+        let node = tree.insert_category(&p);
+        AnomalyEvent {
+            node,
+            path: p,
+            level: 1,
+            unit,
+            time_secs: unit * 900,
+            actual: 30.0,
+            forecast: 10.0,
+            kind: crate::anomaly::AnomalyKind::Spike,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = events_to_csv(&[event("a", 1), event("b", 2)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].contains(",a,"));
+        assert!(lines[2].contains(",b,"));
+    }
+
+    #[test]
+    fn commas_in_paths_are_quoted() {
+        let csv = events_to_csv(&[event("a,b", 1)]);
+        assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn zero_forecast_serialises_inf() {
+        let mut e = event("a", 1);
+        e.forecast = 0.0;
+        let csv = events_to_csv(&[e]);
+        assert!(csv.contains(",inf,"));
+    }
+
+    #[test]
+    fn store_to_csv_round_trip_count() {
+        let mut store = EventStore::new();
+        for u in 0..5 {
+            store.insert(event("x", u));
+        }
+        assert_eq!(store.to_csv().lines().count(), 6);
+    }
+}

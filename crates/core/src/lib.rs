@@ -1,0 +1,76 @@
+//! Tiresias — online anomaly detection for hierarchical operational
+//! network data (the end-to-end system of the paper's §IV, Fig. 3).
+//!
+//! The [`Tiresias`] detector consumes a stream of timestamped
+//! [`Record`]s whose categories live in an additive hierarchy, and:
+//!
+//! 1. classifies them into **timeunits** of size Δ on a sliding window of
+//!    ℓ units (Step 1),
+//! 2. tracks the **succinct hierarchical heavy hitters** and their time
+//!    series with the adaptive ADA algorithm (or the exact STA strawman)
+//!    — Step 2, §V,
+//! 3. optionally derives **seasonality** from the observed stream via
+//!    FFT + wavelet analysis during warm-up (Step 3, §VI),
+//! 4. forecasts each heavy hitter with an additive **Holt-Winters**
+//!    model and flags an anomaly when the observed count exceeds the
+//!    forecast by both a relative (`RT`) and an absolute (`DT`)
+//!    threshold (Steps 4–5, Definition 4),
+//! 5. records events in a queryable [`EventStore`] (Step 5's database +
+//!    front-end, reduced to a library API), and
+//! 6. keeps consuming new data online (Step 6).
+//!
+//! The crate also ships the **reference method** the paper compares
+//! against in §VII-B — [`ControlChartDetector`], a Shewhart control
+//! chart over first-level aggregates — plus the comparison metrics
+//! ([`ComparisonReport`], [`ConfusionCounts`]) used by Tables V and VI.
+//!
+//! # Example
+//!
+//! ```
+//! use tiresias_core::{Record, TiresiasBuilder};
+//!
+//! let mut detector = TiresiasBuilder::new()
+//!     .timeunit_secs(900)       // 15-minute units, as in the paper
+//!     .window_len(96)
+//!     .threshold(5.0)
+//!     .season_length(4)
+//!     .sensitivity(2.8, 8.0)    // the paper's RT and DT
+//!     .build()?;
+//!
+//! for t in 0..12u64 {
+//!     let burst = if t == 11 { 80 } else { 8 };
+//!     for i in 0..burst {
+//!         detector.push(Record::new("TV/No Service", t * 900 + i))?;
+//!     }
+//!     detector.advance_to((t + 1) * 900)?;
+//! }
+//! assert!(detector.anomalies().iter().any(|a| a.path.to_string() == "TV/No Service"));
+//! # Ok::<(), tiresias_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anomaly;
+mod builder;
+mod detector;
+mod error;
+mod export;
+mod metrics;
+mod record;
+mod reference_method;
+mod store;
+
+pub use anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
+pub use builder::{Algorithm, TiresiasBuilder};
+pub use detector::Tiresias;
+pub use error::CoreError;
+pub use export::{events_to_csv, CSV_HEADER};
+pub use metrics::{ComparisonReport, ConfusionCounts};
+pub use record::Record;
+pub use reference_method::{ControlChartConfig, ControlChartDetector};
+pub use store::EventStore;
+
+// Re-export the pieces callers need to configure the detector.
+pub use tiresias_hhh::{HhhConfig, MemoryReport, ModelSpec, SplitRule, StageTimings};
+pub use tiresias_timeseries::SeasonalFactor;

@@ -1,0 +1,241 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::CategoryPath;
+
+/// Standard confusion counts used when one detector serves as ground
+/// truth for another (the paper's Table V: ADA scored against STA).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Flagged by both.
+    pub true_positives: usize,
+    /// Flagged only by the candidate.
+    pub false_positives: usize,
+    /// Flagged only by the ground truth.
+    pub false_negatives: usize,
+    /// Flagged by neither.
+    pub true_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Accumulates one scored case.
+    pub fn record(&mut self, truth: bool, candidate: bool) {
+        match (truth, candidate) {
+            (true, true) => self.true_positives += 1,
+            (false, true) => self.false_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Total scored cases.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+
+    /// `(TP + TN) / total`, 1.0 when no cases were scored.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+        }
+    }
+
+    /// `TP / (TP + FP)`, 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`, 1.0 when the truth holds no positives.
+    pub fn recall(&self) -> f64 {
+        let truth = self.true_positives + self.false_negatives;
+        if truth == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / truth as f64
+        }
+    }
+}
+
+/// One located anomaly in the §VII-B comparison: where and when.
+pub type LocatedAnomaly = (CategoryPath, u64);
+
+/// The paper's §VII-B comparison of Tiresias against an incomplete
+/// reference anomaly set, with its location-cover semantics:
+///
+/// * **TA** (true alarm): a reference anomaly matched by a Tiresias
+///   anomaly in the same timeunit at the same node *or any descendant*
+///   (Tiresias locating the event with finer granularity still counts),
+/// * **MA** (missed anomaly): a reference anomaly with no such match,
+/// * **NA** (new anomaly): a Tiresias anomaly unrelated to every
+///   reference anomaly,
+/// * **TN** (true negative): an examined-but-unflagged case unrelated to
+///   every reference anomaly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Reference anomalies Tiresias confirmed (possibly deeper).
+    pub true_alarms: usize,
+    /// Reference anomalies Tiresias missed.
+    pub missed_anomalies: usize,
+    /// Tiresias anomalies unknown to the reference method.
+    pub new_anomalies: usize,
+    /// Unflagged cases unrelated to any reference anomaly.
+    pub true_negatives: usize,
+}
+
+impl ComparisonReport {
+    /// Scores Tiresias against a reference set.
+    ///
+    /// * `reference` — the reference anomalies (location, timeunit),
+    /// * `tiresias` — Tiresias' anomalies,
+    /// * `negatives` — the cases Tiresias examined but did not flag
+    ///   (heavy hitters without an alarm).
+    pub fn score(
+        reference: &[LocatedAnomaly],
+        tiresias: &[LocatedAnomaly],
+        negatives: &[LocatedAnomaly],
+    ) -> Self {
+        let covers = |r: &LocatedAnomaly, t: &LocatedAnomaly| -> bool {
+            r.1 == t.1 && r.0.is_ancestor_or_equal(&t.0)
+        };
+        let mut report = ComparisonReport::default();
+        for r in reference {
+            if tiresias.iter().any(|t| covers(r, t)) {
+                report.true_alarms += 1;
+            } else {
+                report.missed_anomalies += 1;
+            }
+        }
+        for t in tiresias {
+            if !reference.iter().any(|r| covers(r, t)) {
+                report.new_anomalies += 1;
+            }
+        }
+        for n in negatives {
+            if !reference.iter().any(|r| covers(r, n)) {
+                report.true_negatives += 1;
+            }
+        }
+        report
+    }
+
+    /// Type 1 — overall agreement:
+    /// `(TA + TN) / (TA + TN + MA + NA)`.
+    pub fn type1(&self) -> f64 {
+        let total =
+            self.true_alarms + self.true_negatives + self.missed_anomalies + self.new_anomalies;
+        if total == 0 {
+            1.0
+        } else {
+            (self.true_alarms + self.true_negatives) as f64 / total as f64
+        }
+    }
+
+    /// Type 2 — reference coverage: `TA / (TA + MA)`.
+    pub fn type2(&self) -> f64 {
+        let total = self.true_alarms + self.missed_anomalies;
+        if total == 0 {
+            1.0
+        } else {
+            self.true_alarms as f64 / total as f64
+        }
+    }
+
+    /// Type 3 — negative agreement: `TN / (TN + NA)`.
+    pub fn type3(&self) -> f64 {
+        let total = self.true_negatives + self.new_anomalies;
+        if total == 0 {
+            1.0
+        } else {
+            self.true_negatives as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> CategoryPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn confusion_scores() {
+        let mut c = ConfusionCounts::default();
+        c.record(true, true);
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_is_perfect() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn descendant_match_counts_as_true_alarm() {
+        // The reference saw the VHO; Tiresias localised the IO below it.
+        let reference = vec![(path("vho1"), 10u64)];
+        let tiresias = vec![(path("vho1/io3"), 10u64)];
+        let r = ComparisonReport::score(&reference, &tiresias, &[]);
+        assert_eq!(r.true_alarms, 1);
+        assert_eq!(r.missed_anomalies, 0);
+        assert_eq!(r.new_anomalies, 0);
+    }
+
+    #[test]
+    fn wrong_unit_or_branch_is_new_anomaly() {
+        let reference = vec![(path("vho1"), 10u64)];
+        let tiresias = vec![(path("vho1/io3"), 11u64), (path("vho2"), 10u64)];
+        let r = ComparisonReport::score(&reference, &tiresias, &[]);
+        assert_eq!(r.true_alarms, 0);
+        assert_eq!(r.missed_anomalies, 1);
+        assert_eq!(r.new_anomalies, 2);
+    }
+
+    #[test]
+    fn negatives_related_to_reference_are_not_true_negatives() {
+        let reference = vec![(path("vho1"), 10u64)];
+        let negatives = vec![(path("vho1/io1"), 10u64), (path("vho2"), 10u64)];
+        let r = ComparisonReport::score(&reference, &[], &negatives);
+        // vho1/io1 is covered by the reference anomaly → not a TN.
+        assert_eq!(r.true_negatives, 1);
+        assert_eq!(r.missed_anomalies, 1);
+    }
+
+    #[test]
+    fn type_metrics_match_formulas() {
+        let r = ComparisonReport {
+            true_alarms: 10,
+            missed_anomalies: 1,
+            new_anomalies: 2,
+            true_negatives: 30,
+        };
+        assert!((r.type1() - 40.0 / 43.0).abs() < 1e-12);
+        assert!((r.type2() - 10.0 / 11.0).abs() < 1e-12);
+        assert!((r.type3() - 30.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_perfect() {
+        let r = ComparisonReport::default();
+        assert_eq!(r.type1(), 1.0);
+        assert_eq!(r.type2(), 1.0);
+        assert_eq!(r.type3(), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::CategoryPath;
+
+/// One operational record: a hierarchical category plus the time it was
+/// logged — the paper's stream element `s_i = (k_i, t_i)` (§III).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::Record;
+///
+/// let r = Record::new("TV/TV No Service/No Pic No Sound", 1_275_380_000);
+/// assert_eq!(r.path.depth(), 3);
+/// assert_eq!(r.timestamp_secs, 1_275_380_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Category path within the additive hierarchy (a leaf for
+    /// well-formed operational data).
+    pub path: CategoryPath,
+    /// Record time in seconds (epoch of the caller's choosing).
+    pub timestamp_secs: u64,
+}
+
+impl Record {
+    /// Creates a record from a `/`-separated category string.
+    pub fn new(path: &str, timestamp_secs: u64) -> Self {
+        Record {
+            path: path.parse().expect("category paths parse infallibly"),
+            timestamp_secs,
+        }
+    }
+
+    /// Creates a record from an existing [`CategoryPath`].
+    pub fn from_path(path: CategoryPath, timestamp_secs: u64) -> Self {
+        Record { path, timestamp_secs }
+    }
+
+    /// The timeunit this record falls into for unit size `delta_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_secs` is zero.
+    pub fn unit(&self, delta_secs: u64) -> u64 {
+        assert!(delta_secs > 0, "timeunit size must be positive");
+        self.timestamp_secs / delta_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_classification() {
+        let r = Record::new("a/b", 1800);
+        assert_eq!(r.unit(900), 2);
+        assert_eq!(r.unit(3600), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_panics() {
+        Record::new("a", 0).unit(0);
+    }
+
+    #[test]
+    fn from_path_round_trip() {
+        let p: CategoryPath = "x/y".parse().unwrap();
+        let r = Record::from_path(p.clone(), 7);
+        assert_eq!(r.path, p);
+    }
+}

@@ -1,0 +1,209 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::CategoryPath;
+
+use crate::anomaly::AnomalyEvent;
+
+/// Queryable store of detected anomalies — the library-API substitute
+/// for the paper's report database and Web front-end (Fig. 3(f)).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::{AnomalyEvent, EventStore};
+/// use tiresias_hierarchy::Tree;
+///
+/// let mut tree = Tree::new("All");
+/// let vho = tree.insert_path(&["VHO-1"]);
+/// let mut store = EventStore::new();
+/// store.insert(AnomalyEvent {
+///     node: vho,
+///     path: "VHO-1".parse().unwrap(),
+///     level: 1,
+///     unit: 10,
+///     time_secs: 9000,
+///     actual: 60.0,
+///     forecast: 10.0,
+///     kind: tiresias_core::AnomalyKind::Spike,
+/// });
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.in_time_range(9, 11).count(), 1);
+/// let prefix: tiresias_hierarchy::CategoryPath = "VHO-1".parse().unwrap();
+/// assert_eq!(store.under(&prefix).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventStore {
+    events: Vec<AnomalyEvent>,
+}
+
+impl EventStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EventStore { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn insert(&mut self, event: AnomalyEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in insertion (time) order.
+    pub fn events(&self) -> &[AnomalyEvent] {
+        &self.events
+    }
+
+    /// Events whose timeunit lies in `[from_unit, to_unit)`.
+    pub fn in_time_range(&self, from_unit: u64, to_unit: u64) -> impl Iterator<Item = &AnomalyEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.unit >= from_unit && e.unit < to_unit)
+    }
+
+    /// Events at or under the given category prefix (the drill-down
+    /// query an operator runs on a suspicious region).
+    pub fn under<'a>(
+        &'a self,
+        prefix: &'a CategoryPath,
+    ) -> impl Iterator<Item = &'a AnomalyEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| prefix.is_ancestor_or_equal(&e.path))
+    }
+
+    /// Events at an exact hierarchy level (1 = first level below the
+    /// root).
+    pub fn at_level(&self, level: usize) -> impl Iterator<Item = &AnomalyEvent> {
+        self.events.iter().filter(move |e| e.level == level)
+    }
+
+    /// Removes events that have an ancestor event in the same timeunit
+    /// (the "simple data aggregation" the paper applies to new-anomaly
+    /// cases in §VII-B), returning the number removed.
+    pub fn dedup_ancestors(&mut self) -> usize {
+        let before = self.events.len();
+        let events = std::mem::take(&mut self.events);
+        let kept: Vec<AnomalyEvent> = events
+            .iter()
+            .filter(|e| {
+                !events.iter().any(|other| {
+                    other.unit == e.unit
+                        && other.path != e.path
+                        && e.path.is_ancestor_or_equal(&other.path)
+                })
+            })
+            .cloned()
+            .collect();
+        self.events = kept;
+        before - self.events.len()
+    }
+
+    /// Iterates over all events.
+    pub fn iter(&self) -> std::slice::Iter<'_, AnomalyEvent> {
+        self.events.iter()
+    }
+}
+
+impl Extend<AnomalyEvent> for EventStore {
+    fn extend<I: IntoIterator<Item = AnomalyEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStore {
+    type Item = &'a AnomalyEvent;
+    type IntoIter = std::slice::Iter<'a, AnomalyEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiresias_hierarchy::Tree;
+
+    fn event(tree: &mut Tree, path: &str, unit: u64) -> AnomalyEvent {
+        let p: CategoryPath = path.parse().unwrap();
+        let node = tree.insert_category(&p);
+        AnomalyEvent {
+            node,
+            path: p,
+            level: path.split('/').count(),
+            unit,
+            time_secs: unit * 900,
+            actual: 50.0,
+            forecast: 5.0,
+            kind: crate::anomaly::AnomalyKind::Spike,
+        }
+    }
+
+    #[test]
+    fn time_range_query() {
+        let mut t = Tree::new("r");
+        let mut s = EventStore::new();
+        for u in 0..10 {
+            s.insert(event(&mut t, "a", u));
+        }
+        assert_eq!(s.in_time_range(3, 6).count(), 3);
+        assert_eq!(s.in_time_range(10, 20).count(), 0);
+    }
+
+    #[test]
+    fn prefix_query_covers_descendants() {
+        let mut t = Tree::new("r");
+        let mut s = EventStore::new();
+        s.insert(event(&mut t, "vho1/io2", 1));
+        s.insert(event(&mut t, "vho1", 2));
+        s.insert(event(&mut t, "vho2", 3));
+        let prefix: CategoryPath = "vho1".parse().unwrap();
+        assert_eq!(s.under(&prefix).count(), 2);
+        let root = CategoryPath::root();
+        assert_eq!(s.under(&root).count(), 3);
+    }
+
+    #[test]
+    fn level_query() {
+        let mut t = Tree::new("r");
+        let mut s = EventStore::new();
+        s.insert(event(&mut t, "a", 1));
+        s.insert(event(&mut t, "a/b", 1));
+        s.insert(event(&mut t, "a/b/c", 1));
+        assert_eq!(s.at_level(1).count(), 1);
+        assert_eq!(s.at_level(2).count(), 1);
+        assert_eq!(s.at_level(9).count(), 0);
+    }
+
+    #[test]
+    fn dedup_keeps_most_specific() {
+        let mut t = Tree::new("r");
+        let mut s = EventStore::new();
+        s.insert(event(&mut t, "a", 1)); // ancestor of a/b at same unit
+        s.insert(event(&mut t, "a/b", 1));
+        s.insert(event(&mut t, "a", 2)); // different unit: kept
+        let removed = s.dedup_ancestors();
+        assert_eq!(removed, 1);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|e| e.path.to_string() == "a/b"));
+        assert!(s.iter().any(|e| e.unit == 2));
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut t = Tree::new("r");
+        let mut s = EventStore::new();
+        s.extend([event(&mut t, "a", 1), event(&mut t, "b", 2)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+    }
+}

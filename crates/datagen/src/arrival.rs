@@ -1,0 +1,162 @@
+use serde::{Deserialize, Serialize};
+
+/// Deterministic seasonal arrival-rate model (records per timeunit).
+///
+/// Reproduces the shape the paper measures on operational data (§II-B,
+/// Fig. 2): a diurnal pattern peaking around 4 PM with a 4 AM trough,
+/// overlaid with a weekly pattern that damps weekends (strong in CCD —
+/// people call support during business days — and weak in SCD).
+///
+/// The instantaneous rate is
+/// `base · diurnal(t) · weekly(t)`, where both factors are smooth,
+/// strictly positive multipliers. Randomness (Poisson sampling, noise)
+/// is applied by [`crate::Workload`] on top of this deterministic curve.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_datagen::ArrivalModel;
+///
+/// let m = ArrivalModel::ccd(100.0);
+/// let peak = m.rate_at(16 * 3600);        // 4 PM, day 0 (a Monday)
+/// let trough = m.rate_at(4 * 3600);       // 4 AM
+/// assert!(peak / trough > 5.0, "pronounced diurnal swing");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Mean records per timeunit at a neutral (multiplier = 1) moment.
+    pub base_rate: f64,
+    /// Diurnal swing in `[0, 1)`: 0 = flat, →1 = extreme peak/trough
+    /// ratio.
+    pub diurnal_amp: f64,
+    /// Weekend damping in `[0, 1)`: weekend rate ≈ `(1 − weekly_amp)` of
+    /// a weekday.
+    pub weekly_amp: f64,
+    /// Hour of the daily peak (the paper observes ≈ 16).
+    pub peak_hour: f64,
+}
+
+const DAY_SECS: f64 = 86_400.0;
+const WEEK_SECS: f64 = 7.0 * 86_400.0;
+
+impl ArrivalModel {
+    /// CCD-like configuration: strong diurnal and clear weekly pattern.
+    pub fn ccd(base_rate: f64) -> Self {
+        ArrivalModel { base_rate, diurnal_amp: 0.75, weekly_amp: 0.45, peak_hour: 16.0 }
+    }
+
+    /// SCD-like configuration: visible diurnal pattern, weak weekly
+    /// pattern, lower variance overall.
+    pub fn scd(base_rate: f64) -> Self {
+        ArrivalModel { base_rate, diurnal_amp: 0.45, weekly_amp: 0.10, peak_hour: 16.0 }
+    }
+
+    /// Flat configuration with no seasonality (useful in tests).
+    pub fn flat(base_rate: f64) -> Self {
+        ArrivalModel { base_rate, diurnal_amp: 0.0, weekly_amp: 0.0, peak_hour: 16.0 }
+    }
+
+    /// Diurnal multiplier at `t` seconds since the epoch of the trace
+    /// (t = 0 is midnight starting a Monday).
+    pub fn diurnal_multiplier(&self, t_secs: u64) -> f64 {
+        let hour = (t_secs as f64 % DAY_SECS) / 3600.0;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        1.0 + self.diurnal_amp * phase.cos()
+    }
+
+    /// Weekly multiplier; days 5 and 6 (Saturday, Sunday) are damped
+    /// with smooth shoulders.
+    pub fn weekly_multiplier(&self, t_secs: u64) -> f64 {
+        let day = (t_secs as f64 % WEEK_SECS) / DAY_SECS; // 0 = Monday
+        // Smooth bump centred on the weekend (day 5.5 ± 1).
+        let dist = (day - 5.5).abs();
+        let damp = if dist < 1.0 {
+            1.0 - self.weekly_amp * (0.5 + 0.5 * (dist * std::f64::consts::PI).cos())
+        } else {
+            1.0
+        };
+        damp
+    }
+
+    /// Mean arrivals per timeunit at time `t_secs`.
+    pub fn rate_at(&self, t_secs: u64) -> f64 {
+        self.base_rate * self.diurnal_multiplier(t_secs) * self.weekly_multiplier(t_secs)
+    }
+}
+
+impl Default for ArrivalModel {
+    fn default() -> Self {
+        ArrivalModel::ccd(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_at_configured_hour() {
+        let m = ArrivalModel::ccd(10.0);
+        let peak = m.rate_at(16 * 3600);
+        for h in [0u64, 4, 8, 12, 20] {
+            assert!(m.rate_at(h * 3600) <= peak + 1e-9, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn trough_is_opposite_the_peak() {
+        let m = ArrivalModel::ccd(10.0);
+        let trough = m.rate_at(4 * 3600);
+        for h in [0u64, 8, 12, 16, 20] {
+            assert!(m.rate_at(h * 3600) >= trough - 1e-9, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn weekend_is_damped_for_ccd() {
+        let m = ArrivalModel::ccd(10.0);
+        let monday_noon = m.rate_at(12 * 3600);
+        let saturday_noon = m.rate_at((5 * 24 + 12) * 3600);
+        assert!(saturday_noon < monday_noon * 0.75);
+    }
+
+    #[test]
+    fn scd_weekly_pattern_is_weak() {
+        let m = ArrivalModel::scd(10.0);
+        let monday_noon = m.rate_at(12 * 3600);
+        let saturday_noon = m.rate_at((5 * 24 + 12) * 3600);
+        assert!(saturday_noon > monday_noon * 0.85);
+    }
+
+    #[test]
+    fn rates_are_strictly_positive() {
+        for m in [ArrivalModel::ccd(5.0), ArrivalModel::scd(5.0), ArrivalModel::flat(5.0)] {
+            for t in (0..WEEK_SECS as u64).step_by(3600) {
+                assert!(m.rate_at(t) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_model_is_constant() {
+        let m = ArrivalModel::flat(7.0);
+        for t in (0..WEEK_SECS as u64).step_by(1800) {
+            assert!((m.rate_at(t) - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn volatility_ratio_is_pronounced() {
+        // The paper reports a 90th/10th percentile ratio around 35 for the
+        // CCD root; our deterministic curve (before Poisson noise) should
+        // already show a large swing.
+        let m = ArrivalModel::ccd(100.0);
+        let mut rates: Vec<f64> = (0..7 * 96)
+            .map(|u| m.rate_at(u * 900))
+            .collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p10 = rates[rates.len() / 10];
+        let p90 = rates[rates.len() * 9 / 10];
+        assert!(p90 / p10 > 3.0, "p90/p10 = {}", p90 / p10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic operational-data generators for Tiresias.
+//!
+//! The paper evaluates Tiresias on two proprietary datasets from a Tier-1
+//! US broadband provider: customer care call records (**CCD**) and
+//! set-top-box crash logs (**SCD**). Those traces are not available, so
+//! this crate builds statistically matched substitutes that reproduce
+//! every property the paper's algorithms are sensitive to (§II):
+//!
+//! * **hierarchy shape** — per-level fan-outs from Table II
+//!   ([`ccd_trouble_spec`], [`ccd_location_spec`], [`scd_location_spec`]),
+//! * **first-level category mix** — Table I's ticket distribution
+//!   ([`CCD_TICKET_MIX`]),
+//! * **sparsity & heavy tail** — Zipf-distributed leaf popularity, so
+//!   low-level nodes are empty most timeunits while localized bursts
+//!   occur (Fig. 1),
+//! * **volatility & seasonality** — a diurnal rate curve peaking at 4 PM
+//!   with a 4 AM trough, a weekly factor damping weekends, and Poisson
+//!   arrivals on top ([`ArrivalModel`], Fig. 2),
+//! * **anomalies** — injected spikes at chosen nodes/levels with exact
+//!   ground truth ([`InjectedAnomaly`]), replacing the ISP's verified
+//!   reference set.
+//!
+//! # Example
+//!
+//! ```
+//! use tiresias_datagen::{ArrivalModel, Workload, WorkloadConfig};
+//! use tiresias_hierarchy::HierarchySpec;
+//!
+//! let tree = HierarchySpec::new("All").level("VHO", 4).level("IO", 3).build()?;
+//! let config = WorkloadConfig::default();
+//! let mut w = Workload::new(tree, config, 42);
+//! let unit = w.generate_unit(0);
+//! assert_eq!(unit.len(), w.tree().len());
+//! # Ok::<(), tiresias_hierarchy::HierarchyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod inject;
+mod rand_util;
+mod specs;
+mod workload;
+
+pub use arrival::ArrivalModel;
+pub use inject::InjectedAnomaly;
+pub use rand_util::poisson;
+pub use specs::{
+    ccd_location_spec, ccd_trouble_spec, ccd_trouble_tree_with_mix, scd_location_spec,
+    CCD_TICKET_MIX,
+};
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,126 @@
+use rand::Rng;
+
+/// Draws a Poisson-distributed count with mean `lambda`.
+///
+/// Knuth's product method is used for small means; for `lambda > 30` a
+/// normal approximation (`N(λ, λ)`, rounded and clamped at zero) keeps
+/// the draw O(1) — the tails that approximation misses are irrelevant at
+/// those rates.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = tiresias_datagen::poisson(&mut rng, 4.0);
+/// assert!(x < 100);
+/// ```
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Box-Muller normal approximation.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let x = lambda + lambda.sqrt() * z;
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Zipf-like popularity weights for `n` items with exponent `s`,
+/// normalised to sum to 1. Item `i` gets weight ∝ `1/(i+1)^s`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf weights need at least one item");
+    let raw: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Draws an index from a discrete distribution given by cumulative
+/// weights (must be non-decreasing, last element = total mass).
+pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty cumulative weights");
+    let x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    cumulative.partition_point(|&c| c <= x).min(cumulative.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close_for_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| poisson(&mut rng, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close_for_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| poisson(&mut rng, 120.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 120.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one_and_decay() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // Heavy head: top item much more popular than the tail.
+        assert!(w[0] / w[99] > 50.0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_cumulative_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Mass 0.9 on index 0, 0.1 on index 1.
+        let cumulative = [0.9, 1.0];
+        let n = 10_000;
+        let ones = (0..n)
+            .filter(|_| sample_cumulative(&mut rng, &cumulative) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+    }
+}

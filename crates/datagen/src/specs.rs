@@ -1,0 +1,163 @@
+use tiresias_hierarchy::{HierarchySpec, Tree};
+
+/// The paper's Table I: distribution of CCD customer tickets over the
+/// first-level trouble categories, in percent.
+pub const CCD_TICKET_MIX: [(&str, f64); 7] = [
+    ("TV", 39.59),
+    ("All Products", 26.71),
+    ("Internet", 10.04),
+    ("Wireless", 9.26),
+    ("Phone", 8.46),
+    ("Email", 3.59),
+    ("Remote Control", 2.35),
+];
+
+/// CCD trouble-description hierarchy (Table II): depth 5 with typical
+/// degrees 9 / 6 / 3 / 5 below the root.
+///
+/// Pass `scale` in `(0, 1]` to shrink the first-level fan-outs for quick
+/// tests; `1.0` reproduces the paper's dimensions (≈ 1 000 leaves).
+pub fn ccd_trouble_spec(scale: f64) -> HierarchySpec {
+    let s = scale.clamp(0.05, 1.0);
+    HierarchySpec::new("Trouble")
+        .level("Cat", ((9.0 * s).round() as usize).max(2))
+        .level("Sub", ((6.0 * s).round() as usize).max(2))
+        .level("Symptom", 3)
+        .level("Action", 5)
+}
+
+/// CCD network-path hierarchy (Table II): depth 5 with typical degrees
+/// 61 / 5 / 6 / 24 below the SHO root (≈ 44 000 DSLAM leaves at full
+/// scale).
+pub fn ccd_location_spec(scale: f64) -> HierarchySpec {
+    let s = scale.clamp(0.02, 1.0);
+    HierarchySpec::new("SHO")
+        .level("VHO", ((61.0 * s).round() as usize).max(2))
+        .level("IO", 5)
+        .level("CO", 6)
+        .level("DSLAM", ((24.0 * s).round() as usize).max(2))
+}
+
+/// SCD network-path hierarchy (Table II): depth 4 with typical degrees
+/// 2 000 / 30 / 6 below the national root. Full scale yields ≈ 360 000
+/// STB leaves; use a smaller `scale` for interactive work.
+pub fn scd_location_spec(scale: f64) -> HierarchySpec {
+    let s = scale.clamp(0.001, 1.0);
+    // Only the huge first-level fan-out scales; deeper degrees keep the
+    // paper's shape so per-branch behaviour is unchanged.
+    HierarchySpec::new("National")
+        .level("CO", ((2000.0 * s).round() as usize).max(2))
+        .level("DSLAM", 30)
+        .level("STB", 6)
+}
+
+/// Builds the CCD trouble tree and the per-leaf popularity mass that
+/// reproduces Table I's first-level ticket mix.
+///
+/// The returned weights are indexed by [`tiresias_hierarchy::NodeId`]
+/// (non-leaf slots are zero) and sum to 1. Within a first-level
+/// category the mass is spread Zipf-like over its leaves.
+pub fn ccd_trouble_tree_with_mix(scale: f64) -> (Tree, Vec<f64>) {
+    let tree = ccd_trouble_spec(scale)
+        .build()
+        .expect("static spec is valid");
+    let mut weights = vec![0.0; tree.len()];
+    let top: Vec<_> = tree.children(tree.root()).to_vec();
+    // Table I covers 7 named categories; remaining top-level nodes share
+    // the unnamed residual mass equally.
+    let named_total: f64 = CCD_TICKET_MIX.iter().map(|(_, p)| p).sum();
+    let residual = (100.0 - named_total).max(0.0);
+    let extra = top.len().saturating_sub(CCD_TICKET_MIX.len());
+    for (i, &cat) in top.iter().enumerate() {
+        let share = if i < CCD_TICKET_MIX.len() {
+            CCD_TICKET_MIX[i].1
+        } else {
+            residual / extra.max(1) as f64
+        } / 100.0;
+        let leaves: Vec<_> = tree
+            .subtree(cat)
+            .filter(|&n| tree.is_leaf(n))
+            .collect();
+        let zipf = crate::rand_util::zipf_weights(leaves.len(), 0.8);
+        for (&leaf, w) in leaves.iter().zip(zipf.iter()) {
+            weights[leaf.index()] = share * w;
+        }
+    }
+    // Normalise (guards the scaled-down case where categories shrank).
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        weights.iter_mut().for_each(|w| *w /= total);
+    }
+    (tree, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table_ii() {
+        let t = ccd_trouble_spec(1.0).build().unwrap();
+        assert_eq!(t.max_depth(), 4);
+        assert_eq!(t.typical_degree(0), Some(9.0));
+        assert_eq!(t.typical_degree(1), Some(6.0));
+        assert_eq!(t.typical_degree(2), Some(3.0));
+        assert_eq!(t.typical_degree(3), Some(5.0));
+
+        let loc = ccd_location_spec(1.0).build().unwrap();
+        assert_eq!(loc.typical_degree(0), Some(61.0));
+        assert_eq!(loc.typical_degree(3), Some(24.0));
+    }
+
+    #[test]
+    fn scd_spec_shape() {
+        let t = scd_location_spec(0.01).build().unwrap();
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.typical_degree(0), Some(20.0));
+        assert_eq!(t.typical_degree(1), Some(30.0)); // paper's 30 kept
+    }
+
+    #[test]
+    fn scaling_shrinks_but_preserves_depth() {
+        let t = ccd_location_spec(0.1).build().unwrap();
+        assert_eq!(t.max_depth(), 4);
+        assert!(t.len() < ccd_location_spec(1.0).node_count());
+    }
+
+    #[test]
+    fn ticket_mix_sums_to_100() {
+        let total: f64 = CCD_TICKET_MIX.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 0.5, "total {total}");
+    }
+
+    #[test]
+    fn mix_weights_reproduce_table_i_shares() {
+        let (tree, weights) = ccd_trouble_tree_with_mix(1.0);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Per-category share = sum over its leaves.
+        let top = tree.children(tree.root()).to_vec();
+        let tv_share: f64 = tree
+            .subtree(top[0])
+            .filter(|&n| tree.is_leaf(n))
+            .map(|n| weights[n.index()])
+            .sum();
+        assert!((tv_share - 0.3959).abs() < 0.01, "TV share {tv_share}");
+        // TV outweighs Remote Control by the Table-I ratio.
+        let rc_share: f64 = tree
+            .subtree(top[6])
+            .filter(|&n| tree.is_leaf(n))
+            .map(|n| weights[n.index()])
+            .sum();
+        assert!(tv_share / rc_share > 10.0);
+    }
+
+    #[test]
+    fn weights_live_only_on_leaves() {
+        let (tree, weights) = ccd_trouble_tree_with_mix(0.5);
+        for n in tree.iter() {
+            if !tree.is_leaf(n) {
+                assert_eq!(weights[n.index()], 0.0);
+            }
+        }
+    }
+}

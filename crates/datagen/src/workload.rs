@@ -1,0 +1,365 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::{NodeId, Tree};
+
+use crate::arrival::ArrivalModel;
+use crate::inject::InjectedAnomaly;
+use crate::rand_util::{poisson, sample_cumulative, zipf_weights};
+
+/// Configuration of a synthetic operational workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Timeunit size Δ in seconds (the paper uses 900 = 15 minutes).
+    pub timeunit_secs: u64,
+    /// Seasonal arrival-rate curve.
+    pub arrival: ArrivalModel,
+    /// Zipf exponent of the leaf-popularity distribution; larger values
+    /// concentrate mass on fewer leaves (sparser low levels).
+    pub zipf_exponent: f64,
+    /// Standard deviation of a lognormal per-unit rate perturbation, in
+    /// log space. Adds the super-Poisson volatility the paper observes;
+    /// 0 disables it.
+    pub noise_sigma: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            timeunit_secs: 900,
+            arrival: ArrivalModel::ccd(200.0),
+            zipf_exponent: 1.0,
+            noise_sigma: 0.2,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// CCD-flavoured workload: strong diurnal + weekly seasonality,
+    /// pronounced volatility.
+    pub fn ccd(base_rate: f64) -> Self {
+        WorkloadConfig {
+            timeunit_secs: 900,
+            arrival: ArrivalModel::ccd(base_rate),
+            zipf_exponent: 1.0,
+            noise_sigma: 0.25,
+        }
+    }
+
+    /// SCD-flavoured workload: daily seasonality only, lower variance.
+    pub fn scd(base_rate: f64) -> Self {
+        WorkloadConfig {
+            timeunit_secs: 900,
+            arrival: ArrivalModel::scd(base_rate),
+            zipf_exponent: 0.8,
+            noise_sigma: 0.1,
+        }
+    }
+}
+
+/// A reproducible synthetic operational-data stream over a hierarchy.
+///
+/// Each timeunit's records are drawn as `Poisson(rate(t) · noise)` total
+/// arrivals, assigned to leaves by a Zipf popularity distribution, plus
+/// any [`InjectedAnomaly`] mass whose span covers the unit. The
+/// generator is deterministic for a given seed, so experiments comparing
+/// algorithms replay identical streams.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_datagen::{Workload, WorkloadConfig};
+/// use tiresias_hierarchy::HierarchySpec;
+///
+/// let tree = HierarchySpec::new("All").level("A", 3).level("B", 4).build()?;
+/// let mut w = Workload::new(tree, WorkloadConfig::default(), 7);
+/// let units = w.generate_units(0, 4);
+/// assert_eq!(units.len(), 4);
+/// // Two workloads with the same seed produce the same stream.
+/// let mut w2 = Workload::new(w.tree().clone(), WorkloadConfig::default(), 7);
+/// assert_eq!(w2.generate_units(0, 4), units);
+/// # Ok::<(), tiresias_hierarchy::HierarchyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    tree: Tree,
+    config: WorkloadConfig,
+    leaves: Vec<NodeId>,
+    /// Cumulative leaf popularity for O(log n) sampling.
+    cumulative: Vec<f64>,
+    anomalies: Vec<InjectedAnomaly>,
+    seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload over `tree` with Zipf-shuffled leaf
+    /// popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has no leaves besides the root.
+    pub fn new(tree: Tree, config: WorkloadConfig, seed: u64) -> Self {
+        let leaves: Vec<NodeId> = tree.iter().filter(|&n| tree.is_leaf(n) && n != tree.root()).collect();
+        assert!(!leaves.is_empty(), "workload needs at least one leaf category");
+        let mut weights = zipf_weights(leaves.len(), config.zipf_exponent);
+        // Shuffle deterministically so popularity is not correlated with
+        // sibling order.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_1234);
+        for i in (1..weights.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Workload { tree, config, leaves, cumulative, anomalies: Vec::new(), seed }
+    }
+
+    /// Creates a workload with explicit per-node popularity mass
+    /// (e.g. from [`crate::ccd_trouble_tree_with_mix`]). Only leaf slots
+    /// may carry mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is shorter than the tree or carries no mass.
+    pub fn with_popularity(tree: Tree, config: WorkloadConfig, mass: &[f64], seed: u64) -> Self {
+        assert!(mass.len() >= tree.len(), "popularity must cover the tree");
+        let leaves: Vec<NodeId> = tree
+            .iter()
+            .filter(|&n| tree.is_leaf(n) && mass[n.index()] > 0.0)
+            .collect();
+        assert!(!leaves.is_empty(), "popularity mass is empty");
+        let mut cumulative = Vec::with_capacity(leaves.len());
+        let mut acc = 0.0;
+        for &l in &leaves {
+            acc += mass[l.index()];
+            cumulative.push(acc);
+        }
+        Workload { tree, config, leaves, cumulative, anomalies: Vec::new(), seed }
+    }
+
+    /// Registers an injected anomaly (may be called repeatedly).
+    pub fn inject(&mut self, anomaly: InjectedAnomaly) -> &mut Self {
+        self.anomalies.push(anomaly);
+        self
+    }
+
+    /// The hierarchy this workload generates over.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The registered ground-truth anomalies.
+    pub fn anomalies(&self) -> &[InjectedAnomaly] {
+        &self.anomalies
+    }
+
+    /// The deterministic mean arrival rate at `unit` (before noise and
+    /// injections).
+    pub fn rate_at_unit(&self, unit: u64) -> f64 {
+        self.config.arrival.rate_at(unit * self.config.timeunit_secs)
+    }
+
+    /// Generates the dense direct-count vector of one timeunit
+    /// (indexed by [`NodeId::index`]; only leaf slots are non-zero).
+    ///
+    /// Generation is independent per unit (seeded by `(seed, unit)`), so
+    /// units can be produced in any order and reproduce exactly.
+    pub fn generate_unit(&self, unit: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ unit);
+        let mut counts = vec![0.0; self.tree.len()];
+        // Baseline seasonal arrivals.
+        let mut rate = self.rate_at_unit(unit);
+        if self.config.noise_sigma > 0.0 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            rate *= (self.config.noise_sigma * z).exp();
+        }
+        let n = poisson(&mut rng, rate);
+        for _ in 0..n {
+            let leaf = self.leaves[sample_cumulative(&mut rng, &self.cumulative)];
+            counts[leaf.index()] += 1.0;
+        }
+        // Injected anomaly mass.
+        for a in &self.anomalies {
+            if !a.covers_unit(unit) {
+                continue;
+            }
+            let extra = poisson(&mut rng, a.extra_per_unit);
+            let targets: Vec<NodeId> = self
+                .tree
+                .subtree(a.node)
+                .filter(|&d| self.tree.is_leaf(d))
+                .collect();
+            if targets.is_empty() {
+                counts[a.node.index()] += extra as f64;
+            } else {
+                for _ in 0..extra {
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    counts[t.index()] += 1.0;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Generates `n` consecutive timeunits starting at `start`.
+    pub fn generate_units(&self, start: u64, n: usize) -> Vec<Vec<f64>> {
+        (0..n as u64).map(|i| self.generate_unit(start + i)).collect()
+    }
+
+    /// Generates individual `(leaf, timestamp_secs)` records for one
+    /// timeunit — the record-level view used by the streaming examples.
+    /// Timestamps are uniform within the unit.
+    pub fn generate_records(&self, unit: u64) -> Vec<(NodeId, u64)> {
+        let counts = self.generate_unit(unit);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0xd134_2543_de82_ef95) ^ unit);
+        let base = unit * self.config.timeunit_secs;
+        let mut records = Vec::new();
+        for n in self.tree.iter() {
+            for _ in 0..counts[n.index()] as u64 {
+                records.push((n, base + rng.gen_range(0..self.config.timeunit_secs)));
+            }
+        }
+        records.sort_by_key(|&(_, t)| t);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiresias_hierarchy::HierarchySpec;
+
+    fn small_tree() -> Tree {
+        HierarchySpec::new("All")
+            .level("A", 4)
+            .level("B", 5)
+            .build()
+            .unwrap()
+    }
+
+    fn flat_config(rate: f64) -> WorkloadConfig {
+        WorkloadConfig {
+            timeunit_secs: 900,
+            arrival: ArrivalModel::flat(rate),
+            zipf_exponent: 1.0,
+            noise_sigma: 0.0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w1 = Workload::new(small_tree(), WorkloadConfig::default(), 99);
+        let w2 = Workload::new(small_tree(), WorkloadConfig::default(), 99);
+        assert_eq!(w1.generate_unit(5), w2.generate_unit(5));
+        let w3 = Workload::new(small_tree(), WorkloadConfig::default(), 100);
+        assert_ne!(w1.generate_unit(5), w3.generate_unit(5));
+    }
+
+    #[test]
+    fn units_are_independent_of_generation_order() {
+        let w = Workload::new(small_tree(), WorkloadConfig::default(), 1);
+        let early_then_late = (w.generate_unit(3), w.generate_unit(10));
+        let late_then_early = (w.generate_unit(10), w.generate_unit(3));
+        assert_eq!(early_then_late.0, late_then_early.1);
+        assert_eq!(early_then_late.1, late_then_early.0);
+    }
+
+    #[test]
+    fn mean_count_tracks_rate() {
+        let w = Workload::new(small_tree(), flat_config(50.0), 2);
+        let total: f64 = (0..200)
+            .map(|u| w.generate_unit(u).iter().sum::<f64>())
+            .sum();
+        let mean = total / 200.0;
+        assert!((mean - 50.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn counts_only_on_leaves() {
+        let w = Workload::new(small_tree(), flat_config(100.0), 3);
+        let counts = w.generate_unit(0);
+        for n in w.tree().iter() {
+            if !w.tree().is_leaf(n) {
+                assert_eq!(counts[n.index()], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_adds_mass_under_target() {
+        let tree = small_tree();
+        let target = tree.find(&["A-2"]).unwrap();
+        let mut w = Workload::new(tree, flat_config(10.0), 4);
+        w.inject(InjectedAnomaly::new(target, 5, 2, 500.0));
+        let normal = w.generate_unit(4);
+        let burst = w.generate_unit(5);
+        let sum_under = |counts: &[f64]| -> f64 {
+            w.tree()
+                .subtree(target)
+                .map(|n| counts[n.index()])
+                .sum()
+        };
+        assert!(sum_under(&burst) > sum_under(&normal) + 300.0);
+        // Outside the span the stream is unaffected in expectation.
+        let after = w.generate_unit(7);
+        assert!(sum_under(&after) < 100.0);
+    }
+
+    #[test]
+    fn popularity_mass_constructor_respects_mass() {
+        let tree = small_tree();
+        let mut mass = vec![0.0; tree.len()];
+        // All mass on a single leaf.
+        let leaf = tree.find(&["A-0", "B-0"]).unwrap();
+        mass[leaf.index()] = 1.0;
+        let w = Workload::with_popularity(tree, flat_config(40.0), &mass, 5);
+        let counts = w.generate_unit(0);
+        let total: f64 = counts.iter().sum();
+        assert_eq!(counts[leaf.index()], total);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn records_match_unit_counts() {
+        let w = Workload::new(small_tree(), flat_config(30.0), 6);
+        let counts = w.generate_unit(2);
+        let records = w.generate_records(2);
+        assert_eq!(records.len() as f64, counts.iter().sum::<f64>());
+        for (node, t) in &records {
+            assert!(w.tree().is_leaf(*node));
+            assert!(*t >= 2 * 900 && *t < 3 * 900);
+        }
+        // Sorted by time.
+        for pair in records.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn diurnal_config_produces_seasonal_stream() {
+        let w = Workload::new(small_tree(), WorkloadConfig::ccd(100.0), 8);
+        // Compare 4 PM vs 4 AM on day 0 (Monday): 64th vs 16th unit.
+        let peak: f64 = w.generate_unit(64).iter().sum();
+        let trough: f64 = w.generate_unit(16).iter().sum();
+        assert!(peak > trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn rootonly_tree_panics() {
+        let _ = Workload::new(Tree::new("r"), WorkloadConfig::default(), 0);
+    }
+}

@@ -1,0 +1,892 @@
+use std::time::Instant;
+
+use tiresias_hierarchy::{NodeId, Tree};
+use tiresias_timeseries::Series;
+
+use crate::config::HhhConfig;
+use crate::error::HhhError;
+use crate::memory::MemoryReport;
+use crate::model::Model;
+use crate::shhh::{aggregate_weights, compute_shhh, series_values};
+use crate::split_rule::SplitStats;
+use crate::timings::StageTimings;
+
+/// The time-series state bound to a live heavy hitter node.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct NodeSeries {
+    /// Modified-weight history (`n.actual`), oldest → newest.
+    actual: Series,
+    /// One-step forecasts aligned with `actual` (`n.forecast`).
+    forecast: Series,
+    /// The forecasting model, positioned to predict the next timeunit.
+    model: Model,
+}
+
+/// Read-only view of one live heavy hitter, produced by [`Ada::view`].
+#[derive(Debug)]
+pub struct HeavyHitterView<'a> {
+    /// The heavy hitter node.
+    pub node: NodeId,
+    /// Modified-weight history, oldest → newest.
+    pub actual: &'a Series,
+    /// One-step forecasts aligned with `actual`.
+    pub forecast: &'a Series,
+    /// The node's modified weight in the newest timeunit (`T[n, 1]`).
+    pub latest_actual: f64,
+    /// The forecast that was made for the newest timeunit (`F[n, 1]`).
+    pub latest_forecast: f64,
+}
+
+/// The adaptive algorithm **ADA** (Fig. 5–8 of the paper).
+///
+/// ADA maintains a *single* tree. Every heavy hitter node owns its
+/// bounded time series and forecaster state; when the heavy hitter set
+/// drifts between timeunits, that state is moved through the hierarchy
+/// rather than rebuilt:
+///
+/// * `SPLIT` (Fig. 7, §V-B4) hands a node's series down to its
+///   non-heavy-hitter children, apportioned by a [`crate::SplitRule`],
+///   when a new heavy hitter emerged below it;
+/// * `MERGE` (Fig. 8) sums the series of heavy hitters that fell below θ
+///   into their parent;
+/// * **reference time series** (§V-B5), kept for nodes in the top `h`
+///   levels, replace a freshly split child's approximate series with the
+///   exact `T_REF − Σ T(heavy-hitter descendants)` whenever available.
+///
+/// Heavy-hitter *membership* is always exact (Lemma 1) — it is recomputed
+/// from Definition 2 every timeunit in O(|tree|) — only the series
+/// *contents* inherited through splits are approximate, with error
+/// decaying exponentially under the forecaster's smoothing (Fig. 9).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::Tree;
+/// use tiresias_hhh::{Ada, HhhConfig, ModelSpec};
+///
+/// let mut tree = Tree::new("All");
+/// let leaf = tree.insert_path(&["TV", "No Service"]);
+/// let cfg = HhhConfig::new(5.0, 16).with_model(ModelSpec::Ewma { alpha: 0.5 });
+/// let mut ada = Ada::new(cfg)?;
+/// for _ in 0..10 {
+///     let mut direct = vec![0.0; tree.len()];
+///     direct[leaf.index()] = 7.0;
+///     ada.push_timeunit(&tree, &direct);
+/// }
+/// assert!(ada.is_heavy_hitter(leaf));
+/// let view = ada.view(leaf).unwrap();
+/// assert_eq!(view.latest_actual, 7.0);
+/// # Ok::<(), tiresias_hhh::HhhError>(())
+/// ```
+///
+/// `Ada` is fully serialisable (serde), so a long-running deployment can
+/// checkpoint its tracker state and resume after a restart without
+/// replaying the window.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Ada {
+    config: HhhConfig,
+    /// Current SHHH membership (the paper's `SHHH` set).
+    in_shhh: Vec<bool>,
+    /// Definition-2 flags of the current timeunit (`n.ishh`).
+    ishh: Vec<bool>,
+    /// Membership before this timeunit's adaptation (`n.washh`).
+    washh: Vec<bool>,
+    /// Split propagation marks (`n.tosplit`).
+    tosplit: Vec<bool>,
+    /// Definition-2 modified weights of the current timeunit
+    /// (`n.weight`).
+    weight: Vec<f64>,
+    /// Aggregate (original) weights `A_n` of the current timeunit.
+    agg: Vec<f64>,
+    /// Per-node series state; `Some` iff the node is in SHHH (plus a
+    /// transient exception for the root between instances).
+    series: Vec<Option<NodeSeries>>,
+    /// Reference time series of `A_n` for nodes in levels `1..=h`.
+    ref_actual: Vec<Option<Series>>,
+    /// Statistics feeding the split-ratio heuristics.
+    stats: SplitStats,
+    /// Current aligned length of every live series (≤ ℓ).
+    series_len: usize,
+    /// Global timeunits processed (including any initialisation
+    /// history).
+    instances: u64,
+    members: Vec<NodeId>,
+    timings: StageTimings,
+}
+
+impl Ada {
+    /// Creates an ADA tracker with no history. The first timeunits cold-
+    /// start heavy hitters with zero series; prefer
+    /// [`Ada::with_history`] when a warm-up window is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HhhError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: HhhConfig) -> Result<Self, HhhError> {
+        config.validate().map_err(HhhError::InvalidConfig)?;
+        Ok(Ada {
+            config,
+            in_shhh: Vec::new(),
+            ishh: Vec::new(),
+            washh: Vec::new(),
+            tosplit: Vec::new(),
+            weight: Vec::new(),
+            agg: Vec::new(),
+            series: Vec::new(),
+            ref_actual: Vec::new(),
+            stats: SplitStats::with_len(0),
+            series_len: 0,
+            instances: 0,
+            members: Vec::new(),
+            timings: StageTimings::default(),
+        })
+    }
+
+    /// Creates an ADA tracker warm-started from a window of historical
+    /// timeunits (the paper's first-instance STA-style initialisation,
+    /// Fig. 5 lines 2–5): heavy hitters are detected on the newest unit
+    /// and their series reconstructed exactly over the whole window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HhhError::InvalidConfig`] for invalid configurations or
+    /// [`HhhError::Model`] if the forecasting model cannot be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any history unit is shorter than the tree.
+    pub fn with_history(
+        config: HhhConfig,
+        tree: &Tree,
+        history: &[Vec<f64>],
+    ) -> Result<Self, HhhError> {
+        let mut ada = Ada::new(config)?;
+        ada.ensure_capacity(tree);
+        let keep = history.len().min(ada.config.ell);
+        if keep == 0 {
+            return Ok(ada);
+        }
+        // Older units may predate tree growth; pad them to the current
+        // tree size (absent nodes had zero counts).
+        let window: Vec<Vec<f64>> = history[history.len() - keep..]
+            .iter()
+            .map(|u| {
+                let mut padded = u.clone();
+                padded.resize(padded.len().max(tree.len()), 0.0);
+                padded
+            })
+            .collect();
+
+        // Membership from the newest unit (Definition 2).
+        let last = window.last().expect("window non-empty");
+        let shhh = compute_shhh(tree, last, ada.config.theta);
+        ada.ishh = shhh.is_member.clone();
+        ada.in_shhh = shhh.is_member.clone();
+        ada.weight = shhh.modified;
+        ada.members = shhh.members;
+        ada.agg = aggregate_weights(tree, last);
+        ada.series_len = window.len();
+        ada.instances = history.len() as u64;
+        let start_unit = ada.instances - window.len() as u64;
+
+        // Exact series reconstruction with membership held fixed.
+        let mut histories: Vec<Vec<f64>> = vec![Vec::new(); tree.len()];
+        for unit in &window {
+            let values = series_values(tree, unit, &ada.in_shhh);
+            for &m in &ada.members {
+                histories[m.index()].push(values[m.index()]);
+            }
+        }
+        for &m in &ada.members {
+            let hist = &histories[m.index()];
+            let (model, forecasts) = Model::replay(&ada.config.model, hist, start_unit)?;
+            ada.series[m.index()] = Some(NodeSeries {
+                actual: Series::from_values(ada.config.ell, hist),
+                forecast: Series::from_values(ada.config.ell, &forecasts),
+                model,
+            });
+        }
+
+        // Reference series and split statistics from the full window.
+        for unit in &window {
+            let agg = aggregate_weights(tree, unit);
+            ada.stats.record_unit(&agg, ada.config.stat_ewma_alpha);
+            for n in tree.iter() {
+                let depth = tree.depth(n);
+                if depth >= 1 && depth <= ada.config.ref_levels {
+                    ada.ref_actual[n.index()]
+                        .get_or_insert_with(|| Series::with_capacity(ada.config.ell))
+                        .push(agg[n.index()]);
+                }
+            }
+        }
+        Ok(ada)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HhhConfig {
+        &self.config
+    }
+
+    /// Global timeunits processed so far.
+    pub fn instances(&self) -> u64 {
+        self.instances
+    }
+
+    /// Grows the per-node state to cover a tree that gained nodes.
+    fn ensure_capacity(&mut self, tree: &Tree) {
+        let len = tree.len();
+        if self.in_shhh.len() < len {
+            self.in_shhh.resize(len, false);
+            self.ishh.resize(len, false);
+            self.washh.resize(len, false);
+            self.tosplit.resize(len, false);
+            self.weight.resize(len, 0.0);
+            self.agg.resize(len, 0.0);
+            self.series.resize_with(len, || None);
+            self.ref_actual.resize_with(len, || None);
+            self.stats.resize(len);
+        }
+    }
+
+    /// A zero series of the current aligned length, with a phase-aligned
+    /// zero-state model — the cold-start state of a heavy hitter no
+    /// adaptation could supply with history.
+    fn zero_series(&self) -> NodeSeries {
+        let zeros = vec![0.0; self.series_len];
+        let start = self.instances - self.series_len as u64;
+        let (model, forecasts) = Model::replay(&self.config.model, &zeros, start)
+            .expect("model spec validated at construction");
+        NodeSeries {
+            actual: Series::from_values(self.config.ell, &zeros),
+            forecast: Series::from_values(self.config.ell, &forecasts),
+            model,
+        }
+    }
+
+    /// Feeds the direct (pre-aggregation) counts of one closed timeunit:
+    /// updates weights and membership, adapts series via split/merge,
+    /// then appends the new observations (Fig. 5, lines 6–29).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direct.len() < tree.len()`.
+    pub fn push_timeunit(&mut self, tree: &Tree, direct: &[f64]) {
+        assert!(direct.len() >= tree.len(), "direct counts must cover the tree");
+        let t0 = Instant::now();
+        self.ensure_capacity(tree);
+
+        // Initialisation (lines 6–12): washh ← membership, recompute
+        // aggregates and Definition-2 weights/flags for this unit.
+        self.washh.copy_from_slice(&self.in_shhh);
+        self.tosplit.iter_mut().for_each(|b| *b = false);
+        self.agg = aggregate_weights(tree, direct);
+        let shhh = compute_shhh(tree, direct, self.config.theta);
+        self.ishh = shhh.is_member;
+        self.weight = shhh.modified;
+
+        // SHHH and series adaptation (lines 13–25).
+        // Mark: a node that is (or passes through) a new heavy hitter
+        // and is not yet in SHHH asks its parent to split.
+        for n in tree.rev_level_order() {
+            if (self.ishh[n.index()] || self.tosplit[n.index()]) && !self.in_shhh[n.index()] {
+                if let Some(p) = tree.parent(n) {
+                    self.tosplit[p.index()] = true;
+                }
+            }
+        }
+        // Top-down splits.
+        for n in tree.level_order() {
+            let is_root = tree.parent(n).is_none();
+            if (self.in_shhh[n.index()] || is_root) && self.tosplit[n.index()] {
+                self.split(tree, n);
+            }
+        }
+        // Bottom-up merges.
+        for n in tree.rev_level_order() {
+            if tree.parent(n).is_some() && self.in_shhh[n.index()] && !self.ishh[n.index()] {
+                self.merge_group(tree, n);
+            }
+        }
+        // Root rule (lines 24–25).
+        let root = tree.root();
+        if self.ishh[root.index()] {
+            if !self.in_shhh[root.index()] {
+                self.in_shhh[root.index()] = true;
+                if self.series[root.index()].is_none() {
+                    self.series[root.index()] = Some(self.zero_series());
+                }
+            }
+        } else if self.in_shhh[root.index()] {
+            self.in_shhh[root.index()] = false;
+            self.series[root.index()] = None;
+        }
+
+        // Reconciliation: with leaf-only data the split/merge choreography
+        // above already leaves membership equal to the Definition-2 flags
+        // (Lemma 1). Direct counts on *interior* nodes — an extension the
+        // paper does not consider — admit one extra case: a node whose
+        // residual stays ≥ θ while every child became a heavy hitter has
+        // nothing to merge back after its split. Enforce exactness for
+        // that case too, seeding from the reference series if available.
+        for n in tree.level_order() {
+            let i = n.index();
+            if self.ishh[i] && !self.in_shhh[i] {
+                let series = self
+                    .reference_correction(tree, n)
+                    .unwrap_or_else(|| self.zero_series());
+                self.series[i] = Some(series);
+                self.in_shhh[i] = true;
+            } else if !self.ishh[i] && self.in_shhh[i] && tree.parent(n).is_some() {
+                // Fold the stale state into the parent's slot so nothing
+                // leaks; membership follows Definition 2.
+                self.in_shhh[i] = false;
+                self.series[i] = None;
+            }
+        }
+        // Lemma 1: after adaptation, membership equals the Definition-2
+        // flags everywhere.
+        debug_assert!(
+            tree.iter().all(|n| self.in_shhh[n.index()] == self.ishh[n.index()]),
+            "SHHH membership diverged from Definition 2"
+        );
+
+        self.members = tree.level_order().filter(|n| self.in_shhh[n.index()]).collect();
+
+        // Time series update (lines 26–29): constant-time appends.
+        for &n in &self.members {
+            let w = self.weight[n.index()];
+            let s = self.series[n.index()].as_mut().expect("member owns series");
+            let f = s.model.forecast();
+            s.forecast.push(f);
+            s.actual.push(w);
+            s.model.observe(w);
+        }
+        // Reference series for the top h levels (§V-B5).
+        if self.config.ref_levels > 0 {
+            for depth in 1..=self.config.ref_levels.min(tree.max_depth()) {
+                for &n in tree.nodes_at_depth(depth) {
+                    let cap = self.config.ell;
+                    let agg = self.agg[n.index()];
+                    let len = self.series_len;
+                    self.ref_actual[n.index()]
+                        .get_or_insert_with(|| {
+                            Series::from_values(cap, &vec![0.0; len])
+                        })
+                        .push(agg);
+                }
+            }
+        }
+        self.series_len = (self.series_len + 1).min(self.config.ell);
+        self.stats.record_unit(&self.agg, self.config.stat_ewma_alpha);
+        self.instances += 1;
+        self.timings.updating_hierarchies += t0.elapsed();
+    }
+
+    /// `SPLIT(n)` (Fig. 7): hand `n`'s series down to its non-member
+    /// children, apportioned by the split rule, and move membership from
+    /// `n` to those children. Reference series override the apportioned
+    /// copy where available.
+    fn split(&mut self, tree: &Tree, n: NodeId) {
+        let children: Vec<NodeId> = tree
+            .children(n)
+            .iter()
+            .copied()
+            .filter(|c| !self.in_shhh[c.index()])
+            .collect();
+        if children.is_empty() {
+            return;
+        }
+        // Guard (Fig. 7 line 2): only split when a genuine heavy hitter
+        // is hiding below — checked on aggregates so hidden hitters
+        // deeper than one level still trigger the cascade.
+        if !children
+            .iter()
+            .any(|c| self.agg[c.index()] >= self.config.theta)
+        {
+            return;
+        }
+        let ratios = self.stats.ratios(self.config.split_rule, &children);
+        let parent_series = self.series[n.index()].take();
+        for (&c, &ratio) in children.iter().zip(ratios.iter()) {
+            let inherited = match &parent_series {
+                Some(ps) => {
+                    let mut s = ps.clone();
+                    s.actual.scale(ratio);
+                    s.forecast.scale(ratio);
+                    s.model.scale(ratio);
+                    s
+                }
+                // A splitting node without a series (the root before it
+                // ever joined SHHH) hands down zeros.
+                None => self.zero_series(),
+            };
+            let series = self
+                .reference_correction(tree, c)
+                .unwrap_or(inherited);
+            self.series[c.index()] = Some(series);
+            self.in_shhh[c.index()] = true;
+        }
+        self.in_shhh[n.index()] = false;
+    }
+
+    /// The §V-B5 correction: if `c` has a reference series, rebuild its
+    /// series exactly as `T_REF(c) − Σ T(d)` over `c`'s descendants `d`
+    /// currently holding series, instead of trusting the split ratio.
+    fn reference_correction(&self, tree: &Tree, c: NodeId) -> Option<NodeSeries> {
+        let reference = self.ref_actual[c.index()].as_ref()?;
+        if reference.len() != self.series_len {
+            return None;
+        }
+        let mut corrected: Vec<f64> = reference.to_vec();
+        for d in tree.subtree(c).skip(1) {
+            if let Some(ds) = self.series[d.index()].as_ref() {
+                if self.in_shhh[d.index()] {
+                    for (acc, v) in corrected.iter_mut().zip(ds.actual.iter()) {
+                        *acc -= v;
+                    }
+                }
+            }
+        }
+        let start = self.instances - self.series_len as u64;
+        let (model, forecasts) =
+            Model::replay(&self.config.model, &corrected, start).ok()?;
+        Some(NodeSeries {
+            actual: Series::from_values(self.config.ell, &corrected),
+            forecast: Series::from_values(self.config.ell, &forecasts),
+            model,
+        })
+    }
+
+    /// `MERGE` (Fig. 8): `n` is a member that fell below θ. Gather every
+    /// sibling (and `n` itself) in the same state and fold their series
+    /// into the parent, which joins SHHH in their stead. A parent still
+    /// below θ afterwards is merged further up when the bottom-up sweep
+    /// reaches its level.
+    fn merge_group(&mut self, tree: &Tree, n: NodeId) {
+        let np = tree.parent(n).expect("merge_group is never called on the root");
+        let group: Vec<NodeId> = tree
+            .children(np)
+            .iter()
+            .copied()
+            .filter(|c| self.in_shhh[c.index()] && !self.ishh[c.index()])
+            .collect();
+        debug_assert!(group.contains(&n));
+        // Sum the group's series into the parent's (creating it from
+        // zeros if the parent was not a member).
+        let mut acc = match self.series[np.index()].take() {
+            Some(s) => s,
+            None => self.zero_series(),
+        };
+        for &c in &group {
+            if let Some(cs) = self.series[c.index()].take() {
+                acc.actual
+                    .add_assign_series(&cs.actual)
+                    .expect("live series share one aligned length");
+                acc.forecast
+                    .add_assign_series(&cs.forecast)
+                    .expect("live series share one aligned length");
+                acc.model
+                    .merge(&cs.model)
+                    .expect("models share one spec and phase");
+            }
+            self.in_shhh[c.index()] = false;
+        }
+        self.series[np.index()] = Some(acc);
+        self.in_shhh[np.index()] = true;
+    }
+
+    /// The current succinct heavy hitter set, in top-down level order.
+    pub fn heavy_hitters(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// `true` iff `n` is currently a heavy hitter.
+    pub fn is_heavy_hitter(&self, n: NodeId) -> bool {
+        self.in_shhh.get(n.index()).copied().unwrap_or(false)
+    }
+
+    /// The modified (Definition-2) weight of `n` in the newest timeunit.
+    pub fn modified_weight(&self, n: NodeId) -> f64 {
+        self.weight.get(n.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The aggregate weight `A_n` of the newest timeunit.
+    pub fn aggregate_weight(&self, n: NodeId) -> f64 {
+        self.agg.get(n.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Read-only view of heavy hitter `n`, or `None` if `n` is not a
+    /// member (or has not observed a timeunit yet).
+    pub fn view(&self, n: NodeId) -> Option<HeavyHitterView<'_>> {
+        if !self.is_heavy_hitter(n) {
+            return None;
+        }
+        let s = self.series[n.index()].as_ref()?;
+        Some(HeavyHitterView {
+            node: n,
+            actual: &s.actual,
+            forecast: &s.forecast,
+            latest_actual: s.actual.latest()?,
+            latest_forecast: s.forecast.latest()?,
+        })
+    }
+
+    /// The reference series of `n` (`A_n` history), if one is kept.
+    pub fn reference_series(&self, n: NodeId) -> Option<&Series> {
+        self.ref_actual.get(n.index()).and_then(Option::as_ref)
+    }
+
+    /// The forecast for the *next* (not yet observed) timeunit of heavy
+    /// hitter `n`.
+    pub fn next_forecast(&self, n: NodeId) -> Option<f64> {
+        if !self.is_heavy_hitter(n) {
+            return None;
+        }
+        self.series[n.index()].as_ref().map(|s| s.model.forecast())
+    }
+
+    /// Cumulative stage timings.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Memory accounting (see [`MemoryReport`]).
+    pub fn memory_report(&self, tree: &Tree) -> MemoryReport {
+        MemoryReport {
+            tree_nodes: tree.len(),
+            history_cells: 0,
+            series_cells: self
+                .series
+                .iter()
+                .flatten()
+                .map(|s| s.actual.len() + s.forecast.len())
+                .sum(),
+            reference_cells: self.ref_actual.iter().flatten().map(Series::len).sum(),
+            heavy_hitters: self.members.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use crate::split_rule::SplitRule;
+
+    fn cfg(theta: f64, ell: usize) -> HhhConfig {
+        HhhConfig::new(theta, ell)
+            .with_model(ModelSpec::Ewma { alpha: 0.5 })
+            .with_ref_levels(0)
+    }
+
+    /// root → {a → {x, y}, b}
+    fn tree() -> Tree {
+        let mut t = Tree::new("root");
+        t.insert_path(&["a", "x"]);
+        t.insert_path(&["a", "y"]);
+        t.insert_path(&["b"]);
+        t
+    }
+
+    fn unit(t: &Tree, pairs: &[(&[&str], f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; t.len()];
+        for (path, w) in pairs {
+            d[t.find(path).unwrap().index()] = *w;
+        }
+        d
+    }
+
+    #[test]
+    fn membership_matches_definition_every_instance() {
+        let t = tree();
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        let patterns: Vec<Vec<f64>> = vec![
+            unit(&t, &[(&["a", "x"], 20.0)]),
+            unit(&t, &[(&["a", "x"], 3.0), (&["a", "y"], 4.0), (&["b"], 5.0)]),
+            unit(&t, &[(&["a", "x"], 30.0), (&["a", "y"], 30.0)]),
+            unit(&t, &[(&["b"], 11.0)]),
+            unit(&t, &[]),
+        ];
+        for d in &patterns {
+            ada.push_timeunit(&t, d);
+            let expected = compute_shhh(&t, d, 10.0);
+            let mut got: Vec<NodeId> = ada.heavy_hitters().to_vec();
+            let mut want = expected.members.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "membership must equal Definition 2");
+        }
+    }
+
+    #[test]
+    fn stable_leaf_series_matches_exactly() {
+        let t = tree();
+        let x = t.find(&["a", "x"]).unwrap();
+        let mut ada = Ada::new(cfg(5.0, 8)).unwrap();
+        for i in 0..6 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 10.0 + i as f64)]));
+        }
+        let view = ada.view(x).unwrap();
+        let vals: Vec<f64> = view.actual.iter().collect();
+        assert_eq!(vals, vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(view.latest_actual, 15.0);
+    }
+
+    #[test]
+    fn split_moves_series_down_when_leaf_emerges() {
+        let t = tree();
+        let a = t.find(&["a"]).unwrap();
+        let x = t.find(&["a", "x"]).unwrap();
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        // Phase 1: mass spread across a's children — only `a` is heavy.
+        for _ in 0..4 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 6.0), (&["a", "y"], 6.0)]));
+        }
+        assert!(ada.is_heavy_hitter(a));
+        assert!(!ada.is_heavy_hitter(x));
+        // Phase 2: x spikes — membership must move to x, inheriting
+        // series state from a.
+        ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 20.0), (&["a", "y"], 1.0)]));
+        assert!(ada.is_heavy_hitter(x));
+        assert!(!ada.is_heavy_hitter(a), "a's residual (1.0) is below θ");
+        let view = ada.view(x).unwrap();
+        assert_eq!(view.latest_actual, 20.0);
+        // x's inherited history is a scaled copy of a's 12s: positive and
+        // bounded by the original.
+        let older: Vec<f64> = view.actual.iter().collect();
+        for v in &older[..older.len() - 1] {
+            assert!(*v > 0.0 && *v <= 12.0, "inherited value {v}");
+        }
+    }
+
+    #[test]
+    fn merge_returns_series_up_when_leaf_cools() {
+        let t = tree();
+        let a = t.find(&["a"]).unwrap();
+        let x = t.find(&["a", "x"]).unwrap();
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        // x is heavy for a while.
+        for _ in 0..4 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 15.0), (&["a", "y"], 4.0)]));
+        }
+        assert!(ada.is_heavy_hitter(x));
+        // x cools; the combined mass keeps `a` heavy.
+        ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 6.0), (&["a", "y"], 6.0)]));
+        assert!(!ada.is_heavy_hitter(x));
+        assert!(ada.is_heavy_hitter(a));
+        let view = ada.view(a).unwrap();
+        // a's merged history = x's tracked 15s. The residual 4s of y
+        // belonged to no heavy hitter and were never tracked — exactly
+        // the approximation the reference-series add-on (§V-B5) repairs.
+        let vals: Vec<f64> = view.actual.iter().collect();
+        assert_eq!(*vals.last().unwrap(), 12.0);
+        for v in &vals[..vals.len() - 1] {
+            assert!((*v - 15.0).abs() < 1e-9, "merged history value {v}");
+        }
+    }
+
+    #[test]
+    fn deep_hidden_hitter_is_reached_by_cascading_splits() {
+        // root → a → b → leaf: leaf becomes heavy while only root was a
+        // member. Splits must cascade root → a → b → leaf.
+        let mut t = Tree::new("root");
+        let leaf = t.insert_path(&["a", "b", "leaf"]);
+        let other = t.insert_path(&["c"]);
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        // Only diffuse mass: root is the sole member.
+        let mut d = vec![0.0; t.len()];
+        d[leaf.index()] = 6.0;
+        d[other.index()] = 6.0;
+        ada.push_timeunit(&t, &d);
+        assert!(ada.is_heavy_hitter(t.root()));
+        // The leaf spikes.
+        let mut d = vec![0.0; t.len()];
+        d[leaf.index()] = 25.0;
+        d[other.index()] = 6.0;
+        ada.push_timeunit(&t, &d);
+        assert!(ada.is_heavy_hitter(leaf), "cascade must reach the leaf");
+        assert!(!ada.is_heavy_hitter(t.root()), "root residual is 6 < θ");
+        assert_eq!(ada.view(leaf).unwrap().latest_actual, 25.0);
+    }
+
+    #[test]
+    fn root_rule_adds_and_removes_membership() {
+        let t = tree();
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        // Diffuse mass → root member.
+        ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 4.0), (&["b"], 7.0)]));
+        assert!(ada.is_heavy_hitter(t.root()));
+        // Everything quiet → root leaves.
+        ada.push_timeunit(&t, &unit(&t, &[(&["b"], 2.0)]));
+        assert!(!ada.is_heavy_hitter(t.root()));
+        assert!(ada.heavy_hitters().is_empty());
+    }
+
+    #[test]
+    fn with_history_reconstructs_exact_series() {
+        let t = tree();
+        let x = t.find(&["a", "x"]).unwrap();
+        let history: Vec<Vec<f64>> = (0..6)
+            .map(|i| unit(&t, &[(&["a", "x"], 10.0 + i as f64)]))
+            .collect();
+        let ada = Ada::with_history(cfg(5.0, 8), &t, &history).unwrap();
+        let view = ada.view(x).unwrap();
+        let vals: Vec<f64> = view.actual.iter().collect();
+        assert_eq!(vals, vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(ada.instances(), 6);
+    }
+
+    #[test]
+    fn ada_agrees_with_sta_on_stationary_stream() {
+        // When membership is stable, ADA's incremental series must equal
+        // STA's reconstruction exactly.
+        use crate::sta::Sta;
+        let t = tree();
+        let x = t.find(&["a", "x"]).unwrap();
+        let mut ada = Ada::new(cfg(5.0, 8)).unwrap();
+        let mut sta = Sta::new(cfg(5.0, 8)).unwrap();
+        for i in 0..8 {
+            let d = unit(&t, &[(&["a", "x"], 8.0 + (i % 3) as f64)]);
+            ada.push_timeunit(&t, &d);
+            sta.push_timeunit(&t, &d);
+        }
+        let ada_vals: Vec<f64> = ada.view(x).unwrap().actual.iter().collect();
+        assert_eq!(ada_vals.as_slice(), sta.actual_series(x).unwrap());
+        let (sa, sf) = sta.latest(x).unwrap();
+        let v = ada.view(x).unwrap();
+        assert_eq!(v.latest_actual, sa);
+        assert!((v.latest_forecast - sf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_series_corrects_split_bias() {
+        // With h = 1 reference levels, a split onto a depth-1 node must
+        // restore the exact series instead of the ratio approximation.
+        let t = tree();
+        let a = t.find(&["a"]).unwrap();
+        let config = cfg(10.0, 16).with_ref_levels(1);
+        let mut ada = Ada::new(config).unwrap();
+        // Phase 1: diffuse mass — only root is a member; `a`'s true
+        // aggregate history is 9, 9, ...
+        for _ in 0..5 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 5.0), (&["a", "y"], 4.0), (&["b"], 3.0)]));
+        }
+        assert!(ada.is_heavy_hitter(t.root()));
+        // Phase 2: `a` spikes (spread so no single child is heavy); the
+        // root splits, and the reference series gives `a` its exact 9s
+        // history (not a ratio of root's 12s).
+        ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 7.0), (&["a", "y"], 6.0)]));
+        assert!(ada.is_heavy_hitter(a));
+        let vals: Vec<f64> = ada.view(a).unwrap().actual.iter().collect();
+        for v in &vals[..vals.len() - 1] {
+            assert!((*v - 9.0).abs() < 1e-9, "reference-corrected value {v}");
+        }
+        assert_eq!(*vals.last().unwrap(), 13.0);
+    }
+
+    #[test]
+    fn series_lengths_stay_aligned_across_adaptations() {
+        let t = tree();
+        let mut ada = Ada::new(cfg(10.0, 4)).unwrap();
+        // Keep flipping which node is heavy to force splits and merges.
+        for i in 0..12 {
+            let d = if i % 2 == 0 {
+                unit(&t, &[(&["a", "x"], 20.0)])
+            } else {
+                unit(&t, &[(&["a", "x"], 4.0), (&["a", "y"], 4.0), (&["b"], 4.0)])
+            };
+            ada.push_timeunit(&t, &d);
+            for &m in ada.heavy_hitters() {
+                let v = ada.view(m).unwrap();
+                assert_eq!(v.actual.len(), v.forecast.len());
+                assert_eq!(v.actual.len(), 4.min(i + 1), "instance {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_live_state() {
+        let t = tree();
+        let mut ada = Ada::new(cfg(5.0, 4)).unwrap();
+        for _ in 0..20 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 9.0)]));
+        }
+        let r = ada.memory_report(&t);
+        assert_eq!(r.history_cells, 0, "ADA keeps no raw history");
+        // One heavy hitter, two series of ≤ 4 cells each.
+        assert!(r.series_cells <= 8);
+        assert_eq!(r.heavy_hitters, 1);
+    }
+
+    #[test]
+    fn split_rules_produce_valid_series() {
+        for rule in [
+            SplitRule::Uniform,
+            SplitRule::LastTimeUnit,
+            SplitRule::LongTermHistory,
+            SplitRule::Ewma { alpha: 0.4 },
+        ] {
+            let t = tree();
+            let x = t.find(&["a", "x"]).unwrap();
+            let config = cfg(10.0, 8).with_split_rule(rule);
+            let mut ada = Ada::new(config).unwrap();
+            for _ in 0..3 {
+                ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 6.0), (&["a", "y"], 5.0)]));
+            }
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 30.0)]));
+            assert!(ada.is_heavy_hitter(x), "{rule}");
+            let v = ada.view(x).unwrap();
+            assert!(v.actual.iter().all(|x| x >= 0.0), "{rule}");
+        }
+    }
+
+    #[test]
+    fn interior_direct_counts_are_reconciled() {
+        // A record stream that classifies at an *interior* category: the
+        // node can stay heavy while every child is heavy too, a case the
+        // paper's leaf-only choreography never produces. Membership must
+        // still match Definition 2 exactly.
+        let t = tree();
+        let a = t.find(&["a"]).unwrap();
+        let mut ada = Ada::new(cfg(10.0, 8)).unwrap();
+        // Children both heavy AND interior direct weight heavy.
+        let mut d = unit(&t, &[(&["a", "x"], 12.0), (&["a", "y"], 12.0)]);
+        d[a.index()] = 15.0; // direct interior mass
+        ada.push_timeunit(&t, &d);
+        let x = t.find(&["a", "x"]).unwrap();
+        let y = t.find(&["a", "y"]).unwrap();
+        assert!(ada.is_heavy_hitter(x));
+        assert!(ada.is_heavy_hitter(y));
+        assert!(ada.is_heavy_hitter(a), "interior residual 15 ≥ θ");
+        assert_eq!(ada.modified_weight(a), 15.0);
+        // And the next unit still reconciles when the residual drops.
+        let mut d = unit(&t, &[(&["a", "x"], 12.0)]);
+        d[a.index()] = 3.0;
+        ada.push_timeunit(&t, &d);
+        assert!(!ada.is_heavy_hitter(a));
+        assert!(ada.is_heavy_hitter(x));
+    }
+
+    #[test]
+    fn next_forecast_tracks_model() {
+        let t = tree();
+        let x = t.find(&["a", "x"]).unwrap();
+        let mut ada = Ada::new(cfg(5.0, 8)).unwrap();
+        for _ in 0..4 {
+            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 10.0)]));
+        }
+        let f = ada.next_forecast(x).unwrap();
+        assert!(f > 5.0 && f <= 10.0, "forecast {f} approaches the stable 10");
+        assert!(ada.next_forecast(t.root()).is_none());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(matches!(
+            Ada::new(HhhConfig::new(-1.0, 8)),
+            Err(HhhError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use tiresias_timeseries::TimeSeriesError;
+
+/// Errors produced by heavy hitter tracker construction and operation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HhhError {
+    /// The [`crate::HhhConfig`] failed validation.
+    InvalidConfig(String),
+    /// A forecasting-model operation failed.
+    Model(TimeSeriesError),
+}
+
+impl fmt::Display for HhhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HhhError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            HhhError::Model(e) => write!(f, "forecasting model error: {e}"),
+        }
+    }
+}
+
+impl Error for HhhError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HhhError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TimeSeriesError> for HhhError {
+    fn from(e: TimeSeriesError) -> Self {
+        HhhError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_with_source() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<HhhError>();
+        let e = HhhError::from(TimeSeriesError::InvalidParameter("x".into()));
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+    }
+}

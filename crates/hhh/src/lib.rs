@@ -1,0 +1,73 @@
+//! Hierarchical heavy hitter detection — the algorithmic core of Tiresias
+//! (§III and §V of the paper).
+//!
+//! Given a stream of operational records classified against an additive
+//! hierarchy, Tiresias tracks the set of **Succinct Hierarchical Heavy
+//! Hitters** (SHHH, Definition 2): nodes whose *modified weight* — the
+//! count remaining after discounting descendants that are themselves
+//! heavy hitters — reaches a threshold θ. Each heavy hitter carries a
+//! bounded time series of its modified weights plus a forecasting model;
+//! anomalies are spikes of the observed count over the forecast.
+//!
+//! Two maintenance algorithms are provided:
+//!
+//! * [`Sta`] — the strawman (Fig. 4): keep all ℓ per-timeunit count
+//!   vectors and rebuild every heavy hitter's time series from scratch at
+//!   each time instance. Exact, but Θ(ℓ·|tree|) per instance.
+//! * [`Ada`] — the adaptive scheme (Fig. 5–8): keep a single tree whose
+//!   heavy hitter nodes own their series and forecaster state, and move
+//!   that state through the hierarchy with `SPLIT` (scale down to
+//!   children, §V-B4) and `MERGE` (sum into the parent) operations as the
+//!   heavy hitter set drifts. Θ(|tree|) per instance and Θ(1) amortised
+//!   per series update, at the cost of small, exponentially decaying
+//!   series error (Fig. 9) — reducible further with **reference time
+//!   series** kept for the top `h` levels (§V-B5).
+//!
+//! The heavy-hitter membership produced by [`Ada`] is always exactly the
+//! Definition-2 set (the paper's Lemma 1); only the *series contents* are
+//! approximate after splits.
+//!
+//! # Example
+//!
+//! ```
+//! use tiresias_hierarchy::Tree;
+//! use tiresias_hhh::{compute_shhh, ShhhResult};
+//!
+//! let mut tree = Tree::new("All");
+//! let a = tree.insert_path(&["TV", "No Service"]);
+//! let b = tree.insert_path(&["TV", "Pixelation"]);
+//! let mut direct = vec![0.0; tree.len()];
+//! direct[a.index()] = 30.0; // heavy leaf
+//! direct[b.index()] = 4.0;
+//! let ShhhResult { members, modified, .. } = compute_shhh(&tree, &direct, 10.0);
+//! let tv = tree.find(&["TV"]).unwrap();
+//! assert!(members.contains(&a));
+//! // TV's modified weight discounts the heavy child: only 4 remains.
+//! assert_eq!(modified[tv.index()], 4.0);
+//! assert!(!members.contains(&tv));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ada;
+mod error;
+mod config;
+mod memory;
+mod model;
+mod multiscale;
+mod shhh;
+mod split_rule;
+mod sta;
+mod timings;
+
+pub use ada::{Ada, HeavyHitterView};
+pub use error::HhhError;
+pub use config::HhhConfig;
+pub use memory::MemoryReport;
+pub use model::{Model, ModelSpec};
+pub use multiscale::{MultiScaleAda, MultiScaleConfig};
+pub use shhh::{aggregate_weights, compute_shhh, series_values, ShhhResult};
+pub use split_rule::{SplitRule, SplitStats};
+pub use sta::Sta;
+pub use timings::StageTimings;

@@ -1,0 +1,65 @@
+use serde::{Deserialize, Serialize};
+
+/// Memory accounting for a heavy hitter tracker, in abstract *cells*
+/// (one cell = one stored `f64` sample or one node record).
+///
+/// The paper's Table IV reports **normalized memory cost** = total memory
+/// / average number of tree nodes / per-node cost. Counting cells instead
+/// of bytes makes the comparison hardware-independent while preserving
+/// the ratios the table is about (ADA ≈ 36–43 % of STA).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Nodes of the (single, shared) classification tree.
+    pub tree_nodes: usize,
+    /// Stored per-timeunit count cells (STA's ℓ history vectors; zero
+    /// for ADA, which keeps no raw history).
+    pub history_cells: usize,
+    /// Series cells owned by live heavy hitters (actual + forecast).
+    pub series_cells: usize,
+    /// Reference time-series cells (ADA's §V-B5 add-on).
+    pub reference_cells: usize,
+    /// Number of live heavy hitters.
+    pub heavy_hitters: usize,
+}
+
+impl MemoryReport {
+    /// Total cells.
+    pub fn total_cells(&self) -> usize {
+        self.tree_nodes + self.history_cells + self.series_cells + self.reference_cells
+    }
+
+    /// The paper's normalized memory cost: total cells divided by the
+    /// tree size (per-node cost is already 1 cell by construction).
+    pub fn normalized(&self) -> f64 {
+        if self.tree_nodes == 0 {
+            0.0
+        } else {
+            self.total_cells() as f64 / self.tree_nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_normalization() {
+        let r = MemoryReport {
+            tree_nodes: 100,
+            history_cells: 500,
+            series_cells: 300,
+            reference_cells: 100,
+            heavy_hitters: 7,
+        };
+        assert_eq!(r.total_cells(), 1000);
+        assert!((r.normalized() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = MemoryReport::default();
+        assert_eq!(r.total_cells(), 0);
+        assert_eq!(r.normalized(), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_timeseries::{
+    Ewma, Forecaster, HoltWinters, LinearForecaster, MultiSeasonalHoltWinters, SeasonalFactor,
+    TimeSeriesError,
+};
+
+/// Configuration of the per-heavy-hitter forecasting model.
+///
+/// Tiresias uses EWMA for the split-error analysis and the additive
+/// Holt-Winters model (single- or multi-seasonal) for the operational
+/// datasets (§VI–§VII). All three are linear in the observations, which
+/// is what allows ADA's split/merge to adapt forecaster state directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Exponentially weighted moving average with rate α.
+    Ewma {
+        /// Smoothing rate in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Additive Holt-Winters with one seasonal period.
+    HoltWinters {
+        /// Level smoothing rate α.
+        alpha: f64,
+        /// Trend smoothing rate β.
+        beta: f64,
+        /// Seasonal smoothing rate γ.
+        gamma: f64,
+        /// Seasonal period υ in timeunits.
+        season: usize,
+    },
+    /// Additive Holt-Winters with several linearly combined seasonal
+    /// factors (the paper's `S = ξ·S_day + (1−ξ)·S_week`).
+    MultiSeasonal {
+        /// Level smoothing rate α.
+        alpha: f64,
+        /// Trend smoothing rate β.
+        beta: f64,
+        /// Seasonal smoothing rate γ.
+        gamma: f64,
+        /// The seasonal factors (period, weight).
+        factors: Vec<SeasonalFactor>,
+    },
+}
+
+impl Default for ModelSpec {
+    /// A daily-season Holt-Winters model for 15-minute timeunits
+    /// (υ = 96), the paper's SCD configuration.
+    fn default() -> Self {
+        ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 }
+    }
+}
+
+impl ModelSpec {
+    /// The minimum history length needed for a clean initialisation
+    /// (2υ for seasonal models; shorter histories fall back to a linear
+    /// degenerate start).
+    pub fn preferred_history(&self) -> usize {
+        match self {
+            ModelSpec::Ewma { .. } => 1,
+            ModelSpec::HoltWinters { season, .. } => 2 * season,
+            ModelSpec::MultiSeasonal { factors, .. } => {
+                2 * factors.iter().map(|f| f.period).max().unwrap_or(1)
+            }
+        }
+    }
+}
+
+/// A forecasting model instance bound to one heavy hitter.
+///
+/// This is an enum (rather than a trait object) so ADA can `clone`,
+/// [`Model::scale`] and [`Model::merge`] node state without dynamic
+/// downcasts — the linear operations must pair identical variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Model {
+    /// EWMA instance.
+    Ewma(Ewma),
+    /// Single-season Holt-Winters instance.
+    HoltWinters(HoltWinters),
+    /// Multi-seasonal Holt-Winters instance.
+    MultiSeasonal(MultiSeasonalHoltWinters),
+}
+
+impl Model {
+    /// Builds a model from a history of observations and returns it
+    /// together with the recorded one-step forecasts (aligned with
+    /// `history`: `forecasts[i]` was made before seeing `history[i]`).
+    ///
+    /// `start_unit` is the **global** timeunit index of `history[0]`.
+    /// Seasonal phases are aligned to it, so models created at different
+    /// times (but observing every subsequent timeunit) stay phase-
+    /// compatible and can later be merged — a requirement of ADA's
+    /// adaptation machinery.
+    ///
+    /// The start state is deliberately degenerate but *linear* in the
+    /// history: level = mean, trend = 0, zero seasonal components, then
+    /// every sample is replayed. Linearity of the construction is what
+    /// keeps Lemma 2 (and thus split/merge correctness) valid for every
+    /// node state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] for invalid spec
+    /// parameters.
+    pub fn replay(
+        spec: &ModelSpec,
+        history: &[f64],
+        start_unit: u64,
+    ) -> Result<(Model, Vec<f64>), TimeSeriesError> {
+        let mut model = Model::cold(spec, history, start_unit)?;
+        let mut forecasts = Vec::with_capacity(history.len());
+        for &v in history {
+            forecasts.push(model.forecast());
+            model.observe(v);
+        }
+        Ok((model, forecasts))
+    }
+
+    /// Builds the all-zero start state (before any replay), phase-aligned
+    /// so the next observation is global unit `start_unit`.
+    ///
+    /// The zero seed makes replay a *pure function of the history*: a
+    /// model kept incrementally by ADA since its creation and a model
+    /// replayed by STA over the same reconstructed history end up in the
+    /// identical state, which is what lets STA serve as ADA's exact
+    /// ground truth.
+    fn cold(spec: &ModelSpec, _history: &[f64], start_unit: u64) -> Result<Model, TimeSeriesError> {
+        Ok(match spec {
+            ModelSpec::Ewma { alpha } => Model::Ewma(Ewma::with_initial(*alpha, 0.0)?),
+            ModelSpec::HoltWinters { alpha, beta, gamma, season } => {
+                let mut hw =
+                    HoltWinters::new(*alpha, *beta, *gamma, 0.0, 0.0, vec![0.0; *season])?;
+                hw.set_phase((start_unit % *season as u64) as usize)?;
+                Model::HoltWinters(hw)
+            }
+            ModelSpec::MultiSeasonal { alpha, beta, gamma, factors } => {
+                let mut hw =
+                    MultiSeasonalHoltWinters::new(*alpha, *beta, *gamma, factors, 0.0, 0.0)?;
+                // Reduce the global counter by the product of the periods
+                // so it fits usize even on 32-bit targets; each factor
+                // takes it modulo its own period anyway.
+                let cycle: u64 = factors.iter().map(|f| f.period as u64).product::<u64>().max(1);
+                hw.set_phases((start_unit % cycle) as usize);
+                Model::MultiSeasonal(hw)
+            }
+        })
+    }
+
+    /// One-step-ahead forecast.
+    pub fn forecast(&self) -> f64 {
+        match self {
+            Model::Ewma(m) => m.forecast(),
+            Model::HoltWinters(m) => m.forecast(),
+            Model::MultiSeasonal(m) => m.forecast(),
+        }
+    }
+
+    /// Advances the model with the observed value.
+    pub fn observe(&mut self, actual: f64) {
+        match self {
+            Model::Ewma(m) => m.observe(actual),
+            Model::HoltWinters(m) => m.observe(actual),
+            Model::MultiSeasonal(m) => m.observe(actual),
+        }
+    }
+
+    /// Scales the model state by `factor` (ADA `SPLIT`).
+    pub fn scale(&mut self, factor: f64) {
+        match self {
+            Model::Ewma(m) => m.scale(factor),
+            Model::HoltWinters(m) => m.scale(factor),
+            Model::MultiSeasonal(m) => m.scale(factor),
+        }
+    }
+
+    /// Adds `other`'s state (ADA `MERGE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::IncompatibleForecasters`] if the models
+    /// are different variants or configured differently.
+    pub fn merge(&mut self, other: &Model) -> Result<(), TimeSeriesError> {
+        match (self, other) {
+            (Model::Ewma(a), Model::Ewma(b)) => a.merge(b),
+            (Model::HoltWinters(a), Model::HoltWinters(b)) => a.merge(b),
+            (Model::MultiSeasonal(a), Model::MultiSeasonal(b)) => a.merge(b),
+            _ => Err(TimeSeriesError::IncompatibleForecasters(
+                "model variants differ".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw_spec(season: usize) -> ModelSpec {
+        ModelSpec::HoltWinters { alpha: 0.4, beta: 0.1, gamma: 0.3, season }
+    }
+
+    #[test]
+    fn replay_produces_aligned_forecasts() {
+        let hist = [5.0, 6.0, 7.0, 8.0];
+        let (model, forecasts) = Model::replay(&ModelSpec::Ewma { alpha: 0.5 }, &hist, 0).unwrap();
+        assert_eq!(forecasts.len(), hist.len());
+        // The model's next forecast continues past the history.
+        assert!(model.forecast() > 5.0);
+    }
+
+    #[test]
+    fn zero_history_yields_zero_state() {
+        let zeros = vec![0.0; 16];
+        let (model, forecasts) = Model::replay(&hw_spec(4), &zeros, 0).unwrap();
+        assert_eq!(model.forecast(), 0.0);
+        assert!(forecasts.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn empty_history_is_valid() {
+        let (model, forecasts) = Model::replay(&hw_spec(4), &[], 0).unwrap();
+        assert!(forecasts.is_empty());
+        assert_eq!(model.forecast(), 0.0);
+    }
+
+    #[test]
+    fn replay_is_linear_across_histories() {
+        // replay(X) + replay(Y) == replay(X+Y) in both state and
+        // forecasts — the property split/merge depends on.
+        let xs: Vec<f64> = (0..20).map(|t| 3.0 + (t % 4) as f64).collect();
+        let ys: Vec<f64> = (0..20).map(|t| 1.0 + (t % 4) as f64 * 0.5).collect();
+        let sum: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
+        let spec = hw_spec(4);
+        let (mut mx, fx) = Model::replay(&spec, &xs, 0).unwrap();
+        let (my, fy) = Model::replay(&spec, &ys, 0).unwrap();
+        let (ms, fs) = Model::replay(&spec, &sum, 0).unwrap();
+        for i in 0..fx.len() {
+            assert!((fx[i] + fy[i] - fs[i]).abs() < 1e-9, "forecast {i}");
+        }
+        mx.merge(&my).unwrap();
+        assert!((mx.forecast() - ms.forecast()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_matches_scaled_history() {
+        let xs: Vec<f64> = (0..20).map(|t| 2.0 + (t % 5) as f64).collect();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 0.3).collect();
+        let spec = hw_spec(5);
+        let (mut mx, _) = Model::replay(&spec, &xs, 0).unwrap();
+        let (ms, _) = Model::replay(&spec, &scaled, 0).unwrap();
+        mx.scale(0.3);
+        assert!((mx.forecast() - ms.forecast()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_rejects_variant_mismatch() {
+        let (mut a, _) = Model::replay(&ModelSpec::Ewma { alpha: 0.5 }, &[1.0], 0).unwrap();
+        let (b, _) = Model::replay(&hw_spec(2), &[1.0, 1.0], 0).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn multi_seasonal_spec_builds() {
+        let spec = ModelSpec::MultiSeasonal {
+            alpha: 0.4,
+            beta: 0.05,
+            gamma: 0.3,
+            factors: vec![SeasonalFactor::new(4, 0.76), SeasonalFactor::new(8, 0.24)],
+        };
+        assert_eq!(spec.preferred_history(), 16);
+        let hist: Vec<f64> = (0..24).map(|t| (t % 4) as f64).collect();
+        let (m, f) = Model::replay(&spec, &hist, 0).unwrap();
+        assert_eq!(f.len(), 24);
+        let _ = m.forecast();
+    }
+
+    #[test]
+    fn preferred_history_lengths() {
+        assert_eq!(ModelSpec::Ewma { alpha: 0.5 }.preferred_history(), 1);
+        assert_eq!(hw_spec(96).preferred_history(), 192);
+    }
+}

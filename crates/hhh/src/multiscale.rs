@@ -1,0 +1,245 @@
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::Tree;
+
+use crate::ada::Ada;
+use crate::config::HhhConfig;
+use crate::error::HhhError;
+
+/// Multi-time-scale heavy hitter tracking (§V-B6 of the paper).
+///
+/// The paper generalises ADA to a vector of η geometric time scales
+/// `Δ, λΔ, λ²Δ, …` so that any configuration where the timeunit size Δ
+/// is a multiple of the window shift ς reduces to the base algorithm:
+/// run the finest scale at ς and read detections from the scale whose
+/// unit equals Δ.
+///
+/// `MultiScaleAda` drives one [`Ada`] tracker per scale. A base-scale
+/// timeunit is pushed to scale 0 on every call; scale `i` receives the
+/// sum of the last λ units of scale `i−1` every λ pushes — the same
+/// cascade as the paper's `UPDATE_TS`, applied to whole count vectors.
+/// Total work per base unit stays amortised Θ(base cost): the cascade
+/// touches scale `i` only every `λ^i` units.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::Tree;
+/// use tiresias_hhh::{HhhConfig, ModelSpec, MultiScaleAda};
+///
+/// let mut tree = Tree::new("All");
+/// let leaf = tree.insert_path(&["TV"]);
+/// let cfg = HhhConfig::new(5.0, 16).with_model(ModelSpec::Ewma { alpha: 0.5 });
+/// // ς = base unit; Δ = 4ς (λ = 4, η = 2).
+/// let mut ms = MultiScaleAda::new(cfg, 4, 2)?;
+/// for _ in 0..8 {
+///     let mut direct = vec![0.0; tree.len()];
+///     direct[leaf.index()] = 2.0; // light per ς-unit…
+///     ms.push_timeunit(&tree, &direct);
+/// }
+/// // …but heavy per Δ-unit: the coarse scale sees 8 per unit.
+/// assert!(!ms.scale(0).is_heavy_hitter(leaf));
+/// assert!(ms.scale(1).is_heavy_hitter(leaf));
+/// # Ok::<(), tiresias_hhh::HhhError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiScaleAda {
+    lambda: usize,
+    trackers: Vec<Ada>,
+    /// Per-scale accumulation buffer (sums of the current λ-block) and
+    /// how many sub-units it holds.
+    pending: Vec<(Vec<f64>, usize)>,
+    base_units: u64,
+}
+
+/// Serializable snapshot of the per-scale configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiScaleConfig {
+    /// Geometric ratio λ between consecutive scales.
+    pub lambda: usize,
+    /// Number of scales η.
+    pub eta: usize,
+}
+
+impl MultiScaleAda {
+    /// Creates a tracker with `eta` scales at geometric ratio `lambda`.
+    /// Every scale uses the same `config`; the heavy hitter threshold θ
+    /// applies per scale (a node heavy per hour may not be heavy per 15
+    /// minutes, exactly the point of multiple scales).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HhhError::InvalidConfig`] if `lambda < 2`, `eta == 0`,
+    /// or the base configuration fails validation.
+    pub fn new(config: HhhConfig, lambda: usize, eta: usize) -> Result<Self, HhhError> {
+        if lambda < 2 {
+            return Err(HhhError::InvalidConfig(format!(
+                "lambda must be at least 2, got {lambda}"
+            )));
+        }
+        if eta == 0 {
+            return Err(HhhError::InvalidConfig("eta must be positive".into()));
+        }
+        let trackers = (0..eta)
+            .map(|_| Ada::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiScaleAda {
+            lambda,
+            trackers,
+            pending: vec![(Vec::new(), 0); eta],
+            base_units: 0,
+        })
+    }
+
+    /// Geometric ratio λ.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Number of scales η.
+    pub fn scale_count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The tracker at scale `i` (0 = finest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= eta`.
+    pub fn scale(&self, i: usize) -> &Ada {
+        &self.trackers[i]
+    }
+
+    /// Base-scale timeunits processed.
+    pub fn base_units(&self) -> u64 {
+        self.base_units
+    }
+
+    /// Pushes one finest-scale timeunit, cascading aggregated units to
+    /// coarser scales as their λ-blocks complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direct.len() < tree.len()`.
+    pub fn push_timeunit(&mut self, tree: &Tree, direct: &[f64]) {
+        assert!(direct.len() >= tree.len(), "direct counts must cover the tree");
+        self.push_at(tree, direct.to_vec(), 0);
+        self.base_units += 1;
+    }
+
+    fn push_at(&mut self, tree: &Tree, direct: Vec<f64>, i: usize) {
+        self.trackers[i].push_timeunit(tree, &direct);
+        if i + 1 >= self.trackers.len() {
+            return;
+        }
+        let (acc, filled) = &mut self.pending[i];
+        if acc.len() < direct.len() {
+            acc.resize(direct.len(), 0.0);
+        }
+        for (a, v) in acc.iter_mut().zip(direct.iter()) {
+            *a += *v;
+        }
+        *filled += 1;
+        if *filled == self.lambda {
+            let coarse = std::mem::take(acc);
+            *filled = 0;
+            self.push_at(tree, coarse, i + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+
+    fn cfg(theta: f64) -> HhhConfig {
+        HhhConfig::new(theta, 32).with_model(ModelSpec::Ewma { alpha: 0.5 })
+    }
+
+    fn tree() -> (Tree, tiresias_hierarchy::NodeId) {
+        let mut t = Tree::new("r");
+        let leaf = t.insert_path(&["a", "x"]);
+        (t, leaf)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(MultiScaleAda::new(cfg(5.0), 1, 2).is_err());
+        assert!(MultiScaleAda::new(cfg(5.0), 2, 0).is_err());
+        assert!(MultiScaleAda::new(HhhConfig::new(0.0, 8), 2, 2).is_err());
+    }
+
+    #[test]
+    fn coarse_scale_sees_lambda_aggregates() {
+        let (t, leaf) = tree();
+        let mut ms = MultiScaleAda::new(cfg(5.0), 3, 2).unwrap();
+        for i in 0..9u64 {
+            let mut d = vec![0.0; t.len()];
+            d[leaf.index()] = (i + 1) as f64;
+            ms.push_timeunit(&t, &d);
+        }
+        // Scale 1 saw three units: 1+2+3=6, 4+5+6=15, 7+8+9=24.
+        assert_eq!(ms.scale(1).instances(), 3);
+        let view = ms.scale(1).view(leaf).unwrap();
+        let vals: Vec<f64> = view.actual.iter().collect();
+        assert_eq!(vals, vec![6.0, 15.0, 24.0]);
+    }
+
+    #[test]
+    fn slow_burn_is_visible_only_at_the_coarse_scale() {
+        let (t, leaf) = tree();
+        let mut ms = MultiScaleAda::new(cfg(10.0), 4, 2).unwrap();
+        for _ in 0..16 {
+            let mut d = vec![0.0; t.len()];
+            d[leaf.index()] = 4.0; // below θ per base unit
+            ms.push_timeunit(&t, &d);
+        }
+        assert!(!ms.scale(0).is_heavy_hitter(leaf));
+        assert!(ms.scale(1).is_heavy_hitter(leaf), "16 per coarse unit ≥ θ");
+    }
+
+    #[test]
+    fn cascade_cost_is_amortised() {
+        let (t, leaf) = tree();
+        let mut ms = MultiScaleAda::new(cfg(5.0), 2, 4).unwrap();
+        let n = 64u64;
+        for _ in 0..n {
+            let mut d = vec![0.0; t.len()];
+            d[leaf.index()] = 1.0;
+            ms.push_timeunit(&t, &d);
+        }
+        let total: u64 = (0..4).map(|i| ms.scale(i).instances()).sum();
+        assert!(total <= 2 * n, "Σ instances {total} must stay ≤ 2·{n}");
+        assert_eq!(ms.base_units(), n);
+    }
+
+    #[test]
+    fn partial_blocks_stay_pending() {
+        let (t, leaf) = tree();
+        let mut ms = MultiScaleAda::new(cfg(5.0), 4, 2).unwrap();
+        for _ in 0..6 {
+            let mut d = vec![0.0; t.len()];
+            d[leaf.index()] = 1.0;
+            ms.push_timeunit(&t, &d);
+        }
+        // 6 = one full block of 4 + 2 pending.
+        assert_eq!(ms.scale(1).instances(), 1);
+    }
+
+    #[test]
+    fn tree_growth_mid_block_is_handled() {
+        let (mut t, leaf) = tree();
+        let mut ms = MultiScaleAda::new(cfg(5.0), 2, 2).unwrap();
+        let mut d = vec![0.0; t.len()];
+        d[leaf.index()] = 3.0;
+        ms.push_timeunit(&t, &d);
+        let newcomer = t.insert_path(&["b", "y"]);
+        let mut d = vec![0.0; t.len()];
+        d[newcomer.index()] = 9.0;
+        ms.push_timeunit(&t, &d);
+        // The coarse unit contains both, padded consistently.
+        assert_eq!(ms.scale(1).instances(), 1);
+        assert_eq!(ms.scale(1).aggregate_weight(t.root()), 12.0);
+    }
+}

@@ -1,0 +1,231 @@
+use tiresias_hierarchy::{NodeId, Tree};
+
+/// Result of a succinct hierarchical heavy hitter computation
+/// (Definition 2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShhhResult {
+    /// The SHHH set, in bottom-up discovery order.
+    pub members: Vec<NodeId>,
+    /// Per-node membership flags, indexed by [`NodeId::index`].
+    pub is_member: Vec<bool>,
+    /// Per-node modified weights `W_n` (after discounting heavy hitter
+    /// descendants), indexed by [`NodeId::index`].
+    pub modified: Vec<f64>,
+}
+
+/// Computes the succinct hierarchical heavy hitter set for one timeunit.
+///
+/// `direct` holds the raw (pre-aggregation) count of each node — for a
+/// well-formed operational stream only leaves carry direct counts, but
+/// interior direct counts are handled additively. A single bottom-up
+/// sweep evaluates the unique fixed point of Definition 2: each node's
+/// modified weight is its direct count plus the modified weights of its
+/// non-heavy-hitter children, and the node is a member iff that weight
+/// reaches `theta`.
+///
+/// # Panics
+///
+/// Panics if `direct.len() < tree.len()`.
+pub fn compute_shhh(tree: &Tree, direct: &[f64], theta: f64) -> ShhhResult {
+    assert!(
+        direct.len() >= tree.len(),
+        "direct weights must cover every node of the tree"
+    );
+    let mut modified = vec![0.0; tree.len()];
+    let mut is_member = vec![false; tree.len()];
+    let mut members = Vec::new();
+    for n in tree.rev_level_order() {
+        let mut w = direct[n.index()];
+        for &c in tree.children(n) {
+            if !is_member[c.index()] {
+                w += modified[c.index()];
+            }
+        }
+        modified[n.index()] = w;
+        if w >= theta {
+            is_member[n.index()] = true;
+            members.push(n);
+        }
+    }
+    ShhhResult { members, is_member, modified }
+}
+
+/// Computes the *original* (aggregate) weights `A_n`: each node's direct
+/// count plus the sum over its entire subtree.
+///
+/// # Panics
+///
+/// Panics if `direct.len() < tree.len()`.
+pub fn aggregate_weights(tree: &Tree, direct: &[f64]) -> Vec<f64> {
+    assert!(
+        direct.len() >= tree.len(),
+        "direct weights must cover every node of the tree"
+    );
+    let mut agg = direct[..tree.len()].to_vec();
+    for n in tree.rev_level_order() {
+        if let Some(p) = tree.parent(n) {
+            agg[p.index()] += agg[n.index()];
+        }
+    }
+    agg
+}
+
+/// Evaluates, for a **fixed** heavy-hitter membership, the time-series
+/// value of every node for one timeunit (Definition 3 generalised to cut
+/// at *maximal heavy-hitter descendants*, which is the quantity ADA's
+/// weight recursion maintains).
+///
+/// The value of node `n` is its direct count plus the values of its
+/// non-member children — i.e. the aggregate count minus everything
+/// already claimed by member descendants.
+///
+/// # Panics
+///
+/// Panics if `direct` or `is_member` are shorter than the tree.
+pub fn series_values(tree: &Tree, direct: &[f64], is_member: &[bool]) -> Vec<f64> {
+    assert!(direct.len() >= tree.len() && is_member.len() >= tree.len());
+    let mut value = vec![0.0; tree.len()];
+    for n in tree.rev_level_order() {
+        let mut w = direct[n.index()];
+        for &c in tree.children(n) {
+            if !is_member[c.index()] {
+                w += value[c.index()];
+            }
+        }
+        value[n.index()] = w;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiresias_hierarchy::Tree;
+
+    /// root → {a → {x, y}, b}
+    fn tree() -> Tree {
+        let mut t = Tree::new("root");
+        t.insert_path(&["a", "x"]);
+        t.insert_path(&["a", "y"]);
+        t.insert_path(&["b"]);
+        t
+    }
+
+    fn direct(t: &Tree, pairs: &[(&[&str], f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; t.len()];
+        for (path, w) in pairs {
+            d[t.find(path).unwrap().index()] = *w;
+        }
+        d
+    }
+
+    #[test]
+    fn leaf_heavy_hitter_is_discounted_from_ancestors() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 20.0), (&["a", "y"], 3.0), (&["b"], 2.0)]);
+        let r = compute_shhh(&t, &d, 10.0);
+        let x = t.find(&["a", "x"]).unwrap();
+        let a = t.find(&["a"]).unwrap();
+        assert!(r.is_member[x.index()]);
+        // a's modified weight = 3 (only y), below θ.
+        assert_eq!(r.modified[a.index()], 3.0);
+        assert!(!r.is_member[a.index()]);
+        // root: a's 3 + b's 2 = 5, below θ.
+        assert_eq!(r.modified[t.root().index()], 5.0);
+        assert_eq!(r.members, vec![x]);
+    }
+
+    #[test]
+    fn interior_becomes_member_from_residual() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 20.0), (&["a", "y"], 15.0), (&["b"], 1.0)]);
+        let r = compute_shhh(&t, &d, 10.0);
+        let x = t.find(&["a", "x"]).unwrap();
+        let y = t.find(&["a", "y"]).unwrap();
+        let a = t.find(&["a"]).unwrap();
+        assert!(r.is_member[x.index()] && r.is_member[y.index()]);
+        // Both children are members, so a's modified weight is 0.
+        assert_eq!(r.modified[a.index()], 0.0);
+        assert!(!r.is_member[a.index()]);
+        assert_eq!(r.modified[t.root().index()], 1.0);
+    }
+
+    #[test]
+    fn sparse_mass_aggregates_up_to_root() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 4.0), (&["a", "y"], 4.0), (&["b"], 4.0)]);
+        let r = compute_shhh(&t, &d, 10.0);
+        // No single node is heavy except the root aggregate (12 ≥ 10).
+        assert_eq!(r.members, vec![t.root()]);
+        assert_eq!(r.modified[t.root().index()], 12.0);
+    }
+
+    #[test]
+    fn member_weights_are_at_least_theta_and_nonmembers_below() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 13.0), (&["a", "y"], 9.0), (&["b"], 25.0)]);
+        let r = compute_shhh(&t, &d, 10.0);
+        for n in t.iter() {
+            if r.is_member[n.index()] {
+                assert!(r.modified[n.index()] >= 10.0);
+            } else {
+                assert!(r.modified[n.index()] < 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn definition_fixed_point_is_self_consistent() {
+        // Recompute each member's weight from the final membership and
+        // check it matches — the uniqueness argument of the paper.
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 11.0), (&["a", "y"], 6.0), (&["b"], 7.0)]);
+        let r = compute_shhh(&t, &d, 10.0);
+        let v = series_values(&t, &d, &r.is_member);
+        for n in t.iter() {
+            assert_eq!(v[n.index()], r.modified[n.index()], "node {n}");
+        }
+    }
+
+    #[test]
+    fn aggregate_weights_sum_subtrees() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 1.0), (&["a", "y"], 2.0), (&["b"], 4.0)]);
+        let agg = aggregate_weights(&t, &d);
+        assert_eq!(agg[t.find(&["a"]).unwrap().index()], 3.0);
+        assert_eq!(agg[t.root().index()], 7.0);
+    }
+
+    #[test]
+    fn series_values_cut_at_members() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 20.0), (&["a", "y"], 3.0), (&["b"], 2.0)]);
+        // Fix membership = {x}: then a's value excludes x.
+        let mut is_member = vec![false; t.len()];
+        is_member[t.find(&["a", "x"]).unwrap().index()] = true;
+        let v = series_values(&t, &d, &is_member);
+        assert_eq!(v[t.find(&["a"]).unwrap().index()], 3.0);
+        assert_eq!(v[t.root().index()], 5.0);
+        // And with empty membership it degenerates to the aggregate.
+        let v2 = series_values(&t, &d, &vec![false; t.len()]);
+        assert_eq!(v2, aggregate_weights(&t, &d));
+    }
+
+    #[test]
+    fn zero_threshold_makes_every_nonzero_node_member() {
+        let t = tree();
+        let d = direct(&t, &[(&["a", "x"], 1.0)]);
+        let r = compute_shhh(&t, &d, f64::MIN_POSITIVE);
+        let x = t.find(&["a", "x"]).unwrap();
+        assert!(r.is_member[x.index()]);
+        // Ancestors of x have modified weight 0 after discounting.
+        assert!(!r.is_member[t.find(&["a"]).unwrap().index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every node")]
+    fn short_direct_vector_panics() {
+        let t = tree();
+        let _ = compute_shhh(&t, &[0.0], 1.0);
+    }
+}

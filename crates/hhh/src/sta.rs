@@ -1,0 +1,417 @@
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use tiresias_hierarchy::{NodeId, Tree};
+
+use crate::config::HhhConfig;
+use crate::error::HhhError;
+use crate::memory::MemoryReport;
+use crate::model::Model;
+use crate::shhh::{aggregate_weights, compute_shhh, series_values};
+use crate::timings::StageTimings;
+
+/// Per-heavy-hitter state reconstructed by STA at the latest instance.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct StaSeries {
+    actual: Vec<f64>,
+    forecast: Vec<f64>,
+    model: Model,
+}
+
+/// The strawman algorithm **STA** (Fig. 4 of the paper).
+///
+/// STA keeps the raw per-timeunit count vectors for the whole sliding
+/// window of ℓ timeunits. At every time instance it recomputes the
+/// succinct heavy hitter set on the newest timeunit (Definition 2) and
+/// then *reconstructs from scratch* the time series of every heavy
+/// hitter by sweeping all ℓ stored timeunits with the membership held
+/// fixed (Definition 3). Forecasting models are replayed over the
+/// reconstructed series.
+///
+/// This is exact — the paper (and this workspace) uses STA as ground
+/// truth when measuring ADA's series and detection accuracy — but costs
+/// Θ(ℓ·|tree|) time per instance and Θ(ℓ·nonzero) memory, which is what
+/// Tables III and IV quantify.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::Tree;
+/// use tiresias_hhh::{HhhConfig, ModelSpec, Sta};
+///
+/// let mut tree = Tree::new("All");
+/// let leaf = tree.insert_path(&["TV", "No Service"]);
+/// let cfg = HhhConfig::new(5.0, 8).with_model(ModelSpec::Ewma { alpha: 0.5 });
+/// let mut sta = Sta::new(cfg)?;
+/// for _ in 0..10 {
+///     let mut direct = vec![0.0; tree.len()];
+///     direct[leaf.index()] = 7.0;
+///     sta.push_timeunit(&tree, &direct);
+/// }
+/// assert!(sta.is_heavy_hitter(leaf));
+/// let actual = sta.actual_series(leaf).unwrap();
+/// assert_eq!(actual.len(), 8); // full window
+/// assert!(actual.iter().all(|&v| v == 7.0));
+/// # Ok::<(), tiresias_hhh::HhhError>(())
+/// ```
+///
+/// `Sta` is fully serialisable (serde) for checkpoint/restore, like
+/// [`crate::Ada`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Sta {
+    config: HhhConfig,
+    /// Sparse direct counts per stored unit (index, count), oldest →
+    /// newest, at most ℓ units. Sparse storage mirrors the paper's
+    /// per-timeunit trees, which only materialise touched nodes.
+    units: VecDeque<Vec<(u32, f64)>>,
+    /// Dense scratch buffer reused by the per-unit sweeps.
+    scratch: Vec<f64>,
+    members: Vec<NodeId>,
+    is_member: Vec<bool>,
+    modified: Vec<f64>,
+    #[serde(with = "node_keyed_map")]
+    series: HashMap<NodeId, StaSeries>,
+    timings: StageTimings,
+    instances: u64,
+}
+
+/// Serialises `HashMap<NodeId, V>` as a sequence of pairs so formats
+/// with string-only map keys (JSON) work.
+mod node_keyed_map {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S, V>(map: &HashMap<NodeId, V>, s: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+        V: serde::Serialize,
+    {
+        let pairs: Vec<(&NodeId, &V)> = map.iter().collect();
+        serde::Serialize::serialize(&pairs, s)
+    }
+
+    pub fn deserialize<'de, D, V>(d: D) -> Result<HashMap<NodeId, V>, D::Error>
+    where
+        D: Deserializer<'de>,
+        V: serde::Deserialize<'de>,
+    {
+        let pairs: Vec<(NodeId, V)> = serde::Deserialize::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl Sta {
+    /// Creates an STA tracker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HhhError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: HhhConfig) -> Result<Self, HhhError> {
+        config.validate().map_err(HhhError::InvalidConfig)?;
+        Ok(Sta {
+            config,
+            units: VecDeque::new(),
+            scratch: Vec::new(),
+            members: Vec::new(),
+            is_member: Vec::new(),
+            modified: Vec::new(),
+            series: HashMap::new(),
+            timings: StageTimings::default(),
+            instances: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HhhConfig {
+        &self.config
+    }
+
+    /// Number of timeunits processed so far.
+    pub fn instances(&self) -> u64 {
+        self.instances
+    }
+
+    /// Feeds the direct (pre-aggregation) counts of one closed timeunit
+    /// and recomputes heavy hitters and all their time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direct.len() < tree.len()`.
+    pub fn push_timeunit(&mut self, tree: &Tree, direct: &[f64]) {
+        assert!(direct.len() >= tree.len(), "direct counts must cover the tree");
+        if self.units.len() == self.config.ell {
+            self.units.pop_front();
+        }
+        let sparse: Vec<(u32, f64)> = direct[..tree.len()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        self.units.push_back(sparse);
+
+        // Stage: updating hierarchies (Definition 2 on the newest unit).
+        let t0 = Instant::now();
+        let shhh = compute_shhh(tree, direct, self.config.theta);
+        self.members = shhh.members;
+        self.is_member = shhh.is_member;
+        self.modified = shhh.modified;
+        self.timings.updating_hierarchies += t0.elapsed();
+
+        // Stage: creating time series — the Θ(ℓ·|tree|) sweep.
+        let t1 = Instant::now();
+        self.series.clear();
+        let mut per_member: HashMap<NodeId, Vec<f64>> =
+            self.members.iter().map(|&n| (n, Vec::with_capacity(self.units.len()))).collect();
+        self.scratch.clear();
+        self.scratch.resize(tree.len(), 0.0);
+        for unit in &self.units {
+            // Indices beyond the current tree length cannot occur: the
+            // tree only grows, so old sparse entries stay valid.
+            for &(i, v) in unit {
+                self.scratch[i as usize] = v;
+            }
+            let values = series_values(tree, &self.scratch, &self.is_member);
+            for &(i, _) in unit {
+                self.scratch[i as usize] = 0.0;
+            }
+            for (&n, hist) in per_member.iter_mut() {
+                hist.push(values[n.index()]);
+            }
+        }
+        for (n, actual) in per_member {
+            match Model::replay(
+                &self.config.model,
+                &actual,
+                self.instances + 1 - actual.len() as u64,
+            ) {
+                Ok((model, forecast)) => {
+                    self.series.insert(n, StaSeries { actual, forecast, model });
+                }
+                Err(_) => {
+                    // Invalid model parameters are caught at construction;
+                    // replay over finite data cannot fail, but degrade
+                    // gracefully if it ever does.
+                }
+            }
+        }
+        self.timings.creating_time_series += t1.elapsed();
+        self.instances += 1;
+    }
+
+    /// The current succinct heavy hitter set.
+    pub fn heavy_hitters(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// `true` iff `n` is currently a heavy hitter.
+    pub fn is_heavy_hitter(&self, n: NodeId) -> bool {
+        self.is_member.get(n.index()).copied().unwrap_or(false)
+    }
+
+    /// The modified (Definition-2) weight of `n` in the newest timeunit.
+    pub fn modified_weight(&self, n: NodeId) -> f64 {
+        self.modified.get(n.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The reconstructed actual series of heavy hitter `n` (oldest →
+    /// newest), or `None` if `n` is not a heavy hitter.
+    pub fn actual_series(&self, n: NodeId) -> Option<&[f64]> {
+        self.series.get(&n).map(|s| s.actual.as_slice())
+    }
+
+    /// The replayed one-step forecasts aligned with
+    /// [`Sta::actual_series`].
+    pub fn forecast_series(&self, n: NodeId) -> Option<&[f64]> {
+        self.series.get(&n).map(|s| s.forecast.as_slice())
+    }
+
+    /// Newest `(actual, forecast)` pair of heavy hitter `n` — the inputs
+    /// of the Definition-4 anomaly test.
+    pub fn latest(&self, n: NodeId) -> Option<(f64, f64)> {
+        let s = self.series.get(&n)?;
+        Some((*s.actual.last()?, *s.forecast.last()?))
+    }
+
+    /// The forecast for the *next* (not yet observed) timeunit of heavy
+    /// hitter `n`, from its replayed model.
+    pub fn next_forecast(&self, n: NodeId) -> Option<f64> {
+        self.series.get(&n).map(|s| s.model.forecast())
+    }
+
+    /// Aggregate weights `A_n` of the newest timeunit.
+    pub fn latest_aggregates(&self, tree: &Tree) -> Vec<f64> {
+        let mut dense = vec![0.0; tree.len()];
+        if let Some(unit) = self.units.back() {
+            for &(i, v) in unit {
+                dense[i as usize] = v;
+            }
+            return aggregate_weights(tree, &dense);
+        }
+        dense
+    }
+
+    /// Cumulative stage timings.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Memory accounting (see [`MemoryReport`]).
+    pub fn memory_report(&self, tree: &Tree) -> MemoryReport {
+        MemoryReport {
+            tree_nodes: tree.len(),
+            history_cells: self.units.iter().map(Vec::len).sum(),
+            series_cells: self.series.values().map(|s| s.actual.len() + s.forecast.len()).sum(),
+            reference_cells: 0,
+            heavy_hitters: self.members.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+
+    fn tree() -> (Tree, NodeId, NodeId) {
+        let mut t = Tree::new("root");
+        let x = t.insert_path(&["a", "x"]);
+        let y = t.insert_path(&["a", "y"]);
+        (t, x, y)
+    }
+
+    fn cfg(theta: f64, ell: usize) -> HhhConfig {
+        HhhConfig::new(theta, ell).with_model(ModelSpec::Ewma { alpha: 0.5 })
+    }
+
+    #[test]
+    fn window_is_bounded_by_ell() {
+        let (t, x, _) = tree();
+        let mut sta = Sta::new(cfg(5.0, 4)).unwrap();
+        for i in 0..10 {
+            let mut d = vec![0.0; t.len()];
+            d[x.index()] = 10.0 + i as f64;
+            sta.push_timeunit(&t, &d);
+        }
+        assert_eq!(sta.actual_series(x).unwrap().len(), 4);
+        // Newest value is the last push.
+        assert_eq!(*sta.actual_series(x).unwrap().last().unwrap(), 19.0);
+    }
+
+    #[test]
+    fn membership_changes_rebuild_series_for_new_members() {
+        let (t, x, y) = tree();
+        let a = t.find(&["a"]).unwrap();
+        let mut sta = Sta::new(cfg(10.0, 8)).unwrap();
+        // Phase 1: only x heavy.
+        for _ in 0..3 {
+            let mut d = vec![0.0; t.len()];
+            d[x.index()] = 20.0;
+            d[y.index()] = 3.0;
+            sta.push_timeunit(&t, &d);
+        }
+        assert!(sta.is_heavy_hitter(x));
+        assert!(!sta.is_heavy_hitter(a));
+        // Phase 2: x cools, mass moves so that only the interior `a`
+        // aggregate is heavy.
+        let mut d = vec![0.0; t.len()];
+        d[x.index()] = 6.0;
+        d[y.index()] = 6.0;
+        sta.push_timeunit(&t, &d);
+        assert!(!sta.is_heavy_hitter(x));
+        assert!(sta.is_heavy_hitter(a));
+        // a's series covers the full history: 23 for the first 3 units
+        // (x not a member anymore, so nothing is discounted), then 12.
+        assert_eq!(sta.actual_series(a).unwrap(), &[23.0, 23.0, 23.0, 12.0]);
+    }
+
+    #[test]
+    fn series_discounts_current_members_only() {
+        let (t, x, y) = tree();
+        let a = t.find(&["a"]).unwrap();
+        let mut sta = Sta::new(cfg(10.0, 8)).unwrap();
+        // Both x and the residual of a are heavy.
+        for _ in 0..2 {
+            let mut d = vec![0.0; t.len()];
+            d[x.index()] = 30.0;
+            d[y.index()] = 15.0;
+            sta.push_timeunit(&t, &d);
+        }
+        assert!(sta.is_heavy_hitter(x));
+        assert!(sta.is_heavy_hitter(y));
+        // a's residual after discounting both member children is 0.
+        assert!(!sta.is_heavy_hitter(a));
+        assert_eq!(sta.modified_weight(a), 0.0);
+    }
+
+    #[test]
+    fn forecast_series_aligns_with_actual() {
+        let (t, x, _) = tree();
+        let mut sta = Sta::new(cfg(5.0, 8)).unwrap();
+        for i in 0..6 {
+            let mut d = vec![0.0; t.len()];
+            d[x.index()] = 10.0 + i as f64;
+            sta.push_timeunit(&t, &d);
+        }
+        let actual = sta.actual_series(x).unwrap();
+        let forecast = sta.forecast_series(x).unwrap();
+        assert_eq!(actual.len(), forecast.len());
+        let (la, lf) = sta.latest(x).unwrap();
+        assert_eq!(la, *actual.last().unwrap());
+        assert_eq!(lf, *forecast.last().unwrap());
+    }
+
+    #[test]
+    fn tree_growth_mid_stream_is_handled() {
+        let (mut t, x, _) = tree();
+        let mut sta = Sta::new(cfg(5.0, 8)).unwrap();
+        let mut d = vec![0.0; t.len()];
+        d[x.index()] = 9.0;
+        sta.push_timeunit(&t, &d);
+        // New category appears.
+        let z = t.insert_path(&["b", "z"]);
+        let mut d = vec![0.0; t.len()];
+        d[z.index()] = 12.0;
+        sta.push_timeunit(&t, &d);
+        assert!(sta.is_heavy_hitter(z));
+        // z's series covers both units; the old unit contributes zero.
+        assert_eq!(sta.actual_series(z).unwrap(), &[0.0, 12.0]);
+    }
+
+    #[test]
+    fn memory_report_counts_nonzero_history() {
+        let (t, x, y) = tree();
+        let mut sta = Sta::new(cfg(5.0, 8)).unwrap();
+        let mut d = vec![0.0; t.len()];
+        d[x.index()] = 9.0;
+        d[y.index()] = 1.0;
+        sta.push_timeunit(&t, &d);
+        let report = sta.memory_report(&t);
+        assert_eq!(report.history_cells, 2);
+        assert_eq!(report.tree_nodes, t.len());
+        assert!(report.series_cells > 0);
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let (t, x, _) = tree();
+        let mut sta = Sta::new(cfg(5.0, 64)).unwrap();
+        for _ in 0..32 {
+            let mut d = vec![0.0; t.len()];
+            d[x.index()] = 9.0;
+            sta.push_timeunit(&t, &d);
+        }
+        let tm = sta.timings();
+        assert!(tm.creating_time_series > std::time::Duration::ZERO);
+        assert_eq!(sta.instances(), 32);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(matches!(
+            Sta::new(HhhConfig::new(0.0, 8)),
+            Err(HhhError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative wall-clock time spent in each processing stage, mirroring
+/// the stage breakdown of the paper's Table III.
+///
+/// `reading_traces` is filled by the caller (trace parsing happens
+/// outside the trackers); the trackers themselves account
+/// `updating_hierarchies`, `creating_time_series` and (in the detector)
+/// `detecting_anomalies`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Time spent parsing/ingesting raw records.
+    pub reading_traces: Duration,
+    /// Time spent updating node weights and the heavy hitter set.
+    pub updating_hierarchies: Duration,
+    /// Time spent constructing or adapting per-heavy-hitter time series.
+    pub creating_time_series: Duration,
+    /// Time spent applying the anomaly decision rule.
+    pub detecting_anomalies: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.reading_traces
+            + self.updating_hierarchies
+            + self.creating_time_series
+            + self.detecting_anomalies
+    }
+
+    /// Adds another timing record stage-wise.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.reading_traces += other.reading_traces;
+        self.updating_hierarchies += other.updating_hierarchies;
+        self.creating_time_series += other.creating_time_series;
+        self.detecting_anomalies += other.detecting_anomalies;
+    }
+
+    /// The share of `stage` in the total, in percent (0 when total is
+    /// zero).
+    pub fn percent(&self, stage: Duration) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            stage.as_secs_f64() / total * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_percent() {
+        let t = StageTimings {
+            reading_traces: Duration::from_millis(10),
+            updating_hierarchies: Duration::from_millis(20),
+            creating_time_series: Duration::from_millis(60),
+            detecting_anomalies: Duration::from_millis(10),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        assert!((t.percent(t.creating_time_series) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_adds_stagewise() {
+        let mut a = StageTimings::default();
+        let b = StageTimings {
+            reading_traces: Duration::from_millis(5),
+            ..StageTimings::default()
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.reading_traces, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_total_percent_is_zero() {
+        let t = StageTimings::default();
+        assert_eq!(t.percent(Duration::from_millis(5)), 0.0);
+    }
+}

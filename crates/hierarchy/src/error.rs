@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by hierarchy construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HierarchyError {
+    /// A category path referenced a node that does not exist in the tree.
+    UnknownPath(String),
+    /// A path component was empty, which is not a valid label.
+    EmptyLabel,
+    /// A [`crate::HierarchySpec`] declared zero levels, which cannot
+    /// describe a hierarchy.
+    EmptySpec,
+    /// A per-level fan-out of zero was requested below the deepest level.
+    ZeroDegree {
+        /// 1-based level whose fan-out was zero.
+        level: usize,
+    },
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::UnknownPath(p) => write!(f, "unknown category path `{p}`"),
+            HierarchyError::EmptyLabel => write!(f, "category labels must be non-empty"),
+            HierarchyError::EmptySpec => write!(f, "hierarchy spec must declare at least one level"),
+            HierarchyError::ZeroDegree { level } => {
+                write!(f, "level {level} declares a fan-out of zero")
+            }
+        }
+    }
+}
+
+impl Error for HierarchyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            HierarchyError::UnknownPath("a/b".into()).to_string(),
+            HierarchyError::EmptyLabel.to_string(),
+            HierarchyError::EmptySpec.to_string(),
+            HierarchyError::ZeroDegree { level: 2 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<HierarchyError>();
+    }
+}

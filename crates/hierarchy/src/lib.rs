@@ -1,0 +1,51 @@
+//! Hierarchical category domain for Tiresias.
+//!
+//! Operational network data (customer-care call records, set-top-box crash
+//! logs, trouble tickets, …) is classified against an **additive
+//! hierarchy**: every record names a leaf category, and the count of any
+//! interior category is the sum of the counts of its children. This crate
+//! provides the substrate the rest of the workspace builds on:
+//!
+//! * [`CategoryPath`] — a `/`-separated path of labels naming a node,
+//! * [`Tree`] / [`NodeId`] — an arena-allocated hierarchy with O(1) parent,
+//!   children, and depth lookups plus level-order traversals in both
+//!   directions (the paper's algorithms are phrased as bottom-up and
+//!   top-down level-order sweeps),
+//! * [`HierarchySpec`] — a declarative per-level fan-out description used
+//!   to synthesise hierarchies shaped like the paper's Table II,
+//! * [`WeightMap`] — dense per-node weights with additive (bottom-up)
+//!   aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use tiresias_hierarchy::{CategoryPath, Tree};
+//!
+//! let mut tree = Tree::new("All");
+//! let dslam = tree.insert_path(&["VHO-3", "IO-1", "CO-7", "DSLAM-2"]);
+//! assert_eq!(tree.depth(dslam), 4);
+//! assert_eq!(
+//!     tree.path_of(dslam),
+//!     CategoryPath::from(["VHO-3", "IO-1", "CO-7", "DSLAM-2"].as_slice())
+//! );
+//! assert_eq!(tree.len(), 5); // root + four path components
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod path;
+mod render;
+mod spec;
+mod traversal;
+mod tree;
+mod weights;
+
+pub use error::HierarchyError;
+pub use path::CategoryPath;
+pub use render::{render_ascii, render_dot};
+pub use spec::{HierarchySpec, LevelSpec};
+pub use traversal::{LevelOrder, RevLevelOrder, Subtree};
+pub use tree::{NodeId, Tree};
+pub use weights::WeightMap;

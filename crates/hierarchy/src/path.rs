@@ -1,0 +1,231 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A category path: the sequence of labels from (but excluding) the root
+/// down to a node of the hierarchy.
+///
+/// Paths are how operational records name their category. The record
+/// `["TV", "TV No Service", "No Pic No Sound"]` names a node three levels
+/// below the root of the trouble-description hierarchy. The root itself is
+/// the *empty* path.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::CategoryPath;
+///
+/// let p: CategoryPath = "TV/TV No Service/No Pic No Sound".parse()?;
+/// assert_eq!(p.depth(), 3);
+/// assert_eq!(p.leaf(), Some("No Pic No Sound"));
+/// assert_eq!(p.parent().unwrap().to_string(), "TV/TV No Service");
+/// # Ok::<(), std::convert::Infallible>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CategoryPath {
+    labels: Vec<String>,
+}
+
+impl CategoryPath {
+    /// Creates the empty path, which names the root node.
+    pub fn root() -> Self {
+        CategoryPath { labels: Vec::new() }
+    }
+
+    /// Creates a path from an iterator of labels.
+    ///
+    /// Empty labels are skipped, mirroring how `"a//b"` parses to `a/b`.
+    pub fn new<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CategoryPath {
+            labels: labels
+                .into_iter()
+                .map(Into::into)
+                .filter(|s: &String| !s.is_empty())
+                .collect(),
+        }
+    }
+
+    /// Number of labels, i.e. the depth of the named node below the root.
+    pub fn depth(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels of this path, outermost first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The last (deepest) label, or `None` for the root path.
+    pub fn leaf(&self) -> Option<&str> {
+        self.labels.last().map(String::as_str)
+    }
+
+    /// The path one level up, or `None` for the root path.
+    pub fn parent(&self) -> Option<CategoryPath> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(CategoryPath {
+                labels: self.labels[..self.labels.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns a new path with `label` appended.
+    pub fn child(&self, label: impl Into<String>) -> CategoryPath {
+        let mut labels = self.labels.clone();
+        labels.push(label.into());
+        CategoryPath { labels }
+    }
+
+    /// The prefix of this path truncated to `depth` labels.
+    ///
+    /// Truncating deeper than the path itself returns the whole path.
+    pub fn truncate(&self, depth: usize) -> CategoryPath {
+        CategoryPath {
+            labels: self.labels[..depth.min(self.labels.len())].to_vec(),
+        }
+    }
+
+    /// `true` iff `self` is equal to `other` or an ancestor of it.
+    ///
+    /// This is the `⊒` relation used by the paper's §VII-B comparison: a
+    /// reference anomaly at a VHO "covers" a Tiresias anomaly reported at
+    /// any descendant of that VHO.
+    pub fn is_ancestor_or_equal(&self, other: &CategoryPath) -> bool {
+        self.labels.len() <= other.labels.len()
+            && self.labels.iter().zip(&other.labels).all(|(a, b)| a == b)
+    }
+
+    /// Iterates over the labels, outermost first.
+    pub fn iter(&self) -> std::slice::Iter<'_, String> {
+        self.labels.iter()
+    }
+}
+
+impl fmt::Display for CategoryPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, "/");
+        }
+        let mut first = true;
+        for l in &self.labels {
+            if !first {
+                write!(f, "/")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for CategoryPath {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(CategoryPath::new(s.split('/').filter(|c| !c.is_empty())))
+    }
+}
+
+impl From<&[&str]> for CategoryPath {
+    fn from(labels: &[&str]) -> Self {
+        CategoryPath::new(labels.iter().copied())
+    }
+}
+
+impl From<Vec<String>> for CategoryPath {
+    fn from(labels: Vec<String>) -> Self {
+        CategoryPath::new(labels)
+    }
+}
+
+impl FromIterator<String> for CategoryPath {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        CategoryPath::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a CategoryPath {
+    type Item = &'a String;
+    type IntoIter = std::slice::Iter<'a, String>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.labels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_path_is_empty() {
+        let p = CategoryPath::root();
+        assert!(p.is_root());
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.leaf(), None);
+        assert_eq!(p.parent(), None);
+        assert_eq!(p.to_string(), "/");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let p: CategoryPath = "TV/TV No Service/No Pic No Sound".parse().unwrap();
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.to_string(), "TV/TV No Service/No Pic No Sound");
+    }
+
+    #[test]
+    fn parse_skips_empty_components() {
+        let p: CategoryPath = "/a//b/".parse().unwrap();
+        assert_eq!(p.labels(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn parent_and_child_are_inverse() {
+        let p: CategoryPath = "a/b/c".parse().unwrap();
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "a/b");
+        assert_eq!(parent.child("c"), p);
+    }
+
+    #[test]
+    fn truncate_clamps_to_own_depth() {
+        let p: CategoryPath = "a/b".parse().unwrap();
+        assert_eq!(p.truncate(5), p);
+        assert_eq!(p.truncate(1).to_string(), "a");
+        assert_eq!(p.truncate(0), CategoryPath::root());
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let root = CategoryPath::root();
+        let a: CategoryPath = "a".parse().unwrap();
+        let ab: CategoryPath = "a/b".parse().unwrap();
+        let ac: CategoryPath = "a/c".parse().unwrap();
+        assert!(root.is_ancestor_or_equal(&ab));
+        assert!(a.is_ancestor_or_equal(&ab));
+        assert!(ab.is_ancestor_or_equal(&ab));
+        assert!(!ab.is_ancestor_or_equal(&a));
+        assert!(!ab.is_ancestor_or_equal(&ac));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: CategoryPath = "a".parse().unwrap();
+        let ab: CategoryPath = "a/b".parse().unwrap();
+        let b: CategoryPath = "b".parse().unwrap();
+        assert!(a < ab);
+        assert!(ab < b);
+    }
+}

@@ -1,0 +1,183 @@
+//! Human-readable renderings of a [`Tree`]: indented ASCII outlines and
+//! Graphviz DOT, optionally annotated with per-node values (weights,
+//! anomaly counts, …).
+
+use crate::tree::{NodeId, Tree};
+
+/// Renders the subtree under `root` as an indented ASCII outline.
+///
+/// `annotate` may return a short per-node suffix (e.g. a weight); return
+/// `None` for no annotation. `max_depth` limits how deep the outline
+/// descends below `root` (use `usize::MAX` for the whole subtree).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::{render_ascii, Tree};
+///
+/// let mut t = Tree::new("All");
+/// t.insert_path(&["TV", "No Service"]);
+/// t.insert_path(&["Internet"]);
+/// let out = render_ascii(&t, t.root(), usize::MAX, |_| None);
+/// assert!(out.contains("All"));
+/// assert!(out.contains("└─ Internet") || out.contains("└─ TV"));
+/// ```
+pub fn render_ascii<F>(tree: &Tree, root: NodeId, max_depth: usize, annotate: F) -> String
+where
+    F: Fn(NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    let base_depth = tree.depth(root);
+    let label = |n: NodeId| -> String {
+        match annotate(n) {
+            Some(a) => format!("{} [{a}]", tree.label(n)),
+            None => tree.label(n).to_string(),
+        }
+    };
+    out.push_str(&label(root));
+    out.push('\n');
+    // Depth-first with explicit "is last child" tracking for the box
+    // drawing characters.
+    fn walk<F: Fn(NodeId) -> Option<String>>(
+        tree: &Tree,
+        node: NodeId,
+        prefix: &str,
+        base_depth: usize,
+        max_depth: usize,
+        annotate: &F,
+        out: &mut String,
+    ) {
+        if tree.depth(node) - base_depth >= max_depth {
+            return;
+        }
+        let children = tree.children(node);
+        for (i, &c) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let branch = if last { "└─ " } else { "├─ " };
+            out.push_str(prefix);
+            out.push_str(branch);
+            match annotate(c) {
+                Some(a) => {
+                    out.push_str(tree.label(c));
+                    out.push_str(&format!(" [{a}]"));
+                }
+                None => out.push_str(tree.label(c)),
+            }
+            out.push('\n');
+            let next_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+            walk(tree, c, &next_prefix, base_depth, max_depth, annotate, out);
+        }
+    }
+    walk(tree, root, "", base_depth, max_depth, &annotate, &mut out);
+    out
+}
+
+/// Renders the subtree under `root` as a Graphviz DOT digraph.
+///
+/// Nodes carry their label plus an optional annotation on a second
+/// line; labels are escaped for DOT string syntax.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::{render_dot, Tree};
+///
+/// let mut t = Tree::new("All");
+/// t.insert_path(&["TV"]);
+/// let dot = render_dot(&t, t.root(), |_| None);
+/// assert!(dot.starts_with("digraph hierarchy {"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn render_dot<F>(tree: &Tree, root: NodeId, annotate: F) -> String
+where
+    F: Fn(NodeId) -> Option<String>,
+{
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("digraph hierarchy {\n  rankdir=TB;\n  node [shape=box];\n");
+    for n in tree.subtree(root) {
+        let mut label = escape(tree.label(n));
+        if let Some(a) = annotate(n) {
+            label.push_str("\\n");
+            label.push_str(&escape(&a));
+        }
+        out.push_str(&format!("  n{} [label=\"{}\"];\n", n.index(), label));
+        for &c in tree.children(n) {
+            out.push_str(&format!("  n{} -> n{};\n", n.index(), c.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        let mut t = Tree::new("root");
+        t.insert_path(&["a", "x"]);
+        t.insert_path(&["a", "y"]);
+        t.insert_path(&["b"]);
+        t
+    }
+
+    #[test]
+    fn ascii_outline_contains_every_label() {
+        let t = sample();
+        let out = render_ascii(&t, t.root(), usize::MAX, |_| None);
+        for n in t.iter() {
+            assert!(out.contains(t.label(n)), "missing {}", t.label(n));
+        }
+        // One line per node.
+        assert_eq!(out.lines().count(), t.len());
+    }
+
+    #[test]
+    fn ascii_depth_limit() {
+        let t = sample();
+        let out = render_ascii(&t, t.root(), 1, |_| None);
+        assert!(out.contains("a"));
+        assert!(!out.contains("x"));
+    }
+
+    #[test]
+    fn ascii_annotations_appear() {
+        let t = sample();
+        let a = t.find(&["a"]).unwrap();
+        let out = render_ascii(&t, t.root(), usize::MAX, |n| {
+            (n == a).then(|| "w=42".to_string())
+        });
+        assert!(out.contains("a [w=42]"));
+    }
+
+    #[test]
+    fn ascii_subtree_render() {
+        let t = sample();
+        let a = t.find(&["a"]).unwrap();
+        let out = render_ascii(&t, a, usize::MAX, |_| None);
+        assert!(out.starts_with("a\n"));
+        assert!(out.contains("x") && out.contains("y"));
+        assert!(!out.contains("b"));
+    }
+
+    #[test]
+    fn dot_is_wellformed() {
+        let t = sample();
+        let dot = render_dot(&t, t.root(), |n| Some(format!("d{}", t.depth(n))));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 5 nodes, 4 edges.
+        assert_eq!(dot.matches("label=").count(), 5);
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("\\nd1"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut t = Tree::new("ro\"ot");
+        t.insert_path(&["a\\b"]);
+        let dot = render_dot(&t, t.root(), |_| None);
+        assert!(dot.contains("ro\\\"ot"));
+        assert!(dot.contains("a\\\\b"));
+    }
+}

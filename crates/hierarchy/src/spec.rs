@@ -1,0 +1,178 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::HierarchyError;
+use crate::tree::Tree;
+
+/// Fan-out description of one level of a hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSpec {
+    /// Label prefix for nodes created at this level (e.g. `"VHO"`).
+    pub prefix: String,
+    /// Number of children each node of the *previous* level receives.
+    pub degree: usize,
+}
+
+impl LevelSpec {
+    /// Creates a level spec.
+    pub fn new(prefix: impl Into<String>, degree: usize) -> Self {
+        LevelSpec { prefix: prefix.into(), degree }
+    }
+}
+
+/// Declarative description of a regular hierarchy: a root plus one
+/// [`LevelSpec`] per level below it.
+///
+/// This mirrors the paper's Table II, which characterises the CCD and SCD
+/// hierarchies by their typical per-level degree. [`HierarchySpec::build`]
+/// materialises the spec into a concrete [`Tree`].
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::HierarchySpec;
+///
+/// // The paper's SCD network-path hierarchy: 4 levels with degrees
+/// // 2000 / 30 / 6 below the national root (scaled down here).
+/// let spec = HierarchySpec::new("National")
+///     .level("CO", 20)
+///     .level("DSLAM", 30)
+///     .level("STB", 6);
+/// let tree = spec.build()?;
+/// assert_eq!(tree.max_depth(), 3);
+/// assert_eq!(tree.nodes_at_depth(1).len(), 20);
+/// assert_eq!(tree.nodes_at_depth(2).len(), 20 * 30);
+/// # Ok::<(), tiresias_hierarchy::HierarchyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchySpec {
+    root_label: String,
+    levels: Vec<LevelSpec>,
+}
+
+impl HierarchySpec {
+    /// Starts a spec with the given root label and no levels.
+    pub fn new(root_label: impl Into<String>) -> Self {
+        HierarchySpec { root_label: root_label.into(), levels: Vec::new() }
+    }
+
+    /// Appends a level with the given label prefix and fan-out.
+    #[must_use]
+    pub fn level(mut self, prefix: impl Into<String>, degree: usize) -> Self {
+        self.levels.push(LevelSpec::new(prefix, degree));
+        self
+    }
+
+    /// The declared levels, outermost first.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// The root label.
+    pub fn root_label(&self) -> &str {
+        &self.root_label
+    }
+
+    /// Depth of the hierarchy this spec describes (number of levels below
+    /// the root).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of nodes the built tree will contain.
+    pub fn node_count(&self) -> usize {
+        let mut total = 1usize;
+        let mut level_width = 1usize;
+        for l in &self.levels {
+            level_width *= l.degree;
+            total += level_width;
+        }
+        total
+    }
+
+    /// Number of leaves the built tree will contain.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.iter().map(|l| l.degree).product()
+    }
+
+    /// Materialises the spec into a [`Tree`]. Node labels are
+    /// `"{prefix}-{i}"` with `i` counting the siblings under each parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError::EmptySpec`] if no levels were declared and
+    /// [`HierarchyError::ZeroDegree`] if any level has fan-out zero.
+    pub fn build(&self) -> Result<Tree, HierarchyError> {
+        if self.levels.is_empty() {
+            return Err(HierarchyError::EmptySpec);
+        }
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.degree == 0 {
+                return Err(HierarchyError::ZeroDegree { level: i + 1 });
+            }
+        }
+        let mut tree = Tree::new(self.root_label.clone());
+        let mut frontier = vec![tree.root()];
+        for l in &self.levels {
+            let mut next = Vec::with_capacity(frontier.len() * l.degree);
+            for &parent in &frontier {
+                for i in 0..l.degree {
+                    next.push(tree.insert_child(parent, &format!("{}-{}", l.prefix, i)));
+                }
+            }
+            frontier = next;
+        }
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_regular_tree() {
+        let spec = HierarchySpec::new("All").level("A", 3).level("B", 2);
+        let t = spec.build().unwrap();
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(t.nodes_at_depth(1).len(), 3);
+        assert_eq!(t.nodes_at_depth(2).len(), 6);
+        assert_eq!(t.len(), spec.node_count());
+        assert_eq!(t.leaf_count(), spec.leaf_count());
+        assert_eq!(t.typical_degree(0), Some(3.0));
+        assert_eq!(t.typical_degree(1), Some(2.0));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        assert_eq!(
+            HierarchySpec::new("All").build().unwrap_err(),
+            HierarchyError::EmptySpec
+        );
+    }
+
+    #[test]
+    fn zero_degree_is_rejected() {
+        let spec = HierarchySpec::new("All").level("A", 2).level("B", 0);
+        assert_eq!(
+            spec.build().unwrap_err(),
+            HierarchyError::ZeroDegree { level: 2 }
+        );
+    }
+
+    #[test]
+    fn labels_follow_prefix_scheme() {
+        let spec = HierarchySpec::new("SHO").level("VHO", 2);
+        let t = spec.build().unwrap();
+        assert!(t.find(&["VHO-0"]).is_some());
+        assert!(t.find(&["VHO-1"]).is_some());
+        assert!(t.find(&["VHO-2"]).is_none());
+    }
+
+    #[test]
+    fn node_count_formula_matches() {
+        let spec = HierarchySpec::new("r").level("a", 4).level("b", 5).level("c", 2);
+        assert_eq!(spec.node_count(), 1 + 4 + 20 + 40);
+        assert_eq!(spec.leaf_count(), 40);
+        assert_eq!(spec.build().unwrap().len(), spec.node_count());
+    }
+}

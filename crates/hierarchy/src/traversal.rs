@@ -1,0 +1,159 @@
+use crate::tree::{NodeId, Tree};
+
+/// Top-down level-order iterator over all nodes of a [`Tree`].
+///
+/// Produced by [`Tree::level_order`]. Yields the root first, then every
+/// depth-1 node, then every depth-2 node, and so on.
+#[derive(Debug, Clone)]
+pub struct LevelOrder<'a> {
+    levels: &'a [Vec<NodeId>],
+    level: usize,
+    pos: usize,
+}
+
+impl<'a> LevelOrder<'a> {
+    pub(crate) fn new(levels: &'a [Vec<NodeId>]) -> Self {
+        LevelOrder { levels, level: 0, pos: 0 }
+    }
+}
+
+impl Iterator for LevelOrder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.level < self.levels.len() {
+            if let Some(&id) = self.levels[self.level].get(self.pos) {
+                self.pos += 1;
+                return Some(id);
+            }
+            self.level += 1;
+            self.pos = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = self
+            .levels
+            .iter()
+            .skip(self.level)
+            .map(Vec::len)
+            .sum::<usize>()
+            .saturating_sub(self.pos);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for LevelOrder<'_> {}
+
+/// Bottom-up level-order iterator over all nodes of a [`Tree`].
+///
+/// Produced by [`Tree::rev_level_order`]. Yields the deepest level first
+/// and the root last — the sweep order used by the paper's `MERGE` pass
+/// and `tosplit` marking.
+#[derive(Debug, Clone)]
+pub struct RevLevelOrder<'a> {
+    levels: &'a [Vec<NodeId>],
+    /// 1-based level cursor counting down; 0 means exhausted.
+    level: usize,
+    pos: usize,
+}
+
+impl<'a> RevLevelOrder<'a> {
+    pub(crate) fn new(levels: &'a [Vec<NodeId>]) -> Self {
+        RevLevelOrder { levels, level: levels.len(), pos: 0 }
+    }
+}
+
+impl Iterator for RevLevelOrder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.level > 0 {
+            if let Some(&id) = self.levels[self.level - 1].get(self.pos) {
+                self.pos += 1;
+                return Some(id);
+            }
+            self.level -= 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+/// Depth-first pre-order iterator over a subtree, produced by
+/// [`Tree::subtree`]. Yields the subtree root first.
+#[derive(Debug, Clone)]
+pub struct Subtree<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Subtree<'a> {
+    pub(crate) fn new(tree: &'a Tree, root: NodeId) -> Self {
+        Subtree { tree, stack: vec![root] }
+    }
+}
+
+impl Iterator for Subtree<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // push children in reverse so the leftmost child pops first
+        for &c in self.tree.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Tree {
+        let mut t = Tree::new("r");
+        t.insert_path(&["a", "b", "c"]);
+        t.insert_path(&["a", "d"]);
+        t
+    }
+
+    #[test]
+    fn level_order_is_exact_size() {
+        let t = chain();
+        let it = t.level_order();
+        assert_eq!(it.len(), t.len());
+        assert_eq!(it.count(), t.len());
+    }
+
+    #[test]
+    fn rev_level_order_ends_at_root() {
+        let t = chain();
+        let v: Vec<_> = t.rev_level_order().collect();
+        assert_eq!(*v.last().unwrap(), t.root());
+        assert_eq!(t.depth(v[0]), t.max_depth());
+    }
+
+    #[test]
+    fn subtree_preorder_parent_before_child() {
+        let t = chain();
+        let a = t.find(&["a"]).unwrap();
+        let v: Vec<_> = t.subtree(a).collect();
+        for (i, &n) in v.iter().enumerate() {
+            if let Some(p) = t.parent(n) {
+                if p != t.root() {
+                    let pi = v.iter().position(|&x| x == p).unwrap();
+                    assert!(pi < i, "parent visited before child");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_of_leaf_is_single() {
+        let t = chain();
+        let c = t.find(&["a", "b", "c"]).unwrap();
+        assert_eq!(t.subtree(c).count(), 1);
+    }
+}

@@ -1,0 +1,443 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::CategoryPath;
+use crate::traversal::{LevelOrder, RevLevelOrder, Subtree};
+
+/// Identifier of a node in a [`Tree`].
+///
+/// Node ids are dense indices, so per-node side tables (weights, heavy
+/// hitter flags, time series, …) can be plain vectors indexed by
+/// [`NodeId::index`]. Ids are only meaningful for the tree that issued
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of this node, suitable for vector side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("tree larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeData {
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: usize,
+}
+
+/// An arena-allocated additive hierarchy.
+///
+/// The tree always has a root (depth 0). Nodes are created by
+/// [`Tree::insert_path`] and never removed; all structural queries are
+/// O(1). In the paper's terminology this is the *classification tree* of
+/// Fig. 3(c): each category of the operational data maps bijectively to a
+/// node of this tree.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::Tree;
+///
+/// let mut t = Tree::new("SHO");
+/// let co = t.insert_path(&["VHO-1", "IO-2", "CO-9"]);
+/// assert_eq!(t.label(co), "CO-9");
+/// assert_eq!(t.depth(co), 3);
+/// assert_eq!(t.children(t.root()).len(), 1);
+/// ```
+///
+/// Serialisation uses a compact representation holding only the node
+/// arena; the path-resolution index and level grouping are rebuilt on
+/// deserialisation (they are pure functions of the arena), keeping the
+/// format free of non-string map keys so JSON works.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "TreeRepr", into = "TreeRepr")]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+    /// (parent, label) → child lookup for path resolution.
+    child_index: HashMap<(NodeId, String), NodeId>,
+    /// Node ids grouped by depth; `by_depth[0] == [root]`.
+    by_depth: Vec<Vec<NodeId>>,
+}
+
+/// Serialised form of a [`Tree`]: the node arena only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TreeRepr {
+    nodes: Vec<NodeData>,
+}
+
+impl From<Tree> for TreeRepr {
+    fn from(t: Tree) -> Self {
+        TreeRepr { nodes: t.nodes }
+    }
+}
+
+impl From<TreeRepr> for Tree {
+    fn from(r: TreeRepr) -> Self {
+        let mut child_index = HashMap::new();
+        let mut by_depth: Vec<Vec<NodeId>> = Vec::new();
+        for (i, n) in r.nodes.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            if let Some(p) = n.parent {
+                child_index.insert((p, n.label.clone()), id);
+            }
+            if by_depth.len() <= n.depth {
+                by_depth.resize_with(n.depth + 1, Vec::new);
+            }
+            by_depth[n.depth].push(id);
+        }
+        Tree { nodes: r.nodes, child_index, by_depth }
+    }
+}
+
+impl Tree {
+    /// Creates a tree containing only a root with the given label.
+    pub fn new(root_label: impl Into<String>) -> Self {
+        Tree {
+            nodes: vec![NodeData {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            child_index: HashMap::new(),
+            by_depth: vec![vec![NodeId(0)]],
+        }
+    }
+
+    /// The root node (depth 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The deepest level present; 0 for a root-only tree.
+    pub fn max_depth(&self) -> usize {
+        self.by_depth.len() - 1
+    }
+
+    /// Inserts (or finds) the node named by `path`, creating all missing
+    /// intermediate nodes, and returns its id.
+    pub fn insert_path<S: AsRef<str>>(&mut self, path: &[S]) -> NodeId {
+        let mut cur = self.root();
+        for label in path {
+            cur = self.insert_child(cur, label.as_ref());
+        }
+        cur
+    }
+
+    /// Inserts (or finds) the node named by a [`CategoryPath`].
+    pub fn insert_category(&mut self, path: &CategoryPath) -> NodeId {
+        let mut cur = self.root();
+        for label in path.iter() {
+            cur = self.insert_child(cur, label);
+        }
+        cur
+    }
+
+    /// Inserts (or finds) a direct child of `parent` with the given label.
+    pub fn insert_child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        if let Some(&c) = self.child_index.get(&(parent, label.to_string())) {
+            return c;
+        }
+        let depth = self.nodes[parent.index()].depth + 1;
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData {
+            label: label.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.child_index.insert((parent, label.to_string()), id);
+        if self.by_depth.len() <= depth {
+            self.by_depth.push(Vec::new());
+        }
+        self.by_depth[depth].push(id);
+        id
+    }
+
+    /// Resolves a path to a node id without creating nodes.
+    pub fn find<S: AsRef<str>>(&self, path: &[S]) -> Option<NodeId> {
+        let mut cur = self.root();
+        for label in path {
+            cur = *self.child_index.get(&(cur, label.as_ref().to_string()))?;
+        }
+        Some(cur)
+    }
+
+    /// Resolves a [`CategoryPath`] to a node id without creating nodes.
+    pub fn find_category(&self, path: &CategoryPath) -> Option<NodeId> {
+        self.find(path.labels())
+    }
+
+    /// The label of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was issued by a different tree and is out of range.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].label
+    }
+
+    /// The parent of a node, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// The children of a node, in insertion order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The depth of a node; the root has depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].depth
+    }
+
+    /// `true` iff the node has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].children.is_empty()
+    }
+
+    /// All node ids at the given depth (level); empty if deeper than the
+    /// tree.
+    pub fn nodes_at_depth(&self, depth: usize) -> &[NodeId] {
+        self.by_depth.get(depth).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Reconstructs the [`CategoryPath`] of a node (root → empty path).
+    pub fn path_of(&self, id: NodeId) -> CategoryPath {
+        let mut labels = Vec::with_capacity(self.depth(id));
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            labels.push(self.label(cur).to_string());
+            cur = p;
+        }
+        labels.reverse();
+        CategoryPath::new(labels)
+    }
+
+    /// `true` iff `a` equals `b` or is an ancestor of `b`.
+    pub fn is_ancestor_or_equal(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Iterates over all node ids in **top-down level order** (root first,
+    /// then depth 1 left-to-right, …).
+    pub fn level_order(&self) -> LevelOrder<'_> {
+        LevelOrder::new(&self.by_depth)
+    }
+
+    /// Iterates over all node ids in **bottom-up level order** (deepest
+    /// level first, root last). This is the traversal order of the paper's
+    /// `Update-Ishh-and-Weight` post-pass and `MERGE` sweep.
+    pub fn rev_level_order(&self) -> RevLevelOrder<'_> {
+        RevLevelOrder::new(&self.by_depth)
+    }
+
+    /// Iterates over the subtree rooted at `id` (including `id` itself) in
+    /// depth-first pre-order.
+    pub fn subtree(&self, id: NodeId) -> Subtree<'_> {
+        Subtree::new(self, id)
+    }
+
+    /// Iterates over all node ids in arena (creation) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.iter().filter(|&n| self.is_leaf(n)).count()
+    }
+
+    /// Mean fan-out of the internal nodes at `depth` (the paper's "typical
+    /// degree at the k-th level", Table II). `None` if the level has no
+    /// internal nodes.
+    pub fn typical_degree(&self, depth: usize) -> Option<f64> {
+        let nodes = self.nodes_at_depth(depth);
+        let internal: Vec<_> = nodes.iter().filter(|&&n| !self.is_leaf(n)).collect();
+        if internal.is_empty() {
+            return None;
+        }
+        let total: usize = internal.iter().map(|&&n| self.children(n).len()).sum();
+        Some(total as f64 / internal.len() as f64)
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Tree({} nodes, depth {}, {} leaves)",
+            self.len(),
+            self.max_depth(),
+            self.leaf_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        let mut t = Tree::new("All");
+        t.insert_path(&["TV", "No Service", "No Pic"]);
+        t.insert_path(&["TV", "No Service", "No Sound"]);
+        t.insert_path(&["TV", "Pixelation"]);
+        t.insert_path(&["Internet", "Slow"]);
+        t
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut t = Tree::new("All");
+        let a = t.insert_path(&["x", "y"]);
+        let b = t.insert_path(&["x", "y"]);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = sample();
+        let tv = t.find(&["TV"]).unwrap();
+        assert_eq!(t.depth(tv), 1);
+        assert_eq!(t.children(tv).len(), 2);
+        assert!(!t.is_leaf(tv));
+        let pix = t.find(&["TV", "Pixelation"]).unwrap();
+        assert!(t.is_leaf(pix));
+        assert_eq!(t.parent(pix), Some(tv));
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn find_missing_returns_none() {
+        let t = sample();
+        assert!(t.find(&["TV", "Nope"]).is_none());
+        assert!(t.find(&["Phone"]).is_none());
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let mut t = Tree::new("All");
+        let p: CategoryPath = "a/b/c".parse().unwrap();
+        let id = t.insert_category(&p);
+        assert_eq!(t.path_of(id), p);
+        assert_eq!(t.find_category(&p), Some(id));
+        assert_eq!(t.path_of(t.root()), CategoryPath::root());
+    }
+
+    #[test]
+    fn level_order_visits_every_node_once_by_depth() {
+        let t = sample();
+        let order: Vec<_> = t.level_order().collect();
+        assert_eq!(order.len(), t.len());
+        for w in order.windows(2) {
+            assert!(t.depth(w[0]) <= t.depth(w[1]));
+        }
+        let rev: Vec<_> = t.rev_level_order().collect();
+        assert_eq!(rev.len(), t.len());
+        for w in rev.windows(2) {
+            assert!(t.depth(w[0]) >= t.depth(w[1]));
+        }
+        assert_eq!(rev.last(), Some(&t.root()));
+    }
+
+    #[test]
+    fn subtree_iterates_descendants() {
+        let t = sample();
+        let tv = t.find(&["TV"]).unwrap();
+        let sub: Vec<_> = t.subtree(tv).collect();
+        // TV, No Service, No Pic, No Sound, Pixelation
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub[0], tv);
+        for n in &sub[1..] {
+            assert!(t.is_ancestor_or_equal(tv, *n));
+        }
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let t = sample();
+        let tv = t.find(&["TV"]).unwrap();
+        let pic = t.find(&["TV", "No Service", "No Pic"]).unwrap();
+        let net = t.find(&["Internet"]).unwrap();
+        assert!(t.is_ancestor_or_equal(t.root(), pic));
+        assert!(t.is_ancestor_or_equal(tv, pic));
+        assert!(t.is_ancestor_or_equal(pic, pic));
+        assert!(!t.is_ancestor_or_equal(pic, tv));
+        assert!(!t.is_ancestor_or_equal(net, pic));
+    }
+
+    #[test]
+    fn typical_degree_matches_fanout() {
+        let t = sample();
+        // root has 2 children (TV, Internet)
+        assert_eq!(t.typical_degree(0), Some(2.0));
+        // depth-1 internal nodes: TV (2 children), Internet (1 child)
+        assert_eq!(t.typical_degree(1), Some(1.5));
+        // deepest level has no internal nodes
+        assert_eq!(t.typical_degree(3), None);
+    }
+
+    #[test]
+    fn nodes_at_depth_groups_levels() {
+        let t = sample();
+        assert_eq!(t.nodes_at_depth(0), &[t.root()]);
+        assert_eq!(t.nodes_at_depth(1).len(), 2);
+        assert_eq!(t.nodes_at_depth(99), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_indexes() {
+        let t = sample();
+        let json = serde_json::to_string(&t).expect("serialises");
+        let r: Tree = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(r.len(), t.len());
+        assert_eq!(r.max_depth(), t.max_depth());
+        // The rebuilt index resolves paths and the level grouping holds.
+        let pix = r.find(&["TV", "Pixelation"]).unwrap();
+        assert_eq!(r.label(pix), "Pixelation");
+        assert_eq!(r.nodes_at_depth(1).len(), t.nodes_at_depth(1).len());
+    }
+
+    #[test]
+    fn leaf_count() {
+        let t = sample();
+        // No Pic, No Sound, Pixelation, Slow
+        assert_eq!(t.leaf_count(), 4);
+    }
+}

@@ -1,0 +1,185 @@
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{NodeId, Tree};
+
+/// Dense per-node weights over a [`Tree`], with additive aggregation.
+///
+/// A `WeightMap` stores one `f64` per node, indexed by [`NodeId`]. Leaf
+/// weights are incremented as records arrive; [`WeightMap::aggregate`]
+/// then propagates counts upward so each interior node holds the sum of
+/// its subtree — the paper's *original weight* `A_n[k, t]`.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::{Tree, WeightMap};
+///
+/// let mut t = Tree::new("All");
+/// let a = t.insert_path(&["TV", "No Service"]);
+/// let b = t.insert_path(&["TV", "Pixelation"]);
+/// let mut w = WeightMap::zeros(&t);
+/// w.add(a, 3.0);
+/// w.add(b, 2.0);
+/// w.aggregate(&t);
+/// let tv = t.find(&["TV"]).unwrap();
+/// assert_eq!(w.weight(tv), 5.0);
+/// assert_eq!(w.weight(t.root()), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightMap {
+    weights: Vec<f64>,
+}
+
+impl WeightMap {
+    /// Creates a map of zeros sized for `tree`.
+    pub fn zeros(tree: &Tree) -> Self {
+        WeightMap { weights: vec![0.0; tree.len()] }
+    }
+
+    /// Creates a map of zeros for a tree with `len` nodes.
+    pub fn with_len(len: usize) -> Self {
+        WeightMap { weights: vec![0.0; len] }
+    }
+
+    /// Number of per-node slots.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` iff the map has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Grows the map with zero slots so it covers a tree that gained
+    /// nodes since the map was created.
+    pub fn resize_for(&mut self, tree: &Tree) {
+        if self.weights.len() < tree.len() {
+            self.weights.resize(tree.len(), 0.0);
+        }
+    }
+
+    /// The weight of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this map.
+    pub fn weight(&self, id: NodeId) -> f64 {
+        self.weights[id.index()]
+    }
+
+    /// Sets the weight of `id`.
+    pub fn set(&mut self, id: NodeId, w: f64) {
+        self.weights[id.index()] = w;
+    }
+
+    /// Adds `delta` to the weight of `id`.
+    pub fn add(&mut self, id: NodeId, delta: f64) {
+        self.weights[id.index()] += delta;
+    }
+
+    /// Resets every slot to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.weights.iter_mut().for_each(|w| *w = 0.0);
+    }
+
+    /// Propagates weights bottom-up: after this call every node holds the
+    /// sum of the *pre-aggregation* weights over its entire subtree.
+    ///
+    /// Records attached directly to interior nodes are preserved — they
+    /// behave like an extra invisible leaf child, keeping the hierarchy
+    /// additive.
+    pub fn aggregate(&mut self, tree: &Tree) {
+        for id in tree.rev_level_order() {
+            if let Some(p) = tree.parent(id) {
+                self.weights[p.index()] += self.weights[id.index()];
+            }
+        }
+    }
+
+    /// Sum of leaf weights (equals the root weight after
+    /// [`WeightMap::aggregate`]).
+    pub fn leaf_total(&self, tree: &Tree) -> f64 {
+        tree.iter()
+            .filter(|&n| tree.is_leaf(n))
+            .map(|n| self.weights[n.index()])
+            .sum()
+    }
+
+    /// Immutable view of the raw weight slots, indexed by
+    /// [`NodeId::index`].
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        let mut t = Tree::new("r");
+        t.insert_path(&["a", "x"]);
+        t.insert_path(&["a", "y"]);
+        t.insert_path(&["b"]);
+        t
+    }
+
+    #[test]
+    fn aggregate_sums_children() {
+        let t = tree();
+        let mut w = WeightMap::zeros(&t);
+        w.add(t.find(&["a", "x"]).unwrap(), 1.0);
+        w.add(t.find(&["a", "y"]).unwrap(), 2.0);
+        w.add(t.find(&["b"]).unwrap(), 4.0);
+        w.aggregate(&t);
+        assert_eq!(w.weight(t.find(&["a"]).unwrap()), 3.0);
+        assert_eq!(w.weight(t.root()), 7.0);
+    }
+
+    #[test]
+    fn interior_direct_weight_is_preserved() {
+        let t = tree();
+        let mut w = WeightMap::zeros(&t);
+        let a = t.find(&["a"]).unwrap();
+        w.add(a, 10.0); // record classified at an interior category
+        w.add(t.find(&["a", "x"]).unwrap(), 1.0);
+        w.aggregate(&t);
+        assert_eq!(w.weight(a), 11.0);
+        assert_eq!(w.weight(t.root()), 11.0);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let t = tree();
+        let mut w = WeightMap::zeros(&t);
+        w.add(t.root(), 5.0);
+        w.clear();
+        assert!(w.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn resize_for_grows_only() {
+        let mut t = tree();
+        let mut w = WeightMap::zeros(&t);
+        let before = w.len();
+        t.insert_path(&["c", "z"]);
+        w.resize_for(&t);
+        assert_eq!(w.len(), t.len());
+        assert!(w.len() > before);
+        w.resize_for(&t); // idempotent
+        assert_eq!(w.len(), t.len());
+    }
+
+    #[test]
+    fn leaf_total_matches_root_after_aggregate() {
+        let t = tree();
+        let mut w = WeightMap::zeros(&t);
+        for (i, n) in t.iter().filter(|&n| t.is_leaf(n)).enumerate() {
+            w.add(n, (i + 1) as f64);
+        }
+        let total = w.leaf_total(&t);
+        w.aggregate(&t);
+        assert_eq!(w.weight(t.root()), total);
+    }
+}

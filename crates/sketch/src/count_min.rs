@@ -1,0 +1,246 @@
+use serde::{Deserialize, Serialize};
+
+/// A count-min sketch over `u64` keys (Cormode & Muthukrishnan, the
+/// paper's reference [18]).
+///
+/// `depth` rows of `width` counters; each update increments one counter
+/// per row (chosen by a per-row pairwise-independent hash), and a point
+/// query returns the minimum across rows. Estimates are **one-sided**:
+/// `estimate(k) ≥ true_count(k)` always, and with width `⌈e/ε⌉`, depth
+/// `⌈ln(1/δ)⌉`, the overestimate exceeds `ε·N` with probability at most
+/// δ. Sketches with identical dimensions and seed add cell-wise, so
+/// shards merge losslessly.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_sketch::CountMinSketch;
+///
+/// let mut s = CountMinSketch::for_error(0.01, 0.01, 42);
+/// s.add(7, 3);
+/// s.add(7, 2);
+/// assert!(s.estimate(7) >= 5);
+/// assert_eq!(s.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    seed: u64,
+    /// Row-major counters, `depth × width`.
+    cells: Vec<u64>,
+    /// Total mass added (for ε·N error bounds).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    pub fn with_dimensions(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "sketch dimensions must be positive");
+        CountMinSketch { depth, width, seed, cells: vec![0; depth * width], total: 0 }
+    }
+
+    /// Creates a sketch sized for additive error `ε·N` with failure
+    /// probability δ: width `⌈e/ε⌉`, depth `⌈ln(1/δ)⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn for_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::with_dimensions(depth, width, seed)
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total mass added so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-row cell index for `key` — SplitMix64 finalisation with a
+    /// per-row seed gives well-mixed, pairwise-independent-in-practice
+    /// hashing without an external dependency.
+    fn index(&self, row: usize, key: u64) -> usize {
+        let mut z = key
+            .wrapping_add(self.seed)
+            .wrapping_add((row as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % self.width as u64) as usize
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let i = row * self.width + self.index(row, key);
+            self.cells[i] += count;
+        }
+        self.total += count;
+    }
+
+    /// Adds with the *conservative update* optimisation: only counters
+    /// at the current minimum are raised, tightening over-estimates for
+    /// skewed streams at the cost of losing cell-wise mergeability.
+    pub fn add_conservative(&mut self, key: u64, count: u64) {
+        let est = self.estimate(key) + count;
+        for row in 0..self.depth {
+            let i = row * self.width + self.index(row, key);
+            if self.cells[i] < est {
+                self.cells[i] = est;
+            }
+        }
+        self.total += count;
+    }
+
+    /// Point query: an upper bound on `key`'s true count.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.cells[row * self.width + self.index(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merges another sketch (cell-wise addition).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if dimensions or seeds differ (their hash
+    /// functions would disagree).
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), String> {
+        if self.depth != other.depth || self.width != other.width || self.seed != other.seed {
+            return Err(format!(
+                "sketch shapes differ: {}x{} seed {} vs {}x{} seed {}",
+                self.depth, self.width, self.seed, other.depth, other.width, other.seed
+            ));
+        }
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Resets all counters, keeping dimensions and seed.
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_underestimate() {
+        let mut s = CountMinSketch::with_dimensions(4, 256, 1);
+        for k in 0..1000u64 {
+            s.add(k, k % 7 + 1);
+        }
+        for k in 0..1000u64 {
+            assert!(s.estimate(k) >= k % 7 + 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_skewed_stream() {
+        // ε = 0.01, so overestimates should be ≲ 0.01·N for most keys.
+        let mut s = CountMinSketch::for_error(0.01, 0.01, 2);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..20_000u64 {
+            let key = i % 100; // 100 distinct keys
+            let c = if key < 5 { 50 } else { 1 };
+            s.add(key, c);
+            *truth.entry(key).or_insert(0u64) += c;
+        }
+        let n = s.total() as f64;
+        let mut violations = 0;
+        for (k, t) in truth {
+            if (s.estimate(k) - t) as f64 > 0.01 * n {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 2, "{violations} keys exceeded the ε·N bound");
+    }
+
+    #[test]
+    fn conservative_update_is_tighter() {
+        let stream: Vec<u64> = (0..5000).map(|i| i % 50).collect();
+        let mut plain = CountMinSketch::with_dimensions(3, 64, 3);
+        let mut conservative = CountMinSketch::with_dimensions(3, 64, 3);
+        for &k in &stream {
+            plain.add(k, 1);
+            conservative.add_conservative(k, 1);
+        }
+        let over_plain: u64 = (0..50).map(|k| plain.estimate(k) - 100).sum();
+        let over_cons: u64 = (0..50).map(|k| conservative.estimate(k) - 100).sum();
+        assert!(over_cons <= over_plain, "conservative {over_cons} vs plain {over_plain}");
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = CountMinSketch::with_dimensions(4, 128, 9);
+        let mut b = CountMinSketch::with_dimensions(4, 128, 9);
+        let mut whole = CountMinSketch::with_dimensions(4, 128, 9);
+        for k in 0..500u64 {
+            a.add(k, 2);
+            whole.add(k, 2);
+        }
+        for k in 250..750u64 {
+            b.add(k, 3);
+            whole.add(k, 3);
+        }
+        a.merge(&b).unwrap();
+        for k in 0..750u64 {
+            assert_eq!(a.estimate(k), whole.estimate(k), "key {k}");
+        }
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = CountMinSketch::with_dimensions(4, 128, 9);
+        assert!(a.merge(&CountMinSketch::with_dimensions(4, 64, 9)).is_err());
+        assert!(a.merge(&CountMinSketch::with_dimensions(3, 128, 9)).is_err());
+        assert!(a.merge(&CountMinSketch::with_dimensions(4, 128, 8)).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = CountMinSketch::with_dimensions(2, 32, 5);
+        s.add(1, 10);
+        s.clear();
+        assert_eq!(s.estimate(1), 0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn for_error_dimensions() {
+        let s = CountMinSketch::for_error(0.001, 0.01, 0);
+        assert!(s.width() >= 2718);
+        assert!(s.depth() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_panic() {
+        let _ = CountMinSketch::with_dimensions(0, 8, 0);
+    }
+}

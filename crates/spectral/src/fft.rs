@@ -1,0 +1,225 @@
+use crate::complex::Complex;
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::next_power_of_two;
+///
+/// assert_eq!(next_power_of_two(0), 1);
+/// assert_eq!(next_power_of_two(5), 8);
+/// assert_eq!(next_power_of_two(8), 8);
+/// ```
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT over a power-of-two-length
+/// buffer.
+fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * std::f64::consts::TAU / len as f64;
+        let w_len = Complex::from_polar_unit(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in buf.iter_mut() {
+            *z = *z * scale;
+        }
+    }
+}
+
+/// Forward discrete Fourier transform of `input`.
+///
+/// The input is zero-padded to the next power of two, so the returned
+/// spectrum has `next_power_of_two(input.len())` bins; bin `k` corresponds
+/// to frequency `k / N` cycles per sample.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::{fft, Complex};
+///
+/// // The DFT of a constant signal concentrates at bin 0.
+/// let spectrum = fft(&[Complex::ONE; 4]);
+/// assert!((spectrum[0].abs() - 4.0).abs() < 1e-12);
+/// assert!(spectrum[1].abs() < 1e-12);
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = next_power_of_two(input.len());
+    let mut buf = vec![Complex::ZERO; n];
+    buf[..input.len()].copy_from_slice(input);
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse discrete Fourier transform of a power-of-two-length spectrum.
+///
+/// # Panics
+///
+/// Panics if `spectrum.len()` is not a power of two.
+pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
+    assert!(
+        spectrum.len().is_power_of_two(),
+        "ifft requires a power-of-two-length spectrum"
+    );
+    let mut buf = spectrum.to_vec();
+    fft_in_place(&mut buf, true);
+    buf
+}
+
+/// Magnitude spectrum of a real signal: `|FFT(x)|` over the first half of
+/// the (zero-padded) bins, which is all a real signal carries.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::fft_magnitudes;
+///
+/// let signal: Vec<f64> = (0..64)
+///     .map(|t| (t as f64 / 8.0 * std::f64::consts::TAU).cos())
+///     .collect();
+/// let mags = fft_magnitudes(&signal);
+/// // Period 8 samples → bin 64/8 = 8 dominates.
+/// let peak = mags
+///     .iter()
+///     .enumerate()
+///     .skip(1)
+///     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///     .unwrap()
+///     .0;
+/// assert_eq!(peak, 8);
+/// ```
+pub fn fft_magnitudes(signal: &[f64]) -> Vec<f64> {
+    let input: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    let spectrum = fft(&input);
+    spectrum[..spectrum.len() / 2].iter().map(|z| z.abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut input = vec![Complex::ZERO; 8];
+        input[0] = Complex::ONE;
+        let spec = fft(&input);
+        for z in spec {
+            assert_close(z, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<Complex> = (0..16)
+            .map(|t| Complex::new((t as f64).sin(), (t as f64 * 0.7).cos()))
+            .collect();
+        let fast = fft(&signal);
+        let n = signal.len();
+        for (k, &z) in fast.iter().enumerate() {
+            let mut naive = Complex::ZERO;
+            for (t, &x) in signal.iter().enumerate() {
+                let theta = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+                naive += x * Complex::from_polar_unit(theta);
+            }
+            assert_close(z, naive, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let signal: Vec<Complex> = (0..32)
+            .map(|t| Complex::new((t as f64 * 0.3).sin(), 0.0))
+            .collect();
+        let back = ifft(&fft(&signal));
+        for (a, b) in back.iter().zip(signal.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_padding_preserves_peak_bin_scaling() {
+        // 20 samples pad to 32; a constant signal still concentrates at
+        // bin 0 with magnitude = number of real samples.
+        let signal = vec![Complex::ONE; 20];
+        let spec = fft(&signal);
+        assert_eq!(spec.len(), 32);
+        assert!((spec[0].abs() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<Complex> = (0..64)
+            .map(|t| Complex::from_real(((t * t) % 17) as f64 / 17.0))
+            .collect();
+        let spec = fft(&signal);
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let a: Vec<Complex> = (0..16).map(|t| Complex::from_real(t as f64)).collect();
+        let b: Vec<Complex> = (0..16)
+            .map(|t| Complex::from_real(((t % 5) as f64).powi(2)))
+            .collect();
+        let sum: Vec<Complex> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fs = fft(&sum);
+        for i in 0..fa.len() {
+            assert_close(fs[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn ifft_rejects_odd_lengths() {
+        let _ = ifft(&[Complex::ONE; 3]);
+    }
+
+    #[test]
+    fn real_signal_magnitudes_have_half_length() {
+        let mags = fft_magnitudes(&[1.0; 10]); // pads to 16
+        assert_eq!(mags.len(), 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! Spectral analysis for Tiresias (§VI of the paper).
+//!
+//! Tiresias selects the seasonal periods of its Holt-Winters forecasters
+//! automatically, by looking at the arrival-count series in the frequency
+//! domain. This crate implements the two tools the paper uses, from
+//! scratch:
+//!
+//! * [`fft`] — an iterative radix-2 Cooley-Tukey fast Fourier transform
+//!   over [`Complex`] samples (with zero-padding for arbitrary lengths),
+//! * [`Periodogram`] — normalised magnitude spectrum with peak picking,
+//!   reproducing Fig. 11,
+//! * [`AtrousTransform`] — the à-trous wavelet multi-resolution analysis
+//!   with the low-pass B3 spline filter `(1/16, 1/4, 3/8, 1/4, 1/16)`,
+//!   whose per-scale detail energies cross-check the FFT periods,
+//! * [`SeasonalityAnalysis`] — the combined §VI procedure: find dominant
+//!   periods by FFT, validate against wavelet energies, and derive the
+//!   linear combination weights (the paper's ξ) for multi-seasonal
+//!   forecasting.
+//!
+//! # Example
+//!
+//! ```
+//! use tiresias_spectral::Periodogram;
+//!
+//! // A 24-hour diurnal pattern sampled every hour for two weeks.
+//! let series: Vec<f64> = (0..336)
+//!     .map(|t| 10.0 + 5.0 * (t as f64 / 24.0 * std::f64::consts::TAU).sin())
+//!     .collect();
+//! let p = Periodogram::compute(&series);
+//! let top = p.dominant_periods(1);
+//! assert_eq!(top[0].period_units.round() as u64, 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod fft;
+mod periodogram;
+mod seasonality;
+mod wavelet;
+
+pub use complex::Complex;
+pub use fft::{fft, fft_magnitudes, ifft, next_power_of_two};
+pub use periodogram::{Periodogram, SpectralPeak};
+pub use seasonality::{DetectedSeason, SeasonalityAnalysis};
+pub use wavelet::{AtrousTransform, WaveletDecomposition, B3_SPLINE};

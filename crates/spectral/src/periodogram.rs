@@ -1,0 +1,217 @@
+use serde::{Deserialize, Serialize};
+
+use crate::fft::fft_magnitudes;
+
+/// One spectral peak: a candidate periodicity of the analysed series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralPeak {
+    /// Period in sample units (`N / k` for FFT bin `k`).
+    pub period_units: f64,
+    /// Magnitude normalised by the largest non-DC magnitude, so the
+    /// strongest peak has magnitude 1 (the normalisation of Fig. 11).
+    pub magnitude: f64,
+    /// FFT bin index the peak came from.
+    pub bin: usize,
+}
+
+/// Normalised magnitude spectrum of a real-valued series with peak
+/// picking — the tool behind the paper's Fig. 11.
+///
+/// The mean is removed before transforming so the DC component does not
+/// mask the seasonal peaks, and magnitudes are normalised by the maximum
+/// (the paper plots `FFT` on a log scale normalised the same way).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::Periodogram;
+///
+/// // Hourly samples with daily (24) and weekly (168) components.
+/// let series: Vec<f64> = (0..672)
+///     .map(|t| {
+///         let tau = std::f64::consts::TAU;
+///         20.0 + 8.0 * (t as f64 / 24.0 * tau).sin() + 4.0 * (t as f64 / 168.0 * tau).sin()
+///     })
+///     .collect();
+/// let p = Periodogram::compute(&series);
+/// let peaks = p.dominant_periods(2);
+/// let mut periods: Vec<u64> = peaks.iter().map(|p| p.period_units.round() as u64).collect();
+/// periods.sort();
+/// // FFT bins quantise the periods slightly (zero-padding to 1024).
+/// assert_eq!(periods[0], 24);
+/// assert!((160..=180).contains(&periods[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Periodogram {
+    /// Normalised magnitude per bin (bin 0 = DC, excluded from peaks).
+    magnitudes: Vec<f64>,
+    /// Padded FFT length, for bin → period conversion.
+    fft_len: usize,
+    /// Original (unpadded) series length.
+    series_len: usize,
+}
+
+impl Periodogram {
+    /// Computes the periodogram of `series` (mean-removed, zero-padded to
+    /// a power of two, magnitudes normalised to max 1).
+    pub fn compute(series: &[f64]) -> Self {
+        let mean = if series.is_empty() {
+            0.0
+        } else {
+            series.iter().sum::<f64>() / series.len() as f64
+        };
+        let centered: Vec<f64> = series.iter().map(|x| x - mean).collect();
+        let mut mags = fft_magnitudes(&centered);
+        let max = mags.iter().skip(1).cloned().fold(0.0, f64::max);
+        if max > 0.0 {
+            for m in &mut mags {
+                *m /= max;
+            }
+        }
+        let fft_len = crate::fft::next_power_of_two(series.len().max(1)) ;
+        Periodogram { magnitudes: mags, fft_len, series_len: series.len() }
+    }
+
+    /// Normalised magnitude per bin (bin 0 is the residual DC).
+    pub fn magnitudes(&self) -> &[f64] {
+        &self.magnitudes
+    }
+
+    /// The period, in sample units, that FFT bin `k` represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (the DC bin has no period).
+    pub fn period_of_bin(&self, k: usize) -> f64 {
+        assert!(k > 0, "bin 0 is the DC component and has no period");
+        self.fft_len as f64 / k as f64
+    }
+
+    /// The bin whose period is closest to `period_units`.
+    pub fn bin_of_period(&self, period_units: f64) -> usize {
+        let k = (self.fft_len as f64 / period_units).round() as usize;
+        k.clamp(1, self.magnitudes.len().saturating_sub(1).max(1))
+    }
+
+    /// Normalised magnitude at the bin closest to `period_units` — used
+    /// to derive the paper's ξ weight between the daily and weekly
+    /// seasonal factors.
+    pub fn magnitude_at_period(&self, period_units: f64) -> f64 {
+        self.magnitudes
+            .get(self.bin_of_period(period_units))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The `n` strongest local maxima of the spectrum, strongest first.
+    ///
+    /// Peaks are local maxima over bins `1..N/2`; only periods no longer
+    /// than the series itself are reported (a longer period cannot be
+    /// observed and is an artifact of padding).
+    pub fn dominant_periods(&self, n: usize) -> Vec<SpectralPeak> {
+        let mut peaks: Vec<SpectralPeak> = Vec::new();
+        let m = &self.magnitudes;
+        for k in 1..m.len() {
+            let left = if k >= 2 { m[k - 1] } else { 0.0 };
+            let right = m.get(k + 1).copied().unwrap_or(0.0);
+            if m[k] >= left && m[k] >= right && m[k] > 0.0 {
+                let period = self.period_of_bin(k);
+                if period <= self.series_len as f64 {
+                    peaks.push(SpectralPeak { period_units: period, magnitude: m[k], bin: k });
+                }
+            }
+        }
+        peaks.sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).expect("no NaN"));
+        // Collapse peaks mapping to nearly the same period (padding can
+        // smear one physical peak over adjacent bins).
+        let mut out: Vec<SpectralPeak> = Vec::new();
+        for p in peaks {
+            if out
+                .iter()
+                .all(|q| (q.period_units / p.period_units).ln().abs() > 0.2)
+            {
+                out.push(p);
+            }
+            if out.len() == n {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(period: f64, amp: f64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|t| amp * (t as f64 / period * std::f64::consts::TAU).sin())
+            .collect()
+    }
+
+    #[test]
+    fn single_period_is_found() {
+        let s: Vec<f64> = sine(32.0, 3.0, 256).iter().map(|x| x + 100.0).collect();
+        let p = Periodogram::compute(&s);
+        let peaks = p.dominant_periods(1);
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0].period_units - 32.0).abs() < 2.0);
+        assert!((peaks[0].magnitude - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_periods_ranked_by_amplitude() {
+        let a = sine(16.0, 5.0, 512);
+        let b = sine(128.0, 2.0, 512);
+        let s: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x + y + 50.0).collect();
+        let p = Periodogram::compute(&s);
+        let peaks = p.dominant_periods(2);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].period_units - 16.0).abs() < 1.0, "strongest first");
+        assert!((peaks[1].period_units - 128.0).abs() < 8.0);
+        assert!(peaks[0].magnitude > peaks[1].magnitude);
+    }
+
+    #[test]
+    fn dc_component_is_ignored() {
+        // Pure constant: no peaks at all after mean removal.
+        let p = Periodogram::compute(&[42.0; 64]);
+        assert!(p.dominant_periods(3).is_empty());
+    }
+
+    #[test]
+    fn magnitude_at_period_reflects_strength() {
+        let s: Vec<f64> = sine(24.0, 10.0, 480)
+            .iter()
+            .zip(sine(168.0, 3.0, 480).iter())
+            .map(|(a, b)| a + b + 30.0)
+            .collect();
+        let p = Periodogram::compute(&s);
+        let day = p.magnitude_at_period(24.0);
+        let week = p.magnitude_at_period(168.0);
+        assert!(day > week, "daily component is stronger: {day} vs {week}");
+        assert!(week > 0.05);
+    }
+
+    #[test]
+    fn periods_longer_than_series_are_suppressed() {
+        let s = sine(16.0, 1.0, 64);
+        let p = Periodogram::compute(&s);
+        for peak in p.dominant_periods(10) {
+            assert!(peak.period_units <= 64.0);
+        }
+    }
+
+    #[test]
+    fn empty_series_yields_empty_spectrum() {
+        let p = Periodogram::compute(&[]);
+        assert!(p.dominant_periods(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "DC component")]
+    fn period_of_dc_bin_panics() {
+        Periodogram::compute(&[1.0; 16]).period_of_bin(0);
+    }
+}

@@ -1,0 +1,207 @@
+use serde::{Deserialize, Serialize};
+
+use crate::periodogram::Periodogram;
+use crate::wavelet::AtrousTransform;
+
+/// A seasonal period detected in a series, with the evidence behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectedSeason {
+    /// Period in sample units (timeunits).
+    pub period_units: f64,
+    /// Normalised FFT magnitude of the peak.
+    pub magnitude: f64,
+    /// Linear combination weight for multi-seasonal forecasting — the
+    /// paper's ξ scheme: each factor's weight is its FFT magnitude
+    /// normalised so the weights sum to 1.
+    pub weight: f64,
+    /// `true` if the wavelet detail-energy profile also shows elevated
+    /// fluctuation strength near this timescale.
+    pub wavelet_confirmed: bool,
+}
+
+/// Combined FFT + wavelet seasonality analysis (§VI).
+///
+/// The procedure mirrors the paper: find dominant spectral peaks with the
+/// [`Periodogram`], cross-check each against the à-trous
+/// detail-energy profile, and derive linear combination weights from the
+/// FFT magnitudes (the CCD evaluation's `ξ = 0.76` daily/weekly blend).
+///
+/// The paper performs this analysis offline on the first time instance
+/// because the periodicities of operational data are stable; Tiresias'
+/// detector does the same.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::SeasonalityAnalysis;
+///
+/// // 15-minute samples: 96/day, 672/week, four weeks of data.
+/// let tau = std::f64::consts::TAU;
+/// let series: Vec<f64> = (0..2688)
+///     .map(|t| 40.0 + 20.0 * (t as f64 / 96.0 * tau).sin() + 6.0 * (t as f64 / 672.0 * tau).sin())
+///     .collect();
+/// let analysis = SeasonalityAnalysis::analyze(&series, 2);
+/// let seasons = analysis.seasons();
+/// assert_eq!(seasons.len(), 2);
+/// let daily = seasons[0].period_units.round() as u64;
+/// assert!((90..=102).contains(&daily)); // daily (≈96 units) dominates
+/// let xi = seasons[0].weight;
+/// assert!(xi > 0.5 && xi < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalityAnalysis {
+    seasons: Vec<DetectedSeason>,
+    detail_energies: Vec<f64>,
+}
+
+impl SeasonalityAnalysis {
+    /// Analyses `series`, reporting at most `max_seasons` seasonal
+    /// factors, strongest first.
+    pub fn analyze(series: &[f64], max_seasons: usize) -> Self {
+        let periodogram = Periodogram::compute(series);
+        let peaks = periodogram.dominant_periods(max_seasons);
+
+        // Wavelet cross-check: decompose deep enough to cover the longest
+        // candidate period.
+        let levels = peaks
+            .iter()
+            .map(|p| (p.period_units.log2().ceil() as usize).max(1))
+            .max()
+            .unwrap_or(1)
+            .min(24);
+        let energies = AtrousTransform::new(levels)
+            .decompose(series)
+            .detail_energies();
+        let total_energy: f64 = energies.iter().sum();
+
+        let magnitude_sum: f64 = peaks.iter().map(|p| p.magnitude).sum();
+        let seasons = peaks
+            .iter()
+            .map(|p| {
+                // A period of 2^j samples shows up in detail scale ≈ j.
+                let scale = (p.period_units.log2().round() as usize).saturating_sub(1);
+                let near: f64 = energies
+                    .iter()
+                    .skip(scale.saturating_sub(1))
+                    .take(3)
+                    .sum();
+                let confirmed = total_energy > 0.0 && near / total_energy > 0.05;
+                DetectedSeason {
+                    period_units: p.period_units,
+                    magnitude: p.magnitude,
+                    weight: if magnitude_sum > 0.0 {
+                        p.magnitude / magnitude_sum
+                    } else {
+                        0.0
+                    },
+                    wavelet_confirmed: confirmed,
+                }
+            })
+            .collect();
+        SeasonalityAnalysis { seasons, detail_energies: energies }
+    }
+
+    /// Detected seasons, strongest first. Weights sum to 1 when any
+    /// season was detected.
+    pub fn seasons(&self) -> &[DetectedSeason] {
+        &self.seasons
+    }
+
+    /// Detail energies per wavelet scale (scale `j` ≈ fluctuations of
+    /// `2^{j+1}` samples).
+    pub fn detail_energies(&self) -> &[f64] {
+        &self.detail_energies
+    }
+
+    /// The paper's ξ: the weight of the strongest season relative to the
+    /// two strongest combined. `None` if fewer than two seasons were
+    /// detected.
+    pub fn xi(&self) -> Option<f64> {
+        if self.seasons.len() < 2 {
+            return None;
+        }
+        let a = self.seasons[0].magnitude;
+        let b = self.seasons[1].magnitude;
+        Some(a / (a + b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_season_series(len: usize) -> Vec<f64> {
+        let tau = std::f64::consts::TAU;
+        (0..len)
+            .map(|t| {
+                50.0 + 25.0 * (t as f64 / 96.0 * tau).sin()
+                    + 8.0 * (t as f64 / 672.0 * tau).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_daily_and_weekly_periods() {
+        let analysis = SeasonalityAnalysis::analyze(&two_season_series(2688), 2);
+        let mut periods: Vec<u64> = analysis
+            .seasons()
+            .iter()
+            .map(|s| s.period_units.round() as u64)
+            .collect();
+        periods.sort();
+        assert_eq!(periods.len(), 2);
+        assert!((90..=102).contains(&periods[0]), "daily ≈ 96, got {}", periods[0]);
+        assert!((600..=760).contains(&periods[1]), "weekly ≈ 672, got {}", periods[1]);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let analysis = SeasonalityAnalysis::analyze(&two_season_series(2688), 2);
+        let sum: f64 = analysis.seasons().iter().map(|s| s.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xi_favours_the_dominant_period() {
+        let analysis = SeasonalityAnalysis::analyze(&two_season_series(2688), 2);
+        let xi = analysis.xi().unwrap();
+        assert!(xi > 0.6 && xi < 0.95, "xi = {xi}");
+    }
+
+    #[test]
+    fn single_season_has_unit_weight_and_no_xi() {
+        let tau = std::f64::consts::TAU;
+        let series: Vec<f64> = (0..512)
+            .map(|t| 10.0 + 4.0 * (t as f64 / 32.0 * tau).sin())
+            .collect();
+        let analysis = SeasonalityAnalysis::analyze(&series, 1);
+        assert_eq!(analysis.seasons().len(), 1);
+        assert!((analysis.seasons()[0].weight - 1.0).abs() < 1e-9);
+        assert_eq!(analysis.xi(), None);
+    }
+
+    #[test]
+    fn aperiodic_series_detects_nothing_strong() {
+        // White-ish noise from a simple LCG: any detected peaks carry
+        // little relative magnitude structure, and none dominates by 10×.
+        let mut x = 1u64;
+        let series: Vec<f64> = (0..1024)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 40) as f64 / 16777216.0
+            })
+            .collect();
+        let analysis = SeasonalityAnalysis::analyze(&series, 2);
+        if analysis.seasons().len() == 2 {
+            let ratio = analysis.seasons()[0].magnitude / analysis.seasons()[1].magnitude;
+            assert!(ratio < 10.0, "no dominant season in noise, ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let analysis = SeasonalityAnalysis::analyze(&[], 2);
+        assert!(analysis.seasons().is_empty());
+        assert_eq!(analysis.xi(), None);
+    }
+}

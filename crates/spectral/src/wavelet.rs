@@ -1,0 +1,241 @@
+use serde::{Deserialize, Serialize};
+
+/// The low-pass B3 spline filter `(1/16, 1/4, 3/8, 1/4, 1/16)` used by
+/// the à-trous wavelet transform, chosen by the paper (after
+/// Papagiannaki et al.) because it introduces no phase shift.
+pub const B3_SPLINE: [f64; 5] = [1.0 / 16.0, 1.0 / 4.0, 3.0 / 8.0, 1.0 / 4.0, 1.0 / 16.0];
+
+/// Result of an à-trous decomposition: smoothed approximations and detail
+/// signals per scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveletDecomposition {
+    /// `approximations[j]` is `c_{j+1}`, the signal smoothed at scale
+    /// `2^{j+1}` samples (the input itself, `c_0`, is not stored).
+    pub approximations: Vec<Vec<f64>>,
+    /// `details[j] = c_j − c_{j+1}`, the fluctuation captured between
+    /// consecutive scales.
+    pub details: Vec<Vec<f64>>,
+}
+
+impl WaveletDecomposition {
+    /// Energy of the detail signal at each scale: `Σ_t d_j(t)²`.
+    ///
+    /// The paper uses these energies to rank timescales by the strength
+    /// of their fluctuations and confirm the FFT-detected seasonalities.
+    pub fn detail_energies(&self) -> Vec<f64> {
+        self.details
+            .iter()
+            .map(|d| d.iter().map(|x| x * x).sum())
+            .collect()
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Reconstructs the input as the deepest approximation plus all
+    /// details (the à-trous transform is exactly additive).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let Some(last) = self.approximations.last() else {
+            return Vec::new();
+        };
+        let mut out = last.clone();
+        for d in &self.details {
+            for (o, x) in out.iter_mut().zip(d.iter()) {
+                *o += *x;
+            }
+        }
+        out
+    }
+}
+
+/// The à-trous ("with holes") stationary wavelet transform (§VI).
+///
+/// At scale `j` the signal is convolved with the B3 spline filter whose
+/// taps are spaced `2^{j-1}` samples apart (the "holes"); the detail at
+/// scale `j` is the difference between consecutive approximations.
+/// Unlike the decimated Mallat transform, every scale keeps the original
+/// sampling grid, so details align with the input in time — which is why
+/// the paper uses it for seasonality analysis.
+///
+/// Boundaries are handled by mirror extension.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_spectral::AtrousTransform;
+///
+/// let signal: Vec<f64> = (0..256)
+///     .map(|t| (t as f64 / 32.0 * std::f64::consts::TAU).sin())
+///     .collect();
+/// let dec = AtrousTransform::new(6).decompose(&signal);
+/// let energies = dec.detail_energies();
+/// // A period-32 oscillation concentrates energy around scale log2(32/4).
+/// let strongest = energies
+///     .iter()
+///     .enumerate()
+///     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///     .unwrap()
+///     .0;
+/// assert!((3..=5).contains(&strongest), "strongest scale {strongest}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtrousTransform {
+    levels: usize,
+}
+
+impl AtrousTransform {
+    /// Creates a transform computing `levels` decomposition scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels > 0, "wavelet decomposition needs at least one level");
+        AtrousTransform { levels }
+    }
+
+    /// Number of scales computed.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Decomposes `signal` into approximations and details.
+    ///
+    /// Levels deeper than `log2(len)` contribute no further smoothing and
+    /// are truncated, so short inputs yield fewer scales.
+    pub fn decompose(&self, signal: &[f64]) -> WaveletDecomposition {
+        let mut approximations = Vec::new();
+        let mut details = Vec::new();
+        if signal.is_empty() {
+            return WaveletDecomposition { approximations, details };
+        }
+        let max_useful = (usize::BITS - signal.len().leading_zeros()) as usize;
+        let levels = self.levels.min(max_useful.max(1));
+        let mut current = signal.to_vec();
+        for j in 0..levels {
+            let step = 1usize << j;
+            let next = convolve_holes(&current, step);
+            let detail: Vec<f64> = current
+                .iter()
+                .zip(next.iter())
+                .map(|(c, n)| c - n)
+                .collect();
+            details.push(detail);
+            approximations.push(next.clone());
+            current = next;
+        }
+        WaveletDecomposition { approximations, details }
+    }
+}
+
+/// Convolution with the B3 spline filter whose taps are `step` apart,
+/// with mirror boundary extension.
+fn convolve_holes(signal: &[f64], step: usize) -> Vec<f64> {
+    let n = signal.len() as isize;
+    let reflect = |i: isize| -> usize {
+        // Mirror without repeating the edge sample: …2 1 0 | 0 1 2… is
+        // avoided in favour of …2 1 | 0 1 2…, standard for à-trous.
+        let mut i = i;
+        loop {
+            if i < 0 {
+                i = -i;
+            } else if i >= n {
+                i = 2 * (n - 1) - i;
+            } else {
+                return i as usize;
+            }
+        }
+    };
+    (0..signal.len())
+        .map(|t| {
+            B3_SPLINE
+                .iter()
+                .enumerate()
+                .map(|(k, &h)| {
+                    let offset = (k as isize - 2) * step as isize;
+                    h * signal[reflect(t as isize + offset)]
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_sums_to_one() {
+        assert!((B3_SPLINE.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_details() {
+        let dec = AtrousTransform::new(4).decompose(&[7.0; 64]);
+        for e in dec.detail_energies() {
+            assert!(e < 1e-20);
+        }
+    }
+
+    #[test]
+    fn decomposition_is_additive() {
+        let signal: Vec<f64> = (0..128)
+            .map(|t| ((t * 13) % 29) as f64 + (t as f64 / 10.0).sin())
+            .collect();
+        let dec = AtrousTransform::new(5).decompose(&signal);
+        let rec = dec.reconstruct();
+        for (a, b) in rec.iter().zip(signal.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oscillation_energy_concentrates_at_matching_scale() {
+        // Fast oscillation → energy in shallow scales; slow → deep scales.
+        let fast: Vec<f64> = (0..256)
+            .map(|t| (t as f64 / 4.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let slow: Vec<f64> = (0..256)
+            .map(|t| (t as f64 / 64.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let t = AtrousTransform::new(7);
+        let ef = t.decompose(&fast).detail_energies();
+        let es = t.decompose(&slow).detail_energies();
+        let peak_f = ef.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak_s = es.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(peak_f < peak_s, "fast peak {peak_f} vs slow peak {peak_s}");
+    }
+
+    #[test]
+    fn no_phase_shift_for_symmetric_bump() {
+        // The B3 spline is symmetric, so a symmetric bump stays centered.
+        let mut signal = vec![0.0; 65];
+        signal[32] = 1.0;
+        let dec = AtrousTransform::new(1).decompose(&signal);
+        let approx = &dec.approximations[0];
+        let max_idx = approx
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 32);
+    }
+
+    #[test]
+    fn short_or_empty_inputs_are_safe() {
+        let dec = AtrousTransform::new(6).decompose(&[]);
+        assert_eq!(dec.levels(), 0);
+        let dec = AtrousTransform::new(6).decompose(&[1.0, 2.0, 3.0]);
+        assert!(dec.levels() >= 1);
+        assert_eq!(dec.reconstruct().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = AtrousTransform::new(0);
+    }
+}

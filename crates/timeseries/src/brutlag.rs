@@ -1,0 +1,260 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+use crate::forecast::Forecaster;
+use crate::holt_winters::HoltWinters;
+
+/// Brutlag's aberrant-behaviour confidence band around a Holt-Winters
+/// forecast (the paper's reference [14], the lineage of its §VI
+/// forecasting choice).
+///
+/// Alongside the Holt-Winters state, a *seasonal deviation* `d[t]` is
+/// smoothed with the same seasonal structure:
+///
+/// ```text
+/// d[t] = γ·|T[t] − F[t]| + (1−γ)·d[t−υ]
+/// band = F[t] ± δ·d[t−υ]
+/// ```
+///
+/// A sample outside the band is aberrant. Compared with Tiresias'
+/// RT/DT rule (Definition 4), the band adapts its width to each phase
+/// of the season — wide at the volatile evening peak, narrow at night.
+/// Tiresias uses fixed RT/DT because operational counts are too sparse
+/// to estimate per-phase deviations at every heavy hitter; this type is
+/// provided as the classical alternative for dense aggregates (e.g.
+/// root- or first-level series).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::BrutlagBand;
+///
+/// // A period-8 sawtooth with a little phase jitter.
+/// let history: Vec<f64> = (0..64)
+///     .map(|t| 10.0 + 4.0 * (t % 8) as f64 + 0.7 * (t % 3) as f64)
+///     .collect();
+/// let mut band = BrutlagBand::from_history(0.5, 0.05, 0.2, 8, 3.0, &history)?;
+/// // The periodic continuation stays inside the band...
+/// assert!(!band.observe(10.7).is_aberrant());
+/// // ...a far-off value is flagged.
+/// assert!(band.observe(120.0).is_aberrant());
+/// # Ok::<(), tiresias_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrutlagBand {
+    model: HoltWinters,
+    /// Seasonal absolute deviations, one per phase.
+    deviation: Vec<f64>,
+    /// Deviation smoothing rate (Brutlag uses the seasonal γ).
+    gamma: f64,
+    /// Band half-width in deviations (Brutlag suggests 2–3).
+    delta: f64,
+    phase: usize,
+}
+
+/// One observation's verdict from a [`BrutlagBand`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandVerdict {
+    /// The forecast that was in force for the observation.
+    pub forecast: f64,
+    /// Lower edge of the confidence band.
+    pub lower: f64,
+    /// Upper edge of the confidence band.
+    pub upper: f64,
+    /// The observed value.
+    pub actual: f64,
+}
+
+impl BandVerdict {
+    /// `true` iff the observation fell outside the band.
+    pub fn is_aberrant(&self) -> bool {
+        self.actual < self.lower || self.actual > self.upper
+    }
+
+    /// `true` iff above the upper edge (the spike direction Tiresias
+    /// cares about).
+    pub fn is_spike(&self) -> bool {
+        self.actual > self.upper
+    }
+}
+
+impl BrutlagBand {
+    /// Initialises the band from at least two seasonal cycles of
+    /// history: the Holt-Winters model uses its 2υ start, and the
+    /// per-phase deviations are seeded from the replay residuals.
+    ///
+    /// `delta` is the band half-width in deviations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InsufficientHistory`] or
+    /// [`TimeSeriesError::InvalidParameter`] exactly as
+    /// [`HoltWinters::from_history`] does, plus an invalid-parameter
+    /// error for a non-positive `delta`.
+    pub fn from_history(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        season: usize,
+        delta: f64,
+        history: &[f64],
+    ) -> Result<Self, TimeSeriesError> {
+        if !(delta > 0.0) {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "band width delta must be positive, got {delta}"
+            )));
+        }
+        // Replay a parallel model to collect per-phase residuals.
+        let mut model = HoltWinters::from_history(alpha, beta, gamma, season, &history[..2 * season.min(history.len() / 2)])?;
+        let mut deviation = vec![0.0f64; season];
+        let mut seeded = vec![false; season];
+        let mut phase = (2 * season) % season; // 0, kept for clarity
+        for &v in &history[2 * season..] {
+            let f = model.forecast();
+            let resid = (v - f).abs();
+            if seeded[phase] {
+                deviation[phase] = gamma * resid + (1.0 - gamma) * deviation[phase];
+            } else {
+                deviation[phase] = resid;
+                seeded[phase] = true;
+            }
+            model.observe(v);
+            phase = (phase + 1) % season;
+        }
+        // Unseeded phases (short replay) fall back to the mean residual.
+        let seeded_vals: Vec<f64> = deviation
+            .iter()
+            .zip(&seeded)
+            .filter(|(_, &s)| s)
+            .map(|(&d, _)| d)
+            .collect();
+        let fallback = if seeded_vals.is_empty() {
+            history.iter().sum::<f64>().abs() / history.len().max(1) as f64 * 0.1 + 1.0
+        } else {
+            seeded_vals.iter().sum::<f64>() / seeded_vals.len() as f64
+        };
+        for (d, s) in deviation.iter_mut().zip(&seeded) {
+            if !s {
+                *d = fallback;
+            }
+        }
+        Ok(BrutlagBand { model, deviation, gamma, delta, phase })
+    }
+
+    /// Current forecast for the next observation.
+    pub fn forecast(&self) -> f64 {
+        self.model.forecast()
+    }
+
+    /// Current band `(lower, upper)` for the next observation.
+    pub fn band(&self) -> (f64, f64) {
+        let f = self.model.forecast();
+        let d = self.deviation[self.phase].max(f.abs() * 0.01 + f64::EPSILON);
+        (f - self.delta * d, f + self.delta * d)
+    }
+
+    /// Feeds one observation, returning its verdict and advancing the
+    /// model, band and phase.
+    pub fn observe(&mut self, actual: f64) -> BandVerdict {
+        let forecast = self.model.forecast();
+        let (lower, upper) = self.band();
+        let resid = (actual - forecast).abs();
+        self.deviation[self.phase] =
+            self.gamma * resid + (1.0 - self.gamma) * self.deviation[self.phase];
+        self.model.observe(actual);
+        self.phase = (self.phase + 1) % self.deviation.len();
+        BandVerdict { forecast, lower, upper, actual }
+    }
+
+    /// The per-phase deviations (for inspection/telemetry).
+    pub fn deviations(&self) -> &[f64] {
+        &self.deviation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(season: usize, cycles: usize, noise: f64) -> Vec<f64> {
+        (0..season * cycles)
+            .map(|t| {
+                20.0 + 10.0 * ((t % season) as f64 / season as f64 * std::f64::consts::TAU).sin()
+                    + noise * ((t * 7919) % 13) as f64 / 13.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(BrutlagBand::from_history(0.5, 0.1, 0.2, 4, 0.0, &periodic(4, 4, 0.0)).is_err());
+        assert!(BrutlagBand::from_history(0.5, 0.1, 0.2, 4, -1.0, &periodic(4, 4, 0.0)).is_err());
+    }
+
+    #[test]
+    fn periodic_continuation_stays_inside() {
+        let hist = periodic(8, 6, 1.0);
+        let mut band = BrutlagBand::from_history(0.4, 0.02, 0.2, 8, 3.0, &hist).unwrap();
+        let future = periodic(8, 2, 1.0);
+        let mut aberrant = 0;
+        for &v in &future {
+            if band.observe(v).is_aberrant() {
+                aberrant += 1;
+            }
+        }
+        assert!(aberrant <= 1, "{aberrant} false aberrations");
+    }
+
+    #[test]
+    fn spike_is_flagged_and_direction_is_reported() {
+        let hist = periodic(8, 6, 1.0);
+        let mut band = BrutlagBand::from_history(0.4, 0.02, 0.2, 8, 2.5, &hist).unwrap();
+        let v = band.observe(500.0);
+        assert!(v.is_aberrant());
+        assert!(v.is_spike());
+        let v = band.observe(-300.0);
+        assert!(v.is_aberrant());
+        assert!(!v.is_spike());
+    }
+
+    #[test]
+    fn band_widens_at_noisy_phases() {
+        // Noise only at phase 0: its deviation must exceed the quiet
+        // phases' after enough cycles.
+        let season = 4;
+        let hist: Vec<f64> = (0..season * 24)
+            .map(|t| {
+                let base = 10.0;
+                if t % season == 0 {
+                    base + 8.0 * (((t * 31) % 7) as f64 / 7.0 - 0.5)
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let band = BrutlagBand::from_history(0.3, 0.0, 0.3, season, 2.0, &hist).unwrap();
+        let d = band.deviations();
+        assert!(
+            d[0] > d[1] && d[0] > d[2] && d[0] > d[3],
+            "noisy phase deviation {d:?}"
+        );
+    }
+
+    #[test]
+    fn verdict_band_edges_are_consistent() {
+        let hist = periodic(4, 4, 0.5);
+        let mut band = BrutlagBand::from_history(0.5, 0.05, 0.2, 4, 2.0, &hist).unwrap();
+        let v = band.observe(21.0);
+        assert!(v.lower < v.upper);
+        assert!((v.lower + v.upper) / 2.0 - v.forecast < 1e-9);
+        assert_eq!(v.actual, 21.0);
+    }
+
+    #[test]
+    fn insufficient_history_is_rejected() {
+        assert!(matches!(
+            BrutlagBand::from_history(0.5, 0.1, 0.2, 8, 2.0, &[1.0; 15]),
+            Err(TimeSeriesError::InsufficientHistory { .. })
+        ));
+    }
+}

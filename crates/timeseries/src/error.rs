@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by time-series construction and forecasting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// An elementwise operation was applied to series of different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// Two forecasters with incompatible configuration (season length,
+    /// smoothing parameters, phase) were merged.
+    IncompatibleForecasters(String),
+    /// A model required more history than was provided.
+    InsufficientHistory {
+        /// Samples required.
+        needed: usize,
+        /// Samples provided.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::LengthMismatch { left, right } => {
+                write!(f, "series lengths differ ({left} vs {right})")
+            }
+            TimeSeriesError::IncompatibleForecasters(why) => {
+                write!(f, "forecasters cannot be combined: {why}")
+            }
+            TimeSeriesError::InsufficientHistory { needed, got } => {
+                write!(f, "model needs {needed} history samples but got {got}")
+            }
+            TimeSeriesError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<TimeSeriesError>();
+    }
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            TimeSeriesError::LengthMismatch { left: 1, right: 2 },
+            TimeSeriesError::IncompatibleForecasters("x".into()),
+            TimeSeriesError::InsufficientHistory { needed: 8, got: 2 },
+            TimeSeriesError::InvalidParameter("alpha".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

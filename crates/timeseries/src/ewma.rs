@@ -1,0 +1,232 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+use crate::forecast::{Forecaster, LinearForecaster};
+
+/// Exponentially weighted moving-average forecaster:
+/// `F[t+1] = α·T[t] + (1−α)·F[t]`.
+///
+/// EWMA is the simple non-seasonal model the paper uses (a) to analyse the
+/// error introduced by a biased split (§V-B4, Eq. 1–2, Fig. 9) and (b) as
+/// the per-scale forecast of the multi-time-scale series (Fig. 10). For
+/// the seasonal operational datasets themselves the paper prefers
+/// Holt-Winters.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::{Ewma, Forecaster};
+///
+/// let mut e = Ewma::new(0.5)?;
+/// e.observe(10.0); // first observation seeds the forecast
+/// e.observe(20.0);
+/// assert_eq!(e.forecast(), 15.0);
+/// # Ok::<(), tiresias_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    forecast: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA forecaster with smoothing rate `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] unless
+    /// `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Result<Self, TimeSeriesError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "ewma alpha must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(Ewma { alpha, forecast: None })
+    }
+
+    /// Creates an EWMA forecaster seeded with an initial forecast value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] unless
+    /// `0 < alpha <= 1`.
+    pub fn with_initial(alpha: f64, initial: f64) -> Result<Self, TimeSeriesError> {
+        let mut e = Ewma::new(alpha)?;
+        e.forecast = Some(initial);
+        Ok(e)
+    }
+
+    /// The smoothing rate α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `true` until the first observation arrives.
+    pub fn is_unseeded(&self) -> bool {
+        self.forecast.is_none()
+    }
+
+    /// Injects an additive bias ξ into the current forecast, modelling the
+    /// estimation error a `SPLIT` operation introduces (the paper's
+    /// `FE[t] = F[t] + ξ`).
+    pub fn bias(&mut self, xi: f64) {
+        if let Some(f) = &mut self.forecast {
+            *f += xi;
+        } else {
+            self.forecast = Some(xi);
+        }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn forecast(&self) -> f64 {
+        self.forecast.unwrap_or(0.0)
+    }
+
+    fn observe(&mut self, actual: f64) {
+        self.forecast = Some(match self.forecast {
+            // The first observation seeds the forecast, a standard EWMA
+            // warm-up that avoids a persistent startup transient.
+            None => actual,
+            Some(f) => self.alpha * actual + (1.0 - self.alpha) * f,
+        });
+    }
+}
+
+impl LinearForecaster for Ewma {
+    fn scale(&mut self, factor: f64) {
+        if let Some(f) = &mut self.forecast {
+            *f *= factor;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), TimeSeriesError> {
+        if (self.alpha - other.alpha).abs() > f64::EPSILON {
+            return Err(TimeSeriesError::IncompatibleForecasters(format!(
+                "ewma alphas differ ({} vs {})",
+                self.alpha, other.alpha
+            )));
+        }
+        self.forecast = match (self.forecast, other.forecast) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        Ok(())
+    }
+}
+
+/// Closed-form relative error `RE[t+k]` of an EWMA forecast whose value at
+/// time `t` was biased by `xi`, after `k` further (unbiased) observations
+/// — the paper's Eq. (1)–(2), plotted in Fig. 9.
+///
+/// On a constant unit series (`T[i] = 1`, `F[t] = 1`) the bias decays
+/// geometrically: `RE[t+k] = (1−α)^k · |ξ| / F`.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::Ewma;
+/// use tiresias_timeseries::stats::approx_eq;
+///
+/// // α = 0.5, ξ = F: the error halves every iteration.
+/// let re = tiresias_timeseries::split_bias_relative_error(0.5, 1.0, 1.0, 3);
+/// assert!(approx_eq(re, 0.125, 1e-12));
+/// ```
+pub fn split_bias_relative_error(alpha: f64, xi: f64, f: f64, k: u32) -> f64 {
+    (1.0 - alpha).powi(k as i32) * xi.abs() / f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        assert!(Ewma::new(0.0).is_err());
+        assert!(Ewma::new(1.5).is_err());
+        assert!(Ewma::new(-0.1).is_err());
+        assert!(Ewma::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn update_rule_matches_definition() {
+        let mut e = Ewma::with_initial(0.25, 8.0).unwrap();
+        e.observe(16.0);
+        // 0.25*16 + 0.75*8 = 10
+        assert_eq!(e.forecast(), 10.0);
+    }
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ewma::new(0.5).unwrap();
+        assert!(e.is_unseeded());
+        e.observe(42.0);
+        assert_eq!(e.forecast(), 42.0);
+        assert!(!e.is_unseeded());
+    }
+
+    #[test]
+    fn linearity_scale() {
+        let mut a = Ewma::with_initial(0.5, 10.0).unwrap();
+        a.scale(0.3);
+        assert!((a.forecast() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearity_merge() {
+        // Model of X + model of Y == model of X+Y, stepwise.
+        let xs = [1.0, 4.0, 2.0, 8.0];
+        let ys = [3.0, 1.0, 5.0, 2.0];
+        let mut fx = Ewma::with_initial(0.4, 1.0).unwrap();
+        let mut fy = Ewma::with_initial(0.4, 2.0).unwrap();
+        let mut fsum = Ewma::with_initial(0.4, 3.0).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            fx.observe(*x);
+            fy.observe(*y);
+            fsum.observe(x + y);
+        }
+        fx.merge(&fy).unwrap();
+        assert!((fx.forecast() - fsum.forecast()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_rejects_different_alpha() {
+        let mut a = Ewma::new(0.5).unwrap();
+        let b = Ewma::new(0.4).unwrap();
+        assert!(matches!(
+            a.merge(&b),
+            Err(TimeSeriesError::IncompatibleForecasters(_))
+        ));
+    }
+
+    #[test]
+    fn bias_decay_matches_closed_form() {
+        // Simulate the paper's Fig. 9 setting: constant unit series,
+        // α = 0.5, converged forecast F = 1 biased by ξ.
+        for &xi in &[2.0, 1.0, 0.5] {
+            let alpha = 0.5;
+            let mut biased = Ewma::with_initial(alpha, 1.0 + xi).unwrap();
+            let mut clean = Ewma::with_initial(alpha, 1.0).unwrap();
+            for k in 1..=10u32 {
+                biased.observe(1.0);
+                clean.observe(1.0);
+                let sim = (biased.forecast() - clean.forecast()).abs() / clean.forecast();
+                let closed = split_bias_relative_error(alpha, xi, clean.forecast(), k);
+                assert!(
+                    (sim - closed).abs() < 1e-9,
+                    "k={k} xi={xi}: sim={sim} closed={closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bias_error_decays_exponentially() {
+        let re1 = split_bias_relative_error(0.5, 1.0, 1.0, 1);
+        let re5 = split_bias_relative_error(0.5, 1.0, 1.0, 5);
+        let re10 = split_bias_relative_error(0.5, 1.0, 1.0, 10);
+        assert!(re1 > re5 && re5 > re10);
+        assert!((re5 / re10 - 2f64.powi(5)).abs() < 1e-9);
+    }
+}

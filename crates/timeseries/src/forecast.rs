@@ -1,0 +1,78 @@
+use crate::error::TimeSeriesError;
+
+/// A one-step-ahead forecasting model over a scalar time series.
+///
+/// The detector calls [`Forecaster::forecast`] to obtain the predicted
+/// value for the upcoming timeunit, compares it with the observed count
+/// (Definition 4 of the paper), then feeds the observation back with
+/// [`Forecaster::observe`].
+pub trait Forecaster {
+    /// Predicted value for the next (not yet observed) timeunit — the
+    /// paper's `F[n, 1]`.
+    fn forecast(&self) -> f64;
+
+    /// Feeds the actual value of the timeunit that just closed, advancing
+    /// the model state.
+    fn observe(&mut self, actual: f64);
+}
+
+/// A forecaster whose internal state is a linear function of the observed
+/// series, enabling the ADA split/merge adaptations without refitting.
+///
+/// The paper's Lemma 2 proves the additive Holt-Winters model has this
+/// property; EWMA has it trivially. Implementors must satisfy, for any
+/// histories `X` and `Y`:
+///
+/// * `state(c · X) == c · state(X)` (so [`LinearForecaster::scale`] turns
+///   a model of `X` into a model of `c · X`),
+/// * `state(X + Y) == state(X) + state(Y)` (so
+///   [`LinearForecaster::merge`] turns models of `X` and `Y` into a model
+///   of `X + Y`).
+pub trait LinearForecaster: Forecaster {
+    /// Rescales the model as if every historical observation had been
+    /// multiplied by `factor`. Used by the ADA `SPLIT` operation.
+    fn scale(&mut self, factor: f64);
+
+    /// Absorbs `other`, producing the model of the summed series. Used by
+    /// the ADA `MERGE` operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::IncompatibleForecasters`] if the two
+    /// models have different configurations (season length, smoothing
+    /// parameters or phase) and therefore do not add componentwise.
+    fn merge(&mut self, other: &Self) -> Result<(), TimeSeriesError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial mean forecaster used to exercise the trait contract.
+    struct Mean {
+        sum: f64,
+        n: usize,
+    }
+
+    impl Forecaster for Mean {
+        fn forecast(&self) -> f64 {
+            if self.n == 0 {
+                0.0
+            } else {
+                self.sum / self.n as f64
+            }
+        }
+        fn observe(&mut self, actual: f64) {
+            self.sum += actual;
+            self.n += 1;
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut m: Box<dyn Forecaster> = Box::new(Mean { sum: 0.0, n: 0 });
+        m.observe(2.0);
+        m.observe(4.0);
+        assert_eq!(m.forecast(), 3.0);
+    }
+}

@@ -1,0 +1,712 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+use crate::forecast::{Forecaster, LinearForecaster};
+
+/// Additive Holt-Winters seasonal forecaster (§VI of the paper).
+///
+/// The model decomposes a series `T[t]` into level `L`, trend `B` and a
+/// seasonal component `S` of period `υ`:
+///
+/// ```text
+/// L[t] = α(T[t] − S[t−υ]) + (1−α)(L[t−1] + B[t−1])
+/// B[t] = β(L[t] − L[t−1]) + (1−β)B[t−1]
+/// S[t] = γ(T[t] − L[t]) + (1−γ)S[t−υ]
+/// G[t] = L[t−1] + B[t−1] + S[t−υ]        (one-step forecast)
+/// ```
+///
+/// Because every update is linear in the observations, the model state of
+/// a summed series is the sum of the states (the paper's **Lemma 2**) —
+/// which is exactly why ADA can `SPLIT`/`MERGE` heavy hitters by scaling
+/// and adding forecaster state instead of refitting. Those operations are
+/// exposed via [`LinearForecaster`].
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::{Forecaster, HoltWinters};
+///
+/// // Two cycles of a υ=3 season initialise the model.
+/// let hist = [1.0, 5.0, 9.0, 1.0, 5.0, 9.0];
+/// let mut hw = HoltWinters::from_history(0.3, 0.05, 0.2, 3, &hist)?;
+/// // Perfectly periodic history ⇒ near-exact next-step forecast.
+/// assert!((hw.forecast() - 1.0).abs() < 1.0);
+/// hw.observe(1.2);
+/// # Ok::<(), tiresias_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    season: usize,
+    level: f64,
+    trend: f64,
+    /// Seasonal components, indexed by phase `t mod υ`.
+    seasonal: Vec<f64>,
+    /// Phase of the *next* observation.
+    phase: usize,
+}
+
+fn check_rate(name: &str, v: f64) -> Result<(), TimeSeriesError> {
+    if !(0.0..=1.0).contains(&v) {
+        return Err(TimeSeriesError::InvalidParameter(format!(
+            "{name} must be in [0, 1], got {v}"
+        )));
+    }
+    Ok(())
+}
+
+impl HoltWinters {
+    /// Creates a model with explicit initial state.
+    ///
+    /// `seasonal` must contain exactly `season` components; the first one
+    /// is the component of the next observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] if a smoothing rate
+    /// is outside `[0, 1]`, the season is zero, or `seasonal` has the
+    /// wrong length.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        level: f64,
+        trend: f64,
+        seasonal: Vec<f64>,
+    ) -> Result<Self, TimeSeriesError> {
+        check_rate("alpha", alpha)?;
+        check_rate("beta", beta)?;
+        check_rate("gamma", gamma)?;
+        if seasonal.is_empty() {
+            return Err(TimeSeriesError::InvalidParameter(
+                "holt-winters season length must be positive".into(),
+            ));
+        }
+        Ok(HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            season: seasonal.len(),
+            level,
+            trend,
+            seasonal,
+            phase: 0,
+        })
+    }
+
+    /// Initialises the model from at least two full seasonal cycles of
+    /// history (the paper's §VI initialisation), then replays any samples
+    /// beyond the first `2υ` through [`Forecaster::observe`].
+    ///
+    /// Starting values (all linear in the history, preserving Lemma 2):
+    ///
+    /// * `L₀` — mean of the first two cycles,
+    /// * `B₀` — (mean of 2nd cycle − mean of 1st cycle) / υ,
+    /// * `S₀[j]` — average over the two cycles of `T[j] − L₀`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InsufficientHistory`] when fewer than
+    /// `2υ` samples are supplied and
+    /// [`TimeSeriesError::InvalidParameter`] for invalid rates or a zero
+    /// season.
+    pub fn from_history(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        season: usize,
+        history: &[f64],
+    ) -> Result<Self, TimeSeriesError> {
+        if season == 0 {
+            return Err(TimeSeriesError::InvalidParameter(
+                "holt-winters season length must be positive".into(),
+            ));
+        }
+        if history.len() < 2 * season {
+            return Err(TimeSeriesError::InsufficientHistory {
+                needed: 2 * season,
+                got: history.len(),
+            });
+        }
+        let (first, rest) = history.split_at(season);
+        let (second, tail) = rest.split_at(season);
+        let mean1: f64 = first.iter().sum::<f64>() / season as f64;
+        let mean2: f64 = second.iter().sum::<f64>() / season as f64;
+        let level = (mean1 + mean2) / 2.0;
+        let trend = (mean2 - mean1) / season as f64;
+        let seasonal: Vec<f64> = (0..season)
+            .map(|j| ((first[j] - level) + (second[j] - level)) / 2.0)
+            .collect();
+        let mut hw = HoltWinters::new(alpha, beta, gamma, level, trend, seasonal)?;
+        for &v in tail {
+            hw.observe(v);
+        }
+        Ok(hw)
+    }
+
+    /// The seasonal period υ.
+    pub fn season_length(&self) -> usize {
+        self.season
+    }
+
+    /// The phase (season slot) of the *next* observation.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Sets the phase of the next observation.
+    ///
+    /// Heavy hitter trackers use this to align freshly created models
+    /// with the global timeunit counter so that models created at
+    /// different times can still be merged (merging requires equal
+    /// phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] if `phase >= υ`.
+    pub fn set_phase(&mut self, phase: usize) -> Result<(), TimeSeriesError> {
+        if phase >= self.season {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "phase {phase} out of range for season {}",
+                self.season
+            )));
+        }
+        self.phase = phase;
+        Ok(())
+    }
+
+    /// Current level component `L`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend component `B`.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Seasonal components indexed by phase.
+    pub fn seasonal(&self) -> &[f64] {
+        &self.seasonal
+    }
+
+    /// Smoothing rates `(α, β, γ)`.
+    pub fn rates(&self) -> (f64, f64, f64) {
+        (self.alpha, self.beta, self.gamma)
+    }
+
+    /// Forecast `h ≥ 1` steps ahead: `L + h·B + S[phase of t+h]`.
+    pub fn forecast_ahead(&self, h: usize) -> f64 {
+        let phase = (self.phase + h - 1) % self.season;
+        self.level + h as f64 * self.trend + self.seasonal[phase]
+    }
+
+    fn compatible(&self, other: &Self) -> Result<(), TimeSeriesError> {
+        if self.season != other.season {
+            return Err(TimeSeriesError::IncompatibleForecasters(format!(
+                "season lengths differ ({} vs {})",
+                self.season, other.season
+            )));
+        }
+        if self.phase != other.phase {
+            return Err(TimeSeriesError::IncompatibleForecasters(format!(
+                "seasonal phases differ ({} vs {})",
+                self.phase, other.phase
+            )));
+        }
+        let (a, b, g) = (self.alpha, self.beta, self.gamma);
+        if (a - other.alpha).abs() > f64::EPSILON
+            || (b - other.beta).abs() > f64::EPSILON
+            || (g - other.gamma).abs() > f64::EPSILON
+        {
+            return Err(TimeSeriesError::IncompatibleForecasters(
+                "smoothing rates differ".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn forecast(&self) -> f64 {
+        self.level + self.trend + self.seasonal[self.phase]
+    }
+
+    fn observe(&mut self, actual: f64) {
+        let s_old = self.seasonal[self.phase];
+        let l_old = self.level;
+        self.level =
+            self.alpha * (actual - s_old) + (1.0 - self.alpha) * (l_old + self.trend);
+        self.trend = self.beta * (self.level - l_old) + (1.0 - self.beta) * self.trend;
+        self.seasonal[self.phase] =
+            self.gamma * (actual - self.level) + (1.0 - self.gamma) * s_old;
+        self.phase = (self.phase + 1) % self.season;
+    }
+}
+
+impl LinearForecaster for HoltWinters {
+    fn scale(&mut self, factor: f64) {
+        self.level *= factor;
+        self.trend *= factor;
+        self.seasonal.iter_mut().for_each(|s| *s *= factor);
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), TimeSeriesError> {
+        self.compatible(other)?;
+        self.level += other.level;
+        self.trend += other.trend;
+        for (s, o) in self.seasonal.iter_mut().zip(other.seasonal.iter()) {
+            *s += *o;
+        }
+        Ok(())
+    }
+}
+
+/// One seasonal factor of a [`MultiSeasonalHoltWinters`] model: a period
+/// and its relative weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalFactor {
+    /// Seasonal period in timeunits (e.g. 96 for a day of 15-minute
+    /// units).
+    pub period: usize,
+    /// Relative weight of this factor; the paper's ξ for the daily factor
+    /// and 1−ξ for the weekly one.
+    pub weight: f64,
+}
+
+impl SeasonalFactor {
+    /// Creates a factor.
+    pub fn new(period: usize, weight: f64) -> Self {
+        SeasonalFactor { period, weight }
+    }
+}
+
+/// Additive Holt-Winters with several linearly combined seasonal factors.
+///
+/// The paper's CCD evaluation uses two factors — daily and weekly — with
+/// combined seasonal component `S = ξ·S_day + (1−ξ)·S_week`, where ξ is
+/// the ratio of FFT magnitudes at the two periods (§VII, "System
+/// parameters"). Each factor keeps its own component array; the level and
+/// trend updates see the weighted combination.
+///
+/// All state remains linear in the observations, so the model still
+/// supports [`LinearForecaster`] and Lemma 2 carries over.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::{Forecaster, MultiSeasonalHoltWinters, SeasonalFactor};
+///
+/// let factors = vec![SeasonalFactor::new(4, 0.76), SeasonalFactor::new(8, 0.24)];
+/// let hist: Vec<f64> = (0..16).map(|t| (t % 4) as f64 + 0.5 * (t % 8) as f64).collect();
+/// let mut hw = MultiSeasonalHoltWinters::from_history(0.3, 0.05, 0.2, &factors, &hist)?;
+/// hw.observe(1.0);
+/// let _ = hw.forecast();
+/// # Ok::<(), tiresias_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeasonalHoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    level: f64,
+    trend: f64,
+    factors: Vec<SeasonalFactor>,
+    /// One component array per factor, each of its own period.
+    seasonal: Vec<Vec<f64>>,
+    /// One phase cursor per factor.
+    phase: Vec<usize>,
+}
+
+impl MultiSeasonalHoltWinters {
+    /// Creates a model with explicit level and trend, zero seasonal
+    /// components and zero phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] for invalid rates,
+    /// an empty factor list, or a zero period.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        factors: &[SeasonalFactor],
+        level: f64,
+        trend: f64,
+    ) -> Result<Self, TimeSeriesError> {
+        check_rate("alpha", alpha)?;
+        check_rate("beta", beta)?;
+        check_rate("gamma", gamma)?;
+        if factors.is_empty() {
+            return Err(TimeSeriesError::InvalidParameter(
+                "at least one seasonal factor is required".into(),
+            ));
+        }
+        if factors.iter().any(|f| f.period == 0) {
+            return Err(TimeSeriesError::InvalidParameter(
+                "seasonal periods must be positive".into(),
+            ));
+        }
+        Ok(MultiSeasonalHoltWinters {
+            alpha,
+            beta,
+            gamma,
+            level,
+            trend,
+            factors: factors.to_vec(),
+            seasonal: factors.iter().map(|f| vec![0.0; f.period]).collect(),
+            phase: vec![0; factors.len()],
+        })
+    }
+
+    /// Aligns every factor's phase with a global timeunit counter: the
+    /// next observation is treated as timeunit `global_units`.
+    pub fn set_phases(&mut self, global_units: usize) {
+        for (ph, f) in self.phase.iter_mut().zip(self.factors.iter()) {
+            *ph = global_units % f.period;
+        }
+    }
+
+    /// Initialises the model from history covering at least two cycles of
+    /// the *longest* factor, then replays the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] for invalid rates,
+    /// an empty factor list, or a zero period, and
+    /// [`TimeSeriesError::InsufficientHistory`] when the history is
+    /// shorter than twice the longest period.
+    pub fn from_history(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        factors: &[SeasonalFactor],
+        history: &[f64],
+    ) -> Result<Self, TimeSeriesError> {
+        check_rate("alpha", alpha)?;
+        check_rate("beta", beta)?;
+        check_rate("gamma", gamma)?;
+        if factors.is_empty() {
+            return Err(TimeSeriesError::InvalidParameter(
+                "at least one seasonal factor is required".into(),
+            ));
+        }
+        if factors.iter().any(|f| f.period == 0) {
+            return Err(TimeSeriesError::InvalidParameter(
+                "seasonal periods must be positive".into(),
+            ));
+        }
+        let longest = factors.iter().map(|f| f.period).max().expect("non-empty");
+        if history.len() < 2 * longest {
+            return Err(TimeSeriesError::InsufficientHistory {
+                needed: 2 * longest,
+                got: history.len(),
+            });
+        }
+        let init = &history[..2 * longest];
+        let level: f64 = init.iter().sum::<f64>() / init.len() as f64;
+        let half = longest;
+        let mean1: f64 = init[..half].iter().sum::<f64>() / half as f64;
+        let mean2: f64 = init[half..].iter().sum::<f64>() / half as f64;
+        let trend = (mean2 - mean1) / half as f64;
+        // Per-factor components: average deviation from the level at each
+        // phase of that factor's period, linear in the history.
+        let mut seasonal = Vec::with_capacity(factors.len());
+        for f in factors {
+            let mut comp = vec![0.0; f.period];
+            let mut count = vec![0usize; f.period];
+            for (t, &v) in init.iter().enumerate() {
+                comp[t % f.period] += v - level;
+                count[t % f.period] += 1;
+            }
+            for (c, n) in comp.iter_mut().zip(count.iter()) {
+                if *n > 0 {
+                    *c /= *n as f64;
+                }
+            }
+            seasonal.push(comp);
+        }
+        let mut hw = MultiSeasonalHoltWinters {
+            alpha,
+            beta,
+            gamma,
+            level,
+            trend,
+            factors: factors.to_vec(),
+            seasonal,
+            phase: factors.iter().map(|f| (2 * longest) % f.period).collect(),
+        };
+        for &v in &history[2 * longest..] {
+            hw.observe(v);
+        }
+        Ok(hw)
+    }
+
+    /// The seasonal factors.
+    pub fn factors(&self) -> &[SeasonalFactor] {
+        &self.factors
+    }
+
+    /// Current level component.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current trend component.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    fn combined_seasonal(&self) -> f64 {
+        self.factors
+            .iter()
+            .zip(self.seasonal.iter())
+            .zip(self.phase.iter())
+            .map(|((f, comp), &ph)| f.weight * comp[ph])
+            .sum()
+    }
+}
+
+impl Forecaster for MultiSeasonalHoltWinters {
+    fn forecast(&self) -> f64 {
+        self.level + self.trend + self.combined_seasonal()
+    }
+
+    fn observe(&mut self, actual: f64) {
+        let s_comb = self.combined_seasonal();
+        let l_old = self.level;
+        self.level =
+            self.alpha * (actual - s_comb) + (1.0 - self.alpha) * (l_old + self.trend);
+        self.trend = self.beta * (self.level - l_old) + (1.0 - self.beta) * self.trend;
+        // Each factor absorbs the full residual at its own phase; the
+        // factor weights keep the combination calibrated.
+        let residual = actual - self.level;
+        for (comp, &ph) in self.seasonal.iter_mut().zip(self.phase.iter()) {
+            comp[ph] = self.gamma * residual + (1.0 - self.gamma) * comp[ph];
+        }
+        for (ph, f) in self.phase.iter_mut().zip(self.factors.iter()) {
+            *ph = (*ph + 1) % f.period;
+        }
+    }
+}
+
+impl LinearForecaster for MultiSeasonalHoltWinters {
+    fn scale(&mut self, factor: f64) {
+        self.level *= factor;
+        self.trend *= factor;
+        for comp in &mut self.seasonal {
+            comp.iter_mut().for_each(|s| *s *= factor);
+        }
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), TimeSeriesError> {
+        if self.factors != other.factors || self.phase != other.phase {
+            return Err(TimeSeriesError::IncompatibleForecasters(
+                "multi-seasonal factor configurations differ".into(),
+            ));
+        }
+        if (self.alpha - other.alpha).abs() > f64::EPSILON
+            || (self.beta - other.beta).abs() > f64::EPSILON
+            || (self.gamma - other.gamma).abs() > f64::EPSILON
+        {
+            return Err(TimeSeriesError::IncompatibleForecasters(
+                "smoothing rates differ".into(),
+            ));
+        }
+        self.level += other.level;
+        self.trend += other.trend;
+        for (mine, theirs) in self.seasonal.iter_mut().zip(other.seasonal.iter()) {
+            for (s, o) in mine.iter_mut().zip(theirs.iter()) {
+                *s += *o;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(season: usize, cycles: usize) -> Vec<f64> {
+        (0..season * cycles)
+            .map(|t| 10.0 + 5.0 * (t % season) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HoltWinters::from_history(1.5, 0.1, 0.1, 4, &periodic(4, 2)).is_err());
+        assert!(HoltWinters::from_history(0.5, -0.1, 0.1, 4, &periodic(4, 2)).is_err());
+        assert!(HoltWinters::from_history(0.5, 0.1, 0.1, 0, &[]).is_err());
+        assert!(matches!(
+            HoltWinters::from_history(0.5, 0.1, 0.1, 4, &[1.0; 7]),
+            Err(TimeSeriesError::InsufficientHistory { needed: 8, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn perfectly_periodic_series_forecasts_exactly() {
+        let hist = periodic(4, 2);
+        let mut hw = HoltWinters::from_history(0.5, 0.1, 0.3, 4, &hist).unwrap();
+        // Continue the periodic pattern; forecasts should stay accurate.
+        for t in 8..24 {
+            let actual = 10.0 + 5.0 * (t % 4) as f64;
+            let f = hw.forecast();
+            assert!(
+                (f - actual).abs() < 1.0,
+                "t={t}: forecast {f} vs actual {actual}"
+            );
+            hw.observe(actual);
+        }
+    }
+
+    #[test]
+    fn trend_is_tracked() {
+        // Linear ramp with no seasonality: forecast should follow.
+        let hist: Vec<f64> = (0..8).map(|t| t as f64).collect();
+        let mut hw = HoltWinters::from_history(0.8, 0.8, 0.0, 4, &hist).unwrap();
+        for t in 8..40 {
+            hw.observe(t as f64);
+        }
+        let f = hw.forecast();
+        // The seasonal init absorbs part of the ramp, so allow a wider
+        // band — the point is that the trend keeps the forecast close to
+        // the next ramp value rather than lagging at the level.
+        assert!((f - 40.0).abs() < 5.0, "forecast {f} should be near 40");
+    }
+
+    #[test]
+    fn update_equations_match_hand_computation() {
+        let mut hw =
+            HoltWinters::new(0.5, 0.4, 0.3, 10.0, 1.0, vec![2.0, -2.0]).unwrap();
+        // Forecast = L + B + S[0] = 13
+        assert_eq!(hw.forecast(), 13.0);
+        hw.observe(14.0);
+        // L' = 0.5*(14-2) + 0.5*(10+1) = 11.5
+        // B' = 0.4*(11.5-10) + 0.6*1 = 1.2
+        // S[0]' = 0.3*(14-11.5) + 0.7*2 = 2.15
+        assert!((hw.level() - 11.5).abs() < 1e-12);
+        assert!((hw.trend() - 1.2).abs() < 1e-12);
+        assert!((hw.seasonal()[0] - 2.15).abs() < 1e-12);
+        // Next forecast uses S[1]: 11.5 + 1.2 - 2 = 10.7
+        assert!((hw.forecast() - 10.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_additivity_holds_stepwise() {
+        // Holt-Winters linearity (the paper's Lemma 2): the model of a
+        // summed series equals the sum of the models at every step.
+        let season = 3;
+        let xs: Vec<f64> = (0..30).map(|t| 5.0 + (t % 3) as f64).collect();
+        let ys: Vec<f64> = (0..30).map(|t| 2.0 + ((t + 1) % 3) as f64 * 2.0).collect();
+        let sum: Vec<f64> = xs.iter().zip(ys.iter()).map(|(a, b)| a + b).collect();
+
+        let mut fx = HoltWinters::from_history(0.4, 0.2, 0.3, season, &xs[..6]).unwrap();
+        let mut fy = HoltWinters::from_history(0.4, 0.2, 0.3, season, &ys[..6]).unwrap();
+        let mut fs = HoltWinters::from_history(0.4, 0.2, 0.3, season, &sum[..6]).unwrap();
+
+        for t in 6..30 {
+            assert!(
+                (fx.forecast() + fy.forecast() - fs.forecast()).abs() < 1e-9,
+                "additivity violated at t={t}"
+            );
+            fx.observe(xs[t]);
+            fy.observe(ys[t]);
+            fs.observe(sum[t]);
+        }
+        fx.merge(&fy).unwrap();
+        assert!((fx.forecast() - fs.forecast()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_commutes_with_observe() {
+        // scale(c) then observe(c·x) == observe(x) then scale(c)
+        let hist = periodic(4, 2);
+        let c = 0.37;
+        let mut a = HoltWinters::from_history(0.5, 0.2, 0.3, 4, &hist).unwrap();
+        let mut b = a.clone();
+        a.scale(c);
+        a.observe(c * 42.0);
+        b.observe(42.0);
+        b.scale(c);
+        assert!((a.forecast() - b.forecast()).abs() < 1e-9);
+        assert!((a.level() - b.level()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let hist = periodic(4, 2);
+        let mut a = HoltWinters::from_history(0.5, 0.2, 0.3, 4, &hist).unwrap();
+        let b = HoltWinters::from_history(0.5, 0.2, 0.3, 2, &hist).unwrap();
+        assert!(a.merge(&b).is_err());
+        let mut c = HoltWinters::from_history(0.5, 0.2, 0.3, 4, &hist).unwrap();
+        let mut d = c.clone();
+        d.observe(1.0); // phase mismatch
+        assert!(c.merge(&d).is_err());
+    }
+
+    #[test]
+    fn forecast_ahead_uses_future_phase() {
+        let hw = HoltWinters::new(0.5, 0.1, 0.1, 10.0, 1.0, vec![1.0, -1.0]).unwrap();
+        assert_eq!(hw.forecast_ahead(1), hw.forecast());
+        // h=2: level + 2·trend + S[1] = 10 + 2 − 1 = 11
+        assert_eq!(hw.forecast_ahead(2), 11.0);
+    }
+
+    #[test]
+    fn multi_seasonal_tracks_two_periods() {
+        // Signal = daily (period 6) + weekly (period 12) components.
+        let f = vec![SeasonalFactor::new(6, 0.7), SeasonalFactor::new(12, 0.3)];
+        let signal = |t: usize| {
+            20.0 + 6.0 * ((t % 6) as f64 / 6.0 * std::f64::consts::TAU).sin()
+                + 3.0 * ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()
+        };
+        let hist: Vec<f64> = (0..48).map(signal).collect();
+        let mut hw =
+            MultiSeasonalHoltWinters::from_history(0.3, 0.02, 0.4, &f, &hist).unwrap();
+        let mut err = 0.0;
+        for t in 48..96 {
+            let a = signal(t);
+            err += (hw.forecast() - a).abs();
+            hw.observe(a);
+        }
+        let mean_err = err / 48.0;
+        // Signal peak-to-peak amplitude is 18; a mean absolute error
+        // under 2.5 means both periodic components are being tracked.
+        assert!(mean_err < 2.5, "mean abs error {mean_err} too large");
+    }
+
+    #[test]
+    fn multi_seasonal_additivity() {
+        let f = vec![SeasonalFactor::new(4, 0.6), SeasonalFactor::new(8, 0.4)];
+        let xs: Vec<f64> = (0..32).map(|t| 3.0 + (t % 4) as f64).collect();
+        let ys: Vec<f64> = (0..32).map(|t| 1.0 + (t % 8) as f64 * 0.5).collect();
+        let sum: Vec<f64> = xs.iter().zip(ys.iter()).map(|(a, b)| a + b).collect();
+        let mut fx = MultiSeasonalHoltWinters::from_history(0.4, 0.1, 0.3, &f, &xs[..16]).unwrap();
+        let mut fy = MultiSeasonalHoltWinters::from_history(0.4, 0.1, 0.3, &f, &ys[..16]).unwrap();
+        let mut fs = MultiSeasonalHoltWinters::from_history(0.4, 0.1, 0.3, &f, &sum[..16]).unwrap();
+        for t in 16..32 {
+            assert!((fx.forecast() + fy.forecast() - fs.forecast()).abs() < 1e-9);
+            fx.observe(xs[t]);
+            fy.observe(ys[t]);
+            fs.observe(sum[t]);
+        }
+        fx.merge(&fy).unwrap();
+        assert!((fx.forecast() - fs.forecast()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_seasonal_rejects_bad_config() {
+        assert!(MultiSeasonalHoltWinters::from_history(0.5, 0.1, 0.1, &[], &[1.0; 8]).is_err());
+        let f = vec![SeasonalFactor::new(0, 1.0)];
+        assert!(MultiSeasonalHoltWinters::from_history(0.5, 0.1, 0.1, &f, &[1.0; 8]).is_err());
+        let f = vec![SeasonalFactor::new(8, 1.0)];
+        assert!(matches!(
+            MultiSeasonalHoltWinters::from_history(0.5, 0.1, 0.1, &f, &[1.0; 15]),
+            Err(TimeSeriesError::InsufficientHistory { needed: 16, got: 15 })
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+
+/// One time scale of a [`MultiScaleSeries`]: the actual and forecast
+/// histories at that granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Scale {
+    actual: VecDeque<f64>,
+    forecast: VecDeque<f64>,
+}
+
+/// Time series maintained at `η` geometric time scales
+/// `Δ, λΔ, λ²Δ, …, λ^(η−1)·Δ` — the paper's §V-B6 / Fig. 10 structure.
+///
+/// Pushing one base-scale sample costs amortised Θ(1): scale `i` receives
+/// one aggregated sample every `λ^i` base updates, and
+/// `Σ_i κ/λ^i ≤ 2κ` for λ ≥ 2. Each scale also keeps an EWMA forecast
+/// track, exactly as in the paper's `UPDATE_TS` pseudocode.
+///
+/// This generalisation lets ADA support any configuration where the
+/// timeunit size Δ is a multiple of the window shift ς: run the base
+/// scale at ς and read detections from the scale matching Δ.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::MultiScaleSeries;
+///
+/// // Base scale + two coarser scales, aggregating pairs (λ = 2).
+/// let mut ms = MultiScaleSeries::new(2, 3, 8, 0.5)?;
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     ms.update(v);
+/// }
+/// assert_eq!(ms.actual(0).len(), 4);
+/// assert_eq!(ms.actual(1), vec![3.0, 7.0]);  // pairwise sums
+/// assert_eq!(ms.actual(2), vec![10.0]);      // sum of four
+/// # Ok::<(), tiresias_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiScaleSeries {
+    lambda: usize,
+    eta: usize,
+    ell: usize,
+    alpha: f64,
+    scales: Vec<Scale>,
+    /// Total number of per-scale pushes, used to verify the amortised
+    /// Θ(1) bound in tests.
+    push_count: u64,
+}
+
+impl MultiScaleSeries {
+    /// Creates a multi-scale series.
+    ///
+    /// * `lambda` — geometric ratio between consecutive scales (λ ≥ 2),
+    /// * `eta` — number of scales (η ≥ 1),
+    /// * `ell` — retained history length per scale (ℓ ≥ 1),
+    /// * `alpha` — EWMA smoothing rate of the per-scale forecast track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidParameter`] if `lambda < 2`,
+    /// `eta == 0`, `ell == 0`, or `alpha ∉ (0, 1]`.
+    pub fn new(lambda: usize, eta: usize, ell: usize, alpha: f64) -> Result<Self, TimeSeriesError> {
+        if lambda < 2 {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "lambda must be at least 2, got {lambda}"
+            )));
+        }
+        if eta == 0 {
+            return Err(TimeSeriesError::InvalidParameter("eta must be positive".into()));
+        }
+        if ell == 0 {
+            return Err(TimeSeriesError::InvalidParameter("ell must be positive".into()));
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "alpha must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(MultiScaleSeries {
+            lambda,
+            eta,
+            ell,
+            alpha,
+            scales: (0..eta)
+                .map(|_| Scale { actual: VecDeque::new(), forecast: VecDeque::new() })
+                .collect(),
+            push_count: 0,
+        })
+    }
+
+    /// Number of scales η.
+    pub fn scale_count(&self) -> usize {
+        self.eta
+    }
+
+    /// Geometric ratio λ.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Pushes one base-scale sample, cascading aggregated samples to
+    /// coarser scales as they complete (the paper's `UPDATE_TS`).
+    pub fn update(&mut self, value: f64) {
+        self.update_at(value, 0);
+    }
+
+    fn update_at(&mut self, w: f64, i: usize) {
+        self.push_count += 1;
+        let scale = &mut self.scales[i];
+        let prev = scale.forecast.back().copied().unwrap_or(w);
+        scale.forecast.push_back(self.alpha * w + (1.0 - self.alpha) * prev);
+        scale.actual.push_back(w);
+        let s = scale.actual.len();
+        if i + 1 < self.eta && s % self.lambda == 0 {
+            let w_next: f64 = scale.actual.iter().rev().take(self.lambda).sum();
+            self.update_at(w_next, i + 1);
+        }
+        // Trim λ at a time so aggregation boundaries stay aligned, as in
+        // the paper's pseudocode (`if s = ℓ + λ then pop λ times`).
+        let scale = &mut self.scales[i];
+        if scale.actual.len() >= self.ell + self.lambda {
+            for _ in 0..self.lambda {
+                scale.actual.pop_front();
+                scale.forecast.pop_front();
+            }
+        }
+    }
+
+    /// The retained actual samples at scale `i` (0 = finest), oldest
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= eta`.
+    pub fn actual(&self, i: usize) -> Vec<f64> {
+        self.scales[i].actual.iter().copied().collect()
+    }
+
+    /// The retained forecast samples at scale `i`, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= eta`.
+    pub fn forecast(&self, i: usize) -> Vec<f64> {
+        self.scales[i].forecast.iter().copied().collect()
+    }
+
+    /// Newest actual sample at scale `i`, if any.
+    pub fn latest_actual(&self, i: usize) -> Option<f64> {
+        self.scales[i].actual.back().copied()
+    }
+
+    /// Newest forecast at scale `i`, if any.
+    pub fn latest_forecast(&self, i: usize) -> Option<f64> {
+        self.scales[i].forecast.back().copied()
+    }
+
+    /// Total number of per-scale pushes so far (≤ 2× the number of
+    /// [`MultiScaleSeries::update`] calls, the paper's amortised bound).
+    pub fn push_count(&self) -> u64 {
+        self.push_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(MultiScaleSeries::new(1, 2, 8, 0.5).is_err());
+        assert!(MultiScaleSeries::new(2, 0, 8, 0.5).is_err());
+        assert!(MultiScaleSeries::new(2, 2, 0, 0.5).is_err());
+        assert!(MultiScaleSeries::new(2, 2, 8, 0.0).is_err());
+        assert!(MultiScaleSeries::new(2, 2, 8, 1.2).is_err());
+    }
+
+    #[test]
+    fn coarser_scales_aggregate_sums() {
+        let mut ms = MultiScaleSeries::new(3, 2, 16, 0.5).unwrap();
+        for v in 1..=9 {
+            ms.update(v as f64);
+        }
+        // Scale 1 gets sums of consecutive triples: 6, 15, 24.
+        assert_eq!(ms.actual(1), vec![6.0, 15.0, 24.0]);
+    }
+
+    #[test]
+    fn history_is_bounded_per_scale() {
+        let mut ms = MultiScaleSeries::new(2, 3, 4, 0.5).unwrap();
+        for v in 0..200 {
+            ms.update(v as f64);
+        }
+        for i in 0..3 {
+            assert!(
+                ms.actual(i).len() < 4 + 2,
+                "scale {i} holds {} samples",
+                ms.actual(i).len()
+            );
+            assert_eq!(ms.actual(i).len(), ms.forecast(i).len());
+        }
+    }
+
+    #[test]
+    fn amortized_push_bound_holds() {
+        // Σ κ/λ^i ≤ 2κ for λ = 2 (the paper's Θ(1) amortised argument).
+        let mut ms = MultiScaleSeries::new(2, 6, 32, 0.5).unwrap();
+        let kappa = 10_000u64;
+        for v in 0..kappa {
+            ms.update(v as f64);
+        }
+        assert!(ms.push_count() <= 2 * kappa, "pushes = {}", ms.push_count());
+    }
+
+    #[test]
+    fn trimming_preserves_aggregation_alignment() {
+        // After trimming at the base scale, coarser sums must still be
+        // sums of aligned λ-blocks of the original stream.
+        let mut ms = MultiScaleSeries::new(2, 2, 4, 0.5).unwrap();
+        for v in 1..=32 {
+            ms.update(v as f64);
+        }
+        // Base stream blocks of 2: (1+2)=3, (3+4)=7, ... block k sums to 4k−1.
+        let coarse = ms.actual(1);
+        for (idx, &v) in coarse.iter().rev().enumerate() {
+            let k = 16 - idx; // newest block is the 16th
+            assert_eq!(v, (4 * k - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn forecast_track_is_ewma() {
+        let mut ms = MultiScaleSeries::new(2, 1, 8, 0.5).unwrap();
+        ms.update(10.0); // seeds at 10
+        ms.update(20.0); // 0.5*20 + 0.5*10 = 15
+        assert_eq!(ms.latest_forecast(0), Some(15.0));
+    }
+
+    #[test]
+    fn equivalence_of_delta_multiple_of_sigma() {
+        // The paper's reduction: a problem with Δ = 4ς is the λ=4, η=2
+        // structure read at scale 1. Check scale-1 samples equal the
+        // 4-aggregated stream.
+        let mut ms = MultiScaleSeries::new(4, 2, 64, 0.5).unwrap();
+        let stream: Vec<f64> = (0..64).map(|t| (t % 7) as f64).collect();
+        for &v in &stream {
+            ms.update(v);
+        }
+        let coarse = ms.actual(1);
+        let expected: Vec<f64> = stream.chunks(4).map(|c| c.iter().sum()).collect();
+        let n = coarse.len();
+        assert_eq!(&expected[expected.len() - n..], &coarse[..]);
+    }
+}

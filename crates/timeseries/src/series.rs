@@ -1,0 +1,328 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeSeriesError;
+
+/// A fixed-capacity ring buffer of `f64` samples, ordered oldest → newest.
+///
+/// This is the `n.actual` / `n.forecast` array bound to every heavy hitter
+/// in the paper's ADA algorithm: appending the newest timeunit's value
+/// evicts the oldest once the window of ℓ timeunits is full, and the
+/// split/merge adaptations act on it with elementwise linear operations
+/// ([`Series::scale`], [`Series::add_assign_series`]).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_timeseries::Series;
+///
+/// let mut s = Series::with_capacity(3);
+/// s.push(1.0);
+/// s.push(2.0);
+/// s.push(3.0);
+/// assert_eq!(s.push(4.0), Some(1.0)); // oldest evicted
+/// assert_eq!(s.latest(), Some(4.0));
+/// assert_eq!(s.from_latest(2), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    data: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl Series {
+    /// Creates an empty series that holds at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "series capacity must be positive");
+        Series { data: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Creates a series pre-filled with `values`, keeping only the newest
+    /// `capacity` samples if `values` is longer.
+    pub fn from_values(capacity: usize, values: &[f64]) -> Self {
+        let mut s = Series::with_capacity(capacity);
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Creates a full series of `capacity` zeros.
+    pub fn zeros(capacity: usize) -> Self {
+        Series { data: std::iter::repeat(0.0).take(capacity).collect(), capacity }
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` iff the series holds `capacity` samples.
+    pub fn is_full(&self) -> bool {
+        self.data.len() == self.capacity
+    }
+
+    /// Appends the newest sample; returns the evicted oldest sample if the
+    /// series was full.
+    pub fn push(&mut self, value: f64) -> Option<f64> {
+        let evicted = if self.data.len() == self.capacity {
+            self.data.pop_front()
+        } else {
+            None
+        };
+        self.data.push_back(value);
+        evicted
+    }
+
+    /// The newest sample.
+    pub fn latest(&self) -> Option<f64> {
+        self.data.back().copied()
+    }
+
+    /// The oldest sample.
+    pub fn oldest(&self) -> Option<f64> {
+        self.data.front().copied()
+    }
+
+    /// The sample `k` steps back from the newest; `from_latest(1)` is the
+    /// newest sample itself (the paper's `T[n, 1]` indexing).
+    pub fn from_latest(&self, k: usize) -> Option<f64> {
+        if k == 0 || k > self.data.len() {
+            return None;
+        }
+        self.data.get(self.data.len() - k).copied()
+    }
+
+    /// The sample at position `i` counting from the oldest (0-based).
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.data.get(i).copied()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Copies the samples into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.iter().copied().collect()
+    }
+
+    /// Multiplies every sample by `factor` (the ADA split operation's
+    /// elementwise scale).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Adds `other` elementwise (the ADA merge operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::LengthMismatch`] if the two series hold
+    /// different numbers of samples.
+    pub fn add_assign_series(&mut self, other: &Series) -> Result<(), TimeSeriesError> {
+        if self.len() != other.len() {
+            return Err(TimeSeriesError::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Subtracts `other` elementwise (used by the reference-time-series
+    /// correction of §V-B5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::LengthMismatch`] if the two series hold
+    /// different numbers of samples.
+    pub fn sub_assign_series(&mut self, other: &Series) -> Result<(), TimeSeriesError> {
+        if self.len() != other.len() {
+            return Err(TimeSeriesError::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= *b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Series {
+        let mut s = self.clone();
+        s.scale(factor);
+        s
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.data.len() as f64)
+        }
+    }
+
+    /// Mean absolute difference against `other`
+    /// (`mean |self[i] − other[i]|`), the error metric of the paper's
+    /// Fig. 12.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::LengthMismatch`] if lengths differ.
+    pub fn mean_abs_error(&self, other: &Series) -> Result<f64, TimeSeriesError> {
+        if self.len() != other.len() {
+            return Err(TimeSeriesError::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        let total: f64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        Ok(total / self.len() as f64)
+    }
+}
+
+impl Extend<f64> for Series {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Series {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::collections::vec_deque::Iter<'a, f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let mut s = Series::with_capacity(2);
+        assert_eq!(s.push(1.0), None);
+        assert_eq!(s.push(2.0), None);
+        assert_eq!(s.push(3.0), Some(1.0));
+        assert_eq!(s.to_vec(), vec![2.0, 3.0]);
+        assert!(s.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Series::with_capacity(0);
+    }
+
+    #[test]
+    fn from_latest_indexing_matches_paper() {
+        let s = Series::from_values(4, &[10.0, 20.0, 30.0]);
+        assert_eq!(s.from_latest(1), Some(30.0)); // T[n, 1] = newest
+        assert_eq!(s.from_latest(3), Some(10.0));
+        assert_eq!(s.from_latest(0), None);
+        assert_eq!(s.from_latest(4), None);
+    }
+
+    #[test]
+    fn from_values_keeps_newest() {
+        let s = Series::from_values(2, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.to_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_and_add_are_elementwise() {
+        let mut a = Series::from_values(3, &[1.0, 2.0, 3.0]);
+        let b = Series::from_values(3, &[10.0, 10.0, 10.0]);
+        a.scale(2.0);
+        a.add_assign_series(&b).unwrap();
+        assert_eq!(a.to_vec(), vec![12.0, 14.0, 16.0]);
+        a.sub_assign_series(&b).unwrap();
+        assert_eq!(a.to_vec(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let mut a = Series::from_values(3, &[1.0, 2.0]);
+        let b = Series::from_values(3, &[1.0]);
+        assert!(matches!(
+            a.add_assign_series(&b),
+            Err(TimeSeriesError::LengthMismatch { left: 2, right: 1 })
+        ));
+    }
+
+    #[test]
+    fn split_merge_round_trip_preserves_series() {
+        // Splitting into ratios that sum to 1 and merging back must be the
+        // identity — the invariant ADA's adaptations rely on.
+        let orig = Series::from_values(4, &[4.0, 8.0, 12.0, 16.0]);
+        let part1 = orig.scaled(0.25);
+        let part2 = orig.scaled(0.75);
+        let mut merged = part1;
+        merged.add_assign_series(&part2).unwrap();
+        for (a, b) in merged.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_abs_error() {
+        let a = Series::from_values(3, &[1.0, 2.0, 3.0]);
+        let b = Series::from_values(3, &[2.0, 2.0, 5.0]);
+        assert!((a.mean_abs_error(&b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(a.mean_abs_error(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = Series::from_values(4, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.sum(), 10.0);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(Series::with_capacity(1).mean(), None);
+    }
+
+    #[test]
+    fn zeros_is_full() {
+        let s = Series::zeros(5);
+        assert!(s.is_full());
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn extend_pushes_in_order() {
+        let mut s = Series::with_capacity(10);
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+}

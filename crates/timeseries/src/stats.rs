@@ -1,0 +1,188 @@
+//! Small numeric helpers shared across the workspace: means, variances,
+//! quantiles, normalisation, and approximate float comparison.
+//!
+//! These are deliberately simple, allocation-light routines — enough for
+//! the control-chart baseline, the CCDF measurements (Fig. 1) and the
+//! evaluation metrics, without pulling in a statistics dependency.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Mean squared error between two equal-length slices; `None` on length
+/// mismatch or empty input.
+pub fn mse(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    Some(
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / a.len() as f64,
+    )
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
+/// copy; `None` for an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Divides every sample by the maximum, mapping the series into `[0, 1]`
+/// (the normalisation of the paper's Fig. 2). Returns an empty vector for
+/// empty input; a series with max 0 is returned unchanged.
+pub fn normalize_by_max(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    if xs.is_empty() || max <= 0.0 {
+        return xs.to_vec();
+    }
+    xs.iter().map(|x| x / max).collect()
+}
+
+/// `true` iff `a` and `b` differ by at most `tol`.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Complementary cumulative distribution function evaluated over `values`
+/// at each of the `points`: fraction of values **≥** the point.
+///
+/// This is the measurement behind the paper's Fig. 1 (CCDF of normalized
+/// appearance counts across nodes and time units).
+pub fn ccdf(values: &[f64], points: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; points.len()];
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in ccdf input"));
+    points
+        .iter()
+        .map(|&p| {
+            let idx = sorted.partition_point(|&v| v < p);
+            (sorted.len() - idx) as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// Logarithmically spaced points between `lo` and `hi` (inclusive),
+/// useful as CCDF evaluation grid on log-log plots.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi <= lo`, or `n < 2`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "invalid log_space arguments");
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn mse_checks_lengths() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), Some(2.0));
+        assert_eq!(mse(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(mse(&[], &[]), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&xs, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0];
+        let b = [1.0, 3.0, 5.0];
+        assert_eq!(quantile(&a, 0.5), quantile(&b, 0.5));
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let v = normalize_by_max(&[2.0, 8.0, 4.0]);
+        assert_eq!(v, vec![0.25, 1.0, 0.5]);
+        assert_eq!(normalize_by_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert!(normalize_by_max(&[]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_fractions() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let c = ccdf(&values, &[0.5, 2.0, 3.5, 10.0]);
+        assert_eq!(c, vec![1.0, 0.75, 0.25, 0.0]);
+        assert_eq!(ccdf(&[], &[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let values: Vec<f64> = (1..100).map(|i| (i % 13) as f64).collect();
+        let pts = log_space(0.1, 20.0, 16);
+        let c = ccdf(&values, &pts);
+        for w in c.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn log_space_endpoints() {
+        let v = log_space(0.01, 1.0, 5);
+        assert!(approx_eq(v[0], 0.01, 1e-12));
+        assert!(approx_eq(*v.last().unwrap(), 1.0, 1e-12));
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log_space")]
+    fn log_space_rejects_bad_input() {
+        let _ = log_space(-1.0, 1.0, 5);
+    }
+}

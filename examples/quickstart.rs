@@ -1,0 +1,56 @@
+//! Quickstart: stream a handful of customer-care records through
+//! Tiresias and print the anomalies it locates.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use tiresias::core::{Record, TiresiasBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small detector: 1-hour timeunits, an 8-unit daily season, heavy
+    // hitter threshold 5 and the paper's sensitivity thresholds.
+    let mut detector = TiresiasBuilder::new()
+        .timeunit_secs(3600)
+        .window_len(96)
+        .threshold(5.0)
+        .season_length(8)
+        .sensitivity(2.8, 8.0)
+        .warmup_units(16)
+        .build()?;
+
+    // Two days of steady traffic on two trouble categories...
+    for hour in 0..47u64 {
+        let base = hour * 3600;
+        for i in 0..8 {
+            detector.push(Record::new("TV/No Service", base + i))?;
+        }
+        for i in 0..6 {
+            detector.push(Record::new("Internet/Slow", base + 100 + i))?;
+        }
+        detector.advance_to((hour + 1) * 3600)?;
+    }
+
+    // ...then a burst of TV outage calls in hour 47.
+    let base = 47 * 3600;
+    for i in 0..120 {
+        detector.push(Record::new("TV/No Service", base + i))?;
+    }
+    detector.advance_to(48 * 3600)?;
+
+    println!("processed {} timeunits", detector.units_processed());
+    println!("tracking {} heavy hitters", detector.heavy_hitters().len());
+    println!("anomalies:");
+    for event in detector.anomalies() {
+        println!(
+            "  {} — observed {:.0} calls vs forecast {:.1} ({}x)",
+            event,
+            event.actual,
+            event.forecast,
+            event.ratio().round()
+        );
+    }
+    assert!(
+        detector.anomalies().iter().any(|a| a.path.to_string() == "TV/No Service"),
+        "the TV burst should be flagged"
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Sketch-assisted ingestion for very large leaf spaces: Space-Saving
+//! proposes the heavy leaves of each timeunit, only those exact counts
+//! feed the heavy hitter tracker, and the tail is dropped. The example
+//! sweeps the monitoring budget and quantifies what the approximation
+//! costs against exact ingestion — the trade the streaming literature
+//! behind the paper's §VIII makes.
+//!
+//! Run with `cargo run --release --example sketched_ingest`.
+
+use tiresias::datagen::{scd_location_spec, Workload, WorkloadConfig};
+use tiresias::hhh::{Ada, HhhConfig, ModelSpec};
+use tiresias::sketch::SpaceSaving;
+
+fn run_budget(
+    tree: &tiresias::Tree,
+    workload: &Workload,
+    budget: usize,
+    units: u64,
+) -> Result<(usize, usize, usize), Box<dyn std::error::Error>> {
+    let config = HhhConfig::new(10.0, 96)
+        .with_model(ModelSpec::Ewma { alpha: 0.5 })
+        .with_ref_levels(1);
+    let mut exact = Ada::new(config.clone())?;
+    let mut sketched = Ada::new(config)?;
+    let mut identical = 0usize;
+    let mut missed = 0usize;
+    for unit in 0..units {
+        let counts = workload.generate_unit(unit);
+        exact.push_timeunit(tree, &counts);
+        let mut top = SpaceSaving::new(budget);
+        for n in tree.iter() {
+            let c = counts[n.index()];
+            if c > 0.0 {
+                top.add(n.index() as u64, c as u64);
+            }
+        }
+        let mut sparse = vec![0.0; tree.len()];
+        for entry in top.top(budget) {
+            // Guaranteed lower bounds only — never invent mass.
+            sparse[entry.key as usize] = entry.lower_bound() as f64;
+        }
+        sketched.push_timeunit(tree, &sparse);
+        let mut e: Vec<_> = exact.heavy_hitters().to_vec();
+        let mut s: Vec<_> = sketched.heavy_hitters().to_vec();
+        e.sort();
+        s.sort();
+        if e == s {
+            identical += 1;
+        }
+        missed += e.iter().filter(|n| !s.contains(n)).count();
+    }
+    Ok((identical, missed, exact.heavy_hitters().len()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = scd_location_spec(0.02).build()?;
+    let workload = Workload::new(tree.clone(), WorkloadConfig::scd(800.0), 77);
+    println!(
+        "SCD hierarchy: {} nodes, {} STB leaves; ~800 crash records per unit\n",
+        tree.len(),
+        tree.leaf_count()
+    );
+    println!("budget  identical sets  exact-only members missed (sum over 96 units)");
+    let units = 96;
+    for budget in [128usize, 512, 1024, 4096] {
+        let (identical, missed, live) = run_budget(&tree, &workload, budget, units)?;
+        println!(
+            "{budget:>6}  {identical:>3}/{units} ({:>3.0}%)  {missed:>6}   (exact tracker holds {live} members at the end)",
+            identical as f64 / units as f64 * 100.0
+        );
+    }
+    println!();
+    println!("The dial: heavy *leaves* always survive (Space-Saving keeps every key");
+    println!("above N/k), but interior hitters assembled from many light leaves need");
+    println!("the budget to approach the number of distinct active leaves. Crash");
+    println!("records spread across ~800 distinct STBs per unit, so a ~1k budget");
+    println!("recovers the exact sets while a 128-leaf budget visibly diverges —");
+    println!("which is why Tiresias keeps exact counts whenever the leaf space fits.");
+    Ok(())
+}

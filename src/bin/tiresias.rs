@@ -1,0 +1,182 @@
+//! `tiresias` — command-line front end for the detector (the library's
+//! substitute for the paper's web UI, Fig. 3(f)).
+//!
+//! Subcommands:
+//!
+//! * `detect <csv>` — stream a CSV of `timestamp_secs,category/path`
+//!   records through the detector and print detected anomalies as CSV.
+//! * `demo` — run a self-contained synthetic demo (CCD hierarchy with
+//!   an injected outage) and print the detections plus an annotated
+//!   hierarchy rendering.
+//!
+//! Options (both subcommands): `--timeunit <secs>` `--window <units>`
+//! `--theta <w>` `--season <units>` `--rt <x>` `--dt <x>`
+//! `--warmup <units>`.
+
+use std::io::BufRead;
+
+use tiresias::core::{events_to_csv, Record, TiresiasBuilder};
+use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
+use tiresias::hierarchy::render_ascii;
+
+#[derive(Debug, Clone)]
+struct Options {
+    timeunit: u64,
+    window: usize,
+    theta: f64,
+    season: usize,
+    rt: f64,
+    dt: f64,
+    warmup: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            timeunit: 900,
+            window: 672,
+            theta: 10.0,
+            season: 96,
+            rt: 2.8,
+            dt: 8.0,
+            warmup: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--timeunit" => opts.timeunit = value("--timeunit")?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => opts.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--theta" => opts.theta = value("--theta")?.parse().map_err(|e| format!("{e}"))?,
+            "--season" => opts.season = value("--season")?.parse().map_err(|e| format!("{e}"))?,
+            "--rt" => opts.rt = value("--rt")?.parse().map_err(|e| format!("{e}"))?,
+            "--dt" => opts.dt = value("--dt")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => opts.warmup = Some(value("--warmup")?.parse().map_err(|e| format!("{e}"))?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build(opts: &Options) -> Result<tiresias::Tiresias, Box<dyn std::error::Error>> {
+    let mut b = TiresiasBuilder::new()
+        .timeunit_secs(opts.timeunit)
+        .window_len(opts.window)
+        .threshold(opts.theta)
+        .season_length(opts.season)
+        .sensitivity(opts.rt, opts.dt);
+    if let Some(w) = opts.warmup {
+        b = b.warmup_units(w);
+    }
+    Ok(b.build()?)
+}
+
+fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)?;
+    let mut detector = build(opts)?;
+    let mut line_no = 0u64;
+    let mut accepted = 0u64;
+    let mut skipped = 0u64;
+    let mut last_time = 0u64;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        line_no += 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || (line_no == 1 && line.starts_with("timestamp")) {
+            continue;
+        }
+        let Some((ts, category)) = line.split_once(',') else {
+            eprintln!("line {line_no}: expected `timestamp,category`, skipping");
+            skipped += 1;
+            continue;
+        };
+        let Ok(t) = ts.trim().parse::<u64>() else {
+            eprintln!("line {line_no}: bad timestamp `{ts}`, skipping");
+            skipped += 1;
+            continue;
+        };
+        match detector.push(Record::new(category.trim(), t)) {
+            Ok(()) => {
+                accepted += 1;
+                last_time = last_time.max(t);
+            }
+            Err(e) => {
+                eprintln!("line {line_no}: {e}, skipping");
+                skipped += 1;
+            }
+        }
+    }
+    detector.advance_to(last_time + opts.timeunit)?;
+    eprintln!(
+        "processed {accepted} records ({skipped} skipped) over {} timeunits; {} heavy hitters live",
+        detector.units_processed(),
+        detector.heavy_hitters().len()
+    );
+    print!("{}", events_to_csv(detector.anomalies()));
+    Ok(())
+}
+
+fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let tree = ccd_location_spec(0.08).build()?;
+    let target = tree.find(&["VHO-1", "IO-2"]).expect("exists at this scale");
+    let mut workload = Workload::new(tree.clone(), WorkloadConfig::ccd(250.0), 42);
+    workload.inject(InjectedAnomaly::new(target, 140, 6, 500.0));
+
+    let mut opts = opts.clone();
+    opts.warmup = opts.warmup.or(Some(96));
+    opts.window = opts.window.min(192);
+    let mut detector = build(&opts)?;
+    detector.adopt_tree(tree.clone())?;
+    for unit in 0..192u64 {
+        detector.ingest_unit(&workload.generate_unit(unit))?;
+    }
+
+    eprintln!(
+        "demo: injected an outage under {} at units 140..146",
+        tree.path_of(target)
+    );
+    print!("{}", events_to_csv(detector.anomalies()));
+
+    // Annotated hierarchy: anomaly counts per node, two levels deep.
+    let store = detector.store();
+    eprintln!("\nhierarchy (anomaly counts, two levels):");
+    let rendering = render_ascii(&tree, tree.root(), 2, |n| {
+        let count = store
+            .under(&tree.path_of(n))
+            .count();
+        (count > 0).then(|| format!("{count} anomalies"))
+    });
+    eprint!("{rendering}");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: tiresias <detect <file.csv> | demo> [--timeunit s] [--window n] \
+                 [--theta w] [--season n] [--rt x] [--dt x] [--warmup n]";
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "detect" => match rest.split_first() {
+            Some((path, flags)) => match parse_options(flags) {
+                Ok(opts) => cmd_detect(path, &opts),
+                Err(e) => Err(e.into()),
+            },
+            None => Err("detect needs a CSV file argument".into()),
+        },
+        Some((cmd, rest)) if cmd == "demo" => match parse_options(rest) {
+            Ok(opts) => cmd_demo(&opts),
+            Err(e) => Err(e.into()),
+        },
+        _ => Err(usage.into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

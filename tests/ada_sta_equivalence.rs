@@ -1,0 +1,129 @@
+//! Property-based equivalence of ADA and STA: on arbitrary streams the
+//! heavy hitter membership is identical (the paper's Lemma 1), and on
+//! streams whose membership never changes the series agree exactly.
+
+use proptest::prelude::*;
+
+use tiresias::hhh::{Ada, HhhConfig, ModelSpec, Sta};
+use tiresias::hierarchy::{NodeId, Tree};
+
+/// A fixed 3-level tree with 2×3 leaves.
+fn tree() -> (Tree, Vec<NodeId>) {
+    let mut t = Tree::new("root");
+    let mut leaves = Vec::new();
+    for a in 0..2 {
+        for b in 0..3 {
+            leaves.push(t.insert_path(&[format!("a{a}"), format!("b{b}")]));
+        }
+    }
+    (t, leaves)
+}
+
+fn config(theta: f64) -> HhhConfig {
+    HhhConfig::new(theta, 24)
+        .with_model(ModelSpec::Ewma { alpha: 0.5 })
+        .with_ref_levels(1)
+}
+
+/// Random per-unit leaf counts: a stream of 6-leaf count vectors.
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..30, 6), 4..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1: ADA's maintained membership equals Definition 2
+    /// (= STA's freshly computed membership) at every instance, on
+    /// arbitrary membership-churning streams.
+    #[test]
+    fn membership_is_always_exact(stream in arb_stream(), theta in 5.0f64..40.0) {
+        let (t, leaves) = tree();
+        let mut ada = Ada::new(config(theta)).expect("valid");
+        let mut sta = Sta::new(config(theta)).expect("valid");
+        for unit in &stream {
+            let mut direct = vec![0.0; t.len()];
+            for (leaf, &c) in leaves.iter().zip(unit.iter()) {
+                direct[leaf.index()] = c as f64;
+            }
+            ada.push_timeunit(&t, &direct);
+            sta.push_timeunit(&t, &direct);
+            let mut a: Vec<NodeId> = ada.heavy_hitters().to_vec();
+            let mut s: Vec<NodeId> = sta.heavy_hitters().to_vec();
+            a.sort();
+            s.sort();
+            prop_assert_eq!(a, s, "membership diverged");
+        }
+    }
+
+    /// Modified weights agree exactly between the trackers (both compute
+    /// Definition 2 fresh each unit).
+    #[test]
+    fn modified_weights_agree(stream in arb_stream(), theta in 5.0f64..40.0) {
+        let (t, leaves) = tree();
+        let mut ada = Ada::new(config(theta)).expect("valid");
+        let mut sta = Sta::new(config(theta)).expect("valid");
+        for unit in &stream {
+            let mut direct = vec![0.0; t.len()];
+            for (leaf, &c) in leaves.iter().zip(unit.iter()) {
+                direct[leaf.index()] = c as f64;
+            }
+            ada.push_timeunit(&t, &direct);
+            sta.push_timeunit(&t, &direct);
+            for n in t.iter() {
+                prop_assert!((ada.modified_weight(n) - sta.modified_weight(n)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// On a stream where one leaf is always the only heavy hitter, ADA's
+    /// incrementally maintained series equals STA's reconstruction bit
+    /// for bit — no splits ever fire, so no approximation is introduced.
+    /// (Within one window of ℓ = 24 units: past the window STA forgets
+    /// pre-window history while ADA's recorded forecasts remember it,
+    /// an inherent asymmetry of the strawman.)
+    #[test]
+    fn stable_membership_series_exact(values in prop::collection::vec(20u8..60, 4..=24)) {
+        let (t, leaves) = tree();
+        let hot = leaves[0];
+        let mut ada = Ada::new(config(15.0)).expect("valid");
+        let mut sta = Sta::new(config(15.0)).expect("valid");
+        for &v in &values {
+            let mut direct = vec![0.0; t.len()];
+            direct[hot.index()] = v as f64;
+            ada.push_timeunit(&t, &direct);
+            sta.push_timeunit(&t, &direct);
+        }
+        let view = ada.view(hot).expect("hot leaf is a member");
+        let ada_actual: Vec<f64> = view.actual.iter().collect();
+        let sta_actual = sta.actual_series(hot).expect("member");
+        prop_assert_eq!(ada_actual.as_slice(), sta_actual);
+        let ada_forecast: Vec<f64> = view.forecast.iter().collect();
+        let sta_forecast = sta.forecast_series(hot).expect("member");
+        for (a, s) in ada_forecast.iter().zip(sta_forecast.iter()) {
+            prop_assert!((a - s).abs() < 1e-9, "forecast diverged: {a} vs {s}");
+        }
+    }
+
+    /// Live heavy hitters always carry a series whose length matches the
+    /// number of processed units (capped at ℓ) — adaptation never leaves
+    /// a ragged series behind.
+    #[test]
+    fn series_lengths_always_aligned(stream in arb_stream(), theta in 5.0f64..40.0) {
+        let (t, leaves) = tree();
+        let mut ada = Ada::new(config(theta)).expect("valid");
+        for (i, unit) in stream.iter().enumerate() {
+            let mut direct = vec![0.0; t.len()];
+            for (leaf, &c) in leaves.iter().zip(unit.iter()) {
+                direct[leaf.index()] = c as f64;
+            }
+            ada.push_timeunit(&t, &direct);
+            let expected = (i + 1).min(24);
+            for &m in ada.heavy_hitters() {
+                let view = ada.view(m).expect("member has view");
+                prop_assert_eq!(view.actual.len(), expected);
+                prop_assert_eq!(view.forecast.len(), expected);
+            }
+        }
+    }
+}

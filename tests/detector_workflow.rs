@@ -1,0 +1,222 @@
+//! Integration tests of the detector facade: builder validation,
+//! warm-up semantics, auto-seasonality, store queries and the public
+//! re-export surface.
+
+use tiresias::core::{Algorithm, CoreError, ModelSpec, Record, TiresiasBuilder};
+use tiresias::hierarchy::CategoryPath;
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade exposes everything needed without importing the
+    // sub-crates directly.
+    let _path: CategoryPath = "a/b".parse().unwrap();
+    let spec = tiresias::HierarchySpec::new("All").level("X", 2);
+    let tree: tiresias::Tree = spec.build().unwrap();
+    assert_eq!(tree.len(), 3);
+    let _builder: tiresias::TiresiasBuilder = TiresiasBuilder::new();
+}
+
+#[test]
+fn warmup_boundary_is_exact() {
+    let mut d = TiresiasBuilder::new()
+        .timeunit_secs(60)
+        .window_len(32)
+        .threshold(3.0)
+        .season_length(4)
+        .warmup_units(5)
+        .build()
+        .unwrap();
+    for unit in 0..4u64 {
+        for i in 0..5 {
+            d.push(Record::new("x", unit * 60 + i)).unwrap();
+        }
+        d.advance_to((unit + 1) * 60).unwrap();
+        assert!(!d.is_warmed_up(), "unit {unit} is still warm-up");
+    }
+    for i in 0..5 {
+        d.push(Record::new("x", 4 * 60 + i)).unwrap();
+    }
+    d.advance_to(5 * 60).unwrap();
+    assert!(d.is_warmed_up());
+    assert!(!d.heavy_hitters().is_empty());
+}
+
+#[test]
+fn zero_warmup_starts_cold() {
+    let mut d = TiresiasBuilder::new()
+        .timeunit_secs(60)
+        .window_len(16)
+        .threshold(3.0)
+        .season_length(2)
+        .warmup_units(0)
+        .build()
+        .unwrap();
+    for i in 0..5 {
+        d.push(Record::new("x", i)).unwrap();
+    }
+    d.advance_to(60).unwrap();
+    assert!(d.is_warmed_up());
+}
+
+#[test]
+fn sensitivity_thresholds_gate_detection() {
+    // With an extreme DT nothing is ever anomalous.
+    let mut strict = TiresiasBuilder::new()
+        .timeunit_secs(60)
+        .window_len(32)
+        .threshold(3.0)
+        .season_length(4)
+        .warmup_units(8)
+        .sensitivity(2.0, 1e12)
+        .build()
+        .unwrap();
+    for unit in 0..12u64 {
+        let n = if unit == 11 { 500 } else { 5 };
+        for i in 0..n {
+            strict.push(Record::new("x", unit * 60 + i % 60)).unwrap();
+        }
+        strict.advance_to((unit + 1) * 60).unwrap();
+    }
+    assert!(strict.anomalies().is_empty());
+}
+
+#[test]
+fn multiseasonal_model_spec_is_accepted() {
+    use tiresias::core::SeasonalFactor;
+    let d = TiresiasBuilder::new()
+        .timeunit_secs(900)
+        .window_len(64)
+        .threshold(5.0)
+        .model(ModelSpec::MultiSeasonal {
+            alpha: 0.5,
+            beta: 0.05,
+            gamma: 0.3,
+            factors: vec![SeasonalFactor::new(8, 0.76), SeasonalFactor::new(16, 0.24)],
+        })
+        .warmup_units(32)
+        .build()
+        .unwrap();
+    assert!(matches!(d.model_spec(), ModelSpec::MultiSeasonal { .. }));
+}
+
+#[test]
+fn out_of_order_is_error_not_corruption() {
+    let mut d = TiresiasBuilder::new()
+        .timeunit_secs(60)
+        .window_len(8)
+        .threshold(2.0)
+        .season_length(2)
+        .warmup_units(1)
+        .build()
+        .unwrap();
+    d.push(Record::new("a", 120)).unwrap();
+    d.advance_to(180).unwrap();
+    let err = d.push(Record::new("a", 10)).unwrap_err();
+    assert!(matches!(err, CoreError::OutOfOrder { .. }));
+    // The detector keeps working afterwards.
+    d.push(Record::new("a", 200)).unwrap();
+    d.advance_to(240).unwrap();
+    assert_eq!(d.units_processed(), 2);
+}
+
+#[test]
+fn store_queries_compose_with_detection() {
+    let mut d = TiresiasBuilder::new()
+        .timeunit_secs(60)
+        .window_len(32)
+        .threshold(3.0)
+        .season_length(4)
+        .warmup_units(6)
+        .sensitivity(2.0, 5.0)
+        .build()
+        .unwrap();
+    for unit in 0..10u64 {
+        let bursts = [("tv/a", 6u64), ("tv/b", 5), ("net/c", 4)];
+        for (path, base) in bursts {
+            let n = if unit == 9 { base * 20 } else { base };
+            for i in 0..n {
+                d.push(Record::new(path, unit * 60 + i % 60)).unwrap();
+            }
+        }
+        d.advance_to((unit + 1) * 60).unwrap();
+    }
+    assert!(!d.anomalies().is_empty());
+    let tv: CategoryPath = "tv".parse().unwrap();
+    let tv_events = d.store().under(&tv).count();
+    let all = d.store().len();
+    assert!(tv_events <= all);
+    assert!(d.store().in_time_range(9, 10).count() > 0);
+    // Every event is within the processed horizon.
+    for e in d.store().events() {
+        assert!(e.unit < 10);
+        assert_eq!(e.time_secs, e.unit * 60);
+    }
+}
+
+#[test]
+fn drop_detection_is_opt_in() {
+    use tiresias::core::AnomalyKind;
+    for drops in [false, true] {
+        let mut d = TiresiasBuilder::new()
+            .timeunit_secs(60)
+            .window_len(32)
+            .threshold(3.0)
+            .season_length(4)
+            .warmup_units(8)
+            .sensitivity(2.5, 5.0)
+            .detect_drops(drops)
+            .build()
+            .unwrap();
+        for unit in 0..16u64 {
+            // Steady 30/unit, then a collapse to 4 at unit 15. (The
+            // count must stay ≥ θ: a node that falls below the heavy
+            // hitter threshold leaves the tracked set altogether, which
+            // is the structural reason the paper scopes drops out.)
+            let n = if unit == 15 { 4 } else { 30 };
+            for i in 0..n {
+                d.push(Record::new("x", unit * 60 + i)).unwrap();
+            }
+            d.advance_to((unit + 1) * 60).unwrap();
+        }
+        let drop_events = d
+            .anomalies()
+            .iter()
+            .filter(|e| e.kind == AnomalyKind::Drop)
+            .count();
+        if drops {
+            assert!(drop_events > 0, "the collapse must be reported as a drop");
+        } else {
+            assert_eq!(drop_events, 0, "drops are off by default (paper semantics)");
+        }
+    }
+}
+
+#[test]
+fn sta_and_ada_agree_via_facade_on_stable_load() {
+    let mut results = Vec::new();
+    for algo in [Algorithm::Ada, Algorithm::Sta] {
+        let mut d = TiresiasBuilder::new()
+            .timeunit_secs(60)
+            .window_len(16)
+            .threshold(3.0)
+            .season_length(4)
+            .warmup_units(8)
+            .algorithm(algo)
+            .build()
+            .unwrap();
+        for unit in 0..14u64 {
+            let n = if unit == 13 { 200 } else { 6 };
+            for i in 0..n {
+                d.push(Record::new("x/y", unit * 60 + i % 60)).unwrap();
+            }
+            d.advance_to((unit + 1) * 60).unwrap();
+        }
+        results.push(
+            d.anomalies()
+                .iter()
+                .map(|e| (e.path.to_string(), e.unit))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(results[0], results[1], "ADA and STA agree on a stable stream");
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the forecasting substrate: Holt-Winters
+//! linearity (the paper's Lemma 2), EWMA bias decay, and split/merge
+//! round trips on series.
+
+use proptest::prelude::*;
+
+use tiresias::timeseries::{
+    Ewma, Forecaster, HoltWinters, LinearForecaster, Series, TimeSeriesError,
+};
+
+fn arb_series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lemma 2 (additivity): HW(X) + HW(Y) == HW(X + Y) stepwise, and
+    /// merging the models reproduces the summed model.
+    #[test]
+    fn holt_winters_is_additive(
+        xs in arb_series(8..40),
+        ys in arb_series(8..40),
+        alpha in 0.05f64..0.95,
+        gamma in 0.05f64..0.95,
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let sum: Vec<f64> = xs.iter().zip(ys).map(|(a, b)| a + b).collect();
+        let season = 4;
+        let mut fx = HoltWinters::from_history(alpha, 0.1, gamma, season, &xs[..2 * season]).expect("enough history");
+        let mut fy = HoltWinters::from_history(alpha, 0.1, gamma, season, &ys[..2 * season]).expect("enough history");
+        let mut fs = HoltWinters::from_history(alpha, 0.1, gamma, season, &sum[..2 * season]).expect("enough history");
+        for i in 2 * season..n {
+            prop_assert!((fx.forecast() + fy.forecast() - fs.forecast()).abs() < 1e-6);
+            fx.observe(xs[i]);
+            fy.observe(ys[i]);
+            fs.observe(sum[i]);
+        }
+        fx.merge(&fy).expect("compatible models");
+        prop_assert!((fx.forecast() - fs.forecast()).abs() < 1e-6);
+    }
+
+    /// Homogeneity: scaling the model equals modelling the scaled series.
+    #[test]
+    fn holt_winters_is_homogeneous(
+        xs in arb_series(8..40),
+        c in 0.01f64..10.0,
+        alpha in 0.05f64..0.95,
+    ) {
+        let season = 4;
+        let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
+        let mut fx = HoltWinters::from_history(alpha, 0.1, 0.3, season, &xs).expect("enough history");
+        let fs = HoltWinters::from_history(alpha, 0.1, 0.3, season, &scaled).expect("enough history");
+        fx.scale(c);
+        prop_assert!((fx.forecast() - fs.forecast()).abs() < 1e-6 * (1.0 + c * 100.0));
+        prop_assert!((fx.level() - fs.level()).abs() < 1e-6 * (1.0 + c * 100.0));
+    }
+
+    /// EWMA bias decays monotonically and geometrically.
+    #[test]
+    fn ewma_bias_decays(xi in 0.1f64..5.0, alpha in 0.1f64..0.9) {
+        let mut biased = Ewma::with_initial(alpha, 1.0 + xi).expect("valid alpha");
+        let mut clean = Ewma::with_initial(alpha, 1.0).expect("valid alpha");
+        let mut prev = f64::INFINITY;
+        for _ in 0..12 {
+            biased.observe(1.0);
+            clean.observe(1.0);
+            let err = (biased.forecast() - clean.forecast()).abs();
+            prop_assert!(err <= prev + 1e-12, "error must not grow");
+            prev = err;
+        }
+        prop_assert!(prev < xi * (1.0 - alpha).powi(11) + 1e-9);
+    }
+
+    /// Splitting a series by ratios that sum to 1 and merging the parts
+    /// reproduces the original exactly.
+    #[test]
+    fn series_split_merge_round_trip(values in arb_series(1..64), r in 0.0f64..1.0) {
+        let orig = Series::from_values(64, &values);
+        let mut part1 = orig.scaled(r);
+        let part2 = orig.scaled(1.0 - r);
+        part1.add_assign_series(&part2).expect("same length");
+        for (a, b) in part1.iter().zip(orig.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Series ring-buffer semantics: after pushing any stream, the
+    /// retained window is exactly the newest `capacity` samples.
+    #[test]
+    fn series_keeps_newest_window(values in arb_series(1..100), cap in 1usize..16) {
+        let mut s = Series::with_capacity(cap);
+        for &v in &values {
+            s.push(v);
+        }
+        let expect: Vec<f64> = values
+            .iter()
+            .copied()
+            .skip(values.len().saturating_sub(cap))
+            .collect();
+        prop_assert_eq!(s.to_vec(), expect);
+    }
+
+    /// Merging forecasters with mismatched configuration is always an
+    /// error, never a silent wrong answer.
+    #[test]
+    fn incompatible_merges_fail(alpha1 in 0.1f64..0.9, alpha2 in 0.1f64..0.9) {
+        prop_assume!((alpha1 - alpha2).abs() > 1e-6);
+        let mut a = Ewma::with_initial(alpha1, 1.0).expect("valid");
+        let b = Ewma::with_initial(alpha2, 1.0).expect("valid");
+        prop_assert!(matches!(a.merge(&b), Err(TimeSeriesError::IncompatibleForecasters(_))));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the succinct hierarchical heavy hitter
+//! computation (Definition 2) on randomly generated hierarchies and
+//! weights.
+
+use proptest::prelude::*;
+
+use tiresias::hhh::{aggregate_weights, compute_shhh, series_values};
+use tiresias::hierarchy::Tree;
+
+/// Builds a random tree from a list of path specs (bounded fan-out and
+/// depth) and random leaf counts.
+fn arb_tree_and_counts() -> impl Strategy<Value = (Tree, Vec<f64>)> {
+    // Paths of 1..=4 components, each component one of 4 labels.
+    let path = prop::collection::vec(0u8..4, 1..=4);
+    prop::collection::vec((path, 0u32..40), 1..24).prop_map(|specs| {
+        let mut tree = Tree::new("root");
+        let mut counts: Vec<(usize, f64)> = Vec::new();
+        for (labels, c) in specs {
+            let path: Vec<String> = labels.iter().map(|l| format!("n{l}")).collect();
+            let id = tree.insert_path(&path);
+            counts.push((id.index(), c as f64));
+        }
+        let mut direct = vec![0.0; tree.len()];
+        for (idx, c) in counts {
+            direct[idx] += c;
+        }
+        (tree, direct)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Membership ⇔ modified weight ≥ θ, for every node.
+    #[test]
+    fn membership_matches_threshold((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..50.0) {
+        let r = compute_shhh(&tree, &direct, theta);
+        for n in tree.iter() {
+            prop_assert_eq!(r.is_member[n.index()], r.modified[n.index()] >= theta);
+        }
+    }
+
+    /// Conservation: every count is claimed by exactly one member (its
+    /// nearest member ancestor), or escapes through a non-member root.
+    #[test]
+    fn mass_is_conserved((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..50.0) {
+        let r = compute_shhh(&tree, &direct, theta);
+        let total: f64 = direct.iter().sum();
+        let claimed: f64 = r.members.iter().map(|m| r.modified[m.index()]).sum();
+        let escaped = if r.is_member[tree.root().index()] {
+            0.0
+        } else {
+            r.modified[tree.root().index()]
+        };
+        prop_assert!((claimed + escaped - total).abs() < 1e-6,
+            "claimed {claimed} + escaped {escaped} != total {total}");
+    }
+
+    /// The fixed point is self-consistent: re-evaluating weights under
+    /// the final membership reproduces them (uniqueness, Definition 2).
+    #[test]
+    fn fixed_point_is_self_consistent((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..50.0) {
+        let r = compute_shhh(&tree, &direct, theta);
+        let v = series_values(&tree, &direct, &r.is_member);
+        for n in tree.iter() {
+            prop_assert!((v[n.index()] - r.modified[n.index()]).abs() < 1e-9);
+        }
+    }
+
+    /// Modified weights never exceed aggregates, and the aggregate of the
+    /// root is the total mass.
+    #[test]
+    fn modified_bounded_by_aggregate((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..50.0) {
+        let r = compute_shhh(&tree, &direct, theta);
+        let agg = aggregate_weights(&tree, &direct);
+        for n in tree.iter() {
+            prop_assert!(r.modified[n.index()] <= agg[n.index()] + 1e-9);
+            prop_assert!(r.modified[n.index()] >= -1e-9);
+        }
+        let total: f64 = direct.iter().sum();
+        prop_assert!((agg[tree.root().index()] - total).abs() < 1e-9);
+    }
+
+    /// Monotonicity in θ: raising the threshold never grows the set.
+    #[test]
+    fn membership_shrinks_with_theta((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..25.0) {
+        let small = compute_shhh(&tree, &direct, theta);
+        let large = compute_shhh(&tree, &direct, theta * 2.0);
+        // Not subset in general for SHHH (discounting shifts mass), but
+        // the *count* of members cannot grow and total claimed mass
+        // cannot grow either.
+        prop_assert!(large.members.len() <= small.members.len());
+    }
+
+    /// A member's ancestors are members iff their residual (after
+    /// discounting member descendants) still reaches θ — so no member's
+    /// weight double-counts a descendant member's weight.
+    #[test]
+    fn no_double_counting((tree, direct) in arb_tree_and_counts(), theta in 1.0f64..50.0) {
+        let r = compute_shhh(&tree, &direct, theta);
+        let agg = aggregate_weights(&tree, &direct);
+        for &m in &r.members {
+            // Sum of modified weights of members in m's subtree ≤ aggregate of m.
+            let sub: f64 = tree
+                .subtree(m)
+                .filter(|d| r.is_member[d.index()])
+                .map(|d| r.modified[d.index()])
+                .sum();
+            prop_assert!(sub <= agg[m.index()] + 1e-6);
+        }
+    }
+}
