@@ -91,9 +91,7 @@ fn bench_split_rules(c: &mut Criterion) {
 }
 
 fn bench_holt_winters(c: &mut Criterion) {
-    let hist: Vec<f64> = (0..192)
-        .map(|t| 50.0 + 20.0 * ((t % 96) as f64 / 96.0).sin())
-        .collect();
+    let hist: Vec<f64> = (0..192).map(|t| 50.0 + 20.0 * ((t % 96) as f64 / 96.0).sin()).collect();
     c.bench_function("holt_winters_update", |b| {
         let mut hw = HoltWinters::from_history(0.5, 0.05, 0.3, 96, &hist).expect("valid");
         b.iter(|| {

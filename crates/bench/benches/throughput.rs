@@ -1,0 +1,123 @@
+//! Criterion benchmarks of the ingest hot path: `&str` fast-path vs
+//! seed-style `Record` ingestion through the full detector, plus the
+//! underlying tree-resolution and SHHH primitives they lean on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use tiresias_bench::scenarios::ccd_trouble_workload;
+use tiresias_core::{Record, Tiresias, TiresiasBuilder};
+use tiresias_hhh::{aggregate_weights_into, compute_shhh_into, ShhhResult};
+
+fn detector() -> Tiresias {
+    TiresiasBuilder::new()
+        .timeunit_secs(900)
+        .window_len(96)
+        .threshold(10.0)
+        .season_length(24)
+        .sensitivity(2.8, 8.0)
+        .warmup_units(4)
+        .ref_levels(2)
+        .build()
+        .expect("valid config")
+}
+
+/// Pre-rendered `(path, timestamp)` stream of `units` timeunits.
+fn record_stream(units: u64) -> Vec<(String, u64)> {
+    let workload = ccd_trouble_workload(1.0, 500.0, 17);
+    let tree = workload.tree();
+    let mut records = Vec::new();
+    for unit in 0..units {
+        for (node, t) in workload.generate_records(unit) {
+            records.push((tree.path_of(node).to_string(), t));
+        }
+    }
+    records
+}
+
+fn bench_ingest_paths(c: &mut Criterion) {
+    let records = record_stream(16);
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("push_record", |b| {
+        b.iter_batched(
+            detector,
+            |mut d| {
+                for (path, t) in &records {
+                    d.push(Record::new(path, *t)).expect("in order");
+                }
+                d
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("push_str", |b| {
+        b.iter_batched(
+            detector,
+            |mut d| {
+                for (path, t) in &records {
+                    d.push_str(path, *t).expect("in order");
+                }
+                d
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tree_resolution(c: &mut Criterion) {
+    let workload = ccd_trouble_workload(1.0, 500.0, 17);
+    let mut tree = workload.tree().clone();
+    let paths: Vec<String> =
+        tree.iter().filter(|&n| tree.is_leaf(n)).map(|n| tree.path_of(n).to_string()).collect();
+    // Warm the memo the way an ingesting detector would.
+    let warm: Vec<_> = paths.iter().map(|p| tree.insert_str(p)).collect();
+    black_box(warm);
+    let mut group = c.benchmark_group("tree");
+    group.throughput(Throughput::Elements(paths.len() as u64));
+    group.bench_function("insert_str_warm", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &paths {
+                acc += tree.insert_str(black_box(p)).index();
+            }
+            acc
+        })
+    });
+    group.bench_function("resolve_str_warm", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &paths {
+                acc += tree.resolve_str(black_box(p)).expect("warm path").index();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_shhh_scratch(c: &mut Criterion) {
+    let workload = ccd_trouble_workload(1.0, 500.0, 17);
+    let tree = workload.tree();
+    let unit = workload.generate_unit(3);
+    let mut scratch = ShhhResult::default();
+    let mut agg = Vec::new();
+    let mut group = c.benchmark_group("shhh");
+    group.bench_function("compute_shhh_into", |b| {
+        b.iter(|| {
+            compute_shhh_into(black_box(tree), black_box(&unit), 10.0, &mut scratch);
+            scratch.members.len()
+        })
+    });
+    group.bench_function("aggregate_weights_into", |b| {
+        b.iter(|| {
+            aggregate_weights_into(black_box(tree), black_box(&unit), &mut agg);
+            agg.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_paths, bench_tree_resolution, bench_shhh_scratch);
+criterion_main!(benches);

@@ -33,9 +33,7 @@ fn main() {
             .expect("valid configuration");
         detector.adopt_tree(tree).expect("fresh detector");
         for unit in 0..288u64 {
-            detector
-                .ingest_unit(&workload.generate_unit(unit))
-                .expect("bulk ingest");
+            detector.ingest_unit(&workload.generate_unit(unit)).expect("bulk ingest");
         }
         let mem = detector.memory_report();
         table.row(vec![

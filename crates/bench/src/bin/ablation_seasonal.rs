@@ -23,9 +23,8 @@ fn main() {
         noise_sigma: 0.08,
     };
     let workload = Workload::with_popularity(tree, config, &mix, 131);
-    let series: Vec<f64> = (0..3 * 168u64)
-        .map(|u| workload.generate_unit(u).iter().sum())
-        .collect();
+    let series: Vec<f64> =
+        (0..3 * 168u64).map(|u| workload.generate_unit(u).iter().sum()).collect();
     let split = 2 * 168;
     let (train, test) = series.split_at(split);
 

@@ -1,0 +1,161 @@
+//! `bench_ingest` — end-to-end ingest throughput of the detector.
+//!
+//! Streams an identical synthetic CCD workload through the detector
+//! twice: once seed-style (`Record::new` + `push`, which parses every
+//! path into an owned `CategoryPath`) and once through the
+//! zero-allocation `&str` fast path (`push_str`). Reports records/sec
+//! for both, the speedup, per-stage timings, and verifies the two runs
+//! produce byte-identical results.
+//!
+//! The measured gap is the full per-record cost difference of the two
+//! APIs: parsing and allocation, but also the two per-record
+//! `Instant::now` stage-accounting calls that `push` performs and
+//! `push_str` skips by design (see its docs). Interpret `speedup` as
+//! "fast path vs seed-style API", not as allocation cost alone.
+//!
+//! Writes the report as JSON (schema documented in the repository
+//! README) to the path given as the first argument, default
+//! `BENCH_ingest.json`, and prints it to stdout.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use tiresias_bench::scenarios::ccd_trouble_workload;
+use tiresias_core::{Record, Tiresias, TiresiasBuilder};
+
+const UNITS: u64 = 64;
+const BASE_RATE: f64 = 2000.0;
+const SEED: u64 = 42;
+const TIMEUNIT_SECS: u64 = 900;
+
+#[derive(Debug, Serialize)]
+struct StageMicros {
+    reading_traces: u64,
+    updating_hierarchies: u64,
+    creating_time_series: u64,
+    detecting_anomalies: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct PathReport {
+    seconds: f64,
+    records_per_sec: f64,
+    ns_per_record: f64,
+    anomalies: usize,
+    stage_micros: StageMicros,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadInfo {
+    units: u64,
+    records: usize,
+    tree_nodes: usize,
+    heavy_hitters: usize,
+    base_rate: f64,
+    timeunit_secs: u64,
+    seed: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    workload: WorkloadInfo,
+    record_path: PathReport,
+    str_path: PathReport,
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+fn detector() -> Tiresias {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT_SECS)
+        .window_len(96)
+        .threshold(10.0)
+        .season_length(24)
+        .sensitivity(2.8, 8.0)
+        .warmup_units(8)
+        .ref_levels(2)
+        .build()
+        .expect("static config is valid")
+}
+
+fn path_report(d: &Tiresias, seconds: f64, records: usize) -> PathReport {
+    let t = d.timings();
+    PathReport {
+        seconds,
+        records_per_sec: records as f64 / seconds,
+        ns_per_record: seconds * 1e9 / records as f64,
+        anomalies: d.anomalies().len(),
+        stage_micros: StageMicros {
+            reading_traces: t.reading_traces.as_micros() as u64,
+            updating_hierarchies: t.updating_hierarchies.as_micros() as u64,
+            creating_time_series: t.creating_time_series.as_micros() as u64,
+            detecting_anomalies: t.detecting_anomalies.as_micros() as u64,
+        },
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    // Pre-render the record stream (identical for both paths); the
+    // rendering cost is excluded from both measurements.
+    let workload = ccd_trouble_workload(1.0, BASE_RATE, SEED);
+    let tree = workload.tree();
+    let mut records: Vec<(String, u64)> = Vec::new();
+    for unit in 0..UNITS {
+        for (node, t) in workload.generate_records(unit) {
+            records.push((tree.path_of(node).to_string(), t));
+        }
+    }
+    let end_secs = UNITS * TIMEUNIT_SECS;
+    eprintln!("streaming {} records over {UNITS} units through both ingest paths…", records.len());
+
+    // Seed-style path: parse into a Record, then push.
+    let mut via_record = detector();
+    let t0 = Instant::now();
+    for (path, t) in &records {
+        via_record.push(Record::new(path, *t)).expect("in-order stream");
+    }
+    via_record.advance_to(end_secs).expect("close last unit");
+    let record_secs = t0.elapsed().as_secs_f64();
+
+    // Borrowed fast path.
+    let mut via_str = detector();
+    let t1 = Instant::now();
+    for (path, t) in &records {
+        via_str.push_str(path, *t).expect("in-order stream");
+    }
+    via_str.advance_to(end_secs).expect("close last unit");
+    let str_secs = t1.elapsed().as_secs_f64();
+
+    let outputs_identical = via_record.tree().len() == via_str.tree().len()
+        && via_record.heavy_hitters() == via_str.heavy_hitters()
+        && via_record.anomalies() == via_str.anomalies()
+        && via_record.units_processed() == via_str.units_processed();
+    assert!(outputs_identical, "fast path diverged from the Record path");
+
+    let report = Report {
+        schema: "tiresias-bench-ingest/v1".to_string(),
+        generated_by: "cargo run --release -p tiresias-bench --bin bench_ingest".to_string(),
+        workload: WorkloadInfo {
+            units: UNITS,
+            records: records.len(),
+            tree_nodes: via_str.tree().len(),
+            heavy_hitters: via_str.heavy_hitters().len(),
+            base_rate: BASE_RATE,
+            timeunit_secs: TIMEUNIT_SECS,
+            seed: SEED,
+        },
+        record_path: path_report(&via_record, record_secs, records.len()),
+        str_path: path_report(&via_str, str_secs, records.len()),
+        speedup: record_secs / str_secs,
+        outputs_identical,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report file");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

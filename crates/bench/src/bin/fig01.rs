@@ -54,15 +54,7 @@ fn ccdf_per_level(workload: &Workload, units: usize, label: &str) {
 fn main() {
     println!("Fig. 1 — CCDF of normalized appearance counts per level");
     let units = UNITS_PER_WEEK;
-    ccdf_per_level(
-        &ccd_trouble_workload(1.0, 300.0, 41),
-        units,
-        "(a) CCD trouble issues",
-    );
-    ccdf_per_level(
-        &ccd_location_workload(0.2, 300.0, 42),
-        units,
-        "(b) CCD network locations",
-    );
+    ccdf_per_level(&ccd_trouble_workload(1.0, 300.0, 41), units, "(a) CCD trouble issues");
+    ccdf_per_level(&ccd_location_workload(0.2, 300.0, 42), units, "(b) CCD network locations");
     ccdf_per_level(&scd_workload(0.01, 300.0, 43), units, "(c) SCD network locations");
 }

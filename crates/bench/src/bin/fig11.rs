@@ -14,11 +14,7 @@ fn analyze(label: &str, workload: &Workload, weeks: usize) {
     println!("\n{label} ({} weeks of 15-minute units)", weeks);
     println!("top spectral peaks (period in hours, normalized magnitude):");
     for peak in p.dominant_periods(5) {
-        println!(
-            "  period {:>8.1} h  magnitude {:.4}",
-            peak.period_units * 0.25,
-            peak.magnitude
-        );
+        println!("  period {:>8.1} h  magnitude {:.4}", peak.period_units * 0.25, peak.magnitude);
     }
     let day = p.magnitude_at_period(96.0);
     let week = p.magnitude_at_period(672.0);

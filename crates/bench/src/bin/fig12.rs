@@ -22,16 +22,37 @@ fn main() {
     };
 
     let configs: Vec<(String, CompareConfig)> = vec![
-        ("Long-Term-History; h=0".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 0, ..base.clone() }),
-        ("Long-Term-History; h=1".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 1, ..base.clone() }),
-        ("Long-Term-History; h=2".into(), CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 2, ..base.clone() }),
-        ("EWMA a=0.8; h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.8 }, ..base.clone() }),
-        ("EWMA a=0.4; h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.4 }, ..base.clone() }),
-        ("Last-Time-Unit; h=2".into(), CompareConfig { rule: SplitRule::LastTimeUnit, ..base.clone() }),
+        (
+            "Long-Term-History; h=0".into(),
+            CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 0, ..base.clone() },
+        ),
+        (
+            "Long-Term-History; h=1".into(),
+            CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 1, ..base.clone() },
+        ),
+        (
+            "Long-Term-History; h=2".into(),
+            CompareConfig { rule: SplitRule::LongTermHistory, ref_levels: 2, ..base.clone() },
+        ),
+        (
+            "EWMA a=0.8; h=2".into(),
+            CompareConfig { rule: SplitRule::Ewma { alpha: 0.8 }, ..base.clone() },
+        ),
+        (
+            "EWMA a=0.4; h=2".into(),
+            CompareConfig { rule: SplitRule::Ewma { alpha: 0.4 }, ..base.clone() },
+        ),
+        (
+            "Last-Time-Unit; h=2".into(),
+            CompareConfig { rule: SplitRule::LastTimeUnit, ..base.clone() },
+        ),
         ("Uniform; h=2".into(), CompareConfig { rule: SplitRule::Uniform, ..base.clone() }),
     ];
 
-    println!("Fig. 12 — ADA time-series error vs STA ground truth (CCD, {} instances)\n", base.instances);
+    println!(
+        "Fig. 12 — ADA time-series error vs STA ground truth (CCD, {} instances)\n",
+        base.instances
+    );
     let mut results = Vec::new();
     for (label, cfg) in &configs {
         let r = compare_ada_sta(&workload, cfg);
@@ -44,7 +65,9 @@ fn main() {
     }
 
     println!("\n(a) error by timeunit offset (0 = most recent)\n");
-    let mut ta = Table::new(vec!["offset", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform"]);
+    let mut ta = Table::new(vec![
+        "offset", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform",
+    ]);
     for offset in [0usize, 2, 5, 10, 20, 40] {
         let mut row = vec![offset.to_string()];
         for (_, r) in &results {
@@ -56,7 +79,9 @@ fn main() {
 
     println!("(b) error by hierarchy depth\n");
     let depths = results[0].1.err_by_depth.len();
-    let mut tb = Table::new(vec!["depth", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform"]);
+    let mut tb = Table::new(vec![
+        "depth", "LTH h=0", "LTH h=1", "LTH h=2", "EWMA.8", "EWMA.4", "LTU", "Uniform",
+    ]);
     for d in 0..depths {
         let mut row = vec![d.to_string()];
         for (_, r) in &results {

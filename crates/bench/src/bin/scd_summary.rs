@@ -11,10 +11,7 @@ fn main() {
     // A larger hierarchy than CCD trouble (the paper's SCD tree is the
     // biggest of the three), scaled to stay laptop-friendly.
     let workload = scd_workload(0.02, 500.0, 121);
-    println!(
-        "SCD summary (§VII-A prose) — tree of {} nodes\n",
-        workload.tree().len()
-    );
+    println!("SCD summary (§VII-A prose) — tree of {} nodes\n", workload.tree().len());
 
     let model = ModelSpec::HoltWinters { alpha: 0.5, beta: 0.05, gamma: 0.3, season: 96 };
     let perf_cfg = PerfConfig {
@@ -64,10 +61,7 @@ fn main() {
         pct(cmp.mean_rel_error),
         pct(cmp.confusion.accuracy())
     );
-    println!(
-        "heavy hitter sets matched STA at every instance: {}",
-        cmp.membership_matched
-    );
+    println!("heavy hitter sets matched STA at every instance: {}", cmp.membership_matched);
     println!("\nPaper shape: SCD's lower variance means fewer splits, so ADA is even");
     println!("closer to exact here than on CCD, while STA slows with the bigger tree.");
 }

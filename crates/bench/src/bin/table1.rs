@@ -28,11 +28,7 @@ fn main() {
             .get(i)
             .map(|(name, p)| (name.to_string(), format!("{p:.2}")))
             .unwrap_or_else(|| (tree.label(cat).to_string(), "-".to_string()));
-        table.row(vec![
-            paper.0,
-            paper.1,
-            format!("{:.2}", per_top[i] / total * 100.0),
-        ]);
+        table.row(vec![paper.0, paper.1, format!("{:.2}", per_top[i] / total * 100.0)]);
     }
     println!("Table I — CCD customer call mix (paper vs synthetic, {weeks} weeks)\n");
     println!("{table}");

@@ -9,13 +9,9 @@ fn main() {
     let location = ccd_location_spec(1.0).build().expect("valid spec");
     let scd = scd_location_spec(1.0).build().expect("valid spec");
 
-    let mut table = Table::new(vec![
-        "Data", "Type", "Depth", "k=1", "k=2", "k=3", "k=4", "Nodes",
-    ]);
+    let mut table = Table::new(vec!["Data", "Type", "Depth", "k=1", "k=2", "k=3", "k=4", "Nodes"]);
     let degree = |t: &tiresias_hierarchy::Tree, k: usize| -> String {
-        t.typical_degree(k - 1)
-            .map(|d| format!("{d:.0}"))
-            .unwrap_or_else(|| "N/A".into())
+        t.typical_degree(k - 1).map(|d| format!("{d:.0}")).unwrap_or_else(|| "N/A".into())
     };
     for (data, kind, t, paper) in [
         ("CCD", "Trouble descr.", &trouble, "9 / 6 / 3 / 5"),

@@ -11,12 +11,18 @@ fn main() {
     println!("Table III — running time per stage, ADA vs STA (CCD)\n");
 
     let mut table = Table::new(vec![
-        "Delta", "Algo", "Reading", "Updating", "CreatingTS", "Total", "Speedup(total)", "Speedup(compute)",
+        "Delta",
+        "Algo",
+        "Reading",
+        "Updating",
+        "CreatingTS",
+        "Total",
+        "Speedup(total)",
+        "Speedup(compute)",
     ]);
-    for (label, coarsen, ell, warmup, instances, season) in [
-        ("15 min", 1usize, 288usize, 192usize, 192usize, 96usize),
-        ("60 min", 4, 72, 48, 48, 24),
-    ] {
+    for (label, coarsen, ell, warmup, instances, season) in
+        [("15 min", 1usize, 288usize, 192usize, 192usize, 96usize), ("60 min", 4, 72, 48, 48, 24)]
+    {
         let cfg = PerfConfig {
             theta: 10.0,
             ell,

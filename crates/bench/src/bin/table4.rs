@@ -20,9 +20,7 @@ fn main() {
     let (ada_reports, sta_report) = memory_sweep(&workload, &cfg, &[0, 1, 2]);
 
     println!("Table IV — normalized memory cost (cells / tree node)\n");
-    let mut table = Table::new(vec![
-        "Algorithm", "ref levels (h)", "Normalized space", "vs STA",
-    ]);
+    let mut table = Table::new(vec!["Algorithm", "ref levels (h)", "Normalized space", "vs STA"]);
     table.row(vec![
         "STA".into(),
         "N/A".into(),
@@ -51,5 +49,7 @@ fn main() {
             r.series_cells, r.reference_cells
         );
     }
-    println!("\nPaper shape: ADA needs ~36% of STA's space, rising to ~43% with two reference levels.");
+    println!(
+        "\nPaper shape: ADA needs ~36% of STA's space, rising to ~43% with two reference levels."
+    );
 }

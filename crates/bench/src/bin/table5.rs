@@ -23,10 +23,22 @@ fn main() {
         ("Long-Term-History h=0".into(), CompareConfig { ref_levels: 0, ..base.clone() }),
         ("Long-Term-History h=1".into(), CompareConfig { ref_levels: 1, ..base.clone() }),
         ("Long-Term-History h=2".into(), base.clone()),
-        ("EWMA (rate=0.8) h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.8 }, ..base.clone() }),
-        ("EWMA (rate=0.6) h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.6 }, ..base.clone() }),
-        ("EWMA (rate=0.4) h=2".into(), CompareConfig { rule: SplitRule::Ewma { alpha: 0.4 }, ..base.clone() }),
-        ("Last-Time-Unit h=2".into(), CompareConfig { rule: SplitRule::LastTimeUnit, ..base.clone() }),
+        (
+            "EWMA (rate=0.8) h=2".into(),
+            CompareConfig { rule: SplitRule::Ewma { alpha: 0.8 }, ..base.clone() },
+        ),
+        (
+            "EWMA (rate=0.6) h=2".into(),
+            CompareConfig { rule: SplitRule::Ewma { alpha: 0.6 }, ..base.clone() },
+        ),
+        (
+            "EWMA (rate=0.4) h=2".into(),
+            CompareConfig { rule: SplitRule::Ewma { alpha: 0.4 }, ..base.clone() },
+        ),
+        (
+            "Last-Time-Unit h=2".into(),
+            CompareConfig { rule: SplitRule::LastTimeUnit, ..base.clone() },
+        ),
         ("Uniform h=2".into(), CompareConfig { rule: SplitRule::Uniform, ..base.clone() }),
     ];
 

@@ -208,10 +208,6 @@ mod tests {
         let w = ccd_trouble_workload(0.3, 60.0, 13);
         let r = compare_ada_sta(&w, &small_cfg());
         assert!(r.confusion.total() > 0);
-        assert!(
-            r.confusion.accuracy() > 0.9,
-            "accuracy {} too low",
-            r.confusion.accuracy()
-        );
+        assert!(r.confusion.accuracy() > 0.9, "accuracy {} too low", r.confusion.accuracy());
     }
 }

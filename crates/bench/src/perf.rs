@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use tiresias_datagen::Workload;
-use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, SplitRule, StageTimings, Sta};
+use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, SplitRule, Sta, StageTimings};
 
 use crate::scenarios::coarsen_units;
 
@@ -109,17 +109,12 @@ pub fn run_perf(workload: &Workload, cfg: &PerfConfig) -> PerfResult {
     let t0 = Instant::now();
     let total_base_units = (cfg.warmup + cfg.instances) * cfg.coarsen;
     let base_units = workload.generate_units(0, total_base_units);
-    let units = if cfg.coarsen > 1 {
-        coarsen_units(&base_units, cfg.coarsen)
-    } else {
-        base_units
-    };
+    let units = if cfg.coarsen > 1 { coarsen_units(&base_units, cfg.coarsen) } else { base_units };
     let reading = t0.elapsed();
 
     let (warmup_units, live_units) = units.split_at(cfg.warmup.min(units.len()));
 
-    let mut ada =
-        Ada::with_history(base.clone(), tree, warmup_units).expect("valid configuration");
+    let mut ada = Ada::with_history(base.clone(), tree, warmup_units).expect("valid configuration");
     let mut sta = Sta::new(base).expect("valid configuration");
     for u in warmup_units {
         sta.push_timeunit(tree, u);
@@ -137,10 +132,14 @@ pub fn run_perf(workload: &Workload, cfg: &PerfConfig) -> PerfResult {
 
     let mut ada_t = ada.timings();
     let mut sta_t = sta.timings();
-    ada_t.updating_hierarchies = ada_t.updating_hierarchies.saturating_sub(ada_warm.updating_hierarchies);
-    ada_t.creating_time_series = ada_t.creating_time_series.saturating_sub(ada_warm.creating_time_series);
-    sta_t.updating_hierarchies = sta_t.updating_hierarchies.saturating_sub(sta_warm.updating_hierarchies);
-    sta_t.creating_time_series = sta_t.creating_time_series.saturating_sub(sta_warm.creating_time_series);
+    ada_t.updating_hierarchies =
+        ada_t.updating_hierarchies.saturating_sub(ada_warm.updating_hierarchies);
+    ada_t.creating_time_series =
+        ada_t.creating_time_series.saturating_sub(ada_warm.creating_time_series);
+    sta_t.updating_hierarchies =
+        sta_t.updating_hierarchies.saturating_sub(sta_warm.updating_hierarchies);
+    sta_t.creating_time_series =
+        sta_t.creating_time_series.saturating_sub(sta_warm.creating_time_series);
 
     PerfResult {
         reading,
@@ -163,9 +162,8 @@ pub fn memory_sweep(
     let units = workload.generate_units(0, cfg.warmup + cfg.instances);
     let mut ada_reports = Vec::new();
     for &h in ref_levels {
-        let config = HhhConfig::new(cfg.theta, cfg.ell)
-            .with_model(cfg.model.clone())
-            .with_ref_levels(h);
+        let config =
+            HhhConfig::new(cfg.theta, cfg.ell).with_model(cfg.model.clone()).with_ref_levels(h);
         let (warm, live) = units.split_at(cfg.warmup.min(units.len()));
         let mut ada = Ada::with_history(config, tree, warm).expect("valid configuration");
         for u in live {

@@ -120,17 +120,14 @@ pub fn run_practice(workload: &Workload, cfg: &PracticeConfig) -> PracticeResult
         .iter()
         .copied()
         .filter(|&(n, u)| {
-            !reference_nodes
-                .iter()
-                .any(|&(r, ru)| ru == u && tree.is_ancestor_or_equal(r, n))
+            !reference_nodes.iter().any(|&(r, ru)| ru == u && tree.is_ancestor_or_equal(r, n))
         })
         .collect();
     let deduped: Vec<(NodeId, u64)> = na
         .iter()
         .copied()
         .filter(|&(n, u)| {
-            !na.iter()
-                .any(|&(m, mu)| mu == u && m != n && tree.is_ancestor_or_equal(n, m))
+            !na.iter().any(|&(m, mu)| mu == u && m != n && tree.is_ancestor_or_equal(n, m))
         })
         .collect();
     let mut na_by_level: Vec<(usize, usize)> = Vec::new();

@@ -22,11 +22,7 @@ use tiresias_hierarchy::{CategoryPath, NodeId};
 /// assert!(!is_anomalous(12.0, 5.0, 2.0, 8.0));   // only +7
 /// ```
 pub fn is_anomalous(actual: f64, forecast: f64, rt: f64, dt: f64) -> bool {
-    let relative_ok = if forecast > 0.0 {
-        actual / forecast > rt
-    } else {
-        actual > 0.0
-    };
+    let relative_ok = if forecast > 0.0 { actual / forecast > rt } else { actual > 0.0 };
     relative_ok && (actual - forecast > dt)
 }
 
@@ -69,11 +65,7 @@ impl std::fmt::Display for AnomalyKind {
 /// assert!(!is_drop(20.0, 40.0, 2.8, 8.0));  // only halved
 /// ```
 pub fn is_drop(actual: f64, forecast: f64, rt: f64, dt: f64) -> bool {
-    let relative_ok = if actual > 0.0 {
-        forecast / actual > rt
-    } else {
-        forecast > 0.0
-    };
+    let relative_ok = if actual > 0.0 { forecast / actual > rt } else { forecast > 0.0 };
     relative_ok && (forecast - actual > dt)
 }
 

@@ -242,13 +242,11 @@ impl TiresiasBuilder {
         if self.window_len == 0 {
             return Err(CoreError::InvalidConfig("window_len must be positive".into()));
         }
-        if !(self.theta > 0.0) {
+        if self.theta.is_nan() || self.theta <= 0.0 {
             return Err(CoreError::InvalidConfig("threshold must be positive".into()));
         }
-        if !(self.rt > 1.0) {
-            return Err(CoreError::InvalidConfig(
-                "relative sensitivity RT must exceed 1".into(),
-            ));
+        if self.rt.is_nan() || self.rt <= 1.0 {
+            return Err(CoreError::InvalidConfig("relative sensitivity RT must exceed 1".into()));
         }
         if self.dt < 0.0 {
             return Err(CoreError::InvalidConfig(
@@ -258,9 +256,7 @@ impl TiresiasBuilder {
         if self.season_length == 0 && self.model.is_none() {
             return Err(CoreError::InvalidConfig("season_length must be positive".into()));
         }
-        self.hhh_config(self.base_model())
-            .validate()
-            .map_err(CoreError::InvalidConfig)?;
+        self.hhh_config(self.base_model()).validate().map_err(CoreError::InvalidConfig)?;
         Ok(Tiresias::from_builder(self))
     }
 }
@@ -286,9 +282,7 @@ mod tests {
 
     #[test]
     fn explicit_model_overrides_season() {
-        let b = TiresiasBuilder::new()
-            .season_length(96)
-            .model(ModelSpec::Ewma { alpha: 0.4 });
+        let b = TiresiasBuilder::new().season_length(96).model(ModelSpec::Ewma { alpha: 0.4 });
         assert_eq!(b.base_model(), ModelSpec::Ewma { alpha: 0.4 });
     }
 

@@ -1,13 +1,13 @@
-use std::collections::HashMap;
 use std::time::Instant;
 
-use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, StageTimings, Sta};
+use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, Sta, StageTimings};
 use tiresias_hierarchy::{NodeId, Tree};
 use tiresias_spectral::SeasonalityAnalysis;
 use tiresias_timeseries::SeasonalFactor;
 
 use crate::anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
 use crate::builder::{Algorithm, TiresiasBuilder};
+use crate::counts::DenseCounts;
 use crate::error::CoreError;
 use crate::record::Record;
 use crate::store::EventStore;
@@ -28,9 +28,10 @@ enum State {
 
 /// The Tiresias online anomaly detector (Fig. 3 of the paper).
 ///
-/// Feed timestamped [`Record`]s with [`Tiresias::push`] (or whole
-/// timeunits with [`Tiresias::ingest_unit`]); closed timeunits flow
-/// through heavy hitter tracking, seasonal forecasting and the
+/// Feed timestamped [`Record`]s with [`Tiresias::push`], `/`-separated
+/// borrowed paths with the allocation-free [`Tiresias::push_str`], or
+/// whole timeunits with [`Tiresias::ingest_unit`]; closed timeunits
+/// flow through heavy hitter tracking, seasonal forecasting and the
 /// Definition-4 decision rule, and detected [`AnomalyEvent`]s accumulate
 /// in the queryable [`EventStore`].
 ///
@@ -48,8 +49,10 @@ pub struct Tiresias {
     /// Index of the currently open timeunit (`None` until the first
     /// record or advance).
     open_unit: Option<u64>,
-    #[serde(with = "node_counts_serde")]
-    open_counts: HashMap<NodeId, f64>,
+    /// Dense per-node counts of the open timeunit; doubles as the
+    /// reusable dense buffer of the close sweep, so steady-state
+    /// ingestion allocates nothing.
+    open_counts: DenseCounts,
     store: EventStore,
     warmup_target: usize,
     resolved_model: ModelSpec,
@@ -58,33 +61,10 @@ pub struct Tiresias {
     detecting: std::time::Duration,
 }
 
-/// Serialises the open-unit counts as a sequence of pairs so JSON (whose
-/// map keys must be strings) round-trips.
-mod node_counts_serde {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<NodeId, f64>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        let pairs: Vec<(&NodeId, &f64)> = map.iter().collect();
-        serde::Serialize::serialize(&pairs, s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<NodeId, f64>, D::Error> {
-        let pairs: Vec<(NodeId, f64)> = serde::Deserialize::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
-    }
-}
-
 impl Tiresias {
     pub(crate) fn from_builder(builder: TiresiasBuilder) -> Self {
-        let warmup_target = builder
-            .warmup_units
-            .unwrap_or_else(|| builder.base_model().preferred_history());
+        let warmup_target =
+            builder.warmup_units.unwrap_or_else(|| builder.base_model().preferred_history());
         let resolved_model = builder.base_model();
         let tree = Tree::new(builder.root_label.clone());
         Tiresias {
@@ -92,7 +72,7 @@ impl Tiresias {
             tree,
             state: State::Warmup { units: Vec::new() },
             open_unit: None,
-            open_counts: HashMap::new(),
+            open_counts: DenseCounts::default(),
             store: EventStore::new(),
             warmup_target,
             resolved_model,
@@ -205,15 +185,56 @@ impl Tiresias {
                 self.close_until(unit)?;
                 let t1 = Instant::now();
                 let node = self.tree.insert_category(&record.path);
-                *self.open_counts.entry(node).or_insert(0.0) += 1.0;
+                self.open_counts.add(node.index(), 1.0);
                 self.reading += t1.elapsed();
                 return Ok(());
             }
             Some(_) => {}
         }
         let node = self.tree.insert_category(&record.path);
-        *self.open_counts.entry(node).or_insert(0.0) += 1.0;
+        self.open_counts.add(node.index(), 1.0);
         self.reading += t0.elapsed();
+        Ok(())
+    }
+
+    /// Ingests one record given as a borrowed `/`-separated category
+    /// path — the zero-allocation fast path.
+    ///
+    /// Semantically identical to
+    /// `push(Record::new(path, t_secs))`: empty path segments are
+    /// skipped the same way, timeunits close the same way, and the
+    /// resulting tree, heavy hitter set and anomaly stream are
+    /// byte-identical. The difference is purely mechanical: no
+    /// [`Record`] (and no per-label `String`) is materialised, and once
+    /// every label of `path` has been seen before, the whole call
+    /// performs no heap allocation.
+    ///
+    /// Per-record wall-clock accounting is also skipped (two
+    /// `Instant::now` calls cost more than the resolve itself), so
+    /// `reading_traces` stays zero on this path; the unit-close sweeps
+    /// are still accounted by the tracker's own stage timers, exactly
+    /// as on the [`Tiresias::push`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfOrder`] if `t_secs` falls before the
+    /// open timeunit, and propagates tracker construction errors at the
+    /// warm-up boundary.
+    pub fn push_str(&mut self, path: &str, t_secs: u64) -> Result<(), CoreError> {
+        let unit = t_secs / self.builder.timeunit_secs;
+        match self.open_unit {
+            None => self.open_unit = Some(unit),
+            Some(open) if unit < open => {
+                return Err(CoreError::OutOfOrder {
+                    timestamp: t_secs,
+                    open_unit_start: open * self.builder.timeunit_secs,
+                });
+            }
+            Some(open) if unit > open => self.close_until(unit)?,
+            Some(_) => {}
+        }
+        let node = self.tree.insert_str(path);
+        self.open_counts.add(node.index(), 1.0);
         Ok(())
     }
 
@@ -236,26 +257,44 @@ impl Tiresias {
     /// Ingests one whole pre-aggregated timeunit of direct counts
     /// (indexed by [`NodeId::index`] over the current tree) — the bulk
     /// API used by experiments that generate counts directly. Returns
-    /// the anomalies detected in that unit.
+    /// the anomalies detected in that unit as a slice borrowed from the
+    /// store (no copy; clone it if you need to hold it across calls).
+    ///
+    /// When `direct` covers the whole tree — the common case — it is
+    /// passed straight through to the tracker with no copy at all;
+    /// shorter vectors are zero-padded into a reusable scratch buffer.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if record-level pushes are
     /// pending in the open unit (the two APIs cannot be mixed within a
     /// unit), and propagates tracker errors.
-    pub fn ingest_unit(&mut self, direct: &[f64]) -> Result<Vec<AnomalyEvent>, CoreError> {
+    pub fn ingest_unit(&mut self, direct: &[f64]) -> Result<&[AnomalyEvent], CoreError> {
         if !self.open_counts.is_empty() {
             return Err(CoreError::InvalidConfig(
                 "ingest_unit cannot be mixed with pending record-level pushes".into(),
             ));
         }
         let before = self.store.len();
-        let mut dense = direct.to_vec();
-        dense.resize(self.tree.len().max(dense.len()), 0.0);
         let unit = self.open_unit.unwrap_or(0);
-        self.process_closed_unit(unit, dense)?;
+        if direct.len() >= self.tree.len() {
+            self.process_closed_unit(unit, direct)?;
+        } else {
+            // Zero-pad into the (empty, recycled) open-counts buffer.
+            let mut scratch = self.open_counts.take();
+            scratch.ensure_len(self.tree.len());
+            for (i, &w) in direct.iter().enumerate() {
+                if w != 0.0 {
+                    scratch.add(i, w);
+                }
+            }
+            let result = self.process_closed_unit(unit, scratch.dense());
+            scratch.reset();
+            self.open_counts = scratch;
+            result?;
+        }
         self.open_unit = Some(unit + 1);
-        Ok(self.store.events()[before..].to_vec())
+        Ok(&self.store.events()[before..])
     }
 
     /// Extends the tree with a category without recording data (useful
@@ -286,18 +325,24 @@ impl Tiresias {
     }
 
     /// Closes units `[open, target)`.
+    ///
+    /// The open-counts buffer is already dense, so closing a unit is a
+    /// hand-off, not a copy: the buffer is lent to the pipeline, its
+    /// touched slots are zeroed in O(records), and the allocation is
+    /// recycled for the next unit (gap units reuse the same all-zero
+    /// buffer).
     fn close_until(&mut self, target: u64) -> Result<(), CoreError> {
         let Some(mut open) = self.open_unit else {
             self.open_unit = Some(target);
             return Ok(());
         };
         while open < target {
-            let mut dense = vec![0.0; self.tree.len()];
-            for (&n, &c) in &self.open_counts {
-                dense[n.index()] = c;
-            }
-            self.open_counts.clear();
-            self.process_closed_unit(open, dense)?;
+            let mut counts = self.open_counts.take();
+            counts.ensure_len(self.tree.len());
+            let result = self.process_closed_unit(open, counts.dense());
+            counts.reset();
+            self.open_counts = counts;
+            result?;
             open += 1;
         }
         self.open_unit = Some(open.max(target));
@@ -305,18 +350,18 @@ impl Tiresias {
     }
 
     /// Pipeline for one closed timeunit (Steps 2–5 of Fig. 3).
-    fn process_closed_unit(&mut self, unit: u64, dense: Vec<f64>) -> Result<(), CoreError> {
+    fn process_closed_unit(&mut self, unit: u64, dense: &[f64]) -> Result<(), CoreError> {
         match &mut self.state {
             State::Warmup { units } => {
-                units.push(dense);
+                units.push(dense.to_vec());
                 if units.len() >= self.warmup_target.max(1) {
                     self.finish_warmup()?;
                 }
             }
             State::Running { tracker } => {
                 match tracker {
-                    Tracker::Ada(a) => a.push_timeunit(&self.tree, &dense),
-                    Tracker::Sta(s) => s.push_timeunit(&self.tree, &dense),
+                    Tracker::Ada(a) => a.push_timeunit(&self.tree, dense),
+                    Tracker::Sta(s) => s.push_timeunit(&self.tree, dense),
                 }
                 let t0 = Instant::now();
                 let (rt, dt) = (self.builder.rt, self.builder.dt);
@@ -325,15 +370,12 @@ impl Tiresias {
                     Tracker::Ada(a) => a
                         .heavy_hitters()
                         .iter()
-                        .filter_map(|&n| {
-                            a.view(n).map(|v| (n, v.latest_actual, v.latest_forecast))
-                        })
+                        .filter_map(|&n| a.view(n).map(|v| (n, v.latest_actual, v.latest_forecast)))
                         .collect(),
                     Tracker::Sta(s) => s
                         .heavy_hitters()
-                        .to_vec()
-                        .into_iter()
-                        .filter_map(|n| s.latest(n).map(|(a, f)| (n, a, f)))
+                        .iter()
+                        .filter_map(|&n| s.latest(n).map(|(a, f)| (n, a, f)))
                         .collect(),
                 };
                 for (n, actual, forecast) in candidates {
@@ -467,6 +509,41 @@ mod tests {
         assert_eq!(e.path.to_string(), "TV/NoService");
         assert_eq!(e.unit, 9);
         assert!(e.actual >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn push_str_matches_record_path() {
+        let mut a = small_detector(4);
+        let mut b = small_detector(4);
+        let stream = [
+            ("TV/NoService", 0u64),
+            ("TV/NoService", 10),
+            ("/TV//Pixelation/", 20),
+            ("Internet/Slow", 950),
+            ("TV/NoService", 1000),
+        ];
+        for &(path, t) in &stream {
+            a.push(Record::new(path, t)).unwrap();
+            b.push_str(path, t).unwrap();
+        }
+        a.advance_to(40 * 900).unwrap();
+        b.advance_to(40 * 900).unwrap();
+        assert_eq!(a.units_processed(), b.units_processed());
+        assert_eq!(a.tree().len(), b.tree().len());
+        for n in a.tree().iter() {
+            assert_eq!(a.tree().label(n), b.tree().label(n));
+        }
+        assert_eq!(a.heavy_hitters(), b.heavy_hitters());
+        assert_eq!(a.anomalies(), b.anomalies());
+    }
+
+    #[test]
+    fn push_str_rejects_out_of_order() {
+        let mut d = small_detector(2);
+        d.push_str("a", 5000).unwrap();
+        d.advance_to(9000).unwrap();
+        let err = d.push_str("a", 100).unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrder { .. }));
     }
 
     #[test]

@@ -24,6 +24,23 @@
 //! chart over first-level aggregates — plus the comparison metrics
 //! ([`ComparisonReport`], [`ConfusionCounts`]) used by Tables V and VI.
 //!
+//! # Ingest APIs
+//!
+//! Three ways in, one pipeline behind them:
+//!
+//! * [`Tiresias::push_str`] — the **zero-allocation fast path** for
+//!   operational feeds: a borrowed `/`-separated category plus a
+//!   timestamp. Labels are interned in the tree, warm paths resolve
+//!   with a single hash probe, and the open unit is counted into a
+//!   recycled dense buffer — no heap allocation per record in steady
+//!   state (see `BENCH_ingest.json` at the repository root for the
+//!   measured throughput gap).
+//! * [`Tiresias::push`] — the same semantics from an owned [`Record`]
+//!   (byte-identical results; convenient when paths are already
+//!   parsed).
+//! * [`Tiresias::ingest_unit`] — whole pre-aggregated timeunits, for
+//!   experiments that generate counts directly.
+//!
 //! # Example
 //!
 //! ```
@@ -53,6 +70,7 @@
 
 mod anomaly;
 mod builder;
+mod counts;
 mod detector;
 mod error;
 mod export;

@@ -26,10 +26,7 @@ pub struct Record {
 impl Record {
     /// Creates a record from a `/`-separated category string.
     pub fn new(path: &str, timestamp_secs: u64) -> Self {
-        Record {
-            path: path.parse().expect("category paths parse infallibly"),
-            timestamp_secs,
-        }
+        Record { path: path.parse().expect("category paths parse infallibly"), timestamp_secs }
     }
 
     /// Creates a record from an existing [`CategoryPath`].

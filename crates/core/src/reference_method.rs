@@ -126,11 +126,7 @@ mod tests {
     use tiresias_hierarchy::HierarchySpec;
 
     fn setup() -> (Tree, ControlChartDetector) {
-        let tree = HierarchySpec::new("SHO")
-            .level("VHO", 3)
-            .level("IO", 4)
-            .build()
-            .unwrap();
+        let tree = HierarchySpec::new("SHO").level("VHO", 3).level("IO", 4).build().unwrap();
         let cfg = ControlChartConfig { level: 1, window: 32, k: 3.0, min_samples: 6 };
         (tree, ControlChartDetector::new(cfg))
     }
@@ -166,9 +162,7 @@ mod tests {
         // huge for one IO but small against the VHO aggregate does not
         // trip the chart.
         let (tree, mut chart) = setup();
-        let vho0_ios: Vec<NodeId> = tree
-            .children(tree.find(&["VHO-0"]).unwrap())
-            .to_vec();
+        let vho0_ios: Vec<NodeId> = tree.children(tree.find(&["VHO-0"]).unwrap()).to_vec();
         // Noisy baseline: the VHO aggregate alternates 320 / 480, so its
         // control band is wide (σ = 80).
         for i in 0..12 {

@@ -63,10 +63,12 @@ impl EventStore {
     }
 
     /// Events whose timeunit lies in `[from_unit, to_unit)`.
-    pub fn in_time_range(&self, from_unit: u64, to_unit: u64) -> impl Iterator<Item = &AnomalyEvent> {
-        self.events
-            .iter()
-            .filter(move |e| e.unit >= from_unit && e.unit < to_unit)
+    pub fn in_time_range(
+        &self,
+        from_unit: u64,
+        to_unit: u64,
+    ) -> impl Iterator<Item = &AnomalyEvent> {
+        self.events.iter().filter(move |e| e.unit >= from_unit && e.unit < to_unit)
     }
 
     /// Events at or under the given category prefix (the drill-down
@@ -75,9 +77,7 @@ impl EventStore {
         &'a self,
         prefix: &'a CategoryPath,
     ) -> impl Iterator<Item = &'a AnomalyEvent> + 'a {
-        self.events
-            .iter()
-            .filter(move |e| prefix.is_ancestor_or_equal(&e.path))
+        self.events.iter().filter(move |e| prefix.is_ancestor_or_equal(&e.path))
     }
 
     /// Events at an exact hierarchy level (1 = first level below the

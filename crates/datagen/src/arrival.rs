@@ -68,14 +68,13 @@ impl ArrivalModel {
     /// with smooth shoulders.
     pub fn weekly_multiplier(&self, t_secs: u64) -> f64 {
         let day = (t_secs as f64 % WEEK_SECS) / DAY_SECS; // 0 = Monday
-        // Smooth bump centred on the weekend (day 5.5 ± 1).
+                                                          // Smooth bump centred on the weekend (day 5.5 ± 1).
         let dist = (day - 5.5).abs();
-        let damp = if dist < 1.0 {
+        if dist < 1.0 {
             1.0 - self.weekly_amp * (0.5 + 0.5 * (dist * std::f64::consts::PI).cos())
         } else {
             1.0
-        };
-        damp
+        }
     }
 
     /// Mean arrivals per timeunit at time `t_secs`.
@@ -151,9 +150,7 @@ mod tests {
         // CCD root; our deterministic curve (before Poisson noise) should
         // already show a large swing.
         let m = ArrivalModel::ccd(100.0);
-        let mut rates: Vec<f64> = (0..7 * 96)
-            .map(|u| m.rate_at(u * 900))
-            .collect();
+        let mut rates: Vec<f64> = (0..7 * 96).map(|u| m.rate_at(u * 900)).collect();
         rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p10 = rates[rates.len() / 10];
         let p90 = rates[rates.len() * 9 / 10];

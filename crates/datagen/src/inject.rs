@@ -38,12 +38,7 @@ pub struct InjectedAnomaly {
 impl InjectedAnomaly {
     /// Creates an injected anomaly.
     pub fn new(node: NodeId, start_unit: u64, duration_units: u64, extra_per_unit: f64) -> Self {
-        InjectedAnomaly {
-            node,
-            start_unit,
-            duration_units: duration_units.max(1),
-            extra_per_unit,
-        }
+        InjectedAnomaly { node, start_unit, duration_units: duration_units.max(1), extra_per_unit }
     }
 
     /// `true` iff `unit` falls inside the anomaly's span.

@@ -71,8 +71,7 @@ mod tests {
     fn poisson_mean_is_close_for_small_lambda() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, 3.5) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 3.5) as f64).sum::<f64>() / n as f64;
         assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
     }
 
@@ -80,8 +79,7 @@ mod tests {
     fn poisson_mean_is_close_for_large_lambda() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, 120.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 120.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 120.0).abs() < 1.0, "mean {mean}");
     }
 
@@ -117,9 +115,7 @@ mod tests {
         // Mass 0.9 on index 0, 0.1 on index 1.
         let cumulative = [0.9, 1.0];
         let n = 10_000;
-        let ones = (0..n)
-            .filter(|_| sample_cumulative(&mut rng, &cumulative) == 1)
-            .count();
+        let ones = (0..n).filter(|_| sample_cumulative(&mut rng, &cumulative) == 1).count();
         let frac = ones as f64 / n as f64;
         assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
     }

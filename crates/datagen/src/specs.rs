@@ -58,9 +58,7 @@ pub fn scd_location_spec(scale: f64) -> HierarchySpec {
 /// (non-leaf slots are zero) and sum to 1. Within a first-level
 /// category the mass is spread Zipf-like over its leaves.
 pub fn ccd_trouble_tree_with_mix(scale: f64) -> (Tree, Vec<f64>) {
-    let tree = ccd_trouble_spec(scale)
-        .build()
-        .expect("static spec is valid");
+    let tree = ccd_trouble_spec(scale).build().expect("static spec is valid");
     let mut weights = vec![0.0; tree.len()];
     let top: Vec<_> = tree.children(tree.root()).to_vec();
     // Table I covers 7 named categories; remaining top-level nodes share
@@ -74,10 +72,7 @@ pub fn ccd_trouble_tree_with_mix(scale: f64) -> (Tree, Vec<f64>) {
         } else {
             residual / extra.max(1) as f64
         } / 100.0;
-        let leaves: Vec<_> = tree
-            .subtree(cat)
-            .filter(|&n| tree.is_leaf(n))
-            .collect();
+        let leaves: Vec<_> = tree.subtree(cat).filter(|&n| tree.is_leaf(n)).collect();
         let zipf = crate::rand_util::zipf_weights(leaves.len(), 0.8);
         for (&leaf, w) in leaves.iter().zip(zipf.iter()) {
             weights[leaf.index()] = share * w;
@@ -136,18 +131,12 @@ mod tests {
         assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Per-category share = sum over its leaves.
         let top = tree.children(tree.root()).to_vec();
-        let tv_share: f64 = tree
-            .subtree(top[0])
-            .filter(|&n| tree.is_leaf(n))
-            .map(|n| weights[n.index()])
-            .sum();
+        let tv_share: f64 =
+            tree.subtree(top[0]).filter(|&n| tree.is_leaf(n)).map(|n| weights[n.index()]).sum();
         assert!((tv_share - 0.3959).abs() < 0.01, "TV share {tv_share}");
         // TV outweighs Remote Control by the Table-I ratio.
-        let rc_share: f64 = tree
-            .subtree(top[6])
-            .filter(|&n| tree.is_leaf(n))
-            .map(|n| weights[n.index()])
-            .sum();
+        let rc_share: f64 =
+            tree.subtree(top[6]).filter(|&n| tree.is_leaf(n)).map(|n| weights[n.index()]).sum();
         assert!(tv_share / rc_share > 10.0);
     }
 

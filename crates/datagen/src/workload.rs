@@ -100,7 +100,8 @@ impl Workload {
     ///
     /// Panics if the tree has no leaves besides the root.
     pub fn new(tree: Tree, config: WorkloadConfig, seed: u64) -> Self {
-        let leaves: Vec<NodeId> = tree.iter().filter(|&n| tree.is_leaf(n) && n != tree.root()).collect();
+        let leaves: Vec<NodeId> =
+            tree.iter().filter(|&n| tree.is_leaf(n) && n != tree.root()).collect();
         assert!(!leaves.is_empty(), "workload needs at least one leaf category");
         let mut weights = zipf_weights(leaves.len(), config.zipf_exponent);
         // Shuffle deterministically so popularity is not correlated with
@@ -128,10 +129,8 @@ impl Workload {
     /// Panics if `mass` is shorter than the tree or carries no mass.
     pub fn with_popularity(tree: Tree, config: WorkloadConfig, mass: &[f64], seed: u64) -> Self {
         assert!(mass.len() >= tree.len(), "popularity must cover the tree");
-        let leaves: Vec<NodeId> = tree
-            .iter()
-            .filter(|&n| tree.is_leaf(n) && mass[n.index()] > 0.0)
-            .collect();
+        let leaves: Vec<NodeId> =
+            tree.iter().filter(|&n| tree.is_leaf(n) && mass[n.index()] > 0.0).collect();
         assert!(!leaves.is_empty(), "popularity mass is empty");
         let mut cumulative = Vec::with_capacity(leaves.len());
         let mut acc = 0.0;
@@ -196,11 +195,8 @@ impl Workload {
                 continue;
             }
             let extra = poisson(&mut rng, a.extra_per_unit);
-            let targets: Vec<NodeId> = self
-                .tree
-                .subtree(a.node)
-                .filter(|&d| self.tree.is_leaf(d))
-                .collect();
+            let targets: Vec<NodeId> =
+                self.tree.subtree(a.node).filter(|&d| self.tree.is_leaf(d)).collect();
             if targets.is_empty() {
                 counts[a.node.index()] += extra as f64;
             } else {
@@ -223,8 +219,7 @@ impl Workload {
     /// Timestamps are uniform within the unit.
     pub fn generate_records(&self, unit: u64) -> Vec<(NodeId, u64)> {
         let counts = self.generate_unit(unit);
-        let mut rng =
-            StdRng::seed_from_u64(self.seed.wrapping_mul(0xd134_2543_de82_ef95) ^ unit);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0xd134_2543_de82_ef95) ^ unit);
         let base = unit * self.config.timeunit_secs;
         let mut records = Vec::new();
         for n in self.tree.iter() {
@@ -243,11 +238,7 @@ mod tests {
     use tiresias_hierarchy::HierarchySpec;
 
     fn small_tree() -> Tree {
-        HierarchySpec::new("All")
-            .level("A", 4)
-            .level("B", 5)
-            .build()
-            .unwrap()
+        HierarchySpec::new("All").level("A", 4).level("B", 5).build().unwrap()
     }
 
     fn flat_config(rate: f64) -> WorkloadConfig {
@@ -280,9 +271,7 @@ mod tests {
     #[test]
     fn mean_count_tracks_rate() {
         let w = Workload::new(small_tree(), flat_config(50.0), 2);
-        let total: f64 = (0..200)
-            .map(|u| w.generate_unit(u).iter().sum::<f64>())
-            .sum();
+        let total: f64 = (0..200).map(|u| w.generate_unit(u).iter().sum::<f64>()).sum();
         let mean = total / 200.0;
         assert!((mean - 50.0).abs() < 3.0, "mean {mean}");
     }
@@ -306,12 +295,8 @@ mod tests {
         w.inject(InjectedAnomaly::new(target, 5, 2, 500.0));
         let normal = w.generate_unit(4);
         let burst = w.generate_unit(5);
-        let sum_under = |counts: &[f64]| -> f64 {
-            w.tree()
-                .subtree(target)
-                .map(|n| counts[n.index()])
-                .sum()
-        };
+        let sum_under =
+            |counts: &[f64]| -> f64 { w.tree().subtree(target).map(|n| counts[n.index()]).sum() };
         assert!(sum_under(&burst) > sum_under(&normal) + 300.0);
         // Outside the span the stream is unaffected in expectation.
         let after = w.generate_unit(7);

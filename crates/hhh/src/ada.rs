@@ -7,7 +7,10 @@ use crate::config::HhhConfig;
 use crate::error::HhhError;
 use crate::memory::MemoryReport;
 use crate::model::Model;
-use crate::shhh::{aggregate_weights, compute_shhh, series_values};
+use crate::shhh::{
+    aggregate_weights, aggregate_weights_into, compute_shhh, compute_shhh_into, series_values,
+    ShhhResult,
+};
 use crate::split_rule::SplitStats;
 use crate::timings::StageTimings;
 
@@ -112,6 +115,10 @@ pub struct Ada {
     instances: u64,
     members: Vec<NodeId>,
     timings: StageTimings,
+    /// Recycled Definition-2 buffers for the per-unit sweep; pure
+    /// scratch, rebuilt every timeunit, so excluded from checkpoints.
+    #[serde(skip)]
+    scratch: ShhhResult,
 }
 
 impl Ada {
@@ -140,6 +147,7 @@ impl Ada {
             instances: 0,
             members: Vec::new(),
             timings: StageTimings::default(),
+            scratch: ShhhResult::default(),
         })
     }
 
@@ -167,33 +175,36 @@ impl Ada {
         if keep == 0 {
             return Ok(ada);
         }
-        // Older units may predate tree growth; pad them to the current
-        // tree size (absent nodes had zero counts).
-        let window: Vec<Vec<f64>> = history[history.len() - keep..]
-            .iter()
-            .map(|u| {
-                let mut padded = u.clone();
-                padded.resize(padded.len().max(tree.len()), 0.0);
-                padded
-            })
-            .collect();
+        let window = &history[history.len() - keep..];
+        // Older units may predate tree growth; one scratch buffer pads
+        // each unit to the current tree size as it is visited (absent
+        // nodes had zero counts) instead of cloning the whole window.
+        let mut padded = vec![0.0; tree.len()];
+        fn pad_into(padded: &mut [f64], unit: &[f64]) {
+            let n = unit.len().min(padded.len());
+            padded[..n].copy_from_slice(&unit[..n]);
+            for v in &mut padded[n..] {
+                *v = 0.0;
+            }
+        }
 
         // Membership from the newest unit (Definition 2).
-        let last = window.last().expect("window non-empty");
-        let shhh = compute_shhh(tree, last, ada.config.theta);
+        pad_into(&mut padded, window.last().expect("window non-empty"));
+        let shhh = compute_shhh(tree, &padded, ada.config.theta);
         ada.ishh = shhh.is_member.clone();
         ada.in_shhh = shhh.is_member.clone();
         ada.weight = shhh.modified;
         ada.members = shhh.members;
-        ada.agg = aggregate_weights(tree, last);
+        ada.agg = aggregate_weights(tree, &padded);
         ada.series_len = window.len();
         ada.instances = history.len() as u64;
         let start_unit = ada.instances - window.len() as u64;
 
         // Exact series reconstruction with membership held fixed.
         let mut histories: Vec<Vec<f64>> = vec![Vec::new(); tree.len()];
-        for unit in &window {
-            let values = series_values(tree, unit, &ada.in_shhh);
+        for unit in window {
+            pad_into(&mut padded, unit);
+            let values = series_values(tree, &padded, &ada.in_shhh);
             for &m in &ada.members {
                 histories[m.index()].push(values[m.index()]);
             }
@@ -209,8 +220,10 @@ impl Ada {
         }
 
         // Reference series and split statistics from the full window.
-        for unit in &window {
-            let agg = aggregate_weights(tree, unit);
+        let mut agg = Vec::new();
+        for unit in window {
+            pad_into(&mut padded, unit);
+            aggregate_weights_into(tree, &padded, &mut agg);
             ada.stats.record_unit(&agg, ada.config.stat_ewma_alpha);
             for n in tree.iter() {
                 let depth = tree.depth(n);
@@ -278,13 +291,17 @@ impl Ada {
         self.ensure_capacity(tree);
 
         // Initialisation (lines 6–12): washh ← membership, recompute
-        // aggregates and Definition-2 weights/flags for this unit.
+        // aggregates and Definition-2 weights/flags for this unit. All
+        // three per-node buffers are recycled across timeunits, so the
+        // steady-state sweep performs no allocation.
         self.washh.copy_from_slice(&self.in_shhh);
         self.tosplit.iter_mut().for_each(|b| *b = false);
-        self.agg = aggregate_weights(tree, direct);
-        let shhh = compute_shhh(tree, direct, self.config.theta);
-        self.ishh = shhh.is_member;
-        self.weight = shhh.modified;
+        aggregate_weights_into(tree, direct, &mut self.agg);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        compute_shhh_into(tree, direct, self.config.theta, &mut scratch);
+        std::mem::swap(&mut self.ishh, &mut scratch.is_member);
+        std::mem::swap(&mut self.weight, &mut scratch.modified);
+        self.scratch = scratch;
 
         // SHHH and series adaptation (lines 13–25).
         // Mark: a node that is (or passes through) a new heavy hitter
@@ -333,9 +350,8 @@ impl Ada {
         for n in tree.level_order() {
             let i = n.index();
             if self.ishh[i] && !self.in_shhh[i] {
-                let series = self
-                    .reference_correction(tree, n)
-                    .unwrap_or_else(|| self.zero_series());
+                let series =
+                    self.reference_correction(tree, n).unwrap_or_else(|| self.zero_series());
                 self.series[i] = Some(series);
                 self.in_shhh[i] = true;
             } else if !self.ishh[i] && self.in_shhh[i] && tree.parent(n).is_some() {
@@ -352,7 +368,10 @@ impl Ada {
             "SHHH membership diverged from Definition 2"
         );
 
-        self.members = tree.level_order().filter(|n| self.in_shhh[n.index()]).collect();
+        let mut members = std::mem::take(&mut self.members);
+        members.clear();
+        members.extend(tree.level_order().filter(|n| self.in_shhh[n.index()]));
+        self.members = members;
 
         // Time series update (lines 26–29): constant-time appends.
         for &n in &self.members {
@@ -371,9 +390,7 @@ impl Ada {
                     let agg = self.agg[n.index()];
                     let len = self.series_len;
                     self.ref_actual[n.index()]
-                        .get_or_insert_with(|| {
-                            Series::from_values(cap, &vec![0.0; len])
-                        })
+                        .get_or_insert_with(|| Series::from_values(cap, &vec![0.0; len]))
                         .push(agg);
                 }
             }
@@ -389,30 +406,28 @@ impl Ada {
     /// `n` to those children. Reference series override the apportioned
     /// copy where available.
     fn split(&mut self, tree: &Tree, n: NodeId) {
-        let children: Vec<NodeId> = tree
-            .children(n)
-            .iter()
-            .copied()
-            .filter(|c| !self.in_shhh[c.index()])
-            .collect();
+        let children: Vec<NodeId> =
+            tree.children(n).iter().copied().filter(|c| !self.in_shhh[c.index()]).collect();
         if children.is_empty() {
             return;
         }
         // Guard (Fig. 7 line 2): only split when a genuine heavy hitter
         // is hiding below — checked on aggregates so hidden hitters
         // deeper than one level still trigger the cascade.
-        if !children
-            .iter()
-            .any(|c| self.agg[c.index()] >= self.config.theta)
-        {
+        if !children.iter().any(|c| self.agg[c.index()] >= self.config.theta) {
             return;
         }
         let ratios = self.stats.ratios(self.config.split_rule, &children);
-        let parent_series = self.series[n.index()].take();
-        for (&c, &ratio) in children.iter().zip(ratios.iter()) {
-            let inherited = match &parent_series {
-                Some(ps) => {
-                    let mut s = ps.clone();
+        let mut parent_series = self.series[n.index()].take();
+        let last = children.len() - 1;
+        for (k, (&c, &ratio)) in children.iter().zip(ratios.iter()).enumerate() {
+            // The last child takes the parent's series by value; earlier
+            // children clone it. One clone per extra child is inherent
+            // (each inherits its own scaled copy), but the final
+            // padding copy of the seed implementation is gone.
+            let taken = if k == last { parent_series.take() } else { parent_series.clone() };
+            let inherited = match taken {
+                Some(mut s) => {
                     s.actual.scale(ratio);
                     s.forecast.scale(ratio);
                     s.model.scale(ratio);
@@ -422,9 +437,7 @@ impl Ada {
                 // ever joined SHHH) hands down zeros.
                 None => self.zero_series(),
             };
-            let series = self
-                .reference_correction(tree, c)
-                .unwrap_or(inherited);
+            let series = self.reference_correction(tree, c).unwrap_or(inherited);
             self.series[c.index()] = Some(series);
             self.in_shhh[c.index()] = true;
         }
@@ -450,8 +463,7 @@ impl Ada {
             }
         }
         let start = self.instances - self.series_len as u64;
-        let (model, forecasts) =
-            Model::replay(&self.config.model, &corrected, start).ok()?;
+        let (model, forecasts) = Model::replay(&self.config.model, &corrected, start).ok()?;
         Some(NodeSeries {
             actual: Series::from_values(self.config.ell, &corrected),
             forecast: Series::from_values(self.config.ell, &forecasts),
@@ -487,9 +499,7 @@ impl Ada {
                 acc.forecast
                     .add_assign_series(&cs.forecast)
                     .expect("live series share one aligned length");
-                acc.model
-                    .merge(&cs.model)
-                    .expect("models share one spec and phase");
+                acc.model.merge(&cs.model).expect("models share one spec and phase");
             }
             self.in_shhh[c.index()] = false;
         }
@@ -576,9 +586,7 @@ mod tests {
     use crate::split_rule::SplitRule;
 
     fn cfg(theta: f64, ell: usize) -> HhhConfig {
-        HhhConfig::new(theta, ell)
-            .with_model(ModelSpec::Ewma { alpha: 0.5 })
-            .with_ref_levels(0)
+        HhhConfig::new(theta, ell).with_model(ModelSpec::Ewma { alpha: 0.5 }).with_ref_levels(0)
     }
 
     /// root → {a → {x, y}, b}
@@ -728,9 +736,8 @@ mod tests {
     fn with_history_reconstructs_exact_series() {
         let t = tree();
         let x = t.find(&["a", "x"]).unwrap();
-        let history: Vec<Vec<f64>> = (0..6)
-            .map(|i| unit(&t, &[(&["a", "x"], 10.0 + i as f64)]))
-            .collect();
+        let history: Vec<Vec<f64>> =
+            (0..6).map(|i| unit(&t, &[(&["a", "x"], 10.0 + i as f64)])).collect();
         let ada = Ada::with_history(cfg(5.0, 8), &t, &history).unwrap();
         let view = ada.view(x).unwrap();
         let vals: Vec<f64> = view.actual.iter().collect();
@@ -771,7 +778,10 @@ mod tests {
         // Phase 1: diffuse mass — only root is a member; `a`'s true
         // aggregate history is 9, 9, ...
         for _ in 0..5 {
-            ada.push_timeunit(&t, &unit(&t, &[(&["a", "x"], 5.0), (&["a", "y"], 4.0), (&["b"], 3.0)]));
+            ada.push_timeunit(
+                &t,
+                &unit(&t, &[(&["a", "x"], 5.0), (&["a", "y"], 4.0), (&["b"], 3.0)]),
+            );
         }
         assert!(ada.is_heavy_hitter(t.root()));
         // Phase 2: `a` spikes (spread so no single child is heavy); the
@@ -884,9 +894,6 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        assert!(matches!(
-            Ada::new(HhhConfig::new(-1.0, 8)),
-            Err(HhhError::InvalidConfig(_))
-        ));
+        assert!(matches!(Ada::new(HhhConfig::new(-1.0, 8)), Err(HhhError::InvalidConfig(_))));
     }
 }

@@ -72,17 +72,14 @@ impl HhhConfig {
     ///
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.theta > 0.0) {
+        if self.theta.is_nan() || self.theta <= 0.0 {
             return Err(format!("theta must be positive, got {}", self.theta));
         }
         if self.ell == 0 {
             return Err("ell (window length) must be positive".into());
         }
         if !(self.stat_ewma_alpha > 0.0 && self.stat_ewma_alpha <= 1.0) {
-            return Err(format!(
-                "stat_ewma_alpha must be in (0, 1], got {}",
-                self.stat_ewma_alpha
-            ));
+            return Err(format!("stat_ewma_alpha must be in (0, 1], got {}", self.stat_ewma_alpha));
         }
         Ok(())
     }

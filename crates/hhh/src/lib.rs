@@ -51,8 +51,8 @@
 #![warn(missing_docs)]
 
 mod ada;
-mod error;
 mod config;
+mod error;
 mod memory;
 mod model;
 mod multiscale;
@@ -62,12 +62,15 @@ mod sta;
 mod timings;
 
 pub use ada::{Ada, HeavyHitterView};
-pub use error::HhhError;
 pub use config::HhhConfig;
+pub use error::HhhError;
 pub use memory::MemoryReport;
 pub use model::{Model, ModelSpec};
 pub use multiscale::{MultiScaleAda, MultiScaleConfig};
-pub use shhh::{aggregate_weights, compute_shhh, series_values, ShhhResult};
+pub use shhh::{
+    aggregate_weights, aggregate_weights_into, compute_shhh, compute_shhh_into, series_values,
+    ShhhResult,
+};
 pub use split_rule::{SplitRule, SplitStats};
 pub use sta::Sta;
 pub use timings::StageTimings;

@@ -128,8 +128,7 @@ impl Model {
         Ok(match spec {
             ModelSpec::Ewma { alpha } => Model::Ewma(Ewma::with_initial(*alpha, 0.0)?),
             ModelSpec::HoltWinters { alpha, beta, gamma, season } => {
-                let mut hw =
-                    HoltWinters::new(*alpha, *beta, *gamma, 0.0, 0.0, vec![0.0; *season])?;
+                let mut hw = HoltWinters::new(*alpha, *beta, *gamma, 0.0, 0.0, vec![0.0; *season])?;
                 hw.set_phase((start_unit % *season as u64) as usize)?;
                 Model::HoltWinters(hw)
             }
@@ -184,9 +183,7 @@ impl Model {
             (Model::Ewma(a), Model::Ewma(b)) => a.merge(b),
             (Model::HoltWinters(a), Model::HoltWinters(b)) => a.merge(b),
             (Model::MultiSeasonal(a), Model::MultiSeasonal(b)) => a.merge(b),
-            _ => Err(TimeSeriesError::IncompatibleForecasters(
-                "model variants differ".into(),
-            )),
+            _ => Err(TimeSeriesError::IncompatibleForecasters("model variants differ".into())),
         }
     }
 }

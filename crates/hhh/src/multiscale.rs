@@ -80,15 +80,8 @@ impl MultiScaleAda {
         if eta == 0 {
             return Err(HhhError::InvalidConfig("eta must be positive".into()));
         }
-        let trackers = (0..eta)
-            .map(|_| Ada::new(config.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(MultiScaleAda {
-            lambda,
-            trackers,
-            pending: vec![(Vec::new(), 0); eta],
-            base_units: 0,
-        })
+        let trackers = (0..eta).map(|_| Ada::new(config.clone())).collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiScaleAda { lambda, trackers, pending: vec![(Vec::new(), 0); eta], base_units: 0 })
     }
 
     /// Geometric ratio λ.

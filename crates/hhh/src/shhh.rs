@@ -2,7 +2,11 @@ use tiresias_hierarchy::{NodeId, Tree};
 
 /// Result of a succinct hierarchical heavy hitter computation
 /// (Definition 2 of the paper).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Also serves as the reusable scratch of [`compute_shhh_into`]: the
+/// per-unit trackers keep one instance alive and recycle its three
+/// buffers every timeunit instead of reallocating them.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShhhResult {
     /// The SHHH set, in bottom-up discovery order.
     pub members: Vec<NodeId>,
@@ -27,27 +31,37 @@ pub struct ShhhResult {
 ///
 /// Panics if `direct.len() < tree.len()`.
 pub fn compute_shhh(tree: &Tree, direct: &[f64], theta: f64) -> ShhhResult {
-    assert!(
-        direct.len() >= tree.len(),
-        "direct weights must cover every node of the tree"
-    );
-    let mut modified = vec![0.0; tree.len()];
-    let mut is_member = vec![false; tree.len()];
-    let mut members = Vec::new();
+    let mut out = ShhhResult::default();
+    compute_shhh_into(tree, direct, theta, &mut out);
+    out
+}
+
+/// [`compute_shhh`] into a caller-owned buffer, allocation-free once
+/// the buffers have grown to the tree's size.
+///
+/// # Panics
+///
+/// Panics if `direct.len() < tree.len()`.
+pub fn compute_shhh_into(tree: &Tree, direct: &[f64], theta: f64, out: &mut ShhhResult) {
+    assert!(direct.len() >= tree.len(), "direct weights must cover every node of the tree");
+    out.members.clear();
+    out.is_member.clear();
+    out.is_member.resize(tree.len(), false);
+    out.modified.clear();
+    out.modified.resize(tree.len(), 0.0);
     for n in tree.rev_level_order() {
         let mut w = direct[n.index()];
         for &c in tree.children(n) {
-            if !is_member[c.index()] {
-                w += modified[c.index()];
+            if !out.is_member[c.index()] {
+                w += out.modified[c.index()];
             }
         }
-        modified[n.index()] = w;
+        out.modified[n.index()] = w;
         if w >= theta {
-            is_member[n.index()] = true;
-            members.push(n);
+            out.is_member[n.index()] = true;
+            out.members.push(n);
         }
     }
-    ShhhResult { members, is_member, modified }
 }
 
 /// Computes the *original* (aggregate) weights `A_n`: each node's direct
@@ -57,17 +71,26 @@ pub fn compute_shhh(tree: &Tree, direct: &[f64], theta: f64) -> ShhhResult {
 ///
 /// Panics if `direct.len() < tree.len()`.
 pub fn aggregate_weights(tree: &Tree, direct: &[f64]) -> Vec<f64> {
-    assert!(
-        direct.len() >= tree.len(),
-        "direct weights must cover every node of the tree"
-    );
-    let mut agg = direct[..tree.len()].to_vec();
+    let mut agg = Vec::new();
+    aggregate_weights_into(tree, direct, &mut agg);
+    agg
+}
+
+/// [`aggregate_weights`] into a caller-owned buffer, allocation-free
+/// once the buffer has grown to the tree's size.
+///
+/// # Panics
+///
+/// Panics if `direct.len() < tree.len()`.
+pub fn aggregate_weights_into(tree: &Tree, direct: &[f64], agg: &mut Vec<f64>) {
+    assert!(direct.len() >= tree.len(), "direct weights must cover every node of the tree");
+    agg.clear();
+    agg.extend_from_slice(&direct[..tree.len()]);
     for n in tree.rev_level_order() {
         if let Some(p) = tree.parent(n) {
             agg[p.index()] += agg[n.index()];
         }
     }
-    agg
 }
 
 /// Evaluates, for a **fixed** heavy-hitter membership, the time-series

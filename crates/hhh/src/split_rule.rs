@@ -123,10 +123,7 @@ impl SplitStats {
         if children.is_empty() {
             return Vec::new();
         }
-        let props: Vec<f64> = children
-            .iter()
-            .map(|&c| self.property(rule, c).max(0.0))
-            .collect();
+        let props: Vec<f64> = children.iter().map(|&c| self.property(rule, c).max(0.0)).collect();
         let sum: f64 = props.iter().sum();
         if sum <= 0.0 {
             return vec![1.0 / children.len() as f64; children.len()];

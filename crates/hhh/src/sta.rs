@@ -409,9 +409,6 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        assert!(matches!(
-            Sta::new(HhhConfig::new(0.0, 8)),
-            Err(HhhError::InvalidConfig(_))
-        ));
+        assert!(matches!(Sta::new(HhhConfig::new(0.0, 8)), Err(HhhError::InvalidConfig(_))));
     }
 }

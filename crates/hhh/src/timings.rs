@@ -69,10 +69,8 @@ mod tests {
     #[test]
     fn accumulate_adds_stagewise() {
         let mut a = StageTimings::default();
-        let b = StageTimings {
-            reading_traces: Duration::from_millis(5),
-            ..StageTimings::default()
-        };
+        let b =
+            StageTimings { reading_traces: Duration::from_millis(5), ..StageTimings::default() };
         a.accumulate(&b);
         a.accumulate(&b);
         assert_eq!(a.reading_traces, Duration::from_millis(10));

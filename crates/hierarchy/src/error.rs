@@ -24,7 +24,9 @@ impl fmt::Display for HierarchyError {
         match self {
             HierarchyError::UnknownPath(p) => write!(f, "unknown category path `{p}`"),
             HierarchyError::EmptyLabel => write!(f, "category labels must be non-empty"),
-            HierarchyError::EmptySpec => write!(f, "hierarchy spec must declare at least one level"),
+            HierarchyError::EmptySpec => {
+                write!(f, "hierarchy spec must declare at least one level")
+            }
             HierarchyError::ZeroDegree { level } => {
                 write!(f, "level {level} declares a fan-out of zero")
             }

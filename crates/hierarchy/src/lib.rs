@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fx;
 mod path;
 mod render;
 mod spec;
@@ -43,9 +44,10 @@ mod tree;
 mod weights;
 
 pub use error::HierarchyError;
+pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
 pub use path::CategoryPath;
 pub use render::{render_ascii, render_dot};
 pub use spec::{HierarchySpec, LevelSpec};
 pub use traversal::{LevelOrder, RevLevelOrder, Subtree};
-pub use tree::{NodeId, Tree};
+pub use tree::{LabelId, NodeId, Tree};
 pub use weights::WeightMap;

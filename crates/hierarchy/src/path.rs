@@ -41,11 +41,7 @@ impl CategoryPath {
         S: Into<String>,
     {
         CategoryPath {
-            labels: labels
-                .into_iter()
-                .map(Into::into)
-                .filter(|s: &String| !s.is_empty())
-                .collect(),
+            labels: labels.into_iter().map(Into::into).filter(|s: &String| !s.is_empty()).collect(),
         }
     }
 
@@ -74,9 +70,7 @@ impl CategoryPath {
         if self.labels.is_empty() {
             None
         } else {
-            Some(CategoryPath {
-                labels: self.labels[..self.labels.len() - 1].to_vec(),
-            })
+            Some(CategoryPath { labels: self.labels[..self.labels.len() - 1].to_vec() })
         }
     }
 
@@ -91,9 +85,7 @@ impl CategoryPath {
     ///
     /// Truncating deeper than the path itself returns the whole path.
     pub fn truncate(&self, depth: usize) -> CategoryPath {
-        CategoryPath {
-            labels: self.labels[..depth.min(self.labels.len())].to_vec(),
-        }
+        CategoryPath { labels: self.labels[..depth.min(self.labels.len())].to_vec() }
     }
 
     /// `true` iff `self` is equal to `other` or an ancestor of it.

@@ -144,9 +144,7 @@ mod tests {
     fn ascii_annotations_appear() {
         let t = sample();
         let a = t.find(&["a"]).unwrap();
-        let out = render_ascii(&t, t.root(), usize::MAX, |n| {
-            (n == a).then(|| "w=42".to_string())
-        });
+        let out = render_ascii(&t, t.root(), usize::MAX, |n| (n == a).then(|| "w=42".to_string()));
         assert!(out.contains("a [w=42]"));
     }
 

@@ -144,19 +144,13 @@ mod tests {
 
     #[test]
     fn empty_spec_is_rejected() {
-        assert_eq!(
-            HierarchySpec::new("All").build().unwrap_err(),
-            HierarchyError::EmptySpec
-        );
+        assert_eq!(HierarchySpec::new("All").build().unwrap_err(), HierarchyError::EmptySpec);
     }
 
     #[test]
     fn zero_degree_is_rejected() {
         let spec = HierarchySpec::new("All").level("A", 2).level("B", 0);
-        assert_eq!(
-            spec.build().unwrap_err(),
-            HierarchyError::ZeroDegree { level: 2 }
-        );
+        assert_eq!(spec.build().unwrap_err(), HierarchyError::ZeroDegree { level: 2 });
     }
 
     #[test]

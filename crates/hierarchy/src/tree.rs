@@ -3,6 +3,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fx::FxBuildHasher;
 use crate::path::CategoryPath;
 use crate::traversal::{LevelOrder, RevLevelOrder, Subtree};
 
@@ -32,9 +33,30 @@ impl fmt::Display for NodeId {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Identifier of an interned label string in a [`Tree`].
+///
+/// Many nodes share the same label ("DSLAM-2" appears under every CO),
+/// so labels are stored once and nodes refer to them by id. Resolving a
+/// `&str` path against a warm tree therefore needs no allocation: each
+/// segment maps to a `LabelId`, and the `(parent, label)` child lookup
+/// is an integer-pair probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelId(u32);
+
+impl LabelId {
+    /// The dense index of this label in the tree's interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        LabelId(u32::try_from(index).expect("more than u32::MAX distinct labels"))
+    }
+}
+
+#[derive(Debug, Clone)]
 struct NodeData {
-    label: String,
+    label: LabelId,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     depth: usize,
@@ -43,10 +65,17 @@ struct NodeData {
 /// An arena-allocated additive hierarchy.
 ///
 /// The tree always has a root (depth 0). Nodes are created by
-/// [`Tree::insert_path`] and never removed; all structural queries are
-/// O(1). In the paper's terminology this is the *classification tree* of
-/// Fig. 3(c): each category of the operational data maps bijectively to a
-/// node of this tree.
+/// [`Tree::insert_path`] (or the allocation-free [`Tree::insert_str`])
+/// and never removed; all structural queries are O(1). In the paper's
+/// terminology this is the *classification tree* of Fig. 3(c): each
+/// category of the operational data maps bijectively to a node of this
+/// tree.
+///
+/// Internally, label strings are interned once as `Box<str>` and nodes
+/// store [`LabelId`]s; the `(parent, label)` child index is keyed by
+/// `(NodeId, LabelId)` under an Fx-style hasher (see [`crate::fx`]).
+/// Resolving an existing path — the ingest hot path of the detector —
+/// performs no heap allocation.
 ///
 /// # Example
 ///
@@ -58,63 +87,119 @@ struct NodeData {
 /// assert_eq!(t.label(co), "CO-9");
 /// assert_eq!(t.depth(co), 3);
 /// assert_eq!(t.children(t.root()).len(), 1);
+/// // The `/`-separated fast path resolves the same node, allocation-free.
+/// assert_eq!(t.resolve_str("VHO-1/IO-2/CO-9"), Some(co));
 /// ```
 ///
 /// Serialisation uses a compact representation holding only the node
-/// arena; the path-resolution index and level grouping are rebuilt on
-/// deserialisation (they are pure functions of the arena), keeping the
-/// format free of non-string map keys so JSON works.
+/// arena (label text + parent id per node); the interner, child index
+/// and level grouping are rebuilt on deserialisation (they are pure
+/// functions of the arena), keeping the format free of non-string map
+/// keys so JSON works. Malformed input (no root, dangling or
+/// out-of-order parent ids) is rejected as a deserialisation error.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "TreeRepr", into = "TreeRepr")]
+#[serde(try_from = "TreeRepr", into = "TreeRepr")]
 pub struct Tree {
     nodes: Vec<NodeData>,
+    /// Interned label text, indexed by [`LabelId::index`].
+    labels: Vec<Box<str>>,
+    /// label text → id for zero-allocation `&str` lookups.
+    label_ids: HashMap<Box<str>, LabelId, FxBuildHasher>,
     /// (parent, label) → child lookup for path resolution.
-    child_index: HashMap<(NodeId, String), NodeId>,
+    child_index: HashMap<(NodeId, LabelId), NodeId, FxBuildHasher>,
+    /// Full-path memo for [`Tree::insert_str`]: collapses a warm
+    /// resolve to a single hash probe. Keys are the literal spellings
+    /// seen (so `"a/b"` and `"a//b"` are distinct entries for the same
+    /// node); entries are never invalidated because nodes are never
+    /// removed or renamed. Rebuilt lazily after deserialisation.
+    path_memo: HashMap<Box<str>, NodeId, FxBuildHasher>,
     /// Node ids grouped by depth; `by_depth[0] == [root]`.
     by_depth: Vec<Vec<NodeId>>,
+}
+
+/// One node of the serialised arena: label text plus parent id.
+/// Children lists, depths, the interner and the child index are all
+/// derivable, so they are not stored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ReprNode {
+    label: String,
+    parent: Option<NodeId>,
 }
 
 /// Serialised form of a [`Tree`]: the node arena only.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TreeRepr {
-    nodes: Vec<NodeData>,
+    nodes: Vec<ReprNode>,
 }
 
 impl From<Tree> for TreeRepr {
     fn from(t: Tree) -> Self {
-        TreeRepr { nodes: t.nodes }
+        TreeRepr {
+            nodes: t
+                .nodes
+                .iter()
+                .map(|n| ReprNode {
+                    label: t.labels[n.label.index()].to_string(),
+                    parent: n.parent,
+                })
+                .collect(),
+        }
     }
 }
 
-impl From<TreeRepr> for Tree {
-    fn from(r: TreeRepr) -> Self {
-        let mut child_index = HashMap::new();
-        let mut by_depth: Vec<Vec<NodeId>> = Vec::new();
-        for (i, n) in r.nodes.iter().enumerate() {
-            let id = NodeId::from_index(i);
-            if let Some(p) = n.parent {
-                child_index.insert((p, n.label.clone()), id);
+impl TryFrom<TreeRepr> for Tree {
+    type Error = String;
+
+    fn try_from(r: TreeRepr) -> Result<Self, String> {
+        let mut nodes = r.nodes.into_iter();
+        let Some(root) = nodes.next() else {
+            return Err("serialised tree has no root node".to_string());
+        };
+        let mut t = Tree::new(root.label);
+        // Arena order puts parents before children, so a single pass
+        // rebuilds every derived structure — enforced here so corrupt
+        // input surfaces as an error instead of a panic.
+        for (offset, n) in nodes.enumerate() {
+            let index = offset + 1;
+            let Some(parent) = n.parent else {
+                return Err(format!("serialised node {index} has no parent"));
+            };
+            if parent.index() >= t.len() {
+                return Err(format!(
+                    "serialised node {index} names parent {} outside the preceding arena",
+                    parent.index()
+                ));
             }
-            if by_depth.len() <= n.depth {
-                by_depth.resize_with(n.depth + 1, Vec::new);
+            let id = t.insert_child(parent, &n.label);
+            if id.index() != index {
+                return Err(format!(
+                    "serialised node {index} duplicates sibling label `{}` under parent {}",
+                    n.label,
+                    parent.index()
+                ));
             }
-            by_depth[n.depth].push(id);
         }
-        Tree { nodes: r.nodes, child_index, by_depth }
+        Ok(t)
     }
 }
 
 impl Tree {
     /// Creates a tree containing only a root with the given label.
     pub fn new(root_label: impl Into<String>) -> Self {
+        let root_label: Box<str> = root_label.into().into_boxed_str();
+        let mut label_ids: HashMap<Box<str>, LabelId, FxBuildHasher> = HashMap::default();
+        label_ids.insert(root_label.clone(), LabelId(0));
         Tree {
             nodes: vec![NodeData {
-                label: root_label.into(),
+                label: LabelId(0),
                 parent: None,
                 children: Vec::new(),
                 depth: 0,
             }],
-            child_index: HashMap::new(),
+            labels: vec![root_label],
+            label_ids,
+            child_index: HashMap::default(),
+            path_memo: HashMap::default(),
             by_depth: vec![vec![NodeId(0)]],
         }
     }
@@ -139,6 +224,47 @@ impl Tree {
         self.by_depth.len() - 1
     }
 
+    /// Number of distinct interned labels (including the root's).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The id of an already-interned label, without allocating.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// The text of an interned label.
+    pub fn label_text(&self, id: LabelId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Interns a label, allocating only on first sighting.
+    fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let id = LabelId::from_index(self.labels.len());
+        let boxed: Box<str> = label.into();
+        self.labels.push(boxed.clone());
+        self.label_ids.insert(boxed, id);
+        id
+    }
+
+    /// Appends a new node under `parent` with interned label `lid`.
+    fn add_node(&mut self, parent: NodeId, lid: LabelId) -> NodeId {
+        let depth = self.nodes[parent.index()].depth + 1;
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData { label: lid, parent: Some(parent), children: Vec::new(), depth });
+        self.nodes[parent.index()].children.push(id);
+        self.child_index.insert((parent, lid), id);
+        if self.by_depth.len() <= depth {
+            self.by_depth.push(Vec::new());
+        }
+        self.by_depth[depth].push(id);
+        id
+    }
+
     /// Inserts (or finds) the node named by `path`, creating all missing
     /// intermediate nodes, and returns its id.
     pub fn insert_path<S: AsRef<str>>(&mut self, path: &[S]) -> NodeId {
@@ -158,33 +284,83 @@ impl Tree {
         cur
     }
 
+    /// Whether the full-path memo may take one more entry. Spellings
+    /// are memoised only up to a multiple of the node count, so a feed
+    /// that decorates paths with ever-new spellings ("a/b", "a//b",
+    /// "a/b/", …) cannot grow memory beyond O(tree): past the cap new
+    /// spellings just take the per-segment walk.
+    fn memo_has_room(&self) -> bool {
+        self.path_memo.len() < self.nodes.len().saturating_mul(4).max(1024)
+    }
+
+    /// Inserts (or finds) the node named by a `/`-separated path,
+    /// skipping empty segments exactly like [`CategoryPath`] parsing —
+    /// the zero-allocation ingest fast path.
+    ///
+    /// A path spelling seen before costs a single hash probe (the
+    /// full-path memo); a new spelling walks the per-segment interner
+    /// and child index, then memoises (bounded — see
+    /// [`Tree::memo_has_room`]). Only a never-before-seen spelling
+    /// allocates (its memo key).
+    ///
+    /// Like the rest of the tree's indexes, the memo hashes with the
+    /// non-DoS-resistant Fx hasher; feeds of fully adversarial
+    /// category strings should be sanitised upstream.
+    pub fn insert_str(&mut self, path: &str) -> NodeId {
+        if let Some(&id) = self.path_memo.get(path) {
+            return id;
+        }
+        let mut cur = self.root();
+        for label in path.split('/') {
+            if label.is_empty() {
+                continue;
+            }
+            cur = self.insert_child(cur, label);
+        }
+        if self.memo_has_room() {
+            self.path_memo.insert(path.into(), cur);
+        }
+        cur
+    }
+
+    /// Resolves a `/`-separated path to a node id without creating
+    /// nodes and without allocating. Empty segments are skipped, so
+    /// `"a//b/"` resolves like `"a/b"`. Spellings already memoised by
+    /// [`Tree::insert_str`] resolve with a single hash probe.
+    pub fn resolve_str(&self, path: &str) -> Option<NodeId> {
+        if let Some(&id) = self.path_memo.get(path) {
+            return Some(id);
+        }
+        let mut cur = self.root();
+        for label in path.split('/') {
+            if label.is_empty() {
+                continue;
+            }
+            let lid = self.label_id(label)?;
+            cur = *self.child_index.get(&(cur, lid))?;
+        }
+        Some(cur)
+    }
+
     /// Inserts (or finds) a direct child of `parent` with the given label.
     pub fn insert_child(&mut self, parent: NodeId, label: &str) -> NodeId {
-        if let Some(&c) = self.child_index.get(&(parent, label.to_string())) {
-            return c;
+        if let Some(lid) = self.label_id(label) {
+            // Hit path: no allocation.
+            if let Some(&c) = self.child_index.get(&(parent, lid)) {
+                return c;
+            }
+            return self.add_node(parent, lid);
         }
-        let depth = self.nodes[parent.index()].depth + 1;
-        let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(NodeData {
-            label: label.to_string(),
-            parent: Some(parent),
-            children: Vec::new(),
-            depth,
-        });
-        self.nodes[parent.index()].children.push(id);
-        self.child_index.insert((parent, label.to_string()), id);
-        if self.by_depth.len() <= depth {
-            self.by_depth.push(Vec::new());
-        }
-        self.by_depth[depth].push(id);
-        id
+        let lid = self.intern(label);
+        self.add_node(parent, lid)
     }
 
     /// Resolves a path to a node id without creating nodes.
     pub fn find<S: AsRef<str>>(&self, path: &[S]) -> Option<NodeId> {
         let mut cur = self.root();
         for label in path {
-            cur = *self.child_index.get(&(cur, label.as_ref().to_string()))?;
+            let lid = self.label_id(label.as_ref())?;
+            cur = *self.child_index.get(&(cur, lid))?;
         }
         Some(cur)
     }
@@ -200,7 +376,7 @@ impl Tree {
     ///
     /// Panics if `id` was issued by a different tree and is out of range.
     pub fn label(&self, id: NodeId) -> &str {
-        &self.nodes[id.index()].label
+        &self.labels[self.nodes[id.index()].label.index()]
     }
 
     /// The parent of a node, or `None` for the root.
@@ -361,6 +537,53 @@ mod tests {
     }
 
     #[test]
+    fn str_fast_paths_agree_with_path_apis() {
+        let mut t = sample();
+        let a = t.insert_str("TV/No Service/No Pic");
+        assert_eq!(t.find(&["TV", "No Service", "No Pic"]), Some(a));
+        assert_eq!(t.resolve_str("TV/No Service/No Pic"), Some(a));
+        // Empty segments are skipped like CategoryPath parsing.
+        assert_eq!(t.insert_str("/TV//Pixelation/"), t.find(&["TV", "Pixelation"]).unwrap());
+        assert_eq!(t.resolve_str("//"), Some(t.root()));
+        assert_eq!(t.resolve_str("TV/Missing"), None);
+        // New nodes via the fast path are indistinguishable.
+        let len_before = t.len();
+        let b = t.insert_str("Phone/Dead Line");
+        assert_eq!(t.len(), len_before + 2);
+        assert_eq!(t.path_of(b).to_string(), "Phone/Dead Line");
+        assert_eq!(t.resolve_str("Phone/Dead Line"), Some(b));
+    }
+
+    #[test]
+    fn path_memo_growth_is_bounded_by_tree_size() {
+        let mut t = Tree::new("root");
+        let leaf = t.insert_path(&["a", "b"]);
+        // Endless distinct spellings of the same node must not grow
+        // memory without bound: past the cap they still resolve
+        // correctly via the segment walk.
+        for i in 0..10_000 {
+            let spelling = format!("a{}b", "/".repeat(i + 1));
+            assert_eq!(t.insert_str(&spelling), leaf, "spelling {i}");
+        }
+        assert!(t.path_memo.len() <= t.len() * 4 + 1024);
+        assert_eq!(t.len(), 3, "no phantom nodes created");
+    }
+
+    #[test]
+    fn labels_are_interned_once() {
+        let mut t = Tree::new("root");
+        // The same leaf label under many parents shares one LabelId.
+        for i in 0..50 {
+            t.insert_path(&[format!("co-{i}"), "dslam".to_string()]);
+        }
+        assert_eq!(t.len(), 101);
+        // root + 50 COs + 1 shared "dslam".
+        assert_eq!(t.label_count(), 52);
+        let lid = t.label_id("dslam").unwrap();
+        assert_eq!(t.label_text(lid), "dslam");
+    }
+
+    #[test]
     fn level_order_visits_every_node_once_by_depth() {
         let t = sample();
         let order: Vec<_> = t.level_order().collect();
@@ -432,6 +655,37 @@ mod tests {
         let pix = r.find(&["TV", "Pixelation"]).unwrap();
         assert_eq!(r.label(pix), "Pixelation");
         assert_eq!(r.nodes_at_depth(1).len(), t.nodes_at_depth(1).len());
+        // Node and label ids are preserved exactly.
+        for n in t.iter() {
+            assert_eq!(t.label(n), r.label(n));
+            assert_eq!(t.parent(n), r.parent(n));
+        }
+        assert_eq!(r.label_count(), t.label_count());
+    }
+
+    #[test]
+    fn malformed_serialised_trees_error_instead_of_panicking() {
+        // No root.
+        let err = serde_json::from_str::<Tree>(r#"{"nodes":[]}"#).unwrap_err();
+        assert!(err.to_string().contains("no root"), "{err}");
+        // Non-root node without a parent.
+        let err = serde_json::from_str::<Tree>(
+            r#"{"nodes":[{"label":"r","parent":null},{"label":"a","parent":null}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no parent"), "{err}");
+        // Parent id pointing past the preceding arena (corrupt order).
+        let err = serde_json::from_str::<Tree>(
+            r#"{"nodes":[{"label":"r","parent":null},{"label":"a","parent":7}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("outside the preceding arena"), "{err}");
+        // Duplicate sibling labels cannot round-trip to distinct nodes.
+        let err = serde_json::from_str::<Tree>(
+            r#"{"nodes":[{"label":"r","parent":null},{"label":"a","parent":0},{"label":"a","parent":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicates sibling label"), "{err}");
     }
 
     #[test]

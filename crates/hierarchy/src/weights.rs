@@ -100,10 +100,7 @@ impl WeightMap {
     /// Sum of leaf weights (equals the root weight after
     /// [`WeightMap::aggregate`]).
     pub fn leaf_total(&self, tree: &Tree) -> f64 {
-        tree.iter()
-            .filter(|&n| tree.is_leaf(n))
-            .map(|n| self.weights[n.index()])
-            .sum()
+        tree.iter().filter(|&n| tree.is_leaf(n)).map(|n| self.weights[n.index()]).sum()
     }
 
     /// Immutable view of the raw weight slots, indexed by

@@ -99,10 +99,7 @@ impl SpaceSaving {
             .map(|(k, _)| k)
             .expect("capacity > 0 implies non-empty at this point");
         let min = self.counters.remove(&min_key).expect("key just found");
-        self.counters.insert(
-            key,
-            TopEntry { key, count: min.count + count, error: min.count },
-        );
+        self.counters.insert(key, TopEntry { key, count: min.count + count, error: min.count });
     }
 
     /// The estimated count of `key`; keys not monitored report the
@@ -126,12 +123,8 @@ impl SpaceSaving {
     /// (`count − error`) reaches `threshold` — candidates that are
     /// certainly heavy.
     pub fn guaranteed_heavy(&self, threshold: u64) -> Vec<TopEntry> {
-        let mut out: Vec<TopEntry> = self
-            .counters
-            .values()
-            .filter(|e| e.lower_bound() >= threshold)
-            .copied()
-            .collect();
+        let mut out: Vec<TopEntry> =
+            self.counters.values().filter(|e| e.lower_bound() >= threshold).copied().collect();
         out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
         out
     }

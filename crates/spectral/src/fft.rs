@@ -88,10 +88,7 @@ pub fn fft(input: &[Complex]) -> Vec<Complex> {
 ///
 /// Panics if `spectrum.len()` is not a power of two.
 pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
-    assert!(
-        spectrum.len().is_power_of_two(),
-        "ifft requires a power-of-two-length spectrum"
-    );
+    assert!(spectrum.len().is_power_of_two(), "ifft requires a power-of-two-length spectrum");
     let mut buf = spectrum.to_vec();
     fft_in_place(&mut buf, true);
     buf
@@ -130,10 +127,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Complex, b: Complex, tol: f64) {
-        assert!(
-            (a - b).abs() < tol,
-            "expected {b}, got {a} (tol {tol})"
-        );
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
     }
 
     #[test]
@@ -148,9 +142,8 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let signal: Vec<Complex> = (0..16)
-            .map(|t| Complex::new((t as f64).sin(), (t as f64 * 0.7).cos()))
-            .collect();
+        let signal: Vec<Complex> =
+            (0..16).map(|t| Complex::new((t as f64).sin(), (t as f64 * 0.7).cos())).collect();
         let fast = fft(&signal);
         let n = signal.len();
         for (k, &z) in fast.iter().enumerate() {
@@ -165,9 +158,8 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let signal: Vec<Complex> = (0..32)
-            .map(|t| Complex::new((t as f64 * 0.3).sin(), 0.0))
-            .collect();
+        let signal: Vec<Complex> =
+            (0..32).map(|t| Complex::new((t as f64 * 0.3).sin(), 0.0)).collect();
         let back = ifft(&fft(&signal));
         for (a, b) in back.iter().zip(signal.iter()) {
             assert_close(*a, *b, 1e-10);
@@ -186,22 +178,19 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_conserved() {
-        let signal: Vec<Complex> = (0..64)
-            .map(|t| Complex::from_real(((t * t) % 17) as f64 / 17.0))
-            .collect();
+        let signal: Vec<Complex> =
+            (0..64).map(|t| Complex::from_real(((t * t) % 17) as f64 / 17.0)).collect();
         let spec = fft(&signal);
         let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
-        let freq_energy: f64 =
-            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 
     #[test]
     fn linearity_of_transform() {
         let a: Vec<Complex> = (0..16).map(|t| Complex::from_real(t as f64)).collect();
-        let b: Vec<Complex> = (0..16)
-            .map(|t| Complex::from_real(((t % 5) as f64).powi(2)))
-            .collect();
+        let b: Vec<Complex> =
+            (0..16).map(|t| Complex::from_real(((t % 5) as f64).powi(2))).collect();
         let sum: Vec<Complex> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
         let fa = fft(&a);
         let fb = fft(&b);

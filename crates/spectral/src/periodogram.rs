@@ -55,11 +55,8 @@ impl Periodogram {
     /// Computes the periodogram of `series` (mean-removed, zero-padded to
     /// a power of two, magnitudes normalised to max 1).
     pub fn compute(series: &[f64]) -> Self {
-        let mean = if series.is_empty() {
-            0.0
-        } else {
-            series.iter().sum::<f64>() / series.len() as f64
-        };
+        let mean =
+            if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
         let centered: Vec<f64> = series.iter().map(|x| x - mean).collect();
         let mut mags = fft_magnitudes(&centered);
         let max = mags.iter().skip(1).cloned().fold(0.0, f64::max);
@@ -68,7 +65,7 @@ impl Periodogram {
                 *m /= max;
             }
         }
-        let fft_len = crate::fft::next_power_of_two(series.len().max(1)) ;
+        let fft_len = crate::fft::next_power_of_two(series.len().max(1));
         Periodogram { magnitudes: mags, fft_len, series_len: series.len() }
     }
 
@@ -97,10 +94,7 @@ impl Periodogram {
     /// to derive the paper's ξ weight between the daily and weekly
     /// seasonal factors.
     pub fn magnitude_at_period(&self, period_units: f64) -> f64 {
-        self.magnitudes
-            .get(self.bin_of_period(period_units))
-            .copied()
-            .unwrap_or(0.0)
+        self.magnitudes.get(self.bin_of_period(period_units)).copied().unwrap_or(0.0)
     }
 
     /// The `n` strongest local maxima of the spectrum, strongest first.
@@ -126,10 +120,7 @@ impl Periodogram {
         // smear one physical peak over adjacent bins).
         let mut out: Vec<SpectralPeak> = Vec::new();
         for p in peaks {
-            if out
-                .iter()
-                .all(|q| (q.period_units / p.period_units).ln().abs() > 0.2)
-            {
+            if out.iter().all(|q| (q.period_units / p.period_units).ln().abs() > 0.2) {
                 out.push(p);
             }
             if out.len() == n {
@@ -145,9 +136,7 @@ mod tests {
     use super::*;
 
     fn sine(period: f64, amp: f64, len: usize) -> Vec<f64> {
-        (0..len)
-            .map(|t| amp * (t as f64 / period * std::f64::consts::TAU).sin())
-            .collect()
+        (0..len).map(|t| amp * (t as f64 / period * std::f64::consts::TAU).sin()).collect()
     }
 
     #[test]

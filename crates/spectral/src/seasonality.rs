@@ -69,9 +69,7 @@ impl SeasonalityAnalysis {
             .max()
             .unwrap_or(1)
             .min(24);
-        let energies = AtrousTransform::new(levels)
-            .decompose(series)
-            .detail_energies();
+        let energies = AtrousTransform::new(levels).decompose(series).detail_energies();
         let total_energy: f64 = energies.iter().sum();
 
         let magnitude_sum: f64 = peaks.iter().map(|p| p.magnitude).sum();
@@ -80,20 +78,12 @@ impl SeasonalityAnalysis {
             .map(|p| {
                 // A period of 2^j samples shows up in detail scale ≈ j.
                 let scale = (p.period_units.log2().round() as usize).saturating_sub(1);
-                let near: f64 = energies
-                    .iter()
-                    .skip(scale.saturating_sub(1))
-                    .take(3)
-                    .sum();
+                let near: f64 = energies.iter().skip(scale.saturating_sub(1)).take(3).sum();
                 let confirmed = total_energy > 0.0 && near / total_energy > 0.05;
                 DetectedSeason {
                     period_units: p.period_units,
                     magnitude: p.magnitude,
-                    weight: if magnitude_sum > 0.0 {
-                        p.magnitude / magnitude_sum
-                    } else {
-                        0.0
-                    },
+                    weight: if magnitude_sum > 0.0 { p.magnitude / magnitude_sum } else { 0.0 },
                     wavelet_confirmed: confirmed,
                 }
             })
@@ -134,8 +124,7 @@ mod tests {
         let tau = std::f64::consts::TAU;
         (0..len)
             .map(|t| {
-                50.0 + 25.0 * (t as f64 / 96.0 * tau).sin()
-                    + 8.0 * (t as f64 / 672.0 * tau).sin()
+                50.0 + 25.0 * (t as f64 / 96.0 * tau).sin() + 8.0 * (t as f64 / 672.0 * tau).sin()
             })
             .collect()
     }
@@ -143,11 +132,8 @@ mod tests {
     #[test]
     fn finds_daily_and_weekly_periods() {
         let analysis = SeasonalityAnalysis::analyze(&two_season_series(2688), 2);
-        let mut periods: Vec<u64> = analysis
-            .seasons()
-            .iter()
-            .map(|s| s.period_units.round() as u64)
-            .collect();
+        let mut periods: Vec<u64> =
+            analysis.seasons().iter().map(|s| s.period_units.round() as u64).collect();
         periods.sort();
         assert_eq!(periods.len(), 2);
         assert!((90..=102).contains(&periods[0]), "daily ≈ 96, got {}", periods[0]);
@@ -171,9 +157,8 @@ mod tests {
     #[test]
     fn single_season_has_unit_weight_and_no_xi() {
         let tau = std::f64::consts::TAU;
-        let series: Vec<f64> = (0..512)
-            .map(|t| 10.0 + 4.0 * (t as f64 / 32.0 * tau).sin())
-            .collect();
+        let series: Vec<f64> =
+            (0..512).map(|t| 10.0 + 4.0 * (t as f64 / 32.0 * tau).sin()).collect();
         let analysis = SeasonalityAnalysis::analyze(&series, 1);
         assert_eq!(analysis.seasons().len(), 1);
         assert!((analysis.seasons()[0].weight - 1.0).abs() < 1e-9);

@@ -23,10 +23,7 @@ impl WaveletDecomposition {
     /// The paper uses these energies to rank timescales by the strength
     /// of their fluctuations and confirm the FFT-detected seasonalities.
     pub fn detail_energies(&self) -> Vec<f64> {
-        self.details
-            .iter()
-            .map(|d| d.iter().map(|x| x * x).sum())
-            .collect()
+        self.details.iter().map(|d| d.iter().map(|x| x * x).sum()).collect()
     }
 
     /// Number of decomposition levels.
@@ -117,11 +114,7 @@ impl AtrousTransform {
         for j in 0..levels {
             let step = 1usize << j;
             let next = convolve_holes(&current, step);
-            let detail: Vec<f64> = current
-                .iter()
-                .zip(next.iter())
-                .map(|(c, n)| c - n)
-                .collect();
+            let detail: Vec<f64> = current.iter().zip(next.iter()).map(|(c, n)| c - n).collect();
             details.push(detail);
             approximations.push(next.clone());
             current = next;
@@ -181,9 +174,8 @@ mod tests {
 
     #[test]
     fn decomposition_is_additive() {
-        let signal: Vec<f64> = (0..128)
-            .map(|t| ((t * 13) % 29) as f64 + (t as f64 / 10.0).sin())
-            .collect();
+        let signal: Vec<f64> =
+            (0..128).map(|t| ((t * 13) % 29) as f64 + (t as f64 / 10.0).sin()).collect();
         let dec = AtrousTransform::new(5).decompose(&signal);
         let rec = dec.reconstruct();
         for (a, b) in rec.iter().zip(signal.iter()) {
@@ -194,12 +186,10 @@ mod tests {
     #[test]
     fn oscillation_energy_concentrates_at_matching_scale() {
         // Fast oscillation → energy in shallow scales; slow → deep scales.
-        let fast: Vec<f64> = (0..256)
-            .map(|t| (t as f64 / 4.0 * std::f64::consts::TAU).sin())
-            .collect();
-        let slow: Vec<f64> = (0..256)
-            .map(|t| (t as f64 / 64.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let fast: Vec<f64> =
+            (0..256).map(|t| (t as f64 / 4.0 * std::f64::consts::TAU).sin()).collect();
+        let slow: Vec<f64> =
+            (0..256).map(|t| (t as f64 / 64.0 * std::f64::consts::TAU).sin()).collect();
         let t = AtrousTransform::new(7);
         let ef = t.decompose(&fast).detail_energies();
         let es = t.decompose(&slow).detail_energies();
@@ -215,12 +205,8 @@ mod tests {
         signal[32] = 1.0;
         let dec = AtrousTransform::new(1).decompose(&signal);
         let approx = &dec.approximations[0];
-        let max_idx = approx
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            approx.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 32);
     }
 

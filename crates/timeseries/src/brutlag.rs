@@ -99,13 +99,19 @@ impl BrutlagBand {
         delta: f64,
         history: &[f64],
     ) -> Result<Self, TimeSeriesError> {
-        if !(delta > 0.0) {
+        if delta.is_nan() || delta <= 0.0 {
             return Err(TimeSeriesError::InvalidParameter(format!(
                 "band width delta must be positive, got {delta}"
             )));
         }
         // Replay a parallel model to collect per-phase residuals.
-        let mut model = HoltWinters::from_history(alpha, beta, gamma, season, &history[..2 * season.min(history.len() / 2)])?;
+        let mut model = HoltWinters::from_history(
+            alpha,
+            beta,
+            gamma,
+            season,
+            &history[..2 * season.min(history.len() / 2)],
+        )?;
         let mut deviation = vec![0.0f64; season];
         let mut seeded = vec![false; season];
         let mut phase = (2 * season) % season; // 0, kept for clarity
@@ -122,12 +128,8 @@ impl BrutlagBand {
             phase = (phase + 1) % season;
         }
         // Unseeded phases (short replay) fall back to the mean residual.
-        let seeded_vals: Vec<f64> = deviation
-            .iter()
-            .zip(&seeded)
-            .filter(|(_, &s)| s)
-            .map(|(&d, _)| d)
-            .collect();
+        let seeded_vals: Vec<f64> =
+            deviation.iter().zip(&seeded).filter(|(_, &s)| s).map(|(&d, _)| d).collect();
         let fallback = if seeded_vals.is_empty() {
             history.iter().sum::<f64>().abs() / history.len().max(1) as f64 * 0.1 + 1.0
         } else {
@@ -234,10 +236,7 @@ mod tests {
             .collect();
         let band = BrutlagBand::from_history(0.3, 0.0, 0.3, season, 2.0, &hist).unwrap();
         let d = band.deviations();
-        assert!(
-            d[0] > d[1] && d[0] > d[2] && d[0] > d[3],
-            "noisy phase deviation {d:?}"
-        );
+        assert!(d[0] > d[1] && d[0] > d[2] && d[0] > d[3], "noisy phase deviation {d:?}");
     }
 
     #[test]

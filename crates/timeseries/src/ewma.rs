@@ -194,10 +194,7 @@ mod tests {
     fn merge_rejects_different_alpha() {
         let mut a = Ewma::new(0.5).unwrap();
         let b = Ewma::new(0.4).unwrap();
-        assert!(matches!(
-            a.merge(&b),
-            Err(TimeSeriesError::IncompatibleForecasters(_))
-        ));
+        assert!(matches!(a.merge(&b), Err(TimeSeriesError::IncompatibleForecasters(_))));
     }
 
     #[test]
@@ -213,10 +210,7 @@ mod tests {
                 clean.observe(1.0);
                 let sim = (biased.forecast() - clean.forecast()).abs() / clean.forecast();
                 let closed = split_bias_relative_error(alpha, xi, clean.forecast(), k);
-                assert!(
-                    (sim - closed).abs() < 1e-9,
-                    "k={k} xi={xi}: sim={sim} closed={closed}"
-                );
+                assert!((sim - closed).abs() < 1e-9, "k={k} xi={xi}: sim={sim} closed={closed}");
             }
         }
     }

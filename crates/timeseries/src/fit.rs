@@ -94,9 +94,7 @@ pub fn fit_holt_winters(
     grid: &ParamGrid,
 ) -> Result<FitReport, TimeSeriesError> {
     if season == 0 {
-        return Err(TimeSeriesError::InvalidParameter(
-            "season length must be positive".into(),
-        ));
+        return Err(TimeSeriesError::InvalidParameter("season length must be positive".into()));
     }
     if grid.alphas.is_empty() || grid.betas.is_empty() || grid.gammas.is_empty() {
         return Err(TimeSeriesError::InvalidParameter(
@@ -105,10 +103,7 @@ pub fn fit_holt_winters(
     }
     let init = 2 * season;
     if series.len() <= init {
-        return Err(TimeSeriesError::InsufficientHistory {
-            needed: init + 1,
-            got: series.len(),
-        });
+        return Err(TimeSeriesError::InsufficientHistory { needed: init + 1, got: series.len() });
     }
     let mut best: Option<FitReport> = None;
     for &alpha in &grid.alphas {
@@ -123,7 +118,7 @@ pub fn fit_holt_winters(
                     hw.observe(actual);
                 }
                 let mse = sq / (series.len() - init) as f64;
-                if best.map_or(true, |b| mse < b.mse) {
+                if best.is_none_or(|b| mse < b.mse) {
                     best = Some(FitReport { params: HwParams::new(alpha, beta, gamma), mse });
                 }
             }
@@ -167,10 +162,7 @@ mod tests {
     #[test]
     fn insufficient_history_rejected() {
         let r = fit_holt_winters(&[1.0; 16], 8, &ParamGrid::default());
-        assert!(matches!(
-            r,
-            Err(TimeSeriesError::InsufficientHistory { needed: 17, got: 16 })
-        ));
+        assert!(matches!(r, Err(TimeSeriesError::InsufficientHistory { needed: 17, got: 16 })));
     }
 
     #[test]

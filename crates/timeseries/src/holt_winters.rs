@@ -136,9 +136,8 @@ impl HoltWinters {
         let mean2: f64 = second.iter().sum::<f64>() / season as f64;
         let level = (mean1 + mean2) / 2.0;
         let trend = (mean2 - mean1) / season as f64;
-        let seasonal: Vec<f64> = (0..season)
-            .map(|j| ((first[j] - level) + (second[j] - level)) / 2.0)
-            .collect();
+        let seasonal: Vec<f64> =
+            (0..season).map(|j| ((first[j] - level) + (second[j] - level)) / 2.0).collect();
         let mut hw = HoltWinters::new(alpha, beta, gamma, level, trend, seasonal)?;
         for &v in tail {
             hw.observe(v);
@@ -221,9 +220,7 @@ impl HoltWinters {
             || (b - other.beta).abs() > f64::EPSILON
             || (g - other.gamma).abs() > f64::EPSILON
         {
-            return Err(TimeSeriesError::IncompatibleForecasters(
-                "smoothing rates differ".into(),
-            ));
+            return Err(TimeSeriesError::IncompatibleForecasters("smoothing rates differ".into()));
         }
         Ok(())
     }
@@ -237,11 +234,9 @@ impl Forecaster for HoltWinters {
     fn observe(&mut self, actual: f64) {
         let s_old = self.seasonal[self.phase];
         let l_old = self.level;
-        self.level =
-            self.alpha * (actual - s_old) + (1.0 - self.alpha) * (l_old + self.trend);
+        self.level = self.alpha * (actual - s_old) + (1.0 - self.alpha) * (l_old + self.trend);
         self.trend = self.beta * (self.level - l_old) + (1.0 - self.beta) * self.trend;
-        self.seasonal[self.phase] =
-            self.gamma * (actual - self.level) + (1.0 - self.gamma) * s_old;
+        self.seasonal[self.phase] = self.gamma * (actual - self.level) + (1.0 - self.gamma) * s_old;
         self.phase = (self.phase + 1) % self.season;
     }
 }
@@ -477,8 +472,7 @@ impl Forecaster for MultiSeasonalHoltWinters {
     fn observe(&mut self, actual: f64) {
         let s_comb = self.combined_seasonal();
         let l_old = self.level;
-        self.level =
-            self.alpha * (actual - s_comb) + (1.0 - self.alpha) * (l_old + self.trend);
+        self.level = self.alpha * (actual - s_comb) + (1.0 - self.alpha) * (l_old + self.trend);
         self.trend = self.beta * (self.level - l_old) + (1.0 - self.beta) * self.trend;
         // Each factor absorbs the full residual at its own phase; the
         // factor weights keep the combination calibrated.
@@ -511,9 +505,7 @@ impl LinearForecaster for MultiSeasonalHoltWinters {
             || (self.beta - other.beta).abs() > f64::EPSILON
             || (self.gamma - other.gamma).abs() > f64::EPSILON
         {
-            return Err(TimeSeriesError::IncompatibleForecasters(
-                "smoothing rates differ".into(),
-            ));
+            return Err(TimeSeriesError::IncompatibleForecasters("smoothing rates differ".into()));
         }
         self.level += other.level;
         self.trend += other.trend;
@@ -531,9 +523,7 @@ mod tests {
     use super::*;
 
     fn periodic(season: usize, cycles: usize) -> Vec<f64> {
-        (0..season * cycles)
-            .map(|t| 10.0 + 5.0 * (t % season) as f64)
-            .collect()
+        (0..season * cycles).map(|t| 10.0 + 5.0 * (t % season) as f64).collect()
     }
 
     #[test]
@@ -555,10 +545,7 @@ mod tests {
         for t in 8..24 {
             let actual = 10.0 + 5.0 * (t % 4) as f64;
             let f = hw.forecast();
-            assert!(
-                (f - actual).abs() < 1.0,
-                "t={t}: forecast {f} vs actual {actual}"
-            );
+            assert!((f - actual).abs() < 1.0, "t={t}: forecast {f} vs actual {actual}");
             hw.observe(actual);
         }
     }
@@ -580,8 +567,7 @@ mod tests {
 
     #[test]
     fn update_equations_match_hand_computation() {
-        let mut hw =
-            HoltWinters::new(0.5, 0.4, 0.3, 10.0, 1.0, vec![2.0, -2.0]).unwrap();
+        let mut hw = HoltWinters::new(0.5, 0.4, 0.3, 10.0, 1.0, vec![2.0, -2.0]).unwrap();
         // Forecast = L + B + S[0] = 13
         assert_eq!(hw.forecast(), 13.0);
         hw.observe(14.0);
@@ -665,8 +651,7 @@ mod tests {
                 + 3.0 * ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()
         };
         let hist: Vec<f64> = (0..48).map(signal).collect();
-        let mut hw =
-            MultiSeasonalHoltWinters::from_history(0.3, 0.02, 0.4, &f, &hist).unwrap();
+        let mut hw = MultiSeasonalHoltWinters::from_history(0.3, 0.02, 0.4, &f, &hist).unwrap();
         let mut err = 0.0;
         for t in 48..96 {
             let a = signal(t);

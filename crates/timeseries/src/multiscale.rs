@@ -115,7 +115,7 @@ impl MultiScaleSeries {
         scale.forecast.push_back(self.alpha * w + (1.0 - self.alpha) * prev);
         scale.actual.push_back(w);
         let s = scale.actual.len();
-        if i + 1 < self.eta && s % self.lambda == 0 {
+        if i + 1 < self.eta && s.is_multiple_of(self.lambda) {
             let w_next: f64 = scale.actual.iter().rev().take(self.lambda).sum();
             self.update_at(w_next, i + 1);
         }
@@ -196,11 +196,7 @@ mod tests {
             ms.update(v as f64);
         }
         for i in 0..3 {
-            assert!(
-                ms.actual(i).len() < 4 + 2,
-                "scale {i} holds {} samples",
-                ms.actual(i).len()
-            );
+            assert!(ms.actual(i).len() < 4 + 2, "scale {i} holds {} samples", ms.actual(i).len());
             assert_eq!(ms.actual(i).len(), ms.forecast(i).len());
         }
     }

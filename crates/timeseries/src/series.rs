@@ -54,7 +54,7 @@ impl Series {
 
     /// Creates a full series of `capacity` zeros.
     pub fn zeros(capacity: usize) -> Self {
-        Series { data: std::iter::repeat(0.0).take(capacity).collect(), capacity }
+        Series { data: std::iter::repeat_n(0.0, capacity).collect(), capacity }
     }
 
     /// Maximum number of samples retained.
@@ -80,11 +80,7 @@ impl Series {
     /// Appends the newest sample; returns the evicted oldest sample if the
     /// series was full.
     pub fn push(&mut self, value: f64) -> Option<f64> {
-        let evicted = if self.data.len() == self.capacity {
-            self.data.pop_front()
-        } else {
-            None
-        };
+        let evicted = if self.data.len() == self.capacity { self.data.pop_front() } else { None };
         self.data.push_back(value);
         evicted
     }
@@ -199,12 +195,7 @@ impl Series {
         if self.is_empty() {
             return Ok(0.0);
         }
-        let total: f64 = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let total: f64 = self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).sum();
         Ok(total / self.len() as f64)
     }
 }

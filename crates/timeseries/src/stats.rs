@@ -31,13 +31,7 @@ pub fn mse(a: &[f64], b: &[f64]) -> Option<f64> {
     if a.len() != b.len() || a.is_empty() {
         return None;
     }
-    Some(
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            / a.len() as f64,
-    )
+    Some(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64)
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
@@ -101,9 +95,7 @@ pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > lo && n >= 2, "invalid log_space arguments");
     let llo = lo.ln();
     let lhi = hi.ln();
-    (0..n)
-        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
-        .collect()
+    (0..n).map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp()).collect()
 }
 
 #[cfg(test)]

@@ -67,9 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         localized.len(),
         io_path
     );
-    assert!(
-        !localized.is_empty(),
-        "the injected IO outage should be detected under {io_path}"
-    );
+    assert!(!localized.is_empty(), "the injected IO outage should be detected under {io_path}");
     Ok(())
 }

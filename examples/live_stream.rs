@@ -10,13 +10,8 @@ use tiresias::hierarchy::CategoryPath;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (tree, mix) = ccd_trouble_tree_with_mix(0.3);
-    let hot = tree
-        .children(tree.root())
-        .first()
-        .copied()
-        .expect("tree has categories");
-    let mut workload =
-        Workload::with_popularity(tree.clone(), WorkloadConfig::ccd(80.0), &mix, 5);
+    let hot = tree.children(tree.root()).first().copied().expect("tree has categories");
+    let mut workload = Workload::with_popularity(tree.clone(), WorkloadConfig::ccd(80.0), &mix, 5);
     workload.inject(InjectedAnomaly::new(hot, 60, 3, 300.0));
 
     let mut detector = TiresiasBuilder::new()
@@ -66,9 +61,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         detector.store().len(),
         "root prefix covers everything"
     );
-    assert!(
-        !under_hot.is_empty(),
-        "the injected burst under {hot_path} should be detected"
-    );
+    assert!(!under_hot.is_empty(), "the injected burst under {hot_path} should be detected");
     Ok(())
 }

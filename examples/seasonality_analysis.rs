@@ -12,9 +12,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four weeks of 15-minute CCD-style arrivals.
     let (tree, mix) = ccd_trouble_tree_with_mix(0.5);
     let workload = Workload::with_popularity(tree, WorkloadConfig::ccd(300.0), &mix, 99);
-    let series: Vec<f64> = (0..4 * 672u64)
-        .map(|u| workload.generate_unit(u).iter().sum())
-        .collect();
+    let series: Vec<f64> =
+        (0..4 * 672u64).map(|u| workload.generate_unit(u).iter().sum()).collect();
 
     // FFT periodogram (Fig. 11).
     let p = Periodogram::compute(&series);
@@ -64,12 +63,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     match detector.model_spec() {
         ModelSpec::HoltWinters { season, .. } => {
-            println!("\ndetector auto-selected a single season of {} units ({} h)", season, *season as f64 * 0.25);
+            println!(
+                "\ndetector auto-selected a single season of {} units ({} h)",
+                season,
+                *season as f64 * 0.25
+            );
         }
         ModelSpec::MultiSeasonal { factors, .. } => {
             println!("\ndetector auto-selected {} seasonal factors:", factors.len());
             for f in factors {
-                println!("  period {} units ({:.1} h), weight {:.2}", f.period, f.period as f64 * 0.25, f.weight);
+                println!(
+                    "  period {} units ({:.1} h), weight {:.2}",
+                    f.period,
+                    f.period as f64 * 0.25,
+                    f.weight
+                );
             }
         }
         other => println!("\ndetector model: {other:?}"),

@@ -17,9 +17,8 @@ fn run_budget(
     budget: usize,
     units: u64,
 ) -> Result<(usize, usize, usize), Box<dyn std::error::Error>> {
-    let config = HhhConfig::new(10.0, 96)
-        .with_model(ModelSpec::Ewma { alpha: 0.5 })
-        .with_ref_levels(1);
+    let config =
+        HhhConfig::new(10.0, 96).with_model(ModelSpec::Ewma { alpha: 0.5 }).with_ref_levels(1);
     let mut exact = Ada::new(config.clone())?;
     let mut sketched = Ada::new(config)?;
     let mut identical = 0usize;

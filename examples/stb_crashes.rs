@@ -10,11 +10,7 @@ use tiresias::datagen::{scd_location_spec, InjectedAnomaly, Workload, WorkloadCo
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = scd_location_spec(0.01).build()?;
-    println!(
-        "SCD hierarchy: {} nodes ({} STBs)",
-        tree.len(),
-        tree.leaf_count()
-    );
+    println!("SCD hierarchy: {} nodes ({} STBs)", tree.len(), tree.leaf_count());
 
     // Crash wave: a bad firmware build hits every STB under one CO.
     let co = tree.find(&["CO-7"]).expect("exists at this scale");

@@ -15,7 +15,7 @@
 
 use std::io::BufRead;
 
-use tiresias::core::{events_to_csv, Record, TiresiasBuilder};
+use tiresias::core::{events_to_csv, TiresiasBuilder};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 use tiresias::hierarchy::render_ascii;
 
@@ -52,13 +52,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             it.next().ok_or(format!("missing value for {name}"))
         };
         match flag.as_str() {
-            "--timeunit" => opts.timeunit = value("--timeunit")?.parse().map_err(|e| format!("{e}"))?,
+            "--timeunit" => {
+                opts.timeunit = value("--timeunit")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--window" => opts.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--theta" => opts.theta = value("--theta")?.parse().map_err(|e| format!("{e}"))?,
             "--season" => opts.season = value("--season")?.parse().map_err(|e| format!("{e}"))?,
             "--rt" => opts.rt = value("--rt")?.parse().map_err(|e| format!("{e}"))?,
             "--dt" => opts.dt = value("--dt")?.parse().map_err(|e| format!("{e}"))?,
-            "--warmup" => opts.warmup = Some(value("--warmup")?.parse().map_err(|e| format!("{e}"))?),
+            "--warmup" => {
+                opts.warmup = Some(value("--warmup")?.parse().map_err(|e| format!("{e}"))?)
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -89,7 +93,10 @@ fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Erro
         let line = line?;
         line_no += 1;
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') || (line_no == 1 && line.starts_with("timestamp")) {
+        if line.is_empty()
+            || line.starts_with('#')
+            || (line_no == 1 && line.starts_with("timestamp"))
+        {
             continue;
         }
         let Some((ts, category)) = line.split_once(',') else {
@@ -102,7 +109,9 @@ fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Erro
             skipped += 1;
             continue;
         };
-        match detector.push(Record::new(category.trim(), t)) {
+        // The CSV line is already borrowed text — take the
+        // zero-allocation fast path instead of parsing a Record.
+        match detector.push_str(category.trim(), t) {
             Ok(()) => {
                 accepted += 1;
                 last_time = last_time.max(t);
@@ -138,19 +147,14 @@ fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         detector.ingest_unit(&workload.generate_unit(unit))?;
     }
 
-    eprintln!(
-        "demo: injected an outage under {} at units 140..146",
-        tree.path_of(target)
-    );
+    eprintln!("demo: injected an outage under {} at units 140..146", tree.path_of(target));
     print!("{}", events_to_csv(detector.anomalies()));
 
     // Annotated hierarchy: anomaly counts per node, two levels deep.
     let store = detector.store();
     eprintln!("\nhierarchy (anomaly counts, two levels):");
     let rendering = render_ascii(&tree, tree.root(), 2, |n| {
-        let count = store
-            .under(&tree.path_of(n))
-            .count();
+        let count = store.under(&tree.path_of(n)).count();
         (count > 0).then(|| format!("{count} anomalies"))
     });
     eprint!("{rendering}");

@@ -20,9 +20,7 @@ fn tree() -> (Tree, Vec<NodeId>) {
 }
 
 fn config(theta: f64) -> HhhConfig {
-    HhhConfig::new(theta, 24)
-        .with_model(ModelSpec::Ewma { alpha: 0.5 })
-        .with_ref_levels(1)
+    HhhConfig::new(theta, 24).with_model(ModelSpec::Ewma { alpha: 0.5 }).with_ref_levels(1)
 }
 
 /// Random per-unit leaf counts: a stream of 6-leaf count vectors.

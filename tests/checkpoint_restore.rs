@@ -89,8 +89,7 @@ fn detector_round_trips_mid_stream() {
     }
     let checkpoint = serde_json::to_string(&first_half).expect("serialises");
     drop(first_half);
-    let mut resumed: tiresias::Tiresias =
-        serde_json::from_str(&checkpoint).expect("deserialises");
+    let mut resumed: tiresias::Tiresias = serde_json::from_str(&checkpoint).expect("deserialises");
     for unit in 60..90u64 {
         resumed.ingest_unit(&workload.generate_unit(unit)).expect("bulk ingest");
     }
@@ -101,10 +100,7 @@ fn detector_round_trips_mid_stream() {
     };
     assert_eq!(key(&reference), key(&resumed));
     assert!(
-        resumed
-            .store()
-            .under(&tree.path_of(target))
-            .any(|e| (70..73).contains(&e.unit)),
+        resumed.store().under(&tree.path_of(target)).any(|e| (70..73).contains(&e.unit)),
         "the injected anomaly survives the restart"
     );
 }
@@ -163,7 +159,6 @@ fn anomaly_events_serialise_to_json() {
     assert!(!d.anomalies().is_empty());
     let json = serde_json::to_string_pretty(d.store()).expect("serialises");
     assert!(json.contains("\"path\""));
-    let restored: tiresias::core::EventStore =
-        serde_json::from_str(&json).expect("deserialises");
+    let restored: tiresias::core::EventStore = serde_json::from_str(&json).expect("deserialises");
     assert_eq!(&restored, d.store());
 }

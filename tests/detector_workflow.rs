@@ -178,11 +178,7 @@ fn drop_detection_is_opt_in() {
             }
             d.advance_to((unit + 1) * 60).unwrap();
         }
-        let drop_events = d
-            .anomalies()
-            .iter()
-            .filter(|e| e.kind == AnomalyKind::Drop)
-            .count();
+        let drop_events = d.anomalies().iter().filter(|e| e.kind == AnomalyKind::Drop).count();
         if drops {
             assert!(drop_events > 0, "the collapse must be reported as a drop");
         } else {
@@ -211,12 +207,8 @@ fn sta_and_ada_agree_via_facade_on_stable_load() {
             }
             d.advance_to((unit + 1) * 60).unwrap();
         }
-        results.push(
-            d.anomalies()
-                .iter()
-                .map(|e| (e.path.to_string(), e.unit))
-                .collect::<Vec<_>>(),
-        );
+        results
+            .push(d.anomalies().iter().map(|e| (e.path.to_string(), e.unit)).collect::<Vec<_>>());
     }
     assert_eq!(results[0], results[1], "ADA and STA agree on a stable stream");
 }

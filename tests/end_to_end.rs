@@ -39,11 +39,8 @@ fn injected_outage_is_detected_and_localised() {
     }
 
     let target_path = tree.path_of(target);
-    let localized: Vec<_> = detector
-        .store()
-        .under(&target_path)
-        .filter(|e| (140..146).contains(&e.unit))
-        .collect();
+    let localized: Vec<_> =
+        detector.store().under(&target_path).filter(|e| (140..146).contains(&e.unit)).collect();
     assert!(
         !localized.is_empty(),
         "the injected outage at {target_path} must be detected in its span"
@@ -55,10 +52,7 @@ fn quiet_stream_raises_no_alarms() {
     let tree = ccd_location_spec(0.05).build().expect("valid spec");
     let workload = Workload::new(
         tree.clone(),
-        WorkloadConfig {
-            noise_sigma: 0.05,
-            ..WorkloadConfig::ccd(150.0)
-        },
+        WorkloadConfig { noise_sigma: 0.05, ..WorkloadConfig::ccd(150.0) },
         1002,
     );
     // Two full daily cycles of warm-up so the seasonal components are
@@ -134,18 +128,13 @@ fn record_level_and_bulk_ingestion_agree() {
     register_leaves(&mut streamed, &tree);
     for unit in 0..80u64 {
         for (node, t) in workload.generate_records(unit) {
-            streamed
-                .push(Record::from_path(tree.path_of(node), t))
-                .expect("in-order records");
+            streamed.push(Record::from_path(tree.path_of(node), t)).expect("in-order records");
         }
         streamed.advance_to((unit + 1) * 900).expect("advance");
     }
 
     let key = |d: &tiresias::Tiresias| -> Vec<(String, u64)> {
-        d.anomalies()
-            .iter()
-            .map(|e| (e.path.to_string(), e.unit))
-            .collect()
+        d.anomalies().iter().map(|e| (e.path.to_string(), e.unit)).collect()
     };
     assert_eq!(key(&bulk), key(&streamed));
 }
@@ -162,25 +151,18 @@ fn detector_survives_long_gaps_and_category_growth() {
         .expect("valid configuration");
     for unit in 0..10u64 {
         for i in 0..8 {
-            detector
-                .push(Record::new("TV/NoService", unit * 900 + i))
-                .expect("in order");
+            detector.push(Record::new("TV/NoService", unit * 900 + i)).expect("in order");
         }
         detector.advance_to((unit + 1) * 900).expect("advance");
     }
     // A 50-unit silence, then a brand-new category bursts.
     for i in 0..60 {
-        detector
-            .push(Record::new("Phone/Dead Line/Total", 60 * 900 + i))
-            .expect("in order");
+        detector.push(Record::new("Phone/Dead Line/Total", 60 * 900 + i)).expect("in order");
     }
     detector.advance_to(61 * 900).expect("advance");
     assert_eq!(detector.units_processed(), 61);
     assert!(
-        detector
-            .anomalies()
-            .iter()
-            .any(|e| e.path.to_string().starts_with("Phone")),
+        detector.anomalies().iter().any(|e| e.path.to_string().starts_with("Phone")),
         "burst on a freshly grown branch must be caught"
     );
 }

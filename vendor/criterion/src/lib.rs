@@ -1,0 +1,225 @@
+//! Offline vendored mini-criterion.
+//!
+//! A wall-clock micro-benchmark harness exposing the slice of the
+//! criterion API the workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], benchmark groups with
+//! `sample_size` / `throughput`, [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is auto-calibrated to a per-sample
+//! iteration count, then `sample_size` samples are taken and the
+//! mean/min per-iteration time is printed. No statistics beyond that —
+//! the workspace's committed numbers come from dedicated bench
+//! binaries, not from this harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+/// How work units relate to one benchmark iteration, for derived
+/// rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: one setup per measured call.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-benchmark measurement state handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the best (fastest-mean) sample.
+    best: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, best: Duration::MAX }
+    }
+
+    /// Measures a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the per-sample iteration count to ~5 ms.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+            if per_iter < self.best {
+                self.best = per_iter;
+            }
+        }
+    }
+
+    /// Measures a routine with a per-call setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let elapsed = t.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, best: Duration) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / best.as_secs_f64().max(1e-12))
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.0} B/s)", n as f64 / best.as_secs_f64().max(1e-12))
+        }
+    });
+    println!("bench {id:<40} {best:>12.3?}{}", rate.unwrap_or_default());
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.default_sample_size);
+        f(&mut b);
+        report(id, None, b.best);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration work for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), self.throughput, b.best);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), self.throughput, b.best);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

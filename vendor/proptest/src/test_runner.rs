@@ -1,0 +1,77 @@
+//! Test-loop configuration, RNG and failure type.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// The RNG driving a property's generated inputs, seeded
+/// deterministically from the test's path so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test (FNV-1a over the name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(hash) }
+    }
+
+    /// Draws from any supported range.
+    pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline vendored mini-serde.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of serde's API surface the workspace relies
+//! on: `Serialize`/`Deserialize` derives, `Serializer`/`Deserializer`
+//! generics for `#[serde(with = "...")]` modules, and the
+//! `#[serde(from/into)]` container attributes.
+//!
+//! The design is deliberately simpler than real serde: every type
+//! converts to and from a self-describing [`Value`] tree, and format
+//! crates (`serde_json`) render that tree. The trait *names and
+//! signatures* match serde closely enough that application code written
+//! against real serde compiles unchanged; swapping the real crates back
+//! in later requires only a manifest edit.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the interchange format between
+/// data structures and format crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of a [`Value::Map`], failing with a descriptive
+    /// error otherwise. Used by derived `Deserialize` impls.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short description of the value's variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced while converting a [`Value`] back into a data
+/// structure.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization half: structures render themselves into a [`Value`].
+///
+/// The provided [`Serialize::serialize`] method matches serde's entry
+/// point so `#[serde(with = "...")]` modules written for real serde
+/// (generic over `S: Serializer`) compile unchanged.
+pub trait Serialize {
+    /// Converts `self` into the interchange [`Value`].
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point: feeds [`Serialize::to_value`]
+    /// through the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink that consumes a [`Value`] (serde-compatible shape).
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Serialization error type.
+    type Error;
+
+    /// Consumes the interchange value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The serializer used by derived impls for `with`-module fields: it
+/// simply hands the built [`Value`] back.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ValueSerializer;
+
+/// Error type of [`ValueSerializer`]; never constructed.
+#[derive(Debug)]
+pub enum NeverError {}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = NeverError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, NeverError> {
+        Ok(value)
+    }
+}
+
+/// Errors usable by [`Deserializer`] implementations: anything that can
+/// absorb a [`DeError`].
+pub trait DeserializeError {
+    /// Converts the mini-serde error into the deserializer's error.
+    fn from_de_error(e: DeError) -> Self;
+}
+
+impl DeserializeError for DeError {
+    fn from_de_error(e: DeError) -> Self {
+        e
+    }
+}
+
+/// Deserialization half: structures rebuild themselves from a
+/// [`Value`].
+///
+/// The lifetime parameter mirrors serde's `Deserialize<'de>` so
+/// generic bounds written for real serde compile unchanged; the value
+/// model is always owned, so the lifetime carries no borrowing.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the interchange [`Value`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// serde-compatible entry point: pulls a [`Value`] out of the
+    /// deserializer and rebuilds `Self` from it.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(D::Error::from_de_error)
+    }
+}
+
+/// Marker for types deserializable with no borrowed data (all of them,
+/// in this mini implementation).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A source that yields a [`Value`] (serde-compatible shape).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error type.
+    type Error: DeserializeError;
+
+    /// Produces the interchange value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The deserializer handed to `with`-module functions by derived impls:
+/// it wraps a borrowed [`Value`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'a>(&'a Value);
+
+impl<'a> ValueDeserializer<'a> {
+    /// Wraps a borrowed value.
+    pub fn new(value: &'a Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'a, 'de> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize implementations for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Types usable as map keys: rendered to strings on serialization
+/// (JSON maps have string keys) and parsed back on deserialization.
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::new(format!("invalid {} map key `{key}`", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize implementations for std types.
+// ---------------------------------------------------------------------
+
+fn int_from_value(value: &Value, what: &str) -> Result<i128, DeError> {
+    match value {
+        Value::I64(v) => Ok(i128::from(*v)),
+        Value::U64(v) => Ok(i128::from(*v)),
+        Value::F64(v) if v.fract() == 0.0 => Ok(*v as i128),
+        other => Err(DeError::new(format!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = int_from_value(value, stringify!($t))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(v) => Ok(*v),
+            Value::I64(v) => Ok(*v as f64),
+            Value::U64(v) => Ok(*v as f64),
+            other => Err(DeError::new(format!("expected f64, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+fn seq_from_value(value: &Value) -> Result<&[Value], DeError> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(DeError::new(format!("expected sequence, found {}", other.kind()))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        seq_from_value(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        seq_from_value(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(DeError::new(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = seq_from_value(value)?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {} elements, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_value(value.field("secs")?)?;
+        let nanos = u32::from_value(value.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"x".to_string().to_value()).unwrap(), "x");
+        let v: Vec<u8> = Vec::from_value(&vec![1u8, 2].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2]);
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+        let pair: (u8, f64) = Deserialize::from_value(&(7u8, 2.5f64).to_value()).unwrap();
+        assert_eq!(pair, (7, 2.5));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        let o: Option<u8> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+        let o: Option<u8> = Deserialize::from_value(&Value::U64(4)).unwrap();
+        assert_eq!(o, Some(4));
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert!(v.field("a").is_ok());
+        let err = v.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline vendored mini-serde derive macros.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input by walking raw
+//! `proc_macro` token trees and emits the impl as a formatted string.
+//! It supports exactly the shapes this workspace uses:
+//!
+//! * non-generic structs (named, tuple, unit) and enums (unit, tuple
+//!   and struct variants),
+//! * the container attributes `#[serde(from = "T")]`,
+//!   `#[serde(try_from = "T")]` (the `TryFrom` error is stringified
+//!   into a `serde::DeError`) and `#[serde(into = "T")]`,
+//! * the field attributes `#[serde(with = "module")]` and
+//!   `#[serde(skip)]` (skipped fields are restored via `Default`).
+//!
+//! Generated impls target the vendored `serde` crate's `Value` model:
+//! `to_value` / `from_value` plus the serde-compatible provided
+//! methods.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let code = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name,
+    );
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    let code = format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ {body} }}\n\
+         }}",
+        name = item.name,
+    );
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Input model.
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    with: Option<String>,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// Attribute facts we care about, collected from `#[serde(...)]`.
+#[derive(Default)]
+struct SerdeAttrs {
+    with: Option<String>,
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+    skip: bool,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
+    // Group content: `serde ( key = "value" , key , ... )`.
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.next() else { return };
+    let mut it = inner.stream().into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                it.next();
+                if let Some(TokenTree::Literal(lit)) = it.next() {
+                    value = Some(strip_quotes(&lit.to_string()));
+                }
+            }
+        }
+        match (key.as_str(), value) {
+            ("with", Some(v)) => attrs.with = Some(v),
+            ("from", Some(v)) => attrs.from = Some(v),
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("skip", _) => attrs.skip = true,
+            (other, _) => panic!("mini serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consumes a leading run of attributes (`# [ ... ]`), returning the
+/// serde facts found in them.
+fn take_attrs(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    parse_serde_attr(&g, &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Skips a visibility marker (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(i)) = it.peek() {
+        if i.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a brace group (struct body or struct
+/// variant body).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else { break };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("mini serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tt in it.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name: name.to_string(), with: attrs.with, skip: attrs.skip });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesised tuple body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tt in group.stream() {
+        saw_any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Trailing commas would over-count, but the workspace style never
+    // uses them inside tuple structs; `count` commas separate count+1
+    // fields.
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        let _attrs = take_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else { break };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                it.next();
+                Shape::Named(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                it.next();
+                Shape::Tuple(count_tuple_fields(&g))
+            }
+            _ => Shape::Unit,
+        };
+        // Consume up to and including the separating comma.
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name: name.to_string(), shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let mut container = SerdeAttrs::default();
+    // Attributes and visibility may precede the struct/enum keyword in
+    // any order (doc comments, other derives' helper attrs, `pub`).
+    let is_enum = loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let more = take_attrs(&mut it);
+                if more.from.is_some() {
+                    container.from = more.from;
+                }
+                if more.try_from.is_some() {
+                    container.try_from = more.try_from;
+                }
+                if more.into.is_some() {
+                    container.into = more.into;
+                }
+            }
+            Some(TokenTree::Ident(i)) => {
+                let word = i.to_string();
+                it.next();
+                match word.as_str() {
+                    "struct" => break false,
+                    "enum" => break true,
+                    _ => {}
+                }
+            }
+            Some(_) => {
+                it.next();
+            }
+            None => panic!("mini serde_derive: no struct or enum found in derive input"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        panic!("mini serde_derive: expected type name after struct/enum keyword");
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("mini serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    let kind = if is_enum {
+        let Some(TokenTree::Group(g)) = it.next() else {
+            panic!("mini serde_derive: expected enum body");
+        };
+        Kind::Enum(parse_variants(&g))
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(&g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(&g)))
+            }
+            _ => Kind::Struct(Shape::Unit),
+        }
+    };
+    Item {
+        name: name.to_string(),
+        kind,
+        from: container.from,
+        try_from: container.try_from,
+        into: container.into,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize.
+// ---------------------------------------------------------------------
+
+/// `to_value` expression for one field access path (e.g. `&self.x`).
+fn field_to_value(access: &str, with: &Option<String>) -> String {
+    match with {
+        Some(module) => format!(
+            "match {module}::serialize({access}, serde::ValueSerializer) \
+             {{ Ok(__v) => __v, Err(__e) => match __e {{}} }}"
+        ),
+        None => format!("serde::Serialize::to_value({access})"),
+    }
+}
+
+fn named_fields_map(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::from("{ let mut __fields: Vec<(String, serde::Value)> = Vec::new(); ");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = format!("&{}{}", prefix, f.name);
+        out.push_str(&format!(
+            "__fields.push((\"{name}\".to_string(), {expr})); ",
+            name = f.name,
+            expr = field_to_value(&access, &f.with),
+        ));
+    }
+    out.push_str("serde::Value::Map(__fields) }");
+    out
+}
+
+fn serialize_body(item: &Item) -> String {
+    if let Some(into) = &item.into {
+        return format!(
+            "{{ let __repr: {into} = <Self as ::std::clone::Clone>::clone(self).into(); \
+               serde::Serialize::to_value(&__repr) }}"
+        );
+    }
+    match &item.kind {
+        Kind::Struct(Shape::Unit) => "serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => named_fields_map(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__a0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::Value::Map(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_map(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize.
+// ---------------------------------------------------------------------
+
+/// `from_value` expression for one field of a map value named `src`.
+fn field_from_value(f: &Field, src: &str) -> String {
+    if f.skip {
+        return format!("{}: ::std::default::Default::default()", f.name);
+    }
+    match &f.with {
+        Some(module) => format!(
+            "{name}: {module}::deserialize(serde::ValueDeserializer::new({src}.field(\"{name}\")?))?",
+            name = f.name,
+        ),
+        None => format!(
+            "{name}: serde::Deserialize::from_value({src}.field(\"{name}\")?)?",
+            name = f.name,
+        ),
+    }
+}
+
+fn tuple_from_seq(path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!("Ok({path}(serde::Deserialize::from_value({src})?))");
+    }
+    format!(
+        "match {src} {{ \
+             serde::Value::Seq(__items) if __items.len() == {n} => Ok({path}({args})), \
+             __other => Err(serde::DeError::new(format!(\
+                 \"expected sequence of {n} elements for {path}, found {{}}\", __other.kind()))) \
+         }}",
+        args = (0..n)
+            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
+fn deserialize_body(item: &Item) -> String {
+    if let Some(from) = &item.from {
+        return format!(
+            "{{ let __repr: {from} = serde::Deserialize::from_value(__value)?; \
+               Ok(<Self as ::std::convert::From<{from}>>::from(__repr)) }}"
+        );
+    }
+    if let Some(try_from) = &item.try_from {
+        return format!(
+            "{{ let __repr: {try_from} = serde::Deserialize::from_value(__value)?; \
+               <Self as ::std::convert::TryFrom<{try_from}>>::try_from(__repr) \
+                   .map_err(|__e| serde::DeError::new(__e.to_string())) }}"
+        );
+    }
+    let name = &item.name;
+    match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("{{ let _ = __value; Ok({name}) }}"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => tuple_from_seq(name, *n, "__value"),
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| field_from_value(f, "__value")).collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Shape::Tuple(n) => {
+                        let expr = tuple_from_seq(&format!("{name}::{vname}"), *n, "__inner");
+                        data_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| field_from_value(f, "__inner")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{ \
+                     serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => Err(serde::DeError::new(format!(\
+                             \"unknown unit variant `{{}}` of {name}\", __other))), \
+                     }}, \
+                     serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                         let (__tag, __inner) = &__entries[0]; \
+                         match __tag.as_str() {{ \
+                             {data_arms} \
+                             __other => Err(serde::DeError::new(format!(\
+                                 \"unknown variant `{{}}` of {name}\", __other))), \
+                         }} \
+                     }} \
+                     __other => Err(serde::DeError::new(format!(\
+                         \"expected {name} variant, found {{}}\", __other.kind()))), \
+                 }}"
+            )
+        }
+    }
+}
