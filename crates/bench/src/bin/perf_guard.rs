@@ -1,0 +1,77 @@
+//! `perf_guard` — CI guard against throughput regressions.
+//!
+//! Compares a metric of a freshly generated benchmark report against
+//! the committed baseline and exits non-zero if the fresh value dropped
+//! by more than the allowed percentage:
+//!
+//! ```text
+//! perf_guard <baseline.json> <fresh.json> <dotted.metric.path> <max_drop_pct>
+//! perf_guard BENCH_ingest.json /tmp/bench_ingest.json str_path.records_per_sec 25
+//! ```
+//!
+//! Only *drops* beyond the allowance fail — higher is never a
+//! regression. The allowance must absorb both code-level noise and the
+//! host gap between the baseline machine and the CI runner; if the CI
+//! fleet is persistently slower than the committed numbers, refresh the
+//! baseline from a CI run (the report's `generated_by` command) rather
+//! than widening the allowance. The dotted path walks JSON maps (e.g.
+//! `str_path.records_per_sec`).
+
+use std::process::ExitCode;
+
+fn metric(file: &str, path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let mut value = serde_json::parse_value(&text).map_err(|e| format!("{file}: {e}"))?;
+    for key in path.split('.') {
+        value = value.field(key).map_err(|e| format!("{file}: {path}: {e}"))?.clone();
+    }
+    match value {
+        serde::Value::F64(x) => Ok(x),
+        serde::Value::U64(x) => Ok(x as f64),
+        serde::Value::I64(x) => Ok(x as f64),
+        other => Err(format!("{file}: {path}: expected a number, found {}", other.kind())),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_file, fresh_file, path, max_drop_pct] = args.as_slice() else {
+        return Err(
+            "usage: perf_guard <baseline.json> <fresh.json> <dotted.metric.path> <max_drop_pct>"
+                .into(),
+        );
+    };
+    let max_drop: f64 =
+        max_drop_pct.parse().map_err(|e| format!("max_drop_pct `{max_drop_pct}`: {e}"))?;
+    let baseline = metric(baseline_file, path)?;
+    let fresh = metric(fresh_file, path)?;
+    if !(baseline.is_finite() && baseline > 0.0) {
+        return Err(format!("baseline {path} = {baseline} is not a positive number"));
+    }
+    let floor = baseline * (1.0 - max_drop / 100.0);
+    let change_pct = (fresh / baseline - 1.0) * 100.0;
+    eprintln!(
+        "{path}: baseline {baseline:.0}, fresh {fresh:.0} ({change_pct:+.1}%), floor {floor:.0} \
+         (−{max_drop}%)"
+    );
+    if fresh < floor {
+        return Err(format!(
+            "{path} regressed more than {max_drop}%: {fresh:.0} < floor {floor:.0} \
+             (baseline {baseline:.0})"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            eprintln!("perf guard: OK");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("perf guard: FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,6 +4,7 @@ use tiresias_hhh::{HhhConfig, ModelSpec, SplitRule};
 
 use crate::detector::Tiresias;
 use crate::error::CoreError;
+use crate::sharded::ShardedTiresias;
 
 /// Which heavy hitter maintenance algorithm the detector runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +55,11 @@ pub struct TiresiasBuilder {
     pub(crate) auto_seasonality: Option<usize>,
     pub(crate) root_label: String,
     pub(crate) detect_drops: bool,
+    pub(crate) shards: usize,
+    /// Root-isolated split inheritance (see
+    /// `tiresias_hhh::HhhConfig::root_isolation`); forced on for the
+    /// shards of a [`ShardedTiresias`].
+    pub(crate) root_isolation: bool,
 }
 
 impl Default for TiresiasBuilder {
@@ -76,6 +82,8 @@ impl Default for TiresiasBuilder {
             auto_seasonality: None,
             root_label: "All".to_string(),
             detect_drops: false,
+            shards: 1,
+            root_isolation: false,
         }
     }
 }
@@ -209,6 +217,17 @@ impl TiresiasBuilder {
         self
     }
 
+    /// Number of ingest shards for [`TiresiasBuilder::build_sharded`]
+    /// (clamped to at least 1; ignored by the single-threaded
+    /// [`TiresiasBuilder::build`]). Records are routed by a
+    /// deterministic hash of their top-level label, so pick a shard
+    /// count comfortably below the expected top-level fan-out.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The model spec the detector will start from (before any
     /// auto-seasonality refinement).
     pub(crate) fn base_model(&self) -> ModelSpec {
@@ -226,6 +245,7 @@ impl TiresiasBuilder {
             .with_model(model)
             .with_split_rule(self.split_rule)
             .with_ref_levels(self.ref_levels)
+            .with_root_isolation(self.root_isolation)
     }
 
     /// Builds the detector.
@@ -258,6 +278,22 @@ impl TiresiasBuilder {
         }
         self.hhh_config(self.base_model()).validate().map_err(CoreError::InvalidConfig)?;
         Ok(Tiresias::from_builder(self))
+    }
+
+    /// Builds the sharded multi-core ingest engine over
+    /// [`TiresiasBuilder::shards`] shards (see [`ShardedTiresias`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for the same invalid
+    /// parameters as [`TiresiasBuilder::build`], and additionally when
+    /// [`TiresiasBuilder::auto_seasonality`] is requested — the global
+    /// total it analyses is not observable by any single shard.
+    pub fn build_sharded(self) -> Result<ShardedTiresias, CoreError> {
+        // Validate via a throw-away single-detector build so both entry
+        // points reject exactly the same configurations.
+        self.clone().build()?;
+        ShardedTiresias::from_builder(self)
     }
 }
 

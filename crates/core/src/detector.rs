@@ -61,6 +61,34 @@ pub struct Tiresias {
     detecting: std::time::Duration,
 }
 
+/// Validates that a batch is in timeunit order relative to `open` and
+/// internally, returning the batch's final watermark unit (`open` for
+/// an empty batch). Shared by [`Tiresias::push_batch`] and
+/// [`crate::ShardedTiresias::push_batch`], whose byte-identical-results
+/// contract requires one definition of "in order".
+pub(crate) fn validate_batch_order<S>(
+    open: Option<u64>,
+    timeunit_secs: u64,
+    records: &[(S, u64)],
+) -> Result<Option<u64>, CoreError> {
+    let mut watermark = open;
+    for &(_, t) in records {
+        let unit = t / timeunit_secs;
+        match watermark {
+            Some(open) if unit < open => {
+                return Err(CoreError::OutOfOrder {
+                    timestamp: t,
+                    open_unit_start: open * timeunit_secs,
+                });
+            }
+            Some(open) if unit > open => watermark = Some(unit),
+            Some(_) => {}
+            None => watermark = Some(unit),
+        }
+    }
+    Ok(watermark)
+}
+
 impl Tiresias {
     pub(crate) fn from_builder(builder: TiresiasBuilder) -> Self {
         let warmup_target =
@@ -235,6 +263,29 @@ impl Tiresias {
         }
         let node = self.tree.insert_str(path);
         self.open_counts.add(node.index(), 1.0);
+        Ok(())
+    }
+
+    /// Ingests a batch of `(path, timestamp)` records through the
+    /// [`Tiresias::push_str`] fast path.
+    ///
+    /// The whole batch is validated first — timestamps must not precede
+    /// the open timeunit or an earlier record of the batch — and on a
+    /// validation error *nothing* is ingested, so callers never deal
+    /// with half-applied batches. This is the single-shard counterpart
+    /// of [`crate::ShardedTiresias::push_batch`] and produces
+    /// byte-identical results to the equivalent `push_str` loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfOrder`] (before ingesting anything) on
+    /// a non-monotone batch, and propagates tracker construction errors
+    /// at the warm-up boundary.
+    pub fn push_batch<S: AsRef<str>>(&mut self, records: &[(S, u64)]) -> Result<(), CoreError> {
+        validate_batch_order(self.open_unit, self.builder.timeunit_secs, records)?;
+        for (path, t) in records {
+            self.push_str(path.as_ref(), *t)?;
+        }
         Ok(())
     }
 

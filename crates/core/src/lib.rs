@@ -40,6 +40,21 @@
 //!   parsed).
 //! * [`Tiresias::ingest_unit`] — whole pre-aggregated timeunits, for
 //!   experiments that generate counts directly.
+//! * [`Tiresias::push_batch`] — a validated batch of `(path, t)` pairs
+//!   through the fast path; the natural unit for operational feeds.
+//!
+//! # Scaling out: the sharded engine
+//!
+//! [`ShardedTiresias`] (built with [`TiresiasBuilder::shards`] +
+//! [`TiresiasBuilder::build_sharded`]) partitions the detector across N
+//! worker shards by a deterministic hash of each record's top-level
+//! label, ingests batches through per-shard SPSC ring buffers on scoped
+//! worker threads, closes timeunits in parallel, and merges anomalies
+//! into one deterministically ordered store. Its output is
+//! **shard-count invariant**: 1, 2, 4 or 8 shards produce byte-identical
+//! heavy hitter paths and anomaly streams (see the [`sharded`
+//! module](ShardedTiresias) docs for the argument, and
+//! `BENCH_sharded.json` at the repository root for the scaling curve).
 //!
 //! # Example
 //!
@@ -77,6 +92,8 @@ mod export;
 mod metrics;
 mod record;
 mod reference_method;
+mod ring;
+mod sharded;
 mod store;
 
 pub use anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
@@ -87,6 +104,7 @@ pub use export::{events_to_csv, CSV_HEADER};
 pub use metrics::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};
+pub use sharded::{ShardRouter, ShardedTiresias};
 pub use store::EventStore;
 
 // Re-export the pieces callers need to configure the detector.

@@ -1,0 +1,823 @@
+//! The sharded multi-core ingest engine.
+//!
+//! [`ShardedTiresias`] horizontally partitions one logical detector
+//! across N worker shards. A deterministic [`ShardRouter`] hashes each
+//! record's *top-level* label (no full path resolve) to a shard; each
+//! shard owns a complete [`Tiresias`] instance — its own tree, open-unit
+//! counts and heavy hitter tracker — and processes its subtrees
+//! independently. Timeunit boundaries close per-shard in parallel, and
+//! the anomalies of closed units merge into one deterministically
+//! ordered [`EventStore`].
+//!
+//! # Why the output is shard-count invariant
+//!
+//! Every quantity the detector derives for a node of depth ≥ 1 is a
+//! pure function of that node's *own subtree* counts:
+//!
+//! * Definition-2 membership and modified weights are computed by a
+//!   bottom-up sweep that only ever crosses top-level boundaries at the
+//!   root;
+//! * aggregate weights, split statistics and reference series are
+//!   per-node;
+//! * ADA's `SPLIT`/`MERGE` choreography moves series between parents
+//!   and children inside one subtree — except splits *from the root*,
+//!   which would leak the root's series (a sum over whichever top-level
+//!   subtrees happen to share the shard) downwards. The engine
+//!   therefore runs every shard with `HhhConfig::root_isolation`, under
+//!   which a first-level node seeds from its reference series or zeros
+//!   instead.
+//!
+//! The per-shard root nodes are thus pure synthetic aggregation points:
+//! they are excluded from the merged heavy hitter set and event stream,
+//! and everything that *is* reported is independent of how top-level
+//! labels are grouped into shards. Running with 1, 2, 4 or 8 shards
+//! produces byte-identical unions of shard trees, heavy hitter paths
+//! and anomaly streams (`tests/sharded_invariance.rs` proves this
+//! property over randomised workloads).
+//!
+//! The price of that invariance is that the *whole-population* series —
+//! the global root the unsharded [`Tiresias`] tracks when traffic is
+//! diffuse — has no owner, so root-level (level-0) anomalies are not
+//! reported by the sharded engine, and `auto_seasonality` (which
+//! analyses the global total) is rejected at build time.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use tiresias_hierarchy::{first_segment_hash, Tree};
+
+use crate::anomaly::AnomalyEvent;
+use crate::builder::TiresiasBuilder;
+use crate::detector::Tiresias;
+use crate::error::CoreError;
+use crate::ring::SpscRing;
+use crate::store::EventStore;
+
+/// Records per chunk handed from the router to a shard worker; the unit
+/// of ring-buffer synchronisation. Batching per ~1k records makes the
+/// ring's lock cost negligible per record.
+const CHUNK_RECORDS: usize = 1024;
+/// Chunks a shard ring buffers before the router blocks (backpressure).
+const RING_CAPACITY: usize = 8;
+
+/// Deterministic record router: hashes a record's top-level label to a
+/// shard.
+///
+/// Routing uses [`first_segment_hash`] — a stable Fx hash of the first
+/// non-empty path segment — so the same label maps to the same shard
+/// across runs, restarts and checkpoints, and the router needs no state
+/// beyond the shard count. All records of one top-level subtree land on
+/// one shard, which is what lets each shard run a full detector over
+/// its subtrees without coordinating with the others.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::ShardRouter;
+///
+/// let router = ShardRouter::new(4);
+/// let shard = router.route("TV/No Service");
+/// assert!(shard < 4);
+/// // Only the top-level label matters.
+/// assert_eq!(shard, router.route("TV/Pixelation"));
+/// // The root path (no label) deterministically maps to shard 0.
+/// assert_eq!(router.route("//"), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        ShardRouter { shards: u32::try_from(shards.max(1)).expect("shard count fits in u32") }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `path`'s top-level label.
+    #[inline]
+    pub fn route(&self, path: &str) -> usize {
+        // The Fx multiply concentrates its entropy in the high bits,
+        // which a plain modulo would ignore — run the 64-bit
+        // xor-shift-multiply finaliser (splitmix64's) so similar labels
+        // spread over small shard counts too.
+        let mut h = first_segment_hash(path);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h % u64::from(self.shards)) as usize
+    }
+}
+
+/// The sharded multi-core ingest engine: N parallel [`Tiresias`] shards
+/// behind one deterministic router, with shard-count-invariant output.
+///
+/// Records enter through the batched [`ShardedTiresias::push_batch`]
+/// (or the single-record [`ShardedTiresias::push_str`]); each batch is
+/// routed by top-level label, streamed through bounded SPSC ring
+/// buffers to one scoped worker thread per shard, and closed timeunits
+/// are processed by all shards in parallel. Anomalies from closed units
+/// are merged into a single [`EventStore`] ordered by `(unit, path)` —
+/// an order that does not depend on the shard count (see the
+/// [module docs](self) for why the whole output is invariant).
+///
+/// The engine (all shards, the router and the merged store) serialises
+/// with serde exactly like the single-shard detector, so a sharded
+/// deployment checkpoints and resumes mid-stream.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::TiresiasBuilder;
+///
+/// let mut engine = TiresiasBuilder::new()
+///     .timeunit_secs(900)       // 15-minute units, as in the paper
+///     .window_len(96)
+///     .threshold(5.0)
+///     .season_length(4)
+///     .sensitivity(2.8, 8.0)    // the paper's RT and DT
+///     .warmup_units(8)
+///     .shards(4)
+///     .build_sharded()?;
+///
+/// let mut batch: Vec<(String, u64)> = Vec::new();
+/// for t in 0..12u64 {
+///     let burst = if t == 11 { 80 } else { 8 };
+///     for i in 0..burst {
+///         batch.push(("TV/No Service".to_string(), t * 900 + i));
+///     }
+/// }
+/// engine.push_batch(&batch)?;
+/// engine.advance_to(12 * 900)?;
+/// assert!(engine.anomalies().iter().any(|a| a.path.to_string() == "TV/No Service"));
+/// # Ok::<(), tiresias_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedTiresias {
+    builder: TiresiasBuilder,
+    router: ShardRouter,
+    shards: Vec<Tiresias>,
+    /// Tree the merged events' node ids live in, grown in merge order
+    /// (deterministic, hence shard-count invariant). Contains only
+    /// reported paths, not the full ingested hierarchy.
+    report_tree: Tree,
+    store: EventStore,
+    /// Per-shard count of store events already merged.
+    merged: Vec<usize>,
+    /// Events collected from shards but not yet releasable (their unit
+    /// is still open somewhere).
+    pending: Vec<AnomalyEvent>,
+    /// Global watermark: the open (not yet closed) timeunit.
+    open_unit: Option<u64>,
+    /// `false` processes batches on the calling thread, shard by shard
+    /// (used by benchmarks to measure per-shard cost without timeslice
+    /// interference; output is identical either way).
+    threaded: bool,
+    /// Per-shard cumulative ingest busy time in nanoseconds.
+    busy_nanos: Vec<u64>,
+    /// Cumulative router busy time (validation + routing) in
+    /// nanoseconds.
+    router_nanos: u64,
+}
+
+impl ShardedTiresias {
+    pub(crate) fn from_builder(builder: TiresiasBuilder) -> Result<Self, CoreError> {
+        if builder.auto_seasonality.is_some() {
+            return Err(CoreError::InvalidConfig(
+                "auto_seasonality analyses the whole-population total, which no single shard \
+                 observes; resolve the season up front (season_length / model) for sharded \
+                 ingestion"
+                    .into(),
+            ));
+        }
+        let n = builder.shards.max(1);
+        // Root isolation keeps every depth ≥ 1 series a function of its
+        // own subtree — the invariance property documented on the
+        // module. The builder itself keeps the caller's flags so a
+        // checkpoint round-trips the exact configuration.
+        let mut shard_builder = builder.clone();
+        shard_builder.root_isolation = true;
+        let shards = (0..n)
+            .map(|_| shard_builder.clone().build())
+            .collect::<Result<Vec<Tiresias>, CoreError>>()?;
+        let report_tree = Tree::new(builder.root_label.clone());
+        Ok(ShardedTiresias {
+            router: ShardRouter::new(n),
+            shards,
+            report_tree,
+            store: EventStore::new(),
+            merged: vec![0; n],
+            pending: Vec::new(),
+            open_unit: None,
+            threaded: true,
+            busy_nanos: vec![0; n],
+            router_nanos: 0,
+            builder,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The router mapping top-level labels to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Read-only access to the per-shard detectors (shard trees, heavy
+    /// hitters, timings, …). Node ids are shard-local.
+    pub fn shards(&self) -> &[Tiresias] {
+        &self.shards
+    }
+
+    /// The currently open (not yet closed) timeunit index.
+    pub fn current_unit(&self) -> Option<u64> {
+        self.open_unit
+    }
+
+    /// Timeunits fully processed (including warm-up). Between batches
+    /// every shard agrees; mid-stream laggards make this the minimum.
+    pub fn units_processed(&self) -> u64 {
+        self.shards.iter().map(Tiresias::units_processed).min().unwrap_or(0)
+    }
+
+    /// `true` once every shard's warm-up completed and detection is
+    /// active.
+    pub fn is_warmed_up(&self) -> bool {
+        self.shards.iter().all(Tiresias::is_warmed_up)
+    }
+
+    /// The merged anomaly stream, ordered by `(unit, path)` — complete
+    /// through the last closed unit as of the last
+    /// [`ShardedTiresias::push_batch`] / [`ShardedTiresias::advance_to`]
+    /// call. Event node ids refer to [`ShardedTiresias::tree`].
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        self.store.events()
+    }
+
+    /// The queryable merged anomaly store.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// Mutable access to the merged store (e.g. for
+    /// [`EventStore::dedup_ancestors`]).
+    pub fn store_mut(&mut self) -> &mut EventStore {
+        &mut self.store
+    }
+
+    /// The tree the merged events' node ids refer to. It contains the
+    /// reported paths (grown in merge order), not the full ingested
+    /// hierarchy — use [`ShardedTiresias::shards`] for the shard trees.
+    pub fn tree(&self) -> &Tree {
+        &self.report_tree
+    }
+
+    /// The union of the shards' current heavy hitter sets as category
+    /// paths, sorted; per-shard synthetic roots are excluded. Paths are
+    /// the stable cross-shard identity (node ids are shard-local).
+    pub fn heavy_hitter_paths(&self) -> Vec<tiresias_hierarchy::CategoryPath> {
+        let mut paths: Vec<_> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.heavy_hitters()
+                    .into_iter()
+                    .filter(|&n| n != s.tree().root())
+                    .map(|n| s.tree().path_of(n))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// The union of every shard tree's node paths, sorted; per-shard
+    /// synthetic roots are excluded. Together with
+    /// [`ShardedTiresias::heavy_hitter_paths`] and the merged store,
+    /// this is the engine's grouping-independent output identity: the
+    /// invariance tests and the scaling bench compare exactly these
+    /// three across shard counts.
+    pub fn tree_paths(&self) -> Vec<tiresias_hierarchy::CategoryPath> {
+        let mut paths: Vec<_> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let tree = s.tree();
+                tree.iter()
+                    .filter(|&n| n != tree.root())
+                    .map(|n| tree.path_of(n))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// Per-shard cumulative busy time spent ingesting records and
+    /// closing timeunits (excludes ring-buffer waits). On a machine
+    /// with ≥ N free cores the wall-clock cost of a batch approaches
+    /// `max(router_busy, max(shard_busy))`.
+    pub fn shard_busy(&self) -> Vec<Duration> {
+        self.busy_nanos.iter().map(|&n| Duration::from_nanos(n)).collect()
+    }
+
+    /// Cumulative router busy time (batch validation + routing +
+    /// ring-buffer hand-off).
+    pub fn router_busy(&self) -> Duration {
+        Duration::from_nanos(self.router_nanos)
+    }
+
+    /// Selects threaded (default) or sequential batch processing.
+    /// Sequential mode runs the same per-shard work on the calling
+    /// thread — byte-identical output, useful for benchmarking the
+    /// per-shard critical path without timeslice interference and for
+    /// single-core hosts.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
+    }
+
+    /// `true` iff batches are processed on worker threads.
+    pub fn is_threaded(&self) -> bool {
+        self.threaded
+    }
+
+    /// Ingests one record — routed to its shard, no worker threads.
+    ///
+    /// Anomalies of units this record closes become visible in
+    /// [`ShardedTiresias::anomalies`] after the next
+    /// [`ShardedTiresias::push_batch`] or
+    /// [`ShardedTiresias::advance_to`] call (merging waits until every
+    /// shard has closed the unit). Prefer `push_batch` for throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfOrder`] if `t_secs` falls before the
+    /// engine's open timeunit, and propagates shard errors.
+    pub fn push_str(&mut self, path: &str, t_secs: u64) -> Result<(), CoreError> {
+        let unit = t_secs / self.builder.timeunit_secs;
+        match self.open_unit {
+            None => self.align_shards(unit)?,
+            Some(open) if unit < open => {
+                return Err(CoreError::OutOfOrder {
+                    timestamp: t_secs,
+                    open_unit_start: open * self.builder.timeunit_secs,
+                });
+            }
+            Some(open) if unit > open => self.open_unit = Some(unit),
+            Some(_) => {}
+        }
+        let shard = self.router.route(path);
+        self.shards[shard].push_str(path, t_secs)
+    }
+
+    /// Ingests a batch of `(path, timestamp)` records — the sharded hot
+    /// path.
+    ///
+    /// The batch is validated up front (timestamps must not precede the
+    /// open timeunit; on error *nothing* is ingested), then routed by
+    /// top-level label and streamed chunk-wise through bounded SPSC
+    /// rings to one scoped worker thread per shard. Workers ingest
+    /// concurrently and close timeunit boundaries in parallel; the
+    /// final boundary of the batch is broadcast so every shard — even
+    /// one that received no records — advances to the same open unit.
+    /// Newly closed units' anomalies are then merged into the ordered
+    /// store.
+    ///
+    /// Routing, interner lookups and ring synchronisation are amortised
+    /// per batch; batches of a few thousand records or more make the
+    /// per-record overhead negligible (see `BENCH_sharded.json`'s batch
+    /// sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfOrder`] (before ingesting anything) if
+    /// a record's timestamp precedes the engine's open timeunit or an
+    /// earlier record of the same batch, and propagates shard errors.
+    pub fn push_batch<S: AsRef<str> + Sync>(
+        &mut self,
+        records: &[(S, u64)],
+    ) -> Result<(), CoreError> {
+        if records.is_empty() {
+            self.merge_events();
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let timeunit = self.builder.timeunit_secs;
+        // Whole-batch validation: the stream must be in order exactly as
+        // the unsharded detector requires, independent of routing.
+        let watermark = crate::detector::validate_batch_order(self.open_unit, timeunit, records)?;
+        let final_unit = watermark.expect("non-empty batch produced a watermark");
+        self.router_nanos += t0.elapsed().as_nanos() as u64;
+        if self.open_unit.is_none() {
+            // First data: open the same unit on every shard, exactly as
+            // the unsharded detector opens at its first record.
+            self.align_shards(records[0].1 / timeunit)?;
+        }
+        if self.threaded {
+            self.run_batch_threaded(records, final_unit)?;
+        } else {
+            self.run_batch_sequential(records, final_unit)?;
+        }
+        self.open_unit = Some(final_unit);
+        self.merge_events();
+        Ok(())
+    }
+
+    /// Advances the clock to `t_secs` on every shard in parallel,
+    /// closing every timeunit that ends at or before it (including
+    /// empty ones), then merges the newly closed units' anomalies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard errors (tracker construction at the warm-up
+    /// boundary).
+    pub fn advance_to(&mut self, t_secs: u64) -> Result<(), CoreError> {
+        let target = t_secs / self.builder.timeunit_secs;
+        let Some(open) = self.open_unit else {
+            self.align_shards(target)?;
+            return Ok(());
+        };
+        // Never move a shard backwards relative to the global watermark:
+        // laggards catch up to `open` even when `target` is older.
+        let target = target.max(open);
+        let target_secs = target * self.builder.timeunit_secs;
+        if self.threaded && self.shards.len() > 1 {
+            let busy = &mut self.busy_nanos;
+            let shards = &mut self.shards;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(busy.iter_mut())
+                    .map(|(shard, busy_slot)| {
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let result = shard.advance_to(target_secs);
+                            *busy_slot += t0.elapsed().as_nanos() as u64;
+                            result
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard close worker never panics"))
+                    .collect::<Result<Vec<()>, CoreError>>()
+            })?;
+        } else {
+            for (shard, busy_slot) in self.shards.iter_mut().zip(self.busy_nanos.iter_mut()) {
+                let t0 = Instant::now();
+                shard.advance_to(target_secs)?;
+                *busy_slot += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        self.open_unit = Some(target);
+        self.merge_events();
+        Ok(())
+    }
+
+    /// Opens timeunit `unit` on every shard (no units close; shards are
+    /// all still empty or at an earlier open unit).
+    fn align_shards(&mut self, unit: u64) -> Result<(), CoreError> {
+        let t = unit * self.builder.timeunit_secs;
+        for shard in &mut self.shards {
+            shard.advance_to(t)?;
+        }
+        self.open_unit = Some(unit);
+        Ok(())
+    }
+
+    /// Threaded batch execution: one scoped worker per shard pulls
+    /// index chunks from its SPSC ring while the router partitions the
+    /// batch on the calling thread.
+    fn run_batch_threaded<S: AsRef<str> + Sync>(
+        &mut self,
+        records: &[(S, u64)],
+        final_unit: u64,
+    ) -> Result<(), CoreError> {
+        let n = self.shards.len();
+        let router = self.router;
+        let advance_secs = final_unit * self.builder.timeunit_secs;
+        let rings: Vec<SpscRing<Vec<u32>>> = (0..n).map(|_| SpscRing::new(RING_CAPACITY)).collect();
+        let busy = &mut self.busy_nanos;
+        let shards = &mut self.shards;
+        let router_nanos = &mut self.router_nanos;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(rings.iter())
+                .zip(busy.iter_mut())
+                .map(|((shard, ring), busy_slot)| {
+                    scope.spawn(move || -> Result<(), CoreError> {
+                        // Any exit — drain, error, or a panic unwinding
+                        // out of push_str — abandons the ring, so the
+                        // router can never stay blocked on a full ring
+                        // whose consumer is gone.
+                        let _unblock_router = crate::ring::AbandonOnDrop(ring);
+                        let mut busy_local = Duration::ZERO;
+                        let work = loop {
+                            let Some(chunk) = ring.pop() else { break Ok(()) };
+                            let t0 = Instant::now();
+                            let mut result = Ok(());
+                            for i in chunk {
+                                let (path, t) = &records[i as usize];
+                                if let Err(e) = shard.push_str(path.as_ref(), *t) {
+                                    result = Err(e);
+                                    break;
+                                }
+                            }
+                            busy_local += t0.elapsed();
+                            if result.is_err() {
+                                // Unblock the router before bailing out.
+                                ring.abandon();
+                                break result;
+                            }
+                        };
+                        // Broadcast boundary: every shard ends the batch
+                        // at the same open unit, closing its share of
+                        // the passed units in parallel.
+                        let work = work.and_then(|()| {
+                            let t0 = Instant::now();
+                            let r = shard.advance_to(advance_secs);
+                            busy_local += t0.elapsed();
+                            r
+                        });
+                        *busy_slot += busy_local.as_nanos() as u64;
+                        work
+                    })
+                })
+                .collect();
+
+            // Route on the calling thread, overlapping the workers.
+            let t0 = Instant::now();
+            let mut chunks: Vec<Vec<u32>> = vec![Vec::with_capacity(CHUNK_RECORDS); n];
+            for (i, (path, _)) in records.iter().enumerate() {
+                let shard = router.route(path.as_ref());
+                let chunk = &mut chunks[shard];
+                chunk.push(i as u32);
+                if chunk.len() >= CHUNK_RECORDS {
+                    let full = std::mem::replace(chunk, Vec::with_capacity(CHUNK_RECORDS));
+                    // `false` = the worker abandoned after an error; keep
+                    // routing so the remaining shards finish normally.
+                    let _ = rings[shard].push(full);
+                }
+            }
+            for (ring, chunk) in rings.iter().zip(chunks) {
+                if !chunk.is_empty() {
+                    let _ = ring.push(chunk);
+                }
+                ring.finish();
+            }
+            *router_nanos += t0.elapsed().as_nanos() as u64;
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard ingest worker never panics"))
+                .collect::<Result<Vec<()>, CoreError>>()
+        })?;
+        Ok(())
+    }
+
+    /// Sequential batch execution: identical routing and per-shard
+    /// record order, processed shard-by-shard on the calling thread.
+    fn run_batch_sequential<S: AsRef<str> + Sync>(
+        &mut self,
+        records: &[(S, u64)],
+        final_unit: u64,
+    ) -> Result<(), CoreError> {
+        let n = self.shards.len();
+        let advance_secs = final_unit * self.builder.timeunit_secs;
+        let t0 = Instant::now();
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, (path, _)) in records.iter().enumerate() {
+            routed[self.router.route(path.as_ref())].push(i as u32);
+        }
+        self.router_nanos += t0.elapsed().as_nanos() as u64;
+        for ((shard, indices), busy_slot) in
+            self.shards.iter_mut().zip(&routed).zip(self.busy_nanos.iter_mut())
+        {
+            let t0 = Instant::now();
+            let mut work = Ok(());
+            for &i in indices {
+                let (path, t) = &records[i as usize];
+                if let Err(e) = shard.push_str(path.as_ref(), *t) {
+                    work = Err(e);
+                    break;
+                }
+            }
+            let work = work.and_then(|()| shard.advance_to(advance_secs));
+            *busy_slot += t0.elapsed().as_nanos() as u64;
+            work?;
+        }
+        Ok(())
+    }
+
+    /// Collects newly stored events from every shard and releases — in
+    /// `(unit, path)` order, re-homed onto the report tree — all events
+    /// of units that every shard has closed. Per-shard synthetic root
+    /// events (level 0) are dropped: the shard root aggregates only the
+    /// top-level labels that happen to share the shard, so its series
+    /// is not shard-count invariant (see the module docs).
+    fn merge_events(&mut self) {
+        for (shard, cursor) in self.shards.iter().zip(self.merged.iter_mut()) {
+            let events = shard.store().events();
+            for event in &events[*cursor..] {
+                if event.level >= 1 {
+                    self.pending.push(event.clone());
+                }
+            }
+            *cursor = events.len();
+        }
+        // A unit still open on any shard may yet produce events there;
+        // only strictly older units are final.
+        let release_before =
+            self.shards.iter().map(|s| s.current_unit().unwrap_or(0)).min().unwrap_or(0);
+        self.pending.sort_by(|a, b| (a.unit, &a.path).cmp(&(b.unit, &b.path)));
+        let releasable = self
+            .pending
+            .iter()
+            .position(|e| e.unit >= release_before)
+            .unwrap_or(self.pending.len());
+        for mut event in self.pending.drain(..releasable) {
+            event.node = self.report_tree.insert_category(&event.path);
+            self.store.insert(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TiresiasBuilder;
+
+    fn builder() -> TiresiasBuilder {
+        TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(32)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(4)
+            .ref_levels(2)
+    }
+
+    fn burst_batch(paths: &[&str], units: u64, burst_unit: u64) -> Vec<(String, u64)> {
+        let mut batch = Vec::new();
+        for u in 0..units {
+            for (k, p) in paths.iter().enumerate() {
+                let count = if u == burst_unit && k == 0 { 80 } else { 8 };
+                for i in 0..count {
+                    batch.push((p.to_string(), u * 900 + i));
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn router_is_deterministic_and_top_level_only() {
+        let r = ShardRouter::new(8);
+        assert_eq!(r.route("a/b/c"), r.route("a/zzz"));
+        assert_eq!(r.route("a/b/c"), r.route("/a//b"));
+        let spread: std::collections::HashSet<usize> =
+            (0..64).map(|i| r.route(&format!("label-{i}/x"))).collect();
+        assert!(spread.len() > 4, "64 labels spread over several of 8 shards");
+        assert_eq!(ShardRouter::new(0).shards(), 1, "clamped to one shard");
+    }
+
+    #[test]
+    fn detects_like_the_single_detector() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce"];
+        let batch = burst_batch(&paths, 10, 9);
+        let mut engine = builder().shards(4).build_sharded().unwrap();
+        engine.push_batch(&batch).unwrap();
+        engine.advance_to(10 * 900).unwrap();
+        assert!(engine.is_warmed_up());
+        assert_eq!(engine.units_processed(), 10);
+        let events = engine.anomalies();
+        assert_eq!(events.len(), 1, "exactly the injected burst: {events:?}");
+        assert_eq!(events[0].path.to_string(), "TV/NoService");
+        assert_eq!(events[0].unit, 9);
+        // The event's node id lives in the report tree.
+        assert_eq!(engine.tree().path_of(events[0].node), events[0].path);
+    }
+
+    #[test]
+    fn threaded_and_sequential_agree() {
+        let paths = ["a/x", "b/y", "c/z", "d/w", "e/v"];
+        let batch = burst_batch(&paths, 8, 7);
+        let mut threaded = builder().shards(4).build_sharded().unwrap();
+        let mut sequential = builder().shards(4).build_sharded().unwrap();
+        sequential.set_threaded(false);
+        assert!(threaded.is_threaded() && !sequential.is_threaded());
+        for chunk in batch.chunks(97) {
+            threaded.push_batch(chunk).unwrap();
+            sequential.push_batch(chunk).unwrap();
+        }
+        threaded.advance_to(9 * 900).unwrap();
+        sequential.advance_to(9 * 900).unwrap();
+        assert_eq!(threaded.anomalies(), sequential.anomalies());
+        assert_eq!(threaded.heavy_hitter_paths(), sequential.heavy_hitter_paths());
+        assert_eq!(threaded.units_processed(), sequential.units_processed());
+    }
+
+    #[test]
+    fn batches_are_rejected_atomically_when_out_of_order() {
+        let mut engine = builder().shards(2).build_sharded().unwrap();
+        engine.push_batch(&[("a/x", 5000u64)]).unwrap();
+        let units_before = engine.units_processed();
+        // Second record regresses below the open unit: nothing ingests.
+        let err = engine.push_batch(&[("a/x", 5100u64), ("b/y", 100u64)]).unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrder { .. }));
+        assert_eq!(engine.units_processed(), units_before);
+        // The engine remains usable.
+        engine.push_batch(&[("b/y", 5200u64)]).unwrap();
+    }
+
+    #[test]
+    fn push_str_merges_on_next_advance() {
+        let mut engine = builder().shards(3).build_sharded().unwrap();
+        for u in 0..6u64 {
+            for i in 0..30 {
+                engine.push_str("hot/leaf", u * 900 + i).unwrap();
+            }
+        }
+        for i in 0..300 {
+            engine.push_str("hot/leaf", 6 * 900 + i).unwrap();
+        }
+        engine.advance_to(7 * 900).unwrap();
+        assert_eq!(engine.anomalies().len(), 1);
+        assert_eq!(engine.anomalies()[0].unit, 6);
+        let hh = engine.heavy_hitter_paths();
+        assert!(hh.iter().any(|p| p.to_string() == "hot/leaf"), "{hh:?}");
+    }
+
+    #[test]
+    fn out_of_order_push_str_is_rejected() {
+        let mut engine = builder().shards(2).build_sharded().unwrap();
+        engine.push_str("a", 5000).unwrap();
+        engine.advance_to(9000).unwrap();
+        let err = engine.push_str("a", 100).unwrap_err();
+        assert!(matches!(err, CoreError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn empty_batches_and_gaps_are_harmless() {
+        let mut engine = builder().shards(2).build_sharded().unwrap();
+        engine.push_batch::<String>(&[]).unwrap();
+        engine.push_batch(&[("a/x", 0u64)]).unwrap();
+        // Jump 5 units ahead: the gap closes as zero units everywhere.
+        engine.push_batch(&[("a/x", 6 * 900u64)]).unwrap();
+        assert_eq!(engine.units_processed(), 6);
+        // advance_to with an older timestamp never regresses.
+        engine.advance_to(0).unwrap();
+        assert_eq!(engine.current_unit(), Some(6));
+    }
+
+    #[test]
+    fn auto_seasonality_is_rejected() {
+        let err = builder().auto_seasonality(2).shards(2).build_sharded().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        assert!(err.to_string().contains("auto_seasonality"));
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let mut engine = builder().shards(2).build_sharded().unwrap();
+        engine.push_batch(&burst_batch(&["a/x", "b/y"], 4, 99)).unwrap();
+        assert!(engine.router_busy() > Duration::ZERO);
+        assert_eq!(engine.shard_busy().len(), 2);
+        assert!(engine.shard_busy().iter().any(|&d| d > Duration::ZERO));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_stream() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let batch = burst_batch(&paths, 10, 8);
+        let split_at = batch.iter().position(|&(_, t)| t >= 6 * 900).unwrap();
+
+        let mut reference = builder().shards(4).build_sharded().unwrap();
+        reference.push_batch(&batch).unwrap();
+        reference.advance_to(10 * 900).unwrap();
+
+        let mut first_half = builder().shards(4).build_sharded().unwrap();
+        first_half.push_batch(&batch[..split_at]).unwrap();
+        let json = serde_json::to_string(&first_half).expect("serialises");
+        drop(first_half);
+        let mut resumed: ShardedTiresias = serde_json::from_str(&json).expect("deserialises");
+        resumed.push_batch(&batch[split_at..]).unwrap();
+        resumed.advance_to(10 * 900).unwrap();
+
+        assert_eq!(reference.anomalies(), resumed.anomalies());
+        assert_eq!(reference.heavy_hitter_paths(), resumed.heavy_hitter_paths());
+        assert_eq!(reference.units_processed(), resumed.units_processed());
+        assert!(!reference.anomalies().is_empty(), "the burst is detected");
+    }
+}

@@ -192,7 +192,9 @@ impl Ada {
         pad_into(&mut padded, window.last().expect("window non-empty"));
         let shhh = compute_shhh(tree, &padded, ada.config.theta);
         ada.ishh = shhh.is_member.clone();
-        ada.in_shhh = shhh.is_member.clone();
+        // The adaptation choreography keeps these two in sync, so the
+        // second copy can take the buffer by value instead of cloning.
+        ada.in_shhh = shhh.is_member;
         ada.weight = shhh.modified;
         ada.members = shhh.members;
         ada.agg = aggregate_weights(tree, &padded);
@@ -335,7 +337,11 @@ impl Ada {
                     self.series[root.index()] = Some(self.zero_series());
                 }
             }
-        } else if self.in_shhh[root.index()] {
+        } else {
+            // Also drops the series a root-isolated split left in place
+            // when the root fell out of membership in the same unit —
+            // a stale (shorter) series must never survive to a later
+            // merge or re-join.
             self.in_shhh[root.index()] = false;
             self.series[root.index()] = None;
         }
@@ -418,7 +424,11 @@ impl Ada {
             return;
         }
         let ratios = self.stats.ratios(self.config.split_rule, &children);
-        let mut parent_series = self.series[n.index()].take();
+        // Root isolation: the root's series stays put and the children
+        // seed from their reference series or zeros, so nothing that
+        // depends on sibling top-level subtrees flows downwards.
+        let isolate = self.config.root_isolation && tree.parent(n).is_none();
+        let mut parent_series = if isolate { None } else { self.series[n.index()].take() };
         let last = children.len() - 1;
         for (k, (&c, &ratio)) in children.iter().zip(ratios.iter()).enumerate() {
             // The last child takes the parent's series by value; earlier

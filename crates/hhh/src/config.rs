@@ -25,6 +25,19 @@ pub struct HhhConfig {
     /// `split_rule` is [`SplitRule::Ewma`]; kept here so the statistic is
     /// maintained consistently).
     pub stat_ewma_alpha: f64,
+    /// Keeps the root's time series out of `SPLIT` inheritance: a
+    /// first-level node joining the heavy hitter set seeds from its
+    /// reference series when one exists and from zeros otherwise,
+    /// never from a scaled copy of the root's series.
+    ///
+    /// The root is the only node whose Definition-2 weight couples
+    /// *sibling* top-level subtrees, so with this flag every depth ≥ 1
+    /// series is a pure function of that node's own subtree counts.
+    /// That is the property the sharded engine relies on for
+    /// shard-count-invariant output; see `tiresias-core`'s
+    /// `ShardedTiresias`. Off by default (the paper's SPLIT applies at
+    /// every level, including the root).
+    pub root_isolation: bool,
 }
 
 impl HhhConfig {
@@ -39,6 +52,7 @@ impl HhhConfig {
             split_rule: SplitRule::default(),
             ref_levels: 2,
             stat_ewma_alpha: 0.4,
+            root_isolation: false,
         }
     }
 
@@ -63,6 +77,13 @@ impl HhhConfig {
     #[must_use]
     pub fn with_ref_levels(mut self, h: usize) -> Self {
         self.ref_levels = h;
+        self
+    }
+
+    /// Enables root isolation (see [`HhhConfig::root_isolation`]).
+    #[must_use]
+    pub fn with_root_isolation(mut self, enabled: bool) -> Self {
+        self.root_isolation = enabled;
         self
     }
 

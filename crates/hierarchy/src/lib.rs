@@ -45,7 +45,7 @@ mod weights;
 
 pub use error::HierarchyError;
 pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
-pub use path::CategoryPath;
+pub use path::{first_segment, first_segment_hash, CategoryPath};
 pub use render::{render_ascii, render_dot};
 pub use spec::{HierarchySpec, LevelSpec};
 pub use traversal::{LevelOrder, RevLevelOrder, Subtree};

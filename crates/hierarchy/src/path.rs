@@ -1,6 +1,60 @@
 use std::fmt;
+use std::hash::Hasher;
 
 use serde::{Deserialize, Serialize};
+
+use crate::fx::FxHasher;
+
+/// The first non-empty segment of a `/`-separated path, without parsing
+/// or allocating — `None` for the root path (`""`, `"/"`, `"//"`, …).
+///
+/// Empty segments are skipped exactly like [`CategoryPath`] parsing, so
+/// `"/TV//NoService"` yields `"TV"`. This is the lookup a shard router
+/// performs per record: the routing decision needs only the *top-level*
+/// label, never a full path resolve.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::first_segment;
+///
+/// assert_eq!(first_segment("TV/No Service"), Some("TV"));
+/// assert_eq!(first_segment("//TV/"), Some("TV"));
+/// assert_eq!(first_segment("//"), None);
+/// ```
+pub fn first_segment(path: &str) -> Option<&str> {
+    path.split('/').find(|s| !s.is_empty())
+}
+
+/// A stable hash of the first non-empty segment of a `/`-separated
+/// path (0 for the root path).
+///
+/// The hash is the crate's deterministic [`FxHasher`] over the segment
+/// bytes: the same label always maps to the same value, across
+/// processes and restarts, which is what makes hash-based shard routing
+/// reproducible and checkpointable. Like every Fx-hashed index in this
+/// crate, it is *not* DoS-resistant — sanitise adversarial category
+/// feeds upstream.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_hierarchy::first_segment_hash;
+///
+/// // Only the first segment matters, and empty segments are skipped.
+/// assert_eq!(first_segment_hash("TV/a/b"), first_segment_hash("/TV//z"));
+/// assert_ne!(first_segment_hash("TV/a"), first_segment_hash("Internet/a"));
+/// ```
+pub fn first_segment_hash(path: &str) -> u64 {
+    match first_segment(path) {
+        Some(segment) => {
+            let mut h = FxHasher::default();
+            h.write(segment.as_bytes());
+            h.finish()
+        }
+        None => 0,
+    }
+}
 
 /// A category path: the sequence of labels from (but excluding) the root
 /// down to a node of the hierarchy.
@@ -219,5 +273,25 @@ mod tests {
         let b: CategoryPath = "b".parse().unwrap();
         assert!(a < ab);
         assert!(ab < b);
+    }
+
+    #[test]
+    fn first_segment_skips_empty_labels() {
+        assert_eq!(first_segment("a/b/c"), Some("a"));
+        assert_eq!(first_segment("//a//b"), Some("a"));
+        assert_eq!(first_segment("solo"), Some("solo"));
+        assert_eq!(first_segment(""), None);
+        assert_eq!(first_segment("///"), None);
+    }
+
+    #[test]
+    fn first_segment_hash_depends_only_on_first_segment() {
+        let h = first_segment_hash("VHO-3/IO-1/CO-7");
+        assert_eq!(h, first_segment_hash("VHO-3"));
+        assert_eq!(h, first_segment_hash("/VHO-3/anything/else/"));
+        assert_ne!(h, first_segment_hash("VHO-4/IO-1/CO-7"));
+        assert_eq!(first_segment_hash("//"), 0);
+        // Stable across calls (the property shard routing relies on).
+        assert_eq!(h, first_segment_hash("VHO-3/IO-1/CO-7"));
     }
 }

@@ -34,19 +34,32 @@ pub fn mse(a: &[f64], b: &[f64]) -> Option<f64> {
     Some(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64)
 }
 
-/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
-/// copy; `None` for an empty slice or `q` outside `[0, 1]`.
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between the two
+/// straddling order statistics; `None` for an empty slice or `q` outside
+/// `[0, 1]`.
+///
+/// Selects rather than sorts — O(n) expected instead of O(n log n) —
+/// with output identical to interpolating on a fully sorted copy (ties
+/// included: equal values interpolate to the same value regardless of
+/// which duplicate lands on which side of the selection pivot).
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() || !(0.0..=1.0).contains(&q) {
         return None;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
-    let pos = q * (sorted.len() - 1) as f64;
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("no NaN in quantile input");
+    let mut scratch: Vec<f64> = xs.to_vec();
+    let pos = q * (scratch.len() - 1) as f64;
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let (_, &mut lo_val, above) = scratch.select_nth_unstable_by(lo, cmp);
+    if frac == 0.0 {
+        // Also covers lo == len−1, where `above` is empty.
+        return Some(lo_val);
+    }
+    // The (lo+1)-th order statistic is the minimum of the partition
+    // above the selected element.
+    let hi_val = above.iter().copied().min_by(cmp).expect("frac > 0 implies lo < len-1");
+    Some(lo_val * (1.0 - frac) + hi_val * frac)
 }
 
 /// Divides every sample by the maximum, mapping the series into `[0, 1]`
@@ -134,6 +147,23 @@ mod tests {
         let a = [5.0, 1.0, 3.0];
         let b = [1.0, 3.0, 5.0];
         assert_eq!(quantile(&a, 0.5), quantile(&b, 0.5));
+    }
+
+    #[test]
+    fn quantile_matches_full_sort_reference() {
+        // The selection-based implementation must agree bit-for-bit with
+        // interpolation on a fully sorted copy — ties and all q included.
+        let xs: Vec<f64> = (0..257).map(|i| ((i * 7919) % 101) as f64 * 0.5).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let pos = q * (sorted.len() - 1) as f64;
+            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+            let frac = pos - lo as f64;
+            let reference = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+            assert_eq!(quantile(&xs, q), Some(reference), "q = {q}");
+        }
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //!
 //! Options (both subcommands): `--timeunit <secs>` `--window <units>`
 //! `--theta <w>` `--season <units>` `--rt <x>` `--dt <x>`
-//! `--warmup <units>`.
+//! `--warmup <units>`. `detect` additionally takes `--shards <n>` to
+//! run the sharded multi-core engine (records batched and routed by
+//! top-level label; any explicit `--shards` count — 1 included —
+//! produces identical output, while omitting the flag runs the plain
+//! detector, which additionally reports whole-population root
+//! anomalies) and `--batch <records>` to tune the batch size.
 
 use std::io::BufRead;
 
-use tiresias::core::{events_to_csv, TiresiasBuilder};
+use tiresias::core::{events_to_csv, CoreError, TiresiasBuilder};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 use tiresias::hierarchy::render_ascii;
 
@@ -28,6 +33,8 @@ struct Options {
     rt: f64,
     dt: f64,
     warmup: Option<usize>,
+    shards: Option<usize>,
+    batch: usize,
 }
 
 impl Default for Options {
@@ -40,6 +47,8 @@ impl Default for Options {
             rt: 2.8,
             dt: 8.0,
             warmup: None,
+            shards: None,
+            batch: 8192,
         }
     }
 }
@@ -63,13 +72,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--warmup" => {
                 opts.warmup = Some(value("--warmup")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--shards" => {
+                opts.shards = Some(value("--shards")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--batch" => opts.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(opts)
 }
 
-fn build(opts: &Options) -> Result<tiresias::Tiresias, Box<dyn std::error::Error>> {
+fn builder(opts: &Options) -> TiresiasBuilder {
     let mut b = TiresiasBuilder::new()
         .timeunit_secs(opts.timeunit)
         .window_len(opts.window)
@@ -79,16 +92,80 @@ fn build(opts: &Options) -> Result<tiresias::Tiresias, Box<dyn std::error::Error
     if let Some(w) = opts.warmup {
         b = b.warmup_units(w);
     }
-    Ok(b.build()?)
+    b
+}
+
+fn build(opts: &Options) -> Result<tiresias::Tiresias, Box<dyn std::error::Error>> {
+    Ok(builder(opts).build()?)
+}
+
+/// Either ingest engine behind the `detect` subcommand: the plain
+/// detector by default, or the sharded engine when `--shards` is given
+/// explicitly (any count, including 1, so outputs stay comparable
+/// across `--shards` values).
+enum Engine {
+    Single(Box<tiresias::Tiresias>),
+    /// The sharded engine plus its record batch buffer (records are
+    /// owned per batch; the plain detector instead takes the borrowed
+    /// zero-allocation `push_str` path record by record).
+    Sharded(Box<tiresias::core::ShardedTiresias>, Vec<(String, u64)>),
+}
+
+impl Engine {
+    /// Ingests one in-order record (the caller has already skipped
+    /// stale timestamps, so batches never fail their order validation).
+    fn push(&mut self, category: &str, t: u64, batch_cap: usize) -> Result<(), CoreError> {
+        match self {
+            Engine::Single(d) => d.push_str(category, t),
+            Engine::Sharded(e, batch) => {
+                batch.push((category.to_string(), t));
+                if batch.len() >= batch_cap {
+                    e.push_batch(batch)?;
+                    batch.clear();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(&mut self, t: u64) -> Result<(), CoreError> {
+        match self {
+            Engine::Single(d) => d.advance_to(t),
+            Engine::Sharded(e, batch) => {
+                e.push_batch(batch)?;
+                batch.clear();
+                e.advance_to(t)
+            }
+        }
+    }
+
+    fn summary(&self) -> (u64, usize, &[tiresias::core::AnomalyEvent]) {
+        match self {
+            Engine::Single(d) => (d.units_processed(), d.heavy_hitters().len(), d.anomalies()),
+            Engine::Sharded(e, _) => {
+                (e.units_processed(), e.heavy_hitter_paths().len(), e.anomalies())
+            }
+        }
+    }
 }
 
 fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let file = std::fs::File::open(path)?;
-    let mut detector = build(opts)?;
+    let mut engine = match opts.shards {
+        Some(shards) => {
+            let b = builder(opts).shards(shards);
+            Engine::Sharded(Box::new(b.build_sharded()?), Vec::with_capacity(opts.batch))
+        }
+        None => Engine::Single(Box::new(build(opts)?)),
+    };
     let mut line_no = 0u64;
     let mut accepted = 0u64;
     let mut skipped = 0u64;
     let mut last_time = 0u64;
+    // Stale records are skipped here (as push_str would reject them),
+    // so a bad record never poisons a sharded batch — batches are
+    // rejected atomically on out-of-order input.
+    let mut open_unit = 0u64;
     for line in std::io::BufReader::new(file).lines() {
         let line = line?;
         line_no += 1;
@@ -109,26 +186,24 @@ fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Erro
             skipped += 1;
             continue;
         };
-        // The CSV line is already borrowed text — take the
-        // zero-allocation fast path instead of parsing a Record.
-        match detector.push_str(category.trim(), t) {
-            Ok(()) => {
-                accepted += 1;
-                last_time = last_time.max(t);
-            }
-            Err(e) => {
-                eprintln!("line {line_no}: {e}, skipping");
-                skipped += 1;
-            }
+        if accepted > 0 && t / opts.timeunit < open_unit {
+            eprintln!("line {line_no}: record timestamp {t} precedes the open timeunit, skipping");
+            skipped += 1;
+            continue;
         }
+        open_unit = open_unit.max(t / opts.timeunit);
+        accepted += 1;
+        last_time = last_time.max(t);
+        engine.push(category.trim(), t, opts.batch)?;
     }
-    detector.advance_to(last_time + opts.timeunit)?;
+    engine.finish(last_time + opts.timeunit)?;
+    let (units, heavy, anomalies) = engine.summary();
     eprintln!(
-        "processed {accepted} records ({skipped} skipped) over {} timeunits; {} heavy hitters live",
-        detector.units_processed(),
-        detector.heavy_hitters().len()
+        "processed {accepted} records ({skipped} skipped) over {units} timeunits \
+         across {} shard(s); {heavy} heavy hitters live",
+        opts.shards.unwrap_or(1).max(1),
     );
-    print!("{}", events_to_csv(detector.anomalies()));
+    print!("{}", events_to_csv(anomalies));
     Ok(())
 }
 
@@ -164,7 +239,8 @@ fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: tiresias <detect <file.csv> | demo> [--timeunit s] [--window n] \
-                 [--theta w] [--season n] [--rt x] [--dt x] [--warmup n]";
+                 [--theta w] [--season n] [--rt x] [--dt x] [--warmup n] \
+                 [--shards n] [--batch n]";
     let result = match args.split_first() {
         Some((cmd, rest)) if cmd == "detect" => match rest.split_first() {
             Some((path, flags)) => match parse_options(flags) {
