@@ -1,0 +1,275 @@
+//! `bench_serve` — end-to-end throughput of the streaming daemon's
+//! socket path.
+//!
+//! Starts an in-process `tiresias-server` on a loopback socket, then
+//! drives it with N concurrent TCP clients pushing a synthetic
+//! multi-category workload through the wire protocol, and measures
+//! **records/sec through the socket admission path**: socket reads,
+//! protocol parsing, per-record admission into the due/future buffers
+//! and size-triggered `push_batch` flushes into the sharded engine.
+//! (Timeunit *closes* run on the scheduler thread and overlap
+//! admission in steady state; in this compressed replay they mostly
+//! fire at the grace-window expiry, outside the timed window — the
+//! `STATS` line in the report confirms every record was processed.)
+//! Two modes are measured:
+//!
+//! * `noack` — clients issue `NOACK` first, so `PUSH` lines stream
+//!   without per-record replies (the operational bulk-feed mode);
+//! * `acked` — every `PUSH` is acknowledged with `OK`, which bounds
+//!   the protocol's chatty lower end (clients pipeline writes and
+//!   drain replies on a separate thread).
+//!
+//! The run also verifies the serving semantics end to end: a
+//! subscriber must receive at least one live anomaly event for the
+//! injected burst, and the daemon must shut down gracefully, writing a
+//! versioned checkpoint.
+//!
+//! Writes the JSON report to the path given as the first argument,
+//! default `BENCH_serve.json`, and prints it to stdout.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tiresias_core::{TiresiasBuilder, CHECKPOINT_VERSION};
+use tiresias_server::{Server, ServerConfig};
+
+const TIMEUNIT: u64 = 900;
+const UNITS: u64 = 24;
+const CATEGORIES: u64 = 32;
+const RECORDS_PER_UNIT_PER_CATEGORY: u64 = 60;
+const BURST_UNIT: u64 = 20;
+const BURST_FACTOR: u64 = 10;
+const CLIENTS: usize = 4;
+const SHARDS: usize = 4;
+/// Generous grace window: the bench replays historical timestamps much
+/// faster than real time, so the window must absorb the full
+/// cross-client skew (one client's stream running ahead of another's)
+/// or stragglers would be dropped as late.
+const GRACE_MS: u64 = 3_000;
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(96)
+        .threshold(10.0)
+        .season_length(4)
+        .sensitivity(2.8, 8.0)
+        .warmup_units(8)
+        .shards(SHARDS)
+}
+
+/// The synthetic workload as protocol `PUSH` lines, chunked
+/// `payloads[client][unit]`. Records are dealt round-robin within each
+/// unit so client streams interleave mid-unit like real feeds, but the
+/// clients advance through *units* in lockstep (a barrier between
+/// units in the driver) — live feeds are naturally time-aligned, and
+/// unbounded skew would just measure the grace window dropping
+/// stragglers.
+fn client_payloads() -> (usize, Vec<Vec<String>>) {
+    let mut total = 0usize;
+    let mut payloads = vec![vec![String::new(); UNITS as usize]; CLIENTS];
+    for u in 0..UNITS {
+        let mut i_in_unit = 0usize;
+        for c in 0..CATEGORIES {
+            let count = if u == BURST_UNIT && c == 0 {
+                RECORDS_PER_UNIT_PER_CATEGORY * BURST_FACTOR
+            } else {
+                RECORDS_PER_UNIT_PER_CATEGORY
+            };
+            for i in 0..count {
+                let t = u * TIMEUNIT + (i % TIMEUNIT);
+                payloads[i_in_unit % CLIENTS][u as usize]
+                    .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
+                i_in_unit += 1;
+                total += 1;
+            }
+        }
+    }
+    (total, payloads)
+}
+
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    clients: usize,
+    records: usize,
+    wall_seconds: f64,
+    records_per_sec: f64,
+}
+
+/// Keyed by mode name (a map, so `perf_guard` dotted paths like
+/// `modes.noack.records_per_sec` can address the metrics).
+#[derive(Debug, Serialize)]
+struct ModesReport {
+    noack: ModeReport,
+    acked: ModeReport,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    host_cores: usize,
+    config: ConfigReport,
+    modes: ModesReport,
+    /// Anomaly events the live subscriber received (≥ 1 required).
+    subscribed_events: usize,
+    /// Final `STATS` line of the `noack` run.
+    stats: String,
+    clean_shutdown: bool,
+    checkpoint_versioned: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigReport {
+    shards: usize,
+    timeunit_secs: u64,
+    units: u64,
+    categories: u64,
+    grace_ms: u64,
+    flush_records: usize,
+}
+
+/// One measured run; returns (wall seconds, subscribed event count,
+/// stats line, checkpoint_versioned).
+fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usize, String, bool) {
+    let ckpt = std::env::temp_dir().join(format!(
+        "bench-serve-{}-{}.ckpt",
+        std::process::id(),
+        if noack { "noack" } else { "acked" }
+    ));
+    let _ = std::fs::remove_file(&ckpt);
+    let mut config = ServerConfig::new(builder());
+    config.grace = Duration::from_millis(GRACE_MS);
+    config.tick = Duration::from_millis(20);
+    config.checkpoint = Some(ckpt.clone());
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Subscriber: collects events until the stream closes at shutdown.
+    let sub = {
+        let mut stream = TcpStream::connect(addr).expect("subscriber connects");
+        stream.write_all(b"SUBSCRIBE\n").expect("subscribes");
+        std::thread::spawn(move || {
+            let mut events = 0usize;
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.starts_with("EVENT ") {
+                    events += 1;
+                }
+            }
+            events
+        })
+    };
+
+    let t0 = Instant::now();
+    let unit_barrier = std::sync::Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for chunks in payloads {
+            let unit_barrier = &unit_barrier;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("client connects");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+                let mut line = String::new();
+                if noack {
+                    stream.write_all(b"NOACK\n").expect("noack");
+                    reader.read_line(&mut line).expect("noack ok");
+                    assert_eq!(line.trim_end(), "OK");
+                }
+                for chunk in chunks {
+                    // One unit: the chunk plus a PING fence, then read
+                    // the replies until the PONG proves every record of
+                    // the unit was processed. The barrier then keeps
+                    // the clients' *processing* positions aligned to
+                    // within one unit — live feeds are naturally
+                    // time-aligned, and unbounded skew would just
+                    // measure the grace window dropping stragglers.
+                    stream.write_all(chunk.as_bytes()).expect("pushes");
+                    stream.write_all(b"PING\n").expect("ping");
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => panic!("server hung up mid-unit"),
+                            Ok(_) => match line.trim_end() {
+                                "PONG" => break,
+                                reply => assert!(reply.starts_with("OK"), "reply: {reply}"),
+                            },
+                        }
+                    }
+                    unit_barrier.wait();
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Let the grace window expire so the burst's unit closes and the
+    // events reach the subscriber live, before shutdown.
+    std::thread::sleep(Duration::from_millis(GRACE_MS + 400));
+    let mut control = TcpStream::connect(addr).expect("control connects");
+    control.write_all(b"STATS\n").expect("stats");
+    let mut reader = BufReader::new(control.try_clone().expect("clones"));
+    let mut stats = String::new();
+    reader.read_line(&mut stats).expect("stats reply");
+    control.write_all(b"SHUTDOWN\n").expect("shutdown");
+    server.join().expect("clean shutdown");
+    let events = sub.join().expect("subscriber finishes");
+
+    let stats = stats.trim_end().to_string();
+    assert!(
+        stats.contains(&format!("records={records}")),
+        "every pushed record was admitted: {stats}"
+    );
+    let checkpoint_versioned = std::fs::read_to_string(&ckpt)
+        .map(|json| json.contains(&format!("\"version\":{CHECKPOINT_VERSION}")))
+        .unwrap_or(false);
+    let _ = std::fs::remove_file(&ckpt);
+    (wall, events, stats, checkpoint_versioned)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let (records, payloads) = client_payloads();
+
+    let (acked_wall, _, _, _) = run_mode(false, &payloads, records);
+    let (noack_wall, events, stats, checkpoint_versioned) = run_mode(true, &payloads, records);
+    assert!(events >= 1, "the subscriber saw the injected burst");
+
+    let report = Report {
+        schema: "tiresias-bench-serve/v1".to_string(),
+        generated_by: "cargo run --release -p tiresias-bench --bin bench_serve".to_string(),
+        host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        config: ConfigReport {
+            shards: SHARDS,
+            timeunit_secs: TIMEUNIT,
+            units: UNITS,
+            categories: CATEGORIES,
+            grace_ms: GRACE_MS,
+            flush_records: 8192,
+        },
+        modes: ModesReport {
+            noack: ModeReport {
+                clients: CLIENTS,
+                records,
+                wall_seconds: noack_wall,
+                records_per_sec: records as f64 / noack_wall,
+            },
+            acked: ModeReport {
+                clients: CLIENTS,
+                records,
+                wall_seconds: acked_wall,
+                records_per_sec: records as f64 / acked_wall,
+            },
+        },
+        subscribed_events: events,
+        stats,
+        clean_shutdown: true,
+        checkpoint_versioned,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report file");
+    println!("{json}");
+}

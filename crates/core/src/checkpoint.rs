@@ -1,0 +1,340 @@
+//! Versioned checkpoint envelope for detector state.
+//!
+//! Serialising a [`Tiresias`] or [`ShardedTiresias`] with serde yields
+//! a bare state object whose schema silently drifts as the structs
+//! evolve — PR 2 added the builder fields `shards` and
+//! `root_isolation`, and the vendored mini-serde has no
+//! `#[serde(default)]`, so pre-PR-2 checkpoints stopped loading until
+//! someone edited them by hand. This module wraps checkpoints in an
+//! explicit envelope instead:
+//!
+//! ```json
+//! {"version": 2, "kind": "sharded", "engine": { ...detector state... }}
+//! ```
+//!
+//! * `version` is [`CHECKPOINT_VERSION`]; loaders reject versions from
+//!   the future with a clear error instead of a field-by-field puzzle.
+//! * `kind` is `"single"` ([`Tiresias`]) or `"sharded"`
+//!   ([`ShardedTiresias`]), so one load entry point restores either
+//!   engine.
+//! * `engine` is the detector's ordinary serde state.
+//!
+//! [`load_checkpoint`] also accepts **v1 checkpoints** — bare engine
+//! JSON with no envelope, as written before this module existed — and
+//! migrates them on load: every builder object missing the PR 2 fields
+//! gets `shards = 1` and `root_isolation = false`, which is exactly the
+//! configuration every pre-sharding detector ran with.
+
+use serde::Value;
+
+use crate::detector::Tiresias;
+use crate::error::CoreError;
+use crate::sharded::ShardedTiresias;
+
+/// Current checkpoint envelope version.
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// A checkpointed engine of either flavour, as restored by
+/// [`load_checkpoint`].
+#[derive(Debug, Clone)]
+pub enum CheckpointEngine {
+    /// A single-instance [`Tiresias`] detector.
+    Single(Box<Tiresias>),
+    /// A [`ShardedTiresias`] multi-core engine.
+    Sharded(Box<ShardedTiresias>),
+}
+
+impl From<Tiresias> for CheckpointEngine {
+    fn from(t: Tiresias) -> Self {
+        CheckpointEngine::Single(Box::new(t))
+    }
+}
+
+impl From<ShardedTiresias> for CheckpointEngine {
+    fn from(s: ShardedTiresias) -> Self {
+        CheckpointEngine::Sharded(Box::new(s))
+    }
+}
+
+/// Serialises an engine into the versioned checkpoint envelope
+/// (compact JSON).
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::{load_checkpoint, save_checkpoint, CheckpointEngine, TiresiasBuilder};
+///
+/// let detector = TiresiasBuilder::new().season_length(4).window_len(16).build()?;
+/// let json = save_checkpoint(&CheckpointEngine::from(detector));
+/// assert!(json.starts_with("{\"version\":2,"));
+/// assert!(matches!(load_checkpoint(&json)?, CheckpointEngine::Single(_)));
+/// # Ok::<(), tiresias_core::CoreError>(())
+/// ```
+pub fn save_checkpoint(engine: &CheckpointEngine) -> String {
+    match engine {
+        CheckpointEngine::Single(t) => save_single_checkpoint(t),
+        CheckpointEngine::Sharded(s) => save_sharded_checkpoint(s),
+    }
+}
+
+/// [`save_checkpoint`] for a borrowed single-instance detector — no
+/// clone, so a serving layer can checkpoint in place.
+pub fn save_single_checkpoint(detector: &Tiresias) -> String {
+    envelope("single", &serde_json::to_string(detector).expect("detector state serialises"))
+}
+
+/// [`save_checkpoint`] for a borrowed sharded engine — no clone, so a
+/// serving layer can checkpoint in place.
+pub fn save_sharded_checkpoint(engine: &ShardedTiresias) -> String {
+    envelope("sharded", &serde_json::to_string(engine).expect("engine state serialises"))
+}
+
+fn envelope(kind: &str, engine_json: &str) -> String {
+    // The envelope is spliced as text: the vendored mini-serde `Value`
+    // has no `Serialize` impl of its own, and the engine body is
+    // already valid compact JSON.
+    format!("{{\"version\":{CHECKPOINT_VERSION},\"kind\":\"{kind}\",\"engine\":{engine_json}}}")
+}
+
+/// Restores an engine from checkpoint JSON — the current versioned
+/// envelope or a legacy v1 bare-state checkpoint (see the
+/// [module docs](self) for the migration rules).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] on malformed JSON, an unsupported
+/// (future) version, an unknown `kind`, or engine state that fails to
+/// deserialise after migration.
+pub fn load_checkpoint(json: &str) -> Result<CheckpointEngine, CoreError> {
+    let value = serde_json::parse_value(json)
+        .map_err(|e| CoreError::Checkpoint(format!("malformed checkpoint JSON: {e}")))?;
+    match map_get(&value, "version") {
+        Some(version) => {
+            let version = match version {
+                Value::U64(v) => *v,
+                Value::I64(v) if *v >= 0 => *v as u64,
+                other => {
+                    return Err(CoreError::Checkpoint(format!(
+                        "checkpoint version must be an integer, found {}",
+                        other.kind()
+                    )));
+                }
+            };
+            if version > CHECKPOINT_VERSION {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint version {version} is newer than the supported \
+                     version {CHECKPOINT_VERSION}; upgrade tiresias to load it"
+                )));
+            }
+            let kind = match map_get(&value, "kind") {
+                Some(Value::Str(kind)) => kind.clone(),
+                Some(other) => {
+                    return Err(CoreError::Checkpoint(format!(
+                        "checkpoint `kind` must be a string, found {}",
+                        other.kind()
+                    )));
+                }
+                None => {
+                    return Err(CoreError::Checkpoint(
+                        "checkpoint envelope is missing the `kind` field".into(),
+                    ));
+                }
+            };
+            let engine = map_get(&value, "engine").ok_or_else(|| {
+                CoreError::Checkpoint("checkpoint envelope is missing the `engine` field".into())
+            })?;
+            engine_from_value(&kind, engine)
+        }
+        // No `version` field: a v1 checkpoint — bare engine state from
+        // before the envelope existed. Migrate the breaking builder
+        // fields in place, then load it under its inferred kind.
+        None => {
+            let mut value = value;
+            migrate_v1_builders(&mut value);
+            // Only `ShardedTiresias` carries a router; everything a v1
+            // deployment could have written is a single detector, but
+            // infer the kind structurally so a hand-rolled envelope-less
+            // sharded state loads too.
+            let kind = if map_get(&value, "router").is_some() { "sharded" } else { "single" };
+            engine_from_value(kind, &value)
+        }
+    }
+}
+
+/// Restores the concrete engine from its serde state value.
+fn engine_from_value(kind: &str, engine: &Value) -> Result<CheckpointEngine, CoreError> {
+    use serde::Deserialize;
+    match kind {
+        "single" => Tiresias::from_value(engine)
+            .map(|t| CheckpointEngine::Single(Box::new(t)))
+            .map_err(|e| CoreError::Checkpoint(format!("invalid single-detector state: {e}"))),
+        "sharded" => ShardedTiresias::from_value(engine)
+            .map(|s| CheckpointEngine::Sharded(Box::new(s)))
+            .map_err(|e| CoreError::Checkpoint(format!("invalid sharded-engine state: {e}"))),
+        other => Err(CoreError::Checkpoint(format!(
+            "unknown checkpoint kind `{other}` (expected `single` or `sharded`)"
+        ))),
+    }
+}
+
+/// Looks up a key in a map value (`None` for non-maps or absent keys).
+fn map_get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Walks the whole state tree and patches every builder object —
+/// recognised by its `timeunit_secs` + `window_len` signature — that
+/// predates PR 2: missing `shards` defaults to 1, missing
+/// `root_isolation` to `false`. Recursing (rather than patching one
+/// known path) also migrates the per-shard builders inside a sharded
+/// state.
+fn migrate_v1_builders(value: &mut Value) {
+    match value {
+        Value::Map(entries) => {
+            let is_builder = entries.iter().any(|(k, _)| k == "timeunit_secs")
+                && entries.iter().any(|(k, _)| k == "window_len");
+            if is_builder {
+                if !entries.iter().any(|(k, _)| k == "shards") {
+                    entries.push(("shards".to_string(), Value::U64(1)));
+                }
+                if !entries.iter().any(|(k, _)| k == "root_isolation") {
+                    entries.push(("root_isolation".to_string(), Value::Bool(false)));
+                }
+            }
+            for (_, v) in entries {
+                migrate_v1_builders(v);
+            }
+        }
+        Value::Seq(items) => {
+            for v in items {
+                migrate_v1_builders(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TiresiasBuilder;
+
+    fn builder() -> TiresiasBuilder {
+        TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(16)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(4)
+    }
+
+    fn fed_detector() -> Tiresias {
+        let mut d = builder().build().unwrap();
+        for u in 0..6u64 {
+            for i in 0..10 {
+                d.push_str("TV/NoService", u * 900 + i).unwrap();
+            }
+        }
+        d
+    }
+
+    /// Serialises a current detector, then strips the PR 2 builder
+    /// fields to reconstruct what a v1 checkpoint looked like.
+    fn v1_checkpoint_json(d: &Tiresias) -> String {
+        let json = serde_json::to_string(d).unwrap();
+        let stripped = json.replace(",\"shards\":1,\"root_isolation\":false", "");
+        assert_ne!(stripped, json, "fields were present to strip");
+        stripped
+    }
+
+    #[test]
+    fn envelope_round_trips_single() {
+        let d = fed_detector();
+        let json = save_checkpoint(&CheckpointEngine::from(d.clone()));
+        assert!(json.contains("\"version\":2"));
+        assert!(json.contains("\"kind\":\"single\""));
+        let CheckpointEngine::Single(restored) = load_checkpoint(&json).unwrap() else {
+            panic!("expected a single detector");
+        };
+        assert_eq!(restored.units_processed(), d.units_processed());
+        assert_eq!(restored.anomalies(), d.anomalies());
+    }
+
+    #[test]
+    fn envelope_round_trips_sharded() {
+        let mut engine = builder().shards(3).build_sharded().unwrap();
+        let batch: Vec<(String, u64)> =
+            (0..5u64).flat_map(|u| (0..8).map(move |i| ("a/x".to_string(), u * 900 + i))).collect();
+        engine.push_batch(&batch).unwrap();
+        let json = save_checkpoint(&CheckpointEngine::from(engine.clone()));
+        assert!(json.contains("\"kind\":\"sharded\""));
+        let CheckpointEngine::Sharded(restored) = load_checkpoint(&json).unwrap() else {
+            panic!("expected a sharded engine");
+        };
+        assert_eq!(restored.units_processed(), engine.units_processed());
+        assert_eq!(restored.shard_count(), 3);
+    }
+
+    #[test]
+    fn v1_checkpoint_migrates_on_load() {
+        let d = fed_detector();
+        let v1 = v1_checkpoint_json(&d);
+        let CheckpointEngine::Single(mut restored) = load_checkpoint(&v1).unwrap() else {
+            panic!("expected a single detector");
+        };
+        // The migrated detector continues the stream identically.
+        let mut original = d;
+        for u in 6..10u64 {
+            let count = if u == 8 { 100 } else { 10 };
+            for i in 0..count {
+                original.push_str("TV/NoService", u * 900 + i).unwrap();
+                restored.push_str("TV/NoService", u * 900 + i).unwrap();
+            }
+        }
+        original.advance_to(10 * 900).unwrap();
+        restored.advance_to(10 * 900).unwrap();
+        assert_eq!(original.anomalies(), restored.anomalies());
+        assert!(!original.anomalies().is_empty(), "the burst is detected");
+    }
+
+    #[test]
+    fn v1_migration_defaults_are_recorded() {
+        let d = builder().build().unwrap();
+        let v1 = v1_checkpoint_json(&d);
+        let CheckpointEngine::Single(restored) = load_checkpoint(&v1).unwrap() else {
+            panic!("expected a single detector");
+        };
+        // Re-saving a migrated checkpoint produces a v2 envelope with
+        // the defaulted fields present.
+        let resaved = save_checkpoint(&CheckpointEngine::Single(restored));
+        assert!(resaved.contains("\"shards\":1"));
+        assert!(resaved.contains("\"root_isolation\":false"));
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_clear_error() {
+        let err =
+            load_checkpoint("{\"version\":99,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("version 99"), "{msg}");
+        assert!(msg.contains("upgrade"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_checkpoints_error_cleanly() {
+        assert!(matches!(load_checkpoint("not json"), Err(CoreError::Checkpoint(_))));
+        assert!(matches!(load_checkpoint("{\"version\":2}"), Err(CoreError::Checkpoint(_))));
+        assert!(matches!(
+            load_checkpoint("{\"version\":2,\"kind\":\"weird\",\"engine\":{}}"),
+            Err(CoreError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            load_checkpoint("{\"version\":2,\"kind\":\"single\",\"engine\":{\"nope\":1}}"),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+}

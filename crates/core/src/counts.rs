@@ -63,6 +63,12 @@ impl DenseCounts {
         *slot += w;
     }
 
+    /// Sum of all pending counts — the number of records in the open
+    /// timeunit when every record contributes weight 1.
+    pub fn total(&self) -> f64 {
+        self.touched.iter().map(|&i| self.counts[i as usize]).sum()
+    }
+
     /// Moves the buffers out for a close sweep. The protocol is
     /// `take()` → read [`DenseCounts::dense`] → [`DenseCounts::reset`]
     /// → assign back, which recycles both allocations.

@@ -137,6 +137,17 @@ impl Tiresias {
         self.open_unit
     }
 
+    /// Timeunit size Δ in seconds.
+    pub fn timeunit_secs(&self) -> u64 {
+        self.builder.timeunit_secs
+    }
+
+    /// Number of records counted into the currently open timeunit —
+    /// a non-blocking accounting hook for schedulers and metrics.
+    pub fn open_records(&self) -> f64 {
+        self.open_counts.total()
+    }
+
     /// All anomalies detected so far, oldest first.
     pub fn anomalies(&self) -> &[AnomalyEvent] {
         self.store.events()

@@ -17,6 +17,8 @@ pub enum CoreError {
         /// Start of the currently open timeunit (seconds).
         open_unit_start: u64,
     },
+    /// A checkpoint failed to parse, migrate or restore.
+    Checkpoint(String),
     /// An error bubbled up from the heavy hitter tracker.
     Hhh(HhhError),
     /// An error bubbled up from the hierarchy.
@@ -31,6 +33,7 @@ impl fmt::Display for CoreError {
                 f,
                 "record timestamp {timestamp} precedes the open timeunit starting at {open_unit_start}"
             ),
+            CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             CoreError::Hhh(e) => write!(f, "heavy hitter tracker error: {e}"),
             CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
         }

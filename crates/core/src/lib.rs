@@ -85,6 +85,7 @@
 
 mod anomaly;
 mod builder;
+mod checkpoint;
 mod counts;
 mod detector;
 mod error;
@@ -98,6 +99,10 @@ mod store;
 
 pub use anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
 pub use builder::{Algorithm, TiresiasBuilder};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, save_sharded_checkpoint, save_single_checkpoint,
+    CheckpointEngine, CHECKPOINT_VERSION,
+};
 pub use detector::Tiresias;
 pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};

@@ -243,6 +243,45 @@ impl ShardedTiresias {
         self.open_unit
     }
 
+    /// Timeunit size Δ in seconds.
+    pub fn timeunit_secs(&self) -> u64 {
+        self.builder.timeunit_secs
+    }
+
+    /// Records counted into the currently open timeunit, summed across
+    /// shards — a non-blocking accounting hook for schedulers and
+    /// metrics (no worker threads are involved).
+    pub fn open_unit_records(&self) -> f64 {
+        self.shards.iter().map(Tiresias::open_records).sum()
+    }
+
+    /// Per-shard record counts of the currently open timeunit — the
+    /// per-shard queue-depth view a serving layer reports.
+    pub fn shard_open_records(&self) -> Vec<f64> {
+        self.shards.iter().map(Tiresias::open_records).collect()
+    }
+
+    /// Explicitly closes the currently open timeunit on every shard —
+    /// the clock-driven close a wall-clock scheduler performs when a
+    /// unit's real-time window (plus any grace period) has elapsed,
+    /// rather than waiting for a record of a later unit to arrive.
+    ///
+    /// Returns the unit that was closed, or `None` if no unit was open
+    /// (no data has ever arrived). Newly final anomalies are merged
+    /// into [`ShardedTiresias::anomalies`] before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard errors (tracker construction at the warm-up
+    /// boundary).
+    pub fn close_current_unit(&mut self) -> Result<Option<u64>, CoreError> {
+        let Some(open) = self.open_unit else {
+            return Ok(None);
+        };
+        self.advance_to((open + 1) * self.builder.timeunit_secs)?;
+        Ok(Some(open))
+    }
+
     /// Timeunits fully processed (including warm-up). Between batches
     /// every shard agrees; mid-stream laggards make this the minimum.
     pub fn units_processed(&self) -> u64 {
@@ -786,6 +825,20 @@ mod tests {
         let err = builder().auto_seasonality(2).shards(2).build_sharded().unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig(_)));
         assert!(err.to_string().contains("auto_seasonality"));
+    }
+
+    #[test]
+    fn clock_driven_close_and_accounting() {
+        let mut engine = builder().shards(2).build_sharded().unwrap();
+        assert_eq!(engine.close_current_unit().unwrap(), None, "nothing open yet");
+        engine.push_batch(&[("a/x", 10u64), ("b/y", 20u64)]).unwrap();
+        assert_eq!(engine.timeunit_secs(), 900);
+        assert_eq!(engine.open_unit_records(), 2.0);
+        assert_eq!(engine.shard_open_records().iter().sum::<f64>(), 2.0);
+        assert_eq!(engine.close_current_unit().unwrap(), Some(0));
+        assert_eq!(engine.current_unit(), Some(1));
+        assert_eq!(engine.open_unit_records(), 0.0, "open counts reset at close");
+        assert_eq!(engine.units_processed(), 1);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use tiresias_core::CoreError;
+
+/// Errors surfaced by [`crate::Server`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Socket or checkpoint-file I/O failed.
+    Io(std::io::Error),
+    /// The engine rejected a configuration or checkpoint, or failed
+    /// mid-stream.
+    Core(CoreError),
+    /// The server configuration itself was invalid.
+    Config(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "I/O error: {e}"),
+            ServerError::Core(e) => write!(f, "{e}"),
+            ServerError::Config(why) => write!(f, "invalid server configuration: {why}"),
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Core(e) => Some(e),
+            ServerError::Config(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}

@@ -1,0 +1,129 @@
+//! The broadcast hub: fans anomaly-event frames out to subscribed
+//! sessions.
+//!
+//! Every session owns a bounded outbound queue (a
+//! [`std::sync::mpsc::sync_channel`]) drained by the session's single
+//! writer thread, so replies and events interleave line-atomically on
+//! the socket. Subscribing registers a clone of that queue's sender
+//! here.
+//!
+//! # Backpressure policy
+//!
+//! Broadcasting never blocks the detection pipeline: events are
+//! enqueued with `try_send`. A subscriber whose queue is full — a
+//! consumer reading slower than anomalies are produced for longer than
+//! its whole buffer — is **dropped from the hub** (its event stream
+//! ends; the session itself stays usable and may re-`SUBSCRIBE`).
+//! Slow consumers therefore cost a counter increment, never memory or
+//! scheduler stalls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Mutex;
+
+/// Event fan-out over the subscribed sessions' outbound queues.
+#[derive(Debug, Default)]
+pub(crate) struct Hub {
+    subscribers: Mutex<Vec<Subscriber>>,
+    next_id: AtomicU64,
+    /// Subscribers dropped because their queue overflowed.
+    dropped_slow: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Subscriber {
+    id: u64,
+    tx: SyncSender<String>,
+}
+
+impl Hub {
+    /// Registers a session's outbound queue; returns the subscription
+    /// id used to unsubscribe.
+    pub fn subscribe(&self, tx: SyncSender<String>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.lock().expect("hub lock never poisoned").push(Subscriber { id, tx });
+        id
+    }
+
+    /// Removes a subscription (idempotent; unknown ids are ignored).
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().expect("hub lock never poisoned").retain(|s| s.id != id);
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().expect("hub lock never poisoned").len()
+    }
+
+    /// Subscribers dropped for lagging (see the module docs).
+    pub fn dropped_slow(&self) -> u64 {
+        self.dropped_slow.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues `lines` to every subscriber without blocking. Gone
+    /// sessions are pruned; lagging ones are dropped per the
+    /// backpressure policy.
+    pub fn broadcast(&self, lines: &[String]) {
+        if lines.is_empty() {
+            return;
+        }
+        let mut subs = self.subscribers.lock().expect("hub lock never poisoned");
+        subs.retain(|s| {
+            for line in lines {
+                match s.tx.try_send(line.clone()) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.dropped_slow.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    Err(TrySendError::Disconnected(_)) => return false,
+                }
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn broadcast_reaches_all_subscribers() {
+        let hub = Hub::default();
+        let (tx1, rx1) = sync_channel(4);
+        let (tx2, rx2) = sync_channel(4);
+        hub.subscribe(tx1);
+        let id2 = hub.subscribe(tx2);
+        hub.broadcast(&["a".to_string(), "b".to_string()]);
+        assert_eq!(rx1.try_iter().collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), ["a", "b"]);
+        hub.unsubscribe(id2);
+        assert_eq!(hub.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn lagging_subscriber_is_dropped_not_blocked() {
+        let hub = Hub::default();
+        let (tx, rx) = sync_channel(1);
+        hub.subscribe(tx);
+        hub.broadcast(&["one".to_string(), "two".to_string()]);
+        // Queue bound is 1: the second line overflows, dropping the
+        // subscriber instead of blocking the broadcaster.
+        assert_eq!(hub.subscriber_count(), 0);
+        assert_eq!(hub.dropped_slow(), 1);
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), ["one"], "delivered prefix survives");
+    }
+
+    #[test]
+    fn disconnected_subscriber_is_pruned() {
+        let hub = Hub::default();
+        let (tx, rx) = sync_channel(4);
+        hub.subscribe(tx);
+        drop(rx);
+        hub.broadcast(&["x".to_string()]);
+        assert_eq!(hub.subscriber_count(), 0);
+        assert_eq!(hub.dropped_slow(), 0, "disconnects are not lag drops");
+    }
+}

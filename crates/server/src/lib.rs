@@ -1,0 +1,75 @@
+//! `tiresias-server` — a live streaming-ingestion daemon over the
+//! sharded Tiresias engine.
+//!
+//! The offline engines ([`tiresias_core::Tiresias`] and
+//! [`tiresias_core::ShardedTiresias`]) replay files: timeunits close
+//! when a record of a later unit arrives. This crate turns the sharded
+//! engine into a long-running service for *operational* traffic:
+//!
+//! * a TCP listener accepts concurrent clients speaking a
+//!   newline-delimited text protocol ([`protocol`]): `PUSH` records,
+//!   `SUBSCRIBE` to the anomaly stream, `STATS` for metrics,
+//!   `SHUTDOWN` for a graceful stop;
+//! * accepted records are batched and fed to a
+//!   [`tiresias_core::ShardedTiresias`] via `push_batch`;
+//! * a **wall-clock scheduler** closes timeunits on a real-time
+//!   cadence with a configurable **grace window** for late records,
+//!   instead of relying on monotone input timestamps (the close rules
+//!   are documented in the repository README's server section);
+//! * anomalies are broadcast to subscribers the moment their unit
+//!   closes, through bounded per-session queues with a
+//!   drop-the-laggard backpressure policy;
+//! * `SIGTERM`/`SIGINT`/`SHUTDOWN` trigger a graceful drain: every
+//!   buffered record is fed to the engine, final events are delivered,
+//!   and the engine state is written as a versioned checkpoint
+//!   ([`tiresias_core::save_checkpoint`]) so a restarted server
+//!   resumes exactly where it left off.
+//!
+//! Everything is `std`-only (threads + `std::net`), matching the
+//! workspace's vendored-dependency constraint.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use tiresias_core::TiresiasBuilder;
+//! use tiresias_server::{Server, ServerConfig};
+//!
+//! let builder = TiresiasBuilder::new()
+//!     .timeunit_secs(60)
+//!     .window_len(16)
+//!     .threshold(5.0)
+//!     .season_length(4)
+//!     .sensitivity(2.0, 5.0)
+//!     .warmup_units(2)
+//!     .shards(2);
+//! let server = Server::start(ServerConfig::new(builder))?;
+//!
+//! let mut client = TcpStream::connect(server.local_addr())?;
+//! client.write_all(b"PUSH TV/No Service 30\nPING\n")?;
+//! let mut reader = BufReader::new(client.try_clone()?);
+//! let mut reply = String::new();
+//! reader.read_line(&mut reply)?;
+//! assert_eq!(reply.trim(), "OK");
+//! reply.clear();
+//! reader.read_line(&mut reply)?;
+//! assert_eq!(reply.trim(), "PONG");
+//!
+//! client.write_all(b"SHUTDOWN\n")?;
+//! server.join()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(unsafe_code)] // one documented exception: the signal module
+#![warn(missing_docs)]
+
+mod error;
+mod hub;
+pub mod protocol;
+mod server;
+pub mod signal;
+mod state;
+
+pub use error::ServerError;
+pub use server::{Server, ServerConfig};

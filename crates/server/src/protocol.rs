@@ -1,0 +1,164 @@
+//! The newline-delimited text wire protocol.
+//!
+//! Every frame is one line of UTF-8 terminated by `\n`. Client
+//! requests:
+//!
+//! | Request               | Reply                                 |
+//! |-----------------------|---------------------------------------|
+//! | `PUSH <path> <ts>`    | `OK` (suppressed after `NOACK`), `LATE` if the record's timeunit is already closed, or `ERR <why>` |
+//! | `SUBSCRIBE`           | `OK subscribed`, then asynchronous `EVENT …` frames |
+//! | `STATS`               | one `STATS key=value …` line          |
+//! | `NOACK`               | `OK` — from now on `PUSH` only answers `LATE`/`ERR`, not `OK` |
+//! | `PING`                | `PONG`                                |
+//! | `QUIT`                | `BYE`, then the server closes the session |
+//! | `SHUTDOWN`            | `OK shutting down`, then the whole daemon drains and exits |
+//!
+//! `PUSH` takes the category path first and the timestamp (seconds)
+//! last; the path is everything between, so labels may contain spaces
+//! (`PUSH TV/No Service 1712345678`). Anything unparseable gets an
+//! `ERR <why>` reply and the session stays usable — a malformed line
+//! never wedges the connection or the ingest engine. Blank lines are
+//! ignored.
+//!
+//! Anomaly events broadcast to subscribers are `key=value` frames with
+//! the path last (it may contain spaces):
+//!
+//! ```text
+//! EVENT unit=9 time=8100 level=2 kind=spike actual=80 forecast=8.25 path=TV/No Service
+//! ```
+
+use tiresias_core::AnomalyEvent;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ingest one record: category path + timestamp in seconds.
+    Push {
+        /// `/`-separated category path.
+        path: String,
+        /// Record timestamp in seconds.
+        t_secs: u64,
+    },
+    /// Start streaming anomaly events to this session.
+    Subscribe,
+    /// Report server metrics.
+    Stats,
+    /// Suppress per-`PUSH` `OK` acknowledgements for this session.
+    Noack,
+    /// Liveness probe.
+    Ping,
+    /// Close this session.
+    Quit,
+    /// Gracefully shut the whole daemon down.
+    Shutdown,
+}
+
+/// Parses one request line. Returns `Ok(None)` for blank lines (which
+/// are ignored) and `Err` with a human-readable reason for malformed
+/// input — the reason is sent back verbatim in the `ERR` reply.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (command, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match command {
+        "PUSH" => {
+            let Some((path, ts)) = rest.rsplit_once(char::is_whitespace) else {
+                return Err("PUSH needs a category path and a timestamp".to_string());
+            };
+            let path = path.trim();
+            if path.is_empty() {
+                return Err("PUSH category path is empty".to_string());
+            }
+            let t_secs = ts
+                .parse::<u64>()
+                .map_err(|_| format!("PUSH timestamp `{ts}` is not a non-negative integer"))?;
+            Ok(Some(Request::Push { path: path.to_string(), t_secs }))
+        }
+        "SUBSCRIBE" | "STATS" | "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
+            if !rest.is_empty() {
+                return Err(format!("{command} takes no arguments"));
+            }
+            Ok(Some(match command {
+                "SUBSCRIBE" => Request::Subscribe,
+                "STATS" => Request::Stats,
+                "NOACK" => Request::Noack,
+                "PING" => Request::Ping,
+                "QUIT" => Request::Quit,
+                _ => Request::Shutdown,
+            }))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Formats an anomaly event as the `EVENT` broadcast frame (no
+/// trailing newline). The path comes last so it may contain spaces.
+pub fn format_event(e: &AnomalyEvent) -> String {
+    format!(
+        "EVENT unit={} time={} level={} kind={} actual={} forecast={} path={}",
+        e.unit, e.time_secs, e.level, e.kind, e.actual, e.forecast, e.path
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_parses_with_spaces_in_path() {
+        assert_eq!(
+            parse_request("PUSH TV/No Service 1234").unwrap(),
+            Some(Request::Push { path: "TV/No Service".to_string(), t_secs: 1234 })
+        );
+        assert_eq!(
+            parse_request("  PUSH a/b 0 ").unwrap(),
+            Some(Request::Push { path: "a/b".to_string(), t_secs: 0 })
+        );
+    }
+
+    #[test]
+    fn simple_commands_parse() {
+        assert_eq!(parse_request("SUBSCRIBE").unwrap(), Some(Request::Subscribe));
+        assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_request("NOACK").unwrap(), Some(Request::Noack));
+        assert_eq!(parse_request("PING").unwrap(), Some(Request::Ping));
+        assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Some(Request::Shutdown));
+        assert_eq!(parse_request("   ").unwrap(), None, "blank lines are ignored");
+    }
+
+    #[test]
+    fn malformed_lines_produce_reasons() {
+        assert!(parse_request("FLY me to the moon").unwrap_err().contains("unknown command"));
+        assert!(parse_request("PUSH").unwrap_err().contains("needs"));
+        assert!(parse_request("PUSH lonely-token").unwrap_err().contains("needs"));
+        assert!(parse_request("PUSH a/b notanumber").unwrap_err().contains("notanumber"));
+        assert!(parse_request("PUSH  42").unwrap_err().contains("needs"));
+        assert!(parse_request("STATS now").unwrap_err().contains("no arguments"));
+        assert!(parse_request("push a 1").unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn event_frame_puts_path_last() {
+        let mut tree = tiresias_hierarchy::Tree::new("All");
+        let e = AnomalyEvent {
+            node: tree.insert_str("TV/No Service"),
+            path: "TV/No Service".parse().unwrap(),
+            level: 2,
+            unit: 9,
+            time_secs: 8100,
+            actual: 80.0,
+            forecast: 8.25,
+            kind: tiresias_core::AnomalyKind::Spike,
+        };
+        let frame = format_event(&e);
+        assert!(frame.ends_with("path=TV/No Service"), "{frame}");
+        assert!(frame.contains("unit=9"));
+        assert!(frame.contains("kind=spike"));
+    }
+}

@@ -1,0 +1,499 @@
+//! The daemon itself: listener, per-client session threads, the
+//! wall-clock scheduler and the graceful-shutdown choreography.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tiresias_core::{load_checkpoint, CheckpointEngine, TiresiasBuilder};
+
+use crate::error::ServerError;
+use crate::hub::Hub;
+use crate::protocol::{parse_request, Request};
+use crate::signal;
+use crate::state::{Inner, PushOutcome};
+
+/// How often blocked session reads wake up to check the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (`:0` picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Detector configuration; must include `.shards(n)` as desired.
+    /// Ignored when a checkpoint is resumed (the checkpoint carries its
+    /// own configuration).
+    pub builder: TiresiasBuilder,
+    /// Grace window for late records (see the state-module docs).
+    pub grace: Duration,
+    /// Scheduler tick interval.
+    pub tick: Duration,
+    /// Pending records that trigger a size-based `push_batch` flush.
+    pub flush_records: usize,
+    /// Per-session outbound queue bound (replies + subscribed events).
+    pub subscriber_queue: usize,
+    /// Checkpoint file: loaded on start if present, written on
+    /// graceful shutdown.
+    pub checkpoint: Option<PathBuf>,
+    /// Install `SIGTERM`/`SIGINT` handlers and shut down gracefully on
+    /// either (the CLI sets this; tests drive `SHUTDOWN` instead).
+    pub handle_signals: bool,
+}
+
+impl ServerConfig {
+    /// Defaults around the given detector configuration: ephemeral
+    /// loopback port, 2 s grace, 50 ms tick, 8192-record flush,
+    /// 1024-line subscriber queues, no checkpoint, no signal handlers.
+    pub fn new(builder: TiresiasBuilder) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            builder,
+            grace: Duration::from_secs(2),
+            tick: Duration::from_millis(50),
+            flush_records: 8192,
+            subscriber_queue: 1024,
+            checkpoint: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Shared flags and shutdown choreography.
+struct Control {
+    /// All loops (accept, scheduler, sessions) exit when set.
+    stop: AtomicBool,
+    /// Guards the drain + checkpoint so it runs exactly once.
+    shutdown_started: AtomicBool,
+    addr: SocketAddr,
+    checkpoint: Option<PathBuf>,
+}
+
+/// Everything session threads need.
+struct Shared {
+    inner: Mutex<Inner>,
+    hub: Hub,
+    control: Control,
+    queue_bound: usize,
+}
+
+impl Shared {
+    /// Runs the graceful shutdown exactly once: drain every buffered
+    /// record into the engine, broadcast the final events, write the
+    /// checkpoint, then stop all threads. Subscribers receive the
+    /// drained events before their sessions close because the events
+    /// are already queued when the stop flag is set.
+    fn initiate_shutdown(&self) -> Result<(), ServerError> {
+        if self.control.shutdown_started.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let result = (|| {
+            let mut inner = self.inner.lock().expect("state lock never poisoned");
+            inner.drain(&self.hub).map_err(ServerError::Core)?;
+            if let Some(path) = &self.control.checkpoint {
+                let json = inner.checkpoint_json();
+                let tmp = path.with_extension("tmp");
+                std::fs::write(&tmp, &json).map_err(ServerError::Io)?;
+                std::fs::rename(&tmp, path).map_err(ServerError::Io)?;
+            }
+            Ok(())
+        })();
+        self.control.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.control.addr);
+        result
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or send `SHUTDOWN` / a signal) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    scheduler: JoinHandle<()>,
+    monitor: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_result: Arc<Mutex<Option<ServerError>>>,
+}
+
+impl Server {
+    /// Builds the engine (resuming the configured checkpoint if one
+    /// exists), binds the listener and starts the accept, scheduler
+    /// and (optionally) signal-monitor threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid detector configuration, an unloadable
+    /// checkpoint, or a bind error.
+    pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
+        let resumed = match &config.checkpoint {
+            Some(path) if path.exists() => {
+                let json = std::fs::read_to_string(path).map_err(ServerError::Io)?;
+                match load_checkpoint(&json).map_err(ServerError::Core)? {
+                    CheckpointEngine::Sharded(engine) => Some(*engine),
+                    CheckpointEngine::Single(_) => {
+                        return Err(ServerError::Config(format!(
+                            "checkpoint {} holds a single-instance detector; the server \
+                             requires a sharded engine",
+                            path.display()
+                        )));
+                    }
+                }
+            }
+            _ => None,
+        };
+        let was_resumed = resumed.is_some();
+        let engine = match resumed {
+            Some(engine) => engine,
+            None => config.builder.clone().build_sharded().map_err(ServerError::Core)?,
+        };
+
+        let listener = TcpListener::bind(&config.addr).map_err(ServerError::Io)?;
+        let addr = listener.local_addr().map_err(ServerError::Io)?;
+
+        let mut inner = Inner::new(engine, config.grace, config.flush_records);
+        if was_resumed {
+            inner.skip_stored_events();
+        }
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+            hub: Hub::default(),
+            control: Control {
+                stop: AtomicBool::new(false),
+                shutdown_started: AtomicBool::new(false),
+                addr,
+                checkpoint: config.checkpoint.clone(),
+            },
+            queue_bound: config.subscriber_queue,
+        });
+        let shutdown_result: Arc<Mutex<Option<ServerError>>> = Arc::new(Mutex::new(None));
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            let shutdown_result = Arc::clone(&shutdown_result);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.control.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    let shutdown_result = Arc::clone(&shutdown_result);
+                    let handle = std::thread::spawn(move || {
+                        run_session(stream, &shared, &shutdown_result);
+                    });
+                    let mut sessions = sessions.lock().expect("session list lock never poisoned");
+                    // Reap finished sessions as we go, or a long-lived
+                    // daemon would accumulate one handle per
+                    // connection ever accepted.
+                    sessions.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    sessions.push(handle);
+                }
+            })
+        };
+
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let shutdown_result = Arc::clone(&shutdown_result);
+            let tick = config.tick;
+            std::thread::spawn(move || {
+                while !shared.control.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    let result = {
+                        let mut inner = shared.inner.lock().expect("state lock never poisoned");
+                        inner.tick(Instant::now(), &shared.hub)
+                    };
+                    if let Err(why) = result {
+                        // A fatal engine error: stop serving errors
+                        // forever and shut down gracefully instead —
+                        // the checkpoint keeps the last good state.
+                        eprintln!("tiresias-server: fatal: {why}; shutting down");
+                        record_shutdown(&shared, &shutdown_result);
+                        break;
+                    }
+                }
+            })
+        };
+
+        let monitor = if config.handle_signals {
+            signal::install();
+            let shared = Arc::clone(&shared);
+            let shutdown_result = Arc::clone(&shutdown_result);
+            Some(std::thread::spawn(move || {
+                while !shared.control.stop.load(Ordering::SeqCst) {
+                    if signal::signalled() {
+                        record_shutdown(&shared, &shutdown_result);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }))
+        } else {
+            None
+        };
+
+        Ok(Server { shared, addr, accept, scheduler, monitor, sessions, shutdown_result })
+    }
+
+    /// The bound listen address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful shutdown (drain + checkpoint + stop), as the
+    /// `SHUTDOWN` command or a signal would. Idempotent.
+    pub fn shutdown(&self) {
+        record_shutdown(&self.shared, &self.shutdown_result);
+    }
+
+    /// Waits for the daemon to finish. Returns once a `SHUTDOWN`
+    /// command, a signal, or [`Server::shutdown`] has completed the
+    /// graceful stop and every thread has exited.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a failed drain or checkpoint write.
+    pub fn join(self) -> Result<(), ServerError> {
+        let _ = self.accept.join();
+        let _ = self.scheduler.join();
+        if let Some(monitor) = self.monitor {
+            let _ = monitor.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.sessions.lock().expect("session list lock never poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        match self.shutdown_result.lock().expect("result lock never poisoned").take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Runs the shutdown and records its error (first one wins) for
+/// [`Server::join`].
+fn record_shutdown(shared: &Shared, shutdown_result: &Mutex<Option<ServerError>>) {
+    if let Err(e) = shared.initiate_shutdown() {
+        let mut slot = shutdown_result.lock().expect("result lock never poisoned");
+        slot.get_or_insert(e);
+    }
+}
+
+/// One client session: a reader loop on this thread plus a single
+/// writer thread draining the session's outbound queue, so replies and
+/// broadcast events never interleave mid-line.
+fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Option<ServerError>>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // Replies and event frames are small; Nagle + delayed ACK would
+    // add ~40 ms stalls per interactive round trip.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = sync_channel::<String>(shared.queue_bound);
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        while let Ok(line) = rx.recv() {
+            if out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let mut subscription: Option<u64> = None;
+    let mut ack = true;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Consecutive `PUSH` lines already sitting in the read buffer are
+    // admitted under ONE state-lock acquisition (a contended per-record
+    // lock costs a context switch per record once several sessions
+    // ingest concurrently). Replies stay per-record and in order: the
+    // batch is flushed before any non-`PUSH` reply is produced.
+    let mut batch: Vec<(String, u64)> = Vec::new();
+    'session: loop {
+        if shared.control.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => loop {
+                let parsed = parse_request(&line);
+                line.clear();
+                let step = match parsed {
+                    Ok(Some(Request::Push { path, t_secs })) => {
+                        batch.push((path, t_secs));
+                        None
+                    }
+                    other => {
+                        // Admit buffered pushes FIRST: the request's
+                        // side effects (a `STATS` snapshot, an `ack`
+                        // flip, a subscription) must observe — and its
+                        // reply must follow — everything the client
+                        // pipelined before it.
+                        if !flush_push_batch(&mut batch, shared, &tx, ack) {
+                            break 'session;
+                        }
+                        Some(handle_request(other, shared, &tx, &mut subscription, &mut ack))
+                    }
+                };
+                if let Some(step) = step {
+                    match step {
+                        SessionStep::Reply(Some(text)) => {
+                            if tx.send(text).is_err() {
+                                break 'session;
+                            }
+                        }
+                        SessionStep::Reply(None) => {}
+                        SessionStep::Close(farewell) => {
+                            let _ = tx.send(farewell);
+                            break 'session;
+                        }
+                        SessionStep::Shutdown => {
+                            let _ = tx.send("OK shutting down".to_string());
+                            record_shutdown(shared, shutdown_result);
+                            break 'session;
+                        }
+                    }
+                    break;
+                }
+                // Keep batching while another complete line is already
+                // buffered; otherwise admit what we have and go back to
+                // the (possibly blocking) outer read.
+                if !reader.buffer().contains(&b'\n') {
+                    if !flush_push_batch(&mut batch, shared, &tx, ack) {
+                        break 'session;
+                    }
+                    break;
+                }
+                if reader.read_line(&mut line).is_err() {
+                    break;
+                }
+            },
+            // A timeout may leave a partial line in `line`; keep it and
+            // continue appending on the next read.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    if let Some(id) = subscription {
+        shared.hub.unsubscribe(id);
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Admits buffered `PUSH`es under one lock and sends their per-record
+/// replies in order. Returns `false` if the session's outbound queue
+/// is gone.
+fn flush_push_batch(
+    batch: &mut Vec<(String, u64)>,
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    ack: bool,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    let now = Instant::now();
+    let outcomes: Vec<Result<PushOutcome, String>> = {
+        let mut inner = shared.inner.lock().expect("state lock never poisoned");
+        batch.drain(..).map(|(path, t)| inner.push(&path, t, now, &shared.hub)).collect()
+    };
+    for outcome in outcomes {
+        let reply = match outcome {
+            Ok(PushOutcome::Accepted) => {
+                if !ack {
+                    continue;
+                }
+                "OK".to_string()
+            }
+            Ok(PushOutcome::Late) => "LATE".to_string(),
+            Ok(PushOutcome::TooFarAhead) => TOO_FAR_AHEAD.to_string(),
+            Err(why) => format!("ERR {why}"),
+        };
+        if tx.send(reply).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Reply for records beyond the future-unit bound (always sent, even
+/// under `NOACK` — like `LATE`, it reports a dropped record).
+const TOO_FAR_AHEAD: &str = "ERR record timestamp too far ahead of the open timeunit";
+
+/// What the reader loop does after one line.
+enum SessionStep {
+    /// Send the reply (if any) and keep reading.
+    Reply(Option<String>),
+    /// Send the farewell and close the session.
+    Close(String),
+    /// Acknowledge, start the daemon-wide graceful shutdown, close.
+    Shutdown,
+}
+
+fn handle_request(
+    parsed: Result<Option<Request>, String>,
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    subscription: &mut Option<u64>,
+    ack: &mut bool,
+) -> SessionStep {
+    let request = match parsed {
+        Ok(Some(request)) => request,
+        Ok(None) => return SessionStep::Reply(None),
+        Err(why) => return SessionStep::Reply(Some(format!("ERR {why}"))),
+    };
+    match request {
+        Request::Push { .. } => {
+            unreachable!("PUSH is routed into the session batch by the caller")
+        }
+        Request::Subscribe => {
+            // Re-registering (rather than keeping an existing id)
+            // matters after a lag-drop: the hub may have removed this
+            // session's queue, and `SUBSCRIBE` must revive the stream.
+            if let Some(old) = subscription.take() {
+                shared.hub.unsubscribe(old);
+            }
+            *subscription = Some(shared.hub.subscribe(tx.clone()));
+            SessionStep::Reply(Some("OK subscribed".to_string()))
+        }
+        Request::Stats => {
+            let inner = shared.inner.lock().expect("state lock never poisoned");
+            let line = match inner.fatal() {
+                Some(why) => format!("ERR {why}"),
+                None => inner.stats_line(Instant::now(), &shared.hub),
+            };
+            SessionStep::Reply(Some(line))
+        }
+        Request::Noack => {
+            *ack = false;
+            SessionStep::Reply(Some("OK".to_string()))
+        }
+        Request::Ping => SessionStep::Reply(Some("PONG".to_string())),
+        Request::Quit => SessionStep::Close("BYE".to_string()),
+        Request::Shutdown => SessionStep::Shutdown,
+    }
+}

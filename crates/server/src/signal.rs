@@ -1,0 +1,57 @@
+//! Process-signal hook: converts `SIGTERM`/`SIGINT` into a flag the
+//! server's monitor thread polls to begin a graceful shutdown.
+//!
+//! The rest of the workspace forbids `unsafe`, and this module keeps
+//! the exception as small as possible: one libc FFI declaration and
+//! two `signal(2)` registrations. The handler itself only performs an
+//! atomic store, which is async-signal-safe.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a `SIGTERM` or `SIGINT` has been delivered (after
+/// [`install`]).
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Test hook: pretend a signal arrived.
+#[doc(hidden)]
+pub fn raise_for_test() {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handlers (idempotent; Unix only —
+/// a no-op elsewhere, where only the `SHUTDOWN` command stops the
+/// daemon).
+#[cfg(unix)]
+pub fn install() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        extern "C" {
+            /// POSIX `signal(2)`; the return value (the previous
+            /// handler) is ignored.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe, and the handler outlives the process.
+        unsafe {
+            let _ = signal(SIGTERM, on_signal);
+            let _ = signal(SIGINT, on_signal);
+        }
+    });
+}
+
+/// Non-Unix fallback: signals are not hooked; use `SHUTDOWN`.
+#[cfg(not(unix))]
+pub fn install() {}

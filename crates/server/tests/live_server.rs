@@ -1,0 +1,307 @@
+//! End-to-end tests of the streaming daemon: concurrent clients over
+//! real sockets, live-vs-replay equivalence of the anomaly stream,
+//! protocol robustness, and the checkpoint-on-shutdown lifecycle.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tiresias_core::{TiresiasBuilder, CHECKPOINT_VERSION};
+use tiresias_server::protocol::format_event;
+use tiresias_server::{Server, ServerConfig};
+
+const TIMEUNIT: u64 = 60;
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(16)
+        .threshold(5.0)
+        .season_length(4)
+        .sensitivity(2.0, 5.0)
+        .warmup_units(4)
+        .shards(2)
+}
+
+fn config() -> ServerConfig {
+    let mut config = ServerConfig::new(builder());
+    config.grace = Duration::from_millis(600);
+    config.tick = Duration::from_millis(20);
+    config
+}
+
+/// `(path, timestamp)` records for `units` timeunits of steady traffic
+/// over several top-level categories, with bursts injected at
+/// `burst_unit` on two of them.
+fn workload(units: u64, burst_unit: u64) -> Vec<(String, u64)> {
+    let mut records = Vec::new();
+    for u in 0..units {
+        for k in 0..6u64 {
+            let count = if u == burst_unit && (k == 0 || k == 3) { 80 } else { 8 };
+            for i in 0..count {
+                records.push((format!("cat{k}/leaf"), u * TIMEUNIT + (i % TIMEUNIT)));
+            }
+        }
+    }
+    records
+}
+
+/// The offline ground truth: replay the same records through a fresh
+/// sharded engine (batch boundaries don't matter; the records are
+/// already unit-ordered) and return the anomaly stream as `EVENT`
+/// frames.
+fn offline_event_frames(records: &[(String, u64)]) -> Vec<String> {
+    let mut engine = builder().build_sharded().expect("valid test config");
+    engine.push_batch(records).expect("replay ingests");
+    let mut frames: Vec<String> = engine.anomalies().iter().map(format_event).collect();
+    frames.sort();
+    frames
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout set");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reads a reply line");
+        line.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// Reads `EVENT` frames from a subscribed client until `expected`
+/// frames arrived or the deadline passes.
+fn collect_events(subscriber: &mut Client, expected: usize, deadline: Duration) -> Vec<String> {
+    let start = Instant::now();
+    let mut frames = Vec::new();
+    while frames.len() < expected && start.elapsed() < deadline {
+        let mut line = String::new();
+        match subscriber.reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim_end();
+                if line.starts_with("EVENT ") {
+                    frames.push(line.to_string());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+    }
+    frames
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tiresias-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn live_stream_matches_offline_replay() {
+    let server = Server::start(config()).expect("server starts");
+    let records = workload(10, 8);
+    let expected = offline_event_frames(&records);
+    assert!(!expected.is_empty(), "the workload produces anomalies");
+
+    let mut subscriber = Client::connect(&server);
+    assert_eq!(subscriber.roundtrip("SUBSCRIBE"), "OK subscribed");
+
+    // Three concurrent clients, records dealt round-robin so every
+    // client's stream interleaves with the others mid-unit.
+    std::thread::scope(|scope| {
+        for c in 0..3usize {
+            let records = &records;
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = Client::connect(server);
+                assert_eq!(client.roundtrip("NOACK"), "OK");
+                let mut payload = String::new();
+                for (path, t) in records.iter().skip(c).step_by(3) {
+                    payload.push_str(&format!("PUSH {path} {t}\n"));
+                }
+                client.stream.write_all(payload.as_bytes()).expect("bulk push");
+                // Graceful close: QUIT flushes the session before EOF.
+                assert_eq!(client.roundtrip("QUIT"), "BYE");
+            });
+        }
+    });
+
+    // The grace window expires, units close, events stream out live.
+    let mut got = collect_events(&mut subscriber, expected.len(), Duration::from_secs(30));
+    got.sort();
+    assert_eq!(got, expected, "live anomaly stream equals the offline replay");
+
+    let mut control = Client::connect(&server);
+    let stats = control.roundtrip("STATS");
+    assert!(stats.starts_with("STATS "), "{stats}");
+    assert!(stats.contains(&format!("records={}", records.len())), "{stats}");
+    assert!(stats.contains("late=0"), "{stats}");
+    assert!(stats.contains("subs=1"), "{stats}");
+    assert_eq!(control.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_lines_get_err_and_never_wedge_the_session() {
+    let server = Server::start(config()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    assert!(client.roundtrip("FLY me to the moon").starts_with("ERR "));
+    assert!(client.roundtrip("PUSH").starts_with("ERR "));
+    assert!(client.roundtrip("PUSH cat/leaf notanumber").starts_with("ERR "));
+    assert!(client.roundtrip("push lowercase 1").starts_with("ERR "));
+    assert!(client.roundtrip("STATS please").starts_with("ERR "));
+    // Protocol-valid but absurd: a timestamp astronomically far ahead
+    // must be refused, not buffered as a future close target.
+    assert_eq!(client.roundtrip("PUSH cat/leaf 0"), "OK");
+    let reply = client.roundtrip("PUSH cat/leaf 18446744073709551615");
+    assert!(reply.starts_with("ERR ") && reply.contains("ahead"), "{reply}");
+
+    // The same session still works afterwards…
+    assert_eq!(client.roundtrip("PING"), "PONG");
+    assert_eq!(client.roundtrip("PUSH cat/leaf 30"), "OK");
+    let stats = client.roundtrip("STATS");
+    assert!(stats.contains("records=2"), "{stats}");
+    assert!(stats.contains("ahead=1"), "{stats}");
+
+    // …and so does a second, concurrent session (the shard rings never
+    // saw the malformed lines).
+    let mut other = Client::connect(&server);
+    assert_eq!(other.roundtrip("PUSH cat/other 40"), "OK");
+    let stats = other.roundtrip("STATS");
+    assert!(stats.contains("records=3"), "{stats}");
+
+    // Subscribing twice re-registers (reviving a lag-dropped stream)
+    // rather than stacking duplicate subscriptions.
+    assert_eq!(other.roundtrip("SUBSCRIBE"), "OK subscribed");
+    assert_eq!(other.roundtrip("SUBSCRIBE"), "OK subscribed");
+    let stats = other.roundtrip("STATS");
+    assert!(stats.contains("subs=1"), "{stats}");
+
+    other.send("SHUTDOWN");
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn pipelined_commands_observe_prior_pushes() {
+    let server = Server::start(config()).expect("server starts");
+    let mut client = Client::connect(&server);
+    // One write: two pushes then STATS. The STATS snapshot (and its
+    // reply position) must come after both records were admitted.
+    client.send("PUSH a/x 5\nPUSH b/y 6\nSTATS");
+    assert_eq!(client.recv(), "OK");
+    assert_eq!(client.recv(), "OK");
+    let stats = client.recv();
+    assert!(stats.starts_with("STATS "), "{stats}");
+    assert!(stats.contains("records=2"), "pipelined STATS sees both records: {stats}");
+    client.send("SHUTDOWN");
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn late_records_get_late_replies_and_are_counted() {
+    let mut config = config();
+    config.grace = Duration::from_millis(100);
+    let server = Server::start(config).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    assert_eq!(client.roundtrip("PUSH cat/leaf 10"), "OK");
+    // A unit-2 record starts the watermark grace timer for unit 0.
+    assert_eq!(client.roundtrip(&format!("PUSH cat/leaf {}", 2 * TIMEUNIT + 5)), "OK");
+    std::thread::sleep(Duration::from_millis(400));
+    // Units 0 and 1 are closed now: a unit-0 straggler is late.
+    assert_eq!(client.roundtrip("PUSH cat/leaf 20"), "LATE");
+    let stats = client.roundtrip("STATS");
+    assert!(stats.contains("late=1"), "{stats}");
+    assert!(stats.contains("open_unit=2"), "{stats}");
+
+    client.send("SHUTDOWN");
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_checkpoint_resumes_mid_unit() {
+    let ckpt = temp_path("resume.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let records = workload(10, 8);
+    // Split mid-unit-6: phase one gets everything before unit 6 plus
+    // half of unit 6's records, phase two the rest.
+    let unit6_start = records.iter().position(|&(_, t)| t / TIMEUNIT == 6).unwrap();
+    let unit7_start = records.iter().position(|&(_, t)| t / TIMEUNIT == 7).unwrap();
+    let split = unit6_start + (unit7_start - unit6_start) / 2;
+
+    let mut phase_one_events = {
+        let mut config = config();
+        config.checkpoint = Some(ckpt.clone());
+        let server = Server::start(config).expect("server starts");
+        let mut subscriber = Client::connect(&server);
+        assert_eq!(subscriber.roundtrip("SUBSCRIBE"), "OK subscribed");
+        let mut client = Client::connect(&server);
+        assert_eq!(client.roundtrip("NOACK"), "OK");
+        for (path, t) in &records[..split] {
+            client.send(&format!("PUSH {path} {t}"));
+        }
+        assert_eq!(client.roundtrip("PING"), "PONG"); // fence: all pushes ingested
+        client.send("SHUTDOWN");
+        server.join().expect("clean shutdown");
+        collect_events(&mut subscriber, usize::MAX, Duration::from_millis(300))
+    };
+
+    let json = std::fs::read_to_string(&ckpt).expect("checkpoint written on shutdown");
+    assert!(json.contains(&format!("\"version\":{CHECKPOINT_VERSION}")), "versioned envelope");
+    assert!(json.contains("\"kind\":\"sharded\""));
+
+    let mut phase_two_events = {
+        let mut config = config();
+        config.checkpoint = Some(ckpt.clone());
+        let server = Server::start(config).expect("server resumes from checkpoint");
+        let mut subscriber = Client::connect(&server);
+        assert_eq!(subscriber.roundtrip("SUBSCRIBE"), "OK subscribed");
+        let mut client = Client::connect(&server);
+        assert_eq!(client.roundtrip("NOACK"), "OK");
+        for (path, t) in &records[split..] {
+            client.send(&format!("PUSH {path} {t}"));
+        }
+        assert_eq!(client.roundtrip("PING"), "PONG");
+        // Let the watermark close through the burst unit so the events
+        // stream live, before shutdown.
+        let expected = offline_event_frames(&records);
+        let got = collect_events(&mut subscriber, expected.len(), Duration::from_secs(30));
+        client.send("SHUTDOWN");
+        server.join().expect("clean shutdown");
+        got
+    };
+
+    let mut all = Vec::new();
+    all.append(&mut phase_one_events);
+    all.append(&mut phase_two_events);
+    all.sort();
+    let expected = offline_event_frames(&records);
+    assert_eq!(all, expected, "events across restart equal one uninterrupted offline replay");
+
+    let _ = std::fs::remove_file(&ckpt);
+}

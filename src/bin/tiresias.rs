@@ -5,24 +5,38 @@
 //!
 //! * `detect <csv>` — stream a CSV of `timestamp_secs,category/path`
 //!   records through the detector and print detected anomalies as CSV.
+//! * `serve` — run the live streaming-ingestion daemon: accept
+//!   concurrent TCP clients speaking the newline-delimited protocol
+//!   (`PUSH`/`SUBSCRIBE`/`STATS`/`SHUTDOWN`, see the README), close
+//!   timeunits on wall-clock time with a grace window for late
+//!   records, and checkpoint on graceful shutdown.
 //! * `demo` — run a self-contained synthetic demo (CCD hierarchy with
 //!   an injected outage) and print the detections plus an annotated
 //!   hierarchy rendering.
 //!
-//! Options (both subcommands): `--timeunit <secs>` `--window <units>`
+//! Options (all subcommands): `--timeunit <secs>` `--window <units>`
 //! `--theta <w>` `--season <units>` `--rt <x>` `--dt <x>`
 //! `--warmup <units>`. `detect` additionally takes `--shards <n>` to
 //! run the sharded multi-core engine (records batched and routed by
 //! top-level label; any explicit `--shards` count — 1 included —
 //! produces identical output, while omitting the flag runs the plain
 //! detector, which additionally reports whole-population root
-//! anomalies) and `--batch <records>` to tune the batch size.
+//! anomalies) and `--batch <records>` to tune the batch size. `serve`
+//! takes `--shards`/`--batch` the same way plus `--addr <host:port>`,
+//! `--grace-ms <ms>`, `--tick-ms <ms>` and `--checkpoint <file>`
+//! (loaded on start when present, written on graceful shutdown).
+//!
+//! Usage errors (unknown subcommands or flags, missing values) print
+//! the usage to stderr and exit with status 2; runtime errors (such as
+//! an unreadable input file) report the cause and exit with status 1.
 
 use std::io::BufRead;
+use std::time::Duration;
 
 use tiresias::core::{events_to_csv, CoreError, TiresiasBuilder};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 use tiresias::hierarchy::render_ascii;
+use tiresias::server::{Server, ServerConfig};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -35,6 +49,11 @@ struct Options {
     warmup: Option<usize>,
     shards: Option<usize>,
     batch: usize,
+    // `serve`-only options.
+    addr: String,
+    grace_ms: u64,
+    tick_ms: u64,
+    checkpoint: Option<String>,
 }
 
 impl Default for Options {
@@ -49,33 +68,44 @@ impl Default for Options {
             warmup: None,
             shards: None,
             batch: 8192,
+            addr: "127.0.0.1:7171".to_string(),
+            grace_ms: 5_000,
+            tick_ms: 50,
+            checkpoint: None,
         }
     }
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+/// Parses the flags shared by all subcommands (`serve` additionally
+/// accepts the serving flags). A parse failure reports the offending
+/// flag so the error is actionable.
+fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or(format!("missing value for {name}"))
         };
+        fn parsed<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("invalid value `{raw}` for {name}: {e}"))
+        }
         match flag.as_str() {
-            "--timeunit" => {
-                opts.timeunit = value("--timeunit")?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--window" => opts.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
-            "--theta" => opts.theta = value("--theta")?.parse().map_err(|e| format!("{e}"))?,
-            "--season" => opts.season = value("--season")?.parse().map_err(|e| format!("{e}"))?,
-            "--rt" => opts.rt = value("--rt")?.parse().map_err(|e| format!("{e}"))?,
-            "--dt" => opts.dt = value("--dt")?.parse().map_err(|e| format!("{e}"))?,
-            "--warmup" => {
-                opts.warmup = Some(value("--warmup")?.parse().map_err(|e| format!("{e}"))?)
-            }
-            "--shards" => {
-                opts.shards = Some(value("--shards")?.parse().map_err(|e| format!("{e}"))?)
-            }
-            "--batch" => opts.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
+            "--timeunit" => opts.timeunit = parsed("--timeunit", value("--timeunit")?)?,
+            "--window" => opts.window = parsed("--window", value("--window")?)?,
+            "--theta" => opts.theta = parsed("--theta", value("--theta")?)?,
+            "--season" => opts.season = parsed("--season", value("--season")?)?,
+            "--rt" => opts.rt = parsed("--rt", value("--rt")?)?,
+            "--dt" => opts.dt = parsed("--dt", value("--dt")?)?,
+            "--warmup" => opts.warmup = Some(parsed("--warmup", value("--warmup")?)?),
+            "--shards" => opts.shards = Some(parsed("--shards", value("--shards")?)?),
+            "--batch" => opts.batch = parsed("--batch", value("--batch")?)?,
+            "--addr" if serve => opts.addr = value("--addr")?.clone(),
+            "--grace-ms" if serve => opts.grace_ms = parsed("--grace-ms", value("--grace-ms")?)?,
+            "--tick-ms" if serve => opts.tick_ms = parsed("--tick-ms", value("--tick-ms")?)?,
+            "--checkpoint" if serve => opts.checkpoint = Some(value("--checkpoint")?.clone()),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -150,7 +180,8 @@ impl Engine {
 }
 
 fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    let file = std::fs::File::open(path)?;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot read input file `{path}`: {e}"))?;
     let mut engine = match opts.shards {
         Some(shards) => {
             let b = builder(opts).shards(shards);
@@ -207,6 +238,38 @@ fn cmd_detect(path: &str, opts: &Options) -> Result<(), Box<dyn std::error::Erro
     Ok(())
 }
 
+/// Runs the streaming daemon until a graceful shutdown (`SHUTDOWN`
+/// command, `SIGTERM` or `SIGINT`) completes its drain + checkpoint.
+fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let builder = builder(opts).shards(opts.shards.unwrap_or(1));
+    let mut config = ServerConfig::new(builder);
+    config.addr = opts.addr.clone();
+    config.grace = Duration::from_millis(opts.grace_ms);
+    config.tick = Duration::from_millis(opts.tick_ms.max(1));
+    config.flush_records = opts.batch.max(1);
+    config.checkpoint = opts.checkpoint.clone().map(std::path::PathBuf::from);
+    config.handle_signals = true;
+    let resuming = config.checkpoint.as_deref().is_some_and(std::path::Path::exists);
+
+    let server = Server::start(config)?;
+    // Scripts wait for this line to learn the bound (possibly
+    // ephemeral) port; flush so pipes see it immediately.
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "tiresias-server: listening on {} ({} shard(s), grace {} ms{}); \
+         send SHUTDOWN or SIGTERM to stop",
+        server.local_addr(),
+        opts.shards.unwrap_or(1).max(1),
+        opts.grace_ms,
+        if resuming { ", resumed from checkpoint" } else { "" },
+    );
+    server.join()?;
+    eprintln!("tiresias-server: drained; bye");
+    Ok(())
+}
+
 fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let tree = ccd_location_spec(0.08).build()?;
     let target = tree.find(&["VHO-1", "IO-2"]).expect("exists at this scale");
@@ -236,27 +299,56 @@ fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+const USAGE: &str = "usage: tiresias <subcommand> [options]
+
+subcommands:
+  detect <file.csv>   stream a CSV of `timestamp_secs,category/path`
+                      records and print detected anomalies as CSV
+  serve               run the live TCP streaming-ingestion daemon
+  demo                run a self-contained synthetic demo
+
+detector options (all subcommands):
+  --timeunit s  --window n  --theta w  --season n  --rt x  --dt x
+  --warmup n  --shards n  --batch n
+
+serve options:
+  --addr host:port  --grace-ms n  --tick-ms n  --checkpoint file";
+
+/// Exit status 2 (like conventional CLIs) for usage errors, printing
+/// the usage to stderr; 1 for runtime failures.
+fn usage_error(why: &str) -> i32 {
+    eprintln!("error: {why}\n\n{USAGE}");
+    2
+}
+
+fn run_error(e: Box<dyn std::error::Error>) -> i32 {
+    eprintln!("error: {e}");
+    1
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: tiresias <detect <file.csv> | demo> [--timeunit s] [--window n] \
-                 [--theta w] [--season n] [--rt x] [--dt x] [--warmup n] \
-                 [--shards n] [--batch n]";
-    let result = match args.split_first() {
+    let code = match args.split_first() {
         Some((cmd, rest)) if cmd == "detect" => match rest.split_first() {
-            Some((path, flags)) => match parse_options(flags) {
-                Ok(opts) => cmd_detect(path, &opts),
-                Err(e) => Err(e.into()),
+            Some((path, _)) if path.starts_with("--") => {
+                usage_error(&format!("detect needs a CSV file argument, found flag `{path}`"))
+            }
+            Some((path, flags)) => match parse_options(flags, false) {
+                Ok(opts) => cmd_detect(path, &opts).map_or_else(run_error, |()| 0),
+                Err(e) => usage_error(&e),
             },
-            None => Err("detect needs a CSV file argument".into()),
+            None => usage_error("detect needs a CSV file argument"),
         },
-        Some((cmd, rest)) if cmd == "demo" => match parse_options(rest) {
-            Ok(opts) => cmd_demo(&opts),
-            Err(e) => Err(e.into()),
+        Some((cmd, rest)) if cmd == "serve" => match parse_options(rest, true) {
+            Ok(opts) => cmd_serve(&opts).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
         },
-        _ => Err(usage.into()),
+        Some((cmd, rest)) if cmd == "demo" => match parse_options(rest, false) {
+            Ok(opts) => cmd_demo(&opts).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, _)) => usage_error(&format!("unknown subcommand `{cmd}`")),
+        None => usage_error("a subcommand is required"),
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    }
+    std::process::exit(code);
 }

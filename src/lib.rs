@@ -19,7 +19,9 @@
 //!   and the adaptive `Ada` maintenance algorithms,
 //! * [`datagen`] — synthetic CCD/SCD operational-data generators with
 //!   ground-truth anomaly injection,
-//! * [`core`] — the end-to-end streaming detector ([`Tiresias`]).
+//! * [`core`] — the end-to-end streaming detector ([`Tiresias`]),
+//! * [`server`] — the live streaming-ingestion TCP daemon over the
+//!   sharded engine (`tiresias serve`).
 //!
 //! # Quickstart
 //!
@@ -53,6 +55,7 @@ pub use tiresias_core as core;
 pub use tiresias_datagen as datagen;
 pub use tiresias_hhh as hhh;
 pub use tiresias_hierarchy as hierarchy;
+pub use tiresias_server as server;
 pub use tiresias_sketch as sketch;
 pub use tiresias_spectral as spectral;
 pub use tiresias_timeseries as timeseries;

@@ -1,0 +1,101 @@
+//! The versioned checkpoint envelope: round-trips for both engines,
+//! and the v1 → v2 migration path — a pre-sharding checkpoint (no
+//! envelope, no `shards`/`root_isolation` builder fields) loads and
+//! continues the stream identically instead of erroring.
+
+use tiresias::core::{
+    load_checkpoint, save_checkpoint, CheckpointEngine, CoreError, TiresiasBuilder,
+    CHECKPOINT_VERSION,
+};
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(900)
+        .window_len(32)
+        .threshold(5.0)
+        .season_length(4)
+        .sensitivity(2.0, 5.0)
+        .warmup_units(4)
+}
+
+/// Reconstructs a v1 (pre-PR-3) checkpoint: the bare serde state with
+/// the PR 2 builder fields stripped, exactly what a pre-sharding
+/// deployment wrote to disk.
+fn as_v1(detector_json: &str) -> String {
+    let stripped = detector_json.replace(",\"shards\":1,\"root_isolation\":false", "");
+    assert_ne!(stripped, detector_json, "the modern fields were present and stripped");
+    assert!(!stripped.contains("version"), "v1 checkpoints had no envelope");
+    stripped
+}
+
+#[test]
+fn v1_checkpoint_loads_and_continues_identically() {
+    // A detector checkpointed mid-stream, pre-PR-3 style.
+    let mut original = builder().build().unwrap();
+    for u in 0..6u64 {
+        for i in 0..12 {
+            original.push_str("TV/NoService", u * 900 + i).unwrap();
+            original.push_str("Net/Slow", u * 900 + i).unwrap();
+        }
+    }
+    let v1 = as_v1(&serde_json::to_string(&original).unwrap());
+
+    let CheckpointEngine::Single(mut restored) = load_checkpoint(&v1).expect("v1 migrates") else {
+        panic!("expected a single detector");
+    };
+
+    // Both continue with the same burst and must agree byte for byte.
+    for u in 6..10u64 {
+        let count = if u == 8 { 120 } else { 12 };
+        for i in 0..count {
+            original.push_str("TV/NoService", u * 900 + i).unwrap();
+            restored.push_str("TV/NoService", u * 900 + i).unwrap();
+        }
+    }
+    original.advance_to(10 * 900).unwrap();
+    restored.advance_to(10 * 900).unwrap();
+    assert_eq!(original.anomalies(), restored.anomalies());
+    assert!(!original.anomalies().is_empty(), "the burst is detected");
+
+    // Re-saving writes the current envelope with the migrated fields.
+    let resaved = save_checkpoint(&CheckpointEngine::Single(restored));
+    assert!(resaved.starts_with(&format!("{{\"version\":{CHECKPOINT_VERSION},")));
+    assert!(resaved.contains("\"shards\":1"));
+    assert!(resaved.contains("\"root_isolation\":false"));
+}
+
+#[test]
+fn sharded_envelope_round_trips_mid_stream() {
+    let records: Vec<(String, u64)> = (0..8u64)
+        .flat_map(|u| {
+            (0..10u64).flat_map(move |i| {
+                [("TV/NoService".to_string(), u * 900 + i), ("Net/Slow".to_string(), u * 900 + i)]
+            })
+        })
+        .collect();
+    let split = records.len() / 2;
+
+    let mut reference = builder().shards(4).build_sharded().unwrap();
+    reference.push_batch(&records).unwrap();
+
+    let mut engine = builder().shards(4).build_sharded().unwrap();
+    engine.push_batch(&records[..split]).unwrap();
+    let json = save_checkpoint(&CheckpointEngine::from(engine));
+    assert!(json.contains("\"kind\":\"sharded\""));
+    let CheckpointEngine::Sharded(mut resumed) = load_checkpoint(&json).unwrap() else {
+        panic!("expected a sharded engine");
+    };
+    resumed.push_batch(&records[split..]).unwrap();
+
+    assert_eq!(reference.anomalies(), resumed.anomalies());
+    assert_eq!(reference.heavy_hitter_paths(), resumed.heavy_hitter_paths());
+    assert_eq!(reference.units_processed(), resumed.units_processed());
+}
+
+#[test]
+fn unsupported_and_malformed_checkpoints_fail_clearly() {
+    let err = load_checkpoint("{\"version\":3,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
+    assert!(matches!(err, CoreError::Checkpoint(_)));
+    assert!(err.to_string().contains("version 3"));
+    assert!(matches!(load_checkpoint("{nope"), Err(CoreError::Checkpoint(_))));
+}
