@@ -19,6 +19,15 @@
 //!   the protocol's chatty lower end (clients pipeline writes and
 //!   drain replies on a separate thread).
 //!
+//! The `acked` mode additionally runs a **client-count sweep** (1, 2
+//! and 4 concurrent clients over the same total record count) — the
+//! multi-client scaling curve of the lock-free admission path, where
+//! sessions admit through independent `IngestHandle` clones instead of
+//! one global state lock. On a multi-core host the per-client
+//! admission work (socket reads, parsing, routing, ring hand-off)
+//! overlaps across cores; on a 1-core container the sweep mostly
+//! proves concurrency adds no contention penalty (read `host_cores`).
+//!
 //! The run also verifies the serving semantics end to end: a
 //! subscriber must receive at least one live anomaly event for the
 //! injected burst, and the daemon must shut down gracefully, writing a
@@ -67,9 +76,9 @@ fn builder() -> TiresiasBuilder {
 /// units in the driver) — live feeds are naturally time-aligned, and
 /// unbounded skew would just measure the grace window dropping
 /// stragglers.
-fn client_payloads() -> (usize, Vec<Vec<String>>) {
+fn client_payloads(clients: usize) -> (usize, Vec<Vec<String>>) {
     let mut total = 0usize;
-    let mut payloads = vec![vec![String::new(); UNITS as usize]; CLIENTS];
+    let mut payloads = vec![vec![String::new(); UNITS as usize]; clients];
     for u in 0..UNITS {
         let mut i_in_unit = 0usize;
         for c in 0..CATEGORIES {
@@ -80,7 +89,7 @@ fn client_payloads() -> (usize, Vec<Vec<String>>) {
             };
             for i in 0..count {
                 let t = u * TIMEUNIT + (i % TIMEUNIT);
-                payloads[i_in_unit % CLIENTS][u as usize]
+                payloads[i_in_unit % clients][u as usize]
                     .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
                 i_in_unit += 1;
                 total += 1;
@@ -90,7 +99,7 @@ fn client_payloads() -> (usize, Vec<Vec<String>>) {
     (total, payloads)
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 struct ModeReport {
     clients: usize,
     records: usize,
@@ -113,6 +122,9 @@ struct Report {
     host_cores: usize,
     config: ConfigReport,
     modes: ModesReport,
+    /// Acked-mode client-count sweep over the same total record count
+    /// (the multi-client scaling of the lock-free admission path).
+    acked_scaling: Vec<ModeReport>,
     /// Anomaly events the live subscriber received (≥ 1 required).
     subscribed_events: usize,
     /// Final `STATS` line of the `noack` run.
@@ -134,10 +146,12 @@ struct ConfigReport {
 /// One measured run; returns (wall seconds, subscribed event count,
 /// stats line, checkpoint_versioned).
 fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usize, String, bool) {
+    let clients = payloads.len();
     let ckpt = std::env::temp_dir().join(format!(
-        "bench-serve-{}-{}.ckpt",
+        "bench-serve-{}-{}-{}.ckpt",
         std::process::id(),
-        if noack { "noack" } else { "acked" }
+        if noack { "noack" } else { "acked" },
+        clients,
     ));
     let _ = std::fs::remove_file(&ckpt);
     let mut config = ServerConfig::new(builder());
@@ -165,7 +179,7 @@ fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usiz
     };
 
     let t0 = Instant::now();
-    let unit_barrier = std::sync::Barrier::new(CLIENTS);
+    let unit_barrier = std::sync::Barrier::new(clients);
     std::thread::scope(|scope| {
         for chunks in payloads {
             let unit_barrier = &unit_barrier;
@@ -232,9 +246,24 @@ fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usiz
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let (records, payloads) = client_payloads();
 
-    let (acked_wall, _, _, _) = run_mode(false, &payloads, records);
+    // Acked client-count sweep: same total records, 1/2/4 concurrent
+    // clients. The 4-client point doubles as `modes.acked` (the
+    // perf_guard metric).
+    let mut acked_scaling = Vec::new();
+    for clients in [1usize, 2, CLIENTS] {
+        let (records, payloads) = client_payloads(clients);
+        let (wall, _, _, _) = run_mode(false, &payloads, records);
+        acked_scaling.push(ModeReport {
+            clients,
+            records,
+            wall_seconds: wall,
+            records_per_sec: records as f64 / wall,
+        });
+    }
+    let acked = acked_scaling.last().expect("sweep measured the full client count").clone();
+
+    let (records, payloads) = client_payloads(CLIENTS);
     let (noack_wall, events, stats, checkpoint_versioned) = run_mode(true, &payloads, records);
     assert!(events >= 1, "the subscriber saw the injected burst");
 
@@ -257,13 +286,9 @@ fn main() {
                 wall_seconds: noack_wall,
                 records_per_sec: records as f64 / noack_wall,
             },
-            acked: ModeReport {
-                clients: CLIENTS,
-                records,
-                wall_seconds: acked_wall,
-                records_per_sec: records as f64 / acked_wall,
-            },
+            acked,
         },
+        acked_scaling,
         subscribed_events: events,
         stats,
         clean_shutdown: true,

@@ -19,6 +19,9 @@ pub enum CoreError {
     },
     /// A checkpoint failed to parse, migrate or restore.
     Checkpoint(String),
+    /// The live engine is closed (draining for shutdown); no further
+    /// records are admitted.
+    Closed,
     /// An error bubbled up from the heavy hitter tracker.
     Hhh(HhhError),
     /// An error bubbled up from the hierarchy.
@@ -34,6 +37,9 @@ impl fmt::Display for CoreError {
                 "record timestamp {timestamp} precedes the open timeunit starting at {open_unit_start}"
             ),
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            CoreError::Closed => {
+                write!(f, "the live engine is closed; no further records are admitted")
+            }
             CoreError::Hhh(e) => write!(f, "heavy hitter tracker error: {e}"),
             CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
         }

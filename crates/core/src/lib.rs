@@ -56,6 +56,18 @@
 //! module](ShardedTiresias) docs for the argument, and
 //! `BENCH_sharded.json` at the repository root for the scaling curve).
 //!
+//! # Serving: lock-free concurrent admission
+//!
+//! For live traffic, [`ShardedTiresias::into_live`] splits the engine
+//! into a concurrently shareable front-end — cloneable
+//! [`IngestHandle`]s that admit records with `&self` from any number
+//! of threads, no engine-wide lock — and the serialized
+//! [`LiveSharded`] back-end owning timeunit closes, anomaly merging
+//! and the checkpoint lifecycle. An epoch/watermark barrier gives
+//! every in-flight push a well-defined timeunit (see the
+//! [`live` module](LiveSharded) docs); `tiresias-server` serves its
+//! `PUSH` hot path through exactly this split.
+//!
 //! # Example
 //!
 //! ```
@@ -90,6 +102,7 @@ mod counts;
 mod detector;
 mod error;
 mod export;
+mod live;
 mod metrics;
 mod record;
 mod reference_method;
@@ -106,6 +119,7 @@ pub use checkpoint::{
 pub use detector::Tiresias;
 pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};
+pub use live::{Admission, IngestHandle, LiveSharded, DEFAULT_MAX_AHEAD_UNITS};
 pub use metrics::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};

@@ -1,0 +1,1302 @@
+//! The live split of the sharded engine: a concurrently shareable
+//! ingest front-end plus a serialized close/report back-end.
+//!
+//! [`ShardedTiresias`] is an exclusive (`&mut self`) engine: one caller
+//! feeds batches, boundaries close inside the call. That shape is right
+//! for replays and wrong for serving — a daemon admitting records from
+//! many client sessions would serialise every record through one lock
+//! around the whole engine. [`ShardedTiresias::into_live`] therefore
+//! splits the engine in two:
+//!
+//! * [`IngestHandle`] — the **front-end**: cloneable, `Send + Sync`,
+//!   admits records with `&self` from any number of session threads.
+//!   It routes and validates against an atomic timeunit **watermark**,
+//!   counts late/ahead/admitted records atomically, and produces
+//!   accepted records into per-shard [`ShardRing`]s consumed by
+//!   long-running worker threads (one per shard, each owning its
+//!   [`Tiresias`] exclusively). No engine-wide lock is taken anywhere
+//!   on this path.
+//! * [`LiveSharded`] — the **back-end**: exclusive, owns the workers,
+//!   the merged report tree/store and the checkpoint lifecycle.
+//!   Timeunit closes, anomaly merging and metrics stay here.
+//!
+//! # The epoch barrier: how timeunits close under concurrent admission
+//!
+//! The open timeunit is an atomic watermark read by every admission.
+//! Flipping it is the one moment that needs exclusivity, and it is
+//! guarded by a tiny `RwLock<()>` **gate** (not the engine): admissions
+//! hold it shared while they validate against the watermark *and*
+//! enqueue into the shard rings; [`LiveSharded::close_to`] holds it
+//! exclusively while it advances the watermark and enqueues a barrier
+//! message into every ring. Because both the watermark read and the
+//! ring write happen under the same gate acquisition, every record
+//! admitted against watermark `W` is **in its ring before the barrier
+//! that closes `W`** — in-flight pushes land in a well-defined unit, by
+//! construction. Workers process their backlog, feed any held-back
+//! future records whose unit is now due, close through the barrier's
+//! target in parallel, and acknowledge with their newly final
+//! anomalies, which the back-end merges in `(unit, path)` order exactly
+//! like the offline engine.
+//!
+//! Records of units *ahead* of the watermark (within the configured
+//! bound) are admitted and stashed by the owning worker until a barrier
+//! opens their unit — the same hold-back the serving layer previously
+//! implemented with a buffer under its global lock, now per shard and
+//! lock-free for producers.
+//!
+//! [`LiveSharded::finish`] drains every ring and stash, joins the
+//! workers and reassembles a plain [`ShardedTiresias`] — so a live
+//! deployment checkpoints byte-compatibly with the offline engine and a
+//! restart resumes mid-unit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tiresias_hierarchy::Tree;
+
+use crate::anomaly::AnomalyEvent;
+use crate::builder::TiresiasBuilder;
+use crate::detector::Tiresias;
+use crate::error::CoreError;
+use crate::ring::ShardRing;
+use crate::sharded::{ShardRouter, ShardedParts, ShardedTiresias};
+use crate::store::EventStore;
+
+/// Default bound on how many timeunits ahead of the open unit a record
+/// may be. Catches unit confusion (e.g. millisecond timestamps where
+/// seconds belong) and bounds how many intermediate units one absurd
+/// timestamp can force a close to sweep through.
+pub const DEFAULT_MAX_AHEAD_UNITS: u64 = 1_000;
+
+/// Messages a shard ring buffers before producers block (backpressure).
+/// Each message is a whole admission chunk, so the bound is on batches,
+/// not records.
+const LIVE_RING_CAPACITY: usize = 64;
+
+/// Sentinel for "no watermark yet" in the atomic. Unreachable as a
+/// real unit: admission caps admissible units at `FrontShared::
+/// max_unit`, which is far below the sentinel (and low enough that no
+/// derived close target overflows `unit * timeunit`).
+const UNSET: u64 = u64::MAX;
+
+/// Outcome of admitting one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Counted into the open unit or stashed for a future one.
+    Accepted,
+    /// The record's timeunit is already closed; dropped and counted.
+    Late,
+    /// The record's timeunit is further ahead of the open unit than the
+    /// configured bound; dropped and counted.
+    TooFarAhead,
+}
+
+/// What travels through a shard's ring: admission chunks, and the
+/// serialized control messages that give in-flight records a
+/// well-defined home (see the module docs).
+enum ShardMsg {
+    /// Records admitted under watermark `wm` (every unit is in
+    /// `[wm, wm + max_ahead]`).
+    Records { wm: u64, recs: Vec<(String, u64)> },
+    /// Close every unit in `[from, target)` and leave `target` open.
+    Barrier { seq: u64, from: u64, target: u64 },
+    /// Final drain: feed the whole stash (closing what the data
+    /// closes), align to `align`, acknowledge and exit.
+    Drain { seq: u64, from: u64, align: Option<u64> },
+}
+
+/// A worker's reply to a `Barrier` or `Drain`.
+struct ShardAck {
+    seq: u64,
+    /// Newly final anomalies (level ≥ 1) since the last ack.
+    events: Vec<AnomalyEvent>,
+    /// Largest stashed future unit still held back (`None` if none) —
+    /// lets the back-end rebuild its ahead-of-watermark tracking after
+    /// a close consumed part of the stash.
+    stash_max: Option<u64>,
+    units_processed: u64,
+    error: Option<CoreError>,
+}
+
+/// State shared between every [`IngestHandle`] clone, the shard
+/// workers and the back-end.
+struct FrontShared {
+    router: ShardRouter,
+    timeunit: u64,
+    max_ahead: u64,
+    /// Largest admissible (and anchorable) unit. Keeps every close
+    /// target the scheduler can derive (`watermark + 1`,
+    /// `watermark + max_ahead`) below the [`UNSET`] sentinel *and*
+    /// below `u64::MAX / timeunit`, so `target * timeunit` never
+    /// overflows. Units beyond it read as too far ahead.
+    max_unit: u64,
+    /// The epoch gate: admissions hold it shared, watermark flips hold
+    /// it exclusively. Guards ordering only — never engine state.
+    gate: RwLock<()>,
+    /// The open (not yet closed) timeunit; [`UNSET`] until the first
+    /// record anchors the stream.
+    watermark: AtomicU64,
+    /// Set under the write gate by drain/teardown: admissions error.
+    closed: AtomicBool,
+    /// Set (lock-free) by a worker the moment a shard error poisons
+    /// it, together with `closed` — so admissions fail fast instead of
+    /// acknowledging records a broken shard would silently drop, and
+    /// the serving layer can react before the next barrier surfaces
+    /// the error itself.
+    poisoned: AtomicBool,
+    admitted: AtomicU64,
+    late: AtomicU64,
+    ahead: AtomicU64,
+    /// `max(future unit admitted) + 1`, `0` when none — drives the
+    /// serving layer's data-watermark close rule.
+    ahead_max: AtomicU64,
+    /// Nanos since `t0` when the oldest outstanding future record
+    /// arrived (`0` = none) — starts the grace timer.
+    first_future_nanos: AtomicU64,
+    /// Nanos since `t0` of the first accepted record (`0` = none).
+    first_admit_nanos: AtomicU64,
+    t0: Instant,
+    rings: Vec<ShardRing<ShardMsg>>,
+    /// Records currently queued per ring (gauge).
+    queued: Vec<AtomicU64>,
+    /// Records counted into each shard's open unit (gauge, maintained
+    /// by the workers).
+    open_records: Vec<AtomicU64>,
+    /// Future records stashed per shard (gauge).
+    stashed: Vec<AtomicU64>,
+}
+
+impl FrontShared {
+    fn nanos_now(&self) -> u64 {
+        // `.max(1)` keeps 0 free as the "unset" sentinel.
+        (self.t0.elapsed().as_nanos() as u64).max(1)
+    }
+
+    fn age_of(&self, marker: &AtomicU64) -> Option<Duration> {
+        match marker.load(Ordering::SeqCst) {
+            0 => None,
+            then => Some(Duration::from_nanos(self.t0.elapsed().as_nanos() as u64 - then)),
+        }
+    }
+}
+
+/// The cloneable ingest front-end: admits records from any thread with
+/// `&self`, no engine-wide lock. Obtain one per session thread from
+/// [`LiveSharded::handle`].
+///
+/// Handles outlive the back-end gracefully: once the engine is drained
+/// ([`LiveSharded::finish`]) or dropped, every admission returns
+/// [`CoreError::Closed`].
+#[derive(Clone)]
+pub struct IngestHandle {
+    shared: Arc<FrontShared>,
+}
+
+impl std::fmt::Debug for IngestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestHandle")
+            .field("shards", &self.shared.router.shards())
+            .field("watermark", &self.watermark())
+            .finish()
+    }
+}
+
+impl IngestHandle {
+    /// Admits a batch of `(path, timestamp)` records, draining
+    /// `records` and appending one [`Admission`] per record (in order)
+    /// to `outcomes`. Accepted records are routed and enqueued to their
+    /// shard workers; late and too-far-ahead records are dropped and
+    /// counted. The whole batch is admitted under **one** gate
+    /// acquisition, so per-record overhead amortises with batch size.
+    ///
+    /// Blocks only when a shard's ring is full (bounded backpressure
+    /// from a worker that cannot keep up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Closed`] once the engine is draining,
+    /// poisoned by a shard error, or gone. The pre-admission check
+    /// admits nothing; a teardown racing the ring hand-off can leave
+    /// `records` partially drained, so callers replying per record
+    /// should capture the batch length up front.
+    pub fn admit_batch(
+        &self,
+        records: &mut Vec<(String, u64)>,
+        outcomes: &mut Vec<Admission>,
+    ) -> Result<(), CoreError> {
+        outcomes.clear();
+        if records.is_empty() {
+            return Ok(());
+        }
+        let s = &*self.shared;
+        let _gate = s.gate.read().expect("gate never poisoned");
+        if s.closed.load(Ordering::SeqCst) {
+            return Err(CoreError::Closed);
+        }
+        let mut wm = s.watermark.load(Ordering::SeqCst);
+        if wm == UNSET {
+            // First record ever: its unit anchors the stream's
+            // data-time epoch unchecked (timestamps are abstract;
+            // there is nothing yet to bound them against — except the
+            // overflow-proof `max_unit` ceiling). Concurrent anchor
+            // attempts race benignly — one wins, the rest validate
+            // against the winner.
+            if let Some(anchor) =
+                records.iter().map(|&(_, t)| t / s.timeunit).find(|&u| u <= s.max_unit)
+            {
+                wm = match s.watermark.compare_exchange(
+                    UNSET,
+                    anchor,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => anchor,
+                    Err(won) => won,
+                };
+            }
+        }
+        let mut chunks: Vec<Vec<(String, u64)>> = vec![Vec::new(); s.rings.len()];
+        let (mut n_accepted, mut n_late, mut n_ahead) = (0u64, 0u64, 0u64);
+        let mut future_max: Option<u64> = None;
+        for (path, t) in records.drain(..) {
+            let unit = t / s.timeunit;
+            let outcome =
+                if wm == UNSET || unit > s.max_unit || unit > wm.saturating_add(s.max_ahead) {
+                    n_ahead += 1;
+                    Admission::TooFarAhead
+                } else if unit < wm {
+                    n_late += 1;
+                    Admission::Late
+                } else {
+                    n_accepted += 1;
+                    if unit > wm {
+                        future_max = Some(future_max.map_or(unit, |m| m.max(unit)));
+                    }
+                    chunks[s.router.route(&path)].push((path, t));
+                    Admission::Accepted
+                };
+            outcomes.push(outcome);
+        }
+        // Enqueue while still holding the gate: this is what guarantees
+        // records admitted against watermark `wm` precede any barrier
+        // that closes `wm` in ring order (see the module docs).
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            s.queued[idx].fetch_add(chunk.len() as u64, Ordering::SeqCst);
+            if !s.rings[idx].push(ShardMsg::Records { wm, recs: chunk }) {
+                // Only an abandoned ring (engine torn down mid-push)
+                // refuses; report the closure.
+                return Err(CoreError::Closed);
+            }
+        }
+        if n_accepted > 0 {
+            s.admitted.fetch_add(n_accepted, Ordering::SeqCst);
+            let _ = s.first_admit_nanos.compare_exchange(
+                0,
+                s.nanos_now(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        if n_late > 0 {
+            s.late.fetch_add(n_late, Ordering::SeqCst);
+        }
+        if n_ahead > 0 {
+            s.ahead.fetch_add(n_ahead, Ordering::SeqCst);
+        }
+        if let Some(fm) = future_max {
+            s.ahead_max.fetch_max(fm + 1, Ordering::SeqCst);
+            let _ = s.first_future_nanos.compare_exchange(
+                0,
+                s.nanos_now(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        Ok(())
+    }
+
+    /// Admits one record (see [`IngestHandle::admit_batch`], which the
+    /// hot path should prefer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Closed`] once the engine is draining or
+    /// gone.
+    pub fn admit(&self, path: &str, t_secs: u64) -> Result<Admission, CoreError> {
+        let mut records = vec![(path.to_string(), t_secs)];
+        let mut outcomes = Vec::with_capacity(1);
+        self.admit_batch(&mut records, &mut outcomes)?;
+        Ok(outcomes[0])
+    }
+
+    /// The open (not yet closed) timeunit, `None` until the first
+    /// record anchors the stream.
+    pub fn watermark(&self) -> Option<u64> {
+        match self.shared.watermark.load(Ordering::SeqCst) {
+            UNSET => None,
+            wm => Some(wm),
+        }
+    }
+
+    /// Timeunit size Δ in seconds.
+    pub fn timeunit_secs(&self) -> u64 {
+        self.shared.timeunit
+    }
+
+    /// Number of shards records are routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shared.rings.len()
+    }
+
+    /// The configured ahead-of-watermark admission bound in units.
+    pub fn max_ahead_units(&self) -> u64 {
+        self.shared.max_ahead
+    }
+
+    /// `true` once the engine is draining or gone (admissions error).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    /// `true` once a shard error poisoned a worker (admissions are
+    /// closed; the serving layer should drain and checkpoint — the
+    /// poisoned shard keeps its last good state).
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Records accepted so far.
+    pub fn admitted(&self) -> u64 {
+        self.shared.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Records dropped as late (unit already closed).
+    pub fn late(&self) -> u64 {
+        self.shared.late.load(Ordering::SeqCst)
+    }
+
+    /// Records dropped for exceeding the ahead-of-watermark bound.
+    pub fn ahead(&self) -> u64 {
+        self.shared.ahead.load(Ordering::SeqCst)
+    }
+
+    /// Largest future (ahead-of-watermark) unit with an admitted record
+    /// still held back, `None` if none — the serving layer's
+    /// data-watermark close target.
+    pub fn ahead_max_unit(&self) -> Option<u64> {
+        match self.shared.ahead_max.load(Ordering::SeqCst) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+
+    /// How long ago the oldest outstanding future record arrived —
+    /// `None` when nothing is held back. Drives the grace window.
+    pub fn first_future_age(&self) -> Option<Duration> {
+        self.shared.age_of(&self.shared.first_future_nanos)
+    }
+
+    /// How long ago the first record was accepted (`None` before any).
+    pub fn first_admit_age(&self) -> Option<Duration> {
+        self.shared.age_of(&self.shared.first_admit_nanos)
+    }
+
+    /// Records queued in each shard's ring, not yet ingested by its
+    /// worker (the per-shard backlog gauge).
+    pub fn ring_depths(&self) -> Vec<u64> {
+        self.shared.queued.iter().map(|q| q.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Records counted into each shard's open unit so far.
+    pub fn shard_open_records(&self) -> Vec<u64> {
+        self.shared.open_records.iter().map(|q| q.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Future records stashed per shard awaiting their unit.
+    pub fn stashed_records(&self) -> Vec<u64> {
+        self.shared.stashed.iter().map(|q| q.load(Ordering::SeqCst)).collect()
+    }
+}
+
+/// Owned state of a running live engine (present until
+/// [`LiveSharded::finish`] or drop tears it down).
+struct LiveInner {
+    shared: Arc<FrontShared>,
+    workers: Vec<JoinHandle<Box<Tiresias>>>,
+    acks: Receiver<ShardAck>,
+    builder: TiresiasBuilder,
+    report_tree: Tree,
+    store: EventStore,
+    pending: Vec<AnomalyEvent>,
+    busy_nanos: Vec<u64>,
+    router_nanos: u64,
+    seq: u64,
+    units_done: u64,
+}
+
+/// The serialized close/report back-end of a live sharded engine.
+///
+/// All methods take `&mut self` (or `self`): closes, merges, metrics
+/// snapshots and the final drain are exclusive by design — only record
+/// **admission** is concurrent, through [`LiveSharded::handle`]'s
+/// cloneable [`IngestHandle`]s.
+///
+/// # Example
+///
+/// ```
+/// use tiresias_core::{TiresiasBuilder, DEFAULT_MAX_AHEAD_UNITS};
+///
+/// let engine = TiresiasBuilder::new()
+///     .timeunit_secs(900)
+///     .window_len(96)
+///     .threshold(5.0)
+///     .season_length(4)
+///     .sensitivity(2.8, 8.0)
+///     .warmup_units(8)
+///     .shards(4)
+///     .build_sharded()?
+///     .into_live(DEFAULT_MAX_AHEAD_UNITS)?;
+/// let handle = engine.handle();
+///
+/// // Session threads clone `handle` and admit concurrently; a
+/// // scheduler thread owns `engine` and flips timeunit boundaries.
+/// let mut engine = engine;
+/// let mut batch: Vec<(String, u64)> = Vec::new();
+/// for t in 0..12u64 {
+///     let burst = if t == 11 { 80 } else { 8 };
+///     for i in 0..burst {
+///         batch.push(("TV/No Service".to_string(), t * 900 + i));
+///     }
+/// }
+/// let mut outcomes = Vec::new();
+/// handle.admit_batch(&mut batch, &mut outcomes)?;
+/// engine.close_to(12)?;
+/// assert!(engine.anomalies().iter().any(|a| a.path.to_string() == "TV/No Service"));
+/// let checkpointable = engine.finish()?; // a plain ShardedTiresias again
+/// assert_eq!(checkpointable.current_unit(), Some(12));
+/// # Ok::<(), tiresias_core::CoreError>(())
+/// ```
+pub struct LiveSharded {
+    inner: Option<LiveInner>,
+}
+
+impl std::fmt::Debug for LiveSharded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.as_ref();
+        f.debug_struct("LiveSharded")
+            .field("shards", &inner.map_or(0, |i| i.workers.len()))
+            .field("units_done", &inner.map_or(0, |i| i.units_done))
+            .finish()
+    }
+}
+
+impl LiveSharded {
+    /// Splits `engine` into the live front-end/back-end pair (the
+    /// implementation behind [`ShardedTiresias::into_live`]).
+    pub(crate) fn from_engine(
+        mut engine: ShardedTiresias,
+        max_ahead_units: u64,
+    ) -> Result<LiveSharded, CoreError> {
+        // Every unit the scheduler can derive from an admissible
+        // watermark must stay below the sentinel and multiply by the
+        // timeunit without overflow.
+        let timeunit = engine.timeunit_secs().max(1);
+        let max_unit = (u64::MAX / timeunit).saturating_sub(max_ahead_units.saturating_add(2));
+        if engine.current_unit().is_some_and(|open| open > max_unit) {
+            return Err(CoreError::InvalidConfig(format!(
+                "engine watermark exceeds the largest admissible timeunit {max_unit} \
+                 (timeunit {timeunit} s, max_ahead {max_ahead_units}); the stream was \
+                 anchored on an absurd timestamp — restart without the checkpoint"
+            )));
+        }
+        // Align every shard to the engine watermark so the workers
+        // resume from one well-defined open unit (a no-op for engines
+        // checkpointed by a drain, which always aligns).
+        if let Some(open) = engine.current_unit() {
+            engine.advance_to(open * engine.timeunit_secs())?;
+        }
+        let units_done = engine.units_processed();
+        let parts = engine.into_parts();
+        let n = parts.shards.len();
+        let shared = Arc::new(FrontShared {
+            router: parts.router,
+            timeunit: parts.builder.timeunit_secs,
+            max_ahead: max_ahead_units,
+            max_unit,
+            gate: RwLock::new(()),
+            watermark: AtomicU64::new(parts.open_unit.unwrap_or(UNSET)),
+            closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            late: AtomicU64::new(0),
+            ahead: AtomicU64::new(0),
+            ahead_max: AtomicU64::new(0),
+            first_future_nanos: AtomicU64::new(0),
+            first_admit_nanos: AtomicU64::new(0),
+            t0: Instant::now(),
+            rings: (0..n).map(|_| ShardRing::new(LIVE_RING_CAPACITY)).collect(),
+            queued: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            open_records: parts
+                .shards
+                .iter()
+                .map(|s| AtomicU64::new(s.open_records() as u64))
+                .collect(),
+            stashed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let (tx, rx) = channel();
+        let workers = parts
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(idx, shard)| {
+                let shared = Arc::clone(&shared);
+                let tx: Sender<ShardAck> = tx.clone();
+                std::thread::spawn(move || run_worker(idx, Box::new(shard), &shared, &tx))
+            })
+            .collect();
+        Ok(LiveSharded {
+            inner: Some(LiveInner {
+                shared,
+                workers,
+                acks: rx,
+                builder: parts.builder,
+                report_tree: parts.report_tree,
+                store: parts.store,
+                pending: parts.pending,
+                busy_nanos: parts.busy_nanos,
+                router_nanos: parts.router_nanos,
+                seq: 0,
+                units_done,
+            }),
+        })
+    }
+
+    fn inner(&self) -> &LiveInner {
+        self.inner.as_ref().expect("live engine present until finish")
+    }
+
+    /// A new front-end handle (clone one per session thread).
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle { shared: Arc::clone(&self.inner().shared) }
+    }
+
+    /// The open (not yet closed) timeunit.
+    pub fn watermark(&self) -> Option<u64> {
+        match self.inner().shared.watermark.load(Ordering::SeqCst) {
+            UNSET => None,
+            wm => Some(wm),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner().workers.len()
+    }
+
+    /// Timeunits fully processed, as of the last close (every shard
+    /// agrees between barriers — closes only happen at barriers).
+    pub fn units_processed(&self) -> u64 {
+        self.inner().units_done
+    }
+
+    /// The merged anomaly stream, `(unit, path)`-ordered, complete
+    /// through the last [`LiveSharded::close_to`]. Event node ids refer
+    /// to the back-end's report tree, exactly as in the offline engine.
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        self.inner().store.events()
+    }
+
+    /// Flips the epoch barrier: every unit in `[watermark, target)`
+    /// closes on all shards (in parallel), `target` becomes the open
+    /// unit, and the newly final anomalies are merged into
+    /// [`LiveSharded::anomalies`]. Clamped — `target` at or below the
+    /// watermark closes nothing. Returns the new open unit (`None`
+    /// while no record ever anchored the stream).
+    ///
+    /// Admissions stall only for the microseconds the gate is held to
+    /// flip the watermark and enqueue barrier messages; the shard
+    /// closes themselves run without the gate, concurrently with new
+    /// admissions (which now land in `target` or later).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error (the engine keeps serving
+    /// metrics but that shard stops ingesting; callers should drain).
+    pub fn close_to(&mut self, target: u64) -> Result<Option<u64>, CoreError> {
+        let inner = self.inner.as_mut().expect("live engine present until finish");
+        let seq = {
+            let s = &*inner.shared;
+            let _g = s.gate.write().expect("gate never poisoned");
+            let wm = s.watermark.load(Ordering::SeqCst);
+            if wm == UNSET {
+                return Ok(None);
+            }
+            if target <= wm {
+                return Ok(Some(wm));
+            }
+            inner.seq += 1;
+            s.watermark.store(target, Ordering::SeqCst);
+            // Ahead-of-watermark tracking restarts: stashes at or below
+            // `target` are about to be fed; workers report what remains
+            // in their acks, and admissions concurrently re-add.
+            s.ahead_max.store(0, Ordering::SeqCst);
+            s.first_future_nanos.store(0, Ordering::SeqCst);
+            for ring in &s.rings {
+                ring.push(ShardMsg::Barrier { seq: inner.seq, from: wm, target });
+            }
+            inner.seq
+        };
+        match collect_acks(inner, seq)? {
+            Some(shard_err) => Err(shard_err),
+            None => Ok(Some(target)),
+        }
+    }
+
+    /// Stops admissions without draining: every handle starts
+    /// returning [`CoreError::Closed`], while metrics and the final
+    /// [`LiveSharded::finish`] keep working. A serving layer calls
+    /// this on a fatal shard error so no more records are
+    /// acknowledged against an engine that can no longer ingest them.
+    pub fn close_admissions(&mut self) {
+        let inner = self.inner.as_ref().expect("live engine present until finish");
+        let _g = inner.shared.gate.write().expect("gate never poisoned");
+        inner.shared.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains and dissolves the live engine: every ring and stash is
+    /// fed (closing exactly the units the data itself closes — the
+    /// last unit stays **open**, so a checkpoint resumes mid-unit),
+    /// workers exit returning their shards, and a plain
+    /// [`ShardedTiresias`] is reassembled for checkpointing or further
+    /// offline use. Admissions return [`CoreError::Closed`] from the
+    /// moment the drain begins — an accepted record is never lost.
+    ///
+    /// A shard that errors while feeding its stash (or that was
+    /// already poisoned) keeps its **last good state** and the
+    /// reassembly still succeeds — a serving layer checkpointing on
+    /// shutdown keeps everything every healthy shard ingested instead
+    /// of losing the whole engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on protocol-level breakage (a worker vanished
+    /// without acknowledging the drain); the engine state is dropped
+    /// in that case.
+    pub fn finish(mut self) -> Result<ShardedTiresias, CoreError> {
+        let mut inner = self.inner.take().expect("finish called once");
+        let seq = {
+            let s = &*inner.shared;
+            let _g = s.gate.write().expect("gate never poisoned");
+            s.closed.store(true, Ordering::SeqCst);
+            let wm = s.watermark.load(Ordering::SeqCst);
+            inner.seq += 1;
+            let align = (wm != UNSET).then(|| match s.ahead_max.load(Ordering::SeqCst) {
+                0 => wm,
+                v => (v - 1).max(wm),
+            });
+            for ring in &s.rings {
+                ring.push(ShardMsg::Drain { seq: inner.seq, from: wm, align });
+            }
+            inner.seq
+        };
+        // Shard errors reported by the drain acks leave those shards at
+        // their last good state; only protocol failures abort.
+        let ack_result = collect_acks(&mut inner, seq).map(|_| ());
+        let mut shards: Vec<Tiresias> = Vec::with_capacity(inner.workers.len());
+        let mut worker_vanished = false;
+        for handle in inner.workers.drain(..) {
+            match handle.join() {
+                Ok(shard) => shards.push(*shard),
+                Err(_) => worker_vanished = true,
+            }
+        }
+        ack_result?;
+        if worker_vanished {
+            return Err(CoreError::Closed);
+        }
+        let open_unit = match inner.shared.watermark.load(Ordering::SeqCst) {
+            UNSET => None,
+            wm => {
+                // The drain may have advanced past the watermark (held
+                // future records define the final open unit, exactly
+                // like the offline drain).
+                Some(shards.iter().filter_map(Tiresias::current_unit).max().unwrap_or(wm))
+            }
+        };
+        Ok(ShardedTiresias::from_parts(ShardedParts {
+            builder: inner.builder,
+            router: inner.shared.router,
+            shards,
+            report_tree: inner.report_tree,
+            store: inner.store,
+            pending: Vec::new(),
+            open_unit,
+            busy_nanos: inner.busy_nanos,
+            router_nanos: inner.router_nanos,
+        }))
+    }
+}
+
+impl Drop for LiveSharded {
+    /// Tears down an unfinished engine without feeding stashes: rings
+    /// are finished (workers drain their backlog and exit) and joined,
+    /// and handles start returning [`CoreError::Closed`]. Prefer
+    /// [`LiveSharded::finish`], which also feeds held-back records and
+    /// returns the checkpointable engine.
+    fn drop(&mut self) {
+        let Some(mut inner) = self.inner.take() else { return };
+        {
+            let _g = inner.shared.gate.write().expect("gate never poisoned");
+            inner.shared.closed.store(true, Ordering::SeqCst);
+            for ring in &inner.shared.rings {
+                ring.finish();
+            }
+        }
+        for h in inner.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long the back-end waits for one shard's barrier ack before
+/// giving up. A healthy worker acks as soon as its backlog is
+/// processed; only a vanished (panicked) worker ever exhausts this, in
+/// which case an error beats the alternative — blocking the scheduler
+/// forever.
+const ACK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Collects one ack per shard for barrier `seq`, merges their events
+/// into the store in `(unit, path)` order and rebuilds the ahead
+/// tracking from the surviving stashes. The outer `Result` is protocol
+/// health (a worker vanished); the inner `Option` is the first shard
+/// error reported by an ack.
+fn collect_acks(inner: &mut LiveInner, seq: u64) -> Result<Option<CoreError>, CoreError> {
+    let mut first_err: Option<CoreError> = None;
+    let mut min_units = u64::MAX;
+    let mut seen = 0;
+    while seen < inner.workers.len() {
+        let ack = inner.acks.recv_timeout(ACK_TIMEOUT).map_err(|_| CoreError::Closed)?;
+        // A stale ack (an earlier barrier that timed out before its
+        // slow worker answered) still carries real events and errors —
+        // merge and latch them — but only acks of *this* barrier count
+        // toward completion, or a drain would mistake leftovers for
+        // its own acknowledgements and leave real ones unread.
+        inner.pending.extend(ack.events);
+        if let Some(e) = ack.error {
+            first_err.get_or_insert(e);
+        }
+        if ack.seq != seq {
+            continue;
+        }
+        seen += 1;
+        min_units = min_units.min(ack.units_processed);
+        if let Some(u) = ack.stash_max {
+            inner.shared.ahead_max.fetch_max(u + 1, Ordering::SeqCst);
+            let now = inner.shared.nanos_now();
+            let _ = inner.shared.first_future_nanos.compare_exchange(
+                0,
+                now,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+    inner.units_done = min_units;
+    // Every pending event's unit is now closed on every shard, so the
+    // whole buffer releases — in the same deterministic order as the
+    // offline merge, re-homed onto the report tree.
+    inner.pending.sort_by(|a, b| (a.unit, &a.path).cmp(&(b.unit, &b.path)));
+    for mut event in inner.pending.drain(..) {
+        event.node = inner.report_tree.insert_category(&event.path);
+        inner.store.insert(event);
+    }
+    Ok(first_err)
+}
+
+/// One shard's worker loop: ingest admission chunks, stash future
+/// records, close at barriers, drain and exit. The worker owns its
+/// [`Tiresias`] outright — no lock is ever taken around shard state.
+///
+/// A shard error **poisons** the worker: further records are dropped,
+/// every subsequent ack repeats the error (the back-end latches the
+/// first), and the shard's last good state survives for the final
+/// checkpoint — mirroring the serving layer's fatal-error policy.
+fn run_worker(
+    idx: usize,
+    mut shard: Box<Tiresias>,
+    shared: &FrontShared,
+    acks: &Sender<ShardAck>,
+) -> Box<Tiresias> {
+    let ring = &shared.rings[idx];
+    // Any exit — normal drain, teardown, or a panic unwinding out of a
+    // shard call — abandons the ring, so a producer blocked on a full
+    // ring (possibly holding the gate's read lock) always unblocks
+    // with `false` instead of wedging the whole engine.
+    let _unblock_producers = crate::ring::AbandonOnDrop(ring);
+    let timeunit = shared.timeunit;
+    let mut stash: Vec<(String, u64)> = Vec::new();
+    let mut cursor = shard.store().len();
+    let mut poison: Option<CoreError> = None;
+    // An error is acknowledged exactly once: the back-end latches it as
+    // fatal, and the *next* barrier (typically the shutdown drain) then
+    // completes cleanly so the shard's last good state still reaches
+    // the checkpoint.
+    let mut reported = false;
+    // `pop` returns `None` only when the back-end was dropped without
+    // a drain.
+    while let Some(msg) = ring.pop() {
+        match msg {
+            ShardMsg::Records { wm, recs } => {
+                let n = recs.len() as u64;
+                if poison.is_none() && shard.current_unit().is_none() {
+                    // First traffic on this shard: `wm` is the stream
+                    // anchor (any later watermark would have been
+                    // preceded by an aligning barrier in ring order).
+                    if let Err(e) = shard.advance_to(wm * timeunit) {
+                        poison_shard(shared, &mut poison, e);
+                    }
+                }
+                if poison.is_none() {
+                    let open = shard.current_unit().expect("aligned above");
+                    for (path, t) in recs {
+                        if t / timeunit > open {
+                            stash.push((path, t));
+                        } else if let Err(e) = shard.push_str(&path, t) {
+                            poison_shard(shared, &mut poison, e);
+                            break;
+                        }
+                    }
+                }
+                shared.queued[idx].fetch_sub(n, Ordering::SeqCst);
+                update_gauges(idx, &shard, &stash, shared);
+            }
+            ShardMsg::Barrier { seq, from, target } => {
+                if poison.is_none() {
+                    if let Err(e) = close_shard(&mut shard, &mut stash, from, target, timeunit) {
+                        poison_shard(shared, &mut poison, e);
+                    }
+                }
+                update_gauges(idx, &shard, &stash, shared);
+                let error = if reported { None } else { poison.clone() };
+                reported = poison.is_some();
+                let _ = acks.send(make_ack(seq, &shard, &stash, &mut cursor, error, timeunit));
+            }
+            ShardMsg::Drain { seq, from, align } => {
+                if poison.is_none() {
+                    if let Some(align) = align {
+                        if let Err(e) = close_shard(&mut shard, &mut stash, from, align, timeunit) {
+                            poison_shard(shared, &mut poison, e);
+                        }
+                    }
+                }
+                update_gauges(idx, &shard, &stash, shared);
+                let error = if reported { None } else { poison.clone() };
+                let _ = acks.send(make_ack(seq, &shard, &stash, &mut cursor, error, timeunit));
+                break;
+            }
+        }
+    }
+    shard
+}
+
+/// Records a shard error and closes admissions engine-wide: a broken
+/// shard must not keep acknowledging records it will silently drop, so
+/// every handle starts returning [`CoreError::Closed`] immediately —
+/// the serving layer sees [`IngestHandle::is_poisoned`] and drains.
+/// (Lock-free on purpose: a worker must never wait on the gate, or a
+/// producer blocked on this worker's full ring would deadlock it.)
+fn poison_shard(shared: &FrontShared, slot: &mut Option<CoreError>, e: CoreError) {
+    if slot.is_none() {
+        *slot = Some(e);
+        shared.poisoned.store(true, Ordering::SeqCst);
+        shared.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Closes units `[from, target)` on one shard: align a never-touched
+/// shard to `from`, feed the stashed records whose unit is due (unit
+/// order, letting the data close intermediate units exactly as the
+/// offline engine's `push_batch` would), then advance to `target`.
+fn close_shard(
+    shard: &mut Tiresias,
+    stash: &mut Vec<(String, u64)>,
+    from: u64,
+    target: u64,
+    timeunit: u64,
+) -> Result<(), CoreError> {
+    if shard.current_unit().is_none() {
+        shard.advance_to(from * timeunit)?;
+    }
+    stash.sort_by_key(|&(_, t)| t / timeunit);
+    let due = stash.partition_point(|&(_, t)| t / timeunit <= target);
+    for (path, t) in stash.drain(..due) {
+        shard.push_str(&path, t)?;
+    }
+    shard.advance_to(target * timeunit)
+}
+
+fn update_gauges(idx: usize, shard: &Tiresias, stash: &[(String, u64)], shared: &FrontShared) {
+    shared.open_records[idx].store(shard.open_records() as u64, Ordering::SeqCst);
+    shared.stashed[idx].store(stash.len() as u64, Ordering::SeqCst);
+}
+
+fn make_ack(
+    seq: u64,
+    shard: &Tiresias,
+    stash: &[(String, u64)],
+    cursor: &mut usize,
+    error: Option<CoreError>,
+    timeunit: u64,
+) -> ShardAck {
+    let events = shard.store().events();
+    // Per-shard synthetic root events (level 0) are dropped, exactly as
+    // the offline merge drops them (the shard root is not invariant).
+    let new: Vec<AnomalyEvent> =
+        events[*cursor..].iter().filter(|e| e.level >= 1).cloned().collect();
+    *cursor = events.len();
+    ShardAck {
+        seq,
+        events: new,
+        stash_max: stash.iter().map(|&(_, t)| t / timeunit).max(),
+        units_processed: shard.units_processed(),
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TiresiasBuilder;
+
+    fn builder() -> TiresiasBuilder {
+        TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(32)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(4)
+            .ref_levels(2)
+    }
+
+    fn burst_batch(paths: &[&str], units: u64, burst_unit: u64) -> Vec<(String, u64)> {
+        let mut batch = Vec::new();
+        for u in 0..units {
+            for (k, p) in paths.iter().enumerate() {
+                let count = if u == burst_unit && k == 0 { 80 } else { 8 };
+                for i in 0..count {
+                    batch.push((p.to_string(), u * 900 + i));
+                }
+            }
+        }
+        batch
+    }
+
+    fn offline_replay(records: &[(String, u64)], shards: usize, close_to: u64) -> ShardedTiresias {
+        let mut engine = builder().shards(shards).build_sharded().unwrap();
+        engine.push_batch(records).unwrap();
+        engine.advance_to(close_to * 900).unwrap();
+        engine
+    }
+
+    #[test]
+    fn live_matches_offline_replay() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce"];
+        let records = burst_batch(&paths, 10, 9);
+        let offline = offline_replay(&records, 4, 10);
+        assert!(!offline.anomalies().is_empty(), "the burst is detected");
+
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        // Admit in small chunks, closing progressively like a
+        // scheduler would.
+        for (i, chunk) in records.chunks(97).enumerate() {
+            let mut owned: Vec<(String, u64)> = chunk.to_vec();
+            handle.admit_batch(&mut owned, &mut outcomes).unwrap();
+            assert!(outcomes.iter().all(|&o| o == Admission::Accepted));
+            if i % 3 == 2 {
+                let target = chunk.last().unwrap().1 / 900;
+                live.close_to(target).unwrap();
+            }
+        }
+        live.close_to(10).unwrap();
+        assert_eq!(live.anomalies(), offline.anomalies());
+        assert_eq!(live.units_processed(), offline.units_processed());
+        assert_eq!(live.watermark(), Some(10));
+
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.heavy_hitter_paths(), offline.heavy_hitter_paths());
+        assert_eq!(finished.tree_paths(), offline.tree_paths());
+        assert_eq!(finished.current_unit(), Some(10));
+    }
+
+    #[test]
+    fn future_records_stash_until_their_unit_opens() {
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        assert_eq!(handle.admit("a/x", 10).unwrap(), Admission::Accepted);
+        assert_eq!(handle.admit("a/x", 5 * 900).unwrap(), Admission::Accepted, "5 units ahead");
+        assert_eq!(handle.ahead_max_unit(), Some(5));
+        assert!(handle.first_future_age().is_some());
+        // Nothing closed yet: the future record is stashed, not fed.
+        assert_eq!(live.units_processed(), 0);
+        // Closing through the future unit feeds it; intermediate units
+        // close as zero-count units exactly like the offline engine.
+        live.close_to(5).unwrap();
+        assert_eq!(live.units_processed(), 5);
+        assert_eq!(handle.ahead_max_unit(), None, "stash fully consumed");
+        let offline =
+            offline_replay(&[("a/x".to_string(), 10), ("a/x".to_string(), 5 * 900)], 2, 5);
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.units_processed(), offline.units_processed());
+    }
+
+    #[test]
+    fn late_and_ahead_records_are_counted_exactly() {
+        let mut live = builder().shards(2).build_sharded().unwrap().into_live(100).unwrap();
+        let handle = live.handle();
+        assert_eq!(handle.max_ahead_units(), 100);
+        assert_eq!(handle.admit("a/x", 900).unwrap(), Admission::Accepted, "anchors at unit 1");
+        assert_eq!(handle.admit("a/x", 10).unwrap(), Admission::Late, "unit 0 precedes anchor");
+        assert_eq!(
+            handle.admit("a/x", 102 * 900).unwrap(),
+            Admission::TooFarAhead,
+            "101 units ahead of the open unit exceeds the bound"
+        );
+        assert_eq!(handle.admit("a/x", 101 * 900).unwrap(), Admission::Accepted, "the boundary");
+        live.close_to(2).unwrap();
+        assert_eq!(handle.admit("a/x", 950).unwrap(), Admission::Late, "unit 1 closed now");
+        assert_eq!(handle.admitted(), 2);
+        assert_eq!(handle.late(), 2);
+        assert_eq!(handle.ahead(), 1);
+        // u64::MAX never anchors and never admits.
+        assert_eq!(handle.admit("a/x", u64::MAX).unwrap(), Admission::TooFarAhead);
+        drop(live);
+        assert!(handle.is_closed());
+        assert!(matches!(handle.admit("a/x", 2000), Err(CoreError::Closed)));
+    }
+
+    #[test]
+    fn idle_shard_aligns_to_the_stream_anchor() {
+        // Find two labels on different shards of a 2-shard router.
+        let router = ShardRouter::new(2);
+        let a = (0..64).map(|i| format!("a{i}/x")).find(|p| router.route(p) == 0).unwrap();
+        let b = (0..64).map(|i| format!("b{i}/x")).find(|p| router.route(p) == 1).unwrap();
+        let mut records: Vec<(String, u64)> = Vec::new();
+        for u in 0..6u64 {
+            for i in 0..8 {
+                records.push((a.clone(), u * 900 + i));
+            }
+        }
+        // Shard 1 sees nothing until unit 6: it must still have closed
+        // units 0..6 as zero-count units, like the offline replay.
+        for u in 6..10u64 {
+            for i in 0..8 {
+                records.push((a.clone(), u * 900 + i));
+                records.push((b.clone(), u * 900 + i));
+            }
+        }
+        let offline = offline_replay(&records, 2, 10);
+
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        let split = records.iter().position(|&(_, t)| t >= 6 * 900).unwrap();
+        let mut first: Vec<(String, u64)> = records[..split].to_vec();
+        handle.admit_batch(&mut first, &mut outcomes).unwrap();
+        live.close_to(6).unwrap();
+        let mut second: Vec<(String, u64)> = records[split..].to_vec();
+        handle.admit_batch(&mut second, &mut outcomes).unwrap();
+        live.close_to(10).unwrap();
+
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.units_processed(), offline.units_processed());
+        assert_eq!(finished.tree_paths(), offline.tree_paths());
+    }
+
+    #[test]
+    fn finished_engine_checkpoints_and_resumes_identically() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let records = burst_batch(&paths, 10, 8);
+        let split = records.iter().position(|&(_, t)| t >= 6 * 900).unwrap();
+        let offline = offline_replay(&records, 4, 10);
+
+        // Phase one: live, drained mid-stream, serialised.
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        let mut first: Vec<(String, u64)> = records[..split].to_vec();
+        handle.admit_batch(&mut first, &mut outcomes).unwrap();
+        live.close_to(4).unwrap();
+        let drained = live.finish().unwrap();
+        let json = serde_json::to_string(&drained).expect("serialises");
+        drop(drained);
+
+        // Phase two: resumed live, fed the rest.
+        let resumed: ShardedTiresias = serde_json::from_str(&json).expect("deserialises");
+        let mut live = resumed.into_live(DEFAULT_MAX_AHEAD_UNITS).unwrap();
+        let handle = live.handle();
+        let mut second: Vec<(String, u64)> = records[split..].to_vec();
+        handle.admit_batch(&mut second, &mut outcomes).unwrap();
+        live.close_to(10).unwrap();
+        let finished = live.finish().unwrap();
+
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.heavy_hitter_paths(), offline.heavy_hitter_paths());
+        assert_eq!(finished.units_processed(), offline.units_processed());
+        assert!(!finished.anomalies().is_empty(), "the burst is detected");
+    }
+
+    #[test]
+    fn concurrent_handles_agree_with_offline_replay() {
+        let paths = ["a/x", "b/y", "c/z", "d/w", "e/v", "f/u"];
+        let records = burst_batch(&paths, 8, 7);
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        // Anchor deterministically before the race.
+        assert_eq!(live.handle().admit(&records[0].0, records[0].1).unwrap(), Admission::Accepted);
+        std::thread::scope(|scope| {
+            for c in 0..8usize {
+                let handle = live.handle();
+                let records = &records[1..];
+                scope.spawn(move || {
+                    let mut outcomes = Vec::new();
+                    for chunk in records.iter().skip(c).step_by(8).collect::<Vec<_>>().chunks(13) {
+                        let mut owned: Vec<(String, u64)> =
+                            chunk.iter().map(|&r| r.clone()).collect();
+                        handle.admit_batch(&mut owned, &mut outcomes).unwrap();
+                        assert!(outcomes.iter().all(|&o| o == Admission::Accepted));
+                    }
+                });
+            }
+        });
+        assert_eq!(live.handle().admitted(), records.len() as u64);
+        live.close_to(8).unwrap();
+        let finished = live.finish().unwrap();
+        let offline = offline_replay(&records, 4, 8);
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.heavy_hitter_paths(), offline.heavy_hitter_paths());
+        assert_eq!(finished.tree_paths(), offline.tree_paths());
+    }
+
+    #[test]
+    fn gauges_track_rings_and_open_units() {
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        assert_eq!(handle.shard_count(), 2);
+        assert_eq!(handle.timeunit_secs(), 900);
+        assert_eq!(handle.ring_depths(), vec![0, 0]);
+        handle.admit("a/x", 10).unwrap();
+        handle.admit("b/y", 20).unwrap();
+        handle.admit("a/x", 2 * 900).unwrap(); // future: stashed
+        live.close_to(1).unwrap(); // barrier ⇒ workers fully caught up
+        assert_eq!(handle.ring_depths(), vec![0, 0], "rings drained past the barrier");
+        assert_eq!(handle.shard_open_records().iter().sum::<u64>(), 0, "open unit reset");
+        assert_eq!(handle.stashed_records().iter().sum::<u64>(), 1, "future record held");
+        assert!(handle.first_admit_age().is_some());
+        assert_eq!(handle.admitted(), 3);
+        assert_eq!(live.units_processed(), 1);
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.current_unit(), Some(2), "drain opened the stashed unit");
+    }
+
+    #[test]
+    fn absurd_first_timestamps_cannot_anchor_or_overflow() {
+        // timeunit 1 s makes unit == timestamp, the worst case for the
+        // sentinel/overflow guards.
+        let mut live = TiresiasBuilder::new()
+            .timeunit_secs(1)
+            .window_len(8)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(2)
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(10)
+            .unwrap();
+        let handle = live.handle();
+        assert_eq!(
+            handle.admit("a/x", u64::MAX).unwrap(),
+            Admission::TooFarAhead,
+            "a sentinel-range timestamp must not anchor the stream"
+        );
+        assert_eq!(handle.watermark(), None);
+        assert_eq!(handle.ahead(), 1);
+        // A sane record then anchors normally and closes still work.
+        assert_eq!(handle.admit("a/x", 5).unwrap(), Admission::Accepted);
+        assert_eq!(handle.watermark(), Some(5));
+        assert_eq!(live.close_to(6).unwrap(), Some(6));
+        assert_eq!(live.units_processed(), 1);
+    }
+
+    #[test]
+    fn empty_engine_finishes_clean() {
+        let live = builder()
+            .shards(3)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        assert_eq!(live.watermark(), None);
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.current_unit(), None);
+        assert_eq!(finished.units_processed(), 0);
+        assert!(finished.anomalies().is_empty());
+    }
+
+    #[test]
+    fn close_before_any_record_is_a_noop() {
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        assert_eq!(live.close_to(5).unwrap(), None);
+        let handle = live.handle();
+        handle.admit("a/x", 0).unwrap();
+        assert_eq!(live.close_to(0).unwrap(), Some(0), "clamped: nothing below the watermark");
+        assert_eq!(live.units_processed(), 0);
+    }
+}

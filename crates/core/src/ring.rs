@@ -1,18 +1,27 @@
-//! A hand-rolled bounded SPSC ring buffer for the sharded ingest
-//! engine.
+//! A hand-rolled bounded multi-producer ring buffer for the sharded
+//! ingest engines.
 //!
-//! One router thread produces per-shard chunks, one worker thread per
-//! shard consumes them. The buffer is bounded, so a slow shard applies
-//! backpressure to the router instead of queueing unboundedly; both
-//! sides block on condition variables, and either side can end the
-//! conversation ([`SpscRing::finish`] from the producer,
-//! [`SpscRing::abandon`] from the consumer) without deadlocking the
-//! other.
+//! Two consumers-of-one-shard patterns share this buffer:
+//!
+//! * the **offline batch engine** ([`crate::ShardedTiresias`]): one
+//!   router thread produces per-shard chunks, one scoped worker per
+//!   shard consumes them (the original SPSC shape);
+//! * the **live engine** ([`crate::LiveSharded`]): *many* session
+//!   threads produce concurrently through cloned
+//!   [`crate::IngestHandle`]s, while one long-running worker per shard
+//!   consumes — the multi-producer generalisation this module grew for.
+//!
+//! The buffer is bounded, so a slow shard applies backpressure to its
+//! producers instead of queueing unboundedly; both sides block on
+//! condition variables, and either side can end the conversation
+//! ([`ShardRing::finish`] from the producing side, [`ShardRing::abandon`]
+//! from the consumer) without deadlocking the other.
 //!
 //! Synchronisation is a `Mutex<VecDeque>` plus two condvars — `VecDeque`
-//! *is* a growable ring buffer, and the workspace forbids `unsafe`, so a
-//! lock-free atomics ring is off the table. The engine amortises the
-//! lock by shipping chunks of ~1k records per push, which makes the
+//! *is* a growable ring buffer, the lock serialises concurrent
+//! producers for free, and the workspace forbids `unsafe`, so a
+//! lock-free atomics ring is off the table. Producers amortise the lock
+//! by shipping chunks of many records per push, which makes the
 //! per-record synchronisation cost a fraction of a nanosecond.
 
 use std::collections::VecDeque;
@@ -21,26 +30,29 @@ use std::sync::{Condvar, Mutex};
 #[derive(Debug)]
 struct State<T> {
     queue: VecDeque<T>,
-    /// Producer finished: `pop` drains the queue, then returns `None`.
+    /// Producing side finished: `pop` drains the queue, then returns
+    /// `None`.
     finished: bool,
     /// Consumer gone (errored out): `push` drops items and reports it.
     abandoned: bool,
 }
 
-/// Bounded single-producer single-consumer ring buffer. See the module
-/// docs for the protocol.
+/// Bounded multi-producer single-consumer ring buffer. See the module
+/// docs for the protocol. `push` is `&self` and safe from any number of
+/// threads; items from concurrent producers interleave at chunk
+/// granularity but each producer's own chunks stay FIFO.
 #[derive(Debug)]
-pub(crate) struct SpscRing<T> {
+pub(crate) struct ShardRing<T> {
     state: Mutex<State<T>>,
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
-impl<T> SpscRing<T> {
+impl<T> ShardRing<T> {
     /// Creates a ring holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> Self {
-        SpscRing {
+        ShardRing {
             state: Mutex::new(State {
                 queue: VecDeque::with_capacity(capacity.max(1)),
                 finished: false,
@@ -70,8 +82,8 @@ impl<T> SpscRing<T> {
     }
 
     /// Dequeues the next item, blocking while the ring is empty.
-    /// Returns `None` once the producer has called
-    /// [`SpscRing::finish`] and the queue is drained.
+    /// Returns `None` once the producing side has called
+    /// [`ShardRing::finish`] and the queue is drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("ring lock never poisoned");
         loop {
@@ -87,8 +99,10 @@ impl<T> SpscRing<T> {
         }
     }
 
-    /// Producer side: no more items will be pushed; wakes the consumer
-    /// so it can drain and exit.
+    /// Producing side: no more items will be pushed; wakes the consumer
+    /// so it can drain and exit. With multiple producers the caller
+    /// coordinates who declares the end (the live engine instead sends
+    /// an in-band drain message and never finishes its rings).
     pub fn finish(&self) {
         let mut state = self.state.lock().expect("ring lock never poisoned");
         state.finished = true;
@@ -104,17 +118,17 @@ impl<T> SpscRing<T> {
         state.abandoned = true;
         state.queue.clear();
         drop(state);
-        self.not_full.notify_one();
+        self.not_full.notify_all();
     }
 }
 
 /// RAII guard abandoning a ring when dropped — placed in a consumer so
 /// that *any* exit, including an unwind from a panic mid-chunk, unblocks
-/// a producer waiting on a full ring instead of deadlocking it.
-/// Abandoning after a normal drain (producer already finished) or after
-/// an explicit abandon is harmless: the flag is idempotent.
+/// producers waiting on a full ring instead of deadlocking them.
+/// Abandoning after a normal drain (producing side already finished) or
+/// after an explicit abandon is harmless: the flag is idempotent.
 #[derive(Debug)]
-pub(crate) struct AbandonOnDrop<'a, T>(pub &'a SpscRing<T>);
+pub(crate) struct AbandonOnDrop<'a, T>(pub &'a ShardRing<T>);
 
 impl<T> Drop for AbandonOnDrop<'_, T> {
     fn drop(&mut self) {
@@ -128,7 +142,7 @@ mod tests {
 
     #[test]
     fn fifo_within_capacity() {
-        let ring = SpscRing::new(4);
+        let ring = ShardRing::new(4);
         assert!(ring.push(1));
         assert!(ring.push(2));
         assert_eq!(ring.pop(), Some(1));
@@ -139,7 +153,7 @@ mod tests {
 
     #[test]
     fn bounded_capacity_applies_backpressure() {
-        let ring = std::sync::Arc::new(SpscRing::new(2));
+        let ring = std::sync::Arc::new(ShardRing::new(2));
         let consumer = {
             let ring = std::sync::Arc::clone(&ring);
             std::thread::spawn(move || {
@@ -161,22 +175,57 @@ mod tests {
     }
 
     #[test]
-    fn abandon_unblocks_producer() {
-        let ring = std::sync::Arc::new(SpscRing::new(1));
-        assert!(ring.push(1)); // ring now full
-        let producer = {
+    fn concurrent_producers_lose_nothing() {
+        let ring = std::sync::Arc::new(ShardRing::new(4));
+        let consumer = {
             let ring = std::sync::Arc::clone(&ring);
-            std::thread::spawn(move || ring.push(2)) // blocks on full ring
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(x) = ring.pop() {
+                    got.push(x);
+                }
+                got
+            })
         };
+        std::thread::scope(|scope| {
+            for p in 0..8u32 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100u32 {
+                        assert!(ring.push(p * 1000 + i));
+                    }
+                });
+            }
+        });
+        ring.finish();
+        let mut got = consumer.join().expect("consumer finishes");
+        assert_eq!(got.len(), 800, "every producer's items arrive");
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 800, "no duplicates either");
+    }
+
+    #[test]
+    fn abandon_unblocks_all_producers() {
+        let ring = std::sync::Arc::new(ShardRing::new(1));
+        assert!(ring.push(1)); // ring now full
+        let producers: Vec<_> = (0..3)
+            .map(|i| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || ring.push(2 + i)) // blocks on full ring
+            })
+            .collect();
         std::thread::sleep(std::time::Duration::from_millis(10));
         ring.abandon();
-        assert!(!producer.join().expect("producer returns"), "push reports abandonment");
-        assert!(!ring.push(3), "later pushes fail fast");
+        for p in producers {
+            assert!(!p.join().expect("producer returns"), "push reports abandonment");
+        }
+        assert!(!ring.push(9), "later pushes fail fast");
     }
 
     #[test]
     fn finish_drains_remaining_items() {
-        let ring = SpscRing::new(8);
+        let ring = ShardRing::new(8);
         ring.push("a");
         ring.push("b");
         ring.finish();

@@ -51,7 +51,7 @@ use crate::anomaly::AnomalyEvent;
 use crate::builder::TiresiasBuilder;
 use crate::detector::Tiresias;
 use crate::error::CoreError;
-use crate::ring::SpscRing;
+use crate::ring::ShardRing;
 use crate::store::EventStore;
 
 /// Records per chunk handed from the router to a shard worker; the unit
@@ -186,6 +186,23 @@ pub struct ShardedTiresias {
     router_nanos: u64,
 }
 
+/// The engine's state decomposed into the pieces the live
+/// front-end/back-end split redistributes: the shards move onto
+/// long-running worker threads, routing moves into the shareable
+/// [`crate::IngestHandle`], and the merge state stays with the
+/// exclusive [`crate::LiveSharded`] back-end.
+pub(crate) struct ShardedParts {
+    pub builder: TiresiasBuilder,
+    pub router: ShardRouter,
+    pub shards: Vec<Tiresias>,
+    pub report_tree: Tree,
+    pub store: EventStore,
+    pub pending: Vec<AnomalyEvent>,
+    pub open_unit: Option<u64>,
+    pub busy_nanos: Vec<u64>,
+    pub router_nanos: u64,
+}
+
 impl ShardedTiresias {
     pub(crate) fn from_builder(builder: TiresiasBuilder) -> Result<Self, CoreError> {
         if builder.auto_seasonality.is_some() {
@@ -220,6 +237,56 @@ impl ShardedTiresias {
             router_nanos: 0,
             builder,
         })
+    }
+
+    /// Decomposes the engine for the live front-end/back-end split.
+    pub(crate) fn into_parts(self) -> ShardedParts {
+        ShardedParts {
+            builder: self.builder,
+            router: self.router,
+            shards: self.shards,
+            report_tree: self.report_tree,
+            store: self.store,
+            pending: self.pending,
+            open_unit: self.open_unit,
+            busy_nanos: self.busy_nanos,
+            router_nanos: self.router_nanos,
+        }
+    }
+
+    /// Reassembles an engine from live parts (the inverse of
+    /// [`ShardedTiresias::into_parts`], used by
+    /// [`crate::LiveSharded::finish`] so a drained live engine
+    /// checkpoints in the exact same format as the offline one).
+    pub(crate) fn from_parts(parts: ShardedParts) -> Self {
+        let merged = parts.shards.iter().map(|s| s.store().len()).collect();
+        ShardedTiresias {
+            builder: parts.builder,
+            router: parts.router,
+            shards: parts.shards,
+            report_tree: parts.report_tree,
+            store: parts.store,
+            merged,
+            pending: parts.pending,
+            open_unit: parts.open_unit,
+            threaded: true,
+            busy_nanos: parts.busy_nanos,
+            router_nanos: parts.router_nanos,
+        }
+    }
+
+    /// Converts this engine into the concurrently shareable live form:
+    /// a [`crate::LiveSharded`] back-end whose cloneable
+    /// [`crate::IngestHandle`]s admit records from any number of
+    /// threads without an engine-wide lock. `max_ahead_units` bounds
+    /// how far ahead of the open timeunit a record may be (see
+    /// [`crate::DEFAULT_MAX_AHEAD_UNITS`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard errors from aligning a mid-stream engine.
+    pub fn into_live(self, max_ahead_units: u64) -> Result<crate::LiveSharded, CoreError> {
+        crate::LiveSharded::from_engine(self, max_ahead_units)
     }
 
     /// Number of shards.
@@ -544,7 +611,8 @@ impl ShardedTiresias {
         let n = self.shards.len();
         let router = self.router;
         let advance_secs = final_unit * self.builder.timeunit_secs;
-        let rings: Vec<SpscRing<Vec<u32>>> = (0..n).map(|_| SpscRing::new(RING_CAPACITY)).collect();
+        let rings: Vec<ShardRing<Vec<u32>>> =
+            (0..n).map(|_| ShardRing::new(RING_CAPACITY)).collect();
         let busy = &mut self.busy_nanos;
         let shards = &mut self.shards;
         let router_nanos = &mut self.router_nanos;

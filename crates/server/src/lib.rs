@@ -10,12 +10,18 @@
 //!   newline-delimited text protocol ([`protocol`]): `PUSH` records,
 //!   `SUBSCRIBE` to the anomaly stream, `STATS` for metrics,
 //!   `SHUTDOWN` for a graceful stop;
-//! * accepted records are batched and fed to a
-//!   [`tiresias_core::ShardedTiresias`] via `push_batch`;
+//! * every session thread admits records through its own clone of the
+//!   engine's lock-free [`tiresias_core::IngestHandle`] — validation,
+//!   routing and the per-shard ring hand-off never take a server-wide
+//!   lock, so concurrent pushers scale with cores instead of queueing
+//!   behind one mutex;
 //! * a **wall-clock scheduler** closes timeunits on a real-time
 //!   cadence with a configurable **grace window** for late records,
 //!   instead of relying on monotone input timestamps (the close rules
-//!   are documented in the repository README's server section);
+//!   are documented in the repository README's server section); each
+//!   close is one epoch-barrier flip on the
+//!   [`tiresias_core::LiveSharded`] back-end, so in-flight pushes land
+//!   in a well-defined unit;
 //! * anomalies are broadcast to subscribers the moment their unit
 //!   closes, through bounded per-session queues with a
 //!   drop-the-laggard backpressure policy;

@@ -1,5 +1,19 @@
 //! The daemon itself: listener, per-client session threads, the
 //! wall-clock scheduler and the graceful-shutdown choreography.
+//!
+//! # The lock-free admission hot path
+//!
+//! Every session thread owns a clone of the live engine's
+//! [`IngestHandle`]: a `PUSH` is parsed, batched with its pipelined
+//! neighbours and admitted straight into the engine's per-shard rings
+//! — validation, routing and the late/ahead counters are all atomic in
+//! `tiresias-core`, and **no server-wide lock is taken**. The
+//! [`Inner`] mutex guards only the serialized back-end work (timeunit
+//! closes on the scheduler thread, `STATS` snapshots, the shutdown
+//! drain + checkpoint), so a thousand concurrent pushers never queue
+//! behind a `STATS` reader or a closing timeunit — and vice versa: a
+//! close stalls admissions only for the microseconds its watermark
+//! barrier is held.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -10,16 +24,22 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tiresias_core::{load_checkpoint, CheckpointEngine, TiresiasBuilder};
+use tiresias_core::{
+    load_checkpoint, Admission, CheckpointEngine, IngestHandle, TiresiasBuilder,
+    DEFAULT_MAX_AHEAD_UNITS,
+};
 
 use crate::error::ServerError;
 use crate::hub::Hub;
 use crate::protocol::{parse_request, Request};
 use crate::signal;
-use crate::state::{Inner, PushOutcome};
+use crate::state::Inner;
 
 /// How often blocked session reads wake up to check the stop flag.
 const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How often the scheduler thread reaps finished session threads.
+const SESSION_SWEEP: Duration = Duration::from_secs(1);
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -35,10 +55,16 @@ pub struct ServerConfig {
     pub grace: Duration,
     /// Scheduler tick interval.
     pub tick: Duration,
-    /// Pending records that trigger a size-based `push_batch` flush.
+    /// Upper bound on the records one session admits per engine call
+    /// (pipelined `PUSH` lines batch up to this many under a single
+    /// admission).
     pub flush_records: usize,
     /// Per-session outbound queue bound (replies + subscribed events).
     pub subscriber_queue: usize,
+    /// How many timeunits ahead of the open unit a record may be;
+    /// records further ahead are refused with `ERR` and counted
+    /// (`--max-ahead`, default [`DEFAULT_MAX_AHEAD_UNITS`]).
+    pub max_ahead_units: u64,
     /// Checkpoint file: loaded on start if present, written on
     /// graceful shutdown.
     pub checkpoint: Option<PathBuf>,
@@ -49,8 +75,9 @@ pub struct ServerConfig {
 
 impl ServerConfig {
     /// Defaults around the given detector configuration: ephemeral
-    /// loopback port, 2 s grace, 50 ms tick, 8192-record flush,
-    /// 1024-line subscriber queues, no checkpoint, no signal handlers.
+    /// loopback port, 2 s grace, 50 ms tick, 8192-record batches,
+    /// 1024-line subscriber queues, 1000-unit ahead bound, no
+    /// checkpoint, no signal handlers.
     pub fn new(builder: TiresiasBuilder) -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -59,6 +86,7 @@ impl ServerConfig {
             tick: Duration::from_millis(50),
             flush_records: 8192,
             subscriber_queue: 1024,
+            max_ahead_units: DEFAULT_MAX_AHEAD_UNITS,
             checkpoint: None,
             handle_signals: false,
         }
@@ -77,18 +105,23 @@ struct Control {
 
 /// Everything session threads need.
 struct Shared {
+    /// The concurrently shareable ingest front-end — the `PUSH` path.
+    front: IngestHandle,
+    /// The serialized back-end (closes, drain, checkpoint, `STATS`).
     inner: Mutex<Inner>,
     hub: Hub,
     control: Control,
     queue_bound: usize,
+    batch_cap: usize,
 }
 
 impl Shared {
-    /// Runs the graceful shutdown exactly once: drain every buffered
-    /// record into the engine, broadcast the final events, write the
-    /// checkpoint, then stop all threads. Subscribers receive the
-    /// drained events before their sessions close because the events
-    /// are already queued when the stop flag is set.
+    /// Runs the graceful shutdown exactly once: stop admissions, drain
+    /// every ring and held-back record into the engine, broadcast the
+    /// final events, write the checkpoint, then stop all threads.
+    /// Subscribers receive the drained events before their sessions
+    /// close because the events are already queued when the stop flag
+    /// is set.
     fn initiate_shutdown(&self) -> Result<(), ServerError> {
         if self.control.shutdown_started.swap(true, Ordering::SeqCst) {
             return Ok(());
@@ -97,7 +130,7 @@ impl Shared {
             let mut inner = self.inner.lock().expect("state lock never poisoned");
             inner.drain(&self.hub).map_err(ServerError::Core)?;
             if let Some(path) = &self.control.checkpoint {
-                let json = inner.checkpoint_json();
+                let json = inner.checkpoint_json().expect("drain succeeded, engine present");
                 let tmp = path.with_extension("tmp");
                 std::fs::write(&tmp, &json).map_err(ServerError::Io)?;
                 std::fs::rename(&tmp, path).map_err(ServerError::Io)?;
@@ -108,6 +141,20 @@ impl Shared {
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.control.addr);
         result
+    }
+
+    /// Why admissions are refused right now, for `ERR` replies.
+    fn refusal_reason(&self) -> String {
+        let inner = self.inner.lock().expect("state lock never poisoned");
+        if let Some(why) = inner.fatal() {
+            return why.to_string();
+        }
+        if self.front.is_poisoned() {
+            // A shard just failed; the scheduler hasn't surfaced the
+            // fatal detail yet but the front-end already refuses.
+            return "engine error: a shard failed; server is shutting down".to_string();
+        }
+        "server is shutting down".to_string()
     }
 }
 
@@ -126,7 +173,8 @@ pub struct Server {
 
 impl Server {
     /// Builds the engine (resuming the configured checkpoint if one
-    /// exists), binds the listener and starts the accept, scheduler
+    /// exists), splits it into the live ingest front-end + serialized
+    /// back-end, binds the listener and starts the accept, scheduler
     /// and (optionally) signal-monitor threads.
     ///
     /// # Errors
@@ -155,15 +203,18 @@ impl Server {
             Some(engine) => engine,
             None => config.builder.clone().build_sharded().map_err(ServerError::Core)?,
         };
+        let live = engine.into_live(config.max_ahead_units).map_err(ServerError::Core)?;
 
         let listener = TcpListener::bind(&config.addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
 
-        let mut inner = Inner::new(engine, config.grace, config.flush_records);
+        let mut inner = Inner::new(live, config.grace);
         if was_resumed {
             inner.skip_stored_events();
         }
+        let front = inner.handle();
         let shared = Arc::new(Shared {
+            front,
             inner: Mutex::new(inner),
             hub: Hub::default(),
             control: Control {
@@ -173,6 +224,7 @@ impl Server {
                 checkpoint: config.checkpoint.clone(),
             },
             queue_bound: config.subscriber_queue,
+            batch_cap: config.flush_records.max(1),
         });
         let shutdown_result: Arc<Mutex<Option<ServerError>>> = Arc::new(Mutex::new(None));
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -192,21 +244,21 @@ impl Server {
                     let handle = std::thread::spawn(move || {
                         run_session(stream, &shared, &shutdown_result);
                     });
-                    let mut sessions = sessions.lock().expect("session list lock never poisoned");
-                    // Reap finished sessions as we go, or a long-lived
-                    // daemon would accumulate one handle per
-                    // connection ever accepted.
-                    sessions.retain(|h: &JoinHandle<()>| !h.is_finished());
-                    sessions.push(handle);
+                    // Only append here: finished sessions are reaped by
+                    // the scheduler thread's periodic sweep, so a burst
+                    // of connects never stalls behind joins.
+                    sessions.lock().expect("session list lock never poisoned").push(handle);
                 }
             })
         };
 
         let scheduler = {
             let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
             let shutdown_result = Arc::clone(&shutdown_result);
             let tick = config.tick;
             std::thread::spawn(move || {
+                let mut last_sweep = Instant::now();
                 while !shared.control.stop.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     let result = {
@@ -220,6 +272,10 @@ impl Server {
                         eprintln!("tiresias-server: fatal: {why}; shutting down");
                         record_shutdown(&shared, &shutdown_result);
                         break;
+                    }
+                    if last_sweep.elapsed() >= SESSION_SWEEP {
+                        last_sweep = Instant::now();
+                        reap_finished_sessions(&sessions);
                     }
                 }
             })
@@ -281,6 +337,31 @@ impl Server {
     }
 }
 
+/// Joins every finished session thread without blocking on live ones,
+/// off the accept path (a long-lived daemon would otherwise accumulate
+/// one handle per connection ever accepted).
+fn reap_finished_sessions(sessions: &Mutex<Vec<JoinHandle<()>>>) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut sessions = sessions.lock().expect("session list lock never poisoned");
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < sessions.len() {
+            if sessions[i].is_finished() {
+                finished.push(sessions.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        finished
+    };
+    // Join outside the lock: these threads have already returned, so
+    // each join is immediate, but the accept loop stays unblocked
+    // regardless.
+    for handle in finished {
+        let _ = handle.join();
+    }
+}
+
 /// Runs the shutdown and records its error (first one wins) for
 /// [`Server::join`].
 fn record_shutdown(shared: &Shared, shutdown_result: &Mutex<Option<ServerError>>) {
@@ -321,11 +402,12 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     // Consecutive `PUSH` lines already sitting in the read buffer are
-    // admitted under ONE state-lock acquisition (a contended per-record
-    // lock costs a context switch per record once several sessions
-    // ingest concurrently). Replies stay per-record and in order: the
-    // batch is flushed before any non-`PUSH` reply is produced.
+    // admitted under ONE front-end call (amortising its gate
+    // acquisition and ring hand-off). Replies stay per-record and in
+    // order: the batch is flushed before any non-`PUSH` reply is
+    // produced, so pipelined requests observe everything before them.
     let mut batch: Vec<(String, u64)> = Vec::new();
+    let mut outcomes: Vec<Admission> = Vec::new();
     'session: loop {
         if shared.control.stop.load(Ordering::SeqCst) {
             break;
@@ -338,6 +420,11 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                 let step = match parsed {
                     Ok(Some(Request::Push { path, t_secs })) => {
                         batch.push((path, t_secs));
+                        if batch.len() >= shared.batch_cap
+                            && !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack)
+                        {
+                            break 'session;
+                        }
                         None
                     }
                     other => {
@@ -346,7 +433,7 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                         // flip, a subscription) must observe — and its
                         // reply must follow — everything the client
                         // pipelined before it.
-                        if !flush_push_batch(&mut batch, shared, &tx, ack) {
+                        if !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack) {
                             break 'session;
                         }
                         Some(handle_request(other, shared, &tx, &mut subscription, &mut ack))
@@ -376,7 +463,7 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                 // buffered; otherwise admit what we have and go back to
                 // the (possibly blocking) outer read.
                 if !reader.buffer().contains(&b'\n') {
-                    if !flush_push_batch(&mut batch, shared, &tx, ack) {
+                    if !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack) {
                         break 'session;
                     }
                     break;
@@ -404,11 +491,12 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
     let _ = writer.join();
 }
 
-/// Admits buffered `PUSH`es under one lock and sends their per-record
-/// replies in order. Returns `false` if the session's outbound queue
-/// is gone.
+/// Admits buffered `PUSH`es through the lock-free front-end and sends
+/// their per-record replies in order. Returns `false` if the session's
+/// outbound queue is gone.
 fn flush_push_batch(
     batch: &mut Vec<(String, u64)>,
+    outcomes: &mut Vec<Admission>,
     shared: &Shared,
     tx: &SyncSender<String>,
     ack: bool,
@@ -416,28 +504,37 @@ fn flush_push_batch(
     if batch.is_empty() {
         return true;
     }
-    let now = Instant::now();
-    let outcomes: Vec<Result<PushOutcome, String>> = {
-        let mut inner = shared.inner.lock().expect("state lock never poisoned");
-        batch.drain(..).map(|(path, t)| inner.push(&path, t, now, &shared.hub)).collect()
-    };
-    for outcome in outcomes {
-        let reply = match outcome {
-            Ok(PushOutcome::Accepted) => {
-                if !ack {
-                    continue;
+    // Captured up front: the teardown failure path inside admit_batch
+    // may have drained the batch part-way, but every buffered record
+    // still needs exactly one reply.
+    let buffered = batch.len();
+    match shared.front.admit_batch(batch, outcomes) {
+        Ok(()) => {
+            for outcome in outcomes.drain(..) {
+                let reply = match outcome {
+                    Admission::Accepted => {
+                        if !ack {
+                            continue;
+                        }
+                        "OK".to_string()
+                    }
+                    Admission::Late => "LATE".to_string(),
+                    Admission::TooFarAhead => TOO_FAR_AHEAD.to_string(),
+                };
+                if tx.send(reply).is_err() {
+                    return false;
                 }
-                "OK".to_string()
             }
-            Ok(PushOutcome::Late) => "LATE".to_string(),
-            Ok(PushOutcome::TooFarAhead) => TOO_FAR_AHEAD.to_string(),
-            Err(why) => format!("ERR {why}"),
-        };
-        if tx.send(reply).is_err() {
-            return false;
+            true
+        }
+        Err(_closed) => {
+            // Draining or fatal: every buffered record is refused with
+            // the reason.
+            let reply = format!("ERR {}", shared.refusal_reason());
+            batch.clear();
+            (0..buffered).all(|_| tx.send(reply.clone()).is_ok())
         }
     }
-    true
 }
 
 /// Reply for records beyond the future-unit bound (always sent, even
@@ -484,7 +581,7 @@ fn handle_request(
             let inner = shared.inner.lock().expect("state lock never poisoned");
             let line = match inner.fatal() {
                 Some(why) => format!("ERR {why}"),
-                None => inner.stats_line(Instant::now(), &shared.hub),
+                None => inner.stats_line(&shared.hub),
             };
             SessionStep::Reply(Some(line))
         }

@@ -1,212 +1,157 @@
-//! Shared serving state: the sharded engine, the pending-record
-//! buffer, the timeunit watermark and the metrics counters.
+//! Serving state around the live engine: the wall-clock close
+//! scheduler, the drain/checkpoint lifecycle and the `STATS` snapshot.
+//!
+//! Since the lock-free-admission refactor the `PUSH` hot path does not
+//! live here at all: sessions admit records straight through a cloned
+//! [`tiresias_core::IngestHandle`] — routing, late/ahead validation
+//! against the atomic timeunit watermark and the per-shard ring
+//! hand-off all happen in `tiresias-core` without any server lock.
+//! What remains behind the [`Inner`] mutex is exactly the serialized
+//! back-end work: timeunit closes, event broadcasting, `STATS`
+//! composition, the shutdown drain and the checkpoint.
 //!
 //! # How live timeunits close
 //!
 //! The offline engines close a timeunit when a record of a *later*
 //! unit arrives — correct for replays, useless for live traffic where
 //! concurrent clients interleave and traffic may simply stop. The
-//! server instead keeps its own **watermark** (`open_unit`) and closes
-//! it under two rules, both guarded by a configurable **grace window**
+//! scheduler instead closes the engine's open unit (its **watermark**)
+//! under two rules, both guarded by a configurable **grace window**
 //! for late records:
 //!
 //! 1. **Data watermark** — a record of a later unit arrived at least
 //!    `grace` ago: every unit up to that record's unit closes (the
 //!    grace window gives slower clients time to deliver stragglers of
-//!    the closing unit).
+//!    the closing unit). The front-end tracks the newest future unit
+//!    and the age of the oldest outstanding future record atomically.
 //! 2. **Wall-clock cadence** — the open unit has been open for
 //!    `timeunit + grace` of real time: it closes even with no newer
 //!    traffic, so silence produces the zero-count units the
 //!    forecasters need and anomalies are still reported on time.
 //!
-//! Records whose unit is already closed are **dropped** (counted and
-//! answered with `LATE`) — exactly what the offline engines would
-//! reject as out-of-order. Records for *future* units are buffered
-//! here and only fed to the engine once their unit opens, so a
-//! fast-forwarded client cannot force ahead-of-time closes.
+//! Each close is one [`LiveSharded::close_to`] epoch flip: admissions
+//! stall only for the microseconds the watermark barrier is held, and
+//! records admitted before the flip land in their unit exactly (see
+//! the `tiresias_core::live` module docs for the barrier argument).
+//! Records of already-closed units are refused at admission with
+//! `LATE`; records of far-future units with `ERR` — both counted in
+//! the front-end's atomic counters.
 
 use std::time::{Duration, Instant};
 
-use tiresias_core::{save_sharded_checkpoint, CoreError, ShardedTiresias};
+use tiresias_core::{
+    save_sharded_checkpoint, CoreError, IngestHandle, LiveSharded, ShardedTiresias,
+};
 
 use crate::hub::Hub;
 use crate::protocol::format_event;
 
-/// Outcome of ingesting one `PUSH`ed record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PushOutcome {
-    /// Buffered (or ingested) into an open or future timeunit.
-    Accepted,
-    /// The record's timeunit was already closed; dropped and counted.
-    Late,
-    /// The record's timeunit is further ahead of the open unit than
-    /// [`MAX_FUTURE_UNITS`]; dropped and counted. Catches unit
-    /// confusion (e.g. millisecond timestamps where seconds belong) —
-    /// and without the bound, one absurd timestamp would make the
-    /// watermark close loop over astronomically many intermediate
-    /// units while holding the state lock.
-    TooFarAhead,
-}
-
-/// How many timeunits ahead of the open unit a record may be.
-pub(crate) const MAX_FUTURE_UNITS: u64 = 1_000;
-
-/// Engine state plus serving bookkeeping, always locked as one unit.
+/// The serialized back-end state, locked as one unit — never touched
+/// by the `PUSH` hot path.
 #[derive(Debug)]
 pub(crate) struct Inner {
-    engine: ShardedTiresias,
+    /// The running engine; taken by the shutdown drain.
+    live: Option<LiveSharded>,
+    /// The reassembled offline engine after the drain (checkpoint
+    /// source).
+    drained: Option<ShardedTiresias>,
+    handle: IngestHandle,
     timeunit: u64,
     grace: Duration,
-    flush_records: usize,
-    /// Accepted records of the *open* unit, in arrival order — feed
-    /// ready (records of one unit need no ordering), flushed to the
-    /// engine whenever `flush_records` accumulate.
-    due: Vec<(String, u64)>,
-    /// Accepted records of units *after* the open one, held back until
-    /// their unit opens (sorted only when a close releases them, so
-    /// the per-record ingest path never scans or sorts this buffer).
-    future: Vec<(String, u64)>,
-    /// Largest unit present in `future` (`None` when empty).
-    future_max: Option<u64>,
-    /// The server's open timeunit (watermark). `None` until the first
-    /// record.
-    open_unit: Option<u64>,
-    /// Wall-clock instant the open unit became current.
+    /// Wall-clock instant the current open unit became current.
     open_since: Option<Instant>,
-    /// Wall-clock instant the first record of a unit *newer* than the
-    /// open one arrived (starts the data-watermark grace timer).
-    first_future: Option<Instant>,
-    /// Events already broadcast (index into the engine's store).
+    /// Watermark as of the last tick, to spot the first record (and
+    /// any close) and re-anchor `open_since`.
+    last_watermark: Option<u64>,
+    /// Events already broadcast (index into the merged store).
     event_cursor: usize,
-    accepted: u64,
-    dropped_late: u64,
-    dropped_ahead: u64,
-    first_record: Option<Instant>,
-    /// Set by the shutdown drain: no further records are admitted
-    /// (anything accepted after the final checkpoint would be
-    /// acknowledged and then silently lost).
-    draining: bool,
-    /// A non-recoverable engine error: reported to every client, and
+    /// A non-recoverable engine error: reported to every client and
     /// surfaced through [`Inner::tick`] so the scheduler initiates the
     /// graceful shutdown (the final checkpoint then keeps the last
-    /// good engine state; no further records are fed).
+    /// good engine state).
     fatal: Option<String>,
 }
 
 impl Inner {
-    pub fn new(engine: ShardedTiresias, grace: Duration, flush_records: usize) -> Self {
-        let timeunit = engine.timeunit_secs();
+    pub fn new(live: LiveSharded, grace: Duration) -> Self {
+        let handle = live.handle();
+        let timeunit = handle.timeunit_secs();
         // A resumed checkpoint has an open unit already; anchor its
         // wall-clock window at construction time.
-        let open_unit = engine.current_unit();
+        let last_watermark = handle.watermark();
         Inner {
-            engine,
+            live: Some(live),
+            drained: None,
+            handle,
             timeunit,
             grace,
-            flush_records,
-            due: Vec::new(),
-            future: Vec::new(),
-            future_max: None,
-            open_unit,
-            open_since: open_unit.map(|_| Instant::now()),
-            first_future: None,
+            open_since: last_watermark.map(|_| Instant::now()),
+            last_watermark,
             event_cursor: 0,
-            accepted: 0,
-            dropped_late: 0,
-            dropped_ahead: 0,
-            first_record: None,
-            draining: false,
             fatal: None,
         }
+    }
+
+    /// A front-end handle for a session thread (cheap clone).
+    pub fn handle(&self) -> IngestHandle {
+        self.handle.clone()
     }
 
     /// Resuming from a checkpoint: events stored before the restart
     /// were already delivered in the previous incarnation — only
     /// broadcast what this run produces.
     pub fn skip_stored_events(&mut self) {
-        self.event_cursor = self.engine.anomalies().len();
+        self.event_cursor = self.stored_events().len();
     }
 
     pub fn fatal(&self) -> Option<&str> {
         self.fatal.as_deref()
     }
 
-    /// Ingests one record (see the module docs for the late/future
-    /// policy).
-    ///
-    /// The **first record ever** defines the stream's data-time epoch:
-    /// its unit becomes the open watermark unchecked, because data
-    /// timestamps are abstract (synthetic feeds start at 0, epoch
-    /// feeds at ~1.7e9) and there is nothing yet to bound them
-    /// against. A first record in the wrong unit scale (e.g.
-    /// milliseconds) therefore anchors the watermark wrong and every
-    /// later real record replies `LATE`; the [`MAX_FUTURE_UNITS`]
-    /// bound catches the same confusion on every record after the
-    /// first. Operators fix a mis-anchored server by restarting it
-    /// (without the checkpoint).
-    pub fn push(
-        &mut self,
-        path: &str,
-        t_secs: u64,
-        now: Instant,
-        hub: &Hub,
-    ) -> Result<PushOutcome, String> {
-        if let Some(why) = &self.fatal {
-            return Err(why.clone());
+    fn stored_events(&self) -> &[tiresias_core::AnomalyEvent] {
+        match (&self.live, &self.drained) {
+            (Some(live), _) => live.anomalies(),
+            (None, Some(engine)) => engine.anomalies(),
+            _ => &[],
         }
-        if self.draining {
-            return Err("server is shutting down".to_string());
-        }
-        let unit = t_secs / self.timeunit;
-        let open = match self.open_unit {
-            Some(open) => open,
-            None => {
-                // First record ever: its unit becomes the open unit.
-                self.open_unit = Some(unit);
-                self.open_since = Some(now);
-                unit
-            }
-        };
-        if unit < open {
-            self.dropped_late += 1;
-            return Ok(PushOutcome::Late);
-        }
-        if unit > open.saturating_add(MAX_FUTURE_UNITS) {
-            self.dropped_ahead += 1;
-            return Ok(PushOutcome::TooFarAhead);
-        }
-        self.accepted += 1;
-        self.first_record.get_or_insert(now);
-        if unit == open {
-            self.due.push((path.to_string(), t_secs));
-            if self.due.len() >= self.flush_records {
-                self.flush_due(hub).map_err(|e| self.mark_fatal(e))?;
-            }
-        } else {
-            self.future.push((path.to_string(), t_secs));
-            self.future_max = Some(self.future_max.map_or(unit, |m| m.max(unit)));
-            if self.first_future.is_none() {
-                self.first_future = Some(now);
-            }
-        }
-        Ok(PushOutcome::Accepted)
     }
 
     /// Scheduler tick: applies the two close rules from the module
-    /// docs. Returns the fatal error (here or from an earlier ingest
-    /// flush) so the scheduler can begin the shutdown.
+    /// docs. Returns the fatal error so the scheduler can begin the
+    /// shutdown.
     pub fn tick(&mut self, now: Instant, hub: &Hub) -> Result<(), String> {
         if let Some(why) = &self.fatal {
             return Err(why.clone());
         }
-        let Some(open) = self.open_unit else {
+        if self.live.is_none() {
+            return Ok(());
+        }
+        if self.handle.is_poisoned() {
+            // A shard worker hit an engine error and closed admissions
+            // itself; don't wait for the next barrier to learn the
+            // detail — shut down now so the drain checkpoints the last
+            // good state.
+            let why = "engine error: a shard failed; draining".to_string();
+            self.fatal = Some(why.clone());
+            return Err(why);
+        }
+        let Some(watermark) = self.handle.watermark() else {
             return Ok(());
         };
-        // Rule 1: data watermark + grace (`future` only ever holds
-        // units newer than the open one).
-        if let (Some(target), Some(since)) = (self.future_max, self.first_future) {
-            if now.duration_since(since) >= self.grace {
-                self.close_through(target, now, hub).map_err(|e| self.mark_fatal(e))?;
+        if self.last_watermark != Some(watermark) {
+            // First record ever (or a close we didn't anchor yet):
+            // start the open unit's wall-clock window.
+            self.last_watermark = Some(watermark);
+            self.open_since = Some(now);
+        }
+        // Rule 1: data watermark + grace. The front-end tracks the
+        // newest admitted future unit and the arrival age of the
+        // oldest one still outstanding.
+        if let (Some(target), Some(age)) =
+            (self.handle.ahead_max_unit(), self.handle.first_future_age())
+        {
+            if age >= self.grace {
+                self.close_to(target, now, hub)?;
                 return Ok(());
             }
         }
@@ -214,83 +159,32 @@ impl Inner {
         if let Some(since) = self.open_since {
             let window = Duration::from_secs(self.timeunit) + self.grace;
             if now.duration_since(since) >= window {
-                self.close_one(open, now, hub).map_err(|e| self.mark_fatal(e))?;
+                self.close_to(watermark + 1, now, hub)?;
             }
         }
         Ok(())
     }
 
-    /// Rule-2 close: exactly one unit ends on wall-clock cadence, via
-    /// the engine's explicit clock-driven
-    /// [`ShardedTiresias::close_current_unit`]. Held `future` records
-    /// of the unit that now opens migrate to the `due` buffer.
-    fn close_one(&mut self, open: u64, now: Instant, hub: &Hub) -> Result<(), CoreError> {
-        self.flush_due(hub)?;
-        // Align the engine if it was never fed (an all-idle unit).
-        self.engine.advance_to(open * self.timeunit)?;
-        self.engine.close_current_unit()?;
-        let new_open = open + 1;
-        self.open_unit = Some(new_open);
+    /// One epoch flip: close through `target`, re-anchor the
+    /// wall-clock window and broadcast the newly merged events.
+    fn close_to(&mut self, target: u64, now: Instant, hub: &Hub) -> Result<(), String> {
+        let live = self.live.as_mut().expect("tick checked the engine is live");
+        let result = live.close_to(target);
+        self.last_watermark = self.handle.watermark();
         self.open_since = Some(now);
-        let mut still_future = Vec::new();
-        for record in self.future.drain(..) {
-            if record.1 / self.timeunit == new_open {
-                self.due.push(record);
-            } else {
-                still_future.push(record);
-            }
-        }
-        self.future = still_future;
-        self.future_max = self.future.iter().map(|&(_, t)| t / self.timeunit).max();
-        self.first_future = self.future_max.map(|_| now);
+        // Merged events (if any) are broadcast even when a shard
+        // failed: the healthy shards' anomalies still reached the
+        // store.
         self.broadcast_new(hub);
-        Ok(())
-    }
-
-    /// Closes every unit below `target_open` and makes `target_open`
-    /// the open unit: the `due` buffer is fed first, then the held
-    /// `future` records up to and including `target_open` (sorted by
-    /// unit — stable, so concurrent clients' interleavings always form
-    /// a valid monotone batch), and the engine advances.
-    fn close_through(
-        &mut self,
-        target_open: u64,
-        now: Instant,
-        hub: &Hub,
-    ) -> Result<(), CoreError> {
-        self.flush_due(hub)?;
-        self.future.sort_by_key(|&(_, t)| t / self.timeunit);
-        let cut = self.future.partition_point(|&(_, t)| t / self.timeunit <= target_open);
-        if cut > 0 {
-            let batch: Vec<(String, u64)> = self.future.drain(..cut).collect();
-            self.engine.push_batch(&batch)?;
+        match result {
+            Ok(_) => Ok(()),
+            Err(e) => Err(self.mark_fatal(&e)),
         }
-        self.engine.advance_to(target_open * self.timeunit)?;
-        self.open_unit = Some(target_open);
-        self.open_since = Some(now);
-        self.future_max = self.future.iter().map(|&(_, t)| t / self.timeunit).max();
-        self.first_future = self.future_max.map(|_| now);
-        self.broadcast_new(hub);
-        Ok(())
-    }
-
-    /// Feeds the open unit's accumulated records to the engine without
-    /// closing anything — the size-triggered flush of the ingest path.
-    /// No ordering work is needed: every record is in the open unit.
-    fn flush_due(&mut self, hub: &Hub) -> Result<(), CoreError> {
-        if !self.due.is_empty() {
-            self.engine.push_batch(&self.due)?;
-            self.due.clear();
-        }
-        // Feeding never closes a unit, but keep the broadcast cursor
-        // hot anyway (defensive; no events are expected here).
-        self.broadcast_new(hub);
-        Ok(())
     }
 
     /// Broadcasts events the engine finalised since the last call.
     fn broadcast_new(&mut self, hub: &Hub) {
-        let events = self.engine.anomalies();
+        let events = self.stored_events();
         if self.event_cursor < events.len() {
             let lines: Vec<String> = events[self.event_cursor..].iter().map(format_event).collect();
             self.event_cursor = events.len();
@@ -298,82 +192,82 @@ impl Inner {
         }
     }
 
-    fn mark_fatal(&mut self, e: CoreError) -> String {
+    fn mark_fatal(&mut self, e: &CoreError) -> String {
         let why = format!("engine error: {e}");
         self.fatal = Some(why.clone());
+        // Stop acknowledging records the engine may no longer ingest.
+        if let Some(live) = self.live.as_mut() {
+            live.close_admissions();
+        }
         why
     }
 
-    /// Shutdown drain: feeds *every* buffered record (closing any unit
-    /// the data stream itself closes, exactly like an offline replay),
-    /// broadcasts the final events, and — crucially — leaves the last
-    /// unit open so a restarted server resumes mid-unit from the
-    /// checkpoint.
+    /// Shutdown drain: admission stops (anything accepted after the
+    /// final checkpoint would be acknowledged and then silently lost),
+    /// every ring and held-back future record is fed — closing exactly
+    /// the units the data itself closes, the last unit staying open so
+    /// a restarted server resumes mid-unit — the final events are
+    /// broadcast, and the engine reassembles into its offline form for
+    /// the checkpoint.
     pub fn drain(&mut self, hub: &Hub) -> Result<(), CoreError> {
-        // From here on no new records are admitted: anything accepted
-        // after the final checkpoint would be acknowledged, then lost.
-        self.draining = true;
-        if self.fatal.is_some() {
-            // The engine already failed mid-stream; feeding the buffers
-            // would fail again. Deliver what was produced and let the
-            // checkpoint capture the last good engine state.
-            self.broadcast_new(hub);
+        let Some(live) = self.live.take() else {
             return Ok(());
-        }
-        self.flush_due(hub)?;
-        if let Some(max) = self.future_max.take() {
-            self.future.sort_by_key(|&(_, t)| t / self.timeunit);
-            let batch = std::mem::take(&mut self.future);
-            self.engine.push_batch(&batch)?;
-            self.open_unit = Some(self.open_unit.map_or(max, |o| o.max(max)));
-            self.first_future = None;
-        }
-        self.broadcast_new(hub);
-        Ok(())
-    }
-
-    /// Serialises the engine into the versioned checkpoint envelope
-    /// (by reference — no engine clone under the state lock).
-    pub fn checkpoint_json(&self) -> String {
-        save_sharded_checkpoint(&self.engine)
-    }
-
-    /// One-line `STATS` reply (see the protocol docs).
-    pub fn stats_line(&self, now: Instant, hub: &Hub) -> String {
-        let rps = match self.first_record {
-            Some(t0) => {
-                let secs = now.duration_since(t0).as_secs_f64();
-                if secs > 0.0 {
-                    self.accepted as f64 / secs
-                } else {
-                    0.0
-                }
-            }
-            None => 0.0,
         };
-        // Per-shard queue depth: records the engine holds in its open
-        // unit plus buffered records routed to the shard.
-        let mut depth: Vec<u64> =
-            self.engine.shard_open_records().iter().map(|&c| c as u64).collect();
-        for (path, _) in self.due.iter().chain(&self.future) {
-            depth[self.engine.router().route(path)] += 1;
+        match live.finish() {
+            Ok(engine) => {
+                self.drained = Some(engine);
+                self.broadcast_new(hub);
+                Ok(())
+            }
+            Err(e) => {
+                self.fatal.get_or_insert(format!("engine error: {e}"));
+                Err(e)
+            }
         }
-        let depth_str = depth.iter().map(u64::to_string).collect::<Vec<_>>().join("|");
-        let open_unit = self.open_unit.map_or_else(|| "-".to_string(), |u| u.to_string());
+    }
+
+    /// Serialises the drained engine into the versioned checkpoint
+    /// envelope. `None` before [`Inner::drain`] succeeded.
+    pub fn checkpoint_json(&self) -> Option<String> {
+        self.drained.as_ref().map(save_sharded_checkpoint)
+    }
+
+    /// One-line `STATS` reply (see the protocol docs). Reads only the
+    /// front-end's atomic gauges plus the back-end merge cursor — it
+    /// never stalls admission.
+    pub fn stats_line(&self, hub: &Hub) -> String {
+        let handle = &self.handle;
+        let records = handle.admitted();
+        let rps = match handle.first_admit_age() {
+            Some(age) if age.as_secs_f64() > 0.0 => records as f64 / age.as_secs_f64(),
+            _ => 0.0,
+        };
+        let rings = handle.ring_depths();
+        let shard_open = handle.shard_open_records();
+        let stashed = handle.stashed_records();
+        let pending: u64 = rings.iter().sum::<u64>() + stashed.iter().sum::<u64>();
+        let joined = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join("|");
+        let open_unit = handle.watermark().map_or_else(|| "-".to_string(), |u| u.to_string());
+        let units = match (&self.live, &self.drained) {
+            (Some(live), _) => live.units_processed(),
+            (None, Some(engine)) => engine.units_processed(),
+            _ => 0,
+        };
         format!(
             "STATS records={} late={} ahead={} rps={:.1} pending={} open_unit={} open_records={} \
-             units={} shards={} depth={} events={} subs={} slow_drops={}",
-            self.accepted,
-            self.dropped_late,
-            self.dropped_ahead,
+             units={} shards={} shard_open={} rings={} events={} subs={} slow_drops={}",
+            records,
+            handle.late(),
+            handle.ahead(),
             rps,
-            self.due.len() + self.future.len(),
+            pending,
             open_unit,
-            self.engine.open_unit_records() as u64,
-            self.engine.units_processed(),
-            self.engine.shard_count(),
-            depth_str,
-            self.engine.anomalies().len(),
+            shard_open.iter().sum::<u64>(),
+            units,
+            handle.shard_count(),
+            joined(&shard_open),
+            joined(&rings),
+            self.stored_events().len(),
             hub.subscriber_count(),
             hub.dropped_slow(),
         )
@@ -383,9 +277,9 @@ impl Inner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiresias_core::TiresiasBuilder;
+    use tiresias_core::{Admission, TiresiasBuilder, DEFAULT_MAX_AHEAD_UNITS};
 
-    fn engine() -> ShardedTiresias {
+    fn live() -> LiveSharded {
         TiresiasBuilder::new()
             .timeunit_secs(60)
             .window_len(16)
@@ -396,132 +290,114 @@ mod tests {
             .shards(2)
             .build_sharded()
             .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap()
     }
 
     fn inner(grace_ms: u64) -> Inner {
-        Inner::new(engine(), Duration::from_millis(grace_ms), 1024)
+        Inner::new(live(), Duration::from_millis(grace_ms))
     }
 
     #[test]
     fn watermark_close_waits_for_grace() {
         let hub = Hub::default();
-        let mut s = inner(10_000);
+        let mut s = inner(400);
+        let handle = s.handle();
         let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
-        s.push("b/y", 65, t0, &hub).unwrap(); // unit 1: starts the grace timer
-                                              // Within the grace window nothing closes.
-        s.tick(t0 + Duration::from_millis(100), &hub).unwrap();
-        assert_eq!(s.engine.units_processed(), 0);
-        // After grace, unit 0 closes and unit 1 becomes open.
-        s.tick(t0 + Duration::from_millis(10_001), &hub).unwrap();
-        assert_eq!(s.engine.units_processed(), 1);
-        assert_eq!(s.open_unit, Some(1));
-        assert!(s.due.is_empty() && s.future.is_empty(), "unit-1 record was fed to the engine");
+        assert_eq!(handle.admit("a/x", 0).unwrap(), Admission::Accepted);
+        // Unit 1: starts the (real-time) grace timer.
+        assert_eq!(handle.admit("b/y", 65).unwrap(), Admission::Accepted);
+        // Within the grace window nothing closes.
+        s.tick(t0, &hub).unwrap();
+        assert_eq!(handle.watermark(), Some(0));
+        // After grace, unit 0 closes and unit 1 becomes open; the
+        // held-back unit-1 record is fed to its shard.
+        std::thread::sleep(Duration::from_millis(500));
+        s.tick(Instant::now(), &hub).unwrap();
+        assert_eq!(handle.watermark(), Some(1));
+        assert_eq!(handle.ahead_max_unit(), None, "unit-1 record released");
+        assert_eq!(handle.stashed_records().iter().sum::<u64>(), 0);
     }
 
     #[test]
     fn wall_clock_cadence_closes_idle_units() {
         let hub = Hub::default();
         let mut s = inner(100);
+        let handle = s.handle();
         let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
+        handle.admit("a/x", 0).unwrap();
+        s.tick(t0, &hub).unwrap(); // anchors open_since
+        assert_eq!(handle.watermark(), Some(0));
         // No newer traffic at all: the unit closes after Δ + grace of
-        // wall time (timeunit 60s + 0.1s grace).
+        // wall time (timeunit 60 s + 0.1 s grace), simulated through
+        // the tick clock.
         s.tick(t0 + Duration::from_millis(60_200), &hub).unwrap();
-        assert_eq!(s.engine.units_processed(), 1);
-        assert_eq!(s.open_unit, Some(1));
+        assert_eq!(handle.watermark(), Some(1));
     }
 
     #[test]
     fn late_records_are_dropped_and_counted() {
         let hub = Hub::default();
         let mut s = inner(0);
+        let handle = s.handle();
         let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
-        s.push("a/x", 65, t0, &hub).unwrap();
-        s.tick(t0 + Duration::from_millis(1), &hub).unwrap(); // closes unit 0
-        assert_eq!(s.push("a/x", 30, t0, &hub).unwrap(), PushOutcome::Late);
-        assert_eq!(s.dropped_late, 1);
-        assert!(s.stats_line(t0, &hub).contains("late=1"));
+        handle.admit("a/x", 0).unwrap();
+        handle.admit("a/x", 65).unwrap();
+        s.tick(t0, &hub).unwrap(); // grace 0: closes unit 0 immediately
+        assert_eq!(handle.watermark(), Some(1));
+        assert_eq!(handle.admit("a/x", 30).unwrap(), Admission::Late);
+        assert_eq!(handle.late(), 1);
+        assert!(s.stats_line(&hub).contains("late=1"));
     }
 
     #[test]
-    fn future_records_do_not_advance_the_engine_early() {
+    fn stats_reports_per_shard_gauges() {
         let hub = Hub::default();
-        let mut s = Inner::new(engine(), Duration::from_millis(10_000), 2);
-        let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
-        s.push("a/x", 600, t0, &hub).unwrap(); // unit 10, far ahead
-                                               // The size threshold (2) triggers on open-unit records only:
-                                               // the future record must stay buffered, no unit may close.
-        assert_eq!(s.push("a/x", 5, t0, &hub).unwrap(), PushOutcome::Accepted);
-        assert_eq!(s.engine.units_processed(), 0);
-        assert!(s.due.is_empty(), "open-unit records flushed to the engine");
-        assert_eq!(s.future.len(), 1, "future record stays buffered");
-        assert_eq!(s.future_max, Some(10));
-        assert_eq!(s.engine.current_unit(), Some(0), "engine still at the open unit");
+        let s = inner(10_000);
+        let handle = s.handle();
+        handle.admit("a/x", 5).unwrap();
+        handle.admit("a/x", 600).unwrap(); // unit 10: stashed ahead
+        let stats = s.stats_line(&hub);
+        assert!(stats.contains("records=2"), "{stats}");
+        assert!(stats.contains("shards=2"), "{stats}");
+        assert!(stats.contains("shard_open="), "{stats}");
+        assert!(stats.contains("rings="), "{stats}");
+        assert!(stats.contains("open_unit=0"), "{stats}");
+        let depths = stats.split("rings=").nth(1).unwrap().split(' ').next().unwrap();
+        assert_eq!(depths.split('|').count(), 2, "one ring depth per shard: {stats}");
     }
 
     #[test]
-    fn absurdly_future_records_are_rejected_not_buffered() {
-        let hub = Hub::default();
-        let mut s = inner(100);
-        let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
-        // Milliseconds pasted where seconds belong: ~2.9e7 units ahead.
-        let outcome = s.push("a/x", 1_753_600_000_000, t0, &hub).unwrap();
-        assert_eq!(outcome, PushOutcome::TooFarAhead);
-        assert!(s.future.is_empty(), "not buffered");
-        assert_eq!(s.future_max, None, "cannot become a close target");
-        assert!(s.stats_line(t0, &hub).contains("ahead=1"));
-        // The boundary itself is accepted.
-        let edge = (MAX_FUTURE_UNITS) * 60;
-        assert_eq!(s.push("a/x", edge, t0, &hub).unwrap(), PushOutcome::Accepted);
-    }
-
-    #[test]
-    fn wall_cadence_close_migrates_new_open_units_records() {
-        let hub = Hub::default();
-        let mut s = inner(10_000);
-        let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
-        // A unit-1 record arrives just before the wall deadline, so
-        // the data-watermark grace (10 s) has not elapsed when the
-        // wall-clock rule fires.
-        let late_arrival = t0 + Duration::from_millis(69_900);
-        s.push("b/y", 65, late_arrival, &hub).unwrap();
-        s.tick(t0 + Duration::from_millis(70_001), &hub).unwrap();
-        assert_eq!(s.engine.units_processed(), 1, "unit 0 closed on cadence");
-        assert_eq!(s.open_unit, Some(1));
-        assert_eq!(s.due.len(), 1, "the unit-1 record migrated to the due buffer");
-        assert!(s.future.is_empty() && s.future_max.is_none());
-    }
-
-    #[test]
-    fn drain_stops_admission() {
+    fn drain_stops_admission_and_checkpoints() {
         let hub = Hub::default();
         let mut s = inner(100);
-        let t0 = Instant::now();
-        s.push("a/x", 0, t0, &hub).unwrap();
+        let handle = s.handle();
+        handle.admit("a/x", 0).unwrap();
+        assert!(s.checkpoint_json().is_none(), "no checkpoint before the drain");
         s.drain(&hub).unwrap();
-        let err = s.push("a/x", 10, t0, &hub).unwrap_err();
-        assert!(err.contains("shutting down"), "{err}");
+        assert!(matches!(handle.admit("a/x", 10), Err(CoreError::Closed)));
+        let json = s.checkpoint_json().expect("drained engine serialises");
+        assert!(json.starts_with("{\"version\":2,\"kind\":\"sharded\""));
+        // STATS still answers after the drain.
+        assert!(s.stats_line(&hub).starts_with("STATS "));
     }
 
     #[test]
     fn drain_replays_everything_and_keeps_last_unit_open() {
         let hub = Hub::default();
         let mut s = inner(10_000);
-        let t0 = Instant::now();
+        let handle = s.handle();
+        let mut outcomes = Vec::new();
+        let mut records: Vec<(String, u64)> = Vec::new();
         for u in 0..5u64 {
             for i in 0..8 {
-                s.push("a/x", u * 60 + i, t0, &hub).unwrap();
+                records.push(("a/x".to_string(), u * 60 + i));
             }
         }
+        handle.admit_batch(&mut records, &mut outcomes).unwrap();
         s.drain(&hub).unwrap();
-        assert_eq!(s.engine.units_processed(), 4, "units 0..3 closed");
-        assert_eq!(s.engine.current_unit(), Some(4), "unit 4 left open");
-        let json = s.checkpoint_json();
-        assert!(json.starts_with("{\"version\":2,\"kind\":\"sharded\""));
+        let engine = s.drained.as_ref().expect("drained engine present");
+        assert_eq!(engine.units_processed(), 4, "units 0..3 closed");
+        assert_eq!(engine.current_unit(), Some(4), "unit 4 left open");
     }
 }

@@ -1,0 +1,269 @@
+//! Stress test of the lock-free concurrent admission path: eight
+//! client threads push interleaved in-order, late and ahead records
+//! across forced unit closes while a ninth hammers `STATS`
+//! continuously. The `PUSH` path acquires no global engine lock, so
+//! admission must keep flowing regardless of the `STATS` traffic; the
+//! merged event stream must equal an offline replay of exactly the
+//! accepted records; and the late/ahead counters must be exact.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use tiresias_core::TiresiasBuilder;
+use tiresias_server::protocol::format_event;
+use tiresias_server::{Server, ServerConfig};
+
+const TIMEUNIT: u64 = 60;
+const CLIENTS: usize = 8;
+const CATEGORIES: u64 = 8;
+const UNITS: u64 = 10;
+const BURST_UNIT: u64 = 8;
+/// Deliberately small ahead bound (instead of the default 1000) so the
+/// test exercises the configurable `max_ahead_units` plumbing.
+const MAX_AHEAD: u64 = 50;
+const LATE_PER_CLIENT: usize = 5;
+const AHEAD_PER_CLIENT: usize = 3;
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(16)
+        .threshold(5.0)
+        .season_length(4)
+        .sensitivity(2.0, 5.0)
+        .warmup_units(4)
+        .shards(2)
+}
+
+/// Unit-ordered records: steady traffic over eight top-level
+/// categories with bursts injected at `BURST_UNIT` on two of them.
+fn workload() -> Vec<(String, u64)> {
+    let mut records = Vec::new();
+    for u in 0..UNITS {
+        for k in 0..CATEGORIES {
+            let count = if u == BURST_UNIT && (k == 0 || k == 3) { 80 } else { 8 };
+            for i in 0..count {
+                records.push((format!("cat{k}/leaf"), u * TIMEUNIT + (i % TIMEUNIT)));
+            }
+        }
+    }
+    records
+}
+
+fn offline_event_frames(records: &[(String, u64)]) -> Vec<String> {
+    let mut engine = builder().build_sharded().expect("valid test config");
+    engine.push_batch(records).expect("replay ingests");
+    let mut frames: Vec<String> = engine.anomalies().iter().map(format_event).collect();
+    frames.sort();
+    frames
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout set");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reads a reply line");
+        line.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn collect_events(subscriber: &mut Client, expected: usize, deadline: Duration) -> Vec<String> {
+    let start = Instant::now();
+    let mut frames = Vec::new();
+    while frames.len() < expected && start.elapsed() < deadline {
+        let mut line = String::new();
+        match subscriber.reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim_end();
+                if line.starts_with("EVENT ") {
+                    frames.push(line.to_string());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+    }
+    frames
+}
+
+/// Polls `STATS` until the open unit reaches `unit` (closes are
+/// grace-driven, so this simply outwaits the grace window).
+fn await_open_unit(client: &mut Client, unit: u64) {
+    let needle = format!("open_unit={unit} ");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.roundtrip("STATS");
+        if stats.contains(&needle) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "open unit never reached {unit}: {stats}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn eight_clients_admit_concurrently_with_exact_accounting() {
+    let mut config = ServerConfig::new(builder());
+    // The grace window must outlast the whole in-order push phase (so
+    // no straggler is closed out from under a slow client thread) but
+    // stay short enough that the forced closes actually happen.
+    config.grace = Duration::from_millis(3_000);
+    config.tick = Duration::from_millis(20);
+    config.max_ahead_units = MAX_AHEAD;
+    let server = Server::start(config).expect("server starts");
+
+    let records = workload();
+    let expected_events = {
+        // The fence record below is admitted too, so the replay
+        // includes it.
+        let mut all = records.clone();
+        all.push(("fence/advance".to_string(), UNITS * TIMEUNIT + 1));
+        offline_event_frames(&all)
+    };
+    assert!(!expected_events.is_empty(), "the workload produces anomalies");
+
+    let mut subscriber = Client::connect(&server);
+    assert_eq!(subscriber.roundtrip("SUBSCRIBE"), "OK subscribed");
+
+    // A competing STATS hammer: runs for the whole push phase, proving
+    // the serialized back-end lock never gates admission.
+    let stop_stats = AtomicBool::new(false);
+    let stats_snapshots = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let stats_thread = {
+            let server = &server;
+            let stop = &stop_stats;
+            let snapshots = &stats_snapshots;
+            scope.spawn(move || {
+                let mut client = Client::connect(server);
+                while !stop.load(Ordering::SeqCst) {
+                    let stats = client.roundtrip("STATS");
+                    assert!(stats.starts_with("STATS "), "{stats}");
+                    snapshots.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        // Phase 1: eight clients push the whole in-order workload,
+        // dealt round-robin so their streams interleave mid-unit, with
+        // per-record `OK` acknowledgements. Forced unit closes fire on
+        // the scheduler (grace expiry) while later units are still
+        // being pushed.
+        std::thread::scope(|push_scope| {
+            for c in 0..CLIENTS {
+                let records = &records;
+                let server = &server;
+                push_scope.spawn(move || {
+                    let mut client = Client::connect(server);
+                    let mine: Vec<&(String, u64)> =
+                        records.iter().skip(c).step_by(CLIENTS).collect();
+                    let mut payload = String::new();
+                    for (path, t) in &mine {
+                        payload.push_str(&format!("PUSH {path} {t}\n"));
+                    }
+                    client.stream.write_all(payload.as_bytes()).expect("bulk push");
+                    for i in 0..mine.len() {
+                        assert_eq!(client.recv(), "OK", "record {i} of client {c} admitted");
+                    }
+                    assert_eq!(client.roundtrip("QUIT"), "BYE");
+                });
+            }
+        });
+
+        // Phase 2: force the remaining closes — a fence record one
+        // unit past the workload starts the grace timer; when it
+        // expires, the watermark closes through the burst unit and the
+        // events stream out.
+        let mut control = Client::connect(&server);
+        assert_eq!(
+            control.roundtrip(&format!("PUSH fence/advance {}", UNITS * TIMEUNIT + 1)),
+            "OK"
+        );
+        await_open_unit(&mut control, UNITS);
+
+        // Phase 3: exact late/ahead accounting. Every client pushes
+        // LATE_PER_CLIENT records of the long-closed unit 0 and
+        // AHEAD_PER_CLIENT records beyond the max-ahead bound, checking
+        // each individual reply.
+        std::thread::scope(|late_scope| {
+            for c in 0..CLIENTS {
+                let server = &server;
+                late_scope.spawn(move || {
+                    let mut client = Client::connect(server);
+                    for i in 0..LATE_PER_CLIENT {
+                        let reply = client.roundtrip(&format!("PUSH cat{}/leaf {}", c % 8, i));
+                        assert_eq!(reply, "LATE", "client {c} late record {i}");
+                    }
+                    let too_far = (UNITS + MAX_AHEAD + 1 + c as u64) * TIMEUNIT;
+                    for i in 0..AHEAD_PER_CLIENT {
+                        let reply = client.roundtrip(&format!("PUSH cat{}/leaf {too_far}", c % 8));
+                        assert!(
+                            reply.starts_with("ERR ") && reply.contains("ahead"),
+                            "client {c} ahead record {i}: {reply}"
+                        );
+                    }
+                    assert_eq!(client.roundtrip("QUIT"), "BYE");
+                });
+            }
+        });
+
+        stop_stats.store(true, Ordering::SeqCst);
+        stats_thread.join().expect("stats hammer finishes");
+    });
+    assert!(
+        stats_snapshots.load(Ordering::SeqCst) > 0,
+        "STATS kept answering concurrently with the pushes"
+    );
+
+    // Exact accounting: every workload record plus the fence was
+    // admitted; every phase-3 record was dropped and counted.
+    let mut control = Client::connect(&server);
+    let stats = control.roundtrip("STATS");
+    let accepted = records.len() + 1;
+    assert!(stats.contains(&format!("records={accepted} ")), "{stats}");
+    assert!(stats.contains(&format!("late={} ", CLIENTS * LATE_PER_CLIENT)), "{stats}");
+    assert!(stats.contains(&format!("ahead={} ", CLIENTS * AHEAD_PER_CLIENT)), "{stats}");
+    // The new per-shard gauges are present, one slot per shard.
+    for field in ["shard_open=", "rings="] {
+        let value = stats.split(field).nth(1).expect(field).split(' ').next().unwrap();
+        assert_eq!(value.split('|').count(), 2, "{field} has one slot per shard: {stats}");
+    }
+
+    // The live event stream equals the offline replay of exactly the
+    // accepted records — late/ahead drops included in neither.
+    let mut got = collect_events(&mut subscriber, expected_events.len(), Duration::from_secs(30));
+    got.sort();
+    assert_eq!(got, expected_events, "live anomaly stream equals the offline replay");
+
+    assert_eq!(control.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("clean shutdown");
+}

@@ -23,8 +23,10 @@
 //! detector, which additionally reports whole-population root
 //! anomalies) and `--batch <records>` to tune the batch size. `serve`
 //! takes `--shards`/`--batch` the same way plus `--addr <host:port>`,
-//! `--grace-ms <ms>`, `--tick-ms <ms>` and `--checkpoint <file>`
-//! (loaded on start when present, written on graceful shutdown).
+//! `--grace-ms <ms>`, `--tick-ms <ms>`, `--max-ahead <units>` (refuse
+//! records more than that many timeunits ahead of the open unit;
+//! default 1000) and `--checkpoint <file>` (loaded on start when
+//! present, written on graceful shutdown).
 //!
 //! Usage errors (unknown subcommands or flags, missing values) print
 //! the usage to stderr and exit with status 2; runtime errors (such as
@@ -53,6 +55,7 @@ struct Options {
     addr: String,
     grace_ms: u64,
     tick_ms: u64,
+    max_ahead: u64,
     checkpoint: Option<String>,
 }
 
@@ -71,6 +74,7 @@ impl Default for Options {
             addr: "127.0.0.1:7171".to_string(),
             grace_ms: 5_000,
             tick_ms: 50,
+            max_ahead: tiresias::core::DEFAULT_MAX_AHEAD_UNITS,
             checkpoint: None,
         }
     }
@@ -105,6 +109,9 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
             "--addr" if serve => opts.addr = value("--addr")?.clone(),
             "--grace-ms" if serve => opts.grace_ms = parsed("--grace-ms", value("--grace-ms")?)?,
             "--tick-ms" if serve => opts.tick_ms = parsed("--tick-ms", value("--tick-ms")?)?,
+            "--max-ahead" if serve => {
+                opts.max_ahead = parsed("--max-ahead", value("--max-ahead")?)?;
+            }
             "--checkpoint" if serve => opts.checkpoint = Some(value("--checkpoint")?.clone()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -247,6 +254,7 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.grace = Duration::from_millis(opts.grace_ms);
     config.tick = Duration::from_millis(opts.tick_ms.max(1));
     config.flush_records = opts.batch.max(1);
+    config.max_ahead_units = opts.max_ahead;
     config.checkpoint = opts.checkpoint.clone().map(std::path::PathBuf::from);
     config.handle_signals = true;
     let resuming = config.checkpoint.as_deref().is_some_and(std::path::Path::exists);
@@ -312,7 +320,8 @@ detector options (all subcommands):
   --warmup n  --shards n  --batch n
 
 serve options:
-  --addr host:port  --grace-ms n  --tick-ms n  --checkpoint file";
+  --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
+  --checkpoint file";
 
 /// Exit status 2 (like conventional CLIs) for usage errors, printing
 /// the usage to stderr; 1 for runtime failures.
