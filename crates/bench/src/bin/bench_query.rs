@@ -1,0 +1,357 @@
+//! `bench_query` — latency and throughput of the server's read path
+//! under concurrent write load.
+//!
+//! Starts an in-process `tiresias-server` with a bounded retained
+//! report store, preloads it with a bursty multi-unit history (so
+//! queries have real events to find), then runs two phases at once:
+//!
+//! * **4 admission clients** keep pushing records at full rate through
+//!   the wire protocol (`NOACK`, pipelined) — the same write pressure
+//!   `bench_serve` measures;
+//! * **1 query client** issues a mixed stream of `QUERY` requests
+//!   (full-range, `PREFIX`-narrowed, `LEVEL`-filtered, `LIMIT`-bounded)
+//!   and measures per-query round-trip latency.
+//!
+//! Because `QUERY` is answered off the report store's read-mostly lock
+//! — never the state mutex, never the admission path — the interesting
+//! numbers are (a) query latency while admission runs flat out, and
+//! (b) how little the queries cost admission (compare
+//! `admission.records_per_sec` with `BENCH_serve.json`'s noack mode).
+//!
+//! Writes the JSON report to the path given as the first argument,
+//! default `BENCH_query.json`, and prints it to stdout.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tiresias_core::TiresiasBuilder;
+use tiresias_server::{Server, ServerConfig};
+
+const TIMEUNIT: u64 = 900;
+/// Units preloaded before the measurement (warm store + closed units).
+const PRELOAD_UNITS: u64 = 16;
+/// Future unit the measurement-phase feeders aim their records at
+/// (stashed by the workers — the full admission path runs while the
+/// store keeps serving queries).
+const LIVE_AHEAD_UNITS: u64 = 4;
+const CATEGORIES: u64 = 24;
+const RECORDS_PER_UNIT_PER_CATEGORY: u64 = 60;
+const CLIENTS: usize = 4;
+const SHARDS: usize = 4;
+const QUERIES: usize = 2_000;
+const RETAIN_UNITS: u64 = 64;
+const GRACE_MS: u64 = 1_500;
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(96)
+        .threshold(10.0)
+        .season_length(4)
+        .sensitivity(2.0, 5.0)
+        .warmup_units(8)
+        .shards(SHARDS)
+}
+
+/// `PUSH` payloads per client per unit for units `[from, to)`: steady
+/// traffic with one rotating bursting category per post-warmup unit,
+/// so events land in many distinct units.
+fn payloads(clients: usize, from: u64, to: u64) -> (usize, Vec<Vec<String>>) {
+    let mut total = 0usize;
+    let mut payloads = vec![vec![String::new(); (to - from) as usize]; clients];
+    for u in from..to {
+        let burst_cat = if u >= 9 { u % CATEGORIES } else { CATEGORIES };
+        let mut i_in_unit = 0usize;
+        for c in 0..CATEGORIES {
+            let count = if c == burst_cat {
+                RECORDS_PER_UNIT_PER_CATEGORY * 10
+            } else {
+                RECORDS_PER_UNIT_PER_CATEGORY
+            };
+            for i in 0..count {
+                let t = u * TIMEUNIT + (i % TIMEUNIT);
+                payloads[i_in_unit % clients][(u - from) as usize]
+                    .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
+                i_in_unit += 1;
+                total += 1;
+            }
+        }
+    }
+    (total, payloads)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        Client { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reads");
+        reply.trim_end().to_string()
+    }
+
+    /// Issues one `QUERY` and returns (events returned, whole-reply
+    /// latency).
+    fn query(&mut self, request: &str) -> (usize, Duration) {
+        let t0 = Instant::now();
+        self.stream.write_all(request.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line).expect("reads");
+            if let Some(n) = line.trim_end().strip_prefix("OK n=") {
+                return (n.parse().expect("count parses"), t0.elapsed());
+            }
+            assert!(line.starts_with("EVENT "), "unexpected reply: {line}");
+        }
+    }
+}
+
+/// Drives one admission client through its per-unit payloads with a
+/// `PING` fence per unit (same protocol discipline as `bench_serve`).
+fn run_feeder(addr: std::net::SocketAddr, chunks: &[String], barrier: &std::sync::Barrier) {
+    let mut client = Client::connect(addr);
+    assert_eq!(client.roundtrip("NOACK"), "OK");
+    for chunk in chunks {
+        client.stream.write_all(chunk.as_bytes()).expect("pushes");
+        let mut line = String::new();
+        client.stream.write_all(b"PING\n").expect("ping");
+        loop {
+            line.clear();
+            match client.reader.read_line(&mut line) {
+                Ok(0) | Err(_) => panic!("server hung up mid-unit"),
+                Ok(_) => match line.trim_end() {
+                    "PONG" => break,
+                    reply => assert!(reply.starts_with("OK"), "reply: {reply}"),
+                },
+            }
+        }
+        barrier.wait();
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct LatencyReport {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct QueryReport {
+    queries: usize,
+    events_returned: usize,
+    wall_seconds: f64,
+    queries_per_sec: f64,
+    latency: LatencyReport,
+}
+
+#[derive(Debug, Serialize)]
+struct AdmissionReport {
+    records: usize,
+    wall_seconds: f64,
+    records_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    host_cores: usize,
+    config: ConfigReport,
+    /// Events retained in the store when the query phase started.
+    preloaded_events: usize,
+    /// The read path under write pressure.
+    query: QueryReport,
+    /// Records admitted DURING the query window (the write path with
+    /// the read path active; compare against `BENCH_serve.json`'s
+    /// noack admission).
+    admission: AdmissionReport,
+    stats: String,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigReport {
+    shards: usize,
+    clients: usize,
+    timeunit_secs: u64,
+    preload_units: u64,
+    categories: u64,
+    retain_units: u64,
+    grace_ms: u64,
+}
+
+/// The front-end's admitted-record counter, via `STATS`.
+fn stats_records(control: &mut Client) -> usize {
+    let stats = control.roundtrip("STATS");
+    stats
+        .split_whitespace()
+        .find_map(|p| p.strip_prefix("records="))
+        .and_then(|v| v.parse().ok())
+        .expect("records= present in STATS")
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query.json".to_string());
+
+    let mut config = ServerConfig::new(builder());
+    config.grace = Duration::from_millis(GRACE_MS);
+    config.tick = Duration::from_millis(20);
+    config.retain_units = Some(RETAIN_UNITS);
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Preload: warm-up plus bursty history, then wait for the grace
+    // window so the burst units close and their events are retained.
+    let (_preload_records, preload) = payloads(CLIENTS, 0, PRELOAD_UNITS);
+    {
+        let barrier = std::sync::Barrier::new(CLIENTS);
+        std::thread::scope(|scope| {
+            for chunks in &preload {
+                let barrier = &barrier;
+                scope.spawn(move || run_feeder(addr, chunks, barrier));
+            }
+        });
+    }
+    let mut control = Client::connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let preloaded_events = loop {
+        let stats = control.roundtrip("STATS");
+        let events: usize = stats
+            .split_whitespace()
+            .find_map(|p| p.strip_prefix("events="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let closed = stats
+            .split_whitespace()
+            .any(|p| p.strip_prefix("last_closed=").is_some_and(|v| v != "-"));
+        if events > 0 && closed {
+            break events;
+        }
+        assert!(Instant::now() < deadline, "preload produced no events: {stats}");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    // Measurement: 4 clients admit at full rate for the WHOLE query
+    // window (a pre-built chunk aimed a few units ahead of the
+    // watermark, re-sent until the query client finishes — the full
+    // admission path runs: gate, routing, ring hand-off, stashing),
+    // while the query client hammers the read path.
+    let records_before = stats_records(&mut control);
+    let chunk = {
+        let mut chunk = String::new();
+        let t = (PRELOAD_UNITS + LIVE_AHEAD_UNITS) * TIMEUNIT;
+        for i in 0..4096u64 {
+            let c = i % CATEGORIES;
+            chunk.push_str(&format!(
+                "PUSH region-{c}/pop-{}/service 42 {}
+",
+                c % 7,
+                t + i % 60
+            ));
+        }
+        chunk
+    };
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(QUERIES);
+    let mut events_returned = 0usize;
+    let mut query_wall = 0.0f64;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let (chunk, stop) = (&chunk, &stop);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                assert_eq!(client.roundtrip("NOACK"), "OK");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    client.stream.write_all(chunk.as_bytes()).expect("pushes");
+                    assert_eq!(client.roundtrip("PING"), "PONG");
+                }
+            });
+        }
+
+        let mut client = Client::connect(addr);
+        let hi = PRELOAD_UNITS + LIVE_AHEAD_UNITS;
+        let requests = [
+            format!("QUERY 0 {hi}"),
+            format!("QUERY 0 {hi} PREFIX region-9"),
+            "QUERY 9 12 LEVEL 3".to_string(),
+            format!("QUERY 0 {hi} LIMIT 16"),
+        ];
+        let t0 = Instant::now();
+        for i in 0..QUERIES {
+            let (events, latency) = client.query(&requests[i % requests.len()]);
+            events_returned += events;
+            latencies_us.push(latency.as_secs_f64() * 1e6);
+        }
+        query_wall = t0.elapsed().as_secs_f64();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let live_records = stats_records(&mut control) - records_before;
+    let admission_wall = query_wall;
+
+    let stats = control.roundtrip("STATS");
+    control.stream.write_all(b"SHUTDOWN\n").expect("shutdown");
+    server.join().expect("clean shutdown");
+
+    let mut sorted = latencies_us.clone();
+    sorted.sort_by(f64::total_cmp);
+    let report = Report {
+        schema: "tiresias-bench-query/v1".to_string(),
+        generated_by: "cargo run --release -p tiresias-bench --bin bench_query".to_string(),
+        host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        config: ConfigReport {
+            shards: SHARDS,
+            clients: CLIENTS,
+            timeunit_secs: TIMEUNIT,
+            preload_units: PRELOAD_UNITS,
+            categories: CATEGORIES,
+            retain_units: RETAIN_UNITS,
+            grace_ms: GRACE_MS,
+        },
+        preloaded_events,
+        query: QueryReport {
+            queries: QUERIES,
+            events_returned,
+            wall_seconds: query_wall,
+            queries_per_sec: QUERIES as f64 / query_wall,
+            latency: LatencyReport {
+                mean_us: latencies_us.iter().sum::<f64>() / latencies_us.len() as f64,
+                p50_us: percentile(&sorted, 0.50),
+                p99_us: percentile(&sorted, 0.99),
+                max_us: percentile(&sorted, 1.0),
+            },
+        },
+        admission: AdmissionReport {
+            records: live_records,
+            wall_seconds: admission_wall,
+            records_per_sec: live_records as f64 / admission_wall,
+        },
+        stats,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report file");
+    println!("{json}");
+}

@@ -51,6 +51,19 @@ impl std::fmt::Display for AnomalyKind {
     }
 }
 
+impl std::str::FromStr for AnomalyKind {
+    type Err = String;
+
+    /// Parses the wire/CSV rendering (`spike` / `drop`) back.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "spike" => Ok(AnomalyKind::Spike),
+            "drop" => Ok(AnomalyKind::Drop),
+            other => Err(format!("unknown anomaly kind `{other}`")),
+        }
+    }
+}
+
 /// The mirrored Definition-4 test for drops: anomalous iff the forecast
 /// exceeds the observation both relatively (`forecast / actual > rt`,
 /// with `actual ≤ 0` counting as an infinite ratio) and absolutely

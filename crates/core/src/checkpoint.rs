@@ -9,7 +9,7 @@
 //! explicit envelope instead:
 //!
 //! ```json
-//! {"version": 2, "kind": "sharded", "engine": { ...detector state... }}
+//! {"version": 3, "kind": "sharded", "engine": { ...detector state... }}
 //! ```
 //!
 //! * `version` is [`CHECKPOINT_VERSION`]; loaders reject versions from
@@ -31,8 +31,11 @@ use crate::detector::Tiresias;
 use crate::error::CoreError;
 use crate::sharded::ShardedTiresias;
 
-/// Current checkpoint envelope version.
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// Current checkpoint envelope version. v3 moved the merged report
+/// store to the indexed, retention-aware [`crate::ReportStore`] schema
+/// (which still loads the v2 event-list shape transparently); v2
+/// introduced the envelope itself.
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// A checkpointed engine of either flavour, as restored by
 /// [`load_checkpoint`].
@@ -66,7 +69,7 @@ impl From<ShardedTiresias> for CheckpointEngine {
 ///
 /// let detector = TiresiasBuilder::new().season_length(4).window_len(16).build()?;
 /// let json = save_checkpoint(&CheckpointEngine::from(detector));
-/// assert!(json.starts_with("{\"version\":2,"));
+/// assert!(json.starts_with("{\"version\":3,"));
 /// assert!(matches!(load_checkpoint(&json)?, CheckpointEngine::Single(_)));
 /// # Ok::<(), tiresias_core::CoreError>(())
 /// ```
@@ -255,7 +258,7 @@ mod tests {
     fn envelope_round_trips_single() {
         let d = fed_detector();
         let json = save_checkpoint(&CheckpointEngine::from(d.clone()));
-        assert!(json.contains("\"version\":2"));
+        assert!(json.contains("\"version\":3"));
         assert!(json.contains("\"kind\":\"single\""));
         let CheckpointEngine::Single(restored) = load_checkpoint(&json).unwrap() else {
             panic!("expected a single detector");

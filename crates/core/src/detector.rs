@@ -10,7 +10,7 @@ use crate::builder::{Algorithm, TiresiasBuilder};
 use crate::counts::DenseCounts;
 use crate::error::CoreError;
 use crate::record::Record;
-use crate::store::EventStore;
+use crate::store::ReportStore;
 
 /// The running heavy hitter tracker.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -33,7 +33,7 @@ enum State {
 /// whole timeunits with [`Tiresias::ingest_unit`]; closed timeunits
 /// flow through heavy hitter tracking, seasonal forecasting and the
 /// Definition-4 decision rule, and detected [`AnomalyEvent`]s accumulate
-/// in the queryable [`EventStore`].
+/// in the queryable [`ReportStore`].
 ///
 /// See the crate-level example for end-to-end usage.
 ///
@@ -53,7 +53,7 @@ pub struct Tiresias {
     /// reusable dense buffer of the close sweep, so steady-state
     /// ingestion allocates nothing.
     open_counts: DenseCounts,
-    store: EventStore,
+    store: ReportStore,
     warmup_target: usize,
     resolved_model: ModelSpec,
     units_processed: u64,
@@ -95,13 +95,14 @@ impl Tiresias {
             builder.warmup_units.unwrap_or_else(|| builder.base_model().preferred_history());
         let resolved_model = builder.base_model();
         let tree = Tree::new(builder.root_label.clone());
+        let store = ReportStore::with_root(builder.root_label.clone());
         Tiresias {
             builder,
             tree,
             state: State::Warmup { units: Vec::new() },
             open_unit: None,
             open_counts: DenseCounts::default(),
-            store: EventStore::new(),
+            store,
             warmup_target,
             resolved_model,
             units_processed: 0,
@@ -154,13 +155,13 @@ impl Tiresias {
     }
 
     /// The queryable anomaly store.
-    pub fn store(&self) -> &EventStore {
+    pub fn store(&self) -> &ReportStore {
         &self.store
     }
 
     /// Mutable access to the anomaly store (e.g. for
-    /// [`EventStore::dedup_ancestors`]).
-    pub fn store_mut(&mut self) -> &mut EventStore {
+    /// [`ReportStore::dedup_ancestors`]).
+    pub fn store_mut(&mut self) -> &mut ReportStore {
         &mut self.store
     }
 
@@ -337,7 +338,7 @@ impl Tiresias {
                 "ingest_unit cannot be mixed with pending record-level pushes".into(),
             ));
         }
-        let before = self.store.len();
+        let before_seq = self.store.next_seq();
         let unit = self.open_unit.unwrap_or(0);
         if direct.len() >= self.tree.len() {
             self.process_closed_unit(unit, direct)?;
@@ -356,7 +357,9 @@ impl Tiresias {
             result?;
         }
         self.open_unit = Some(unit + 1);
-        Ok(&self.store.events()[before..])
+        // Seq-addressed rather than index-addressed: a retention budget
+        // may have evicted older events when the unit closed.
+        Ok(self.store.events_from(before_seq).1)
     }
 
     /// Extends the tree with a category without recording data (useful
@@ -466,6 +469,9 @@ impl Tiresias {
             }
         }
         self.units_processed += 1;
+        // Record the close so the store's retention budget (if any)
+        // can evict and its last-closed watermark stays truthful.
+        self.store.note_closed(unit);
         Ok(())
     }
 

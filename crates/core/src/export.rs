@@ -5,7 +5,7 @@
 use std::fmt::Write as _;
 
 use crate::anomaly::AnomalyEvent;
-use crate::store::EventStore;
+use crate::store::ReportStore;
 
 /// CSV header matching [`events_to_csv`].
 pub const CSV_HEADER: &str = "unit,time_secs,level,path,kind,actual,forecast,ratio,excess";
@@ -23,12 +23,12 @@ fn escape_csv(field: &str) -> String {
 /// # Example
 ///
 /// ```
-/// use tiresias_core::{events_to_csv, AnomalyEvent, EventStore};
+/// use tiresias_core::{events_to_csv, AnomalyEvent, ReportStore};
 /// use tiresias_hierarchy::Tree;
 ///
 /// let mut tree = Tree::new("All");
 /// let n = tree.insert_path(&["TV"]);
-/// let mut store = EventStore::new();
+/// let mut store = ReportStore::new();
 /// store.insert(AnomalyEvent {
 ///     node: n,
 ///     path: "TV".parse().unwrap(),
@@ -68,8 +68,8 @@ pub fn events_to_csv(events: &[AnomalyEvent]) -> String {
     out
 }
 
-impl EventStore {
-    /// Serialises the whole store to CSV (see [`events_to_csv`]).
+impl ReportStore {
+    /// Serialises the retained events to CSV (see [`events_to_csv`]).
     pub fn to_csv(&self) -> String {
         events_to_csv(self.events())
     }
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn store_to_csv_round_trip_count() {
-        let mut store = EventStore::new();
+        let mut store = ReportStore::new();
         for u in 0..5 {
             store.insert(event("x", u));
         }

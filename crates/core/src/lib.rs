@@ -15,8 +15,8 @@
 //!    model and flags an anomaly when the observed count exceeds the
 //!    forecast by both a relative (`RT`) and an absolute (`DT`)
 //!    threshold (Steps 4–5, Definition 4),
-//! 5. records events in a queryable [`EventStore`] (Step 5's database +
-//!    front-end, reduced to a library API), and
+//! 5. records events in a queryable, retention-bounded [`ReportStore`]
+//!    (Step 5's database + front-end, reduced to a library API), and
 //! 6. keeps consuming new data online (Step 6).
 //!
 //! The crate also ships the **reference method** the paper compares
@@ -119,12 +119,12 @@ pub use checkpoint::{
 pub use detector::Tiresias;
 pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};
-pub use live::{Admission, IngestHandle, LiveSharded, DEFAULT_MAX_AHEAD_UNITS};
+pub use live::{Admission, IngestHandle, LiveSharded, ReportReader, DEFAULT_MAX_AHEAD_UNITS};
 pub use metrics::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};
 pub use sharded::{ShardRouter, ShardedTiresias};
-pub use store::EventStore;
+pub use store::ReportStore;
 
 // Re-export the pieces callers need to configure the detector.
 pub use tiresias_hhh::{HhhConfig, MemoryReport, ModelSpec, SplitRule, StageTimings};

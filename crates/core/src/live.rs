@@ -55,15 +55,13 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tiresias_hierarchy::Tree;
-
 use crate::anomaly::AnomalyEvent;
 use crate::builder::TiresiasBuilder;
 use crate::detector::Tiresias;
 use crate::error::CoreError;
 use crate::ring::ShardRing;
 use crate::sharded::{ShardRouter, ShardedParts, ShardedTiresias};
-use crate::store::EventStore;
+use crate::store::ReportStore;
 
 /// Default bound on how many timeunits ahead of the open unit a record
 /// may be. Catches unit confusion (e.g. millisecond timestamps where
@@ -424,6 +422,37 @@ impl IngestHandle {
     }
 }
 
+/// A cloneable, read-only handle onto a live engine's merged
+/// [`ReportStore`] — the read path of the serving stack.
+///
+/// Obtained from [`LiveSharded::reader`] and safe to hand to any
+/// number of query threads: readers share a read-mostly `RwLock` whose
+/// write side is taken only for the brief per-close merge, and the
+/// admission hot path never touches the lock at all. The handle keeps
+/// working after the engine is drained ([`LiveSharded::finish`]),
+/// still serving the retained history.
+#[derive(Clone)]
+pub struct ReportReader {
+    store: Arc<RwLock<ReportStore>>,
+}
+
+impl ReportReader {
+    /// Runs `f` against the store under the read lock. Keep `f` short
+    /// (collect what you need and return); the lock is held for its
+    /// duration and blocks the next close merge — though never record
+    /// admission.
+    pub fn with<R>(&self, f: impl FnOnce(&ReportStore) -> R) -> R {
+        f(&self.store.read().expect("report lock never poisoned"))
+    }
+}
+
+impl std::fmt::Debug for ReportReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (len, next_seq) = self.with(|s| (s.len(), s.next_seq()));
+        f.debug_struct("ReportReader").field("retained", &len).field("next_seq", &next_seq).finish()
+    }
+}
+
 /// Owned state of a running live engine (present until
 /// [`LiveSharded::finish`] or drop tears it down).
 struct LiveInner {
@@ -431,8 +460,9 @@ struct LiveInner {
     workers: Vec<JoinHandle<Box<Tiresias>>>,
     acks: Receiver<ShardAck>,
     builder: TiresiasBuilder,
-    report_tree: Tree,
-    store: EventStore,
+    /// The merged report store, shared with every [`ReportReader`]:
+    /// the back-end writes at closes, readers query concurrently.
+    store: Arc<RwLock<ReportStore>>,
     pending: Vec<AnomalyEvent>,
     busy_nanos: Vec<u64>,
     router_nanos: u64,
@@ -566,8 +596,7 @@ impl LiveSharded {
                 workers,
                 acks: rx,
                 builder: parts.builder,
-                report_tree: parts.report_tree,
-                store: parts.store,
+                store: Arc::new(RwLock::new(parts.store)),
                 pending: parts.pending,
                 busy_nanos: parts.busy_nanos,
                 router_nanos: parts.router_nanos,
@@ -605,11 +634,23 @@ impl LiveSharded {
         self.inner().units_done
     }
 
-    /// The merged anomaly stream, `(unit, path)`-ordered, complete
-    /// through the last [`LiveSharded::close_to`]. Event node ids refer
-    /// to the back-end's report tree, exactly as in the offline engine.
-    pub fn anomalies(&self) -> &[AnomalyEvent] {
-        self.inner().store.events()
+    /// A snapshot of the retained merged anomaly stream,
+    /// `(unit, path)`-ordered, complete through the last
+    /// [`LiveSharded::close_to`]. Event node ids refer to the store's
+    /// report tree, exactly as in the offline engine. For lock-held
+    /// querying without the copy, use [`LiveSharded::reader`].
+    pub fn anomalies(&self) -> Vec<AnomalyEvent> {
+        self.inner().store.read().expect("report lock never poisoned").events().to_vec()
+    }
+
+    /// A cloneable read handle onto the merged report store. Readers
+    /// (query sessions, subscribers catching up, metrics) take the
+    /// read side of a read-mostly lock; only timeunit closes take the
+    /// write side, and record admission never touches it — queries
+    /// never stall admission. The handle stays valid (and keeps
+    /// serving the retained history) after [`LiveSharded::finish`].
+    pub fn reader(&self) -> ReportReader {
+        ReportReader { store: Arc::clone(&self.inner().store) }
     }
 
     /// Flips the epoch barrier: every unit in `[watermark, target)`
@@ -652,7 +693,8 @@ impl LiveSharded {
             }
             inner.seq
         };
-        match collect_acks(inner, seq)? {
+        // Every unit below `target` is now closed on every shard.
+        match collect_acks(inner, seq, Some(target - 1))? {
             Some(shard_err) => Err(shard_err),
             None => Ok(Some(target)),
         }
@@ -690,7 +732,7 @@ impl LiveSharded {
     /// in that case.
     pub fn finish(mut self) -> Result<ShardedTiresias, CoreError> {
         let mut inner = self.inner.take().expect("finish called once");
-        let seq = {
+        let (seq, align) = {
             let s = &*inner.shared;
             let _g = s.gate.write().expect("gate never poisoned");
             s.closed.store(true, Ordering::SeqCst);
@@ -703,11 +745,13 @@ impl LiveSharded {
             for ring in &s.rings {
                 ring.push(ShardMsg::Drain { seq: inner.seq, from: wm, align });
             }
-            inner.seq
+            (inner.seq, align)
         };
         // Shard errors reported by the drain acks leave those shards at
-        // their last good state; only protocol failures abort.
-        let ack_result = collect_acks(&mut inner, seq).map(|_| ());
+        // their last good state; only protocol failures abort. The
+        // drain leaves `align` open, so units below it are closed.
+        let ack_result =
+            collect_acks(&mut inner, seq, align.and_then(|a| a.checked_sub(1))).map(|_| ());
         let mut shards: Vec<Tiresias> = Vec::with_capacity(inner.workers.len());
         let mut worker_vanished = false;
         for handle in inner.workers.drain(..) {
@@ -729,12 +773,15 @@ impl LiveSharded {
                 Some(shards.iter().filter_map(Tiresias::current_unit).max().unwrap_or(wm))
             }
         };
+        // Clone the store out rather than unwrapping the Arc: readers
+        // obtained before the drain stay valid and keep serving the
+        // retained history after the engine dissolves.
+        let store = inner.store.read().expect("report lock never poisoned").clone();
         Ok(ShardedTiresias::from_parts(ShardedParts {
             builder: inner.builder,
             router: inner.shared.router,
             shards,
-            report_tree: inner.report_tree,
-            store: inner.store,
+            store,
             pending: Vec::new(),
             open_unit,
             busy_nanos: inner.busy_nanos,
@@ -772,11 +819,16 @@ impl Drop for LiveSharded {
 const ACK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Collects one ack per shard for barrier `seq`, merges their events
-/// into the store in `(unit, path)` order and rebuilds the ahead
-/// tracking from the surviving stashes. The outer `Result` is protocol
-/// health (a worker vanished); the inner `Option` is the first shard
-/// error reported by an ack.
-fn collect_acks(inner: &mut LiveInner, seq: u64) -> Result<Option<CoreError>, CoreError> {
+/// into the store in `(unit, path)` order, records the close (driving
+/// retention eviction) and rebuilds the ahead tracking from the
+/// surviving stashes. The outer `Result` is protocol health (a worker
+/// vanished); the inner `Option` is the first shard error reported by
+/// an ack.
+fn collect_acks(
+    inner: &mut LiveInner,
+    seq: u64,
+    closed_to: Option<u64>,
+) -> Result<Option<CoreError>, CoreError> {
     let mut first_err: Option<CoreError> = None;
     let mut min_units = u64::MAX;
     let mut seen = 0;
@@ -810,11 +862,18 @@ fn collect_acks(inner: &mut LiveInner, seq: u64) -> Result<Option<CoreError>, Co
     inner.units_done = min_units;
     // Every pending event's unit is now closed on every shard, so the
     // whole buffer releases — in the same deterministic order as the
-    // offline merge, re-homed onto the report tree.
+    // offline merge; the store re-homes each event onto its report
+    // tree. The write lock is held only for this merge; readers
+    // resume the moment it drops.
     inner.pending.sort_by(|a, b| (a.unit, &a.path).cmp(&(b.unit, &b.path)));
-    for mut event in inner.pending.drain(..) {
-        event.node = inner.report_tree.insert_category(&event.path);
-        inner.store.insert(event);
+    {
+        let mut store = inner.store.write().expect("report lock never poisoned");
+        for event in inner.pending.drain(..) {
+            store.insert(event);
+        }
+        if let Some(unit) = closed_to {
+            store.note_closed(unit);
+        }
     }
     Ok(first_err)
 }
@@ -841,7 +900,7 @@ fn run_worker(
     let _unblock_producers = crate::ring::AbandonOnDrop(ring);
     let timeunit = shared.timeunit;
     let mut stash: Vec<(String, u64)> = Vec::new();
-    let mut cursor = shard.store().len();
+    let mut cursor = shard.store().next_seq();
     let mut poison: Option<CoreError> = None;
     // An error is acknowledged exactly once: the back-end latches it as
     // fatal, and the *next* barrier (typically the shutdown drain) then
@@ -885,7 +944,7 @@ fn run_worker(
                 update_gauges(idx, &shard, &stash, shared);
                 let error = if reported { None } else { poison.clone() };
                 reported = poison.is_some();
-                let _ = acks.send(make_ack(seq, &shard, &stash, &mut cursor, error, timeunit));
+                let _ = acks.send(make_ack(seq, &mut shard, &stash, &mut cursor, error, timeunit));
             }
             ShardMsg::Drain { seq, from, align } => {
                 if poison.is_none() {
@@ -897,7 +956,7 @@ fn run_worker(
                 }
                 update_gauges(idx, &shard, &stash, shared);
                 let error = if reported { None } else { poison.clone() };
-                let _ = acks.send(make_ack(seq, &shard, &stash, &mut cursor, error, timeunit));
+                let _ = acks.send(make_ack(seq, &mut shard, &stash, &mut cursor, error, timeunit));
                 break;
             }
         }
@@ -948,18 +1007,21 @@ fn update_gauges(idx: usize, shard: &Tiresias, stash: &[(String, u64)], shared: 
 
 fn make_ack(
     seq: u64,
-    shard: &Tiresias,
+    shard: &mut Tiresias,
     stash: &[(String, u64)],
-    cursor: &mut usize,
+    cursor: &mut u64,
     error: Option<CoreError>,
     timeunit: u64,
 ) -> ShardAck {
-    let events = shard.store().events();
     // Per-shard synthetic root events (level 0) are dropped, exactly as
     // the offline merge drops them (the shard root is not invariant).
-    let new: Vec<AnomalyEvent> =
-        events[*cursor..].iter().filter(|e| e.level >= 1).cloned().collect();
-    *cursor = events.len();
+    let (_skipped, tail) = shard.store().events_from(*cursor);
+    let new: Vec<AnomalyEvent> = tail.iter().filter(|e| e.level >= 1).cloned().collect();
+    *cursor = shard.store().next_seq();
+    // This ack is the shard store's only consumer: truncate behind the
+    // cursor so worker-owned stores stay bounded however long the
+    // daemon runs.
+    shard.store_mut().discard_through(*cursor);
     ShardAck {
         seq,
         events: new,

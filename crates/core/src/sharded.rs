@@ -7,7 +7,7 @@
 //! counts and heavy hitter tracker — and processes its subtrees
 //! independently. Timeunit boundaries close per-shard in parallel, and
 //! the anomalies of closed units merge into one deterministically
-//! ordered [`EventStore`].
+//! ordered, queryable [`ReportStore`].
 //!
 //! # Why the output is shard-count invariant
 //!
@@ -52,7 +52,7 @@ use crate::builder::TiresiasBuilder;
 use crate::detector::Tiresias;
 use crate::error::CoreError;
 use crate::ring::ShardRing;
-use crate::store::EventStore;
+use crate::store::ReportStore;
 
 /// Records per chunk handed from the router to a shard worker; the unit
 /// of ring-buffer synchronisation. Batching per ~1k records makes the
@@ -123,7 +123,7 @@ impl ShardRouter {
 /// routed by top-level label, streamed through bounded SPSC ring
 /// buffers to one scoped worker thread per shard, and closed timeunits
 /// are processed by all shards in parallel. Anomalies from closed units
-/// are merged into a single [`EventStore`] ordered by `(unit, path)` —
+/// are merged into a single [`ReportStore`] ordered by `(unit, path)` —
 /// an order that does not depend on the shard count (see the
 /// [module docs](self) for why the whole output is invariant).
 ///
@@ -163,13 +163,14 @@ pub struct ShardedTiresias {
     builder: TiresiasBuilder,
     router: ShardRouter,
     shards: Vec<Tiresias>,
-    /// Tree the merged events' node ids live in, grown in merge order
-    /// (deterministic, hence shard-count invariant). Contains only
-    /// reported paths, not the full ingested hierarchy.
-    report_tree: Tree,
-    store: EventStore,
-    /// Per-shard count of store events already merged.
-    merged: Vec<usize>,
+    /// The merged report store. It owns the report tree the merged
+    /// events' node ids live in, grown in merge order (deterministic,
+    /// hence shard-count invariant) and containing only reported paths,
+    /// not the full ingested hierarchy.
+    store: ReportStore,
+    /// Per-shard store sequence number up to which events were merged
+    /// (shard stores are truncated behind it, so they stay bounded).
+    merged: Vec<u64>,
     /// Events collected from shards but not yet releasable (their unit
     /// is still open somewhere).
     pending: Vec<AnomalyEvent>,
@@ -195,8 +196,7 @@ pub(crate) struct ShardedParts {
     pub builder: TiresiasBuilder,
     pub router: ShardRouter,
     pub shards: Vec<Tiresias>,
-    pub report_tree: Tree,
-    pub store: EventStore,
+    pub store: ReportStore,
     pub pending: Vec<AnomalyEvent>,
     pub open_unit: Option<u64>,
     pub busy_nanos: Vec<u64>,
@@ -223,12 +223,11 @@ impl ShardedTiresias {
         let shards = (0..n)
             .map(|_| shard_builder.clone().build())
             .collect::<Result<Vec<Tiresias>, CoreError>>()?;
-        let report_tree = Tree::new(builder.root_label.clone());
+        let store = ReportStore::with_root(builder.root_label.clone());
         Ok(ShardedTiresias {
             router: ShardRouter::new(n),
             shards,
-            report_tree,
-            store: EventStore::new(),
+            store,
             merged: vec![0; n],
             pending: Vec::new(),
             open_unit: None,
@@ -245,7 +244,6 @@ impl ShardedTiresias {
             builder: self.builder,
             router: self.router,
             shards: self.shards,
-            report_tree: self.report_tree,
             store: self.store,
             pending: self.pending,
             open_unit: self.open_unit,
@@ -259,12 +257,11 @@ impl ShardedTiresias {
     /// [`crate::LiveSharded::finish`] so a drained live engine
     /// checkpoints in the exact same format as the offline one).
     pub(crate) fn from_parts(parts: ShardedParts) -> Self {
-        let merged = parts.shards.iter().map(|s| s.store().len()).collect();
+        let merged = parts.shards.iter().map(|s| s.store().next_seq()).collect();
         ShardedTiresias {
             builder: parts.builder,
             router: parts.router,
             shards: parts.shards,
-            report_tree: parts.report_tree,
             store: parts.store,
             merged,
             pending: parts.pending,
@@ -369,14 +366,15 @@ impl ShardedTiresias {
         self.store.events()
     }
 
-    /// The queryable merged anomaly store.
-    pub fn store(&self) -> &EventStore {
+    /// The queryable merged report store.
+    pub fn store(&self) -> &ReportStore {
         &self.store
     }
 
     /// Mutable access to the merged store (e.g. for
-    /// [`EventStore::dedup_ancestors`]).
-    pub fn store_mut(&mut self) -> &mut EventStore {
+    /// [`ReportStore::dedup_ancestors`] or
+    /// [`ReportStore::set_retention`]).
+    pub fn store_mut(&mut self) -> &mut ReportStore {
         &mut self.store
     }
 
@@ -384,7 +382,7 @@ impl ShardedTiresias {
     /// reported paths (grown in merge order), not the full ingested
     /// hierarchy — use [`ShardedTiresias::shards`] for the shard trees.
     pub fn tree(&self) -> &Tree {
-        &self.report_tree
+        self.store.tree()
     }
 
     /// The union of the shards' current heavy hitter sets as category
@@ -733,14 +731,19 @@ impl ShardedTiresias {
     /// top-level labels that happen to share the shard, so its series
     /// is not shard-count invariant (see the module docs).
     fn merge_events(&mut self) {
-        for (shard, cursor) in self.shards.iter().zip(self.merged.iter_mut()) {
-            let events = shard.store().events();
-            for event in &events[*cursor..] {
+        for (shard, cursor) in self.shards.iter_mut().zip(self.merged.iter_mut()) {
+            let (_skipped, tail) = shard.store().events_from(*cursor);
+            for event in tail {
                 if event.level >= 1 {
                     self.pending.push(event.clone());
                 }
             }
-            *cursor = events.len();
+            let next = shard.store().next_seq();
+            *cursor = next;
+            // The shard-internal store's only consumer is this merge:
+            // truncating behind the cursor keeps every shard store
+            // bounded by construction, whatever the retention budget.
+            shard.store_mut().discard_through(next);
         }
         // A unit still open on any shard may yet produce events there;
         // only strictly older units are final.
@@ -752,9 +755,14 @@ impl ShardedTiresias {
             .iter()
             .position(|e| e.unit >= release_before)
             .unwrap_or(self.pending.len());
-        for mut event in self.pending.drain(..releasable) {
-            event.node = self.report_tree.insert_category(&event.path);
+        for event in self.pending.drain(..releasable) {
+            // The store re-homes each event's node onto its report tree.
             self.store.insert(event);
+        }
+        if release_before > 0 {
+            // Everything below the slowest shard's open unit is final:
+            // record the close so the retention budget can evict.
+            self.store.note_closed(release_before - 1);
         }
     }
 }

@@ -7,19 +7,31 @@
 //! the socket. Subscribing registers a clone of that queue's sender
 //! here.
 //!
+//! # Frame sequencing
+//!
+//! Frames are tagged with the timeunit they report, and every
+//! subscription carries a `min_unit` floor: frames of older units are
+//! skipped for that subscriber. This is what lets `SUBSCRIBE FROM`
+//! splice a history replay onto the live stream gap-free — the session
+//! replays retained events up to an exact store position, then
+//! registers here so only genuinely newer frames follow.
+//!
 //! # Backpressure policy
 //!
 //! Broadcasting never blocks the detection pipeline: events are
 //! enqueued with `try_send`. A subscriber whose queue is full — a
 //! consumer reading slower than anomalies are produced for longer than
 //! its whole buffer — is **dropped from the hub** (its event stream
-//! ends; the session itself stays usable and may re-`SUBSCRIBE`).
-//! Slow consumers therefore cost a counter increment, never memory or
-//! scheduler stalls.
+//! ends; the session itself stays usable and can `SUBSCRIBE FROM` its
+//! last seen unit to replay exactly what it missed). Slow consumers
+//! therefore cost a counter increment, never memory or scheduler
+//! stalls. The frames such a drop loses are counted into the session's
+//! shared `dropped` counter, surfaced as `dropped_events=` in its
+//! `STATS` reply.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Event fan-out over the subscribed sessions' outbound queues.
 #[derive(Debug, Default)]
@@ -34,14 +46,27 @@ pub(crate) struct Hub {
 struct Subscriber {
     id: u64,
     tx: SyncSender<String>,
+    /// Frames of units below this floor are skipped (already replayed
+    /// to — or explicitly not wanted by — this subscriber).
+    min_unit: u64,
+    /// Shared with the owning session: frames this subscription failed
+    /// to deliver when it was dropped for lagging.
+    dropped: Arc<AtomicU64>,
 }
 
 impl Hub {
     /// Registers a session's outbound queue; returns the subscription
-    /// id used to unsubscribe.
-    pub fn subscribe(&self, tx: SyncSender<String>) -> u64 {
+    /// id used to unsubscribe. `min_unit` filters frames of older
+    /// units; `dropped` receives the count of frames lost if this
+    /// subscription is ever dropped for lagging.
+    pub fn subscribe(&self, tx: SyncSender<String>, min_unit: u64, dropped: Arc<AtomicU64>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.subscribers.lock().expect("hub lock never poisoned").push(Subscriber { id, tx });
+        self.subscribers.lock().expect("hub lock never poisoned").push(Subscriber {
+            id,
+            tx,
+            min_unit,
+            dropped,
+        });
         id
     }
 
@@ -60,20 +85,27 @@ impl Hub {
         self.dropped_slow.load(Ordering::Relaxed)
     }
 
-    /// Enqueues `lines` to every subscriber without blocking. Gone
-    /// sessions are pruned; lagging ones are dropped per the
-    /// backpressure policy.
-    pub fn broadcast(&self, lines: &[String]) {
-        if lines.is_empty() {
+    /// Enqueues unit-tagged `frames` to every subscriber without
+    /// blocking. Gone sessions are pruned; lagging ones are dropped per
+    /// the backpressure policy, with the frames they lose counted into
+    /// their session's `dropped` counter.
+    pub fn broadcast(&self, frames: &[(u64, String)]) {
+        if frames.is_empty() {
             return;
         }
         let mut subs = self.subscribers.lock().expect("hub lock never poisoned");
         subs.retain(|s| {
-            for line in lines {
+            for (i, (unit, line)) in frames.iter().enumerate() {
+                if *unit < s.min_unit {
+                    continue;
+                }
                 match s.tx.try_send(line.clone()) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
                         self.dropped_slow.fetch_add(1, Ordering::Relaxed);
+                        let lost =
+                            frames[i..].iter().filter(|(u, _)| *u >= s.min_unit).count() as u64;
+                        s.dropped.fetch_add(lost, Ordering::Relaxed);
                         return false;
                     }
                     Err(TrySendError::Disconnected(_)) => return false,
@@ -89,41 +121,63 @@ mod tests {
     use super::*;
     use std::sync::mpsc::sync_channel;
 
+    fn frames(units: &[u64]) -> Vec<(u64, String)> {
+        units.iter().map(|&u| (u, format!("EVENT unit={u}"))).collect()
+    }
+
     #[test]
     fn broadcast_reaches_all_subscribers() {
         let hub = Hub::default();
         let (tx1, rx1) = sync_channel(4);
         let (tx2, rx2) = sync_channel(4);
-        hub.subscribe(tx1);
-        let id2 = hub.subscribe(tx2);
-        hub.broadcast(&["a".to_string(), "b".to_string()]);
-        assert_eq!(rx1.try_iter().collect::<Vec<_>>(), ["a", "b"]);
-        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), ["a", "b"]);
+        hub.subscribe(tx1, 0, Arc::default());
+        let id2 = hub.subscribe(tx2, 0, Arc::default());
+        hub.broadcast(&frames(&[1, 2]));
+        assert_eq!(rx1.try_iter().collect::<Vec<_>>(), ["EVENT unit=1", "EVENT unit=2"]);
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), ["EVENT unit=1", "EVENT unit=2"]);
         hub.unsubscribe(id2);
         assert_eq!(hub.subscriber_count(), 1);
     }
 
     #[test]
-    fn lagging_subscriber_is_dropped_not_blocked() {
+    fn min_unit_filters_already_replayed_frames() {
+        let hub = Hub::default();
+        let (tx, rx) = sync_channel(8);
+        hub.subscribe(tx, 5, Arc::default());
+        hub.broadcast(&frames(&[3, 4, 5, 6]));
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), ["EVENT unit=5", "EVENT unit=6"]);
+    }
+
+    #[test]
+    fn lagging_subscriber_is_dropped_and_losses_counted() {
         let hub = Hub::default();
         let (tx, rx) = sync_channel(1);
-        hub.subscribe(tx);
-        hub.broadcast(&["one".to_string(), "two".to_string()]);
+        let dropped = Arc::new(AtomicU64::new(0));
+        hub.subscribe(tx, 0, Arc::clone(&dropped));
+        hub.broadcast(&frames(&[1, 2, 3]));
         // Queue bound is 1: the second line overflows, dropping the
-        // subscriber instead of blocking the broadcaster.
+        // subscriber instead of blocking the broadcaster; both
+        // undelivered frames count as this session's losses.
         assert_eq!(hub.subscriber_count(), 0);
         assert_eq!(hub.dropped_slow(), 1);
-        assert_eq!(rx.try_iter().collect::<Vec<_>>(), ["one"], "delivered prefix survives");
+        assert_eq!(dropped.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            rx.try_iter().collect::<Vec<_>>(),
+            ["EVENT unit=1"],
+            "delivered prefix survives"
+        );
     }
 
     #[test]
     fn disconnected_subscriber_is_pruned() {
         let hub = Hub::default();
         let (tx, rx) = sync_channel(4);
-        hub.subscribe(tx);
+        let dropped = Arc::new(AtomicU64::new(0));
+        hub.subscribe(tx, 0, Arc::clone(&dropped));
         drop(rx);
-        hub.broadcast(&["x".to_string()]);
+        hub.broadcast(&frames(&[1]));
         assert_eq!(hub.subscriber_count(), 0);
         assert_eq!(hub.dropped_slow(), 0, "disconnects are not lag drops");
+        assert_eq!(dropped.load(Ordering::Relaxed), 0);
     }
 }

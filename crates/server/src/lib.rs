@@ -8,8 +8,10 @@
 //!
 //! * a TCP listener accepts concurrent clients speaking a
 //!   newline-delimited text protocol ([`protocol`]): `PUSH` records,
-//!   `SUBSCRIBE` to the anomaly stream, `STATS` for metrics,
-//!   `SHUTDOWN` for a graceful stop;
+//!   `SUBSCRIBE [FROM <unit>]` to the anomaly stream (with gap-free
+//!   catch-up replay from retained history), `QUERY` the retained
+//!   report store, `STATS` for metrics, `SHUTDOWN` for a graceful
+//!   stop;
 //! * every session thread admits records through its own clone of the
 //!   engine's lock-free [`tiresias_core::IngestHandle`] — validation,
 //!   routing and the per-shard ring hand-off never take a server-wide
@@ -24,7 +26,10 @@
 //!   in a well-defined unit;
 //! * anomalies are broadcast to subscribers the moment their unit
 //!   closes, through bounded per-session queues with a
-//!   drop-the-laggard backpressure policy;
+//!   drop-the-laggard backpressure policy — and land in a retained,
+//!   indexed report store (bounded by `--retain-units`) that answers
+//!   `QUERY` off a read-mostly lock and replays missed events to a
+//!   re-subscribing laggard;
 //! * `SIGTERM`/`SIGINT`/`SHUTDOWN` trigger a graceful drain: every
 //!   buffered record is fed to the engine, final events are delivered,
 //!   and the engine state is written as a versioned checkpoint

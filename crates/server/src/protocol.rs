@@ -6,7 +6,8 @@
 //! | Request               | Reply                                 |
 //! |-----------------------|---------------------------------------|
 //! | `PUSH <path> <ts>`    | `OK` (suppressed after `NOACK`), `LATE` if the record's timeunit is already closed, or `ERR <why>` |
-//! | `SUBSCRIBE`           | `OK subscribed`, then asynchronous `EVENT …` frames |
+//! | `SUBSCRIBE [FROM <unit>]` | `OK subscribed from=<unit>`, then asynchronous `EVENT …` frames; with `FROM`, retained events of units `≥ <unit>` are replayed first and the live stream splices on gap-free |
+//! | `QUERY <from> <to> [PREFIX <path>] [LEVEL <n>] [LIMIT <k>]` | `EVENT …` frames for retained events with unit in `[from, to]` (inclusive), then `OK n=<count>` |
 //! | `STATS`               | one `STATS key=value …` line          |
 //! | `NOACK`               | `OK` — from now on `PUSH` only answers `LATE`/`ERR`, not `OK` |
 //! | `PING`                | `PONG`                                |
@@ -20,6 +21,21 @@
 //! never wedges the connection or the ingest engine. Blank lines are
 //! ignored.
 //!
+//! `QUERY` reads the server's retained report store (bounded by
+//! `--retain-units`): `PREFIX` restricts to events at or under a
+//! category path (it may contain spaces and runs until the `LEVEL` /
+//! `LIMIT` keyword or end of line), `LEVEL` to an exact hierarchy
+//! depth, and `LIMIT` caps the reply batch (default 1000, hard cap
+//! 10000). Queries are answered off a read-mostly lock — they never
+//! stall record admission.
+//!
+//! `SUBSCRIBE FROM <unit>` is the catch-up path for a reconnecting or
+//! lag-dropped subscriber: the server replays the retained events of
+//! units `≥ <unit>` in order, then splices onto the live stream with
+//! no gap and no duplicates (frames are sequenced by store position;
+//! the reply's `from=` reports where the replay actually started, which
+//! is later than requested when older history was already evicted).
+//!
 //! Anomaly events broadcast to subscribers are `key=value` frames with
 //! the path last (it may contain spaces):
 //!
@@ -28,6 +44,11 @@
 //! ```
 
 use tiresias_core::AnomalyEvent;
+
+/// Default number of events a `QUERY` returns when `LIMIT` is absent.
+pub const DEFAULT_QUERY_LIMIT: usize = 1_000;
+/// Hard cap on a single `QUERY` reply batch.
+pub const MAX_QUERY_LIMIT: usize = 10_000;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,8 +60,26 @@ pub enum Request {
         /// Record timestamp in seconds.
         t_secs: u64,
     },
-    /// Start streaming anomaly events to this session.
-    Subscribe,
+    /// Start streaming anomaly events to this session, optionally
+    /// replaying retained history first.
+    Subscribe {
+        /// Replay retained events of units `≥ from` before splicing
+        /// onto the live stream (`None` = live only).
+        from: Option<u64>,
+    },
+    /// Query the retained report store.
+    Query {
+        /// First timeunit of the range (inclusive).
+        from_unit: u64,
+        /// Last timeunit of the range (inclusive).
+        to_unit: u64,
+        /// Restrict to events at or under this category path.
+        prefix: Option<String>,
+        /// Restrict to events at exactly this hierarchy level.
+        level: Option<usize>,
+        /// Cap the reply batch (clamped to [`MAX_QUERY_LIMIT`]).
+        limit: Option<usize>,
+    },
     /// Report server metrics.
     Stats,
     /// Suppress per-`PUSH` `OK` acknowledgements for this session.
@@ -79,12 +118,24 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                 .map_err(|_| format!("PUSH timestamp `{ts}` is not a non-negative integer"))?;
             Ok(Some(Request::Push { path: path.to_string(), t_secs }))
         }
-        "SUBSCRIBE" | "STATS" | "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
+        "SUBSCRIBE" => {
+            if rest.is_empty() {
+                return Ok(Some(Request::Subscribe { from: None }));
+            }
+            let Some(unit) = rest.strip_prefix("FROM").map(str::trim) else {
+                return Err("SUBSCRIBE takes no arguments except FROM <unit>".to_string());
+            };
+            let from = unit.parse::<u64>().map_err(|_| {
+                format!("SUBSCRIBE FROM unit `{unit}` is not a non-negative integer")
+            })?;
+            Ok(Some(Request::Subscribe { from: Some(from) }))
+        }
+        "QUERY" => parse_query(rest).map(Some),
+        "STATS" | "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
             if !rest.is_empty() {
                 return Err(format!("{command} takes no arguments"));
             }
             Ok(Some(match command {
-                "SUBSCRIBE" => Request::Subscribe,
                 "STATS" => Request::Stats,
                 "NOACK" => Request::Noack,
                 "PING" => Request::Ping,
@@ -94,6 +145,68 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Parses the operand list of a `QUERY` request:
+/// `<from> <to> [PREFIX <path>] [LEVEL <n>] [LIMIT <k>]`, clauses in
+/// that order. The prefix path may contain spaces; it runs until the
+/// next clause keyword or the end of the line.
+fn parse_query(rest: &str) -> Result<Request, String> {
+    const USAGE: &str = "QUERY needs <from_unit> <to_unit> [PREFIX <path>] [LEVEL <n>] [LIMIT <k>]";
+    let Some((from_s, rest)) = rest.split_once(char::is_whitespace) else {
+        return Err(USAGE.to_string());
+    };
+    let (to_s, mut tail) = match rest.trim().split_once(char::is_whitespace) {
+        Some((t, tail)) => (t, tail.trim()),
+        None => (rest.trim(), ""),
+    };
+    let unit = |name: &str, raw: &str| {
+        raw.parse::<u64>()
+            .map_err(|_| format!("QUERY {name} `{raw}` is not a non-negative integer"))
+    };
+    let from_unit = unit("from_unit", from_s)?;
+    let to_unit = unit("to_unit", to_s)?;
+    let mut prefix = None;
+    if let Some(r) = tail.strip_prefix("PREFIX") {
+        let r = r.trim_start();
+        // The path runs to the next clause keyword or the line's end.
+        let (path, remainder) = [" LEVEL ", " LIMIT "]
+            .iter()
+            .filter_map(|kw| r.find(kw).map(|i| (&r[..i], r[i..].trim_start())))
+            .min_by_key(|&(p, _)| p.len())
+            .unwrap_or((r, ""));
+        let path = path.trim();
+        if path.is_empty() {
+            return Err("QUERY PREFIX needs a category path".to_string());
+        }
+        prefix = Some(path.to_string());
+        tail = remainder;
+    }
+    let mut level = None;
+    if let Some(r) = tail.strip_prefix("LEVEL") {
+        let (raw, remainder) = match r.trim_start().split_once(char::is_whitespace) {
+            Some((v, rem)) => (v, rem.trim_start()),
+            None => (r.trim(), ""),
+        };
+        level = Some(
+            raw.parse::<usize>()
+                .map_err(|_| format!("QUERY LEVEL `{raw}` is not a non-negative integer"))?,
+        );
+        tail = remainder;
+    }
+    let mut limit = None;
+    if let Some(r) = tail.strip_prefix("LIMIT") {
+        let raw = r.trim();
+        limit = Some(
+            raw.parse::<usize>()
+                .map_err(|_| format!("QUERY LIMIT `{raw}` is not a positive integer"))?,
+        );
+        tail = "";
+    }
+    if !tail.is_empty() {
+        return Err(format!("QUERY has trailing input `{tail}`; {USAGE}"));
+    }
+    Ok(Request::Query { from_unit, to_unit, prefix, level, limit })
 }
 
 /// Formats an anomaly event as the `EVENT` broadcast frame (no
@@ -123,13 +236,80 @@ mod tests {
 
     #[test]
     fn simple_commands_parse() {
-        assert_eq!(parse_request("SUBSCRIBE").unwrap(), Some(Request::Subscribe));
+        assert_eq!(parse_request("SUBSCRIBE").unwrap(), Some(Request::Subscribe { from: None }));
         assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats));
         assert_eq!(parse_request("NOACK").unwrap(), Some(Request::Noack));
         assert_eq!(parse_request("PING").unwrap(), Some(Request::Ping));
         assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Some(Request::Shutdown));
         assert_eq!(parse_request("   ").unwrap(), None, "blank lines are ignored");
+    }
+
+    #[test]
+    fn subscribe_from_parses() {
+        assert_eq!(
+            parse_request("SUBSCRIBE FROM 17").unwrap(),
+            Some(Request::Subscribe { from: Some(17) })
+        );
+        assert!(parse_request("SUBSCRIBE FROM").unwrap_err().contains("not a non-negative"));
+        assert!(parse_request("SUBSCRIBE FROM x").unwrap_err().contains("`x`"));
+        assert!(parse_request("SUBSCRIBE now").unwrap_err().contains("FROM"));
+    }
+
+    #[test]
+    fn query_parses_all_clauses() {
+        assert_eq!(
+            parse_request("QUERY 3 9").unwrap(),
+            Some(Request::Query {
+                from_unit: 3,
+                to_unit: 9,
+                prefix: None,
+                level: None,
+                limit: None
+            })
+        );
+        assert_eq!(
+            parse_request("QUERY 0 5 PREFIX TV/No Service LEVEL 2 LIMIT 10").unwrap(),
+            Some(Request::Query {
+                from_unit: 0,
+                to_unit: 5,
+                prefix: Some("TV/No Service".to_string()),
+                level: Some(2),
+                limit: Some(10),
+            })
+        );
+        assert_eq!(
+            parse_request("QUERY 0 5 PREFIX a/b").unwrap(),
+            Some(Request::Query {
+                from_unit: 0,
+                to_unit: 5,
+                prefix: Some("a/b".to_string()),
+                level: None,
+                limit: None,
+            })
+        );
+        assert_eq!(
+            parse_request("QUERY 0 5 LIMIT 3").unwrap(),
+            Some(Request::Query {
+                from_unit: 0,
+                to_unit: 5,
+                prefix: None,
+                level: None,
+                limit: Some(3)
+            })
+        );
+    }
+
+    #[test]
+    fn query_rejects_malformed_input() {
+        assert!(parse_request("QUERY").unwrap_err().contains("QUERY needs"));
+        assert!(parse_request("QUERY 1").unwrap_err().contains("QUERY needs"));
+        assert!(parse_request("QUERY a 2").unwrap_err().contains("from_unit"));
+        assert!(parse_request("QUERY 1 b").unwrap_err().contains("to_unit"));
+        assert!(parse_request("QUERY 1 2 PREFIX").unwrap_err().contains("PREFIX"));
+        assert!(parse_request("QUERY 1 2 LEVEL x").unwrap_err().contains("LEVEL"));
+        assert!(parse_request("QUERY 1 2 LIMIT -1").unwrap_err().contains("LIMIT"));
+        assert!(parse_request("QUERY 1 2 BOGUS").unwrap_err().contains("trailing"));
     }
 
     #[test]

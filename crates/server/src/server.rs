@@ -15,23 +15,26 @@
 //! close stalls admissions only for the microseconds its watermark
 //! barrier is held.
 
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tiresias_core::{
-    load_checkpoint, Admission, CheckpointEngine, IngestHandle, TiresiasBuilder,
-    DEFAULT_MAX_AHEAD_UNITS,
+    load_checkpoint, Admission, AnomalyEvent, CheckpointEngine, IngestHandle, ReportReader,
+    TiresiasBuilder, DEFAULT_MAX_AHEAD_UNITS,
 };
+use tiresias_hierarchy::{first_segment, first_segment_hash, CategoryPath, FxHashMap};
+use tiresias_sketch::SpaceSaving;
 
 use crate::error::ServerError;
 use crate::hub::Hub;
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
 use crate::signal;
 use crate::state::Inner;
 
@@ -40,6 +43,16 @@ const READ_POLL: Duration = Duration::from_millis(50);
 
 /// How often the scheduler thread reaps finished session threads.
 const SESSION_SWEEP: Duration = Duration::from_secs(1);
+
+/// Replay frames copied per state-lock acquisition during a
+/// `SUBSCRIBE FROM` catch-up (the lock is released between chunks so a
+/// long replay never stalls the scheduler).
+const REPLAY_CHUNK: usize = 256;
+
+/// Monitored top-level labels in the Space-Saving hot-path gauge.
+const TOP_PATHS_CAPACITY: usize = 32;
+/// Labels reported in `STATS top_paths=`.
+const TOP_PATHS_REPORTED: usize = 5;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -65,6 +78,11 @@ pub struct ServerConfig {
     /// records further ahead are refused with `ERR` and counted
     /// (`--max-ahead`, default [`DEFAULT_MAX_AHEAD_UNITS`]).
     pub max_ahead_units: u64,
+    /// Retention budget of the report store in closed timeunits
+    /// (`--retain-units`): the oldest units evict once exceeded.
+    /// `None` keeps whatever the engine (or a resumed checkpoint)
+    /// already has — unbounded for a fresh engine.
+    pub retain_units: Option<u64>,
     /// Checkpoint file: loaded on start if present, written on
     /// graceful shutdown.
     pub checkpoint: Option<PathBuf>,
@@ -87,10 +105,34 @@ impl ServerConfig {
             flush_records: 8192,
             subscriber_queue: 1024,
             max_ahead_units: DEFAULT_MAX_AHEAD_UNITS,
+            retain_units: None,
             checkpoint: None,
             handle_signals: false,
         }
     }
+}
+
+/// The Space-Saving top-k gauge over top-level path labels: a cheap
+/// answer to "what is hot right now" that costs one sketch update per
+/// admission batch, reported as `STATS top_paths=label:count|…`.
+struct TopPaths {
+    sketch: SpaceSaving,
+    /// Label text per monitored key hash (pruned alongside the
+    /// sketch's monitored set so churn cannot grow it unboundedly).
+    labels: HashMap<u64, String>,
+}
+
+impl TopPaths {
+    fn new() -> Self {
+        TopPaths { sketch: SpaceSaving::new(TOP_PATHS_CAPACITY), labels: HashMap::new() }
+    }
+}
+
+/// Per-batch state of the top-paths gauge: the batch's per-label
+/// aggregation slots (the per-record hash list lives in a session
+/// scratch buffer, reused across batches).
+struct PushGauge {
+    agg: FxHashMap<u64, (u64, String)>,
 }
 
 /// Shared flags and shutdown choreography.
@@ -107,9 +149,16 @@ struct Control {
 struct Shared {
     /// The concurrently shareable ingest front-end — the `PUSH` path.
     front: IngestHandle,
+    /// The read path: retained report store behind a read-mostly lock.
+    /// `QUERY` sessions read here directly — never through `inner` —
+    /// so queries contend only with the per-close merge, never with
+    /// admission.
+    reader: ReportReader,
     /// The serialized back-end (closes, drain, checkpoint, `STATS`).
     inner: Mutex<Inner>,
     hub: Hub,
+    /// Hot-path gauge (see [`TopPaths`]).
+    top: Mutex<TopPaths>,
     control: Control,
     queue_bound: usize,
     batch_cap: usize,
@@ -141,6 +190,58 @@ impl Shared {
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.control.addr);
         result
+    }
+
+    /// First half of the top-paths gauge update, run before admission
+    /// (which drains the batch): per-record label hashes plus a local
+    /// per-label aggregation slot. Fx-hashed — one cheap hash + probe
+    /// per record; one owned label copy per distinct label per batch.
+    fn prepare_push_gauge(&self, batch: &[(String, u64)], hashes: &mut Vec<u64>) -> PushGauge {
+        hashes.clear();
+        let mut agg: FxHashMap<u64, (u64, String)> = FxHashMap::default();
+        for (path, _) in batch {
+            let key = first_segment_hash(path);
+            hashes.push(key);
+            agg.entry(key).or_insert_with(|| (0, first_segment(path).unwrap_or("").to_string()));
+        }
+        PushGauge { agg }
+    }
+
+    /// Second half: counts only the records the engine actually
+    /// **accepted** (late/ahead/refused records must not climb the
+    /// hot-path gauge), then folds the batch's totals into the shared
+    /// sketch under one lock acquisition.
+    fn note_accepted(&self, mut gauge: PushGauge, hashes: &[u64], outcomes: &[Admission]) {
+        for (key, outcome) in hashes.iter().zip(outcomes) {
+            if *outcome == Admission::Accepted {
+                gauge.agg.get_mut(key).expect("every hash was seeded").0 += 1;
+            }
+        }
+        let mut top = self.top.lock().expect("top-paths lock never poisoned");
+        for (key, (count, label)) in gauge.agg {
+            if count == 0 {
+                continue;
+            }
+            top.sketch.add(key, count);
+            top.labels.entry(key).or_insert(label);
+        }
+        if top.labels.len() > TOP_PATHS_CAPACITY * 8 {
+            let keep: HashSet<u64> =
+                top.sketch.top(TOP_PATHS_CAPACITY).iter().map(|e| e.key).collect();
+            top.labels.retain(|key, _| keep.contains(key));
+        }
+    }
+
+    /// The `STATS top_paths=` value: the estimated-heaviest labels,
+    /// heaviest first.
+    fn top_paths_gauge(&self) -> String {
+        let top = self.top.lock().expect("top-paths lock never poisoned");
+        top.sketch
+            .top(TOP_PATHS_REPORTED)
+            .iter()
+            .map(|e| format!("{}:{}", top.labels.get(&e.key).map_or("?", String::as_str), e.count))
+            .collect::<Vec<_>>()
+            .join("|")
     }
 
     /// Why admissions are refused right now, for `ERR` replies.
@@ -203,6 +304,12 @@ impl Server {
             Some(engine) => engine,
             None => config.builder.clone().build_sharded().map_err(ServerError::Core)?,
         };
+        let mut engine = engine;
+        if config.retain_units.is_some() {
+            // Bound the report store before any traffic: the oldest
+            // closed units evict as soon as the budget is exceeded.
+            engine.store_mut().set_retention(config.retain_units);
+        }
         let live = engine.into_live(config.max_ahead_units).map_err(ServerError::Core)?;
 
         let listener = TcpListener::bind(&config.addr).map_err(ServerError::Io)?;
@@ -213,10 +320,13 @@ impl Server {
             inner.skip_stored_events();
         }
         let front = inner.handle();
+        let reader = inner.reader();
         let shared = Arc::new(Shared {
             front,
+            reader,
             inner: Mutex::new(inner),
             hub: Hub::default(),
+            top: Mutex::new(TopPaths::new()),
             control: Control {
                 stop: AtomicBool::new(false),
                 shutdown_started: AtomicBool::new(false),
@@ -399,6 +509,9 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
 
     let mut subscription: Option<u64> = None;
     let mut ack = true;
+    // Frames this session's subscriptions failed to receive when
+    // lag-dropped from the hub (surfaced as `STATS dropped_events=`).
+    let dropped_events = Arc::new(AtomicU64::new(0));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     // Consecutive `PUSH` lines already sitting in the read buffer are
@@ -408,6 +521,7 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
     // produced, so pipelined requests observe everything before them.
     let mut batch: Vec<(String, u64)> = Vec::new();
     let mut outcomes: Vec<Admission> = Vec::new();
+    let mut gauge_hashes: Vec<u64> = Vec::new();
     'session: loop {
         if shared.control.stop.load(Ordering::SeqCst) {
             break;
@@ -421,7 +535,14 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                     Ok(Some(Request::Push { path, t_secs })) => {
                         batch.push((path, t_secs));
                         if batch.len() >= shared.batch_cap
-                            && !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack)
+                            && !flush_push_batch(
+                                &mut batch,
+                                &mut outcomes,
+                                &mut gauge_hashes,
+                                shared,
+                                &tx,
+                                ack,
+                            )
                         {
                             break 'session;
                         }
@@ -433,10 +554,24 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                         // flip, a subscription) must observe — and its
                         // reply must follow — everything the client
                         // pipelined before it.
-                        if !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack) {
+                        if !flush_push_batch(
+                            &mut batch,
+                            &mut outcomes,
+                            &mut gauge_hashes,
+                            shared,
+                            &tx,
+                            ack,
+                        ) {
                             break 'session;
                         }
-                        Some(handle_request(other, shared, &tx, &mut subscription, &mut ack))
+                        Some(handle_request(
+                            other,
+                            shared,
+                            &tx,
+                            &mut subscription,
+                            &mut ack,
+                            &dropped_events,
+                        ))
                     }
                 };
                 if let Some(step) = step {
@@ -447,6 +582,7 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                             }
                         }
                         SessionStep::Reply(None) => {}
+                        SessionStep::Disconnect => break 'session,
                         SessionStep::Close(farewell) => {
                             let _ = tx.send(farewell);
                             break 'session;
@@ -463,7 +599,14 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                 // buffered; otherwise admit what we have and go back to
                 // the (possibly blocking) outer read.
                 if !reader.buffer().contains(&b'\n') {
-                    if !flush_push_batch(&mut batch, &mut outcomes, shared, &tx, ack) {
+                    if !flush_push_batch(
+                        &mut batch,
+                        &mut outcomes,
+                        &mut gauge_hashes,
+                        shared,
+                        &tx,
+                        ack,
+                    ) {
                         break 'session;
                     }
                     break;
@@ -497,6 +640,7 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
 fn flush_push_batch(
     batch: &mut Vec<(String, u64)>,
     outcomes: &mut Vec<Admission>,
+    gauge_hashes: &mut Vec<u64>,
     shared: &Shared,
     tx: &SyncSender<String>,
     ack: bool,
@@ -508,8 +652,10 @@ fn flush_push_batch(
     // may have drained the batch part-way, but every buffered record
     // still needs exactly one reply.
     let buffered = batch.len();
+    let gauge = shared.prepare_push_gauge(batch, gauge_hashes);
     match shared.front.admit_batch(batch, outcomes) {
         Ok(()) => {
+            shared.note_accepted(gauge, gauge_hashes, outcomes);
             for outcome in outcomes.drain(..) {
                 let reply = match outcome {
                     Admission::Accepted => {
@@ -545,6 +691,8 @@ const TOO_FAR_AHEAD: &str = "ERR record timestamp too far ahead of the open time
 enum SessionStep {
     /// Send the reply (if any) and keep reading.
     Reply(Option<String>),
+    /// The session's outbound queue is gone: stop without a farewell.
+    Disconnect,
     /// Send the farewell and close the session.
     Close(String),
     /// Acknowledge, start the daemon-wide graceful shutdown, close.
@@ -557,6 +705,7 @@ fn handle_request(
     tx: &SyncSender<String>,
     subscription: &mut Option<u64>,
     ack: &mut bool,
+    dropped_events: &Arc<AtomicU64>,
 ) -> SessionStep {
     let request = match parsed {
         Ok(Some(request)) => request,
@@ -567,21 +716,28 @@ fn handle_request(
         Request::Push { .. } => {
             unreachable!("PUSH is routed into the session batch by the caller")
         }
-        Request::Subscribe => {
-            // Re-registering (rather than keeping an existing id)
-            // matters after a lag-drop: the hub may have removed this
-            // session's queue, and `SUBSCRIBE` must revive the stream.
-            if let Some(old) = subscription.take() {
-                shared.hub.unsubscribe(old);
+        Request::Subscribe { from } => {
+            match subscribe_with_replay(from, shared, tx, subscription, dropped_events) {
+                Ok(()) => SessionStep::Reply(None),
+                Err(()) => SessionStep::Disconnect,
             }
-            *subscription = Some(shared.hub.subscribe(tx.clone()));
-            SessionStep::Reply(Some("OK subscribed".to_string()))
+        }
+        Request::Query { from_unit, to_unit, prefix, level, limit } => {
+            match answer_query(shared, tx, from_unit, to_unit, prefix, level, limit) {
+                Ok(()) => SessionStep::Reply(None),
+                Err(()) => SessionStep::Disconnect,
+            }
         }
         Request::Stats => {
+            let top_paths = shared.top_paths_gauge();
             let inner = shared.inner.lock().expect("state lock never poisoned");
             let line = match inner.fatal() {
                 Some(why) => format!("ERR {why}"),
-                None => inner.stats_line(&shared.hub),
+                None => inner.stats_line(
+                    &shared.hub,
+                    &top_paths,
+                    dropped_events.load(Ordering::Relaxed),
+                ),
             };
             SessionStep::Reply(Some(line))
         }
@@ -593,4 +749,112 @@ fn handle_request(
         Request::Quit => SessionStep::Close("BYE".to_string()),
         Request::Shutdown => SessionStep::Shutdown,
     }
+}
+
+/// Handles `SUBSCRIBE [FROM <unit>]`: re-registers the session with
+/// the hub — reviving a lag-dropped stream — after replaying retained
+/// history for a `FROM` catch-up.
+///
+/// The gap-free splice works in chunks: under the state lock (which
+/// serialises all broadcasts) a bounded slice of already-broadcast
+/// retained events is copied out; the lock is released while the
+/// chunk is written to the session queue (a slow client stalls only
+/// its own session thread); and once a chunk comes back empty with
+/// the replay caught up to the broadcast cursor, the subscription is
+/// registered **under that same lock acquisition** — no event can be
+/// broadcast between "replay is complete" and "live frames flow", and
+/// none is delivered twice.
+///
+/// Errs when the session's outbound queue is gone.
+fn subscribe_with_replay(
+    from: Option<u64>,
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    subscription: &mut Option<u64>,
+    dropped_events: &Arc<AtomicU64>,
+) -> Result<(), ()> {
+    if let Some(old) = subscription.take() {
+        shared.hub.unsubscribe(old);
+    }
+    let Some(from_unit) = from else {
+        // Live-only: the advertised resume unit and the hub
+        // registration must come from ONE lock acquisition (broadcasts
+        // run under the same lock), or a unit could close in between
+        // and its events — promised by `from=` — silently miss this
+        // subscriber. The floor doubles as a belt-and-braces filter.
+        let resume = {
+            let inner = shared.inner.lock().expect("state lock never poisoned");
+            let resume = inner.resume_unit(None);
+            *subscription =
+                Some(shared.hub.subscribe(tx.clone(), resume, Arc::clone(dropped_events)));
+            resume
+        };
+        return tx.send(format!("OK subscribed from={resume}")).map_err(drop);
+    };
+    let resume = {
+        let inner = shared.inner.lock().expect("state lock never poisoned");
+        inner.resume_unit(Some(from_unit))
+    };
+    // The reply leads so the client knows its actual resume point —
+    // later than requested when older history was already evicted —
+    // before the first replayed frame arrives. (The replay cursor is
+    // seq-based, so a close between this reply and the replay loop
+    // loses nothing.)
+    tx.send(format!("OK subscribed from={resume}")).map_err(drop)?;
+    let mut pos = 0u64;
+    loop {
+        let chunk = {
+            let inner = shared.inner.lock().expect("state lock never poisoned");
+            let (lines, next, done) = inner.replay_chunk(pos, from_unit, REPLAY_CHUNK);
+            if done && lines.is_empty() {
+                *subscription =
+                    Some(shared.hub.subscribe(tx.clone(), from_unit, Arc::clone(dropped_events)));
+                None
+            } else {
+                Some((lines, next))
+            }
+        };
+        let Some((lines, next)) = chunk else {
+            return Ok(());
+        };
+        pos = next;
+        for line in lines {
+            tx.send(line).map_err(drop)?;
+        }
+    }
+}
+
+/// Answers a `QUERY` straight off the report reader: `EVENT` frames
+/// for the matching retained events, then `OK n=<count>`. Never takes
+/// the state lock, so queries contend only with the per-close merge —
+/// never with admission or each other.
+///
+/// Errs when the session's outbound queue is gone.
+fn answer_query(
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    from_unit: u64,
+    to_unit: u64,
+    prefix: Option<String>,
+    level: Option<usize>,
+    limit: Option<usize>,
+) -> Result<(), ()> {
+    let prefix: Option<CategoryPath> =
+        prefix.map(|p| p.parse().expect("CategoryPath parsing is infallible"));
+    let limit = limit.unwrap_or(DEFAULT_QUERY_LIMIT).clamp(1, MAX_QUERY_LIMIT);
+    // Clone the matches out and format AFTER releasing the read lock:
+    // a large reply must not hold the lock against the scheduler's
+    // close merge for the formatting duration.
+    let events: Vec<AnomalyEvent> = shared.reader.with(|store| {
+        store
+            .query(from_unit, to_unit, prefix.as_ref(), level, limit)
+            .into_iter()
+            .cloned()
+            .collect()
+    });
+    let count = events.len();
+    for event in &events {
+        tx.send(crate::protocol::format_event(event)).map_err(drop)?;
+    }
+    tx.send(format!("OK n={count}")).map_err(drop)
 }

@@ -6,9 +6,14 @@
 //! [`tiresias_core::IngestHandle`] — routing, late/ahead validation
 //! against the atomic timeunit watermark and the per-shard ring
 //! hand-off all happen in `tiresias-core` without any server lock.
-//! What remains behind the [`Inner`] mutex is exactly the serialized
-//! back-end work: timeunit closes, event broadcasting, `STATS`
-//! composition, the shutdown drain and the checkpoint.
+//! The **read path** is lock-light too: `QUERY` sessions and
+//! `SUBSCRIBE FROM` replays read the engine's retained
+//! [`tiresias_core::ReportStore`] through a [`ReportReader`] — the
+//! read side of a read-mostly lock whose write side is taken only for
+//! the per-close merge, so queries never stall admission. What remains
+//! behind the [`Inner`] mutex is exactly the serialized back-end work:
+//! timeunit closes, event broadcasting, `STATS` composition, the
+//! shutdown drain and the checkpoint.
 //!
 //! # How live timeunits close
 //!
@@ -33,14 +38,15 @@
 //! stall only for the microseconds the watermark barrier is held, and
 //! records admitted before the flip land in their unit exactly (see
 //! the `tiresias_core::live` module docs for the barrier argument).
-//! Records of already-closed units are refused at admission with
-//! `LATE`; records of far-future units with `ERR` — both counted in
-//! the front-end's atomic counters.
+//! The newly final events land in the retained store and are broadcast
+//! by **global store sequence**: the broadcast cursor is a sequence
+//! number, which is also what lets a `SUBSCRIBE FROM` replay hand over
+//! to the live stream with no gap and no duplicate.
 
 use std::time::{Duration, Instant};
 
 use tiresias_core::{
-    save_sharded_checkpoint, CoreError, IngestHandle, LiveSharded, ShardedTiresias,
+    save_sharded_checkpoint, CoreError, IngestHandle, LiveSharded, ReportReader, ShardedTiresias,
 };
 
 use crate::hub::Hub;
@@ -56,6 +62,9 @@ pub(crate) struct Inner {
     /// source).
     drained: Option<ShardedTiresias>,
     handle: IngestHandle,
+    /// Read handle onto the retained report store (stays valid across
+    /// the drain).
+    reader: ReportReader,
     timeunit: u64,
     grace: Duration,
     /// Wall-clock instant the current open unit became current.
@@ -63,8 +72,9 @@ pub(crate) struct Inner {
     /// Watermark as of the last tick, to spot the first record (and
     /// any close) and re-anchor `open_since`.
     last_watermark: Option<u64>,
-    /// Events already broadcast (index into the merged store).
-    event_cursor: usize,
+    /// Broadcast cursor: the store sequence number up to which events
+    /// were already broadcast.
+    event_seq: u64,
     /// A non-recoverable engine error: reported to every client and
     /// surfaced through [`Inner::tick`] so the scheduler initiates the
     /// graceful shutdown (the final checkpoint then keeps the last
@@ -75,6 +85,7 @@ pub(crate) struct Inner {
 impl Inner {
     pub fn new(live: LiveSharded, grace: Duration) -> Self {
         let handle = live.handle();
+        let reader = live.reader();
         let timeunit = handle.timeunit_secs();
         // A resumed checkpoint has an open unit already; anchor its
         // wall-clock window at construction time.
@@ -83,11 +94,12 @@ impl Inner {
             live: Some(live),
             drained: None,
             handle,
+            reader,
             timeunit,
             grace,
             open_since: last_watermark.map(|_| Instant::now()),
             last_watermark,
-            event_cursor: 0,
+            event_seq: 0,
             fatal: None,
         }
     }
@@ -97,23 +109,22 @@ impl Inner {
         self.handle.clone()
     }
 
+    /// A read handle onto the retained report store (cheap clone; used
+    /// by `QUERY` sessions without ever taking the state lock).
+    pub fn reader(&self) -> ReportReader {
+        self.reader.clone()
+    }
+
     /// Resuming from a checkpoint: events stored before the restart
     /// were already delivered in the previous incarnation — only
-    /// broadcast what this run produces.
+    /// broadcast what this run produces. The retained history stays
+    /// queryable and replayable.
     pub fn skip_stored_events(&mut self) {
-        self.event_cursor = self.stored_events().len();
+        self.event_seq = self.reader.with(|s| s.next_seq());
     }
 
     pub fn fatal(&self) -> Option<&str> {
         self.fatal.as_deref()
-    }
-
-    fn stored_events(&self) -> &[tiresias_core::AnomalyEvent] {
-        match (&self.live, &self.drained) {
-            (Some(live), _) => live.anomalies(),
-            (None, Some(engine)) => engine.anomalies(),
-            _ => &[],
-        }
     }
 
     /// Scheduler tick: applies the two close rules from the module
@@ -182,14 +193,19 @@ impl Inner {
         }
     }
 
-    /// Broadcasts events the engine finalised since the last call.
+    /// Broadcasts events the engine finalised since the last call,
+    /// advancing the sequence cursor. Events evicted before they could
+    /// broadcast (a retention budget smaller than one close sweep)
+    /// are skipped; the store's eviction counter accounts for them.
     fn broadcast_new(&mut self, hub: &Hub) {
-        let events = self.stored_events();
-        if self.event_cursor < events.len() {
-            let lines: Vec<String> = events[self.event_cursor..].iter().map(format_event).collect();
-            self.event_cursor = events.len();
-            hub.broadcast(&lines);
-        }
+        let (frames, next_seq) = self.reader.with(|s| {
+            let (_skipped, tail) = s.events_from(self.event_seq);
+            let frames: Vec<(u64, String)> =
+                tail.iter().map(|e| (e.unit, format_event(e))).collect();
+            (frames, s.next_seq())
+        });
+        self.event_seq = next_seq;
+        hub.broadcast(&frames);
     }
 
     fn mark_fatal(&mut self, e: &CoreError) -> String {
@@ -202,13 +218,53 @@ impl Inner {
         why
     }
 
+    /// The unit a fresh subscription resumes from, for the
+    /// `OK subscribed from=<unit>` reply: the requested unit clamped to
+    /// the retained horizon, or the next unit to close for a live-only
+    /// subscribe.
+    pub fn resume_unit(&self, from: Option<u64>) -> u64 {
+        match from {
+            Some(f) => self.reader.with(|s| f.max(s.retained_from())),
+            None => self.reader.with(|s| s.last_closed_unit().map_or(0, |u| u + 1)),
+        }
+    }
+
+    /// Copies up to `max` retained replay frames for a `SUBSCRIBE FROM`
+    /// catch-up: events at store sequence `≥ pos` that were already
+    /// broadcast (sequence below the broadcast cursor) and belong to
+    /// units `≥ from_unit`. Returns the frames, the next cursor
+    /// position, and whether the replay has caught up with the live
+    /// broadcast horizon — at which point registering with the hub
+    /// under the same state lock splices the streams gap-free.
+    pub fn replay_chunk(&self, pos: u64, from_unit: u64, max: usize) -> (Vec<String>, u64, bool) {
+        self.reader.with(|s| {
+            // Skip the non-matching prefix via the store's unit index
+            // instead of scanning it — the state lock is held here.
+            let pos = pos.max(s.seq_lower_bound(from_unit));
+            let (skipped, tail) = s.events_from(pos);
+            let mut next = pos + skipped;
+            let mut lines = Vec::new();
+            for e in tail {
+                if next >= self.event_seq || lines.len() >= max {
+                    break;
+                }
+                if e.unit >= from_unit {
+                    lines.push(format_event(e));
+                }
+                next += 1;
+            }
+            (lines, next, next >= self.event_seq)
+        })
+    }
+
     /// Shutdown drain: admission stops (anything accepted after the
     /// final checkpoint would be acknowledged and then silently lost),
     /// every ring and held-back future record is fed — closing exactly
     /// the units the data itself closes, the last unit staying open so
     /// a restarted server resumes mid-unit — the final events are
     /// broadcast, and the engine reassembles into its offline form for
-    /// the checkpoint.
+    /// the checkpoint. The report store stays readable: `QUERY` keeps
+    /// answering from the retained history after the drain.
     pub fn drain(&mut self, hub: &Hub) -> Result<(), CoreError> {
         let Some(live) = self.live.take() else {
             return Ok(());
@@ -233,9 +289,11 @@ impl Inner {
     }
 
     /// One-line `STATS` reply (see the protocol docs). Reads only the
-    /// front-end's atomic gauges plus the back-end merge cursor — it
-    /// never stalls admission.
-    pub fn stats_line(&self, hub: &Hub) -> String {
+    /// front-end's atomic gauges, the report store's read lock and the
+    /// back-end merge cursor — it never stalls admission. `top_paths`
+    /// is the server's Space-Saving hot-path gauge and
+    /// `session_dropped` the requesting session's lost-event counter.
+    pub fn stats_line(&self, hub: &Hub, top_paths: &str, session_dropped: u64) -> String {
         let handle = &self.handle;
         let records = handle.admitted();
         let rps = match handle.first_admit_age() {
@@ -253,9 +311,20 @@ impl Inner {
             (None, Some(engine)) => engine.units_processed(),
             _ => 0,
         };
+        let (events, evicted, retained_units, retain, last_closed) = self.reader.with(|s| {
+            (
+                s.len(),
+                s.evicted_events(),
+                s.retained_unit_count(),
+                s.retention().map_or_else(|| "-".to_string(), |u| u.to_string()),
+                s.last_closed_unit().map_or_else(|| "-".to_string(), |u| u.to_string()),
+            )
+        });
         format!(
             "STATS records={} late={} ahead={} rps={:.1} pending={} open_unit={} open_records={} \
-             units={} shards={} shard_open={} rings={} events={} subs={} slow_drops={}",
+             units={} shards={} shard_open={} rings={} events={} events_evicted={} \
+             retained_units={} retain={} last_closed={} subscribers={} dropped_slow={} \
+             dropped_events={} top_paths={}",
             records,
             handle.late(),
             handle.ahead(),
@@ -267,9 +336,15 @@ impl Inner {
             handle.shard_count(),
             joined(&shard_open),
             joined(&rings),
-            self.stored_events().len(),
+            events,
+            evicted,
+            retained_units,
+            retain,
+            last_closed,
             hub.subscriber_count(),
             hub.dropped_slow(),
+            session_dropped,
+            if top_paths.is_empty() { "-" } else { top_paths },
         )
     }
 }
@@ -317,6 +392,8 @@ mod tests {
         assert_eq!(handle.watermark(), Some(1));
         assert_eq!(handle.ahead_max_unit(), None, "unit-1 record released");
         assert_eq!(handle.stashed_records().iter().sum::<u64>(), 0);
+        // The close landed in the retained store.
+        assert_eq!(s.reader().with(|store| store.last_closed_unit()), Some(0));
     }
 
     #[test]
@@ -347,24 +424,37 @@ mod tests {
         assert_eq!(handle.watermark(), Some(1));
         assert_eq!(handle.admit("a/x", 30).unwrap(), Admission::Late);
         assert_eq!(handle.late(), 1);
-        assert!(s.stats_line(&hub).contains("late=1"));
+        assert!(s.stats_line(&hub, "", 0).contains("late=1"));
     }
 
     #[test]
-    fn stats_reports_per_shard_gauges() {
+    fn stats_reports_per_shard_gauges_and_read_path_fields() {
         let hub = Hub::default();
         let s = inner(10_000);
         let handle = s.handle();
         handle.admit("a/x", 5).unwrap();
         handle.admit("a/x", 600).unwrap(); // unit 10: stashed ahead
-        let stats = s.stats_line(&hub);
+        let stats = s.stats_line(&hub, "a:2", 3);
         assert!(stats.contains("records=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
         assert!(stats.contains("shard_open="), "{stats}");
         assert!(stats.contains("rings="), "{stats}");
         assert!(stats.contains("open_unit=0"), "{stats}");
+        assert!(stats.contains("subscribers=0"), "{stats}");
+        assert!(stats.contains("dropped_slow=0"), "{stats}");
+        assert!(stats.contains("dropped_events=3"), "{stats}");
+        assert!(stats.contains("top_paths=a:2"), "{stats}");
+        assert!(stats.contains("retain=-"), "{stats}");
+        assert!(stats.contains("last_closed=-"), "{stats}");
         let depths = stats.split("rings=").nth(1).unwrap().split(' ').next().unwrap();
         assert_eq!(depths.split('|').count(), 2, "one ring depth per shard: {stats}");
+    }
+
+    #[test]
+    fn resume_unit_clamps_to_retained_history() {
+        let s = inner(10_000);
+        assert_eq!(s.resume_unit(None), 0, "nothing closed yet");
+        assert_eq!(s.resume_unit(Some(7)), 7, "nothing evicted yet");
     }
 
     #[test]
@@ -377,9 +467,10 @@ mod tests {
         s.drain(&hub).unwrap();
         assert!(matches!(handle.admit("a/x", 10), Err(CoreError::Closed)));
         let json = s.checkpoint_json().expect("drained engine serialises");
-        assert!(json.starts_with("{\"version\":2,\"kind\":\"sharded\""));
-        // STATS still answers after the drain.
-        assert!(s.stats_line(&hub).starts_with("STATS "));
+        assert!(json.starts_with("{\"version\":3,\"kind\":\"sharded\""));
+        // STATS and the report reader still answer after the drain.
+        assert!(s.stats_line(&hub, "", 0).starts_with("STATS "));
+        let _ = s.reader().with(|store| store.len());
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //!   records through the detector and print detected anomalies as CSV.
 //! * `serve` — run the live streaming-ingestion daemon: accept
 //!   concurrent TCP clients speaking the newline-delimited protocol
-//!   (`PUSH`/`SUBSCRIBE`/`STATS`/`SHUTDOWN`, see the README), close
-//!   timeunits on wall-clock time with a grace window for late
-//!   records, and checkpoint on graceful shutdown.
+//!   (`PUSH`/`SUBSCRIBE`/`QUERY`/`STATS`/`SHUTDOWN`, see the README),
+//!   close timeunits on wall-clock time with a grace window for late
+//!   records, retain a bounded queryable report store, and checkpoint
+//!   on graceful shutdown.
+//! * `query <addr> <from> <to>` — query a running daemon's retained
+//!   report store over the wire protocol and print the matching
+//!   anomalies as CSV (`--prefix <path>`, `--level <n>`,
+//!   `--limit <k>` narrow the result).
 //! * `demo` — run a self-contained synthetic demo (CCD hierarchy with
 //!   an injected outage) and print the detections plus an annotated
 //!   hierarchy rendering.
@@ -25,8 +30,10 @@
 //! takes `--shards`/`--batch` the same way plus `--addr <host:port>`,
 //! `--grace-ms <ms>`, `--tick-ms <ms>`, `--max-ahead <units>` (refuse
 //! records more than that many timeunits ahead of the open unit;
-//! default 1000) and `--checkpoint <file>` (loaded on start when
-//! present, written on graceful shutdown).
+//! default 1000), `--retain-units <n>` (cap the queryable report
+//! store at the newest n closed timeunits; omitted = unbounded) and
+//! `--checkpoint <file>` (loaded on start when present, written on
+//! graceful shutdown).
 //!
 //! Usage errors (unknown subcommands or flags, missing values) print
 //! the usage to stderr and exit with status 2; runtime errors (such as
@@ -56,6 +63,7 @@ struct Options {
     grace_ms: u64,
     tick_ms: u64,
     max_ahead: u64,
+    retain_units: Option<u64>,
     checkpoint: Option<String>,
 }
 
@@ -75,6 +83,7 @@ impl Default for Options {
             grace_ms: 5_000,
             tick_ms: 50,
             max_ahead: tiresias::core::DEFAULT_MAX_AHEAD_UNITS,
+            retain_units: None,
             checkpoint: None,
         }
     }
@@ -111,6 +120,9 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
             "--tick-ms" if serve => opts.tick_ms = parsed("--tick-ms", value("--tick-ms")?)?,
             "--max-ahead" if serve => {
                 opts.max_ahead = parsed("--max-ahead", value("--max-ahead")?)?;
+            }
+            "--retain-units" if serve => {
+                opts.retain_units = Some(parsed("--retain-units", value("--retain-units")?)?);
             }
             "--checkpoint" if serve => opts.checkpoint = Some(value("--checkpoint")?.clone()),
             other => return Err(format!("unknown option {other}")),
@@ -255,6 +267,7 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.tick = Duration::from_millis(opts.tick_ms.max(1));
     config.flush_records = opts.batch.max(1);
     config.max_ahead_units = opts.max_ahead;
+    config.retain_units = opts.retain_units;
     config.checkpoint = opts.checkpoint.clone().map(std::path::PathBuf::from);
     config.handle_signals = true;
     let resuming = config.checkpoint.as_deref().is_some_and(std::path::Path::exists);
@@ -276,6 +289,134 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     server.join()?;
     eprintln!("tiresias-server: drained; bye");
     Ok(())
+}
+
+/// Arguments of the `query` subcommand.
+#[derive(Debug)]
+struct QueryArgs {
+    addr: String,
+    from: u64,
+    to: u64,
+    prefix: Option<String>,
+    level: Option<usize>,
+    limit: Option<usize>,
+}
+
+fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
+    let [addr, from, to, flags @ ..] = args else {
+        return Err("query needs <addr> <from_unit> <to_unit>".to_string());
+    };
+    if addr.starts_with("--") {
+        return Err(format!("query needs an address argument, found flag `{addr}`"));
+    }
+    let from =
+        from.parse::<u64>().map_err(|e| format!("invalid value `{from}` for from_unit: {e}"))?;
+    let to = to.parse::<u64>().map_err(|e| format!("invalid value `{to}` for to_unit: {e}"))?;
+    let mut query =
+        QueryArgs { addr: addr.clone(), from, to, prefix: None, level: None, limit: None };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--prefix" => query.prefix = Some(value("--prefix")?.clone()),
+            "--level" => {
+                let raw = value("--level")?;
+                query.level = Some(
+                    raw.parse().map_err(|e| format!("invalid value `{raw}` for --level: {e}"))?,
+                );
+            }
+            "--limit" => {
+                let raw = value("--limit")?;
+                query.limit = Some(
+                    raw.parse().map_err(|e| format!("invalid value `{raw}` for --limit: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(query)
+}
+
+/// Issues one wire-protocol `QUERY` against a running daemon and
+/// prints the matching anomalies as CSV (the same schema and code path
+/// `detect` uses — `events_to_csv`), with the reply summary on stderr.
+fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+    let stream = std::net::TcpStream::connect(&args.addr)
+        .map_err(|e| format!("cannot connect to `{}`: {e}", args.addr))?;
+    let mut request = format!("QUERY {} {}", args.from, args.to);
+    if let Some(prefix) = &args.prefix {
+        request.push_str(&format!(" PREFIX {prefix}"));
+    }
+    if let Some(level) = args.level {
+        request.push_str(&format!(" LEVEL {level}"));
+    }
+    if let Some(limit) = args.limit {
+        request.push_str(&format!(" LIMIT {limit}"));
+    }
+    let mut write_half = stream.try_clone()?;
+    writeln!(write_half, "{request}")?;
+    let reader = std::io::BufReader::new(stream);
+    let mut events = Vec::new();
+    let mut count: Option<String> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("EVENT ") {
+            events.push(
+                event_from_frame(rest)
+                    .ok_or_else(|| format!("malformed EVENT frame from server: `{line}`"))?,
+            );
+        } else if line.starts_with("OK ") {
+            count = Some(line.to_string());
+            break;
+        } else if let Some(why) = line.strip_prefix("ERR ") {
+            return Err(format!("server refused the query: {why}").into());
+        } else {
+            return Err(format!("unexpected reply from server: `{line}`").into());
+        }
+    }
+    let summary = count.ok_or("server closed the connection before answering")?;
+    let _ = writeln!(write_half, "QUIT");
+    print!("{}", tiresias::core::events_to_csv(&events));
+    eprintln!("{} (units {}..={})", summary, args.from, args.to);
+    Ok(())
+}
+
+/// Parses one `EVENT key=value …` frame body back into an
+/// [`tiresias::core::AnomalyEvent`], so the CSV rendering is the one
+/// `events_to_csv` owns rather than a drifting copy. The node id is a
+/// placeholder — CSV rows don't carry it.
+fn event_from_frame(frame: &str) -> Option<tiresias::core::AnomalyEvent> {
+    // The path comes last and may contain spaces (and `=`); split it
+    // off first.
+    let (front, path) = frame.split_once(" path=")?;
+    let (mut unit, mut time, mut level, mut kind, mut actual, mut forecast) =
+        (None, None, None, None, None, None);
+    for pair in front.split_whitespace() {
+        let (key, val) = pair.split_once('=')?;
+        match key {
+            "unit" => unit = val.parse::<u64>().ok(),
+            "time" => time = val.parse::<u64>().ok(),
+            "level" => level = val.parse::<usize>().ok(),
+            "kind" => kind = val.parse::<tiresias::core::AnomalyKind>().ok(),
+            "actual" => actual = val.parse::<f64>().ok(),
+            "forecast" => forecast = val.parse::<f64>().ok(),
+            _ => {}
+        }
+    }
+    Some(tiresias::core::AnomalyEvent {
+        node: tiresias::hierarchy::Tree::new("All").root(),
+        path: path.parse().ok()?,
+        level: level?,
+        unit: unit?,
+        time_secs: time?,
+        actual: actual?,
+        forecast: forecast?,
+        kind: kind?,
+    })
 }
 
 fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -313,15 +454,21 @@ subcommands:
   detect <file.csv>   stream a CSV of `timestamp_secs,category/path`
                       records and print detected anomalies as CSV
   serve               run the live TCP streaming-ingestion daemon
+  query <addr> <from> <to>
+                      query a running daemon's retained report store
+                      and print the matching anomalies as CSV
   demo                run a self-contained synthetic demo
 
-detector options (all subcommands):
+detector options (detect/serve/demo):
   --timeunit s  --window n  --theta w  --season n  --rt x  --dt x
   --warmup n  --shards n  --batch n
 
 serve options:
   --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
-  --checkpoint file";
+  --retain-units n  --checkpoint file
+
+query options:
+  --prefix path  --level n  --limit k";
 
 /// Exit status 2 (like conventional CLIs) for usage errors, printing
 /// the usage to stderr; 1 for runtime failures.
@@ -350,6 +497,10 @@ fn main() {
         },
         Some((cmd, rest)) if cmd == "serve" => match parse_options(rest, true) {
             Ok(opts) => cmd_serve(&opts).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "query" => match parse_query_args(rest) {
+            Ok(args) => cmd_query(&args).map_or_else(run_error, |()| 0),
             Err(e) => usage_error(&e),
         },
         Some((cmd, rest)) if cmd == "demo" => match parse_options(rest, false) {

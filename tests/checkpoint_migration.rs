@@ -1,7 +1,8 @@
 //! The versioned checkpoint envelope: round-trips for both engines,
-//! and the v1 → v2 migration path — a pre-sharding checkpoint (no
-//! envelope, no `shards`/`root_isolation` builder fields) loads and
-//! continues the stream identically instead of erroring.
+//! and the legacy migration paths — a v1 pre-sharding checkpoint (no
+//! envelope, no `shards`/`root_isolation` builder fields) and a v2
+//! event-list report store both load and continue the stream
+//! identically instead of erroring.
 
 use tiresias::core::{
     load_checkpoint, save_checkpoint, CheckpointEngine, CoreError, TiresiasBuilder,
@@ -92,10 +93,76 @@ fn sharded_envelope_round_trips_mid_stream() {
     assert_eq!(reference.units_processed(), resumed.units_processed());
 }
 
+/// Rewrites a current engine checkpoint into its v2 shape: the merged
+/// report store becomes the old bare `{"events": [...]}` list, the
+/// report tree moves back out to the engine-level `report_tree` field
+/// (which v3 loaders must ignore), and every shard-internal store
+/// collapses to its event list too.
+fn as_v2_sharded(engine: &tiresias::core::ShardedTiresias) -> String {
+    let mut json = serde_json::to_string(engine).unwrap();
+    let store_json = serde_json::to_string(engine.store()).unwrap();
+    let events_json = serde_json::to_string(&engine.store().events().to_vec()).unwrap();
+    let tree_json = serde_json::to_string(engine.tree()).unwrap();
+    let legacy = format!("\"report_tree\":{tree_json},\"store\":{{\"events\":{events_json}}}");
+    let modern = format!("\"store\":{store_json}");
+    assert!(json.contains(&modern), "merged store serialises in place");
+    json = json.replace(&modern, &legacy);
+    for shard in engine.shards() {
+        let shard_store = serde_json::to_string(shard.store()).unwrap();
+        let shard_events = serde_json::to_string(&shard.store().events().to_vec()).unwrap();
+        json = json.replace(
+            &format!("\"store\":{shard_store}"),
+            &format!("\"store\":{{\"events\":{shard_events}}}"),
+        );
+    }
+    format!("{{\"version\":2,\"kind\":\"sharded\",\"engine\":{json}}}")
+}
+
+#[test]
+fn v2_sharded_checkpoint_loads_and_continues_identically() {
+    let records: Vec<(String, u64)> = (0..10u64)
+        .flat_map(|u| {
+            let burst = if u == 8 { 120 } else { 12 };
+            (0..burst).flat_map(move |i| {
+                [("TV/NoService".to_string(), u * 900 + i), ("Net/Slow".to_string(), u * 900 + i)]
+            })
+        })
+        .collect();
+    let split = records.iter().position(|&(_, t)| t >= 6 * 900).unwrap();
+
+    let mut reference = builder().shards(3).build_sharded().unwrap();
+    reference.push_batch(&records).unwrap();
+    reference.advance_to(10 * 900).unwrap();
+
+    let mut engine = builder().shards(3).build_sharded().unwrap();
+    engine.push_batch(&records[..split]).unwrap();
+    let v2 = as_v2_sharded(&engine);
+    let CheckpointEngine::Sharded(mut resumed) = load_checkpoint(&v2).expect("v2 loads") else {
+        panic!("expected a sharded engine");
+    };
+    resumed.push_batch(&records[split..]).unwrap();
+    resumed.advance_to(10 * 900).unwrap();
+
+    // The migrated store answers the indexed queries, and the stream
+    // continues exactly as an uninterrupted engine.
+    assert_eq!(reference.anomalies(), resumed.anomalies());
+    assert!(!reference.anomalies().is_empty(), "the burst is detected");
+    assert_eq!(reference.heavy_hitter_paths(), resumed.heavy_hitter_paths());
+    let prefix: tiresias::hierarchy::CategoryPath = "TV".parse().unwrap();
+    assert_eq!(
+        reference.store().under(&prefix).count(),
+        resumed.store().under(&prefix).count(),
+        "the rebuilt prefix index answers like the native one"
+    );
+    // Re-saving writes the current envelope.
+    let resaved = save_checkpoint(&CheckpointEngine::Sharded(resumed));
+    assert!(resaved.starts_with(&format!("{{\"version\":{CHECKPOINT_VERSION},")));
+}
+
 #[test]
 fn unsupported_and_malformed_checkpoints_fail_clearly() {
-    let err = load_checkpoint("{\"version\":3,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
+    let err = load_checkpoint("{\"version\":4,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
     assert!(matches!(err, CoreError::Checkpoint(_)));
-    assert!(err.to_string().contains("version 3"));
+    assert!(err.to_string().contains("version 4"));
     assert!(matches!(load_checkpoint("{nope"), Err(CoreError::Checkpoint(_))));
 }

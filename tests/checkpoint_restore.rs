@@ -159,6 +159,6 @@ fn anomaly_events_serialise_to_json() {
     assert!(!d.anomalies().is_empty());
     let json = serde_json::to_string_pretty(d.store()).expect("serialises");
     assert!(json.contains("\"path\""));
-    let restored: tiresias::core::EventStore = serde_json::from_str(&json).expect("deserialises");
+    let restored: tiresias::core::ReportStore = serde_json::from_str(&json).expect("deserialises");
     assert_eq!(&restored, d.store());
 }
