@@ -17,7 +17,14 @@
 //!   without per-record replies (the operational bulk-feed mode);
 //! * `acked` — every `PUSH` is acknowledged with `OK`, which bounds
 //!   the protocol's chatty lower end (clients pipeline writes and
-//!   drain replies on a separate thread).
+//!   drain replies on a separate thread);
+//! * `acked_wal` — the acked run with `--data-dir` durability on the
+//!   default `--wal-sync interval` policy: every admitted batch is
+//!   also encoded and appended to the write-ahead log under the
+//!   admission gate, with a background fsync cadence. The gap between
+//!   `acked` and `acked_wal` is the price of crash safety; CI gates it
+//!   (`perf_guard … modes.acked.records_per_sec 25
+//!   modes.acked_wal.records_per_sec`).
 //!
 //! The `acked` mode additionally runs a **client-count sweep** (1, 2
 //! and 4 concurrent clients over the same total record count) — the
@@ -113,6 +120,8 @@ struct ModeReport {
 struct ModesReport {
     noack: ModeReport,
     acked: ModeReport,
+    /// The acked run with WAL durability (`--wal-sync interval`).
+    acked_wal: ModeReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -125,6 +134,9 @@ struct Report {
     /// Acked-mode client-count sweep over the same total record count
     /// (the multi-client scaling of the lock-free admission path).
     acked_scaling: Vec<ModeReport>,
+    /// Throughput drop of `acked_wal` relative to `acked`, percent
+    /// (positive = the WAL cost something).
+    wal_drop_pct: f64,
     /// Anomaly events the live subscriber received (≥ 1 required).
     subscribed_events: usize,
     /// Final `STATS` line of the `noack` run.
@@ -144,20 +156,34 @@ struct ConfigReport {
 }
 
 /// One measured run; returns (wall seconds, subscribed event count,
-/// stats line, checkpoint_versioned).
-fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usize, String, bool) {
+/// stats line, checkpoint_versioned). With `durable`, the server runs
+/// a `--data-dir` (fresh per run) on the default interval WAL-sync
+/// policy — the crash-safe configuration.
+fn run_mode(
+    noack: bool,
+    durable: bool,
+    payloads: &[Vec<String>],
+    records: usize,
+) -> (f64, usize, String, bool) {
     let clients = payloads.len();
-    let ckpt = std::env::temp_dir().join(format!(
-        "bench-serve-{}-{}-{}.ckpt",
-        std::process::id(),
-        if noack { "noack" } else { "acked" },
-        clients,
-    ));
+    let tag = match (noack, durable) {
+        (true, _) => "noack",
+        (false, false) => "acked",
+        (false, true) => "acked-wal",
+    };
+    let ckpt = std::env::temp_dir()
+        .join(format!("bench-serve-{}-{tag}-{clients}.ckpt", std::process::id(),));
     let _ = std::fs::remove_file(&ckpt);
+    let data_dir = std::env::temp_dir()
+        .join(format!("bench-serve-{}-{tag}-{clients}.data", std::process::id(),));
+    let _ = std::fs::remove_dir_all(&data_dir);
     let mut config = ServerConfig::new(builder());
     config.grace = Duration::from_millis(GRACE_MS);
     config.tick = Duration::from_millis(20);
     config.checkpoint = Some(ckpt.clone());
+    if durable {
+        config.data_dir = Some(data_dir.clone());
+    }
     let server = Server::start(config).expect("server starts");
     let addr = server.local_addr();
 
@@ -241,6 +267,7 @@ fn run_mode(noack: bool, payloads: &[Vec<String>], records: usize) -> (f64, usiz
         .map(|json| json.contains(&format!("\"version\":{CHECKPOINT_VERSION}")))
         .unwrap_or(false);
     let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_dir_all(&data_dir);
     (wall, events, stats, checkpoint_versioned)
 }
 
@@ -253,7 +280,7 @@ fn main() {
     let mut acked_scaling = Vec::new();
     for clients in [1usize, 2, CLIENTS] {
         let (records, payloads) = client_payloads(clients);
-        let (wall, _, _, _) = run_mode(false, &payloads, records);
+        let (wall, _, _, _) = run_mode(false, false, &payloads, records);
         acked_scaling.push(ModeReport {
             clients,
             records,
@@ -263,8 +290,20 @@ fn main() {
     }
     let acked = acked_scaling.last().expect("sweep measured the full client count").clone();
 
+    // The same acked run with WAL durability: the crash-safety price.
     let (records, payloads) = client_payloads(CLIENTS);
-    let (noack_wall, events, stats, checkpoint_versioned) = run_mode(true, &payloads, records);
+    let (wal_wall, _, _, _) = run_mode(false, true, &payloads, records);
+    let acked_wal = ModeReport {
+        clients: CLIENTS,
+        records,
+        wall_seconds: wal_wall,
+        records_per_sec: records as f64 / wal_wall,
+    };
+    let wal_drop_pct = (1.0 - acked_wal.records_per_sec / acked.records_per_sec) * 100.0;
+
+    let (records, payloads) = client_payloads(CLIENTS);
+    let (noack_wall, events, stats, checkpoint_versioned) =
+        run_mode(true, false, &payloads, records);
     assert!(events >= 1, "the subscriber saw the injected burst");
 
     let report = Report {
@@ -287,8 +326,10 @@ fn main() {
                 records_per_sec: records as f64 / noack_wall,
             },
             acked,
+            acked_wal,
         },
         acked_scaling,
+        wal_drop_pct,
         subscribed_events: events,
         stats,
         clean_shutdown: true,

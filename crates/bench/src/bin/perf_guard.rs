@@ -5,7 +5,7 @@
 //! by more than the allowed percentage:
 //!
 //! ```text
-//! perf_guard <baseline.json> <fresh.json> <dotted.metric.path> <max_drop_pct>
+//! perf_guard <baseline.json> <fresh.json> <dotted.metric.path> <max_drop_pct> [fresh.path]
 //! perf_guard BENCH_ingest.json /tmp/bench_ingest.json str_path.records_per_sec 25
 //! ```
 //!
@@ -16,6 +16,15 @@
 //! baseline from a CI run (the report's `generated_by` command) rather
 //! than widening the allowance. The dotted path walks JSON maps (e.g.
 //! `str_path.records_per_sec`).
+//!
+//! The optional fifth argument reads a *different* metric path from
+//! the fresh file, for same-host ratio gates where both numbers come
+//! from one run — e.g. the WAL durability tax on acked admission:
+//!
+//! ```text
+//! perf_guard /tmp/s.json /tmp/s.json modes.acked.records_per_sec 25 \
+//!     modes.acked_wal.records_per_sec
+//! ```
 
 use std::process::ExitCode;
 
@@ -35,28 +44,32 @@ fn metric(file: &str, path: &str) -> Result<f64, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_file, fresh_file, path, max_drop_pct] = args.as_slice() else {
-        return Err(
-            "usage: perf_guard <baseline.json> <fresh.json> <dotted.metric.path> <max_drop_pct>"
-                .into(),
-        );
+    let (baseline_file, fresh_file, path, max_drop_pct, fresh_path) = match args.as_slice() {
+        [b, f, p, d] => (b, f, p, d, p),
+        [b, f, p, d, fp] => (b, f, p, d, fp),
+        _ => {
+            return Err("usage: perf_guard <baseline.json> <fresh.json> <dotted.metric.path> \
+                        <max_drop_pct> [fresh.metric.path]"
+                .into());
+        }
     };
     let max_drop: f64 =
         max_drop_pct.parse().map_err(|e| format!("max_drop_pct `{max_drop_pct}`: {e}"))?;
     let baseline = metric(baseline_file, path)?;
-    let fresh = metric(fresh_file, path)?;
+    let fresh = metric(fresh_file, fresh_path)?;
     if !(baseline.is_finite() && baseline > 0.0) {
         return Err(format!("baseline {path} = {baseline} is not a positive number"));
     }
+    let label = if fresh_path == path { path.clone() } else { format!("{path} → {fresh_path}") };
     let floor = baseline * (1.0 - max_drop / 100.0);
     let change_pct = (fresh / baseline - 1.0) * 100.0;
     eprintln!(
-        "{path}: baseline {baseline:.0}, fresh {fresh:.0} ({change_pct:+.1}%), floor {floor:.0} \
+        "{label}: baseline {baseline:.0}, fresh {fresh:.0} ({change_pct:+.1}%), floor {floor:.0} \
          (−{max_drop}%)"
     );
     if fresh < floor {
         return Err(format!(
-            "{path} regressed more than {max_drop}%: {fresh:.0} < floor {floor:.0} \
+            "{label} regressed more than {max_drop}%: {fresh:.0} < floor {floor:.0} \
              (baseline {baseline:.0})"
         ));
     }

@@ -92,6 +92,43 @@ pub fn save_sharded_checkpoint(engine: &ShardedTiresias) -> String {
     envelope("sharded", &serde_json::to_string(engine).expect("engine state serialises"))
 }
 
+/// [`save_sharded_checkpoint`] with a WAL watermark recorded in the
+/// envelope: `wal_seq` is the last WAL sequence whose effects this
+/// checkpoint already contains, so recovery replays only entries
+/// **after** it. Loaders without WAL support ignore the extra field
+/// (the envelope is read key-by-key), so this needs no version bump.
+pub fn save_sharded_checkpoint_with_wal(engine: &ShardedTiresias, wal_seq: u64) -> String {
+    let engine_json = serde_json::to_string(engine).expect("engine state serialises");
+    format!(
+        "{{\"version\":{CHECKPOINT_VERSION},\"kind\":\"sharded\",\"wal_seq\":{wal_seq},\
+         \"engine\":{engine_json}}}"
+    )
+}
+
+/// [`load_checkpoint`] plus the durability metadata: the restored
+/// engine and the envelope's `wal_seq` watermark (`None` for
+/// checkpoints written without a WAL).
+///
+/// # Errors
+///
+/// Exactly as [`load_checkpoint`], plus a malformed `wal_seq` field.
+pub fn load_checkpoint_meta(json: &str) -> Result<(CheckpointEngine, Option<u64>), CoreError> {
+    let value = serde_json::parse_value(json)
+        .map_err(|e| CoreError::Checkpoint(format!("malformed checkpoint JSON: {e}")))?;
+    let wal_seq = match map_get(&value, "wal_seq") {
+        None => None,
+        Some(Value::U64(v)) => Some(*v),
+        Some(Value::I64(v)) if *v >= 0 => Some(*v as u64),
+        Some(other) => {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint `wal_seq` must be a non-negative integer, found {}",
+                other.kind()
+            )));
+        }
+    };
+    Ok((load_checkpoint(json)?, wal_seq))
+}
+
 fn envelope(kind: &str, engine_json: &str) -> String {
     // The envelope is spliced as text: the vendored mini-serde `Value`
     // has no `Serialize` impl of its own, and the engine body is
@@ -316,6 +353,22 @@ mod tests {
         let resaved = save_checkpoint(&CheckpointEngine::Single(restored));
         assert!(resaved.contains("\"shards\":1"));
         assert!(resaved.contains("\"root_isolation\":false"));
+    }
+
+    #[test]
+    fn wal_watermark_round_trips_and_stays_optional() {
+        let engine = builder().shards(2).build_sharded().unwrap();
+        let json = save_sharded_checkpoint_with_wal(&engine, 42);
+        assert!(json.contains("\"wal_seq\":42"));
+        // Plain load ignores the extra field entirely.
+        assert!(matches!(load_checkpoint(&json).unwrap(), CheckpointEngine::Sharded(_)));
+        let (restored, wal_seq) = load_checkpoint_meta(&json).unwrap();
+        assert!(matches!(restored, CheckpointEngine::Sharded(_)));
+        assert_eq!(wal_seq, Some(42));
+        // A WAL-less checkpoint reports no watermark.
+        let plain = save_sharded_checkpoint(&engine);
+        let (_, wal_seq) = load_checkpoint_meta(&plain).unwrap();
+        assert_eq!(wal_seq, None);
     }
 
     #[test]

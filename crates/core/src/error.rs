@@ -22,6 +22,11 @@ pub enum CoreError {
     /// The live engine is closed (draining for shutdown); no further
     /// records are admitted.
     Closed,
+    /// A durability operation (WAL append or segment spill) failed;
+    /// the engine refuses further admissions rather than acknowledge
+    /// records it can no longer make durable. Carries the rendered
+    /// `io::Error` (which is neither `Clone` nor `PartialEq`).
+    Durability(String),
     /// An error bubbled up from the heavy hitter tracker.
     Hhh(HhhError),
     /// An error bubbled up from the hierarchy.
@@ -40,6 +45,7 @@ impl fmt::Display for CoreError {
             CoreError::Closed => {
                 write!(f, "the live engine is closed; no further records are admitted")
             }
+            CoreError::Durability(why) => write!(f, "durability error: {why}"),
             CoreError::Hhh(e) => write!(f, "heavy hitter tracker error: {e}"),
             CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
         }

@@ -102,29 +102,38 @@ mod counts;
 mod detector;
 mod error;
 mod export;
+mod fault;
 mod live;
 mod metrics;
 mod record;
 mod reference_method;
 mod ring;
+mod segments;
 mod sharded;
 mod store;
+mod wal;
 
 pub use anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
 pub use builder::{Algorithm, TiresiasBuilder};
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, save_sharded_checkpoint, save_single_checkpoint,
-    CheckpointEngine, CHECKPOINT_VERSION,
+    load_checkpoint, load_checkpoint_meta, save_checkpoint, save_sharded_checkpoint,
+    save_sharded_checkpoint_with_wal, save_single_checkpoint, CheckpointEngine, CHECKPOINT_VERSION,
 };
 pub use detector::Tiresias;
 pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};
+pub use fault::FaultFs;
 pub use live::{Admission, IngestHandle, LiveSharded, ReportReader, DEFAULT_MAX_AHEAD_UNITS};
 pub use metrics::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};
+pub use segments::{SegmentStore, DEFAULT_SEGMENT_BYTES};
 pub use sharded::{ShardRouter, ShardedTiresias};
 pub use store::ReportStore;
+pub use wal::{
+    encode_record, read_wal, Wal, WalEntry, WalRecovery, WalSyncPolicy, DEFAULT_WAL_SEGMENT_BYTES,
+    FRAME_HEADER_BYTES,
+};
 
 // Re-export the pieces callers need to configure the detector.
 pub use tiresias_hhh::{HhhConfig, MemoryReport, ModelSpec, SplitRule, StageTimings};

@@ -60,8 +60,12 @@ use crate::builder::TiresiasBuilder;
 use crate::detector::Tiresias;
 use crate::error::CoreError;
 use crate::ring::ShardRing;
+use crate::segments::SegmentStore;
 use crate::sharded::{ShardRouter, ShardedParts, ShardedTiresias};
 use crate::store::ReportStore;
+use crate::wal::{encode_record, Wal};
+
+use tiresias_hierarchy::CategoryPath;
 
 /// Default bound on how many timeunits ahead of the open unit a record
 /// may be. Catches unit confusion (e.g. millisecond timestamps where
@@ -165,6 +169,13 @@ struct FrontShared {
     open_records: Vec<AtomicU64>,
     /// Future records stashed per shard (gauge).
     stashed: Vec<AtomicU64>,
+    /// Write-ahead log of admitted batches and close barriers, `None`
+    /// when the engine runs without durability. Appends happen under
+    /// the same gate acquisition as the watermark read / ring write,
+    /// so WAL order agrees with barrier order: every batch frame
+    /// admitted against watermark `W` precedes the close frame that
+    /// closes `W`.
+    wal: Option<Arc<Wal>>,
 }
 
 impl FrontShared {
@@ -259,6 +270,7 @@ impl IngestHandle {
         let mut chunks: Vec<Vec<(String, u64)>> = vec![Vec::new(); s.rings.len()];
         let (mut n_accepted, mut n_late, mut n_ahead) = (0u64, 0u64, 0u64);
         let mut future_max: Option<u64> = None;
+        let mut wal_buf: Vec<u8> = Vec::new();
         for (path, t) in records.drain(..) {
             let unit = t / s.timeunit;
             let outcome =
@@ -273,10 +285,28 @@ impl IngestHandle {
                     if unit > wm {
                         future_max = Some(future_max.map_or(unit, |m| m.max(unit)));
                     }
+                    if s.wal.is_some() {
+                        encode_record(&mut wal_buf, &path, t);
+                    }
                     chunks[s.router.route(&path)].push((path, t));
                     Admission::Accepted
                 };
             outcomes.push(outcome);
+        }
+        // Log the accepted records before any ring sees them: a record
+        // a worker processed but the WAL missed could be acknowledged
+        // yet lost on restart. The append fails the whole batch before
+        // anything was enqueued, so nothing half-durable leaks; the
+        // engine then closes rather than acknowledge records it cannot
+        // persist (mirroring the shard-poison policy).
+        if n_accepted > 0 {
+            if let Some(wal) = &s.wal {
+                if let Err(e) = wal.append_batch_raw(&wal_buf, n_accepted as u32) {
+                    s.poisoned.store(true, Ordering::SeqCst);
+                    s.closed.store(true, Ordering::SeqCst);
+                    return Err(CoreError::Durability(format!("WAL append failed: {e}")));
+                }
+            }
         }
         // Enqueue while still holding the gate: this is what guarantees
         // records admitted against watermark `wm` precede any barrier
@@ -434,6 +464,10 @@ impl IngestHandle {
 #[derive(Clone)]
 pub struct ReportReader {
     store: Arc<RwLock<ReportStore>>,
+    /// Disk-backed archive of evicted history (`None` without a data
+    /// dir): events the retention budget spilled out of RAM, still
+    /// reachable through [`ReportReader::query_merged`].
+    segments: Option<Arc<SegmentStore>>,
 }
 
 impl ReportReader {
@@ -443,6 +477,62 @@ impl ReportReader {
     /// admission.
     pub fn with<R>(&self, f: impl FnOnce(&ReportStore) -> R) -> R {
         f(&self.store.read().expect("report lock never poisoned"))
+    }
+
+    /// The disk-backed archive tier, if this reader has one.
+    pub fn archive(&self) -> Option<&SegmentStore> {
+        self.segments.as_deref()
+    }
+
+    /// The combined read-path query across both tiers: archived
+    /// segments answer the portion of `[from_unit, to_unit]`
+    /// (inclusive) older than the RAM store's retained range, the RAM
+    /// store answers the rest, and the concatenation preserves
+    /// `(unit, path)` order. Without an archive this is exactly
+    /// [`ReportStore::query`]. The tiers are disjoint by construction
+    /// — the archive is only consulted below
+    /// [`ReportStore::retained_from`], and retention evicts whole unit
+    /// blocks only after they were spilled — so no event is returned
+    /// twice or silently lost during the handoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] when reading the archive
+    /// fails (missing file, CRC mismatch).
+    pub fn query_merged(
+        &self,
+        from_unit: u64,
+        to_unit: u64,
+        prefix: Option<&CategoryPath>,
+        level: Option<usize>,
+        limit: usize,
+    ) -> Result<Vec<AnomalyEvent>, CoreError> {
+        let mut out: Vec<AnomalyEvent> = Vec::new();
+        if let Some(seg) = &self.segments {
+            let ram_from = self.with(|s| s.retained_from());
+            if from_unit < ram_from {
+                let pfx = prefix.map(|p| p.to_string());
+                out = seg
+                    .query(
+                        from_unit,
+                        to_unit.min(ram_from.saturating_sub(1)),
+                        pfx.as_deref(),
+                        level,
+                        limit,
+                    )
+                    .map_err(|e| CoreError::Durability(format!("segment query failed: {e}")))?;
+            }
+        }
+        if out.len() < limit {
+            let room = limit - out.len();
+            out.extend(self.with(|s| {
+                s.query(from_unit, to_unit, prefix, level, room)
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            }));
+        }
+        Ok(out)
     }
 }
 
@@ -463,6 +553,10 @@ struct LiveInner {
     /// The merged report store, shared with every [`ReportReader`]:
     /// the back-end writes at closes, readers query concurrently.
     store: Arc<RwLock<ReportStore>>,
+    /// Disk-backed archive the retention budget spills into (`None`
+    /// without a data dir). With a spill tier, eviction is two-phase:
+    /// stage the over-budget prefix, persist it, only then free it.
+    spill: Option<Arc<SegmentStore>>,
     pending: Vec<AnomalyEvent>,
     busy_nanos: Vec<u64>,
     router_nanos: u64,
@@ -532,6 +626,7 @@ impl LiveSharded {
     pub(crate) fn from_engine(
         mut engine: ShardedTiresias,
         max_ahead_units: u64,
+        wal: Option<Arc<Wal>>,
     ) -> Result<LiveSharded, CoreError> {
         // Every unit the scheduler can derive from an admissible
         // watermark must stay below the sentinel and multiply by the
@@ -578,6 +673,7 @@ impl LiveSharded {
                 .map(|s| AtomicU64::new(s.open_records() as u64))
                 .collect(),
             stashed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wal,
         });
         let (tx, rx) = channel();
         let workers = parts
@@ -597,6 +693,7 @@ impl LiveSharded {
                 acks: rx,
                 builder: parts.builder,
                 store: Arc::new(RwLock::new(parts.store)),
+                spill: None,
                 pending: parts.pending,
                 busy_nanos: parts.busy_nanos,
                 router_nanos: parts.router_nanos,
@@ -650,7 +747,37 @@ impl LiveSharded {
     /// never stall admission. The handle stays valid (and keeps
     /// serving the retained history) after [`LiveSharded::finish`].
     pub fn reader(&self) -> ReportReader {
-        ReportReader { store: Arc::clone(&self.inner().store) }
+        ReportReader {
+            store: Arc::clone(&self.inner().store),
+            segments: self.inner().spill.clone(),
+        }
+    }
+
+    /// Attaches a disk-backed archive tier: from now on, retention
+    /// eviction is two-phase (spill the over-budget prefix into `seg`,
+    /// then free it from RAM), and readers obtained **after** this
+    /// call answer queries across both tiers. Call before handing out
+    /// [`LiveSharded::reader`]s.
+    pub fn set_spill(&mut self, seg: Arc<SegmentStore>) {
+        let inner = self.inner.as_mut().expect("live engine present until finish");
+        inner.spill = Some(seg);
+    }
+
+    /// Sets the report store's retention budget, spill-aware: with an
+    /// archive tier attached, any immediately over-budget history is
+    /// spilled to disk before it is freed (the plain
+    /// [`ReportStore::set_retention`] would evict it inline and drop
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Durability`] when the spill fails; the
+    /// over-budget history then stays in RAM.
+    pub fn set_retention(&mut self, units: Option<u64>) -> Result<(), CoreError> {
+        let inner = self.inner.as_mut().expect("live engine present until finish");
+        let mut store = inner.store.write().expect("report lock never poisoned");
+        store.set_retention_deferred(units);
+        spill_and_apply(inner.spill.as_deref(), &mut store)
     }
 
     /// Flips the epoch barrier: every unit in `[watermark, target)`
@@ -680,6 +807,16 @@ impl LiveSharded {
             }
             if target <= wm {
                 return Ok(Some(wm));
+            }
+            // Log the barrier before flipping the watermark: replay
+            // must close exactly the units the original run closed
+            // (closing an empty unit can itself emit Drop anomalies),
+            // and a close the WAL missed would diverge. On failure the
+            // watermark stays put — the close simply did not happen.
+            if let Some(wal) = &s.wal {
+                if let Err(e) = wal.append_close(target) {
+                    return Err(CoreError::Durability(format!("WAL close append failed: {e}")));
+                }
             }
             inner.seq += 1;
             s.watermark.store(target, Ordering::SeqCst);
@@ -872,10 +1009,42 @@ fn collect_acks(
             store.insert(event);
         }
         if let Some(unit) = closed_to {
-            store.note_closed(unit);
+            store.record_closed(unit);
+            if let Err(e) = spill_and_apply(inner.spill.as_deref(), &mut store) {
+                // The over-budget history stays in RAM (never
+                // drop-then-spill); admissions close so no further
+                // records are acknowledged against a store that can no
+                // longer bound itself durably.
+                inner.shared.poisoned.store(true, Ordering::SeqCst);
+                inner.shared.closed.store(true, Ordering::SeqCst);
+                first_err.get_or_insert(e);
+            }
         }
     }
     Ok(first_err)
+}
+
+/// The two-phase retention handoff: persist the over-budget prefix
+/// into the spill tier (if any), and free it from RAM only once the
+/// spill succeeded. Without a spill tier this is plain retention
+/// eviction. On spill failure the prefix stays in RAM — an event is
+/// never unreachable during the handoff.
+fn spill_and_apply(spill: Option<&SegmentStore>, store: &mut ReportStore) -> Result<(), CoreError> {
+    if let Some(seg) = spill {
+        let staged = {
+            let (first_seq, slice) = store.over_budget_prefix();
+            if slice.is_empty() {
+                Ok(0)
+            } else {
+                seg.spill(first_seq, slice)
+            }
+        };
+        if let Err(e) = staged {
+            return Err(CoreError::Durability(format!("segment spill failed: {e}")));
+        }
+    }
+    store.apply_retention();
+    Ok(())
 }
 
 /// One shard's worker loop: ingest admission chunks, stash future
@@ -1345,6 +1514,132 @@ mod tests {
         assert_eq!(finished.current_unit(), None);
         assert_eq!(finished.units_processed(), 0);
         assert!(finished.anomalies().is_empty());
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tiresias-live-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_replay_reconstructs_the_acked_stream() {
+        use crate::wal::{read_wal, WalEntry, WalSyncPolicy, DEFAULT_WAL_SEGMENT_BYTES};
+
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let records = burst_batch(&paths, 10, 9);
+        let dir = tempdir("wal-replay");
+
+        // First life: a durable live engine admits in chunks with
+        // interleaved closes, then is dropped without a drain — the
+        // crash shape. Everything acked is in the WAL.
+        let (wal, rec) =
+            Wal::open(&dir, WalSyncPolicy::EveryBatch, DEFAULT_WAL_SEGMENT_BYTES).unwrap();
+        assert!(rec.entries.is_empty());
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live_durable(DEFAULT_MAX_AHEAD_UNITS, Some(Arc::new(wal)))
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        for (i, chunk) in records.chunks(101).enumerate() {
+            let mut owned: Vec<(String, u64)> = chunk.to_vec();
+            handle.admit_batch(&mut owned, &mut outcomes).unwrap();
+            if i % 2 == 1 {
+                live.close_to(chunk.last().unwrap().1 / 900).unwrap();
+            }
+        }
+        live.close_to(10).unwrap();
+        let expected = live.anomalies();
+        assert!(!expected.is_empty(), "the burst is detected");
+        drop(live);
+
+        // Second life: replay the recovered WAL entries through a
+        // fresh live engine, in order — batches re-admit, closes
+        // re-close. The merged stream must match exactly.
+        let recovered = read_wal(&dir).unwrap();
+        assert!(!recovered.repaired(), "clean log");
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        for entry in recovered.entries {
+            match entry {
+                WalEntry::Batch { mut records, .. } => {
+                    handle.admit_batch(&mut records, &mut outcomes).unwrap();
+                    assert!(outcomes.iter().all(|&o| o == Admission::Accepted));
+                }
+                WalEntry::Close { target, .. } => {
+                    live.close_to(target).unwrap();
+                }
+            }
+        }
+        assert_eq!(live.anomalies(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_spills_to_segments_and_reader_merges_tiers() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce"];
+        // Burst early (unit 6) so its events age past the 2-unit
+        // retention budget by the time unit 12 closes — forcing a
+        // spill to the archive tier.
+        let records = burst_batch(&paths, 12, 6);
+        let dir = tempdir("spill");
+
+        // Unbounded reference: every event the stream produces.
+        let offline = offline_replay(&records, 4, 12);
+        let all_events = offline.anomalies().to_vec();
+        assert!(!all_events.is_empty());
+
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let seg =
+            Arc::new(SegmentStore::open(&dir, crate::segments::DEFAULT_SEGMENT_BYTES).unwrap());
+        live.set_spill(Arc::clone(&seg));
+        live.set_retention(Some(2)).unwrap();
+        let reader = live.reader();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        for chunk in records.chunks(257) {
+            let mut owned: Vec<(String, u64)> = chunk.to_vec();
+            handle.admit_batch(&mut owned, &mut outcomes).unwrap();
+            live.close_to(chunk.last().unwrap().1 / 900).unwrap();
+        }
+        live.close_to(12).unwrap();
+
+        // RAM holds only the retention budget; the rest was spilled,
+        // not dropped.
+        let (ram_from, ram_len) = reader.with(|s| (s.retained_from(), s.len()));
+        assert!(ram_from > 0, "eviction happened");
+        assert!(seg.next_seq() > 0, "spill happened");
+        assert!(ram_len < all_events.len());
+
+        // The merged query sees the full history, in order, across
+        // both tiers — byte-identical to the unbounded replay.
+        let merged = reader.query_merged(0, 12, None, None, usize::MAX).unwrap();
+        assert_eq!(merged, all_events);
+
+        // Tier boundary is clean: the archive answers only below
+        // `retained_from`, RAM only at or above it.
+        assert!(merged.iter().filter(|e| e.unit < ram_from).count() > 0);
+        let disk_only = reader.query_merged(0, ram_from - 1, None, None, usize::MAX).unwrap();
+        assert!(disk_only.iter().all(|e| e.unit < ram_from));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

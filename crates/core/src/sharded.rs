@@ -283,7 +283,25 @@ impl ShardedTiresias {
     ///
     /// Propagates shard errors from aligning a mid-stream engine.
     pub fn into_live(self, max_ahead_units: u64) -> Result<crate::LiveSharded, CoreError> {
-        crate::LiveSharded::from_engine(self, max_ahead_units)
+        crate::LiveSharded::from_engine(self, max_ahead_units, None)
+    }
+
+    /// [`ShardedTiresias::into_live`] with a write-ahead log attached:
+    /// every admitted batch and every close barrier is appended to
+    /// `wal` under the live engine's epoch gate before it takes
+    /// effect, so a crash-interrupted run replays to exactly the acked
+    /// state. Pass `None` for a WAL-less live engine (identical to
+    /// [`ShardedTiresias::into_live`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard errors from aligning a mid-stream engine.
+    pub fn into_live_durable(
+        self,
+        max_ahead_units: u64,
+        wal: Option<std::sync::Arc<crate::Wal>>,
+    ) -> Result<crate::LiveSharded, CoreError> {
+        crate::LiveSharded::from_engine(self, max_ahead_units, wal)
     }
 
     /// Number of shards.

@@ -118,6 +118,16 @@ impl ReportStore {
         self.evict_over_budget();
     }
 
+    /// Sets the retention budget **without** applying it — the
+    /// spill-aware variant of [`ReportStore::set_retention`] for the
+    /// two-phase handoff: any immediately over-budget history stays in
+    /// place until [`ReportStore::over_budget_prefix`] has been
+    /// persisted elsewhere and [`ReportStore::apply_retention`] frees
+    /// it.
+    pub fn set_retention_deferred(&mut self, units: Option<u64>) {
+        self.retain_units = units;
+    }
+
     /// The configured retention budget.
     pub fn retention(&self) -> Option<u64> {
         self.retain_units
@@ -164,6 +174,43 @@ impl ReportStore {
         if self.last_closed.is_none_or(|c| unit > c) {
             self.last_closed = Some(unit);
         }
+        self.evict_over_budget();
+    }
+
+    /// The close half of [`ReportStore::note_closed`] **without** the
+    /// eviction: advances the close watermark and nothing else. The
+    /// durable pipeline uses it for the two-phase spill handoff —
+    /// record the close, stage the over-budget prefix with
+    /// [`ReportStore::over_budget_prefix`], hand it to the segment
+    /// tier, and only then free it with
+    /// [`ReportStore::apply_retention`] — so an evicted event is never
+    /// dropped before it is durably archived.
+    pub fn record_closed(&mut self, unit: u64) {
+        if self.last_closed.is_none_or(|c| unit > c) {
+            self.last_closed = Some(unit);
+        }
+    }
+
+    /// Stages the eviction the current budget calls for, without
+    /// performing it: the global sequence of the first over-budget
+    /// event and the contiguous run of whole-unit blocks that
+    /// [`ReportStore::apply_retention`] would free right now. Empty
+    /// when the store is within budget.
+    pub fn over_budget_prefix(&self) -> (u64, &[AnomalyEvent]) {
+        let (Some(budget), Some(closed)) = (self.retain_units, self.last_closed) else {
+            return (self.first_seq, &[]);
+        };
+        let cutoff = (closed + 1).saturating_sub(budget);
+        let k = self.units.partition_point(|&(u, _)| u < cutoff);
+        let boundary = self.units.get(k).map_or_else(|| self.next_seq(), |&(_, s)| s);
+        (self.first_seq, &self.events[..(boundary - self.first_seq) as usize])
+    }
+
+    /// Applies the retention budget: evicts the blocks
+    /// [`ReportStore::over_budget_prefix`] reported (the second phase
+    /// of the spill handoff; equivalent to the eviction
+    /// [`ReportStore::note_closed`] performs inline).
+    pub fn apply_retention(&mut self) {
         self.evict_over_budget();
     }
 
@@ -675,6 +722,62 @@ mod tests {
         s.note_closed(0);
         assert!(s.is_empty());
         assert_eq!(s.retained_from(), 1);
+    }
+
+    #[test]
+    fn two_phase_eviction_never_makes_events_unreachable() {
+        // The spill handoff: record the close, stage the over-budget
+        // prefix, archive it elsewhere, then free it. At every step
+        // each event must be reachable — in the staged slice or
+        // through a query — and the staged slice must be exactly what
+        // apply_retention later frees.
+        let mut s = ReportStore::new();
+        s.set_retention(Some(2));
+        let mut archived: Vec<AnomalyEvent> = Vec::new();
+        for u in 0..8u64 {
+            s.insert(event("a/x", u));
+            s.insert(event("b/y", u));
+            s.record_closed(u);
+            // Between record_closed and apply_retention nothing was
+            // freed yet: the full history minus prior evictions is
+            // still queryable.
+            let (first, staged) = s.over_budget_prefix();
+            assert_eq!(first, s.first_seq());
+            let visible = s.query(0, 99, None, None, 1000).len() as u64 + archived.len() as u64;
+            assert_eq!(visible, (u + 1) * 2, "no event unreachable during the handoff");
+            // Hand the staged prefix to the archive...
+            archived.extend(staged.iter().cloned());
+            let staged_len = staged.len();
+            let next_first = first + staged_len as u64;
+            // ...and only then free it.
+            s.apply_retention();
+            assert_eq!(s.first_seq(), next_first, "exactly the staged slice was freed");
+            // Archive + RAM still cover every event ever inserted,
+            // with no overlap.
+            assert_eq!(archived.len() as u64, s.first_seq());
+            assert_eq!(archived.len() + s.len(), ((u + 1) * 2) as usize);
+        }
+        // The staged/applied pair behaves identically to note_closed.
+        let mut reference = ReportStore::new();
+        reference.set_retention(Some(2));
+        for u in 0..8u64 {
+            reference.insert(event("a/x", u));
+            reference.insert(event("b/y", u));
+            reference.note_closed(u);
+        }
+        assert_eq!(s, reference);
+    }
+
+    #[test]
+    fn over_budget_prefix_is_empty_within_budget() {
+        let mut s = ReportStore::new();
+        s.insert(event("a", 0));
+        s.record_closed(0);
+        let (first, staged) = s.over_budget_prefix();
+        assert_eq!((first, staged.len()), (0, 0), "unbounded store stages nothing");
+        s.set_retention(Some(8));
+        let (_, staged) = s.over_budget_prefix();
+        assert!(staged.is_empty(), "within budget stages nothing");
     }
 
     #[test]

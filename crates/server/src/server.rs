@@ -26,8 +26,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tiresias_core::{
-    load_checkpoint, Admission, AnomalyEvent, CheckpointEngine, IngestHandle, ReportReader,
-    TiresiasBuilder, DEFAULT_MAX_AHEAD_UNITS,
+    load_checkpoint_meta, Admission, AnomalyEvent, CheckpointEngine, IngestHandle, LiveSharded,
+    ReportReader, SegmentStore, TiresiasBuilder, Wal, WalEntry, WalSyncPolicy,
+    DEFAULT_MAX_AHEAD_UNITS, DEFAULT_SEGMENT_BYTES, DEFAULT_WAL_SEGMENT_BYTES,
 };
 use tiresias_hierarchy::{first_segment, first_segment_hash, CategoryPath, FxHashMap};
 use tiresias_sketch::SpaceSaving;
@@ -36,7 +37,7 @@ use crate::error::ServerError;
 use crate::hub::Hub;
 use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
 use crate::signal;
-use crate::state::Inner;
+use crate::state::{Durability, Inner};
 
 /// How often blocked session reads wake up to check the stop flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -84,8 +85,21 @@ pub struct ServerConfig {
     /// already has — unbounded for a fresh engine.
     pub retain_units: Option<u64>,
     /// Checkpoint file: loaded on start if present, written on
-    /// graceful shutdown.
+    /// graceful shutdown. With a [`ServerConfig::data_dir`] this
+    /// defaults to `<data_dir>/checkpoint.json`; setting it explicitly
+    /// overrides that location.
     pub checkpoint: Option<PathBuf>,
+    /// Durable data directory (`--data-dir`): holds the write-ahead
+    /// log (`wal/`), the spilled retention segments (`segments/`) and
+    /// the graceful-shutdown checkpoint (`checkpoint.json`). On start
+    /// the WAL frames newer than the checkpoint's watermark are
+    /// replayed through the live engine, so acked admissions survive
+    /// a crash. `None` runs fully in memory, exactly as before.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy (`--wal-sync`): `every` batch, a background
+    /// `interval` flush, or `none` (rely on the OS page cache). Only
+    /// meaningful with a [`ServerConfig::data_dir`].
+    pub wal_sync: WalSyncPolicy,
     /// Install `SIGTERM`/`SIGINT` handlers and shut down gracefully on
     /// either (the CLI sets this; tests drive `SHUTDOWN` instead).
     pub handle_signals: bool,
@@ -107,6 +121,8 @@ impl ServerConfig {
             max_ahead_units: DEFAULT_MAX_AHEAD_UNITS,
             retain_units: None,
             checkpoint: None,
+            data_dir: None,
+            wal_sync: WalSyncPolicy::Interval(WalSyncPolicy::DEFAULT_INTERVAL),
             handle_signals: false,
         }
     }
@@ -180,9 +196,12 @@ impl Shared {
             inner.drain(&self.hub).map_err(ServerError::Core)?;
             if let Some(path) = &self.control.checkpoint {
                 let json = inner.checkpoint_json().expect("drain succeeded, engine present");
-                let tmp = path.with_extension("tmp");
-                std::fs::write(&tmp, &json).map_err(ServerError::Io)?;
-                std::fs::rename(&tmp, path).map_err(ServerError::Io)?;
+                write_atomically(path, json.as_bytes()).map_err(ServerError::Io)?;
+                // The checkpoint's watermark covers every frame ever
+                // logged (the drain bypasses the WAL but is itself
+                // captured by the checkpoint), so the whole log is
+                // consumed and its segments can go.
+                inner.truncate_consumed_wal();
             }
             Ok(())
         })();
@@ -283,10 +302,20 @@ impl Server {
     /// Fails on an invalid detector configuration, an unloadable
     /// checkpoint, or a bind error.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
-        let resumed = match &config.checkpoint {
+        // An explicit checkpoint path wins; otherwise a durable data
+        // dir supplies its own `checkpoint.json`.
+        let checkpoint_path = match (&config.checkpoint, &config.data_dir) {
+            (Some(path), _) => Some(path.clone()),
+            (None, Some(dir)) => Some(dir.join("checkpoint.json")),
+            (None, None) => None,
+        };
+        let mut ckpt_wal_seq: u64 = 0;
+        let resumed = match &checkpoint_path {
             Some(path) if path.exists() => {
                 let json = std::fs::read_to_string(path).map_err(ServerError::Io)?;
-                match load_checkpoint(&json).map_err(ServerError::Core)? {
+                let (engine, wal_seq) = load_checkpoint_meta(&json).map_err(ServerError::Core)?;
+                ckpt_wal_seq = wal_seq.unwrap_or(0);
+                match engine {
                     CheckpointEngine::Sharded(engine) => Some(*engine),
                     CheckpointEngine::Single(_) => {
                         return Err(ServerError::Config(format!(
@@ -300,23 +329,106 @@ impl Server {
             _ => None,
         };
         let was_resumed = resumed.is_some();
-        let engine = match resumed {
+        let mut engine = match resumed {
             Some(engine) => engine,
             None => config.builder.clone().build_sharded().map_err(ServerError::Core)?,
         };
-        let mut engine = engine;
-        if config.retain_units.is_some() {
-            // Bound the report store before any traffic: the oldest
-            // closed units evict as soon as the budget is exceeded.
+
+        // Open the durable state and split out the WAL entries newer
+        // than the checkpoint's watermark: those are the acked
+        // admissions and closes a crash lost from memory.
+        let mut durable = None;
+        let mut replay: Vec<WalEntry> = Vec::new();
+        if let Some(dir) = &config.data_dir {
+            let wal_dir = dir.join("wal");
+            let seg_dir = dir.join("segments");
+            std::fs::create_dir_all(&wal_dir).map_err(ServerError::Io)?;
+            std::fs::create_dir_all(&seg_dir).map_err(ServerError::Io)?;
+            let segments = Arc::new(
+                SegmentStore::open(&seg_dir, DEFAULT_SEGMENT_BYTES).map_err(ServerError::Io)?,
+            );
+            let (wal, recovery) = Wal::open(&wal_dir, config.wal_sync, DEFAULT_WAL_SEGMENT_BYTES)
+                .map_err(ServerError::Io)?;
+            if recovery.repaired() {
+                eprintln!(
+                    "tiresias-server: WAL repaired: {} torn byte(s) truncated in {}, {} later \
+                     file(s) dropped",
+                    recovery.torn_bytes,
+                    recovery
+                        .corrupt_file
+                        .as_deref()
+                        .map_or_else(|| "-".to_string(), |p| p.display().to_string()),
+                    recovery.dropped_files,
+                );
+            }
+            replay = recovery.entries.into_iter().filter(|e| e.seq() > ckpt_wal_seq).collect();
+            // Pre-anchor a FRESH engine at the earliest recovered
+            // record's unit. The crashed run anchored at the minimum
+            // unit over every admitted record, but the WAL's batch
+            // order need not surface that record first (a batch
+            // validated against the true anchor can be logged ahead of
+            // the batch that set it) — replaying without the anchor
+            // could misclassify the earliest records as late.
+            if engine.current_unit().is_none() {
+                let timeunit = engine.timeunit_secs();
+                let anchor = replay
+                    .iter()
+                    .filter_map(|entry| match entry {
+                        WalEntry::Batch { records, .. } => {
+                            records.iter().map(|&(_, t)| t / timeunit).min()
+                        }
+                        WalEntry::Close { .. } => None,
+                    })
+                    .min();
+                if let Some(unit) = anchor {
+                    engine.advance_to(unit * timeunit).map_err(ServerError::Core)?;
+                }
+            }
+            durable = Some((Arc::new(wal), segments));
+        }
+
+        if config.retain_units.is_some() && durable.is_none() {
+            // In-memory retention: the oldest closed units simply drop
+            // once over budget. With a data dir the bound is applied
+            // *after* the spill hook is attached (below), so no event
+            // is ever dropped before it reaches a segment.
             engine.store_mut().set_retention(config.retain_units);
         }
-        let live = engine.into_live(config.max_ahead_units).map_err(ServerError::Core)?;
+        let wal = durable.as_ref().map(|(wal, _)| Arc::clone(wal));
+        let mut live =
+            engine.into_live_durable(config.max_ahead_units, wal).map_err(ServerError::Core)?;
+        let mut recovered_batches = 0u64;
+        let mut recovered_units = 0u64;
+        if let Some((wal, segments)) = &durable {
+            live.set_spill(Arc::clone(segments));
+            if config.retain_units.is_some() {
+                live.set_retention(config.retain_units).map_err(ServerError::Core)?;
+            }
+            if !replay.is_empty() {
+                let units_before = live.units_processed();
+                wal.set_replaying(true);
+                let result = replay_wal_entries(
+                    &mut live,
+                    std::mem::take(&mut replay),
+                    &mut recovered_batches,
+                );
+                wal.set_replaying(false);
+                result?;
+                recovered_units = live.units_processed().saturating_sub(units_before);
+            }
+        }
 
         let listener = TcpListener::bind(&config.addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
 
         let mut inner = Inner::new(live, config.grace);
-        if was_resumed {
+        if let Some((wal, segments)) = durable {
+            inner.set_durability(Durability { wal, segments, recovered_batches, recovered_units });
+        }
+        if was_resumed || recovered_batches > 0 {
+            // Checkpointed and replayed events are history: the hub
+            // only broadcasts events from new traffic onward (QUERY
+            // and SUBSCRIBE FROM still reach them).
             inner.skip_stored_events();
         }
         let front = inner.handle();
@@ -331,7 +443,7 @@ impl Server {
                 stop: AtomicBool::new(false),
                 shutdown_started: AtomicBool::new(false),
                 addr,
-                checkpoint: config.checkpoint.clone(),
+                checkpoint: checkpoint_path,
             },
             queue_bound: config.subscriber_queue,
             batch_cap: config.flush_records.max(1),
@@ -445,6 +557,56 @@ impl Server {
             None => Ok(()),
         }
     }
+}
+
+/// Replays recovered WAL entries through the live engine in log
+/// order: batches re-admit through an [`IngestHandle`] (the WAL is in
+/// replay mode, so nothing is re-appended) and closes re-run the
+/// original watermark flips — reproducing the same unit placement,
+/// late/ahead classification and anomalies the crashed run acked.
+fn replay_wal_entries(
+    live: &mut LiveSharded,
+    entries: Vec<WalEntry>,
+    recovered_batches: &mut u64,
+) -> Result<(), ServerError> {
+    let handle = live.handle();
+    let mut outcomes: Vec<Admission> = Vec::new();
+    for entry in entries {
+        match entry {
+            WalEntry::Batch { mut records, .. } => {
+                handle.admit_batch(&mut records, &mut outcomes).map_err(ServerError::Core)?;
+                *recovered_batches += 1;
+            }
+            WalEntry::Close { target, .. } => {
+                live.close_to(target).map_err(ServerError::Core)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes `path` atomically and durably: the bytes go to `<path>.tmp`,
+/// are fsynced, renamed over the target, and the parent directory is
+/// fsynced so the rename itself survives a crash. A torn `.tmp` left
+/// behind by a crash mid-write is simply ignored on the next load —
+/// the target name always holds either the complete old file or the
+/// complete new one.
+fn write_atomically(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
 }
 
 /// Joins every finished session thread without blocking on live ones,
@@ -825,8 +987,9 @@ fn subscribe_with_replay(
 }
 
 /// Answers a `QUERY` straight off the report reader: `EVENT` frames
-/// for the matching retained events, then `OK n=<count>`. Never takes
-/// the state lock, so queries contend only with the per-close merge —
+/// for the matching events — spilled segment history first, then the
+/// retained in-memory tail — then `OK n=<count>`. Never takes the
+/// state lock, so queries contend only with the per-close merge —
 /// never with admission or each other.
 ///
 /// Errs when the session's outbound queue is gone.
@@ -842,16 +1005,14 @@ fn answer_query(
     let prefix: Option<CategoryPath> =
         prefix.map(|p| p.parse().expect("CategoryPath parsing is infallible"));
     let limit = limit.unwrap_or(DEFAULT_QUERY_LIMIT).clamp(1, MAX_QUERY_LIMIT);
-    // Clone the matches out and format AFTER releasing the read lock:
+    // Matches are cloned out and formatted AFTER the read lock drops:
     // a large reply must not hold the lock against the scheduler's
     // close merge for the formatting duration.
-    let events: Vec<AnomalyEvent> = shared.reader.with(|store| {
-        store
-            .query(from_unit, to_unit, prefix.as_ref(), level, limit)
-            .into_iter()
-            .cloned()
-            .collect()
-    });
+    let events: Vec<AnomalyEvent> =
+        match shared.reader.query_merged(from_unit, to_unit, prefix.as_ref(), level, limit) {
+            Ok(events) => events,
+            Err(why) => return tx.send(format!("ERR {why}")).map_err(drop),
+        };
     let count = events.len();
     for event in &events {
         tx.send(crate::protocol::format_event(event)).map_err(drop)?;

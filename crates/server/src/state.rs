@@ -43,14 +43,36 @@
 //! number, which is also what lets a `SUBSCRIBE FROM` replay hand over
 //! to the live stream with no gap and no duplicate.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tiresias_core::{
-    save_sharded_checkpoint, CoreError, IngestHandle, LiveSharded, ReportReader, ShardedTiresias,
+    save_sharded_checkpoint, save_sharded_checkpoint_with_wal, CoreError, IngestHandle,
+    LiveSharded, ReportReader, SegmentStore, ShardedTiresias, Wal,
 };
 
 use crate::hub::Hub;
 use crate::protocol::format_event;
+
+/// The durability attachments of a `--data-dir` deployment: the WAL
+/// the live engine appends to, the segment archive retention spills
+/// into, and what startup recovery replayed (both zero after a clean
+/// restart).
+pub(crate) struct Durability {
+    pub wal: Arc<Wal>,
+    pub segments: Arc<SegmentStore>,
+    pub recovered_batches: u64,
+    pub recovered_units: u64,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("recovered_batches", &self.recovered_batches)
+            .field("recovered_units", &self.recovered_units)
+            .finish_non_exhaustive()
+    }
+}
 
 /// The serialized back-end state, locked as one unit — never touched
 /// by the `PUSH` hot path.
@@ -80,6 +102,9 @@ pub(crate) struct Inner {
     /// graceful shutdown (the final checkpoint then keeps the last
     /// good engine state).
     fatal: Option<String>,
+    /// WAL + segment archive of a `--data-dir` deployment (`None`
+    /// without one).
+    durability: Option<Durability>,
 }
 
 impl Inner {
@@ -101,7 +126,16 @@ impl Inner {
             last_watermark,
             event_seq: 0,
             fatal: None,
+            durability: None,
         }
+    }
+
+    /// Attaches the durability tier (WAL, segment archive, recovery
+    /// counters) so ticks drive the interval fsync policy, `STATS`
+    /// reports the gauges and the shutdown checkpoint records the WAL
+    /// watermark.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = Some(durability);
     }
 
     /// A front-end handle for a session thread (cheap clone).
@@ -145,6 +179,19 @@ impl Inner {
             let why = "engine error: a shard failed; draining".to_string();
             self.fatal = Some(why.clone());
             return Err(why);
+        }
+        if let Some(d) = &self.durability {
+            // The interval fsync policy piggybacks on the scheduler
+            // tick; `every`/`none` make this a no-op. An fsync failure
+            // is fatal — acked records would stop becoming durable.
+            if let Err(e) = d.wal.maybe_sync() {
+                let why = format!("durability error: WAL fsync failed: {e}");
+                self.fatal = Some(why.clone());
+                if let Some(live) = self.live.as_mut() {
+                    live.close_admissions();
+                }
+                return Err(why);
+            }
         }
         let Some(watermark) = self.handle.watermark() else {
             return Ok(());
@@ -224,7 +271,16 @@ impl Inner {
     /// subscribe.
     pub fn resume_unit(&self, from: Option<u64>) -> u64 {
         match from {
-            Some(f) => self.reader.with(|s| f.max(s.retained_from())),
+            Some(f) => {
+                // With a segment archive the replayable horizon reaches
+                // past RAM retention, down to the oldest archived unit.
+                let floor = self
+                    .reader
+                    .archive()
+                    .and_then(SegmentStore::first_unit)
+                    .unwrap_or_else(|| self.reader.with(|s| s.retained_from()));
+                f.max(floor)
+            }
             None => self.reader.with(|s| s.last_closed_unit().map_or(0, |u| u + 1)),
         }
     }
@@ -237,6 +293,31 @@ impl Inner {
     /// broadcast horizon — at which point registering with the hub
     /// under the same state lock splices the streams gap-free.
     pub fn replay_chunk(&self, pos: u64, from_unit: u64, max: usize) -> (Vec<String>, u64, bool) {
+        // Archive tier first: sequences the RAM store already evicted
+        // replay straight from the segment files, then the cursor
+        // crosses seamlessly into the RAM path below (the tiers
+        // partition the sequence space). Only consulted when the
+        // requested unit actually predates RAM retention.
+        if let Some(seg) = self.reader.archive() {
+            let ram_first = self.reader.with(|s| s.first_seq());
+            let ram_retained_from = self.reader.with(|s| s.retained_from());
+            if pos < ram_first && pos < seg.next_seq() && from_unit < ram_retained_from {
+                match seg.read_from_seq(pos, max) {
+                    Ok((start, events)) if !events.is_empty() => {
+                        let next = start + events.len() as u64;
+                        let lines = events
+                            .iter()
+                            .filter(|e| e.unit >= from_unit)
+                            .map(format_event)
+                            .collect();
+                        return (lines, next, false);
+                    }
+                    // Empty or unreadable archive: fall through to the
+                    // RAM path, which skips the missing prefix.
+                    _ => {}
+                }
+            }
+        }
         self.reader.with(|s| {
             // Skip the non-matching prefix via the store's unit index
             // instead of scanning it — the state lock is held here.
@@ -283,9 +364,23 @@ impl Inner {
     }
 
     /// Serialises the drained engine into the versioned checkpoint
-    /// envelope. `None` before [`Inner::drain`] succeeded.
+    /// envelope — stamped with the WAL watermark when durability is on,
+    /// so recovery replays only entries the checkpoint doesn't already
+    /// contain. `None` before [`Inner::drain`] succeeded.
     pub fn checkpoint_json(&self) -> Option<String> {
-        self.drained.as_ref().map(save_sharded_checkpoint)
+        self.drained.as_ref().map(|engine| match &self.durability {
+            Some(d) => save_sharded_checkpoint_with_wal(engine, d.wal.last_seq()),
+            None => save_sharded_checkpoint(engine),
+        })
+    }
+
+    /// After the checkpoint durably landed: drops the WAL segments it
+    /// made redundant. Best-effort — a failure leaves extra (harmless)
+    /// replay work for the next start.
+    pub fn truncate_consumed_wal(&self) {
+        if let Some(d) = &self.durability {
+            let _ = d.wal.truncate_consumed(d.wal.last_seq());
+        }
     }
 
     /// One-line `STATS` reply (see the protocol docs). Reads only the
@@ -320,11 +415,27 @@ impl Inner {
                 s.last_closed_unit().map_or_else(|| "-".to_string(), |u| u.to_string()),
             )
         });
+        // Durability gauges: all-zero without a `--data-dir` (the
+        // fields stay present so parsers need no branching).
+        let (wal_seq, wal_bytes, wal_fsyncs, segments, segment_units, rec_batches, rec_units) =
+            match &self.durability {
+                Some(d) => (
+                    d.wal.last_seq(),
+                    d.wal.bytes(),
+                    d.wal.fsyncs(),
+                    d.segments.file_count() as u64,
+                    d.segments.block_count() as u64,
+                    d.recovered_batches,
+                    d.recovered_units,
+                ),
+                None => (0, 0, 0, 0, 0, 0, 0),
+            };
         format!(
             "STATS records={} late={} ahead={} rps={:.1} pending={} open_unit={} open_records={} \
              units={} shards={} shard_open={} rings={} events={} events_evicted={} \
              retained_units={} retain={} last_closed={} subscribers={} dropped_slow={} \
-             dropped_events={} top_paths={}",
+             dropped_events={} wal_seq={} wal_bytes={} wal_fsyncs={} segments={} \
+             segment_units={} recovered_batches={} recovered_units={} top_paths={}",
             records,
             handle.late(),
             handle.ahead(),
@@ -344,6 +455,13 @@ impl Inner {
             hub.subscriber_count(),
             hub.dropped_slow(),
             session_dropped,
+            wal_seq,
+            wal_bytes,
+            wal_fsyncs,
+            segments,
+            segment_units,
+            rec_batches,
+            rec_units,
             if top_paths.is_empty() { "-" } else { top_paths },
         )
     }

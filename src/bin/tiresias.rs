@@ -14,7 +14,12 @@
 //! * `query <addr> <from> <to>` — query a running daemon's retained
 //!   report store over the wire protocol and print the matching
 //!   anomalies as CSV (`--prefix <path>`, `--level <n>`,
-//!   `--limit <k>` narrow the result).
+//!   `--limit <k>` narrow the result; `--retries <n>` /
+//!   `--retry-max-ms <ms>` reconnect with capped exponential backoff
+//!   while a daemon restarts).
+//! * `wal-dump <dir>` — inspect a write-ahead-log directory offline:
+//!   print each intact frame (and, with `--records`, each record)
+//!   plus the torn-tail report, without repairing anything.
 //! * `demo` — run a self-contained synthetic demo (CCD hierarchy with
 //!   an injected outage) and print the detections plus an annotated
 //!   hierarchy rendering.
@@ -31,9 +36,13 @@
 //! `--grace-ms <ms>`, `--tick-ms <ms>`, `--max-ahead <units>` (refuse
 //! records more than that many timeunits ahead of the open unit;
 //! default 1000), `--retain-units <n>` (cap the queryable report
-//! store at the newest n closed timeunits; omitted = unbounded) and
+//! store at the newest n closed timeunits; omitted = unbounded),
 //! `--checkpoint <file>` (loaded on start when present, written on
-//! graceful shutdown).
+//! graceful shutdown), `--data-dir <dir>` (crash-safe durability:
+//! write-ahead log, spilled retention segments and the checkpoint all
+//! live here; on restart the WAL replays everything newer than the
+//! checkpoint) and `--wal-sync every|interval[:ms]|none` (fsync
+//! policy of that log, default `interval:200`).
 //!
 //! Usage errors (unknown subcommands or flags, missing values) print
 //! the usage to stderr and exit with status 2; runtime errors (such as
@@ -65,6 +74,8 @@ struct Options {
     max_ahead: u64,
     retain_units: Option<u64>,
     checkpoint: Option<String>,
+    data_dir: Option<String>,
+    wal_sync: tiresias::core::WalSyncPolicy,
 }
 
 impl Default for Options {
@@ -85,6 +96,10 @@ impl Default for Options {
             max_ahead: tiresias::core::DEFAULT_MAX_AHEAD_UNITS,
             retain_units: None,
             checkpoint: None,
+            data_dir: None,
+            wal_sync: tiresias::core::WalSyncPolicy::Interval(
+                tiresias::core::WalSyncPolicy::DEFAULT_INTERVAL,
+            ),
         }
     }
 }
@@ -125,6 +140,8 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
                 opts.retain_units = Some(parsed("--retain-units", value("--retain-units")?)?);
             }
             "--checkpoint" if serve => opts.checkpoint = Some(value("--checkpoint")?.clone()),
+            "--data-dir" if serve => opts.data_dir = Some(value("--data-dir")?.clone()),
+            "--wal-sync" if serve => opts.wal_sync = parsed("--wal-sync", value("--wal-sync")?)?,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -269,8 +286,14 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.max_ahead_units = opts.max_ahead;
     config.retain_units = opts.retain_units;
     config.checkpoint = opts.checkpoint.clone().map(std::path::PathBuf::from);
+    config.data_dir = opts.data_dir.clone().map(std::path::PathBuf::from);
+    config.wal_sync = opts.wal_sync;
     config.handle_signals = true;
-    let resuming = config.checkpoint.as_deref().is_some_and(std::path::Path::exists);
+    let resuming = config
+        .checkpoint
+        .clone()
+        .or_else(|| config.data_dir.as_ref().map(|d| d.join("checkpoint.json")))
+        .is_some_and(|p| p.exists());
 
     let server = Server::start(config)?;
     // Scripts wait for this line to learn the bound (possibly
@@ -300,6 +323,8 @@ struct QueryArgs {
     prefix: Option<String>,
     level: Option<usize>,
     limit: Option<usize>,
+    retries: u32,
+    retry_max_ms: u64,
 }
 
 fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
@@ -312,8 +337,16 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
     let from =
         from.parse::<u64>().map_err(|e| format!("invalid value `{from}` for from_unit: {e}"))?;
     let to = to.parse::<u64>().map_err(|e| format!("invalid value `{to}` for to_unit: {e}"))?;
-    let mut query =
-        QueryArgs { addr: addr.clone(), from, to, prefix: None, level: None, limit: None };
+    let mut query = QueryArgs {
+        addr: addr.clone(),
+        from,
+        to,
+        prefix: None,
+        level: None,
+        limit: None,
+        retries: 3,
+        retry_max_ms: 2_000,
+    };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -333,10 +366,56 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     raw.parse().map_err(|e| format!("invalid value `{raw}` for --limit: {e}"))?,
                 );
             }
+            "--retries" => {
+                let raw = value("--retries")?;
+                query.retries =
+                    raw.parse().map_err(|e| format!("invalid value `{raw}` for --retries: {e}"))?;
+            }
+            "--retry-max-ms" => {
+                let raw = value("--retry-max-ms")?;
+                query.retry_max_ms = raw
+                    .parse()
+                    .map_err(|e| format!("invalid value `{raw}` for --retry-max-ms: {e}"))?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(query)
+}
+
+/// Connects with capped exponential backoff: 100 ms doubling per
+/// attempt, capped at `retry_max_ms` — so `query` rides out a daemon
+/// restart (crash recovery included) instead of failing on the first
+/// refused connection. The final error names the address.
+fn connect_with_backoff(
+    addr: &str,
+    retries: u32,
+    retry_max_ms: u64,
+) -> Result<std::net::TcpStream, String> {
+    let cap = Duration::from_millis(retry_max_ms.max(1));
+    let mut delay = Duration::from_millis(100).min(cap);
+    let mut attempt = 0u32;
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                eprintln!(
+                    "tiresias: connect to `{addr}` failed ({e}); \
+                     retry {attempt}/{retries} in {} ms",
+                    delay.as_millis(),
+                );
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2).min(cap);
+            }
+            Err(e) => {
+                return Err(format!(
+                    "cannot connect to `{addr}` after {} attempt(s): {e}",
+                    attempt + 1,
+                ));
+            }
+        }
+    }
 }
 
 /// Issues one wire-protocol `QUERY` against a running daemon and
@@ -344,8 +423,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
 /// `detect` uses — `events_to_csv`), with the reply summary on stderr.
 fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::Write as _;
-    let stream = std::net::TcpStream::connect(&args.addr)
-        .map_err(|e| format!("cannot connect to `{}`: {e}", args.addr))?;
+    let stream = connect_with_backoff(&args.addr, args.retries, args.retry_max_ms)?;
     let mut request = format!("QUERY {} {}", args.from, args.to);
     if let Some(prefix) = &args.prefix {
         request.push_str(&format!(" PREFIX {prefix}"));
@@ -419,6 +497,55 @@ fn event_from_frame(frame: &str) -> Option<tiresias::core::AnomalyEvent> {
     })
 }
 
+/// Dumps a WAL directory offline without repairing it: one line per
+/// intact frame (batch sizes and close targets), optionally every
+/// record, then the torn-tail report `wal-dump` exists to surface.
+fn cmd_wal_dump(dir: &str, records: bool) -> Result<(), Box<dyn std::error::Error>> {
+    use tiresias::core::WalEntry;
+    let recovery = tiresias::core::read_wal(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot read WAL directory `{dir}`: {e}"))?;
+    let mut batches = 0u64;
+    let mut record_count = 0u64;
+    let mut closes = 0u64;
+    for entry in &recovery.entries {
+        match entry {
+            WalEntry::Batch { seq, records: recs } => {
+                batches += 1;
+                record_count += recs.len() as u64;
+                println!("frame seq={seq} kind=batch records={}", recs.len());
+                if records {
+                    for (path, t) in recs {
+                        println!("  record t={t} path={path}");
+                    }
+                }
+            }
+            WalEntry::Close { seq, target } => {
+                closes += 1;
+                println!("frame seq={seq} kind=close target={target}");
+            }
+        }
+    }
+    eprintln!(
+        "{} frame(s): {batches} batch(es) holding {record_count} record(s), {closes} close(s)",
+        recovery.entries.len(),
+    );
+    if recovery.repaired() {
+        eprintln!(
+            "torn tail: {} byte(s) after the last intact frame in {}; {} later file(s) \
+             would be dropped on recovery",
+            recovery.torn_bytes,
+            recovery
+                .corrupt_file
+                .as_deref()
+                .map_or_else(|| "-".to_string(), |p| p.display().to_string()),
+            recovery.dropped_files,
+        );
+    } else {
+        eprintln!("log is clean (no torn tail)");
+    }
+    Ok(())
+}
+
 fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let tree = ccd_location_spec(0.08).build()?;
     let target = tree.find(&["VHO-1", "IO-2"]).expect("exists at this scale");
@@ -457,6 +584,8 @@ subcommands:
   query <addr> <from> <to>
                       query a running daemon's retained report store
                       and print the matching anomalies as CSV
+  wal-dump <dir>      print a write-ahead log's intact frames and its
+                      torn-tail report, without repairing anything
   demo                run a self-contained synthetic demo
 
 detector options (detect/serve/demo):
@@ -465,10 +594,14 @@ detector options (detect/serve/demo):
 
 serve options:
   --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
-  --retain-units n  --checkpoint file
+  --retain-units n  --checkpoint file  --data-dir dir
+  --wal-sync every|interval[:ms]|none
 
 query options:
-  --prefix path  --level n  --limit k";
+  --prefix path  --level n  --limit k  --retries n  --retry-max-ms ms
+
+wal-dump options:
+  --records           also print every record inside each batch frame";
 
 /// Exit status 2 (like conventional CLIs) for usage errors, printing
 /// the usage to stderr; 1 for runtime failures.
@@ -502,6 +635,18 @@ fn main() {
         Some((cmd, rest)) if cmd == "query" => match parse_query_args(rest) {
             Ok(args) => cmd_query(&args).map_or_else(run_error, |()| 0),
             Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "wal-dump" => match rest.split_first() {
+            Some((dir, flags)) if !dir.starts_with("--") => {
+                match flags.iter().find(|f| *f != "--records") {
+                    Some(other) => usage_error(&format!("unknown option {other}")),
+                    None => {
+                        let records = flags.iter().any(|f| f == "--records");
+                        cmd_wal_dump(dir, records).map_or_else(run_error, |()| 0)
+                    }
+                }
+            }
+            _ => usage_error("wal-dump needs a WAL directory argument"),
         },
         Some((cmd, rest)) if cmd == "demo" => match parse_options(rest, false) {
             Ok(opts) => cmd_demo(&opts).map_or_else(run_error, |()| 0),
