@@ -1,0 +1,312 @@
+//! `bench_route` — admission overhead of the routing tier.
+//!
+//! Measures the price of putting `tiresias route` in front of the
+//! ingest path: the same NOACK workload is driven once **directly**
+//! into a single in-process `tiresias-server`, and once **routed**
+//! through an in-process `Router` consistent-hashing top-level labels
+//! over two downstream servers. Both walls run until every record is
+//! *admitted* (the `STATS records=` gauge reaches the pushed total),
+//! so the routed figure includes the full store-and-forward hop:
+//! session batching, per-batch label partitioning, bulk-connection
+//! forwarding, and the downstream nodes' own admission.
+//!
+//! The direct server runs 2 detector shards; each routed node runs 1 —
+//! the same total detector work, so the delta is attributable to the
+//! network hop and the router's partitioning, not to detector
+//! parallelism. Label-to-node grouping is detection-invariant (see
+//! `tests/sharded_invariance.rs`), so both topologies also admit
+//! byte-identical anomaly streams.
+//!
+//! Each mode runs [`REPS`] times on fresh servers, interleaved so host
+//! noise lands on both modes alike, and the report keeps the best wall
+//! per mode — on a small shared host the walls are tens of
+//! milliseconds, and best-of-N is the standard way to measure cost
+//! rather than scheduler luck (`wall_seconds_reps` records the spread).
+//!
+//! CI gates the overhead: `perf_guard BENCH_route.json <fresh>
+//! direct.records_per_sec 30 routed.records_per_sec` fails the build
+//! when routed admission falls more than 30% below direct admission
+//! *of the same run* — the routing tier must stay a thin layer.
+//!
+//! Writes the JSON report to the path given as the first argument,
+//! default `BENCH_route.json`, and prints it to stdout.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tiresias_core::TiresiasBuilder;
+use tiresias_server::{Router, RouterConfig, Server, ServerConfig};
+
+const TIMEUNIT: u64 = 900;
+const UNITS: u64 = 16;
+const CATEGORIES: u64 = 24;
+const RECORDS_PER_UNIT_PER_CATEGORY: u64 = 1_200;
+const CLIENTS: usize = 2;
+/// Repetitions per mode, interleaved direct/routed to spread host
+/// noise fairly; each rep gets fresh servers and the report keeps the
+/// best wall per mode (the run least disturbed by the host).
+const REPS: usize = 5;
+/// Generous grace window: the bench replays historical timestamps much
+/// faster than real time, so the window must absorb cross-client and
+/// router-forwarding skew or stragglers would be dropped as late.
+const GRACE_MS: u64 = 3_000;
+
+fn builder(shards: usize) -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(96)
+        .threshold(10.0)
+        .season_length(4)
+        .sensitivity(2.8, 8.0)
+        .warmup_units(8)
+        .shards(shards)
+}
+
+fn server_config(shards: usize) -> ServerConfig {
+    let mut config = ServerConfig::new(builder(shards));
+    config.grace = Duration::from_millis(GRACE_MS);
+    config.tick = Duration::from_millis(20);
+    config
+}
+
+/// The workload as protocol `PUSH` lines, chunked
+/// `payloads[client][unit]`: records dealt round-robin within each unit
+/// so client streams interleave mid-unit, clients advancing through
+/// units in lockstep (a barrier in the driver).
+fn client_payloads(clients: usize) -> (usize, Vec<Vec<String>>) {
+    let mut total = 0usize;
+    let mut payloads = vec![vec![String::new(); UNITS as usize]; clients];
+    for u in 0..UNITS {
+        let mut i_in_unit = 0usize;
+        for c in 0..CATEGORIES {
+            for i in 0..RECORDS_PER_UNIT_PER_CATEGORY {
+                let t = u * TIMEUNIT + (i % TIMEUNIT);
+                payloads[i_in_unit % clients][u as usize]
+                    .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
+                i_in_unit += 1;
+                total += 1;
+            }
+        }
+    }
+    (total, payloads)
+}
+
+/// Reads one `STATS` line from `addr` (skipping any stray frames).
+fn stats_line(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("stats connects");
+    stream.write_all(b"STATS\nQUIT\n").expect("stats request");
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.expect("stats reply reads");
+        if line.starts_with("STATS ") {
+            return line;
+        }
+    }
+    panic!("connection closed before a STATS line");
+}
+
+fn stat_field(stats: &str, key: &str) -> u64 {
+    stats
+        .split_whitespace()
+        .find_map(|field| field.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("{key}= missing from {stats}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{key}= not a number in {stats}"))
+}
+
+/// Polls `STATS` on `addr` until `records=` reaches `total` (60 s
+/// deadline) and returns the final line.
+fn wait_admitted(addr: SocketAddr, total: usize) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = stats_line(addr);
+        let records = stat_field(&stats, "records");
+        if records == total as u64 {
+            return stats;
+        }
+        assert!(records < total as u64, "more records admitted than pushed: {stats}");
+        assert!(Instant::now() < deadline, "admission stalled at {records}/{total}: {stats}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Drives the NOACK workload at `addr` and returns (wall seconds until
+/// every record is admitted, final `STATS` line).
+fn drive(addr: SocketAddr, payloads: &[Vec<String>], total: usize) -> (f64, String) {
+    let t0 = Instant::now();
+    let unit_barrier = std::sync::Barrier::new(payloads.len());
+    std::thread::scope(|scope| {
+        for chunks in payloads {
+            let unit_barrier = &unit_barrier;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("client connects");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+                let mut line = String::new();
+                stream.write_all(b"NOACK\n").expect("noack");
+                reader.read_line(&mut line).expect("noack ok");
+                assert_eq!(line.trim_end(), "OK");
+                for chunk in chunks {
+                    // One unit, then a PING fence: the endpoint has read
+                    // everything before the PING once PONG arrives, so
+                    // the barrier keeps client positions aligned to
+                    // within one unit. In NOACK mode PONG is the only
+                    // expected reply — a LATE means skew outran the
+                    // grace window and the measurement is void.
+                    stream.write_all(chunk.as_bytes()).expect("pushes");
+                    stream.write_all(b"PING\n").expect("ping");
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => panic!("endpoint hung up mid-unit"),
+                        Ok(_) => {
+                            assert_eq!(line.trim_end(), "PONG", "unexpected NOACK reply");
+                        }
+                    }
+                    unit_barrier.wait();
+                }
+                stream.write_all(b"QUIT\n").expect("quit");
+            });
+        }
+    });
+    let stats = wait_admitted(addr, total);
+    (t0.elapsed().as_secs_f64(), stats)
+}
+
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    clients: usize,
+    records: usize,
+    /// Best (smallest) wall across the reps; the headline figure.
+    wall_seconds: f64,
+    records_per_sec: f64,
+    /// Every rep's wall, in run order — the measurement spread.
+    wall_seconds_reps: Vec<f64>,
+    stats: String,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    host_cores: usize,
+    config: ConfigReport,
+    /// NOACK admission straight into one 2-shard server.
+    direct: ModeReport,
+    /// The same workload through `Router` over two 1-shard servers.
+    routed: ModeReport,
+    /// Throughput drop of `routed` relative to `direct`, percent
+    /// (positive = the routing hop cost something). CI gates ≤ 30.
+    overhead_pct: f64,
+    clean_shutdown: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigReport {
+    nodes: usize,
+    timeunit_secs: u64,
+    units: u64,
+    categories: u64,
+    grace_ms: u64,
+}
+
+fn run_direct(payloads: &[Vec<String>], total: usize) -> (f64, String) {
+    let server = Server::start(server_config(2)).expect("server starts");
+    let (wall, stats) = drive(server.local_addr(), payloads, total);
+    let mut control = TcpStream::connect(server.local_addr()).expect("control connects");
+    control.write_all(b"SHUTDOWN\n").expect("shutdown");
+    server.join().expect("clean shutdown");
+    (wall, stats)
+}
+
+fn run_routed(payloads: &[Vec<String>], total: usize) -> (f64, String) {
+    let node_a = Server::start(server_config(1)).expect("node a starts");
+    let node_b = Server::start(server_config(1)).expect("node b starts");
+    let mut config =
+        RouterConfig::new(vec![node_a.local_addr().to_string(), node_b.local_addr().to_string()]);
+    config.probe_interval = Duration::from_millis(100);
+    let router = Router::start(config).expect("router starts");
+    let addr = router.local_addr();
+
+    // Don't measure the initial probe: wait until both nodes are up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = stats_line(addr);
+        if stats.matches(":up").count() == 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "nodes never came up: {stats}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (wall, stats) = drive(addr, payloads, total);
+    assert_eq!(stat_field(&stats, "buffered"), 0, "nothing parked in a healthy run: {stats}");
+    let mut control = TcpStream::connect(addr).expect("control connects");
+    control.write_all(b"SHUTDOWN\n").expect("shutdown");
+    router.join();
+    for node in [node_a, node_b] {
+        node.shutdown();
+        node.join().expect("node clean shutdown");
+    }
+    (wall, stats)
+}
+
+/// Folds the per-rep `(wall, stats)` runs into the mode's report,
+/// keeping the stats line of the best (smallest-wall) rep.
+fn best_of(runs: Vec<(f64, String)>, clients: usize, total: usize) -> ModeReport {
+    let walls: Vec<f64> = runs.iter().map(|(w, _)| *w).collect();
+    let (wall, stats) = runs
+        .into_iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("walls are finite"))
+        .expect("at least one rep");
+    ModeReport {
+        clients,
+        records: total,
+        wall_seconds: wall,
+        records_per_sec: total as f64 / wall,
+        wall_seconds_reps: walls,
+        stats,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_route.json".to_string());
+    let (total, payloads) = client_payloads(CLIENTS);
+
+    let mut direct_runs = Vec::new();
+    let mut routed_runs = Vec::new();
+    for rep in 0..REPS {
+        direct_runs.push(run_direct(&payloads, total));
+        routed_runs.push(run_routed(&payloads, total));
+        eprintln!(
+            "rep {}/{REPS}: direct {:.3}s routed {:.3}s",
+            rep + 1,
+            direct_runs[rep].0,
+            routed_runs[rep].0
+        );
+    }
+    let direct = best_of(direct_runs, CLIENTS, total);
+    let routed = best_of(routed_runs, CLIENTS, total);
+    let overhead_pct = (1.0 - routed.records_per_sec / direct.records_per_sec) * 100.0;
+
+    let report = Report {
+        schema: "tiresias-bench-route/v1".to_string(),
+        generated_by: "cargo run --release -p tiresias-bench --bin bench_route".to_string(),
+        host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        config: ConfigReport {
+            nodes: 2,
+            timeunit_secs: TIMEUNIT,
+            units: UNITS,
+            categories: CATEGORIES,
+            grace_ms: GRACE_MS,
+        },
+        direct,
+        routed,
+        overhead_pct,
+        clean_shutdown: true,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report file");
+    println!("{json}");
+}

@@ -27,6 +27,13 @@ pub enum CoreError {
     /// records it can no longer make durable. Carries the rendered
     /// `io::Error` (which is neither `Clone` nor `PartialEq`).
     Durability(String),
+    /// The write-ahead log cannot currently append (a failed write or
+    /// fsync): the batch was refused **before** anything was enqueued,
+    /// and nothing was acknowledged. Unlike [`CoreError::Durability`]
+    /// this is recoverable — the engine stays live and admission
+    /// resumes as soon as appends succeed again, so a disk hiccup
+    /// costs refused batches, not an outage.
+    WalUnavailable(String),
     /// An error bubbled up from the heavy hitter tracker.
     Hhh(HhhError),
     /// An error bubbled up from the hierarchy.
@@ -46,6 +53,9 @@ impl fmt::Display for CoreError {
                 write!(f, "the live engine is closed; no further records are admitted")
             }
             CoreError::Durability(why) => write!(f, "durability error: {why}"),
+            CoreError::WalUnavailable(why) => {
+                write!(f, "wal unavailable: {why}; batch refused, admission will resume")
+            }
             CoreError::Hhh(e) => write!(f, "heavy hitter tracker error: {e}"),
             CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
         }

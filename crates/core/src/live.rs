@@ -149,6 +149,17 @@ struct FrontShared {
     /// the serving layer can react before the next barrier surfaces
     /// the error itself.
     poisoned: AtomicBool,
+    /// Set by the serving layer when a WAL fsync fails (and by a
+    /// failed append here): admissions are refused with
+    /// [`CoreError::WalUnavailable`] — never acknowledged records the
+    /// log cannot persist — until the serving layer clears it after a
+    /// successful sync. Unlike `closed`/`poisoned` this is a pause,
+    /// not a teardown: the engine, its workers and its watermark all
+    /// stay live.
+    wal_paused: AtomicBool,
+    /// Batches refused because the WAL could not append or was paused
+    /// (`STATS wal_errors=`).
+    wal_errors: AtomicU64,
     admitted: AtomicU64,
     late: AtomicU64,
     ahead: AtomicU64,
@@ -245,6 +256,15 @@ impl IngestHandle {
         if s.closed.load(Ordering::SeqCst) {
             return Err(CoreError::Closed);
         }
+        if s.wal.is_some() && s.wal_paused.load(Ordering::SeqCst) {
+            // An earlier append or fsync failed and the serving layer
+            // has not yet observed a successful sync: refuse the whole
+            // batch up front (nothing drained, nothing acknowledged).
+            s.wal_errors.fetch_add(1, Ordering::SeqCst);
+            return Err(CoreError::WalUnavailable(
+                "a write-ahead log write failed; admission is paused".to_string(),
+            ));
+        }
         let mut wm = s.watermark.load(Ordering::SeqCst);
         if wm == UNSET {
             // First record ever: its unit anchors the stream's
@@ -296,15 +316,16 @@ impl IngestHandle {
         // Log the accepted records before any ring sees them: a record
         // a worker processed but the WAL missed could be acknowledged
         // yet lost on restart. The append fails the whole batch before
-        // anything was enqueued, so nothing half-durable leaks; the
-        // engine then closes rather than acknowledge records it cannot
-        // persist (mirroring the shard-poison policy).
+        // anything was enqueued, so nothing half-durable leaks — the
+        // batch is refused whole and admission pauses (not closes)
+        // until a later append or fsync succeeds, so a disk hiccup
+        // degrades to `ERR wal` replies instead of ending the daemon.
         if n_accepted > 0 {
             if let Some(wal) = &s.wal {
                 if let Err(e) = wal.append_batch_raw(&wal_buf, n_accepted as u32) {
-                    s.poisoned.store(true, Ordering::SeqCst);
-                    s.closed.store(true, Ordering::SeqCst);
-                    return Err(CoreError::Durability(format!("WAL append failed: {e}")));
+                    s.wal_paused.store(true, Ordering::SeqCst);
+                    s.wal_errors.fetch_add(1, Ordering::SeqCst);
+                    return Err(CoreError::WalUnavailable(format!("WAL append failed: {e}")));
                 }
             }
         }
@@ -397,6 +418,34 @@ impl IngestHandle {
     /// poisoned shard keeps its last good state).
     pub fn is_poisoned(&self) -> bool {
         self.shared.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Pauses (`true`) or resumes (`false`) admission on WAL trouble:
+    /// while paused every batch is refused with
+    /// [`CoreError::WalUnavailable`]. A failed append sets the pause
+    /// itself; the serving layer sets it on a failed fsync and clears
+    /// it once a sync succeeds again. No-op teardown-wise — the engine
+    /// stays live throughout.
+    pub fn set_wal_paused(&self, paused: bool) {
+        self.shared.wal_paused.store(paused, Ordering::SeqCst);
+    }
+
+    /// `true` while admission is refusing batches over WAL trouble.
+    pub fn is_wal_paused(&self) -> bool {
+        self.shared.wal_paused.load(Ordering::SeqCst)
+    }
+
+    /// Batches refused because the WAL could not append or admission
+    /// was WAL-paused.
+    pub fn wal_errors(&self) -> u64 {
+        self.shared.wal_errors.load(Ordering::SeqCst)
+    }
+
+    /// Counts one WAL failure observed outside the admission path (the
+    /// serving layer's fsync tick), so `wal_errors` reflects every
+    /// refusal-causing incident in one gauge.
+    pub fn count_wal_error(&self) {
+        self.shared.wal_errors.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Records accepted so far.
@@ -658,6 +707,8 @@ impl LiveSharded {
             watermark: AtomicU64::new(parts.open_unit.unwrap_or(UNSET)),
             closed: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            wal_paused: AtomicBool::new(false),
+            wal_errors: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             late: AtomicU64::new(0),
             ahead: AtomicU64::new(0),
@@ -812,10 +863,15 @@ impl LiveSharded {
             // must close exactly the units the original run closed
             // (closing an empty unit can itself emit Drop anomalies),
             // and a close the WAL missed would diverge. On failure the
-            // watermark stays put — the close simply did not happen.
+            // watermark stays put — the close simply did not happen,
+            // and like a failed batch append it pauses admission
+            // (recoverable) rather than ending the engine: the
+            // scheduler retries the close on a later tick.
             if let Some(wal) = &s.wal {
                 if let Err(e) = wal.append_close(target) {
-                    return Err(CoreError::Durability(format!("WAL close append failed: {e}")));
+                    s.wal_paused.store(true, Ordering::SeqCst);
+                    s.wal_errors.fetch_add(1, Ordering::SeqCst);
+                    return Err(CoreError::WalUnavailable(format!("WAL close append failed: {e}")));
                 }
             }
             inner.seq += 1;
@@ -1585,6 +1641,55 @@ mod tests {
             }
         }
         assert_eq!(live.anomalies(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_append_failure_pauses_admission_without_closing_the_engine() {
+        use crate::wal::WalSyncPolicy;
+
+        let dir = tempdir("wal-pause");
+        // 1-byte segments force a rotation (a new file in `dir`) on
+        // every append, so deleting the directory makes the next
+        // append fail like a dying disk would.
+        let (wal, _) = Wal::open(&dir, WalSyncPolicy::Never, 1).unwrap();
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live_durable(DEFAULT_MAX_AHEAD_UNITS, Some(Arc::new(wal)))
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        let mut batch = vec![("TV/NoService".to_string(), 5u64)];
+        handle.admit_batch(&mut batch, &mut outcomes).unwrap();
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut batch = vec![("TV/NoService".to_string(), 6u64)];
+        let err = handle.admit_batch(&mut batch, &mut outcomes).unwrap_err();
+        assert!(matches!(err, CoreError::WalUnavailable(_)), "{err}");
+        assert!(!handle.is_closed(), "a WAL hiccup is not a teardown");
+        assert!(!handle.is_poisoned());
+        assert!(handle.is_wal_paused());
+        assert_eq!(handle.wal_errors(), 1);
+
+        // While paused, batches refuse up front without touching the
+        // log (and keep counting).
+        let mut batch = vec![("TV/NoService".to_string(), 7u64)];
+        let err = handle.admit_batch(&mut batch, &mut outcomes).unwrap_err();
+        assert!(matches!(err, CoreError::WalUnavailable(_)), "{err}");
+        assert_eq!(handle.wal_errors(), 2);
+
+        // The disk comes back and the serving layer clears the pause:
+        // admission resumes on the same live engine — nothing was
+        // drained or restarted.
+        std::fs::create_dir_all(&dir).unwrap();
+        handle.set_wal_paused(false);
+        let mut batch = vec![("TV/NoService".to_string(), 8u64)];
+        handle.admit_batch(&mut batch, &mut outcomes).unwrap();
+        assert_eq!(outcomes, [Admission::Accepted]);
+        assert_eq!(handle.admitted(), 2, "only the logged records were acknowledged");
+        live.close_to(1).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -78,9 +78,11 @@
 mod error;
 mod hub;
 pub mod protocol;
+mod route;
 mod server;
 pub mod signal;
 mod state;
 
 pub use error::ServerError;
+pub use route::{Router, RouterConfig};
 pub use server::{Server, ServerConfig};

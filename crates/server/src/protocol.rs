@@ -106,16 +106,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
     };
     match command {
         "PUSH" => {
-            let Some((path, ts)) = rest.rsplit_once(char::is_whitespace) else {
-                return Err("PUSH needs a category path and a timestamp".to_string());
-            };
-            let path = path.trim();
-            if path.is_empty() {
-                return Err("PUSH category path is empty".to_string());
-            }
-            let t_secs = ts
-                .parse::<u64>()
-                .map_err(|_| format!("PUSH timestamp `{ts}` is not a non-negative integer"))?;
+            let (path, t_secs) = split_push(rest)?;
             Ok(Some(Request::Push { path: path.to_string(), t_secs }))
         }
         "SUBSCRIBE" => {
@@ -145,6 +136,25 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Splits the operand list of a `PUSH` request — everything up to the
+/// last whitespace field is the category path (which may itself contain
+/// spaces), the last field is the timestamp. Borrowed so allocation-free
+/// callers (the router's bulk forwarding path) can route on the path
+/// slice without materialising a `Request`.
+pub(crate) fn split_push(rest: &str) -> Result<(&str, u64), String> {
+    let Some((path, ts)) = rest.rsplit_once(char::is_whitespace) else {
+        return Err("PUSH needs a category path and a timestamp".to_string());
+    };
+    let path = path.trim();
+    if path.is_empty() {
+        return Err("PUSH category path is empty".to_string());
+    }
+    let t_secs = ts
+        .parse::<u64>()
+        .map_err(|_| format!("PUSH timestamp `{ts}` is not a non-negative integer"))?;
+    Ok((path, t_secs))
 }
 
 /// Parses the operand list of a `QUERY` request:

@@ -1,0 +1,175 @@
+//! Bounded per-node outage buffers and the reply tickets that let a
+//! session withhold acknowledgements for parked records.
+//!
+//! When a downstream node is down, `PUSH` records routed to it are
+//! parked here instead of being refused outright. The client's ack is
+//! *withheld*, not faked: the session enqueues a [`BatchTicket`] in its
+//! outbound queue, and the writer thread blocks on it until the
+//! supervisor replays the parked lines on reconnect and resolves the
+//! ticket with the node's real replies. Producers therefore observe
+//! exactly the durability the node provides — an `OK` still means the
+//! record reached a node that admitted it.
+//!
+//! The buffer is bounded by a record budget. Overflow is answered with
+//! an explicit `ERR` so producers see backpressure instead of silent
+//! loss, and a closed buffer (router shutting down) refuses parking the
+//! same way. Every parked ticket is guaranteed to resolve: either the
+//! replay resolves it with real replies, a failed replay resolves the
+//! unconfirmed remainder with `ERR`, or shutdown drains the buffer
+//! resolving everything with `ERR`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A promise for the replies to one parked sub-batch. The session's
+/// writer thread waits on it; the node supervisor (or shutdown)
+/// resolves it exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct BatchTicket {
+    replies: Mutex<Option<Vec<String>>>,
+    resolved: Condvar,
+}
+
+impl BatchTicket {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Resolves the ticket with one reply per parked line. Idempotent:
+    /// the first resolution wins (a shutdown racing a replay must not
+    /// overwrite real replies with errors).
+    pub fn resolve(&self, replies: Vec<String>) {
+        let mut slot = self.replies.lock().expect("ticket lock never poisoned");
+        if slot.is_none() {
+            *slot = Some(replies);
+            self.resolved.notify_all();
+        }
+    }
+
+    /// Blocks until the ticket resolves, then returns the reply for
+    /// line `idx` of the parked sub-batch.
+    pub fn wait(&self, idx: usize) -> String {
+        let mut slot = self.replies.lock().expect("ticket lock never poisoned");
+        while slot.is_none() {
+            slot = self.resolved.wait(slot).expect("ticket lock never poisoned");
+        }
+        let replies = slot.as_ref().expect("checked above");
+        replies.get(idx).cloned().unwrap_or_else(|| "ERR reply lost".to_string())
+    }
+}
+
+/// One parked sub-batch: the raw `PUSH` lines destined for a node plus
+/// the ticket to resolve with their replies. `ticket` is `None` for
+/// records parked by `NOACK` sessions — nobody waits for those replies,
+/// so the replay discards them after reading.
+#[derive(Debug)]
+pub(crate) struct Parked {
+    pub lines: Vec<String>,
+    pub ticket: Option<Arc<BatchTicket>>,
+}
+
+/// Bounded FIFO of parked sub-batches for one node. Replay order is
+/// admission order: entries are popped front-first.
+#[derive(Debug)]
+pub(crate) struct OutageBuffer {
+    entries: VecDeque<Parked>,
+    records: usize,
+    capacity: usize,
+    closed: bool,
+}
+
+impl OutageBuffer {
+    pub fn new(capacity: usize) -> Self {
+        OutageBuffer { entries: VecDeque::new(), records: 0, capacity, closed: false }
+    }
+
+    /// Parks a sub-batch. Returns `false` (refusing the batch, nothing
+    /// enqueued) when the record budget would overflow or the buffer is
+    /// closed for shutdown.
+    pub fn park(&mut self, parked: Parked) -> bool {
+        if self.closed || self.records + parked.lines.len() > self.capacity {
+            return false;
+        }
+        self.records += parked.lines.len();
+        self.entries.push_back(parked);
+        true
+    }
+
+    /// Pops the oldest parked sub-batch for replay.
+    pub fn pop(&mut self) -> Option<Parked> {
+        let parked = self.entries.pop_front()?;
+        self.records -= parked.lines.len();
+        Some(parked)
+    }
+
+    /// Records currently parked.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Closes the buffer (further parking is refused) and resolves
+    /// every parked ticket with `reply`. Called once at shutdown.
+    pub fn close(&mut self, reply: &str) {
+        self.closed = true;
+        while let Some(parked) = self.pop() {
+            if let Some(ticket) = parked.ticket {
+                ticket.resolve(vec![reply.to_string(); parked.lines.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ticket_resolution_wakes_waiters_and_first_resolution_wins() {
+        let ticket = BatchTicket::new();
+        let waiter = {
+            let ticket = Arc::clone(&ticket);
+            thread::spawn(move || ticket.wait(1))
+        };
+        ticket.resolve(vec!["OK".to_string(), "LATE".to_string()]);
+        ticket.resolve(vec!["ERR too late".to_string(); 2]);
+        assert_eq!(waiter.join().unwrap(), "LATE");
+        assert_eq!(ticket.wait(0), "OK", "second resolution did not overwrite");
+        assert_eq!(ticket.wait(7), "ERR reply lost", "out-of-range index degrades gracefully");
+    }
+
+    #[test]
+    fn buffer_bounds_by_records_and_replays_in_admission_order() {
+        let mut buf = OutageBuffer::new(3);
+        let park = |lines: &[&str]| Parked {
+            lines: lines.iter().map(|s| s.to_string()).collect(),
+            ticket: None,
+        };
+        assert!(buf.park(park(&["PUSH a 1", "PUSH a 2"])));
+        assert!(buf.park(park(&["PUSH b 3"])));
+        assert!(!buf.park(park(&["PUSH c 4"])), "record budget overflows");
+        assert_eq!(buf.records(), 3);
+        assert_eq!(buf.pop().unwrap().lines, ["PUSH a 1", "PUSH a 2"]);
+        assert_eq!(buf.pop().unwrap().lines, ["PUSH b 3"]);
+        assert!(buf.pop().is_none());
+    }
+
+    #[test]
+    fn close_resolves_tickets_and_refuses_further_parking() {
+        let mut buf = OutageBuffer::new(8);
+        let ticket = BatchTicket::new();
+        assert!(buf.park(Parked {
+            lines: vec!["PUSH a 1".to_string()],
+            ticket: Some(Arc::clone(&ticket)),
+        }));
+        buf.close("ERR router shutting down");
+        assert_eq!(ticket.wait(0), "ERR router shutting down");
+        assert!(!buf.park(Parked { lines: vec!["PUSH b 2".to_string()], ticket: None }));
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Scatter-gather assembly: merging per-node `QUERY` replies back into
+//! the single-engine order, and aggregating per-node `STATS` gauges.
+//!
+//! Every node's reply stream is already `(unit, path)`-ordered (the
+//! retained store keeps events in that order), and a category path
+//! lives on exactly one node, so a stable sort of the concatenated
+//! streams by `(unit, path segments)` reproduces precisely the order a
+//! single engine over the union of the traffic would have produced —
+//! this is what lets the failover harness compare routed output against
+//! an offline replay byte for byte.
+
+use std::collections::BTreeMap;
+
+use super::supervisor::frame_unit;
+
+/// Extracts the category path from an `EVENT … path=<p>` frame (the
+/// path is the last field and may contain spaces).
+fn frame_path(frame: &str) -> &str {
+    match frame.rsplit_once(" path=") {
+        Some((_, path)) => path,
+        None => "",
+    }
+}
+
+/// Merges per-node `(unit, path)`-ordered frame streams into one
+/// `(unit, path)`-ordered stream, truncated to `limit`. The sort key
+/// compares paths segment-wise (matching `CategoryPath`'s ordering),
+/// not as flat strings — `/` is not the smallest byte, so flat string
+/// order would diverge from the store's order on crafted labels.
+pub(crate) fn merge_query_frames(per_node: Vec<Vec<String>>, limit: usize) -> Vec<String> {
+    let mut decorated: Vec<(u64, Vec<String>, String)> = per_node
+        .into_iter()
+        .flatten()
+        .map(|frame| {
+            let unit = frame_unit(&frame).unwrap_or(0);
+            let segments = frame_path(&frame).split('/').map(str::to_string).collect();
+            (unit, segments, frame)
+        })
+        .collect();
+    decorated.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    decorated.truncate(limit);
+    decorated.into_iter().map(|(_, _, frame)| frame).collect()
+}
+
+/// Node gauges that sum meaningfully across the fleet. Order is the
+/// output order of the aggregated `STATS` line.
+const SUMMED_KEYS: &[&str] = &[
+    "records",
+    "late",
+    "ahead",
+    "pending",
+    "open_records",
+    "events",
+    "events_evicted",
+    "retained_units",
+    "subscribers",
+    "dropped_slow",
+    "dropped_events",
+    "wal_errors",
+    "reaped_sessions",
+];
+
+/// Aggregates per-node `STATS` replies (absent for unreachable nodes)
+/// with the router's own counters into one `STATS` line:
+/// summed node gauges, then `nodes=`, `node_state=<addr>:<state>|…`,
+/// `buffered=`, `replayed=`, `degraded_queries=`.
+pub(crate) fn aggregate_stats(
+    node_lines: &[Option<String>],
+    node_states: &[(String, &'static str)],
+    buffered: u64,
+    replayed: u64,
+    degraded_queries: u64,
+) -> String {
+    let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
+    for line in node_lines.iter().flatten() {
+        for field in line.split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else {
+                continue;
+            };
+            if SUMMED_KEYS.contains(&key) {
+                if let Ok(v) = value.parse::<u64>() {
+                    *sums.entry(key).or_insert(0) += v;
+                }
+            }
+        }
+    }
+    let mut out = String::from("STATS");
+    for key in SUMMED_KEYS {
+        out.push_str(&format!(" {key}={}", sums.get(key).copied().unwrap_or(0)));
+    }
+    let states: Vec<String> =
+        node_states.iter().map(|(addr, state)| format!("{addr}:{state}")).collect();
+    out.push_str(&format!(
+        " nodes={} node_state={} buffered={buffered} replayed={replayed} degraded_queries={degraded_queries}",
+        node_states.len(),
+        states.join("|"),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_unit_then_path_segments() {
+        let node_a = vec![
+            "EVENT unit=1 level=1 path=a/b".to_string(),
+            "EVENT unit=2 level=1 path=a".to_string(),
+        ];
+        let node_b = vec![
+            "EVENT unit=1 level=1 path=a.b".to_string(),
+            "EVENT unit=2 level=1 path=z".to_string(),
+        ];
+        let merged = merge_query_frames(vec![node_a, node_b], 10);
+        // Segment-wise: ["a","b"] < ["a.b"] because "a" < "a.b",
+        // although the flat strings compare the other way.
+        assert_eq!(
+            merged,
+            [
+                "EVENT unit=1 level=1 path=a/b",
+                "EVENT unit=1 level=1 path=a.b",
+                "EVENT unit=2 level=1 path=a",
+                "EVENT unit=2 level=1 path=z",
+            ]
+        );
+        assert_eq!(merge_query_frames(vec![vec![]], 5), Vec::<String>::new());
+    }
+
+    #[test]
+    fn merge_truncates_to_limit() {
+        let frames = vec![
+            (1..=5).map(|u| format!("EVENT unit={u} path=a")).collect::<Vec<_>>(),
+            (1..=5).map(|u| format!("EVENT unit={u} path=b")).collect::<Vec<_>>(),
+        ];
+        let merged = merge_query_frames(frames, 3);
+        assert_eq!(merged, ["EVENT unit=1 path=a", "EVENT unit=1 path=b", "EVENT unit=2 path=a"]);
+    }
+
+    #[test]
+    fn stats_sums_gauges_and_reports_router_counters() {
+        let lines = [
+            Some("STATS records=10 late=1 events=3 open_unit=7 top_paths=a:2".to_string()),
+            None,
+            Some("STATS records=5 late=0 events=2 wal_errors=1".to_string()),
+        ];
+        let states = [
+            ("127.0.0.1:1001".to_string(), "up"),
+            ("127.0.0.1:1002".to_string(), "down"),
+            ("127.0.0.1:1003".to_string(), "up"),
+        ];
+        let line = aggregate_stats(&lines, &states, 4, 9, 2);
+        assert!(line.starts_with("STATS records=15 late=1 "), "{line}");
+        assert!(line.contains(" events=5 "), "{line}");
+        assert!(line.contains(" wal_errors=1 "), "{line}");
+        assert!(line.contains(" nodes=3 "), "{line}");
+        assert!(
+            line.contains(" node_state=127.0.0.1:1001:up|127.0.0.1:1002:down|127.0.0.1:1003:up "),
+            "{line}"
+        );
+        assert!(line.ends_with("buffered=4 replayed=9 degraded_queries=2"), "{line}");
+        assert!(!line.contains("open_unit"), "non-summable gauges stay out: {line}");
+    }
+}

@@ -103,6 +103,15 @@ pub struct ServerConfig {
     /// Install `SIGTERM`/`SIGINT` handlers and shut down gracefully on
     /// either (the CLI sets this; tests drive `SHUTDOWN` instead).
     pub handle_signals: bool,
+    /// Reap sessions with no inbound traffic for this long
+    /// (`--idle-timeout-ms`; `None` disables). A half-open client — a
+    /// crashed router, a peer that vanished without a FIN — would
+    /// otherwise park its session thread forever. Sessions holding a
+    /// live subscription are exempt (they are legitimately quiet);
+    /// every other long-lived client keeps its session alive by
+    /// sending `PING` within the window. Reaped sessions are counted
+    /// in `STATS reaped_sessions=`.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -124,9 +133,15 @@ impl ServerConfig {
             data_dir: None,
             wal_sync: WalSyncPolicy::Interval(WalSyncPolicy::DEFAULT_INTERVAL),
             handle_signals: false,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         }
     }
 }
+
+/// Default [`ServerConfig::idle_timeout`]: generous enough that no
+/// interactive client ever notices, short enough that leaked half-open
+/// connections don't accumulate threads for days.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// The Space-Saving top-k gauge over top-level path labels: a cheap
 /// answer to "what is hot right now" that costs one sketch update per
@@ -178,6 +193,9 @@ struct Shared {
     control: Control,
     queue_bound: usize,
     batch_cap: usize,
+    idle_timeout: Option<Duration>,
+    /// Sessions closed by the idle reaper (`STATS reaped_sessions=`).
+    reaped_sessions: AtomicU64,
 }
 
 impl Shared {
@@ -447,6 +465,8 @@ impl Server {
             },
             queue_bound: config.subscriber_queue,
             batch_cap: config.flush_records.max(1),
+            idle_timeout: config.idle_timeout,
+            reaped_sessions: AtomicU64::new(0),
         });
         let shutdown_result: Arc<Mutex<Option<ServerError>>> = Arc::new(Mutex::new(None));
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -612,7 +632,7 @@ fn write_atomically(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()>
 /// Joins every finished session thread without blocking on live ones,
 /// off the accept path (a long-lived daemon would otherwise accumulate
 /// one handle per connection ever accepted).
-fn reap_finished_sessions(sessions: &Mutex<Vec<JoinHandle<()>>>) {
+pub(crate) fn reap_finished_sessions(sessions: &Mutex<Vec<JoinHandle<()>>>) {
     let finished: Vec<JoinHandle<()>> = {
         let mut sessions = sessions.lock().expect("session list lock never poisoned");
         let mut finished = Vec::new();
@@ -684,6 +704,12 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
     let mut batch: Vec<(String, u64)> = Vec::new();
     let mut outcomes: Vec<Admission> = Vec::new();
     let mut gauge_hashes: Vec<u64> = Vec::new();
+    // Idle reaping: any inbound byte (a complete line, or partial-line
+    // progress across read timeouts) counts as activity. Subscribed
+    // sessions are exempt — their inbound side is legitimately quiet
+    // while events stream out.
+    let mut last_activity = Instant::now();
+    let mut partial_len = 0usize;
     'session: loop {
         if shared.control.stop.load(Ordering::SeqCst) {
             break;
@@ -691,6 +717,8 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => loop {
+                last_activity = Instant::now();
+                partial_len = 0;
                 let parsed = parse_request(&line);
                 line.clear();
                 let step = match parsed {
@@ -785,7 +813,20 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                     std::io::ErrorKind::WouldBlock
                         | std::io::ErrorKind::TimedOut
                         | std::io::ErrorKind::Interrupted
-                ) => {}
+                ) =>
+            {
+                if line.len() > partial_len {
+                    // A partial line grew: the peer is mid-write.
+                    partial_len = line.len();
+                    last_activity = Instant::now();
+                }
+                if let Some(limit) = shared.idle_timeout {
+                    if subscription.is_none() && last_activity.elapsed() >= limit {
+                        shared.reaped_sessions.fetch_add(1, Ordering::Relaxed);
+                        break 'session;
+                    }
+                }
+            }
             Err(_) => break,
         }
     }
@@ -834,6 +875,16 @@ fn flush_push_batch(
                 }
             }
             true
+        }
+        Err(tiresias_core::CoreError::WalUnavailable(why)) => {
+            // The WAL refused the batch: nothing was admitted or
+            // acknowledged, the engine stays live, and admission
+            // resumes once the log recovers — tell the producer so it
+            // can retry, and always (even under `NOACK`) since like
+            // `LATE` this reports dropped records.
+            let reply = format!("ERR wal {why}");
+            batch.clear();
+            (0..buffered).all(|_| tx.send(reply.clone()).is_ok())
         }
         Err(_closed) => {
             // Draining or fatal: every buffered record is refused with
@@ -899,6 +950,7 @@ fn handle_request(
                     &shared.hub,
                     &top_paths,
                     dropped_events.load(Ordering::Relaxed),
+                    shared.reaped_sessions.load(Ordering::Relaxed),
                 ),
             };
             SessionStep::Reply(Some(line))

@@ -182,15 +182,25 @@ impl Inner {
         }
         if let Some(d) = &self.durability {
             // The interval fsync policy piggybacks on the scheduler
-            // tick; `every`/`none` make this a no-op. An fsync failure
-            // is fatal — acked records would stop becoming durable.
-            if let Err(e) = d.wal.maybe_sync() {
-                let why = format!("durability error: WAL fsync failed: {e}");
-                self.fatal = Some(why.clone());
-                if let Some(live) = self.live.as_mut() {
-                    live.close_admissions();
+            // tick; `every`/`none` make this a no-op. A WAL failure is
+            // NOT fatal: admission pauses (every batch refused with
+            // `ERR wal`, nothing acknowledged that the log can't
+            // persist) and each tick probes the log with a sync until
+            // the disk recovers — a hiccup degrades service instead of
+            // ending the daemon.
+            if self.handle.is_wal_paused() {
+                match d.wal.sync_now() {
+                    Ok(()) => {
+                        self.handle.set_wal_paused(false);
+                        eprintln!("tiresias-server: WAL recovered; admission resumed");
+                    }
+                    Err(_) => return Ok(()), // still down; keep refusing
                 }
-                return Err(why);
+            } else if let Err(e) = d.wal.maybe_sync() {
+                eprintln!("tiresias-server: WAL fsync failed: {e}; admission paused");
+                self.handle.count_wal_error();
+                self.handle.set_wal_paused(true);
+                return Ok(());
             }
         }
         let Some(watermark) = self.handle.watermark() else {
@@ -236,6 +246,10 @@ impl Inner {
         self.broadcast_new(hub);
         match result {
             Ok(_) => Ok(()),
+            // The close's WAL frame could not append: the watermark
+            // never flipped and admission is now WAL-paused — the
+            // close retries on a later tick once the log recovers.
+            Err(CoreError::WalUnavailable(_)) => Ok(()),
             Err(e) => Err(self.mark_fatal(&e)),
         }
     }
@@ -386,9 +400,16 @@ impl Inner {
     /// One-line `STATS` reply (see the protocol docs). Reads only the
     /// front-end's atomic gauges, the report store's read lock and the
     /// back-end merge cursor — it never stalls admission. `top_paths`
-    /// is the server's Space-Saving hot-path gauge and
-    /// `session_dropped` the requesting session's lost-event counter.
-    pub fn stats_line(&self, hub: &Hub, top_paths: &str, session_dropped: u64) -> String {
+    /// is the server's Space-Saving hot-path gauge, `session_dropped`
+    /// the requesting session's lost-event counter and
+    /// `reaped_sessions` the server's idle-session reap counter.
+    pub fn stats_line(
+        &self,
+        hub: &Hub,
+        top_paths: &str,
+        session_dropped: u64,
+        reaped_sessions: u64,
+    ) -> String {
         let handle = &self.handle;
         let records = handle.admitted();
         let rps = match handle.first_admit_age() {
@@ -434,8 +455,9 @@ impl Inner {
             "STATS records={} late={} ahead={} rps={:.1} pending={} open_unit={} open_records={} \
              units={} shards={} shard_open={} rings={} events={} events_evicted={} \
              retained_units={} retain={} last_closed={} subscribers={} dropped_slow={} \
-             dropped_events={} wal_seq={} wal_bytes={} wal_fsyncs={} segments={} \
-             segment_units={} recovered_batches={} recovered_units={} top_paths={}",
+             dropped_events={} wal_seq={} wal_bytes={} wal_fsyncs={} wal_errors={} segments={} \
+             segment_units={} recovered_batches={} recovered_units={} reaped_sessions={} \
+             top_paths={}",
             records,
             handle.late(),
             handle.ahead(),
@@ -458,10 +480,12 @@ impl Inner {
             wal_seq,
             wal_bytes,
             wal_fsyncs,
+            handle.wal_errors(),
             segments,
             segment_units,
             rec_batches,
             rec_units,
+            reaped_sessions,
             if top_paths.is_empty() { "-" } else { top_paths },
         )
     }
@@ -542,7 +566,7 @@ mod tests {
         assert_eq!(handle.watermark(), Some(1));
         assert_eq!(handle.admit("a/x", 30).unwrap(), Admission::Late);
         assert_eq!(handle.late(), 1);
-        assert!(s.stats_line(&hub, "", 0).contains("late=1"));
+        assert!(s.stats_line(&hub, "", 0, 0).contains("late=1"));
     }
 
     #[test]
@@ -552,7 +576,7 @@ mod tests {
         let handle = s.handle();
         handle.admit("a/x", 5).unwrap();
         handle.admit("a/x", 600).unwrap(); // unit 10: stashed ahead
-        let stats = s.stats_line(&hub, "a:2", 3);
+        let stats = s.stats_line(&hub, "a:2", 3, 0);
         assert!(stats.contains("records=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
         assert!(stats.contains("shard_open="), "{stats}");
@@ -587,7 +611,7 @@ mod tests {
         let json = s.checkpoint_json().expect("drained engine serialises");
         assert!(json.starts_with("{\"version\":3,\"kind\":\"sharded\""));
         // STATS and the report reader still answer after the drain.
-        assert!(s.stats_line(&hub, "", 0).starts_with("STATS "));
+        assert!(s.stats_line(&hub, "", 0, 0).starts_with("STATS "));
         let _ = s.reader().with(|store| store.len());
     }
 

@@ -11,12 +11,19 @@
 //!   close timeunits on wall-clock time with a grace window for late
 //!   records, retain a bounded queryable report store, and checkpoint
 //!   on graceful shutdown.
+//! * `route` — run the fault-tolerant routing daemon: consistent-hash
+//!   top-level labels over N downstream `serve` nodes (`--node`, one
+//!   per downstream, order = routing table), supervise each downstream
+//!   with health probes and backoff reconnects, park records for down
+//!   nodes in a bounded outage buffer, and answer `QUERY` by degraded
+//!   scatter-gather.
 //! * `query <addr> <from> <to>` — query a running daemon's retained
 //!   report store over the wire protocol and print the matching
 //!   anomalies as CSV (`--prefix <path>`, `--level <n>`,
 //!   `--limit <k>` narrow the result; `--retries <n>` /
-//!   `--retry-max-ms <ms>` reconnect with capped exponential backoff
-//!   while a daemon restarts).
+//!   `--retry-max-ms <ms>` retry refused connects *and* mid-stream
+//!   disconnects with capped, jittered exponential backoff while a
+//!   daemon restarts).
 //! * `wal-dump <dir>` — inspect a write-ahead-log directory offline:
 //!   print each intact frame (and, with `--records`, each record)
 //!   plus the torn-tail report, without repairing anything.
@@ -54,7 +61,7 @@ use std::time::Duration;
 use tiresias::core::{events_to_csv, CoreError, TiresiasBuilder};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 use tiresias::hierarchy::render_ascii;
-use tiresias::server::{Server, ServerConfig};
+use tiresias::server::{Router, RouterConfig, Server, ServerConfig};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -76,6 +83,7 @@ struct Options {
     checkpoint: Option<String>,
     data_dir: Option<String>,
     wal_sync: tiresias::core::WalSyncPolicy,
+    idle_timeout_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -100,6 +108,7 @@ impl Default for Options {
             wal_sync: tiresias::core::WalSyncPolicy::Interval(
                 tiresias::core::WalSyncPolicy::DEFAULT_INTERVAL,
             ),
+            idle_timeout_ms: None,
         }
     }
 }
@@ -142,6 +151,10 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
             "--checkpoint" if serve => opts.checkpoint = Some(value("--checkpoint")?.clone()),
             "--data-dir" if serve => opts.data_dir = Some(value("--data-dir")?.clone()),
             "--wal-sync" if serve => opts.wal_sync = parsed("--wal-sync", value("--wal-sync")?)?,
+            "--idle-timeout-ms" if serve => {
+                opts.idle_timeout_ms =
+                    Some(parsed("--idle-timeout-ms", value("--idle-timeout-ms")?)?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -289,6 +302,10 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.data_dir = opts.data_dir.clone().map(std::path::PathBuf::from);
     config.wal_sync = opts.wal_sync;
     config.handle_signals = true;
+    if let Some(ms) = opts.idle_timeout_ms {
+        // 0 disables idle reaping; anything else overrides the default.
+        config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
     let resuming = config
         .checkpoint
         .clone()
@@ -383,47 +400,49 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
     Ok(query)
 }
 
-/// Connects with capped exponential backoff: 100 ms doubling per
-/// attempt, capped at `retry_max_ms` — so `query` rides out a daemon
-/// restart (crash recovery included) instead of failing on the first
-/// refused connection. The final error names the address.
-fn connect_with_backoff(
-    addr: &str,
-    retries: u32,
-    retry_max_ms: u64,
-) -> Result<std::net::TcpStream, String> {
-    let cap = Duration::from_millis(retry_max_ms.max(1));
-    let mut delay = Duration::from_millis(100).min(cap);
-    let mut attempt = 0u32;
-    loop {
-        match std::net::TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) if attempt < retries => {
-                attempt += 1;
-                eprintln!(
-                    "tiresias: connect to `{addr}` failed ({e}); \
-                     retry {attempt}/{retries} in {} ms",
-                    delay.as_millis(),
-                );
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2).min(cap);
-            }
-            Err(e) => {
-                return Err(format!(
-                    "cannot connect to `{addr}` after {} attempt(s): {e}",
-                    attempt + 1,
-                ));
-            }
-        }
+/// A tiny xorshift64* jitter source for client backoff, seeded from
+/// the wall clock + pid so concurrent clients desynchronize — after a
+/// node restart, a fleet of retrying queriers must not thunder back in
+/// lockstep.
+struct RetryJitter(u64);
+
+impl RetryJitter {
+    fn new() -> RetryJitter {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64);
+        RetryJitter((nanos << 32 | u64::from(std::process::id())) | 1)
+    }
+
+    /// `base` scaled by a uniform factor in `[1.0, 2.0)`.
+    fn spread(&mut self, base: Duration) -> Duration {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        let frac = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(1.0 + frac)
     }
 }
 
-/// Issues one wire-protocol `QUERY` against a running daemon and
-/// prints the matching anomalies as CSV (the same schema and code path
-/// `detect` uses — `events_to_csv`), with the reply summary on stderr.
-fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
+/// How one query attempt failed: retryable failures cover both a
+/// refused connect *and* a mid-stream disconnect (the daemon restarted
+/// while answering — its recovered store can answer the retry);
+/// fatal ones are protocol-level refusals a retry cannot fix.
+enum QueryFailure {
+    Retryable(String),
+    Fatal(Box<dyn std::error::Error>),
+}
+
+/// One full wire-protocol `QUERY` round trip: connect, ask, read every
+/// `EVENT` frame to the terminal `OK` line.
+fn query_attempt(
+    args: &QueryArgs,
+) -> Result<(Vec<tiresias::core::AnomalyEvent>, String), QueryFailure> {
     use std::io::Write as _;
-    let stream = connect_with_backoff(&args.addr, args.retries, args.retry_max_ms)?;
+    let stream = std::net::TcpStream::connect(&args.addr)
+        .map_err(|e| QueryFailure::Retryable(format!("connect failed: {e}")))?;
     let mut request = format!("QUERY {} {}", args.from, args.to);
     if let Some(prefix) = &args.prefix {
         request.push_str(&format!(" PREFIX {prefix}"));
@@ -434,32 +453,159 @@ fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(limit) = args.limit {
         request.push_str(&format!(" LIMIT {limit}"));
     }
-    let mut write_half = stream.try_clone()?;
-    writeln!(write_half, "{request}")?;
+    let mut write_half =
+        stream.try_clone().map_err(|e| QueryFailure::Retryable(format!("socket error: {e}")))?;
+    writeln!(write_half, "{request}")
+        .map_err(|e| QueryFailure::Retryable(format!("send failed: {e}")))?;
     let reader = std::io::BufReader::new(stream);
     let mut events = Vec::new();
-    let mut count: Option<String> = None;
     for line in reader.lines() {
-        let line = line?;
+        let line =
+            line.map_err(|e| QueryFailure::Retryable(format!("read failed mid-stream: {e}")))?;
         let line = line.trim_end();
         if let Some(rest) = line.strip_prefix("EVENT ") {
-            events.push(
-                event_from_frame(rest)
-                    .ok_or_else(|| format!("malformed EVENT frame from server: `{line}`"))?,
-            );
+            events.push(event_from_frame(rest).ok_or_else(|| {
+                QueryFailure::Fatal(format!("malformed EVENT frame from server: `{line}`").into())
+            })?);
         } else if line.starts_with("OK ") {
-            count = Some(line.to_string());
-            break;
+            let _ = writeln!(write_half, "QUIT");
+            return Ok((events, line.to_string()));
         } else if let Some(why) = line.strip_prefix("ERR ") {
-            return Err(format!("server refused the query: {why}").into());
+            return Err(QueryFailure::Fatal(format!("server refused the query: {why}").into()));
         } else {
-            return Err(format!("unexpected reply from server: `{line}`").into());
+            return Err(QueryFailure::Fatal(
+                format!("unexpected reply from server: `{line}`").into(),
+            ));
         }
     }
-    let summary = count.ok_or("server closed the connection before answering")?;
-    let _ = writeln!(write_half, "QUIT");
-    print!("{}", tiresias::core::events_to_csv(&events));
-    eprintln!("{} (units {}..={})", summary, args.from, args.to);
+    Err(QueryFailure::Retryable("server closed the connection before answering".to_string()))
+}
+
+/// Issues a wire-protocol `QUERY` against a running daemon and prints
+/// the matching anomalies as CSV (the same schema and code path
+/// `detect` uses — `events_to_csv`), with the reply summary on stderr.
+///
+/// Retryable failures — a refused connect or a **mid-stream**
+/// disconnect — are retried up to `--retries` times with capped
+/// exponential backoff plus jitter, so `query` rides out a daemon
+/// restart (crash recovery included) without a retry storm. Each
+/// attempt restarts the query from scratch: replies are only printed
+/// once an attempt completes, so a retried query never emits partial
+/// or duplicated rows.
+fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let cap = Duration::from_millis(args.retry_max_ms.max(1));
+    let mut delay = Duration::from_millis(100).min(cap);
+    let mut jitter = RetryJitter::new();
+    let mut attempt = 0u32;
+    loop {
+        match query_attempt(args) {
+            Ok((events, summary)) => {
+                print!("{}", tiresias::core::events_to_csv(&events));
+                eprintln!("{} (units {}..={})", summary, args.from, args.to);
+                return Ok(());
+            }
+            Err(QueryFailure::Fatal(e)) => return Err(e),
+            Err(QueryFailure::Retryable(why)) if attempt < args.retries => {
+                attempt += 1;
+                let wait = jitter.spread(delay);
+                eprintln!(
+                    "tiresias: query to `{}` failed ({why}); retry {attempt}/{} in {} ms",
+                    args.addr,
+                    args.retries,
+                    wait.as_millis(),
+                );
+                std::thread::sleep(wait);
+                delay = delay.saturating_mul(2).min(cap);
+            }
+            Err(QueryFailure::Retryable(why)) => {
+                return Err(format!(
+                    "query to `{}` failed after {} attempt(s): {why}",
+                    args.addr,
+                    attempt + 1,
+                )
+                .into());
+            }
+        }
+    }
+}
+
+/// Arguments of the `route` subcommand.
+#[derive(Debug)]
+struct RouteArgs {
+    addr: String,
+    nodes: Vec<String>,
+    probe_ms: u64,
+    node_timeout_ms: u64,
+    backoff_max_ms: u64,
+    buffer_records: usize,
+}
+
+fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
+    let mut route = RouteArgs {
+        addr: "127.0.0.1:7170".to_string(),
+        nodes: Vec::new(),
+        probe_ms: 1_000,
+        node_timeout_ms: 2_000,
+        backoff_max_ms: 5_000,
+        buffer_records: 65_536,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("missing value for {name}"))
+        };
+        fn parsed<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("invalid value `{raw}` for {name}: {e}"))
+        }
+        match flag.as_str() {
+            "--node" => route.nodes.push(value("--node")?.clone()),
+            "--addr" => route.addr = value("--addr")?.clone(),
+            "--probe-ms" => route.probe_ms = parsed("--probe-ms", value("--probe-ms")?)?,
+            "--node-timeout-ms" => {
+                route.node_timeout_ms = parsed("--node-timeout-ms", value("--node-timeout-ms")?)?;
+            }
+            "--backoff-max-ms" => {
+                route.backoff_max_ms = parsed("--backoff-max-ms", value("--backoff-max-ms")?)?;
+            }
+            "--buffer" => route.buffer_records = parsed("--buffer", value("--buffer")?)?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if route.nodes.is_empty() {
+        return Err("route needs at least one --node <host:port>".to_string());
+    }
+    Ok(route)
+}
+
+/// Runs the routing daemon until a graceful shutdown (`SHUTDOWN`
+/// command, `SIGTERM` or `SIGINT`). The node list's order is the
+/// routing table: restart the router with the same `--node` flags in
+/// the same order to keep the label→node assignment.
+fn cmd_route(args: &RouteArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = RouterConfig::new(args.nodes.clone());
+    config.addr = args.addr.clone();
+    config.probe_interval = Duration::from_millis(args.probe_ms.max(1));
+    config.request_timeout = Duration::from_millis(args.node_timeout_ms.max(1));
+    config.backoff_max = Duration::from_millis(args.backoff_max_ms.max(1));
+    config.buffer_records = args.buffer_records;
+    config.handle_signals = true;
+    let router = Router::start(config)?;
+    // Scripts wait for this line to learn the bound (possibly
+    // ephemeral) port; flush so pipes see it immediately.
+    println!("LISTENING {}", router.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "tiresias-route: listening on {}, routing over {} node(s); \
+         send SHUTDOWN or SIGTERM to stop",
+        router.local_addr(),
+        args.nodes.len(),
+    );
+    router.join();
+    eprintln!("tiresias-route: bye");
     Ok(())
 }
 
@@ -581,6 +727,8 @@ subcommands:
   detect <file.csv>   stream a CSV of `timestamp_secs,category/path`
                       records and print detected anomalies as CSV
   serve               run the live TCP streaming-ingestion daemon
+  route               run the fault-tolerant routing daemon over N
+                      serve nodes (consistent-hash by top-level label)
   query <addr> <from> <to>
                       query a running daemon's retained report store
                       and print the matching anomalies as CSV
@@ -595,7 +743,12 @@ detector options (detect/serve/demo):
 serve options:
   --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
   --retain-units n  --checkpoint file  --data-dir dir
-  --wal-sync every|interval[:ms]|none
+  --wal-sync every|interval[:ms]|none  --idle-timeout-ms ms (0 = off)
+
+route options:
+  --node host:port (repeat per downstream, order = routing table)
+  --addr host:port  --probe-ms n  --node-timeout-ms n
+  --backoff-max-ms n  --buffer records
 
 query options:
   --prefix path  --level n  --limit k  --retries n  --retry-max-ms ms
@@ -630,6 +783,10 @@ fn main() {
         },
         Some((cmd, rest)) if cmd == "serve" => match parse_options(rest, true) {
             Ok(opts) => cmd_serve(&opts).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "route" => match parse_route_args(rest) {
+            Ok(args) => cmd_route(&args).map_or_else(run_error, |()| 0),
             Err(e) => usage_error(&e),
         },
         Some((cmd, rest)) if cmd == "query" => match parse_query_args(rest) {
