@@ -15,6 +15,13 @@
 //!
 //! * `noack` — clients issue `NOACK` first, so `PUSH` lines stream
 //!   without per-record replies (the operational bulk-feed mode);
+//! * `noack_bare` — the same noack run with `telemetry = false`
+//!   (`into_live_untelemetered`: zero clock reads on the hot paths).
+//!   The gap between `noack_bare` and `noack` is the telemetry tax —
+//!   the cost of the per-batch admission histograms and stall
+//!   counters — measured over adjacent run pairs and reported as
+//!   `telemetry_tax_pct` (median of per-pair drops), which CI gates
+//!   at ≤ 5% (`perf_guard --ceiling … telemetry_tax_pct 5`);
 //! * `acked` — every `PUSH` is acknowledged with `OK`, which bounds
 //!   the protocol's chatty lower end (clients pipeline writes and
 //!   drain replies on a separate thread);
@@ -22,9 +29,9 @@
 //!   default `--wal-sync interval` policy: every admitted batch is
 //!   also encoded and appended to the write-ahead log under the
 //!   admission gate, with a background fsync cadence. The gap between
-//!   `acked` and `acked_wal` is the price of crash safety; CI gates it
-//!   (`perf_guard … modes.acked.records_per_sec 25
-//!   modes.acked_wal.records_per_sec`).
+//!   `acked` and `acked_wal` is the price of crash safety, measured
+//!   the same paired way as the telemetry tax and gated by CI
+//!   (`perf_guard --ceiling … wal_drop_pct 35`).
 //!
 //! The `acked` mode additionally runs a **client-count sweep** (1, 2
 //! and 4 concurrent clients over the same total record count) — the
@@ -83,17 +90,18 @@ fn builder() -> TiresiasBuilder {
 /// units in the driver) — live feeds are naturally time-aligned, and
 /// unbounded skew would just measure the grace window dropping
 /// stragglers.
-fn client_payloads(clients: usize) -> (usize, Vec<Vec<String>>) {
+fn client_payloads(clients: usize, scale: u64) -> (usize, Vec<Vec<String>>) {
     let mut total = 0usize;
     let mut payloads = vec![vec![String::new(); UNITS as usize]; clients];
     for u in 0..UNITS {
         let mut i_in_unit = 0usize;
         for c in 0..CATEGORIES {
-            let count = if u == BURST_UNIT && c == 0 {
-                RECORDS_PER_UNIT_PER_CATEGORY * BURST_FACTOR
-            } else {
-                RECORDS_PER_UNIT_PER_CATEGORY
-            };
+            let count = scale
+                * if u == BURST_UNIT && c == 0 {
+                    RECORDS_PER_UNIT_PER_CATEGORY * BURST_FACTOR
+                } else {
+                    RECORDS_PER_UNIT_PER_CATEGORY
+                };
             for i in 0..count {
                 let t = u * TIMEUNIT + (i % TIMEUNIT);
                 payloads[i_in_unit % clients][u as usize]
@@ -119,6 +127,9 @@ struct ModeReport {
 #[derive(Debug, Serialize)]
 struct ModesReport {
     noack: ModeReport,
+    /// The noack run with telemetry disabled — the instrumentation-free
+    /// baseline `telemetry_tax_pct` compares against.
+    noack_bare: ModeReport,
     acked: ModeReport,
     /// The acked run with WAL durability (`--wal-sync interval`).
     acked_wal: ModeReport,
@@ -135,8 +146,13 @@ struct Report {
     /// (the multi-client scaling of the lock-free admission path).
     acked_scaling: Vec<ModeReport>,
     /// Throughput drop of `acked_wal` relative to `acked`, percent
-    /// (positive = the WAL cost something).
+    /// (positive = the WAL cost something). Median of per-pair drops
+    /// over adjacent runs, so host slow phases cancel out.
     wal_drop_pct: f64,
+    /// Throughput drop of `noack` relative to `noack_bare`, percent —
+    /// the cost of the admission-path histograms and counters. Median
+    /// of per-pair drops, same pairing as `wal_drop_pct`.
+    telemetry_tax_pct: f64,
     /// Anomaly events the live subscriber received (≥ 1 required).
     subscribed_events: usize,
     /// Final `STATS` line of the `noack` run.
@@ -158,18 +174,24 @@ struct ConfigReport {
 /// One measured run; returns (wall seconds, subscribed event count,
 /// stats line, checkpoint_versioned). With `durable`, the server runs
 /// a `--data-dir` (fresh per run) on the default interval WAL-sync
-/// policy — the crash-safe configuration.
+/// policy — the crash-safe configuration. Without `settle`, the run
+/// skips the grace-window sleep that lets the burst unit close and
+/// reach the subscriber — timing-only repeats of an already-settled
+/// mode don't pay the multi-second wait (their `events` count is 0).
 fn run_mode(
     noack: bool,
     durable: bool,
+    telemetry: bool,
+    settle: bool,
     payloads: &[Vec<String>],
     records: usize,
 ) -> (f64, usize, String, bool) {
     let clients = payloads.len();
-    let tag = match (noack, durable) {
-        (true, _) => "noack",
-        (false, false) => "acked",
-        (false, true) => "acked-wal",
+    let tag = match (noack, durable, telemetry) {
+        (true, _, false) => "noack-bare",
+        (true, _, true) => "noack",
+        (false, false, _) => "acked",
+        (false, true, _) => "acked-wal",
     };
     let ckpt = std::env::temp_dir()
         .join(format!("bench-serve-{}-{tag}-{clients}.ckpt", std::process::id(),));
@@ -181,6 +203,7 @@ fn run_mode(
     config.grace = Duration::from_millis(GRACE_MS);
     config.tick = Duration::from_millis(20);
     config.checkpoint = Some(ckpt.clone());
+    config.telemetry = telemetry;
     if durable {
         config.data_dir = Some(data_dir.clone());
     }
@@ -248,7 +271,9 @@ fn run_mode(
 
     // Let the grace window expire so the burst's unit closes and the
     // events reach the subscriber live, before shutdown.
-    std::thread::sleep(Duration::from_millis(GRACE_MS + 400));
+    if settle {
+        std::thread::sleep(Duration::from_millis(GRACE_MS + 400));
+    }
     let mut control = TcpStream::connect(addr).expect("control connects");
     control.write_all(b"STATS\n").expect("stats");
     let mut reader = BufReader::new(control.try_clone().expect("clones"));
@@ -274,13 +299,34 @@ fn run_mode(
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
 
+    // Repeats for the perf_guard-gated modes: a single run's wall is
+    // tens of milliseconds on this workload, and the host can sit in
+    // multi-second slow phases (throttling, a neighbour container), so
+    // same-run ratio gates need both variants measured back-to-back.
+    // Each gated pair runs `GATED_RUNS` adjacent pairs in alternating
+    // order; the reported *throughputs* are the best walls (what the
+    // path can sustain), while the reported *ratios* (`wal_drop_pct`,
+    // `telemetry_tax_pct`) are the median of the per-pair drops —
+    // a slow phase lands on both halves of a pair and cancels out.
+    const GATED_RUNS: usize = 7;
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let mid = xs.len() / 2;
+        if xs.len() % 2 == 1 {
+            xs[mid]
+        } else {
+            (xs[mid - 1] + xs[mid]) / 2.0
+        }
+    }
+
     // Acked client-count sweep: same total records, 1/2/4 concurrent
     // clients. The 4-client point doubles as `modes.acked` (the
-    // perf_guard metric).
+    // perf_guard metric); its repeats are paired with the WAL runs
+    // below.
     let mut acked_scaling = Vec::new();
-    for clients in [1usize, 2, CLIENTS] {
-        let (records, payloads) = client_payloads(clients);
-        let (wall, _, _, _) = run_mode(false, false, &payloads, records);
+    for clients in [1usize, 2] {
+        let (records, payloads) = client_payloads(clients, 1);
+        let (wall, _, _, _) = run_mode(false, false, true, false, &payloads, records);
         acked_scaling.push(ModeReport {
             clients,
             records,
@@ -288,23 +334,72 @@ fn main() {
             records_per_sec: records as f64 / wall,
         });
     }
-    let acked = acked_scaling.last().expect("sweep measured the full client count").clone();
 
-    // The same acked run with WAL durability: the crash-safety price.
-    let (records, payloads) = client_payloads(CLIENTS);
-    let (wal_wall, _, _, _) = run_mode(false, true, &payloads, records);
+    // Acked vs acked+WAL, in adjacent pairs: the crash-safety price.
+    let (records, payloads) = client_payloads(CLIENTS, 1);
+    let mut acked_wall = f64::INFINITY;
+    let mut wal_wall = f64::INFINITY;
+    let mut wal_drops = Vec::new();
+    for i in 0..GATED_RUNS {
+        let mut pair = [0.0f64; 2]; // [acked, acked_wal]
+        for durable in [i % 2 == 0, i % 2 != 0] {
+            let (wall, _, _, _) = run_mode(false, durable, true, false, &payloads, records);
+            pair[durable as usize] = wall;
+        }
+        acked_wall = acked_wall.min(pair[0]);
+        wal_wall = wal_wall.min(pair[1]);
+        wal_drops.push((pair[1] / pair[0] - 1.0) * 100.0);
+    }
+    let acked = ModeReport {
+        clients: CLIENTS,
+        records,
+        wall_seconds: acked_wall,
+        records_per_sec: records as f64 / acked_wall,
+    };
+    acked_scaling.push(acked.clone());
     let acked_wal = ModeReport {
         clients: CLIENTS,
         records,
         wall_seconds: wal_wall,
         records_per_sec: records as f64 / wal_wall,
     };
-    let wal_drop_pct = (1.0 - acked_wal.records_per_sec / acked.records_per_sec) * 100.0;
+    let wal_drop_pct = median(wal_drops);
 
-    let (records, payloads) = client_payloads(CLIENTS);
-    let (noack_wall, events, stats, checkpoint_versioned) =
-        run_mode(true, false, &payloads, records);
+    // The instrumentation-free noack baseline vs the telemetered noack
+    // run. At scale 1 the noack wall is dominated by the per-unit PING
+    // fences, so the noack pair pushes `NOACK_SCALE`× the records per
+    // unit (per-record admission work dominates) with the runs
+    // interleaved bare/telemetered so slow stretches of the host hit
+    // both variants alike.
+    const NOACK_SCALE: u64 = 8;
+    let (records, payloads) = client_payloads(CLIENTS, NOACK_SCALE);
+    let mut bare_wall = f64::INFINITY;
+    let mut noack_wall = f64::INFINITY;
+    let mut taxes = Vec::new();
+    for i in 0..GATED_RUNS {
+        let mut pair = [0.0f64; 2]; // [bare, telemetered]
+        for telemetered in [i % 2 == 0, i % 2 != 0] {
+            let (wall, _, _, _) = run_mode(true, false, telemetered, false, &payloads, records);
+            pair[telemetered as usize] = wall;
+        }
+        bare_wall = bare_wall.min(pair[0]);
+        noack_wall = noack_wall.min(pair[1]);
+        taxes.push((pair[1] / pair[0] - 1.0) * 100.0);
+    }
+    let telemetry_tax_pct = median(taxes);
+    // One settled telemetered run carries the semantic checks: the
+    // subscriber sees the burst, the stats line, the checkpoint.
+    let (wall, events, stats, checkpoint_versioned) =
+        run_mode(true, false, true, true, &payloads, records);
+    noack_wall = noack_wall.min(wall);
     assert!(events >= 1, "the subscriber saw the injected burst");
+    let noack_bare = ModeReport {
+        clients: CLIENTS,
+        records,
+        wall_seconds: bare_wall,
+        records_per_sec: records as f64 / bare_wall,
+    };
+    let noack_rps = records as f64 / noack_wall;
 
     let report = Report {
         schema: "tiresias-bench-serve/v1".to_string(),
@@ -323,13 +418,15 @@ fn main() {
                 clients: CLIENTS,
                 records,
                 wall_seconds: noack_wall,
-                records_per_sec: records as f64 / noack_wall,
+                records_per_sec: noack_rps,
             },
+            noack_bare,
             acked,
             acked_wal,
         },
         acked_scaling,
         wal_drop_pct,
+        telemetry_tax_pct,
         subscribed_events: events,
         stats,
         clean_shutdown: true,

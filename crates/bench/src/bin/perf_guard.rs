@@ -25,6 +25,14 @@
 //! perf_guard /tmp/s.json /tmp/s.json modes.acked.records_per_sec 25 \
 //!     modes.acked_wal.records_per_sec
 //! ```
+//!
+//! The `--ceiling` form instead bounds a metric the report already
+//! expresses as an overhead percentage (negative = the overhead paid
+//! for itself; only exceeding the ceiling fails):
+//!
+//! ```text
+//! perf_guard --ceiling /tmp/bench_serve.json telemetry_tax_pct 5
+//! ```
 
 use std::process::ExitCode;
 
@@ -44,12 +52,27 @@ fn metric(file: &str, path: &str) -> Result<f64, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, file, path, ceiling] = args.as_slice() {
+        if flag == "--ceiling" {
+            let ceiling: f64 = ceiling.parse().map_err(|e| format!("ceiling `{ceiling}`: {e}"))?;
+            let value = metric(file, path)?;
+            eprintln!("{path}: {value:+.2}%, ceiling {ceiling}%");
+            if !value.is_finite() {
+                return Err(format!("{path} = {value} is not a finite number"));
+            }
+            if value > ceiling {
+                return Err(format!("{path} exceeds the ceiling: {value:.2}% > {ceiling}%"));
+            }
+            return Ok(());
+        }
+    }
     let (baseline_file, fresh_file, path, max_drop_pct, fresh_path) = match args.as_slice() {
         [b, f, p, d] => (b, f, p, d, p),
         [b, f, p, d, fp] => (b, f, p, d, fp),
         _ => {
             return Err("usage: perf_guard <baseline.json> <fresh.json> <dotted.metric.path> \
-                        <max_drop_pct> [fresh.metric.path]"
+                        <max_drop_pct> [fresh.metric.path] | perf_guard --ceiling <report.json> \
+                        <dotted.metric.path> <max_pct>"
                 .into());
         }
     };

@@ -104,13 +104,14 @@ mod error;
 mod export;
 mod fault;
 mod live;
-mod metrics;
+pub mod quality;
 mod record;
 mod reference_method;
 mod ring;
 mod segments;
 mod sharded;
 mod store;
+mod telem;
 mod wal;
 
 pub use anomaly::{is_anomalous, is_drop, AnomalyEvent, AnomalyKind};
@@ -124,12 +125,16 @@ pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};
 pub use fault::FaultFs;
 pub use live::{Admission, IngestHandle, LiveSharded, ReportReader, DEFAULT_MAX_AHEAD_UNITS};
-pub use metrics::{ComparisonReport, ConfusionCounts};
+/// The detection-quality scoring module's pre-rename path (it was
+/// `metrics` before runtime telemetry claimed that word).
+pub use quality as metrics;
+pub use quality::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};
 pub use segments::{SegmentStore, DEFAULT_SEGMENT_BYTES};
 pub use sharded::{ShardRouter, ShardedTiresias};
 pub use store::ReportStore;
+pub use telem::EngineTelemetry;
 pub use wal::{
     encode_record, read_wal, Wal, WalEntry, WalRecovery, WalSyncPolicy, DEFAULT_WAL_SEGMENT_BYTES,
     FRAME_HEADER_BYTES,

@@ -63,6 +63,7 @@ use crate::ring::ShardRing;
 use crate::segments::SegmentStore;
 use crate::sharded::{ShardRouter, ShardedParts, ShardedTiresias};
 use crate::store::ReportStore;
+use crate::telem::EngineTelemetry;
 use crate::wal::{encode_record, Wal};
 
 use tiresias_hierarchy::CategoryPath;
@@ -187,6 +188,10 @@ struct FrontShared {
     /// admitted against watermark `W` precedes the close frame that
     /// closes `W`.
     wal: Option<Arc<Wal>>,
+    /// Hot-path latency histograms, `None` when the engine runs
+    /// untelemetered (the bench baseline): admission then pays no
+    /// clock reads at all.
+    telem: Option<EngineTelemetry>,
 }
 
 impl FrontShared {
@@ -252,6 +257,8 @@ impl IngestHandle {
             return Ok(());
         }
         let s = &*self.shared;
+        // One clock read per batch (and none at all untelemetered).
+        let t_admit = s.telem.as_ref().map(|_| Instant::now());
         let _gate = s.gate.read().expect("gate never poisoned");
         if s.closed.load(Ordering::SeqCst) {
             return Err(CoreError::Closed);
@@ -337,7 +344,22 @@ impl IngestHandle {
                 continue;
             }
             s.queued[idx].fetch_add(chunk.len() as u64, Ordering::SeqCst);
-            if !s.rings[idx].push(ShardMsg::Records { wm, recs: chunk }) {
+            let msg = ShardMsg::Records { wm, recs: chunk };
+            let delivered = match &s.telem {
+                Some(t) => match s.rings[idx].push_timing_stall(msg) {
+                    Some(stall) => {
+                        // Only backpressure stalls are interesting; an
+                        // uncontended hand-off records nothing.
+                        if stall > 0 {
+                            t.ring_stall.record(stall);
+                        }
+                        true
+                    }
+                    None => false,
+                },
+                None => s.rings[idx].push(msg),
+            };
+            if !delivered {
                 // Only an abandoned ring (engine torn down mid-push)
                 // refuses; report the closure.
                 return Err(CoreError::Closed);
@@ -366,6 +388,9 @@ impl IngestHandle {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
+        }
+        if let (Some(t0), Some(t)) = (t_admit, &s.telem) {
+            t.admit.record_duration(t0.elapsed());
         }
         Ok(())
     }
@@ -676,6 +701,7 @@ impl LiveSharded {
         mut engine: ShardedTiresias,
         max_ahead_units: u64,
         wal: Option<Arc<Wal>>,
+        telemetry: bool,
     ) -> Result<LiveSharded, CoreError> {
         // Every unit the scheduler can derive from an admissible
         // watermark must stay below the sentinel and multiply by the
@@ -698,6 +724,10 @@ impl LiveSharded {
         let units_done = engine.units_processed();
         let parts = engine.into_parts();
         let n = parts.shards.len();
+        let telem = telemetry.then(EngineTelemetry::new);
+        if let (Some(t), Some(wal)) = (&telem, &wal) {
+            wal.set_telemetry(Arc::clone(&t.wal_append), Arc::clone(&t.wal_fsync));
+        }
         let shared = Arc::new(FrontShared {
             router: parts.router,
             timeunit: parts.builder.timeunit_secs,
@@ -725,6 +755,7 @@ impl LiveSharded {
                 .collect(),
             stashed: (0..n).map(|_| AtomicU64::new(0)).collect(),
             wal,
+            telem,
         });
         let (tx, rx) = channel();
         let workers = parts
@@ -761,6 +792,14 @@ impl LiveSharded {
     /// A new front-end handle (clone one per session thread).
     pub fn handle(&self) -> IngestHandle {
         IngestHandle { shared: Arc::clone(&self.inner().shared) }
+    }
+
+    /// The engine's hot-path latency histograms — `None` when the
+    /// engine was built untelemetered. Cheap to clone (a handful of
+    /// `Arc`s); the serving layer registers them into its exported
+    /// [`tiresias_telemetry::Registry`].
+    pub fn telemetry(&self) -> Option<EngineTelemetry> {
+        self.inner().shared.telem.clone()
     }
 
     /// The open (not yet closed) timeunit.
@@ -811,6 +850,9 @@ impl LiveSharded {
     /// [`LiveSharded::reader`]s.
     pub fn set_spill(&mut self, seg: Arc<SegmentStore>) {
         let inner = self.inner.as_mut().expect("live engine present until finish");
+        if let Some(t) = &inner.shared.telem {
+            seg.set_telemetry(Arc::clone(&t.spill));
+        }
         inner.spill = Some(seg);
     }
 
@@ -1058,6 +1100,7 @@ fn collect_acks(
     // offline merge; the store re-homes each event onto its report
     // tree. The write lock is held only for this merge; readers
     // resume the moment it drops.
+    let t_merge = inner.shared.telem.as_ref().map(|_| Instant::now());
     inner.pending.sort_by(|a, b| (a.unit, &a.path).cmp(&(b.unit, &b.path)));
     {
         let mut store = inner.store.write().expect("report lock never poisoned");
@@ -1076,6 +1119,9 @@ fn collect_acks(
                 first_err.get_or_insert(e);
             }
         }
+    }
+    if let (Some(t0), Some(t)) = (t_merge, &inner.shared.telem) {
+        t.merge.record_duration(t0.elapsed());
     }
     Ok(first_err)
 }
@@ -1162,8 +1208,12 @@ fn run_worker(
             }
             ShardMsg::Barrier { seq, from, target } => {
                 if poison.is_none() {
+                    let t0 = shared.telem.as_ref().map(|_| Instant::now());
                     if let Err(e) = close_shard(&mut shard, &mut stash, from, target, timeunit) {
                         poison_shard(shared, &mut poison, e);
+                    }
+                    if let (Some(t0), Some(t)) = (t0, &shared.telem) {
+                        t.close.record_duration(t0.elapsed());
                     }
                 }
                 update_gauges(idx, &shard, &stash, shared);

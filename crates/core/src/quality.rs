@@ -1,3 +1,13 @@
+//! Detection-*quality* scoring: confusion counts and detector-vs-
+//! detector comparison reports (the paper's Tables V and VI).
+//!
+//! Nothing here measures the daemon's runtime behaviour — that is
+//! `tiresias-telemetry`'s job ("metrics" in this workspace always
+//! means runtime telemetry). This module scores how well one detector
+//! reproduces another's anomaly verdicts: ADA against the exact STA
+//! strawman, or Tiresias against the Shewhart control-chart reference
+//! method.
+
 use serde::{Deserialize, Serialize};
 
 use tiresias_hierarchy::CategoryPath;

@@ -81,6 +81,30 @@ impl<T> ShardRing<T> {
         true
     }
 
+    /// [`ShardRing::push`] that also reports how long the producer was
+    /// blocked on a full ring, in nanoseconds. The clock only starts
+    /// when the slow path is entered, so an uncontended hand-off pays
+    /// nothing and reports 0. Returns `None` (dropping the item) if
+    /// the consumer has abandoned the ring.
+    pub fn push_timing_stall(&self, item: T) -> Option<u64> {
+        let mut state = self.state.lock().expect("ring lock never poisoned");
+        let mut stall = 0u64;
+        if state.queue.len() >= self.capacity && !state.abandoned {
+            let t0 = std::time::Instant::now();
+            while state.queue.len() >= self.capacity && !state.abandoned {
+                state = self.not_full.wait(state).expect("ring lock never poisoned");
+            }
+            stall = t0.elapsed().as_nanos() as u64;
+        }
+        if state.abandoned {
+            return None;
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Some(stall)
+    }
+
     /// Dequeues the next item, blocking while the ring is empty.
     /// Returns `None` once the producing side has called
     /// [`ShardRing::finish`] and the queue is drained.

@@ -37,7 +37,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use tiresias_telemetry::Histogram;
 
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +96,9 @@ pub struct SegmentStore {
     dir: PathBuf,
     segment_bytes: u64,
     inner: RwLock<SegInner>,
+    /// Spill-latency histogram, set once by
+    /// [`SegmentStore::set_telemetry`]. Unset = untelemetered.
+    t_spill: OnceLock<Arc<Histogram>>,
 }
 
 fn log_name(first_seq: u64) -> String {
@@ -212,7 +218,15 @@ impl SegmentStore {
             dir: dir.to_path_buf(),
             segment_bytes: segment_bytes.max(1),
             inner: RwLock::new(inner),
+            t_spill: OnceLock::new(),
         })
+    }
+
+    /// Attaches a spill-latency histogram (each non-empty [`Self::spill`]
+    /// call observes its whole duration, fsync included). First call
+    /// wins; later calls are no-ops.
+    pub fn set_telemetry(&self, spill: Arc<Histogram>) {
+        let _ = self.t_spill.set(spill);
     }
 
     /// Archives an evicted, `(unit, path)`-ordered event run whose
@@ -221,6 +235,19 @@ impl SegmentStore {
     /// replayed evictions idempotent. Returns the number of events
     /// newly written; the data is fsynced before this returns.
     pub fn spill(&self, first_seq: u64, events: &[AnomalyEvent]) -> io::Result<usize> {
+        let t0 = self.t_spill.get().map(|_| Instant::now());
+        let result = self.spill_inner(first_seq, events);
+        if let (Some(t0), Some(hist)) = (t0, self.t_spill.get()) {
+            // An all-skipped (idempotent replay) spill is a no-op and
+            // would only skew the latency profile downwards.
+            if !matches!(result, Ok(0)) {
+                hist.record_duration(t0.elapsed());
+            }
+        }
+        result
+    }
+
+    fn spill_inner(&self, first_seq: u64, events: &[AnomalyEvent]) -> io::Result<usize> {
         let mut inner = self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let skip = inner.next_seq.saturating_sub(first_seq).min(events.len() as u64) as usize;
         let events = &events[skip..];

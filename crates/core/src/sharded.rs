@@ -283,7 +283,7 @@ impl ShardedTiresias {
     ///
     /// Propagates shard errors from aligning a mid-stream engine.
     pub fn into_live(self, max_ahead_units: u64) -> Result<crate::LiveSharded, CoreError> {
-        crate::LiveSharded::from_engine(self, max_ahead_units, None)
+        crate::LiveSharded::from_engine(self, max_ahead_units, None, true)
     }
 
     /// [`ShardedTiresias::into_live`] with a write-ahead log attached:
@@ -301,7 +301,23 @@ impl ShardedTiresias {
         max_ahead_units: u64,
         wal: Option<std::sync::Arc<crate::Wal>>,
     ) -> Result<crate::LiveSharded, CoreError> {
-        crate::LiveSharded::from_engine(self, max_ahead_units, wal)
+        crate::LiveSharded::from_engine(self, max_ahead_units, wal, true)
+    }
+
+    /// [`ShardedTiresias::into_live_durable`] with hot-path telemetry
+    /// switched off: no latency histograms exist and admission performs
+    /// no clock reads — the baseline the benchmark compares the
+    /// instrumented engine against (`telemetry_tax_pct`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard errors from aligning a mid-stream engine.
+    pub fn into_live_untelemetered(
+        self,
+        max_ahead_units: u64,
+        wal: Option<std::sync::Arc<crate::Wal>>,
+    ) -> Result<crate::LiveSharded, CoreError> {
+        crate::LiveSharded::from_engine(self, max_ahead_units, wal, false)
     }
 
     /// Number of shards.

@@ -53,8 +53,10 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use tiresias_telemetry::Histogram;
 
 /// Frame kind byte of a batch frame.
 const KIND_BATCH: u8 = 0x01;
@@ -233,6 +235,13 @@ pub struct Wal {
     /// While true, appends are no-ops: set during startup replay so
     /// re-admitting recovered frames does not duplicate them.
     replaying: AtomicBool,
+    /// Append-latency histogram (whole frame, including any inline
+    /// policy fsync), set once by [`Wal::set_telemetry`]. Unset =
+    /// untelemetered: the append path pays nothing.
+    t_append: OnceLock<Arc<Histogram>>,
+    /// Fsync-latency histogram (every explicit `sync_all`, wherever it
+    /// happens: per-batch policy, interval tick, rotation, shutdown).
+    t_fsync: OnceLock<Arc<Histogram>>,
 }
 
 /// Default WAL segment rotation threshold.
@@ -433,6 +442,8 @@ impl Wal {
             last_seq: AtomicU64::new(next_seq - 1),
             segments: AtomicU64::new(files.len().max(1) as u64),
             replaying: AtomicBool::new(false),
+            t_append: OnceLock::new(),
+            t_fsync: OnceLock::new(),
         };
         Ok((wal, recovery))
     }
@@ -442,6 +453,16 @@ impl Wal {
     /// engine does not write them a second time.
     pub fn set_replaying(&self, on: bool) {
         self.replaying.store(on, Ordering::SeqCst);
+    }
+
+    /// Attaches latency histograms to the log: `append` observes every
+    /// frame append (including any policy-driven inline fsync),
+    /// `fsync` every explicit flush. First call wins; later calls are
+    /// no-ops — the log is shared by `Arc` and instrumented once by
+    /// whoever assembles the telemetry registry.
+    pub fn set_telemetry(&self, append: Arc<Histogram>, fsync: Arc<Histogram>) {
+        let _ = self.t_append.set(append);
+        let _ = self.t_fsync.set(fsync);
     }
 
     /// Appends one batch frame from pre-encoded record bytes (the
@@ -493,6 +514,15 @@ impl Wal {
     }
 
     fn append_frame(&self, inner: &mut WalInner, payload: &[u8]) -> io::Result<()> {
+        let t0 = self.t_append.get().map(|_| Instant::now());
+        let result = self.append_frame_inner(inner, payload);
+        if let (Some(t0), Some(hist)) = (t0, self.t_append.get()) {
+            hist.record_duration(t0.elapsed());
+        }
+        result
+    }
+
+    fn append_frame_inner(&self, inner: &mut WalInner, payload: &[u8]) -> io::Result<()> {
         if inner.segment_len >= self.segment_bytes {
             self.rotate(inner)?;
         }
@@ -521,7 +551,7 @@ impl Wal {
     /// Closes the current segment (flushed durably regardless of
     /// policy — rotation is rare) and starts `wal-<next_seq>.log`.
     fn rotate(&self, inner: &mut WalInner) -> io::Result<()> {
-        inner.file.sync_all()?;
+        self.timed_sync_all(inner)?;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         let first = inner.next_seq;
         let path = self.dir.join(segment_name(first));
@@ -536,11 +566,24 @@ impl Wal {
     }
 
     fn sync(&self, inner: &mut WalInner) -> io::Result<()> {
-        inner.file.sync_all()?;
+        self.timed_sync_all(inner)?;
         inner.last_sync = Instant::now();
         inner.dirty = false;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// `sync_all` with the fsync histogram around it (when attached).
+    fn timed_sync_all(&self, inner: &mut WalInner) -> io::Result<()> {
+        match self.t_fsync.get() {
+            Some(hist) => {
+                let t0 = Instant::now();
+                let result = inner.file.sync_all();
+                hist.record_duration(t0.elapsed());
+                result
+            }
+            None => inner.file.sync_all(),
+        }
     }
 
     /// Interval-policy housekeeping: flushes pending frames if the

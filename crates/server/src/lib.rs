@@ -82,7 +82,8 @@ mod route;
 mod server;
 pub mod signal;
 mod state;
+mod telemetry;
 
 pub use error::ServerError;
 pub use route::{Router, RouterConfig};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, DEFAULT_IDLE_TIMEOUT, DEFAULT_SLOW_MS};

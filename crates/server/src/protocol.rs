@@ -9,6 +9,7 @@
 //! | `SUBSCRIBE [FROM <unit>]` | `OK subscribed from=<unit>`, then asynchronous `EVENT …` frames; with `FROM`, retained events of units `≥ <unit>` are replayed first and the live stream splices on gap-free |
 //! | `QUERY <from> <to> [PREFIX <path>] [LEVEL <n>] [LIMIT <k>]` | `EVENT …` frames for retained events with unit in `[from, to]` (inclusive), then `OK n=<count>` |
 //! | `STATS`               | one `STATS key=value …` line          |
+//! | `STATS JSON`          | one JSON object with every registered counter, gauge, and latency-histogram summary (the `tiresias top` feed) |
 //! | `NOACK`               | `OK` — from now on `PUSH` only answers `LATE`/`ERR`, not `OK` |
 //! | `PING`                | `PONG`                                |
 //! | `QUIT`                | `BYE`, then the server closes the session |
@@ -81,7 +82,11 @@ pub enum Request {
         limit: Option<usize>,
     },
     /// Report server metrics.
-    Stats,
+    Stats {
+        /// `true` for `STATS JSON` — the full telemetry registry as one
+        /// JSON object instead of the legacy `key=value` line.
+        json: bool,
+    },
     /// Suppress per-`PUSH` `OK` acknowledgements for this session.
     Noack,
     /// Liveness probe.
@@ -122,12 +127,16 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Ok(Some(Request::Subscribe { from: Some(from) }))
         }
         "QUERY" => parse_query(rest).map(Some),
-        "STATS" | "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
+        "STATS" => match rest {
+            "" => Ok(Some(Request::Stats { json: false })),
+            "JSON" => Ok(Some(Request::Stats { json: true })),
+            _ => Err("STATS takes no arguments except JSON".to_string()),
+        },
+        "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
             if !rest.is_empty() {
                 return Err(format!("{command} takes no arguments"));
             }
             Ok(Some(match command {
-                "STATS" => Request::Stats,
                 "NOACK" => Request::Noack,
                 "PING" => Request::Ping,
                 "QUIT" => Request::Quit,
@@ -247,7 +256,8 @@ mod tests {
     #[test]
     fn simple_commands_parse() {
         assert_eq!(parse_request("SUBSCRIBE").unwrap(), Some(Request::Subscribe { from: None }));
-        assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_request("STATS").unwrap(), Some(Request::Stats { json: false }));
+        assert_eq!(parse_request("STATS JSON").unwrap(), Some(Request::Stats { json: true }));
         assert_eq!(parse_request("NOACK").unwrap(), Some(Request::Noack));
         assert_eq!(parse_request("PING").unwrap(), Some(Request::Ping));
         assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));

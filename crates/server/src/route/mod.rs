@@ -43,6 +43,7 @@ mod supervisor;
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -50,16 +51,19 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tiresias_core::ShardRouter;
+use tiresias_telemetry::{MetricsServer, Registry, SlowLog};
 
 use crate::error::ServerError;
 use crate::hub::Hub;
 use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
+use crate::server::DEFAULT_SLOW_MS;
 use crate::signal;
 
 use buffer::{BatchTicket, Parked};
 use merge::{aggregate_stats, merge_query_frames};
 use supervisor::{
-    is_timeout, run_fanin, run_supervisor, state_name, Conn, Node, RpcError, STATE_UP,
+    is_timeout, run_fanin, run_supervisor, state_name, Conn, Node, NodeTelemetry, RpcError,
+    STATE_UP,
 };
 
 /// How often blocking session reads time out to re-check the stop flag.
@@ -96,6 +100,13 @@ pub struct RouterConfig {
     pub queue_bound: usize,
     /// Install `SIGTERM`/`SIGINT` handlers that shut the router down.
     pub handle_signals: bool,
+    /// Address for the Prometheus `GET /metrics` listener; `None`
+    /// leaves the exporter off (`STATS JSON` still works).
+    pub metrics_addr: Option<String>,
+    /// Structured NDJSON slow-op log path; `None` disables it.
+    pub slow_log: Option<PathBuf>,
+    /// Threshold in milliseconds above which an op hits the slow log.
+    pub slow_ms: u64,
 }
 
 impl RouterConfig {
@@ -111,6 +122,9 @@ impl RouterConfig {
             buffer_records: 65_536,
             queue_bound: 1024,
             handle_signals: false,
+            metrics_addr: None,
+            slow_log: None,
+            slow_ms: DEFAULT_SLOW_MS,
         }
     }
 }
@@ -123,8 +137,13 @@ struct RouterShared {
     stop: Arc<AtomicBool>,
     shutdown_started: AtomicBool,
     addr: SocketAddr,
-    /// Queries answered while at least one node was unreachable.
-    degraded_queries: AtomicU64,
+    /// Every exported router metric; rendered by `STATS JSON` and the
+    /// optional `/metrics` listener. Registered closures read node
+    /// atomics and buffer depths only — never a session lock.
+    registry: Arc<Registry>,
+    /// Queries answered while at least one node was unreachable
+    /// (shared with a registry closure, hence the `Arc`).
+    degraded_queries: Arc<AtomicU64>,
     /// High-water mark: one past the highest unit seen on any fan-in
     /// stream (the `from=` a new subscriber is quoted).
     next_unit: Arc<AtomicU64>,
@@ -160,6 +179,7 @@ pub struct Router {
     supervisors: Vec<JoinHandle<()>>,
     fanins: Vec<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics: Option<MetricsServer>,
 }
 
 impl Router {
@@ -181,11 +201,30 @@ impl Router {
         let stop = Arc::new(AtomicBool::new(false));
         let hub = Arc::new(Hub::default());
         let next_unit = Arc::new(AtomicU64::new(0));
+        let registry = Arc::new(Registry::new());
+        let slow = match &config.slow_log {
+            Some(path) => Some(Arc::new(
+                SlowLog::open(path, Duration::from_millis(config.slow_ms))
+                    .map_err(ServerError::Io)?,
+            )),
+            None => None,
+        };
         let nodes: Vec<Arc<Node>> = config
             .nodes
             .iter()
-            .map(|addr| Node::new(addr.clone(), config.buffer_records, config.request_timeout))
+            .map(|addr| {
+                let telem = NodeTelemetry::register(&registry, addr, slow.clone());
+                Node::new(addr.clone(), config.buffer_records, config.request_timeout, telem)
+            })
             .collect();
+        let degraded_queries = Arc::new(AtomicU64::new(0));
+        register_router_metrics(&registry, &nodes, &hub, &next_unit, &degraded_queries);
+        let metrics = match &config.metrics_addr {
+            Some(addr) => {
+                Some(MetricsServer::start(addr, Arc::clone(&registry)).map_err(ServerError::Io)?)
+            }
+            None => None,
+        };
 
         let supervisors: Vec<JoinHandle<()>> = nodes
             .iter()
@@ -231,7 +270,8 @@ impl Router {
             stop: Arc::clone(&stop),
             shutdown_started: AtomicBool::new(false),
             addr,
-            degraded_queries: AtomicU64::new(0),
+            registry,
+            degraded_queries,
             next_unit,
             queue_bound: config.queue_bound,
             request_timeout: config.request_timeout,
@@ -279,12 +319,17 @@ impl Router {
             None
         };
 
-        Ok(Router { shared, accept, sweeper, monitor, supervisors, fanins, sessions })
+        Ok(Router { shared, accept, sweeper, monitor, supervisors, fanins, sessions, metrics })
     }
 
     /// The bound listen address (resolves `:0` ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound `/metrics` listen address, when the exporter is on.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::local_addr)
     }
 
     /// Begins shutdown, as the `SHUTDOWN` command or a signal would.
@@ -310,7 +355,85 @@ impl Router {
         for handle in handles {
             let _ = handle.join();
         }
+        // Last: the exporter outlives the protocol threads, so a final
+        // scrape during drain still answers.
+        if let Some(mut metrics) = self.metrics {
+            metrics.shutdown();
+        }
     }
+}
+
+/// Registers the router's derived metrics: per-node health, buffer and
+/// replay accounting (labeled `node="<addr>"`), plus the router-level
+/// fan-in and degradation counters. Everything reads lock-free atomics
+/// or the per-node buffer lock — never a session lock — so rendering
+/// can happen from any thread.
+fn register_router_metrics(
+    registry: &Registry,
+    nodes: &[Arc<Node>],
+    hub: &Arc<Hub>,
+    next_unit: &Arc<AtomicU64>,
+    degraded_queries: &Arc<AtomicU64>,
+) {
+    for node in nodes {
+        let labels: &[(&str, &str)] = &[("node", &node.addr)];
+        let n = Arc::clone(node);
+        registry.gauge_fn(
+            "tiresias_node_state",
+            "Downstream node health: 2 up, 1 degraded, 0 down.",
+            labels,
+            move || n.state() as f64,
+        );
+        let n = Arc::clone(node);
+        registry.gauge_fn(
+            "tiresias_node_buffered_records",
+            "Records currently parked in the node's outage buffer.",
+            labels,
+            move || n.parked_records() as f64,
+        );
+        let n = Arc::clone(node);
+        registry.counter_fn(
+            "tiresias_node_buffered_records_total",
+            "Records ever parked in the node's outage buffer.",
+            labels,
+            move || n.buffered_total.load(Ordering::SeqCst),
+        );
+        let n = Arc::clone(node);
+        registry.counter_fn(
+            "tiresias_node_replayed_records_total",
+            "Records replayed from the outage buffer after reconnects.",
+            labels,
+            move || n.replayed.load(Ordering::SeqCst),
+        );
+    }
+    let d = Arc::clone(degraded_queries);
+    registry.counter_fn(
+        "tiresias_degraded_queries_total",
+        "Queries answered while at least one node was unreachable.",
+        &[],
+        move || d.load(Ordering::SeqCst),
+    );
+    let h = Arc::clone(hub);
+    registry.gauge_fn(
+        "tiresias_router_subscribers",
+        "Live SUBSCRIBE sessions fanning in through the router.",
+        &[],
+        move || h.subscriber_count() as f64,
+    );
+    let h = Arc::clone(hub);
+    registry.counter_fn(
+        "tiresias_router_subscriber_dropped_total",
+        "Router subscribers dropped for lagging behind the fan-in.",
+        &[],
+        move || h.dropped_slow(),
+    );
+    let u = Arc::clone(next_unit);
+    registry.gauge_fn(
+        "tiresias_router_next_unit",
+        "One past the highest timeunit seen on any fan-in stream.",
+        &[],
+        move || u.load(Ordering::SeqCst) as f64,
+    );
 }
 
 /// What the session writer thread drains: either a ready reply line or
@@ -597,7 +720,16 @@ fn handle_router_request(
             shared.initiate_shutdown();
             false
         }
-        Request::Stats => send(routed_stats(shared)),
+        Request::Stats { json } => {
+            if json {
+                // The router's own registry: node health, RTT
+                // histograms, buffer depths. Node engine internals
+                // live behind each node's own `STATS JSON`.
+                send(shared.registry.render_json())
+            } else {
+                send(routed_stats(shared))
+            }
+        }
         Request::Subscribe { from: Some(_) } => send(
             "ERR SUBSCRIBE FROM is not supported through the router; \
              connect to a node for catch-up replay"

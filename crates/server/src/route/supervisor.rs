@@ -22,7 +22,9 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use tiresias_telemetry::{Counter, Field, Histogram, Registry, SlowLog};
 
 use crate::hub::Hub;
 
@@ -118,6 +120,46 @@ pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
 }
 
+/// Per-node instrumentation the RPC paths feed, all registered with a
+/// `node="<addr>"` label: the request round-trip histogram, the probe
+/// outcome counters, and the router's slow-op log (shared across
+/// nodes; the `node` field in each slow entry disambiguates).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeTelemetry {
+    /// Round-trip latency of completed RPC exchanges (probes included).
+    pub rtt: Arc<Histogram>,
+    /// `PING` probes answered `PONG` in time.
+    pub probe_ok: Arc<Counter>,
+    /// `PING` probes that timed out, erred, or answered garbage.
+    pub probe_fail: Arc<Counter>,
+    /// The router's structured slow-op log, when configured.
+    pub slow: Option<Arc<SlowLog>>,
+}
+
+impl NodeTelemetry {
+    pub fn register(registry: &Registry, addr: &str, slow: Option<Arc<SlowLog>>) -> NodeTelemetry {
+        let labels: &[(&str, &str)] = &[("node", addr)];
+        NodeTelemetry {
+            rtt: registry.histogram(
+                "tiresias_node_request_seconds",
+                "Round-trip latency of RPC exchanges with a downstream node.",
+                labels,
+            ),
+            probe_ok: registry.counter(
+                "tiresias_node_probe_ok_total",
+                "PING health probes the node answered in time.",
+                labels,
+            ),
+            probe_fail: registry.counter(
+                "tiresias_node_probe_fail_total",
+                "PING health probes that timed out, erred, or answered garbage.",
+                labels,
+            ),
+            slow,
+        }
+    }
+}
+
 /// One downstream `tiresias serve` node as seen by the router.
 #[derive(Debug)]
 pub(crate) struct Node {
@@ -130,10 +172,16 @@ pub(crate) struct Node {
     /// Records replayed from the outage buffer after reconnects.
     pub replayed: AtomicU64,
     request_timeout: Duration,
+    telem: NodeTelemetry,
 }
 
 impl Node {
-    pub fn new(addr: String, buffer_records: usize, request_timeout: Duration) -> Arc<Node> {
+    pub fn new(
+        addr: String,
+        buffer_records: usize,
+        request_timeout: Duration,
+        telem: NodeTelemetry,
+    ) -> Arc<Node> {
         Arc::new(Node {
             addr,
             state: AtomicU8::new(STATE_DOWN),
@@ -142,7 +190,27 @@ impl Node {
             buffered_total: AtomicU64::new(0),
             replayed: AtomicU64::new(0),
             request_timeout,
+            telem,
         })
+    }
+
+    /// Records one finished RPC exchange into the node's round-trip
+    /// histogram and, over threshold, the slow-op log. `NotSent`
+    /// failures never reach here — no bytes moved, so there is no
+    /// round trip to measure.
+    fn observe_rpc(&self, rpc: &str, elapsed: Duration, lines: usize) {
+        self.telem.rtt.record_duration(elapsed);
+        if let Some(slow) = &self.telem.slow {
+            slow.record(
+                "node_request",
+                elapsed,
+                &[
+                    ("node", Field::from(self.addr.as_str())),
+                    ("rpc", Field::from(rpc)),
+                    ("lines", Field::from(lines)),
+                ],
+            );
+        }
     }
 
     pub fn state(&self) -> u8 {
@@ -168,6 +236,15 @@ impl Node {
     /// discipline: on [`RpcError::Unknown`] the records must not be
     /// retried (the node may have admitted them).
     pub fn push_batch(&self, lines: &[String]) -> Result<Vec<String>, RpcError> {
+        let t0 = Instant::now();
+        let result = self.push_batch_inner(lines);
+        if !matches!(result, Err(RpcError::NotSent)) {
+            self.observe_rpc("push", t0.elapsed(), lines.len());
+        }
+        result
+    }
+
+    fn push_batch_inner(&self, lines: &[String]) -> Result<Vec<String>, RpcError> {
         let mut guard = self.conn.lock().expect("conn lock never poisoned");
         let Some(conn) = guard.as_mut() else {
             return Err(RpcError::NotSent);
@@ -192,6 +269,16 @@ impl Node {
     /// Sends one request and reads `EVENT` frames until a terminal
     /// `OK`/`ERR` line; returns `(frames, terminal)`.
     pub fn exchange_stream(&self, request: &str) -> Result<(Vec<String>, String), RpcError> {
+        let t0 = Instant::now();
+        let result = self.exchange_stream_inner(request);
+        if !matches!(result, Err(RpcError::NotSent)) {
+            let frames = result.as_ref().map_or(0, |(frames, _)| frames.len());
+            self.observe_rpc("stream", t0.elapsed(), frames);
+        }
+        result
+    }
+
+    fn exchange_stream_inner(&self, request: &str) -> Result<(Vec<String>, String), RpcError> {
         let mut guard = self.conn.lock().expect("conn lock never poisoned");
         let Some(conn) = guard.as_mut() else {
             return Err(RpcError::NotSent);
@@ -215,8 +302,17 @@ impl Node {
         }
     }
 
-    /// One reply line for a one-line request (`STATS`).
+    /// One reply line for a one-line request (`STATS`, probes).
     pub fn request_line(&self, request: &str) -> Result<String, RpcError> {
+        let t0 = Instant::now();
+        let result = self.request_line_inner(request);
+        if !matches!(result, Err(RpcError::NotSent)) {
+            self.observe_rpc("line", t0.elapsed(), 1);
+        }
+        result
+    }
+
+    fn request_line_inner(&self, request: &str) -> Result<String, RpcError> {
         let mut guard = self.conn.lock().expect("conn lock never poisoned");
         let Some(conn) = guard.as_mut() else {
             return Err(RpcError::NotSent);
@@ -236,7 +332,7 @@ impl Node {
 
     /// Health probe: `PING` must answer `PONG`.
     fn ping(&self) -> bool {
-        match self.request_line("PING") {
+        let healthy = match self.request_line("PING") {
             Ok(reply) if reply == "PONG" => true,
             Ok(_) => {
                 // Protocol violation — treat the peer as down.
@@ -246,7 +342,13 @@ impl Node {
                 false
             }
             Err(_) => false,
+        };
+        if healthy {
+            self.telem.probe_ok.inc();
+        } else {
+            self.telem.probe_fail.inc();
         }
+        healthy
     }
 
     /// Replays every parked sub-batch in admission order over the
@@ -500,9 +602,12 @@ mod tests {
 
     #[test]
     fn node_without_connection_reports_not_sent() {
-        let node = Node::new("127.0.0.1:1".to_string(), 8, Duration::from_millis(50));
+        let registry = Registry::new();
+        let telem = NodeTelemetry::register(&registry, "127.0.0.1:1", None);
+        let node = Node::new("127.0.0.1:1".to_string(), 8, Duration::from_millis(50), telem);
         assert_eq!(node.push_batch(&["PUSH a 1".to_string()]).unwrap_err(), RpcError::NotSent);
         assert_eq!(node.request_line("STATS").unwrap_err(), RpcError::NotSent);
         assert_eq!(node.state(), STATE_DOWN);
+        assert_eq!(node.telem.rtt.snapshot().count(), 0, "NotSent must not record a round trip");
     }
 }

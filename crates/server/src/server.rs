@@ -32,12 +32,14 @@ use tiresias_core::{
 };
 use tiresias_hierarchy::{first_segment, first_segment_hash, CategoryPath, FxHashMap};
 use tiresias_sketch::SpaceSaving;
+use tiresias_telemetry::{Field, MetricsServer, SlowLog};
 
 use crate::error::ServerError;
 use crate::hub::Hub;
 use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
 use crate::signal;
 use crate::state::{Durability, Inner};
+use crate::telemetry::{self, ServerTelemetry};
 
 /// How often blocked session reads wake up to check the stop flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -112,6 +114,23 @@ pub struct ServerConfig {
     /// sending `PING` within the window. Reaped sessions are counted
     /// in `STATS reaped_sessions=`.
     pub idle_timeout: Option<Duration>,
+    /// Prometheus endpoint address (`--metrics-addr`): serves
+    /// `GET /metrics` on its own listener thread, fully separate from
+    /// the wire-protocol port. `None` disables the endpoint (`STATS
+    /// JSON` still works — the registry is always assembled).
+    pub metrics_addr: Option<String>,
+    /// Structured slow-op log path (`--slow-log`): operations slower
+    /// than [`ServerConfig::slow_ms`] append one NDJSON line each.
+    /// `None` disables the log.
+    pub slow_log: Option<PathBuf>,
+    /// Slow-op threshold in milliseconds (`--slow-ms`); only meaningful
+    /// with a [`ServerConfig::slow_log`].
+    pub slow_ms: u64,
+    /// Whether the engine's hot paths carry latency histograms
+    /// (default). `false` runs the engine untelemetered — zero clock
+    /// reads on admission — and is the baseline the benchmark's
+    /// `telemetry_tax_pct` compares against.
+    pub telemetry: bool,
 }
 
 impl ServerConfig {
@@ -134,6 +153,10 @@ impl ServerConfig {
             wal_sync: WalSyncPolicy::Interval(WalSyncPolicy::DEFAULT_INTERVAL),
             handle_signals: false,
             idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
+            metrics_addr: None,
+            slow_log: None,
+            slow_ms: DEFAULT_SLOW_MS,
+            telemetry: true,
         }
     }
 }
@@ -142,6 +165,11 @@ impl ServerConfig {
 /// interactive client ever notices, short enough that leaked half-open
 /// connections don't accumulate threads for days.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Default [`ServerConfig::slow_ms`]: well above every healthy
+/// close/query/fsync, low enough to catch a stalling disk or a
+/// pathological query early.
+pub const DEFAULT_SLOW_MS: u64 = 100;
 
 /// The Space-Saving top-k gauge over top-level path labels: a cheap
 /// answer to "what is hot right now" that costs one sketch update per
@@ -187,7 +215,12 @@ struct Shared {
     reader: ReportReader,
     /// The serialized back-end (closes, drain, checkpoint, `STATS`).
     inner: Mutex<Inner>,
-    hub: Hub,
+    /// `Arc` so the telemetry registry's derived gauges can read
+    /// subscriber counts without touching `inner`.
+    hub: Arc<Hub>,
+    /// The assembled metric registry plus the request-path histograms
+    /// and the optional slow-op log.
+    telem: ServerTelemetry,
     /// Hot-path gauge (see [`TopPaths`]).
     top: Mutex<TopPaths>,
     control: Control,
@@ -307,6 +340,8 @@ pub struct Server {
     monitor: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown_result: Arc<Mutex<Option<ServerError>>>,
+    /// The `/metrics` endpoint, when configured; stopped on join.
+    metrics: Option<MetricsServer>,
 }
 
 impl Server {
@@ -413,8 +448,15 @@ impl Server {
             engine.store_mut().set_retention(config.retain_units);
         }
         let wal = durable.as_ref().map(|(wal, _)| Arc::clone(wal));
-        let mut live =
-            engine.into_live_durable(config.max_ahead_units, wal).map_err(ServerError::Core)?;
+        let segments_arc = durable.as_ref().map(|(_, seg)| Arc::clone(seg));
+        let wal_arc = wal.clone();
+        let mut live = if config.telemetry {
+            engine.into_live_durable(config.max_ahead_units, wal)
+        } else {
+            // The bench baseline: zero clock reads on the hot paths.
+            engine.into_live_untelemetered(config.max_ahead_units, wal)
+        }
+        .map_err(ServerError::Core)?;
         let mut recovered_batches = 0u64;
         let mut recovered_units = 0u64;
         if let Some((wal, segments)) = &durable {
@@ -439,6 +481,9 @@ impl Server {
         let listener = TcpListener::bind(&config.addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
 
+        // Capture the engine's histograms before `Inner` takes the
+        // engine (`None` when running untelemetered).
+        let engine_telem = live.telemetry();
         let mut inner = Inner::new(live, config.grace);
         if let Some((wal, segments)) = durable {
             inner.set_durability(Durability { wal, segments, recovered_batches, recovered_units });
@@ -451,11 +496,36 @@ impl Server {
         }
         let front = inner.handle();
         let reader = inner.reader();
+        let hub = Arc::new(Hub::default());
+        let slow = match &config.slow_log {
+            Some(path) => Some(Arc::new(
+                SlowLog::open(path, Duration::from_millis(config.slow_ms))
+                    .map_err(ServerError::Io)?,
+            )),
+            None => None,
+        };
+        let telem = telemetry::build(
+            engine_telem.as_ref(),
+            &front,
+            &reader,
+            &hub,
+            wal_arc.as_ref(),
+            segments_arc.as_ref(),
+            slow,
+        );
+        inner.set_telemetry(telem.clone());
+        let metrics = match &config.metrics_addr {
+            Some(addr) => Some(
+                MetricsServer::start(addr, Arc::clone(&telem.registry)).map_err(ServerError::Io)?,
+            ),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             front,
             reader,
             inner: Mutex::new(inner),
-            hub: Hub::default(),
+            hub,
+            telem,
             top: Mutex::new(TopPaths::new()),
             control: Control {
                 stop: AtomicBool::new(false),
@@ -540,12 +610,18 @@ impl Server {
             None
         };
 
-        Ok(Server { shared, addr, accept, scheduler, monitor, sessions, shutdown_result })
+        Ok(Server { shared, addr, accept, scheduler, monitor, sessions, shutdown_result, metrics })
     }
 
     /// The bound listen address (resolves `:0` ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound `/metrics` address, when the endpoint is configured
+    /// (resolves `:0` ephemeral ports).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::local_addr)
     }
 
     /// Begins a graceful shutdown (drain + checkpoint + stop), as the
@@ -571,6 +647,9 @@ impl Server {
             std::mem::take(&mut *self.sessions.lock().expect("session list lock never poisoned"));
         for handle in handles {
             let _ = handle.join();
+        }
+        if let Some(mut metrics) = self.metrics {
+            metrics.shutdown();
         }
         match self.shutdown_result.lock().expect("result lock never poisoned").take() {
             Some(err) => Err(err),
@@ -941,18 +1020,25 @@ fn handle_request(
                 Err(()) => SessionStep::Disconnect,
             }
         }
-        Request::Stats => {
-            let top_paths = shared.top_paths_gauge();
-            let inner = shared.inner.lock().expect("state lock never poisoned");
-            let line = match inner.fatal() {
-                Some(why) => format!("ERR {why}"),
-                None => inner.stats_line(
-                    &shared.hub,
-                    &top_paths,
-                    dropped_events.load(Ordering::Relaxed),
-                    shared.reaped_sessions.load(Ordering::Relaxed),
-                ),
+        Request::Stats { json } => {
+            let top_paths = if json { String::new() } else { shared.top_paths_gauge() };
+            let line = {
+                let inner = shared.inner.lock().expect("state lock never poisoned");
+                match inner.fatal() {
+                    Some(why) => Some(format!("ERR {why}")),
+                    None if json => None,
+                    None => Some(inner.stats_line(
+                        &shared.hub,
+                        &top_paths,
+                        dropped_events.load(Ordering::Relaxed),
+                        shared.reaped_sessions.load(Ordering::Relaxed),
+                    )),
+                }
             };
+            // The JSON snapshot renders AFTER the state lock drops:
+            // registry closures read the report store and the hub,
+            // never `inner` (the deadlock-freedom invariant).
+            let line = line.unwrap_or_else(|| shared.telem.registry.render_json());
             SessionStep::Reply(Some(line))
         }
         Request::Noack => {
@@ -1015,7 +1101,9 @@ fn subscribe_with_replay(
     // seq-based, so a close between this reply and the replay loop
     // loses nothing.)
     tx.send(format!("OK subscribed from={resume}")).map_err(drop)?;
+    let t0 = Instant::now();
     let mut pos = 0u64;
+    let mut replayed = 0u64;
     loop {
         let chunk = {
             let inner = shared.inner.lock().expect("state lock never poisoned");
@@ -1029,10 +1117,20 @@ fn subscribe_with_replay(
             }
         };
         let Some((lines, next)) = chunk else {
+            let elapsed = t0.elapsed();
+            shared.telem.catchup.record_duration(elapsed);
+            if let Some(slow) = &shared.telem.slow {
+                slow.record(
+                    "subscribe_catchup",
+                    elapsed,
+                    &[("from", Field::from(from_unit)), ("frames", Field::from(replayed))],
+                );
+            }
             return Ok(());
         };
         pos = next;
         for line in lines {
+            replayed += 1;
             tx.send(line).map_err(drop)?;
         }
     }
@@ -1054,6 +1152,7 @@ fn answer_query(
     level: Option<usize>,
     limit: Option<usize>,
 ) -> Result<(), ()> {
+    let t0 = Instant::now();
     let prefix: Option<CategoryPath> =
         prefix.map(|p| p.parse().expect("CategoryPath parsing is infallible"));
     let limit = limit.unwrap_or(DEFAULT_QUERY_LIMIT).clamp(1, MAX_QUERY_LIMIT);
@@ -1069,5 +1168,21 @@ fn answer_query(
     for event in &events {
         tx.send(crate::protocol::format_event(event)).map_err(drop)?;
     }
-    tx.send(format!("OK n={count}")).map_err(drop)
+    // Record before the final OK is enqueued: a client that scrapes
+    // the moment its reply lands must already see this query counted.
+    let elapsed = t0.elapsed();
+    shared.telem.query.record_duration(elapsed);
+    let result = tx.send(format!("OK n={count}")).map_err(drop);
+    if let Some(slow) = &shared.telem.slow {
+        slow.record(
+            "query",
+            elapsed,
+            &[
+                ("from", Field::from(from_unit)),
+                ("to", Field::from(to_unit)),
+                ("frames", Field::from(count)),
+            ],
+        );
+    }
+    result
 }

@@ -50,9 +50,11 @@ use tiresias_core::{
     save_sharded_checkpoint, save_sharded_checkpoint_with_wal, CoreError, IngestHandle,
     LiveSharded, ReportReader, SegmentStore, ShardedTiresias, Wal,
 };
+use tiresias_telemetry::{Field, RateMeter};
 
 use crate::hub::Hub;
 use crate::protocol::format_event;
+use crate::telemetry::ServerTelemetry;
 
 /// The durability attachments of a `--data-dir` deployment: the WAL
 /// the live engine appends to, the segment archive retention spills
@@ -105,6 +107,14 @@ pub(crate) struct Inner {
     /// WAL + segment archive of a `--data-dir` deployment (`None`
     /// without one).
     durability: Option<Durability>,
+    /// Windowed `STATS rps` meter over the monotone admitted total —
+    /// a rate since the last `STATS`, not a lifetime average, and
+    /// immune to the divide-by-zero / negative-window edge cases of
+    /// wall-clock arithmetic.
+    rate: RateMeter,
+    /// Back-end telemetry hooks (broadcast histogram, slow-op log);
+    /// `None` until the server wires its registry in.
+    telem: Option<ServerTelemetry>,
 }
 
 impl Inner {
@@ -127,7 +137,15 @@ impl Inner {
             event_seq: 0,
             fatal: None,
             durability: None,
+            rate: RateMeter::new(),
+            telem: None,
         }
+    }
+
+    /// Attaches the server's telemetry (broadcast timing, slow-op log)
+    /// once the registry is assembled.
+    pub fn set_telemetry(&mut self, telem: ServerTelemetry) {
+        self.telem = Some(telem);
     }
 
     /// Attaches the durability tier (WAL, segment archive, recovery
@@ -196,11 +214,22 @@ impl Inner {
                     }
                     Err(_) => return Ok(()), // still down; keep refusing
                 }
-            } else if let Err(e) = d.wal.maybe_sync() {
-                eprintln!("tiresias-server: WAL fsync failed: {e}; admission paused");
-                self.handle.count_wal_error();
-                self.handle.set_wal_paused(true);
-                return Ok(());
+            } else {
+                let slow = self.telem.as_ref().and_then(|t| t.slow.as_deref());
+                let t0 = slow.map(|_| Instant::now());
+                if let Err(e) = d.wal.maybe_sync() {
+                    eprintln!("tiresias-server: WAL fsync failed: {e}; admission paused");
+                    self.handle.count_wal_error();
+                    self.handle.set_wal_paused(true);
+                    return Ok(());
+                }
+                if let (Some(slow), Some(t0)) = (slow, t0) {
+                    slow.record(
+                        "fsync",
+                        t0.elapsed(),
+                        &[("wal_seq", Field::from(d.wal.last_seq()))],
+                    );
+                }
             }
         }
         let Some(watermark) = self.handle.watermark() else {
@@ -236,6 +265,8 @@ impl Inner {
     /// One epoch flip: close through `target`, re-anchor the
     /// wall-clock window and broadcast the newly merged events.
     fn close_to(&mut self, target: u64, now: Instant, hub: &Hub) -> Result<(), String> {
+        let from = self.last_watermark;
+        let t0 = self.telem.as_ref().map(|_| Instant::now());
         let live = self.live.as_mut().expect("tick checked the engine is live");
         let result = live.close_to(target);
         self.last_watermark = self.handle.watermark();
@@ -244,6 +275,17 @@ impl Inner {
         // failed: the healthy shards' anomalies still reached the
         // store.
         self.broadcast_new(hub);
+        if let (Some(t0), Some(slow)) = (t0, self.telem.as_ref().and_then(|t| t.slow.as_deref())) {
+            slow.record(
+                "close",
+                t0.elapsed(),
+                &[
+                    ("target", Field::from(target)),
+                    ("from", Field::from(from.unwrap_or(0))),
+                    ("events", Field::from(self.event_seq)),
+                ],
+            );
+        }
         match result {
             Ok(_) => Ok(()),
             // The close's WAL frame could not append: the watermark
@@ -266,7 +308,14 @@ impl Inner {
             (frames, s.next_seq())
         });
         self.event_seq = next_seq;
+        if frames.is_empty() {
+            return;
+        }
+        let t0 = self.telem.as_ref().map(|_| Instant::now());
         hub.broadcast(&frames);
+        if let (Some(t0), Some(t)) = (t0, &self.telem) {
+            t.broadcast.record_duration(t0.elapsed());
+        }
     }
 
     fn mark_fatal(&mut self, e: &CoreError) -> String {
@@ -412,10 +461,9 @@ impl Inner {
     ) -> String {
         let handle = &self.handle;
         let records = handle.admitted();
-        let rps = match handle.first_admit_age() {
-            Some(age) if age.as_secs_f64() > 0.0 => records as f64 / age.as_secs_f64(),
-            _ => 0.0,
-        };
+        // Windowed rate since the previous STATS, off the monotonic
+        // clock — the first call (no window yet) reports 0.
+        let rps = self.rate.observe(records);
         let rings = handle.ring_depths();
         let shard_open = handle.shard_open_records();
         let stashed = handle.stashed_records();
@@ -590,6 +638,30 @@ mod tests {
         assert!(stats.contains("last_closed=-"), "{stats}");
         let depths = stats.split("rings=").nth(1).unwrap().split(' ').next().unwrap();
         assert_eq!(depths.split('|').count(), 2, "one ring depth per shard: {stats}");
+    }
+
+    #[test]
+    fn stats_rps_is_a_window_rate_not_a_lifetime_average() {
+        let hub = Hub::default();
+        let s = inner(10_000);
+        let handle = s.handle();
+        handle.admit("a/x", 5).unwrap();
+        let rps = |stats: &str| {
+            stats.split("rps=").nth(1).unwrap().split(' ').next().unwrap().parse::<f64>().unwrap()
+        };
+        // First STATS: no window exists yet — 0.0, never a division by
+        // a zero-or-tiny uptime.
+        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0)), 0.0);
+        // A real window with fresh records reports their rate over it.
+        std::thread::sleep(Duration::from_millis(80));
+        for i in 0..50 {
+            handle.admit("a/x", 6 + i % 3).unwrap();
+        }
+        let windowed = rps(&s.stats_line(&hub, "", 0, 0));
+        assert!(windowed > 0.0, "fresh records over a real window: {windowed}");
+        // An idle window decays to 0 — a lifetime average would not.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0)), 0.0);
     }
 
     #[test]

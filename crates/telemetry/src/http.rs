@@ -1,0 +1,149 @@
+//! The `/metrics` HTTP listener: a minimal HTTP/1.0 server on its own
+//! thread answering `GET /metrics` with the registry's Prometheus text.
+//!
+//! Deliberately tiny: one request per connection, connection closed
+//! after the response (HTTP/1.0 semantics), no keep-alive, no TLS, no
+//! routing beyond `/metrics`. It shares nothing with the wire-protocol
+//! listener, so scrapes cannot interfere with ingestion sessions and
+//! the endpoint stays up even while the protocol port is saturated.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Per-connection socket deadline: a stuck scraper cannot wedge the
+/// listener thread for long.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint. Shuts down when dropped or via
+/// [`MetricsServer::shutdown`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (`host:port`; port 0 picks an ephemeral port) and
+    /// starts serving `registry` on a dedicated thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Scrapes are rare and the render is cheap: serving
+                    // inline keeps the server single-threaded.
+                    let _ = serve_one(stream, &registry);
+                }
+            })
+        };
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut out = stream;
+    if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = registry.render_prometheus();
+        write!(
+            out,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    } else {
+        let body = "only GET /metrics is served\n";
+        write!(
+            out,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("t_up_total", "Up.", &[]).add(2);
+        let mut server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("t_up_total 2\n"), "{ok}");
+        let missing = get(addr, "/other");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

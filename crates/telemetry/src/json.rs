@@ -1,0 +1,55 @@
+//! Minimal JSON fragment helpers for the hand-built snapshot strings
+//! (`STATS JSON`, the registry snapshot, the slow-op log). The daemons
+//! compose JSON by concatenation — these keep the escaping and number
+//! validity rules in one place.
+
+/// Renders `s` as a quoted JSON string with the mandatory escapes
+/// (quote, backslash, control characters).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a valid JSON number: shortest round-trip form,
+/// with non-finite values mapped to 0 (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits a trailing `.0` for integral floats, which is
+        // still valid JSON; exponent forms like `1e-7` are too.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_valid_json() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+    }
+}

@@ -1,0 +1,43 @@
+//! Runtime observability for the Tiresias daemons — std-only, no
+//! dependencies.
+//!
+//! The paper's system *is* a telemetry analyzer; this crate is the
+//! telemetry of the reproduction itself: per-stage latency
+//! distributions (admission, close, WAL fsync, query, route RTT) as
+//! first-class, cheap, exported metrics.
+//!
+//! Four pieces:
+//!
+//! * [`Histogram`] — lock-free log-linear (HDR-style) latency
+//!   histograms: recording is `&self` and one relaxed atomic add on a
+//!   fixed bucket array; snapshots support p50/p90/p99/p999/max
+//!   readout and lossless [`HistogramSnapshot::merge`].
+//! * [`Registry`] + [`Counter`]/[`Gauge`] — a per-instance metric
+//!   registry rendered as Prometheus text
+//!   ([`Registry::render_prometheus`], served by [`MetricsServer`] on
+//!   `GET /metrics`) or a JSON snapshot ([`Registry::render_json`],
+//!   embedded in the wire protocol's `STATS JSON` reply).
+//! * [`SlowLog`] — a structured NDJSON log of operations that crossed
+//!   a latency threshold, with stage timings per record.
+//! * [`RateMeter`] — monotonic-clock rate windows for `<x>/sec`
+//!   gauges, with the first-call and zero-width-window edges guarded.
+//!
+//! The hot-path contract throughout: recording never locks, never
+//! allocates, and never does I/O; everything expensive happens on the
+//! readout side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod http;
+pub mod json;
+mod rate;
+mod registry;
+mod slowlog;
+
+pub use hist::{same_bucket, Histogram, HistogramSnapshot, BUCKETS};
+pub use http::MetricsServer;
+pub use rate::{RateMeter, MIN_WINDOW};
+pub use registry::{Counter, Gauge, Registry};
+pub use slowlog::{Field, SlowLog};

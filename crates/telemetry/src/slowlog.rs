@@ -1,0 +1,168 @@
+//! Structured NDJSON slow-op log.
+//!
+//! A [`SlowLog`] appends one JSON object per line for every operation
+//! that exceeded its threshold — closes, queries, fsyncs, routed node
+//! requests — with the operation's stage timings attached. The log is
+//! append-only and line-delimited so `jq`/`grep` work directly and a
+//! crashed writer loses at most one partial line.
+//!
+//! Schema (one object per line):
+//!
+//! ```json
+//! {"ts_ms":1754650000123,"op":"query","ms":12.7,"frames":200,"from":0,"to":96}
+//! ```
+//!
+//! * `ts_ms` — wall-clock Unix milliseconds at which the op *finished*;
+//! * `op` — operation kind (`close`, `query`, `fsync`, `node_request`, …);
+//! * `ms` — total duration in milliseconds;
+//! * remaining fields — per-op stage timings and context, see the
+//!   README's observability section for the per-op field reference.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+
+use crate::json;
+
+/// A context field attached to a slow-op record.
+#[derive(Debug, Clone)]
+pub enum Field {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Float field (non-finite values render as 0).
+    F64(f64),
+    /// String field (escaped).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+impl From<Duration> for Field {
+    /// Durations render as fractional milliseconds.
+    fn from(v: Duration) -> Field {
+        Field::F64(v.as_secs_f64() * 1e3)
+    }
+}
+
+/// The slow-op threshold and sink. Shared via `Arc`; `record` is
+/// `&self` and serialised by an internal lock (the slow path only runs
+/// for ops that already took milliseconds).
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold: Duration,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl SlowLog {
+    /// Opens (appending) the NDJSON log at `path` with the given
+    /// slow-op threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-open error.
+    pub fn open(path: &Path, threshold: Duration) -> std::io::Result<SlowLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(SlowLog { threshold, out: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// `true` iff `elapsed` crosses the threshold — callers guard with
+    /// this so fast ops never pay for field formatting.
+    #[inline]
+    pub fn is_slow(&self, elapsed: Duration) -> bool {
+        elapsed >= self.threshold
+    }
+
+    /// Appends one slow-op record (and flushes, so the log survives a
+    /// crash) if `elapsed` crosses the threshold. Write errors are
+    /// swallowed: observability must never take down the daemon.
+    pub fn record(&self, op: &str, elapsed: Duration, fields: &[(&str, Field)]) {
+        if !self.is_slow(elapsed) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = format!(
+            "{{\"ts_ms\":{ts_ms},\"op\":{},\"ms\":{}",
+            json::string(op),
+            json::number(elapsed.as_secs_f64() * 1e3)
+        );
+        for (key, value) in fields {
+            line.push(',');
+            line.push_str(&json::string(key));
+            line.push(':');
+            match value {
+                Field::U64(v) => line.push_str(&v.to_string()),
+                Field::F64(v) => line.push_str(&json::number(*v)),
+                Field::Str(v) => line.push_str(&json::string(v)),
+            }
+        }
+        line.push_str("}\n");
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_over_threshold_and_emits_ndjson() {
+        let path = std::env::temp_dir().join(format!("slowlog-test-{}.ndjson", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = SlowLog::open(&path, Duration::from_millis(10)).unwrap();
+        log.record("query", Duration::from_millis(5), &[]);
+        log.record(
+            "query",
+            Duration::from_millis(50),
+            &[("frames", Field::from(3u64)), ("prefix", Field::from("a/b"))],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "fast op is not logged: {text}");
+        assert!(lines[0].contains("\"op\":\"query\""), "{text}");
+        assert!(lines[0].contains("\"frames\":3"), "{text}");
+        assert!(lines[0].contains("\"prefix\":\"a/b\""), "{text}");
+        assert!(lines[0].starts_with("{\"ts_ms\":"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,147 @@
+//! Exporter contract tests: the Prometheus text rendering against a
+//! golden transcript plus a structural parse, and the `STATS JSON`
+//! snapshot round-tripped through the vendored `serde_json` parser.
+
+use serde::Value;
+use tiresias_telemetry::Registry;
+
+fn sample_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter("t_requests_total", "Requests handled.", &[]).add(41);
+    reg.counter("t_requests_total", "Requests handled.", &[("node", "10.0.0.1:7171")]).add(7);
+    reg.gauge("t_queue_depth", "Queued records.", &[]).set(12);
+    reg.gauge_fn("t_watermark", "Open unit; -1 before anchoring.", &[], || -1.0);
+    let h = reg.histogram("t_rpc_seconds", "RPC round-trip latency.", &[]);
+    h.record(3_000); // 3 µs
+    h.record(900_000); // 0.9 ms
+    h.record(2_500_000_000); // 2.5 s
+    reg
+}
+
+/// Counters and gauges render the exact golden text — family header
+/// once, labeled series under it, in first-registration order.
+#[test]
+fn prometheus_text_matches_golden_for_scalars() {
+    let text = sample_registry().render_prometheus();
+    let golden = "\
+# HELP t_requests_total Requests handled.
+# TYPE t_requests_total counter
+t_requests_total 41
+t_requests_total{node=\"10.0.0.1:7171\"} 7
+# HELP t_queue_depth Queued records.
+# TYPE t_queue_depth gauge
+t_queue_depth 12
+# HELP t_watermark Open unit; -1 before anchoring.
+# TYPE t_watermark gauge
+t_watermark -1
+";
+    assert!(text.starts_with(golden), "scalar prefix drifted from golden:\n{text}");
+}
+
+/// Every line of the full exposition parses: comment lines carry
+/// HELP/TYPE exactly once per family, sample lines are
+/// `name[{labels}] value`, histogram buckets are cumulative and agree
+/// with `_count` / `_sum`.
+#[test]
+fn prometheus_text_parses_cleanly() {
+    let text = sample_registry().render_prometheus();
+    let mut helps = 0;
+    let mut types = 0;
+    let mut bucket_last = 0u64;
+    let mut bucket_final = None;
+    let mut count = None;
+    let mut sum = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            let keyword = words.next().expect("keyword");
+            assert!(words.next().is_some(), "comment without metric name: {line}");
+            match keyword {
+                "HELP" => helps += 1,
+                "TYPE" => types += 1,
+                other => panic!("unknown comment keyword {other}"),
+            }
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|e| panic!("bad value in {line}: {e}"));
+        let name = name_part.split('{').next().expect("name");
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name in {line}",
+        );
+        if name == "t_rpc_seconds_bucket" {
+            let cum = value as u64;
+            assert!(cum >= bucket_last, "buckets must be cumulative: {line}");
+            bucket_last = cum;
+            if name_part.contains("le=\"+Inf\"") {
+                bucket_final = Some(cum);
+            }
+        }
+        if name == "t_rpc_seconds_count" {
+            count = Some(value as u64);
+        }
+        if name == "t_rpc_seconds_sum" {
+            sum = Some(value);
+        }
+    }
+    // One HELP + TYPE per family: two counters share one family.
+    assert_eq!(helps, 4, "{text}");
+    assert_eq!(types, 4, "{text}");
+    assert_eq!(bucket_final, Some(3), "+Inf bucket must hold every sample:\n{text}");
+    assert_eq!(count, Some(3), "{text}");
+    let sum = sum.expect("histogram _sum rendered");
+    let expected = (3_000u64 + 900_000 + 2_500_000_000) as f64 / 1e9;
+    assert!((sum - expected).abs() < 1e-9, "sum {sum} != {expected}");
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    v.field(name).unwrap_or_else(|e| panic!("missing {name}: {e}"))
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        Value::F64(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+/// The JSON snapshot is one parseable object whose sections mirror the
+/// registry exactly — names, label maps, counter/gauge values, and
+/// histogram quantile columns.
+#[test]
+fn stats_json_round_trips_through_serde_json() {
+    let reg = sample_registry();
+    let line = reg.render_json();
+    assert!(!line.contains('\n'), "STATS JSON must be a single line");
+    let parsed = serde_json::parse_value(&line).expect("render_json parses");
+
+    let Value::Seq(counters) = field(&parsed, "counters") else { panic!("counters array") };
+    assert_eq!(counters.len(), 2);
+    assert_eq!(num(field(&counters[0], "value")), 41.0);
+    let labeled = &counters[1];
+    assert_eq!(field(labeled, "name"), &Value::Str("t_requests_total".to_string()));
+    let Value::Map(labels) = field(labeled, "labels") else { panic!("labels map") };
+    assert_eq!(labels, &[("node".to_string(), Value::Str("10.0.0.1:7171".to_string()))]);
+    assert_eq!(num(field(labeled, "value")), 7.0);
+
+    let Value::Seq(gauges) = field(&parsed, "gauges") else { panic!("gauges array") };
+    assert_eq!(num(field(&gauges[0], "value")), 12.0);
+    assert_eq!(num(field(&gauges[1], "value")), -1.0);
+
+    let Value::Seq(hists) = field(&parsed, "histograms") else { panic!("histograms array") };
+    assert_eq!(hists.len(), 1);
+    let h = &hists[0];
+    assert_eq!(num(field(h, "count")), 3.0);
+    // The p50 sample is 0.9 ms; log-linear quantization stays within
+    // one sub-bucket (6.25%) of it.
+    let p50 = num(field(h, "p50_ms"));
+    assert!((0.9..=0.96).contains(&p50), "p50_ms {p50} outside quantization band");
+    let max = num(field(h, "max_ms"));
+    assert!((max - 2_500.0).abs() < 1e-6, "max_ms {max}");
+    for key in ["mean_ms", "p90_ms", "p99_ms", "p999_ms"] {
+        assert!(num(field(h, key)) > 0.0, "{key} missing or zero");
+    }
+}

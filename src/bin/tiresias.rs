@@ -24,6 +24,12 @@
 //!   `--retry-max-ms <ms>` retry refused connects *and* mid-stream
 //!   disconnects with capped, jittered exponential backoff while a
 //!   daemon restarts).
+//! * `top <addr>` — a self-refreshing terminal dashboard over a
+//!   running daemon's `STATS JSON` reply (plain ANSI, no TUI
+//!   dependency): counters, gauges and latency histogram quantiles,
+//!   plus an ingest rate derived client-side from successive admitted
+//!   totals. `--interval-ms <n>` tunes the poll cadence; `--once`
+//!   prints a single snapshot and exits (script-friendly).
 //! * `wal-dump <dir>` — inspect a write-ahead-log directory offline:
 //!   print each intact frame (and, with `--records`, each record)
 //!   plus the torn-tail report, without repairing anything.
@@ -49,7 +55,11 @@
 //! write-ahead log, spilled retention segments and the checkpoint all
 //! live here; on restart the WAL replays everything newer than the
 //! checkpoint) and `--wal-sync every|interval[:ms]|none` (fsync
-//! policy of that log, default `interval:200`).
+//! policy of that log, default `interval:200`). `serve` and `route`
+//! both take `--metrics-addr <host:port>` (a Prometheus `GET /metrics`
+//! listener; the bound address is echoed as a `METRICS` line),
+//! `--slow-log <file>` (structured NDJSON log of operations over
+//! threshold) and `--slow-ms <n>` (that threshold, default 100).
 //!
 //! Usage errors (unknown subcommands or flags, missing values) print
 //! the usage to stderr and exit with status 2; runtime errors (such as
@@ -84,6 +94,9 @@ struct Options {
     data_dir: Option<String>,
     wal_sync: tiresias::core::WalSyncPolicy,
     idle_timeout_ms: Option<u64>,
+    metrics_addr: Option<String>,
+    slow_log: Option<String>,
+    slow_ms: u64,
 }
 
 impl Default for Options {
@@ -109,6 +122,9 @@ impl Default for Options {
                 tiresias::core::WalSyncPolicy::DEFAULT_INTERVAL,
             ),
             idle_timeout_ms: None,
+            metrics_addr: None,
+            slow_log: None,
+            slow_ms: tiresias::server::DEFAULT_SLOW_MS,
         }
     }
 }
@@ -155,6 +171,11 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
                 opts.idle_timeout_ms =
                     Some(parsed("--idle-timeout-ms", value("--idle-timeout-ms")?)?);
             }
+            "--metrics-addr" if serve => {
+                opts.metrics_addr = Some(value("--metrics-addr")?.clone());
+            }
+            "--slow-log" if serve => opts.slow_log = Some(value("--slow-log")?.clone()),
+            "--slow-ms" if serve => opts.slow_ms = parsed("--slow-ms", value("--slow-ms")?)?,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -302,6 +323,9 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.data_dir = opts.data_dir.clone().map(std::path::PathBuf::from);
     config.wal_sync = opts.wal_sync;
     config.handle_signals = true;
+    config.metrics_addr = opts.metrics_addr.clone();
+    config.slow_log = opts.slow_log.clone().map(std::path::PathBuf::from);
+    config.slow_ms = opts.slow_ms;
     if let Some(ms) = opts.idle_timeout_ms {
         // 0 disables idle reaping; anything else overrides the default.
         config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
@@ -316,6 +340,9 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     // Scripts wait for this line to learn the bound (possibly
     // ephemeral) port; flush so pipes see it immediately.
     println!("LISTENING {}", server.local_addr());
+    if let Some(metrics) = server.metrics_addr() {
+        println!("METRICS {metrics}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush()?;
     eprintln!(
@@ -538,6 +565,9 @@ struct RouteArgs {
     node_timeout_ms: u64,
     backoff_max_ms: u64,
     buffer_records: usize,
+    metrics_addr: Option<String>,
+    slow_log: Option<String>,
+    slow_ms: u64,
 }
 
 fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
@@ -548,6 +578,9 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
         node_timeout_ms: 2_000,
         backoff_max_ms: 5_000,
         buffer_records: 65_536,
+        metrics_addr: None,
+        slow_log: None,
+        slow_ms: tiresias::server::DEFAULT_SLOW_MS,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -571,6 +604,9 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
                 route.backoff_max_ms = parsed("--backoff-max-ms", value("--backoff-max-ms")?)?;
             }
             "--buffer" => route.buffer_records = parsed("--buffer", value("--buffer")?)?,
+            "--metrics-addr" => route.metrics_addr = Some(value("--metrics-addr")?.clone()),
+            "--slow-log" => route.slow_log = Some(value("--slow-log")?.clone()),
+            "--slow-ms" => route.slow_ms = parsed("--slow-ms", value("--slow-ms")?)?,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -592,10 +628,16 @@ fn cmd_route(args: &RouteArgs) -> Result<(), Box<dyn std::error::Error>> {
     config.backoff_max = Duration::from_millis(args.backoff_max_ms.max(1));
     config.buffer_records = args.buffer_records;
     config.handle_signals = true;
+    config.metrics_addr = args.metrics_addr.clone();
+    config.slow_log = args.slow_log.clone().map(std::path::PathBuf::from);
+    config.slow_ms = args.slow_ms;
     let router = Router::start(config)?;
     // Scripts wait for this line to learn the bound (possibly
     // ephemeral) port; flush so pipes see it immediately.
     println!("LISTENING {}", router.local_addr());
+    if let Some(metrics) = router.metrics_addr() {
+        println!("METRICS {metrics}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush()?;
     eprintln!(
@@ -607,6 +649,197 @@ fn cmd_route(args: &RouteArgs) -> Result<(), Box<dyn std::error::Error>> {
     router.join();
     eprintln!("tiresias-route: bye");
     Ok(())
+}
+
+/// Arguments of the `top` subcommand.
+#[derive(Debug)]
+struct TopArgs {
+    addr: String,
+    interval_ms: u64,
+    once: bool,
+}
+
+fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
+    let [addr, flags @ ..] = args else {
+        return Err("top needs <addr>".to_string());
+    };
+    if addr.starts_with("--") {
+        return Err(format!("top needs an address argument, found flag `{addr}`"));
+    }
+    let mut top = TopArgs { addr: addr.clone(), interval_ms: 2_000, once: false };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--interval-ms" => {
+                let raw = it.next().ok_or("missing value for --interval-ms")?;
+                top.interval_ms = raw
+                    .parse()
+                    .map_err(|e| format!("invalid value `{raw}` for --interval-ms: {e}"))?;
+            }
+            "--once" => top.once = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(top)
+}
+
+/// One `STATS JSON` round trip against a running daemon, parsed into
+/// the vendored value model.
+fn fetch_stats_json(addr: &str) -> Result<serde::Value, String> {
+    use std::io::Write as _;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    let mut write_half = stream.try_clone().map_err(|e| format!("socket error: {e}"))?;
+    writeln!(write_half, "STATS JSON").map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read failed: {e}"))?;
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err("daemon closed the connection without answering".to_string());
+    }
+    if let Some(why) = line.strip_prefix("ERR ") {
+        return Err(format!("daemon refused STATS JSON: {why}"));
+    }
+    let _ = writeln!(write_half, "QUIT");
+    serde_json::parse_value(line).map_err(|e| format!("malformed STATS JSON reply: {e}"))
+}
+
+/// Numeric payload of a metric value, whatever integer or float
+/// variant the JSON parser produced.
+fn value_num(v: &serde::Value) -> f64 {
+    match v {
+        serde::Value::U64(n) => *n as f64,
+        serde::Value::I64(n) => *n as f64,
+        serde::Value::F64(n) => *n,
+        _ => f64::NAN,
+    }
+}
+
+/// `name{k=v,…}` display form of one metric entry.
+fn metric_label(entry: &serde::Value) -> String {
+    let name = match entry.field("name") {
+        Ok(serde::Value::Str(s)) => s.clone(),
+        _ => "?".to_string(),
+    };
+    match entry.field("labels") {
+        Ok(serde::Value::Map(labels)) if !labels.is_empty() => {
+            let body: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| match v {
+                    serde::Value::Str(s) => format!("{k}={s}"),
+                    other => format!("{k}={other:?}"),
+                })
+                .collect();
+            format!("{name}{{{}}}", body.join(","))
+        }
+        _ => name,
+    }
+}
+
+/// Value of the (unlabeled) counter `name`, when the snapshot has one.
+fn counter_total(stats: &serde::Value, name: &str) -> Option<u64> {
+    let Ok(serde::Value::Seq(counters)) = stats.field("counters") else {
+        return None;
+    };
+    counters.iter().find_map(|c| match (c.field("name"), c.field("value")) {
+        (Ok(serde::Value::Str(n)), Ok(v)) if n == name => Some(value_num(v) as u64),
+        _ => None,
+    })
+}
+
+/// One dashboard frame: header with the client-side ingest rate, then
+/// aligned counter / gauge / histogram-quantile tables.
+fn render_dashboard(addr: &str, stats: &serde::Value, rps: Option<f64>) -> String {
+    let mut out = String::new();
+    let rate = rps.map_or(String::new(), |r| format!(" — ingest {r:.0} rec/s"));
+    out.push_str(&format!("tiresias top — {addr}{rate}\n\n"));
+    for (title, key) in [("COUNTERS", "counters"), ("GAUGES", "gauges")] {
+        let Ok(serde::Value::Seq(entries)) = stats.field(key) else { continue };
+        if entries.is_empty() {
+            continue;
+        }
+        let width =
+            entries.iter().map(|e| metric_label(e).len()).max().unwrap_or(0).max(title.len());
+        out.push_str(&format!("{title:<width$}  {:>14}\n", "VALUE"));
+        for e in entries {
+            let v = e.field("value").map(value_num).unwrap_or(f64::NAN);
+            let rendered = if v.fract() == 0.0 { format!("{v:.0}") } else { format!("{v:.3}") };
+            out.push_str(&format!("{:<width$}  {rendered:>14}\n", metric_label(e)));
+        }
+        out.push('\n');
+    }
+    if let Ok(serde::Value::Seq(hists)) = stats.field("histograms") {
+        if !hists.is_empty() {
+            let title = "HISTOGRAMS";
+            let width =
+                hists.iter().map(|e| metric_label(e).len()).max().unwrap_or(0).max(title.len());
+            out.push_str(&format!(
+                "{title:<width$}  {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                "COUNT", "MEAN_MS", "P50_MS", "P90_MS", "P99_MS", "P999_MS", "MAX_MS"
+            ));
+            for h in hists {
+                let num = |k: &str| h.field(k).map(value_num).unwrap_or(f64::NAN);
+                out.push_str(&format!(
+                    "{:<width$}  {:>10.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                    metric_label(h),
+                    num("count"),
+                    num("mean_ms"),
+                    num("p50_ms"),
+                    num("p90_ms"),
+                    num("p99_ms"),
+                    num("p999_ms"),
+                    num("max_ms"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The self-refreshing dashboard: polls `STATS JSON` on an interval,
+/// repaints with plain ANSI clear-and-home (no TUI dependency), and
+/// derives the ingest rate client-side from successive admitted
+/// totals — the daemon only ever reports monotone counters. A poll
+/// failure keeps retrying (daemons restart); `--once` prints a single
+/// snapshot, making the dashboard scriptable.
+fn cmd_top(args: &TopArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+    let interval = Duration::from_millis(args.interval_ms.max(100));
+    let mut last: Option<(std::time::Instant, u64)> = None;
+    loop {
+        let now = std::time::Instant::now();
+        match fetch_stats_json(&args.addr) {
+            Ok(stats) => {
+                let admitted = counter_total(&stats, "tiresias_admitted_records_total");
+                let rps = match (admitted, last) {
+                    (Some(cur), Some((t0, prev))) if cur >= prev => {
+                        let secs = now.duration_since(t0).as_secs_f64();
+                        (secs > 0.0).then(|| (cur - prev) as f64 / secs)
+                    }
+                    _ => None,
+                };
+                if let Some(cur) = admitted {
+                    last = Some((now, cur));
+                }
+                let frame = render_dashboard(&args.addr, &stats, rps);
+                if args.once {
+                    print!("{frame}");
+                    std::io::stdout().flush()?;
+                    return Ok(());
+                }
+                print!("\x1b[H\x1b[2J{frame}");
+                std::io::stdout().flush()?;
+            }
+            Err(why) => {
+                if args.once {
+                    return Err(why.into());
+                }
+                println!("\x1b[H\x1b[2Jtiresias top — {} — {why} (retrying)", args.addr);
+                std::io::stdout().flush()?;
+            }
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// Parses one `EVENT key=value …` frame body back into an
@@ -732,6 +965,8 @@ subcommands:
   query <addr> <from> <to>
                       query a running daemon's retained report store
                       and print the matching anomalies as CSV
+  top <addr>          self-refreshing terminal dashboard over a running
+                      daemon's STATS JSON metrics
   wal-dump <dir>      print a write-ahead log's intact frames and its
                       torn-tail report, without repairing anything
   demo                run a self-contained synthetic demo
@@ -744,14 +979,20 @@ serve options:
   --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
   --retain-units n  --checkpoint file  --data-dir dir
   --wal-sync every|interval[:ms]|none  --idle-timeout-ms ms (0 = off)
+  --metrics-addr host:port  --slow-log file  --slow-ms n
 
 route options:
   --node host:port (repeat per downstream, order = routing table)
   --addr host:port  --probe-ms n  --node-timeout-ms n
   --backoff-max-ms n  --buffer records
+  --metrics-addr host:port  --slow-log file  --slow-ms n
 
 query options:
   --prefix path  --level n  --limit k  --retries n  --retry-max-ms ms
+
+top options:
+  --interval-ms n     poll cadence (default 2000)
+  --once              print one snapshot and exit
 
 wal-dump options:
   --records           also print every record inside each batch frame";
@@ -791,6 +1032,10 @@ fn main() {
         },
         Some((cmd, rest)) if cmd == "query" => match parse_query_args(rest) {
             Ok(args) => cmd_query(&args).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "top" => match parse_top_args(rest) {
+            Ok(args) => cmd_top(&args).map_or_else(run_error, |()| 0),
             Err(e) => usage_error(&e),
         },
         Some((cmd, rest)) if cmd == "wal-dump" => match rest.split_first() {
