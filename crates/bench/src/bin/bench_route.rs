@@ -28,6 +28,13 @@
 //! when routed admission falls more than 30% below direct admission
 //! *of the same run* — the routing tier must stay a thin layer.
 //!
+//! Both topologies are additionally measured over **binary wire
+//! protocol v2** (`direct_bin` / `routed_bin`): clients `UPGRADE`
+//! after `NOACK`, and the router's frame fast path decodes each DATA
+//! frame once, partitions records per node at dictionary-intern time,
+//! and re-frames per downstream connection without a text round trip
+//! (`overhead_bin_pct` is the binary hop's price).
+//!
 //! Writes the JSON report to the path given as the first argument,
 //! default `BENCH_route.json`, and prints it to stdout.
 
@@ -37,6 +44,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use tiresias_core::TiresiasBuilder;
+use tiresias_server::protocol::v2;
 use tiresias_server::{Router, RouterConfig, Server, ServerConfig};
 
 const TIMEUNIT: u64 = 900;
@@ -71,26 +79,77 @@ fn server_config(shards: usize) -> ServerConfig {
     config
 }
 
-/// The workload as protocol `PUSH` lines, chunked
-/// `payloads[client][unit]`: records dealt round-robin within each unit
+/// The workload as `(label, timestamp)` records, chunked
+/// `records[client][unit]`: records dealt round-robin within each unit
 /// so client streams interleave mid-unit, clients advancing through
 /// units in lockstep (a barrier in the driver).
-fn client_payloads(clients: usize) -> (usize, Vec<Vec<String>>) {
+#[allow(clippy::type_complexity)]
+fn client_records(clients: usize) -> (usize, Vec<Vec<Vec<(String, u64)>>>) {
     let mut total = 0usize;
-    let mut payloads = vec![vec![String::new(); UNITS as usize]; clients];
+    let mut records = vec![vec![Vec::new(); UNITS as usize]; clients];
     for u in 0..UNITS {
         let mut i_in_unit = 0usize;
         for c in 0..CATEGORIES {
             for i in 0..RECORDS_PER_UNIT_PER_CATEGORY {
                 let t = u * TIMEUNIT + (i % TIMEUNIT);
-                payloads[i_in_unit % clients][u as usize]
-                    .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
+                records[i_in_unit % clients][u as usize]
+                    .push((format!("region-{c}/pop-{}/service 42", c % 7), t));
                 i_in_unit += 1;
                 total += 1;
             }
         }
     }
-    (total, payloads)
+    (total, records)
+}
+
+/// One unit's pre-encoded wire traffic for one client: the bytes to
+/// write (records plus the trailing fence) and the expected fence
+/// reply.
+struct UnitChunk {
+    bytes: Vec<u8>,
+    fence: String,
+}
+
+/// The workload as text `PUSH` lines with a `PING` fence per unit.
+fn text_chunks(records: &[Vec<Vec<(String, u64)>>]) -> Vec<Vec<UnitChunk>> {
+    records
+        .iter()
+        .map(|units| {
+            units
+                .iter()
+                .map(|unit| {
+                    let mut s = String::new();
+                    for (label, t) in unit {
+                        s.push_str(&format!("PUSH {label} {t}\n"));
+                    }
+                    s.push_str("PING\n");
+                    UnitChunk { bytes: s.into_bytes(), fence: "PONG".to_string() }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The same workload as v2 binary frames: one DATA frame per unit per
+/// client (per-client dictionary), fenced by a PING frame.
+fn binary_chunks(records: &[Vec<Vec<(String, u64)>>]) -> Vec<Vec<UnitChunk>> {
+    records
+        .iter()
+        .map(|units| {
+            let mut enc = v2::FrameEncoder::new();
+            units
+                .iter()
+                .enumerate()
+                .map(|(u, unit)| {
+                    let mut bytes = Vec::new();
+                    let seq = 2 * u as u32;
+                    enc.encode_data(seq, unit, &mut bytes);
+                    bytes.extend_from_slice(&v2::control_frame(v2::FrameKind::Ping, seq + 1));
+                    UnitChunk { bytes, fence: format!("PONG frame={}", seq + 1) }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Reads one `STATS` line from `addr` (skipping any stray frames).
@@ -132,9 +191,15 @@ fn wait_admitted(addr: SocketAddr, total: usize) -> String {
     }
 }
 
-/// Drives the NOACK workload at `addr` and returns (wall seconds until
-/// every record is admitted, final `STATS` line).
-fn drive(addr: SocketAddr, payloads: &[Vec<String>], total: usize) -> (f64, String) {
+/// Drives the NOACK workload at `addr` — text lines or v2 binary
+/// frames per `binary` — and returns (wall seconds until every record
+/// is admitted, final `STATS` line).
+fn drive(
+    addr: SocketAddr,
+    payloads: &[Vec<UnitChunk>],
+    total: usize,
+    binary: bool,
+) -> (f64, String) {
     let t0 = Instant::now();
     let unit_barrier = std::sync::Barrier::new(payloads.len());
     std::thread::scope(|scope| {
@@ -148,25 +213,33 @@ fn drive(addr: SocketAddr, payloads: &[Vec<String>], total: usize) -> (f64, Stri
                 stream.write_all(b"NOACK\n").expect("noack");
                 reader.read_line(&mut line).expect("noack ok");
                 assert_eq!(line.trim_end(), "OK");
+                if binary {
+                    stream.write_all(b"UPGRADE\n").expect("upgrade");
+                    line.clear();
+                    reader.read_line(&mut line).expect("upgrade ok");
+                    assert_eq!(line.trim_end(), "OK upgraded");
+                }
                 for chunk in chunks {
-                    // One unit, then a PING fence: the endpoint has read
-                    // everything before the PING once PONG arrives, so
-                    // the barrier keeps client positions aligned to
-                    // within one unit. In NOACK mode PONG is the only
-                    // expected reply — a LATE means skew outran the
-                    // grace window and the measurement is void.
-                    stream.write_all(chunk.as_bytes()).expect("pushes");
-                    stream.write_all(b"PING\n").expect("ping");
+                    // One unit ending in a PING fence: the endpoint has
+                    // read everything before the PING once the fence
+                    // reply arrives, so the barrier keeps client
+                    // positions aligned to within one unit. In NOACK
+                    // mode the fence is the only expected reply — a
+                    // LATE means skew outran the grace window and the
+                    // measurement is void.
+                    stream.write_all(&chunk.bytes).expect("pushes");
                     line.clear();
                     match reader.read_line(&mut line) {
                         Ok(0) | Err(_) => panic!("endpoint hung up mid-unit"),
                         Ok(_) => {
-                            assert_eq!(line.trim_end(), "PONG", "unexpected NOACK reply");
+                            assert_eq!(line.trim_end(), chunk.fence, "unexpected NOACK reply");
                         }
                     }
                     unit_barrier.wait();
                 }
-                stream.write_all(b"QUIT\n").expect("quit");
+                if !binary {
+                    stream.write_all(b"QUIT\n").expect("quit");
+                }
             });
         }
     });
@@ -196,9 +269,19 @@ struct Report {
     direct: ModeReport,
     /// The same workload through `Router` over two 1-shard servers.
     routed: ModeReport,
+    /// The workload over binary wire protocol v2 straight into the
+    /// 2-shard server.
+    direct_bin: ModeReport,
+    /// The v2 workload through the router's frame fast path: decoded
+    /// once, partitioned per label, re-framed per node without a text
+    /// round trip.
+    routed_bin: ModeReport,
     /// Throughput drop of `routed` relative to `direct`, percent
     /// (positive = the routing hop cost something). CI gates ≤ 30.
     overhead_pct: f64,
+    /// Throughput drop of `routed_bin` relative to `direct_bin`,
+    /// percent — the routing hop's price on the binary path.
+    overhead_bin_pct: f64,
     clean_shutdown: bool,
 }
 
@@ -211,16 +294,16 @@ struct ConfigReport {
     grace_ms: u64,
 }
 
-fn run_direct(payloads: &[Vec<String>], total: usize) -> (f64, String) {
+fn run_direct(payloads: &[Vec<UnitChunk>], total: usize, binary: bool) -> (f64, String) {
     let server = Server::start(server_config(2)).expect("server starts");
-    let (wall, stats) = drive(server.local_addr(), payloads, total);
+    let (wall, stats) = drive(server.local_addr(), payloads, total, binary);
     let mut control = TcpStream::connect(server.local_addr()).expect("control connects");
     control.write_all(b"SHUTDOWN\n").expect("shutdown");
     server.join().expect("clean shutdown");
     (wall, stats)
 }
 
-fn run_routed(payloads: &[Vec<String>], total: usize) -> (f64, String) {
+fn run_routed(payloads: &[Vec<UnitChunk>], total: usize, binary: bool) -> (f64, String) {
     let node_a = Server::start(server_config(1)).expect("node a starts");
     let node_b = Server::start(server_config(1)).expect("node b starts");
     let mut config =
@@ -240,7 +323,7 @@ fn run_routed(payloads: &[Vec<String>], total: usize) -> (f64, String) {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    let (wall, stats) = drive(addr, payloads, total);
+    let (wall, stats) = drive(addr, payloads, total, binary);
     assert_eq!(stat_field(&stats, "buffered"), 0, "nothing parked in a healthy run: {stats}");
     let mut control = TcpStream::connect(addr).expect("control connects");
     control.write_all(b"SHUTDOWN\n").expect("shutdown");
@@ -272,26 +355,37 @@ fn best_of(runs: Vec<(f64, String)>, clients: usize, total: usize) -> ModeReport
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_route.json".to_string());
-    let (total, payloads) = client_payloads(CLIENTS);
+    let (total, records) = client_records(CLIENTS);
+    let payloads = text_chunks(&records);
+    let bin_payloads = binary_chunks(&records);
 
     let mut direct_runs = Vec::new();
     let mut routed_runs = Vec::new();
+    let mut direct_bin_runs = Vec::new();
+    let mut routed_bin_runs = Vec::new();
     for rep in 0..REPS {
-        direct_runs.push(run_direct(&payloads, total));
-        routed_runs.push(run_routed(&payloads, total));
+        direct_runs.push(run_direct(&payloads, total, false));
+        routed_runs.push(run_routed(&payloads, total, false));
+        direct_bin_runs.push(run_direct(&bin_payloads, total, true));
+        routed_bin_runs.push(run_routed(&bin_payloads, total, true));
         eprintln!(
-            "rep {}/{REPS}: direct {:.3}s routed {:.3}s",
+            "rep {}/{REPS}: direct {:.3}s routed {:.3}s direct_bin {:.3}s routed_bin {:.3}s",
             rep + 1,
             direct_runs[rep].0,
-            routed_runs[rep].0
+            routed_runs[rep].0,
+            direct_bin_runs[rep].0,
+            routed_bin_runs[rep].0
         );
     }
     let direct = best_of(direct_runs, CLIENTS, total);
     let routed = best_of(routed_runs, CLIENTS, total);
+    let direct_bin = best_of(direct_bin_runs, CLIENTS, total);
+    let routed_bin = best_of(routed_bin_runs, CLIENTS, total);
     let overhead_pct = (1.0 - routed.records_per_sec / direct.records_per_sec) * 100.0;
+    let overhead_bin_pct = (1.0 - routed_bin.records_per_sec / direct_bin.records_per_sec) * 100.0;
 
     let report = Report {
-        schema: "tiresias-bench-route/v1".to_string(),
+        schema: "tiresias-bench-route/v2".to_string(),
         generated_by: "cargo run --release -p tiresias-bench --bin bench_route".to_string(),
         host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         config: ConfigReport {
@@ -303,7 +397,10 @@ fn main() {
         },
         direct,
         routed,
+        direct_bin,
+        routed_bin,
         overhead_pct,
+        overhead_bin_pct,
         clean_shutdown: true,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

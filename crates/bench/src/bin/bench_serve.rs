@@ -31,7 +31,14 @@
 //!   admission gate, with a background fsync cadence. The gap between
 //!   `acked` and `acked_wal` is the price of crash safety, measured
 //!   the same paired way as the telemetry tax and gated by CI
-//!   (`perf_guard --ceiling … wal_drop_pct 35`).
+//!   (`perf_guard --ceiling … wal_drop_pct 35`);
+//! * `noack_bin` / `acked_bin` — the same record streams over binary
+//!   wire protocol v2 (`UPGRADE`): per-connection label dictionaries,
+//!   varint delta timestamps, one admission batch (and in acked mode
+//!   one `OK frame=<seq>` ack) per DATA frame. Each is paired against
+//!   its text twin run-for-run; the median per-pair gains are reported
+//!   as `bin_gain_pct` / `acked_bin_gain_pct`, and CI holds a floor on
+//!   `bin_gain_pct` (`perf_guard --floor … bin_gain_pct <min>`).
 //!
 //! The `acked` mode additionally runs a **client-count sweep** (1, 2
 //! and 4 concurrent clients over the same total record count) — the
@@ -56,6 +63,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use tiresias_core::{TiresiasBuilder, CHECKPOINT_VERSION};
+use tiresias_server::protocol::v2;
 use tiresias_server::{Server, ServerConfig};
 
 const TIMEUNIT: u64 = 900;
@@ -83,16 +91,17 @@ fn builder() -> TiresiasBuilder {
         .shards(SHARDS)
 }
 
-/// The synthetic workload as protocol `PUSH` lines, chunked
-/// `payloads[client][unit]`. Records are dealt round-robin within each
+/// The synthetic workload as `(label, timestamp)` records, chunked
+/// `records[client][unit]`. Records are dealt round-robin within each
 /// unit so client streams interleave mid-unit like real feeds, but the
 /// clients advance through *units* in lockstep (a barrier between
 /// units in the driver) — live feeds are naturally time-aligned, and
 /// unbounded skew would just measure the grace window dropping
 /// stragglers.
-fn client_payloads(clients: usize, scale: u64) -> (usize, Vec<Vec<String>>) {
+#[allow(clippy::type_complexity)]
+fn client_records(clients: usize, scale: u64) -> (usize, Vec<Vec<Vec<(String, u64)>>>) {
     let mut total = 0usize;
-    let mut payloads = vec![vec![String::new(); UNITS as usize]; clients];
+    let mut records = vec![vec![Vec::new(); UNITS as usize]; clients];
     for u in 0..UNITS {
         let mut i_in_unit = 0usize;
         for c in 0..CATEGORIES {
@@ -104,14 +113,67 @@ fn client_payloads(clients: usize, scale: u64) -> (usize, Vec<Vec<String>>) {
                 };
             for i in 0..count {
                 let t = u * TIMEUNIT + (i % TIMEUNIT);
-                payloads[i_in_unit % clients][u as usize]
-                    .push_str(&format!("PUSH region-{c}/pop-{}/service 42 {t}\n", c % 7));
+                records[i_in_unit % clients][u as usize]
+                    .push((format!("region-{c}/pop-{}/service 42", c % 7), t));
                 i_in_unit += 1;
                 total += 1;
             }
         }
     }
-    (total, payloads)
+    (total, records)
+}
+
+/// One unit's worth of pre-encoded wire traffic for one client: the
+/// bytes to write (records plus the trailing fence) and the reply line
+/// that proves the server processed everything before the fence.
+struct UnitChunk {
+    bytes: Vec<u8>,
+    fence: String,
+}
+
+/// The workload as text-protocol `PUSH` lines with a `PING` fence per
+/// unit.
+fn text_chunks(records: &[Vec<Vec<(String, u64)>>]) -> Vec<Vec<UnitChunk>> {
+    records
+        .iter()
+        .map(|units| {
+            units
+                .iter()
+                .map(|unit| {
+                    let mut s = String::new();
+                    for (label, t) in unit {
+                        s.push_str(&format!("PUSH {label} {t}\n"));
+                    }
+                    s.push_str("PING\n");
+                    UnitChunk { bytes: s.into_bytes(), fence: "PONG".to_string() }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The same workload as v2 binary frames: one DATA frame per unit per
+/// client through a per-client dictionary (labels cross the wire once,
+/// on first use), fenced by a PING frame whose `PONG frame=<seq>` is
+/// answered only after the DATA frame before it was admitted.
+fn binary_chunks(records: &[Vec<Vec<(String, u64)>>]) -> Vec<Vec<UnitChunk>> {
+    records
+        .iter()
+        .map(|units| {
+            let mut enc = v2::FrameEncoder::new();
+            units
+                .iter()
+                .enumerate()
+                .map(|(u, unit)| {
+                    let mut bytes = Vec::new();
+                    let seq = 2 * u as u32;
+                    enc.encode_data(seq, unit, &mut bytes);
+                    bytes.extend_from_slice(&v2::control_frame(v2::FrameKind::Ping, seq + 1));
+                    UnitChunk { bytes, fence: format!("PONG frame={}", seq + 1) }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -130,9 +192,16 @@ struct ModesReport {
     /// The noack run with telemetry disabled — the instrumentation-free
     /// baseline `telemetry_tax_pct` compares against.
     noack_bare: ModeReport,
+    /// The noack workload over binary wire protocol v2 (`UPGRADE`):
+    /// interned label dictionary, varint delta timestamps, one
+    /// admission batch per DATA frame.
+    noack_bin: ModeReport,
     acked: ModeReport,
     /// The acked run with WAL durability (`--wal-sync interval`).
     acked_wal: ModeReport,
+    /// The acked workload over v2 frames: one `OK frame=<seq>` ack per
+    /// DATA frame instead of one `OK` per record.
+    acked_bin: ModeReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -153,6 +222,13 @@ struct Report {
     /// the cost of the admission-path histograms and counters. Median
     /// of per-pair drops, same pairing as `wal_drop_pct`.
     telemetry_tax_pct: f64,
+    /// Throughput gain of `noack_bin` over text `noack`, percent
+    /// (positive = binary faster). Median of per-pair gains over
+    /// adjacent same-run pairs; CI gates a floor on this.
+    bin_gain_pct: f64,
+    /// Throughput gain of `acked_bin` over text `acked`, percent —
+    /// frame-level acks versus per-record acks, same pairing.
+    acked_bin_gain_pct: f64,
     /// Anomaly events the live subscriber received (≥ 1 required).
     subscribed_events: usize,
     /// Final `STATS` line of the `noack` run.
@@ -183,15 +259,18 @@ fn run_mode(
     durable: bool,
     telemetry: bool,
     settle: bool,
-    payloads: &[Vec<String>],
+    binary: bool,
+    payloads: &[Vec<UnitChunk>],
     records: usize,
 ) -> (f64, usize, String, bool) {
     let clients = payloads.len();
-    let tag = match (noack, durable, telemetry) {
-        (true, _, false) => "noack-bare",
-        (true, _, true) => "noack",
-        (false, false, _) => "acked",
-        (false, true, _) => "acked-wal",
+    let tag = match (noack, binary, durable, telemetry) {
+        (true, true, ..) => "noack-bin",
+        (false, true, ..) => "acked-bin",
+        (true, false, _, false) => "noack-bare",
+        (true, false, _, true) => "noack",
+        (false, false, false, _) => "acked",
+        (false, false, true, _) => "acked-wal",
     };
     let ckpt = std::env::temp_dir()
         .join(format!("bench-serve-{}-{tag}-{clients}.ckpt", std::process::id(),));
@@ -242,22 +321,28 @@ fn run_mode(
                     reader.read_line(&mut line).expect("noack ok");
                     assert_eq!(line.trim_end(), "OK");
                 }
+                if binary {
+                    stream.write_all(b"UPGRADE\n").expect("upgrade");
+                    line.clear();
+                    reader.read_line(&mut line).expect("upgrade ok");
+                    assert_eq!(line.trim_end(), "OK upgraded");
+                }
                 for chunk in chunks {
-                    // One unit: the chunk plus a PING fence, then read
-                    // the replies until the PONG proves every record of
-                    // the unit was processed. The barrier then keeps
-                    // the clients' *processing* positions aligned to
-                    // within one unit — live feeds are naturally
-                    // time-aligned, and unbounded skew would just
-                    // measure the grace window dropping stragglers.
-                    stream.write_all(chunk.as_bytes()).expect("pushes");
-                    stream.write_all(b"PING\n").expect("ping");
+                    // One unit: the chunk ends in a PING fence, so
+                    // reading replies until the fence proves every
+                    // record of the unit was processed. The barrier
+                    // then keeps the clients' *processing* positions
+                    // aligned to within one unit — live feeds are
+                    // naturally time-aligned, and unbounded skew would
+                    // just measure the grace window dropping
+                    // stragglers.
+                    stream.write_all(&chunk.bytes).expect("pushes");
                     loop {
                         line.clear();
                         match reader.read_line(&mut line) {
                             Ok(0) | Err(_) => panic!("server hung up mid-unit"),
                             Ok(_) => match line.trim_end() {
-                                "PONG" => break,
+                                reply if reply == chunk.fence => break,
                                 reply => assert!(reply.starts_with("OK"), "reply: {reply}"),
                             },
                         }
@@ -325,8 +410,9 @@ fn main() {
     // below.
     let mut acked_scaling = Vec::new();
     for clients in [1usize, 2] {
-        let (records, payloads) = client_payloads(clients, 1);
-        let (wall, _, _, _) = run_mode(false, false, true, false, &payloads, records);
+        let (records, recs) = client_records(clients, 1);
+        let payloads = text_chunks(&recs);
+        let (wall, _, _, _) = run_mode(false, false, true, false, false, &payloads, records);
         acked_scaling.push(ModeReport {
             clients,
             records,
@@ -336,20 +422,40 @@ fn main() {
     }
 
     // Acked vs acked+WAL, in adjacent pairs: the crash-safety price.
-    let (records, payloads) = client_payloads(CLIENTS, 1);
+    let (records, recs) = client_records(CLIENTS, 1);
+    let payloads = text_chunks(&recs);
+    let bin_payloads = binary_chunks(&recs);
     let mut acked_wall = f64::INFINITY;
     let mut wal_wall = f64::INFINITY;
     let mut wal_drops = Vec::new();
     for i in 0..GATED_RUNS {
         let mut pair = [0.0f64; 2]; // [acked, acked_wal]
         for durable in [i % 2 == 0, i % 2 != 0] {
-            let (wall, _, _, _) = run_mode(false, durable, true, false, &payloads, records);
+            let (wall, _, _, _) = run_mode(false, durable, true, false, false, &payloads, records);
             pair[durable as usize] = wall;
         }
         acked_wall = acked_wall.min(pair[0]);
         wal_wall = wal_wall.min(pair[1]);
         wal_drops.push((pair[1] / pair[0] - 1.0) * 100.0);
     }
+    let wal_drop_pct = median(wal_drops);
+
+    // Text acked vs v2 acked, same pairing: per-record acks against
+    // per-frame acks over the identical record stream.
+    let mut acked_bin_wall = f64::INFINITY;
+    let mut acked_bin_gains = Vec::new();
+    for i in 0..GATED_RUNS {
+        let mut pair = [0.0f64; 2]; // [text, binary]
+        for binary in [i % 2 == 0, i % 2 != 0] {
+            let chunks = if binary { &bin_payloads } else { &payloads };
+            let (wall, _, _, _) = run_mode(false, false, true, false, binary, chunks, records);
+            pair[binary as usize] = wall;
+        }
+        acked_wall = acked_wall.min(pair[0]);
+        acked_bin_wall = acked_bin_wall.min(pair[1]);
+        acked_bin_gains.push((pair[0] / pair[1] - 1.0) * 100.0);
+    }
+    let acked_bin_gain_pct = median(acked_bin_gains);
     let acked = ModeReport {
         clients: CLIENTS,
         records,
@@ -363,7 +469,12 @@ fn main() {
         wall_seconds: wal_wall,
         records_per_sec: records as f64 / wal_wall,
     };
-    let wal_drop_pct = median(wal_drops);
+    let acked_bin = ModeReport {
+        clients: CLIENTS,
+        records,
+        wall_seconds: acked_bin_wall,
+        records_per_sec: records as f64 / acked_bin_wall,
+    };
 
     // The instrumentation-free noack baseline vs the telemetered noack
     // run. At scale 1 the noack wall is dominated by the per-unit PING
@@ -372,14 +483,17 @@ fn main() {
     // interleaved bare/telemetered so slow stretches of the host hit
     // both variants alike.
     const NOACK_SCALE: u64 = 8;
-    let (records, payloads) = client_payloads(CLIENTS, NOACK_SCALE);
+    let (records, recs) = client_records(CLIENTS, NOACK_SCALE);
+    let payloads = text_chunks(&recs);
+    let bin_payloads = binary_chunks(&recs);
     let mut bare_wall = f64::INFINITY;
     let mut noack_wall = f64::INFINITY;
     let mut taxes = Vec::new();
     for i in 0..GATED_RUNS {
         let mut pair = [0.0f64; 2]; // [bare, telemetered]
         for telemetered in [i % 2 == 0, i % 2 != 0] {
-            let (wall, _, _, _) = run_mode(true, false, telemetered, false, &payloads, records);
+            let (wall, _, _, _) =
+                run_mode(true, false, telemetered, false, false, &payloads, records);
             pair[telemetered as usize] = wall;
         }
         bare_wall = bare_wall.min(pair[0]);
@@ -387,10 +501,35 @@ fn main() {
         taxes.push((pair[1] / pair[0] - 1.0) * 100.0);
     }
     let telemetry_tax_pct = median(taxes);
+
+    // Text noack vs v2 noack, same pairing: the tentpole comparison.
+    // Identical record stream, identical admission work downstream of
+    // the protocol — the gain is parsing and socket bytes saved.
+    let mut noack_bin_wall = f64::INFINITY;
+    let mut bin_gains = Vec::new();
+    for i in 0..GATED_RUNS {
+        let mut pair = [0.0f64; 2]; // [text, binary]
+        for binary in [i % 2 == 0, i % 2 != 0] {
+            let chunks = if binary { &bin_payloads } else { &payloads };
+            let (wall, _, _, _) = run_mode(true, false, true, false, binary, chunks, records);
+            pair[binary as usize] = wall;
+        }
+        noack_wall = noack_wall.min(pair[0]);
+        noack_bin_wall = noack_bin_wall.min(pair[1]);
+        bin_gains.push((pair[0] / pair[1] - 1.0) * 100.0);
+    }
+    let bin_gain_pct = median(bin_gains);
+    let noack_bin = ModeReport {
+        clients: CLIENTS,
+        records,
+        wall_seconds: noack_bin_wall,
+        records_per_sec: records as f64 / noack_bin_wall,
+    };
+
     // One settled telemetered run carries the semantic checks: the
     // subscriber sees the burst, the stats line, the checkpoint.
     let (wall, events, stats, checkpoint_versioned) =
-        run_mode(true, false, true, true, &payloads, records);
+        run_mode(true, false, true, true, false, &payloads, records);
     noack_wall = noack_wall.min(wall);
     assert!(events >= 1, "the subscriber saw the injected burst");
     let noack_bare = ModeReport {
@@ -402,7 +541,7 @@ fn main() {
     let noack_rps = records as f64 / noack_wall;
 
     let report = Report {
-        schema: "tiresias-bench-serve/v1".to_string(),
+        schema: "tiresias-bench-serve/v2".to_string(),
         generated_by: "cargo run --release -p tiresias-bench --bin bench_serve".to_string(),
         host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         config: ConfigReport {
@@ -421,12 +560,16 @@ fn main() {
                 records_per_sec: noack_rps,
             },
             noack_bare,
+            noack_bin,
             acked,
             acked_wal,
+            acked_bin,
         },
         acked_scaling,
         wal_drop_pct,
         telemetry_tax_pct,
+        bin_gain_pct,
+        acked_bin_gain_pct,
         subscribed_events: events,
         stats,
         clean_shutdown: true,

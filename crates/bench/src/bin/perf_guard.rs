@@ -33,6 +33,14 @@
 //! ```text
 //! perf_guard --ceiling /tmp/bench_serve.json telemetry_tax_pct 5
 //! ```
+//!
+//! The `--floor` form is its mirror: the metric must stay **at or
+//! above** the given value — for report metrics that express a
+//! required *gain*, like the binary-protocol speedup over text:
+//!
+//! ```text
+//! perf_guard --floor /tmp/bench_serve.json bin_gain_pct 30
+//! ```
 
 use std::process::ExitCode;
 
@@ -52,16 +60,23 @@ fn metric(file: &str, path: &str) -> Result<f64, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let [flag, file, path, ceiling] = args.as_slice() {
-        if flag == "--ceiling" {
-            let ceiling: f64 = ceiling.parse().map_err(|e| format!("ceiling `{ceiling}`: {e}"))?;
+    if let [flag, file, path, bound] = args.as_slice() {
+        if flag == "--ceiling" || flag == "--floor" {
+            let bound: f64 = bound.parse().map_err(|e| format!("bound `{bound}`: {e}"))?;
             let value = metric(file, path)?;
-            eprintln!("{path}: {value:+.2}%, ceiling {ceiling}%");
             if !value.is_finite() {
                 return Err(format!("{path} = {value} is not a finite number"));
             }
-            if value > ceiling {
-                return Err(format!("{path} exceeds the ceiling: {value:.2}% > {ceiling}%"));
+            if flag == "--ceiling" {
+                eprintln!("{path}: {value:+.2}%, ceiling {bound}%");
+                if value > bound {
+                    return Err(format!("{path} exceeds the ceiling: {value:.2}% > {bound}%"));
+                }
+            } else {
+                eprintln!("{path}: {value:+.2}%, floor {bound}%");
+                if value < bound {
+                    return Err(format!("{path} is under the floor: {value:.2}% < {bound}%"));
+                }
             }
             return Ok(());
         }
@@ -72,7 +87,8 @@ fn run() -> Result<(), String> {
         _ => {
             return Err("usage: perf_guard <baseline.json> <fresh.json> <dotted.metric.path> \
                         <max_drop_pct> [fresh.metric.path] | perf_guard --ceiling <report.json> \
-                        <dotted.metric.path> <max_pct>"
+                        <dotted.metric.path> <max_pct> | perf_guard --floor <report.json> \
+                        <dotted.metric.path> <min_pct>"
                 .into());
         }
     };

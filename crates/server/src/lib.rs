@@ -79,6 +79,7 @@ mod error;
 mod hub;
 pub mod protocol;
 mod route;
+mod scan;
 mod server;
 pub mod signal;
 mod state;

@@ -12,6 +12,8 @@
 //! | `STATS JSON`          | one JSON object with every registered counter, gauge, and latency-histogram summary (the `tiresias top` feed) |
 //! | `NOACK`               | `OK` — from now on `PUSH` only answers `LATE`/`ERR`, not `OK` |
 //! | `PING`                | `PONG`                                |
+//! | `HELLO v2`            | `OK v2` if the server speaks [wire protocol v2](v2), `ERR` otherwise; the session stays text |
+//! | `UPGRADE`             | `OK upgraded`, then the **inbound** stream switches to binary [v2 frames](v2) (replies stay text lines) |
 //! | `QUIT`                | `BYE`, then the server closes the session |
 //! | `SHUTDOWN`            | `OK shutting down`, then the whole daemon drains and exits |
 //!
@@ -43,6 +45,8 @@
 //! ```text
 //! EVENT unit=9 time=8100 level=2 kind=spike actual=80 forecast=8.25 path=TV/No Service
 //! ```
+
+pub mod v2;
 
 use tiresias_core::AnomalyEvent;
 
@@ -91,6 +95,11 @@ pub enum Request {
     Noack,
     /// Liveness probe.
     Ping,
+    /// Capability probe for [wire protocol v2](v2); answered `OK v2`
+    /// without changing the session's mode.
+    Hello,
+    /// Switch the session's inbound stream to binary [v2 frames](v2).
+    Upgrade,
     /// Close this session.
     Quit,
     /// Gracefully shut the whole daemon down.
@@ -132,13 +141,18 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             "JSON" => Ok(Some(Request::Stats { json: true })),
             _ => Err("STATS takes no arguments except JSON".to_string()),
         },
-        "NOACK" | "PING" | "QUIT" | "SHUTDOWN" => {
+        "HELLO" => match rest {
+            "v2" => Ok(Some(Request::Hello)),
+            _ => Err("HELLO recognises only the `v2` capability".to_string()),
+        },
+        "NOACK" | "PING" | "UPGRADE" | "QUIT" | "SHUTDOWN" => {
             if !rest.is_empty() {
                 return Err(format!("{command} takes no arguments"));
             }
             Ok(Some(match command {
                 "NOACK" => Request::Noack,
                 "PING" => Request::Ping,
+                "UPGRADE" => Request::Upgrade,
                 "QUIT" => Request::Quit,
                 _ => Request::Shutdown,
             }))
@@ -153,6 +167,24 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
 /// callers (the router's bulk forwarding path) can route on the path
 /// slice without materialising a `Request`.
 pub(crate) fn split_push(rest: &str) -> Result<(&str, u64), String> {
+    // Fast path: a word-at-a-time scan for the last ASCII space, valid
+    // when everything after it is ASCII digits — digits are never
+    // whitespace, so no whitespace of any kind (ASCII or Unicode) can
+    // follow that space and the slow path below would split at the same
+    // position. Well-formed `PUSH` lines always take this path.
+    if let Some(i) = crate::scan::rfind_space(rest.as_bytes()) {
+        let ts = &rest[i + 1..];
+        if !ts.is_empty() && ts.bytes().all(|b| b.is_ascii_digit()) {
+            let path = rest[..i].trim();
+            if path.is_empty() {
+                return Err("PUSH category path is empty".to_string());
+            }
+            let t_secs = ts
+                .parse::<u64>()
+                .map_err(|_| format!("PUSH timestamp `{ts}` is not a non-negative integer"))?;
+            return Ok((path, t_secs));
+        }
+    }
     let Some((path, ts)) = rest.rsplit_once(char::is_whitespace) else {
         return Err("PUSH needs a category path and a timestamp".to_string());
     };
@@ -263,6 +295,36 @@ mod tests {
         assert_eq!(parse_request("QUIT").unwrap(), Some(Request::Quit));
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Some(Request::Shutdown));
         assert_eq!(parse_request("   ").unwrap(), None, "blank lines are ignored");
+    }
+
+    #[test]
+    fn hello_and_upgrade_parse() {
+        assert_eq!(parse_request("HELLO v2").unwrap(), Some(Request::Hello));
+        assert_eq!(parse_request("UPGRADE").unwrap(), Some(Request::Upgrade));
+        assert!(parse_request("HELLO").unwrap_err().contains("v2"));
+        assert!(parse_request("HELLO v3").unwrap_err().contains("v2"));
+        assert!(parse_request("UPGRADE now").unwrap_err().contains("no arguments"));
+    }
+
+    #[test]
+    fn split_push_fast_and_slow_paths_agree() {
+        // Fast path (all-digit tail after an ASCII space) and the
+        // rsplit_once fallback must be indistinguishable.
+        for rest in ["a/b 12", "TV/No Service 1712345678", "a  7", "sp ace\u{a0}path 9", "x 00042"]
+        {
+            let slow = rest
+                .rsplit_once(char::is_whitespace)
+                .map(|(p, t)| (p.trim(), t.parse::<u64>().unwrap()))
+                .unwrap();
+            assert_eq!(split_push(rest), Ok(slow), "{rest:?}");
+        }
+        // Non-digit tails (signs, unicode digits, floats) fall back —
+        // and keep the old semantics (`u64::parse` accepts a `+`).
+        assert_eq!(split_push("a/b +12"), Ok(("a/b", 12)));
+        assert!(split_push("a/b 1.5").unwrap_err().contains("1.5"));
+        assert!(!split_push("a/b \u{0661}").unwrap_err().is_empty());
+        // Overflow still errors through the fast path.
+        assert!(split_push("a/b 99999999999999999999999").is_err());
     }
 
     #[test]

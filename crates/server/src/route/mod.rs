@@ -41,7 +41,7 @@ mod buffer;
 mod merge;
 mod supervisor;
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,8 +55,9 @@ use tiresias_telemetry::{MetricsServer, Registry, SlowLog};
 
 use crate::error::ServerError;
 use crate::hub::Hub;
-use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
-use crate::server::DEFAULT_SLOW_MS;
+use crate::protocol::{parse_request, v2, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
+use crate::scan::find_newline;
+use crate::server::{V2Exit, DEFAULT_SLOW_MS};
 use crate::signal;
 
 use buffer::{BatchTicket, Parked};
@@ -443,26 +444,6 @@ enum Outbound {
     Pending { ticket: Arc<BatchTicket>, idx: usize },
 }
 
-/// Position of the first `\n` in `buf`, scanning a word at a time
-/// (the zero-byte SWAR trick). The `NOACK` drain runs this over every
-/// forwarded byte and `std`'s own `memchr` is not public; a plain byte
-/// loop here costs several milliseconds per million records.
-fn find_newline(buf: &[u8]) -> Option<usize> {
-    const LO: u64 = 0x0101_0101_0101_0101;
-    const HI: u64 = 0x8080_8080_8080_8080;
-    const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
-    let mut chunks = buf.chunks_exact(8);
-    let mut offset = 0;
-    for chunk in &mut chunks {
-        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) ^ NL;
-        if word.wrapping_sub(LO) & !word & HI != 0 {
-            return chunk.iter().position(|&b| b == b'\n').map(|i| offset + i);
-        }
-        offset += 8;
-    }
-    chunks.remainder().iter().position(|&b| b == b'\n').map(|i| offset + i)
-}
-
 /// Outcome of routing one per-node sub-batch of `PUSH` lines.
 enum SubOutcome {
     /// The node answered: one reply per line, in order.
@@ -488,12 +469,20 @@ impl BulkConn {
         tx: SyncSender<Outbound>,
         stop: Arc<AtomicBool>,
         done: Arc<AtomicBool>,
+        v2: bool,
     ) -> std::io::Result<BulkConn> {
         let mut conn = Conn::connect(addr, timeout)?;
         conn.send_line("NOACK")?;
         let ack = conn.read_line()?;
         if ack != "OK" {
             return Err(std::io::Error::other("node refused NOACK"));
+        }
+        if v2 {
+            conn.send_line("UPGRADE")?;
+            let ack = conn.read_line()?;
+            if ack != "OK upgraded" {
+                return Err(std::io::Error::other("node refused UPGRADE"));
+            }
         }
         let write = conn.write_half()?;
         let drainer = std::thread::spawn(move || loop {
@@ -563,6 +552,7 @@ fn run_router_session(stream: TcpStream, shared: &RouterShared) {
     let mut reader = BufReader::with_capacity(128 * 1024, stream);
     let mut line = String::new();
     let mut batch: Vec<(String, u64)> = Vec::new();
+    let mut rv2 = RouterV2::new(shared.nodes.len());
     'session: loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -636,6 +626,27 @@ fn run_router_session(stream: TcpStream, shared: &RouterShared) {
                             }
                             match other {
                                 Ok(None) => {}
+                                Ok(Some(Request::Hello)) => {
+                                    if tx.send(Outbound::Line("OK v2".to_string())).is_err() {
+                                        break 'session;
+                                    }
+                                }
+                                Ok(Some(Request::Upgrade)) => {
+                                    if tx.send(Outbound::Line("OK upgraded".to_string())).is_err() {
+                                        break 'session;
+                                    }
+                                    match run_router_v2_frames(
+                                        &mut reader,
+                                        shared,
+                                        &tx,
+                                        &mut rv2,
+                                        ack,
+                                        &done,
+                                    ) {
+                                        V2Exit::BackToText => {}
+                                        V2Exit::Close => break 'session,
+                                    }
+                                }
                                 Ok(Some(request)) => {
                                     if !handle_router_request(
                                         request,
@@ -691,6 +702,7 @@ fn run_router_session(stream: TcpStream, shared: &RouterShared) {
     for conn in bulk.into_iter().flatten() {
         conn.close();
     }
+    rv2.close();
     let _ = writer.join();
 }
 
@@ -706,6 +718,9 @@ fn handle_router_request(
     let send = |line: String| tx.send(Outbound::Line(line)).is_ok();
     match request {
         Request::Push { .. } => unreachable!("PUSH is batched by the caller"),
+        Request::Hello | Request::Upgrade => {
+            unreachable!("HELLO/UPGRADE are handled by the session loop")
+        }
         Request::Ping => send("PONG".to_string()),
         Request::Quit => {
             let _ = send("BYE".to_string());
@@ -989,6 +1004,7 @@ fn flush_noack_buf(
                 tx.clone(),
                 Arc::clone(&shared.stop),
                 Arc::clone(done),
+                false,
             )
             .ok();
         }
@@ -1022,6 +1038,346 @@ fn flush_noack_buf(
         }
     }
     true
+}
+
+/// The router session's v2 state: the client-side label dictionary
+/// with one route decision per label (computed once, at intern time —
+/// cheaper than the text path's route-per-record), per-node scratch,
+/// and the per-node forwarding connections with their own encoders.
+struct RouterV2 {
+    dict: Vec<String>,
+    /// Target node per dictionary id, parallel to `dict`.
+    node_for: Vec<u32>,
+    hdr: [u8; v2::HEADER_BYTES],
+    payload: Vec<u8>,
+    /// Per-frame record partition, indexed by node.
+    per_node: Vec<Vec<(u32, u64)>>,
+    conns: Vec<Option<V2NodeConn>>,
+}
+
+/// One downstream v2 connection: its own [`v2::FrameEncoder`] — the
+/// node-side dictionary is per *connection*, so the encoder's lifetime
+/// is tied to the socket and a reconnect starts both afresh, which is
+/// what keeps the two sides in sync — plus a frame-sequence counter
+/// and the assembled-frame scratch.
+struct V2NodeConn {
+    enc: v2::FrameEncoder,
+    seq: u32,
+    out: Vec<u8>,
+    transport: V2Transport,
+}
+
+/// How a [`V2NodeConn`] talks to its node: fire-and-forget bulk writes
+/// with a reply drainer (`NOACK` sessions), or synchronous
+/// frame-in/ack-out RPC (acked sessions).
+enum V2Transport {
+    Bulk(BulkConn),
+    Rpc(Conn),
+}
+
+impl RouterV2 {
+    fn new(nodes: usize) -> RouterV2 {
+        RouterV2 {
+            dict: Vec::new(),
+            node_for: Vec::new(),
+            hdr: [0; v2::HEADER_BYTES],
+            payload: Vec::new(),
+            per_node: (0..nodes).map(|_| Vec::new()).collect(),
+            conns: (0..nodes).map(|_| None).collect(),
+        }
+    }
+
+    fn close(self) {
+        for conn in self.conns.into_iter().flatten() {
+            if let V2Transport::Bulk(bulk) = conn.transport {
+                bulk.close();
+            }
+        }
+    }
+}
+
+/// Fills `buf` exactly from the router session socket, riding out the
+/// poll timeouts and checking the stop flag between them. `false` on
+/// EOF, a hard error, or shutdown.
+fn router_read_full(reader: &mut BufReader<TcpStream>, buf: &mut [u8], stop: &AtomicBool) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// The router's binary inbound loop after `UPGRADE`: client v2 frames
+/// are decoded once, partitioned per node by dictionary id (the route
+/// is computed when a label is first interned, then reused for every
+/// record carrying its id), and re-framed per node through each
+/// connection's own encoder — records never round-trip through text.
+///
+/// Same decode-error policy as the server: one `ERR` line, close the
+/// session. Delivery semantics per mode are documented on
+/// [`forward_v2_frame`].
+fn run_router_v2_frames(
+    reader: &mut BufReader<TcpStream>,
+    shared: &RouterShared,
+    tx: &SyncSender<Outbound>,
+    rv2: &mut RouterV2,
+    ack: bool,
+    done: &Arc<AtomicBool>,
+) -> V2Exit {
+    let send = |line: String| tx.send(Outbound::Line(line)).is_ok();
+    loop {
+        if !router_read_full(reader, &mut rv2.hdr, &shared.stop) {
+            return V2Exit::Close;
+        }
+        let header = match v2::decode_header(&rv2.hdr) {
+            Ok(h) => h,
+            Err(why) => {
+                let _ = send(format!("ERR {why}"));
+                return V2Exit::Close;
+            }
+        };
+        match header.kind {
+            v2::FrameKind::Ping => {
+                // Frames are forwarded per DATA frame, so nothing is
+                // pending router-side when the fence arrives.
+                if !send(format!("PONG frame={}", header.seq)) {
+                    return V2Exit::Close;
+                }
+            }
+            v2::FrameKind::End => {
+                if !send("OK text".to_string()) {
+                    return V2Exit::Close;
+                }
+                return V2Exit::BackToText;
+            }
+            v2::FrameKind::Data => {
+                rv2.payload.resize(header.payload_len as usize, 0);
+                if !router_read_full(reader, &mut rv2.payload, &shared.stop) {
+                    return V2Exit::Close;
+                }
+                if v2::crc32(&rv2.payload) != header.payload_crc {
+                    let _ = send(format!("ERR frame={} payload CRC mismatch", header.seq));
+                    return V2Exit::Close;
+                }
+                let decoded = (|| -> Result<(), String> {
+                    let (new_entries, offset) = v2::decode_dict(&rv2.payload, &mut rv2.dict)?;
+                    for label in &rv2.dict[rv2.dict.len() - new_entries..] {
+                        rv2.node_for.push(shared.shards.route(label) as u32);
+                    }
+                    for item in v2::records(&rv2.payload, offset, rv2.dict.len())? {
+                        let (id, t_secs) = item?;
+                        rv2.per_node[rv2.node_for[id as usize] as usize].push((id, t_secs));
+                    }
+                    Ok(())
+                })();
+                if let Err(why) = decoded {
+                    for bucket in &mut rv2.per_node {
+                        bucket.clear();
+                    }
+                    let _ = send(format!("ERR frame={} {why}", header.seq));
+                    return V2Exit::Close;
+                }
+                if !forward_v2_frame(shared, tx, rv2, ack, header.seq, done) {
+                    return V2Exit::Close;
+                }
+            }
+        }
+    }
+}
+
+/// Forwards one partitioned client frame, one sub-frame per involved
+/// node, and answers the client:
+///
+/// * **acked**: each sub-frame is a synchronous RPC; the per-node
+///   `OK frame=… n=… late=… ahead=…` acks are summed into one client
+///   ack. A down node, a failed exchange, or a node-side refusal marks
+///   the frame *degraded* — the client gets `ERR frame=<seq>
+///   degraded=<addrs> n=… late=… ahead=…` with the counts that did
+///   confirm. Degraded records are **not** re-sent (at-most-once: their
+///   fate is unknown, and a duplicate admission would skew counts).
+/// * **`NOACK`**: sub-frames are fire-and-forget bulk writes; node drop
+///   reports flow back through the reply drainer. Records for a down
+///   node are parked **as text lines** in its outage buffer — the
+///   failover replay path is shared with the text protocol — and only
+///   buffer overflow answers per-record `ERR`s.
+///
+/// Returns `false` when the session's outbound queue is gone.
+fn forward_v2_frame(
+    shared: &RouterShared,
+    tx: &SyncSender<Outbound>,
+    rv2: &mut RouterV2,
+    ack: bool,
+    client_seq: u32,
+    done: &Arc<AtomicBool>,
+) -> bool {
+    let (mut n, mut late, mut ahead) = (0u64, 0u64, 0u64);
+    let mut degraded: Vec<&str> = Vec::new();
+    for idx in 0..rv2.per_node.len() {
+        if rv2.per_node[idx].is_empty() {
+            continue;
+        }
+        let node = &shared.nodes[idx];
+        if !ensure_v2_conn(shared, idx, &mut rv2.conns, ack, tx, done) {
+            if ack {
+                rv2.per_node[idx].clear();
+                degraded.push(&node.addr);
+            } else if !park_v2_records(&rv2.dict, &mut rv2.per_node[idx], node, tx) {
+                return false;
+            }
+            continue;
+        }
+        let conn = rv2.conns[idx].as_mut().expect("ensured above");
+        for &(id, t_secs) in &rv2.per_node[idx] {
+            conn.enc.add(&rv2.dict[id as usize], t_secs);
+        }
+        rv2.per_node[idx].clear();
+        conn.out.clear();
+        let sub_seq = conn.seq;
+        conn.seq = conn.seq.wrapping_add(1);
+        conn.enc.finish(sub_seq, &mut conn.out);
+        match &mut conn.transport {
+            V2Transport::Bulk(bulk) => {
+                // Fire-and-forget, like the text bulk path: a mid-send
+                // failure loses the sub-frame (re-sending could
+                // duplicate the prefix that arrived) and drops the
+                // connection so the next frame reopens cleanly.
+                if bulk.write.write_all(&conn.out).is_err() {
+                    if let Some(conn) = rv2.conns[idx].take() {
+                        if let V2Transport::Bulk(bulk) = conn.transport {
+                            bulk.close();
+                        }
+                    }
+                }
+            }
+            V2Transport::Rpc(rpc) => {
+                let reply = rpc
+                    .send_bytes(&conn.out)
+                    .and_then(|()| rpc.read_line())
+                    .ok()
+                    .filter(|line| line.starts_with("OK frame="));
+                match reply {
+                    Some(line) => {
+                        n += ack_field(&line, "n=");
+                        late += ack_field(&line, "late=");
+                        ahead += ack_field(&line, "ahead=");
+                    }
+                    None => {
+                        degraded.push(&node.addr);
+                        rv2.conns[idx] = None;
+                    }
+                }
+            }
+        }
+    }
+    if !ack {
+        return true;
+    }
+    let line = if degraded.is_empty() {
+        format!("OK frame={client_seq} n={n} late={late} ahead={ahead}")
+    } else {
+        format!(
+            "ERR frame={client_seq} degraded={} n={n} late={late} ahead={ahead}",
+            degraded.join(",")
+        )
+    };
+    tx.send(Outbound::Line(line)).is_ok()
+}
+
+/// Extracts one `key=<u64>` field from a node's frame ack.
+fn ack_field(line: &str, key: &str) -> u64 {
+    line.split(' ').find_map(|kv| kv.strip_prefix(key)).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Makes sure `conns[idx]` holds a live v2 connection of the session's
+/// current mode, reopening across mode flips (an `END` / `NOACK` /
+/// `UPGRADE` round trip) since the node-side dictionary cannot migrate
+/// between connections. `false` when the node is down or refuses the
+/// handshake.
+fn ensure_v2_conn(
+    shared: &RouterShared,
+    idx: usize,
+    conns: &mut [Option<V2NodeConn>],
+    ack: bool,
+    tx: &SyncSender<Outbound>,
+    done: &Arc<AtomicBool>,
+) -> bool {
+    let mode_matches = match &conns[idx] {
+        Some(conn) => matches!(conn.transport, V2Transport::Rpc(_)) == ack,
+        None => false,
+    };
+    if mode_matches {
+        return true;
+    }
+    if let Some(conn) = conns[idx].take() {
+        if let V2Transport::Bulk(bulk) = conn.transport {
+            bulk.close();
+        }
+    }
+    let node = &shared.nodes[idx];
+    if node.state() != STATE_UP {
+        return false;
+    }
+    let transport = if ack {
+        let opened = Conn::connect(&node.addr, shared.request_timeout).and_then(|mut conn| {
+            conn.send_line("UPGRADE")?;
+            if conn.read_line()? != "OK upgraded" {
+                return Err(std::io::Error::other("node refused UPGRADE"));
+            }
+            Ok(conn)
+        });
+        match opened {
+            Ok(conn) => V2Transport::Rpc(conn),
+            Err(_) => return false,
+        }
+    } else {
+        match BulkConn::open(
+            &node.addr,
+            shared.request_timeout,
+            tx.clone(),
+            Arc::clone(&shared.stop),
+            Arc::clone(done),
+            true,
+        ) {
+            Ok(bulk) => V2Transport::Bulk(bulk),
+            Err(_) => return false,
+        }
+    };
+    conns[idx] =
+        Some(V2NodeConn { enc: v2::FrameEncoder::new(), seq: 0, out: Vec::new(), transport });
+    true
+}
+
+/// Parks one down node's share of a `NOACK` v2 frame as text lines in
+/// its outage buffer (failover replay is shared with the text
+/// protocol); overflow answers one `ERR` per record. Returns `false`
+/// when the session's outbound queue is gone.
+fn park_v2_records(
+    dict: &[String],
+    records: &mut Vec<(u32, u64)>,
+    node: &Node,
+    tx: &SyncSender<Outbound>,
+) -> bool {
+    let lines: Vec<String> =
+        records.drain(..).map(|(id, t)| format!("PUSH {} {t}", dict[id as usize])).collect();
+    let count = lines.len();
+    let parked = {
+        let mut buf = node.buffer.lock().expect("buffer lock never poisoned");
+        buf.park(Parked { lines, ticket: None })
+    };
+    if parked {
+        node.buffered_total.fetch_add(count as u64, Ordering::SeqCst);
+        return true;
+    }
+    let refusal = format!("ERR node {} down and outage buffer full", node.addr);
+    (0..count).all(|_| tx.send(Outbound::Line(refusal.clone())).is_ok())
 }
 
 /// Routes one acked sub-batch: RPC while the node is up, park with a

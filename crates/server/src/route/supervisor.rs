@@ -97,6 +97,12 @@ impl Conn {
         self.stream.write_all(format!("{line}\n").as_bytes())
     }
 
+    /// Writes raw bytes — the v2 binary frame path (framing is the
+    /// caller's problem; replies still arrive as text lines).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
     /// A clone of the write half, letting a drainer thread own the
     /// reading side while the session keeps writing.
     pub fn write_half(&self) -> io::Result<TcpStream> {

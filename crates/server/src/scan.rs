@@ -1,0 +1,101 @@
+//! Word-at-a-time byte scanners shared by the hot paths.
+//!
+//! `std`'s own `memchr` is not public, and both the router's `NOACK`
+//! drain and the text parser's `PUSH` split run a delimiter scan per
+//! record — a plain byte loop there costs several milliseconds per
+//! million records. Both use the classic SWAR zero-byte trick: XOR the
+//! word with the repeated delimiter, then `(w - 0x01…) & !w & 0x80…`
+//! is non-zero iff some byte was the delimiter.
+
+/// Repeats `byte` across every lane of a `u64`.
+const fn splat(byte: u8) -> u64 {
+    u64::from_ne_bytes([byte; 8])
+}
+
+const LO: u64 = splat(0x01);
+const HI: u64 = splat(0x80);
+
+/// Whether any byte of `word` equals the splatted `target` pattern.
+#[inline]
+fn word_has(word: u64, target: u64) -> bool {
+    let x = word ^ target;
+    x.wrapping_sub(LO) & !x & HI != 0
+}
+
+/// Position of the first `\n` in `buf`, scanning a word at a time.
+pub(crate) fn find_newline(buf: &[u8]) -> Option<usize> {
+    const NL: u64 = splat(b'\n');
+    let mut chunks = buf.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        if word_has(word, NL) {
+            return chunk.iter().position(|&b| b == b'\n').map(|i| offset + i);
+        }
+        offset += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == b'\n').map(|i| offset + i)
+}
+
+/// Position of the last ASCII space in `buf`, scanning words from the
+/// end — the text parser's `PUSH <path> <ts>` split, where the space
+/// before the timestamp sits within a word or two of the line's end.
+pub(crate) fn rfind_space(buf: &[u8]) -> Option<usize> {
+    const SP: u64 = splat(b' ');
+    let tail = buf.len() % 8;
+    let body = buf.len() - tail;
+    if let Some(i) = buf[body..].iter().rposition(|&b| b == b' ') {
+        return Some(body + i);
+    }
+    let mut offset = body;
+    while offset >= 8 {
+        offset -= 8;
+        let chunk = &buf[offset..offset + 8];
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        if word_has(word, SP) {
+            return chunk.iter().rposition(|&b| b == b' ').map(|i| offset + i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_newline_matches_naive_scan() {
+        for len in 0..40 {
+            for pos in 0..len {
+                let mut buf = vec![b'x'; len];
+                buf[pos] = b'\n';
+                assert_eq!(find_newline(&buf), Some(pos), "len {len} pos {pos}");
+            }
+            assert_eq!(find_newline(&vec![b'x'; len]), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn find_newline_returns_first_of_many() {
+        assert_eq!(find_newline(b"ab\ncd\nef"), Some(2));
+        assert_eq!(find_newline(b"\n\n"), Some(0));
+    }
+
+    #[test]
+    fn rfind_space_matches_naive_scan() {
+        for len in 0..40 {
+            for pos in 0..len {
+                let mut buf = vec![b'x'; len];
+                buf[pos] = b' ';
+                assert_eq!(rfind_space(&buf), Some(pos), "len {len} pos {pos}");
+            }
+            assert_eq!(rfind_space(&vec![b'x'; len]), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rfind_space_returns_last_of_many() {
+        assert_eq!(rfind_space(b"a b c d"), Some(5));
+        assert_eq!(rfind_space(b"PUSH region-0/pop-1/service 42 1234567"), Some(30));
+    }
+}

@@ -16,7 +16,7 @@
 //! barrier is held.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,10 +36,10 @@ use tiresias_telemetry::{Field, MetricsServer, SlowLog};
 
 use crate::error::ServerError;
 use crate::hub::Hub;
-use crate::protocol::{parse_request, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
+use crate::protocol::{parse_request, v2, Request, DEFAULT_QUERY_LIMIT, MAX_QUERY_LIMIT};
 use crate::signal;
 use crate::state::{Durability, Inner};
-use crate::telemetry::{self, ServerTelemetry};
+use crate::telemetry::{self, ProtoCounters, ServerTelemetry};
 
 /// How often blocked session reads wake up to check the stop flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -229,6 +229,9 @@ struct Shared {
     idle_timeout: Option<Duration>,
     /// Sessions closed by the idle reaper (`STATS reaped_sessions=`).
     reaped_sessions: AtomicU64,
+    /// Wire-protocol accounting: per-protocol session gauges and v2
+    /// frame/dictionary totals, shared with the telemetry registry.
+    proto: ProtoCounters,
 }
 
 impl Shared {
@@ -504,6 +507,7 @@ impl Server {
             )),
             None => None,
         };
+        let proto = ProtoCounters::default();
         let telem = telemetry::build(
             engine_telem.as_ref(),
             &front,
@@ -512,6 +516,7 @@ impl Server {
             wal_arc.as_ref(),
             segments_arc.as_ref(),
             slow,
+            &proto,
         );
         inner.set_telemetry(telem.clone());
         let metrics = match &config.metrics_addr {
@@ -537,6 +542,7 @@ impl Server {
             batch_cap: config.flush_records.max(1),
             idle_timeout: config.idle_timeout,
             reaped_sessions: AtomicU64::new(0),
+            proto,
         });
         let shutdown_result: Arc<Mutex<Option<ServerError>>> = Arc::new(Mutex::new(None));
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -770,6 +776,11 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
 
     let mut subscription: Option<u64> = None;
     let mut ack = true;
+    shared.proto.text_sessions.fetch_add(1, Ordering::Relaxed);
+    // The session's v2 label dictionary: per connection, append-only,
+    // surviving `END`/`UPGRADE` round trips (see the codec docs).
+    let mut v2_state = V2Session::default();
+    let mut in_v2 = false;
     // Frames this session's subscriptions failed to receive when
     // lag-dropped from the hub (surfaced as `STATS dropped_events=`).
     let dropped_events = Arc::new(AtomicU64::new(0));
@@ -861,6 +872,38 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
                             record_shutdown(shared, shutdown_result);
                             break 'session;
                         }
+                        SessionStep::Upgrade => {
+                            if tx.send("OK upgraded".to_string()).is_err() {
+                                break 'session;
+                            }
+                            shared.proto.text_sessions.fetch_sub(1, Ordering::Relaxed);
+                            shared.proto.v2_sessions.fetch_add(1, Ordering::Relaxed);
+                            in_v2 = true;
+                            let mut scratch = PushScratch {
+                                batch: &mut batch,
+                                outcomes: &mut outcomes,
+                                gauge_hashes: &mut gauge_hashes,
+                            };
+                            let exit = run_v2_frames(
+                                &mut reader,
+                                shared,
+                                &tx,
+                                &mut v2_state,
+                                &mut scratch,
+                                ack,
+                                subscription.is_some(),
+                            );
+                            match exit {
+                                V2Exit::BackToText => {
+                                    shared.proto.v2_sessions.fetch_sub(1, Ordering::Relaxed);
+                                    shared.proto.text_sessions.fetch_add(1, Ordering::Relaxed);
+                                    in_v2 = false;
+                                    last_activity = Instant::now();
+                                    partial_len = 0;
+                                }
+                                V2Exit::Close => break 'session,
+                            }
+                        }
                     }
                     break;
                 }
@@ -908,6 +951,11 @@ fn run_session(stream: TcpStream, shared: &Shared, shutdown_result: &Mutex<Optio
             }
             Err(_) => break,
         }
+    }
+    if in_v2 {
+        shared.proto.v2_sessions.fetch_sub(1, Ordering::Relaxed);
+    } else {
+        shared.proto.text_sessions.fetch_sub(1, Ordering::Relaxed);
     }
     if let Some(id) = subscription {
         shared.hub.unsubscribe(id);
@@ -979,6 +1027,218 @@ fn flush_push_batch(
 /// under `NOACK` — like `LATE`, it reports a dropped record).
 const TOO_FAR_AHEAD: &str = "ERR record timestamp too far ahead of the open timeunit";
 
+/// A session's v2 decode state: the per-connection label dictionary
+/// plus reusable header/payload scratch, all surviving `END`/`UPGRADE`
+/// round trips on the same connection.
+#[derive(Default)]
+struct V2Session {
+    dict: Vec<String>,
+    hdr: [u8; v2::HEADER_BYTES],
+    payload: Vec<u8>,
+}
+
+/// The session's push scratch, shared between the text batcher and the
+/// v2 frame loop so neither reallocates per flush.
+struct PushScratch<'a> {
+    batch: &'a mut Vec<(String, u64)>,
+    outcomes: &'a mut Vec<Admission>,
+    gauge_hashes: &'a mut Vec<u64>,
+}
+
+/// Why the v2 frame loop handed control back.
+pub(crate) enum V2Exit {
+    /// An `END` frame: the inbound stream is text again.
+    BackToText,
+    /// Disconnect, malformed frame, stop flag, or idle reap — the
+    /// session is over.
+    Close,
+}
+
+/// Outcome of [`read_full`].
+enum ReadFull {
+    /// The buffer is filled.
+    Done,
+    /// EOF, a hard read error, the stop flag, or the idle reaper.
+    Closed,
+}
+
+/// Fills `buf` exactly, riding out the 50 ms poll timeouts the session
+/// socket runs under — checking the stop flag and the idle reaper
+/// between polls, exactly like the text loop (any byte of progress
+/// counts as activity; `reap_exempt` carries the text loop's
+/// subscribed-session exemption).
+fn read_full(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    shared: &Shared,
+    last_activity: &mut Instant,
+    reap_exempt: bool,
+) -> ReadFull {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.control.stop.load(Ordering::SeqCst) {
+            return ReadFull::Closed;
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return ReadFull::Closed,
+            Ok(n) => {
+                filled += n;
+                *last_activity = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if let Some(limit) = shared.idle_timeout {
+                    if !reap_exempt && last_activity.elapsed() >= limit {
+                        shared.reaped_sessions.fetch_add(1, Ordering::Relaxed);
+                        return ReadFull::Closed;
+                    }
+                }
+            }
+            Err(_) => return ReadFull::Closed,
+        }
+    }
+    ReadFull::Done
+}
+
+/// The binary inbound loop a session runs after `UPGRADE`: reads v2
+/// frames, decodes DATA frames straight into the session's push batch
+/// (one `admit_batch` call per frame — the per-record reply formatting
+/// and per-line parsing of the text path are gone), and answers with
+/// one text line per frame. Replies stay text in v2 mode, so broadcast
+/// `EVENT` frames keep flowing through the same writer thread.
+///
+/// Error policy: a frame that fails its header or payload checks gets
+/// one `ERR` line and **closes the session** — the client's encoder
+/// has already interned any labels the bad frame carried, so skipping
+/// it would silently desync the label dictionary; a fresh connection
+/// is the resync point. Admission refusals (`ERR frame=<seq> wal …`
+/// and engine refusals) are not decode errors: the dictionaries agree,
+/// so the session stays open for a retry.
+fn run_v2_frames(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    v2s: &mut V2Session,
+    scratch: &mut PushScratch<'_>,
+    ack: bool,
+    reap_exempt: bool,
+) -> V2Exit {
+    let mut last_activity = Instant::now();
+    loop {
+        if let ReadFull::Closed =
+            read_full(reader, &mut v2s.hdr, shared, &mut last_activity, reap_exempt)
+        {
+            return V2Exit::Close;
+        }
+        let header = match v2::decode_header(&v2s.hdr) {
+            Ok(h) => h,
+            Err(why) => {
+                let _ = tx.send(format!("ERR {why}"));
+                return V2Exit::Close;
+            }
+        };
+        shared.proto.v2_frames.fetch_add(1, Ordering::Relaxed);
+        match header.kind {
+            v2::FrameKind::Ping => {
+                // Always answered, even under NOACK — the producer's
+                // liveness fence between unacked DATA frames.
+                if tx.send(format!("PONG frame={}", header.seq)).is_err() {
+                    return V2Exit::Close;
+                }
+            }
+            v2::FrameKind::End => {
+                if tx.send("OK text".to_string()).is_err() {
+                    return V2Exit::Close;
+                }
+                return V2Exit::BackToText;
+            }
+            v2::FrameKind::Data => {
+                v2s.payload.resize(header.payload_len as usize, 0);
+                if let ReadFull::Closed =
+                    read_full(reader, &mut v2s.payload, shared, &mut last_activity, reap_exempt)
+                {
+                    return V2Exit::Close;
+                }
+                let decode_started = Instant::now();
+                if v2::crc32(&v2s.payload) != header.payload_crc {
+                    let _ = tx.send(format!("ERR frame={} payload CRC mismatch", header.seq));
+                    return V2Exit::Close;
+                }
+                let decoded = (|| -> Result<(), String> {
+                    let (new_entries, offset) = v2::decode_dict(&v2s.payload, &mut v2s.dict)?;
+                    shared.proto.v2_dict_entries.fetch_add(new_entries as u64, Ordering::Relaxed);
+                    for item in v2::records(&v2s.payload, offset, v2s.dict.len())? {
+                        let (id, t_secs) = item?;
+                        scratch.batch.push((v2s.dict[id as usize].clone(), t_secs));
+                    }
+                    Ok(())
+                })();
+                shared.telem.v2_decode.record_duration(decode_started.elapsed());
+                if let Err(why) = decoded {
+                    let _ = tx.send(format!("ERR frame={} {why}", header.seq));
+                    return V2Exit::Close;
+                }
+                if !flush_v2_frame(scratch, shared, tx, ack, header.seq) {
+                    return V2Exit::Close;
+                }
+            }
+        }
+    }
+}
+
+/// Admits one decoded DATA frame through the lock-free front-end and
+/// sends its frame-level ack: `OK frame=<seq> n=<accepted> late=<l>
+/// ahead=<a>`. Under `NOACK` the ack is suppressed unless late/ahead
+/// records were dropped (the same drop-reporting contract as the text
+/// path's per-record `LATE`/`ERR`). Returns `false` if the session's
+/// outbound queue is gone.
+fn flush_v2_frame(
+    scratch: &mut PushScratch<'_>,
+    shared: &Shared,
+    tx: &SyncSender<String>,
+    ack: bool,
+    seq: u32,
+) -> bool {
+    if scratch.batch.is_empty() {
+        return !ack || tx.send(format!("OK frame={seq} n=0 late=0 ahead=0")).is_ok();
+    }
+    let gauge = shared.prepare_push_gauge(scratch.batch, scratch.gauge_hashes);
+    match shared.front.admit_batch(scratch.batch, scratch.outcomes) {
+        Ok(()) => {
+            shared.note_accepted(gauge, scratch.gauge_hashes, scratch.outcomes);
+            let (mut n, mut late, mut ahead) = (0u64, 0u64, 0u64);
+            for outcome in scratch.outcomes.drain(..) {
+                match outcome {
+                    Admission::Accepted => n += 1,
+                    Admission::Late => late += 1,
+                    Admission::TooFarAhead => ahead += 1,
+                }
+            }
+            if ack || late + ahead > 0 {
+                tx.send(format!("OK frame={seq} n={n} late={late} ahead={ahead}")).is_ok()
+            } else {
+                true
+            }
+        }
+        Err(tiresias_core::CoreError::WalUnavailable(why)) => {
+            // Nothing was admitted; the dictionaries still agree, so
+            // the session survives for a retry once the log recovers.
+            scratch.batch.clear();
+            tx.send(format!("ERR frame={seq} wal {why}")).is_ok()
+        }
+        Err(_closed) => {
+            scratch.batch.clear();
+            tx.send(format!("ERR frame={seq} {}", shared.refusal_reason())).is_ok()
+        }
+    }
+}
+
 /// What the reader loop does after one line.
 enum SessionStep {
     /// Send the reply (if any) and keep reading.
@@ -989,6 +1249,9 @@ enum SessionStep {
     Close(String),
     /// Acknowledge, start the daemon-wide graceful shutdown, close.
     Shutdown,
+    /// Acknowledge `UPGRADE` and switch the inbound stream to binary
+    /// [v2 frames](crate::protocol::v2).
+    Upgrade,
 }
 
 fn handle_request(
@@ -1032,6 +1295,7 @@ fn handle_request(
                         &top_paths,
                         dropped_events.load(Ordering::Relaxed),
                         shared.reaped_sessions.load(Ordering::Relaxed),
+                        &shared.proto,
                     )),
                 }
             };
@@ -1046,6 +1310,8 @@ fn handle_request(
             SessionStep::Reply(Some("OK".to_string()))
         }
         Request::Ping => SessionStep::Reply(Some("PONG".to_string())),
+        Request::Hello => SessionStep::Reply(Some("OK v2".to_string())),
+        Request::Upgrade => SessionStep::Upgrade,
         Request::Quit => SessionStep::Close("BYE".to_string()),
         Request::Shutdown => SessionStep::Shutdown,
     }

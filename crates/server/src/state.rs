@@ -450,14 +450,17 @@ impl Inner {
     /// front-end's atomic gauges, the report store's read lock and the
     /// back-end merge cursor — it never stalls admission. `top_paths`
     /// is the server's Space-Saving hot-path gauge, `session_dropped`
-    /// the requesting session's lost-event counter and
-    /// `reaped_sessions` the server's idle-session reap counter.
+    /// the requesting session's lost-event counter, `reaped_sessions`
+    /// the server's idle-session reap counter and `proto` the
+    /// wire-protocol accounting (live sessions per protocol, v2 frame
+    /// and dictionary totals).
     pub fn stats_line(
         &self,
         hub: &Hub,
         top_paths: &str,
         session_dropped: u64,
         reaped_sessions: u64,
+        proto: &crate::telemetry::ProtoCounters,
     ) -> String {
         let handle = &self.handle;
         let records = handle.admitted();
@@ -505,7 +508,7 @@ impl Inner {
              retained_units={} retain={} last_closed={} subscribers={} dropped_slow={} \
              dropped_events={} wal_seq={} wal_bytes={} wal_fsyncs={} wal_errors={} segments={} \
              segment_units={} recovered_batches={} recovered_units={} reaped_sessions={} \
-             top_paths={}",
+             proto_text={} proto_v2={} v2_frames={} v2_dict_entries={} top_paths={}",
             records,
             handle.late(),
             handle.ahead(),
@@ -534,6 +537,10 @@ impl Inner {
             rec_batches,
             rec_units,
             reaped_sessions,
+            proto.text_sessions.load(std::sync::atomic::Ordering::Relaxed),
+            proto.v2_sessions.load(std::sync::atomic::Ordering::Relaxed),
+            proto.v2_frames.load(std::sync::atomic::Ordering::Relaxed),
+            proto.v2_dict_entries.load(std::sync::atomic::Ordering::Relaxed),
             if top_paths.is_empty() { "-" } else { top_paths },
         )
     }
@@ -614,7 +621,7 @@ mod tests {
         assert_eq!(handle.watermark(), Some(1));
         assert_eq!(handle.admit("a/x", 30).unwrap(), Admission::Late);
         assert_eq!(handle.late(), 1);
-        assert!(s.stats_line(&hub, "", 0, 0).contains("late=1"));
+        assert!(s.stats_line(&hub, "", 0, 0, &Default::default()).contains("late=1"));
     }
 
     #[test]
@@ -624,7 +631,7 @@ mod tests {
         let handle = s.handle();
         handle.admit("a/x", 5).unwrap();
         handle.admit("a/x", 600).unwrap(); // unit 10: stashed ahead
-        let stats = s.stats_line(&hub, "a:2", 3, 0);
+        let stats = s.stats_line(&hub, "a:2", 3, 0, &Default::default());
         assert!(stats.contains("records=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
         assert!(stats.contains("shard_open="), "{stats}");
@@ -651,17 +658,17 @@ mod tests {
         };
         // First STATS: no window exists yet — 0.0, never a division by
         // a zero-or-tiny uptime.
-        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0)), 0.0);
+        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0, &Default::default())), 0.0);
         // A real window with fresh records reports their rate over it.
         std::thread::sleep(Duration::from_millis(80));
         for i in 0..50 {
             handle.admit("a/x", 6 + i % 3).unwrap();
         }
-        let windowed = rps(&s.stats_line(&hub, "", 0, 0));
+        let windowed = rps(&s.stats_line(&hub, "", 0, 0, &Default::default()));
         assert!(windowed > 0.0, "fresh records over a real window: {windowed}");
         // An idle window decays to 0 — a lifetime average would not.
         std::thread::sleep(Duration::from_millis(80));
-        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0)), 0.0);
+        assert_eq!(rps(&s.stats_line(&hub, "", 0, 0, &Default::default())), 0.0);
     }
 
     #[test]
@@ -683,7 +690,7 @@ mod tests {
         let json = s.checkpoint_json().expect("drained engine serialises");
         assert!(json.starts_with("{\"version\":3,\"kind\":\"sharded\""));
         // STATS and the report reader still answer after the drain.
-        assert!(s.stats_line(&hub, "", 0, 0).starts_with("STATS "));
+        assert!(s.stats_line(&hub, "", 0, 0, &Default::default()).starts_with("STATS "));
         let _ = s.reader().with(|store| store.len());
     }
 

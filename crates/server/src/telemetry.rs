@@ -10,12 +10,28 @@
 //! atomics, the report store's read-mostly lock, or the hub's
 //! subscriber list (both of which no render caller ever holds).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tiresias_core::{EngineTelemetry, IngestHandle, ReportReader, SegmentStore, Wal};
 use tiresias_telemetry::{Histogram, Registry, SlowLog};
 
 use crate::hub::Hub;
+
+/// Wire-protocol accounting shared between the session threads (which
+/// bump the atomics) and the registry (whose closures read them):
+/// per-protocol live-session gauges plus v2 frame/dictionary totals.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProtoCounters {
+    /// Sessions currently speaking the text protocol.
+    pub text_sessions: Arc<AtomicU64>,
+    /// Sessions currently in binary v2 frame mode.
+    pub v2_sessions: Arc<AtomicU64>,
+    /// v2 frames decoded (all kinds) since start.
+    pub v2_frames: Arc<AtomicU64>,
+    /// Dictionary entries interned across all v2 sessions since start.
+    pub v2_dict_entries: Arc<AtomicU64>,
+}
 
 /// The server's assembled telemetry: the registry both exporters
 /// render, the request-path histograms the session threads feed, and
@@ -32,6 +48,9 @@ pub(crate) struct ServerTelemetry {
     /// Hub broadcast latency per closed-unit event flush (the lag a
     /// slow subscriber inflicts on the scheduler).
     pub broadcast: Arc<Histogram>,
+    /// v2 DATA-frame decode latency (payload bytes to batch records,
+    /// admission excluded).
+    pub v2_decode: Arc<Histogram>,
     /// Structured NDJSON slow-op log, `None` unless `--slow-log` is
     /// configured.
     pub slow: Option<Arc<SlowLog>>,
@@ -40,6 +59,7 @@ pub(crate) struct ServerTelemetry {
 /// Builds the daemon's registry. `engine` is `None` when the engine
 /// runs untelemetered (the bench baseline) — the derived counters and
 /// gauges still export, only the hot-path histograms go missing.
+#[allow(clippy::too_many_arguments)] // a one-caller assembly function: every arg is one metric source
 pub(crate) fn build(
     engine: Option<&EngineTelemetry>,
     front: &IngestHandle,
@@ -48,6 +68,7 @@ pub(crate) fn build(
     wal: Option<&Arc<Wal>>,
     segments: Option<&Arc<SegmentStore>>,
     slow: Option<Arc<SlowLog>>,
+    proto: &ProtoCounters,
 ) -> ServerTelemetry {
     let registry = Arc::new(Registry::new());
     if let Some(t) = engine {
@@ -67,6 +88,42 @@ pub(crate) fn build(
         "tiresias_broadcast_seconds",
         "Hub broadcast latency per closed-unit event flush.",
         &[],
+    );
+    let v2_decode = registry.histogram(
+        "tiresias_v2_decode_seconds",
+        "v2 DATA-frame decode latency, payload bytes to batch records.",
+        &[],
+    );
+
+    // Wire-protocol accounting: session threads bump the atomics, the
+    // registry only reads them (no lock, per the closure invariant).
+    let p = Arc::clone(&proto.text_sessions);
+    registry.gauge_fn(
+        "tiresias_sessions",
+        "Live sessions by wire protocol.",
+        &[("proto", "text")],
+        move || p.load(Ordering::Relaxed) as f64,
+    );
+    let p = Arc::clone(&proto.v2_sessions);
+    registry.gauge_fn(
+        "tiresias_sessions",
+        "Live sessions by wire protocol.",
+        &[("proto", "v2")],
+        move || p.load(Ordering::Relaxed) as f64,
+    );
+    let p = Arc::clone(&proto.v2_frames);
+    registry.counter_fn(
+        "tiresias_v2_frames_total",
+        "v2 frames decoded, all kinds.",
+        &[],
+        move || p.load(Ordering::Relaxed),
+    );
+    let p = Arc::clone(&proto.v2_dict_entries);
+    registry.counter_fn(
+        "tiresias_v2_dict_entries_total",
+        "Label-dictionary entries interned across v2 sessions.",
+        &[],
+        move || p.load(Ordering::Relaxed),
     );
 
     // Admission totals: shared atomics the front-end already counts.
@@ -212,5 +269,5 @@ pub(crate) fn build(
         );
     }
 
-    ServerTelemetry { registry, query, catchup, broadcast, slow }
+    ServerTelemetry { registry, query, catchup, broadcast, v2_decode, slow }
 }

@@ -1,0 +1,511 @@
+//! Binary wire-protocol v2 tests: codec round-trip and corruption
+//! properties, session negotiation and ack semantics over real
+//! sockets, hostile-frame handling (every corrupt frame answers `ERR`
+//! and closes the session without wedging the daemon), and
+//! text-versus-v2 admission equivalence including the heavy-hitter
+//! gauge.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use tiresias_core::TiresiasBuilder;
+use tiresias_server::protocol::{format_event, v2};
+use tiresias_server::{Server, ServerConfig};
+
+const TIMEUNIT: u64 = 60;
+
+fn builder() -> TiresiasBuilder {
+    TiresiasBuilder::new()
+        .timeunit_secs(TIMEUNIT)
+        .window_len(16)
+        .threshold(5.0)
+        .season_length(4)
+        .sensitivity(2.0, 5.0)
+        .warmup_units(4)
+        .shards(2)
+}
+
+fn config() -> ServerConfig {
+    let mut config = ServerConfig::new(builder());
+    config.grace = Duration::from_millis(600);
+    config.tick = Duration::from_millis(20);
+    config
+}
+
+/// A hand-assembled DATA frame (kind byte 0) with self-consistent
+/// CRCs — for payloads [`v2::FrameEncoder`] would refuse to produce.
+fn raw_data_frame(seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(v2::HEADER_BYTES + payload.len());
+    f.extend_from_slice(&v2::MAGIC);
+    f.push(v2::VERSION);
+    f.push(0);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&v2::crc32(payload).to_le_bytes());
+    let hcrc = v2::crc32(&f[0..16]);
+    f.extend_from_slice(&hcrc.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Runs one frame's bytes through the same decode stages the server
+/// uses: header, payload CRC, dictionary, records.
+fn decode_frame(frame: &[u8], dict: &mut Vec<String>) -> Result<Vec<(String, u64)>, String> {
+    if frame.len() < v2::HEADER_BYTES {
+        return Err("short header".to_string());
+    }
+    let header: [u8; v2::HEADER_BYTES] =
+        frame[..v2::HEADER_BYTES].try_into().expect("header slice");
+    let header = v2::decode_header(&header)?;
+    let payload = &frame[v2::HEADER_BYTES..];
+    if payload.len() != header.payload_len as usize {
+        return Err("payload length mismatch".to_string());
+    }
+    if v2::crc32(payload) != header.payload_crc {
+        return Err("payload CRC mismatch".to_string());
+    }
+    let (_, offset) = v2::decode_dict(payload, dict)?;
+    let mut out = Vec::new();
+    for rec in v2::records(payload, offset, dict.len())? {
+        let (id, t_secs) = rec?;
+        out.push((dict[id as usize].clone(), t_secs));
+    }
+    Ok(out)
+}
+
+const LABELS: &[&str] = &[
+    "tv/no-service",
+    "internet/slow",
+    "region-3/pop-1/service 42",
+    "a",
+    "phone/drop/long-tail-label-with-some-length-to-it",
+    "日本/漢字/ラベル",
+    "x/y/z",
+    "tv/audio",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encoding any record stream into frames of arbitrary size and
+    /// decoding them back through one shared dictionary reproduces the
+    /// records exactly — labels, order and timestamps (including
+    /// extreme timestamps exercising the wrapping delta coding).
+    #[test]
+    fn round_trip_identity(
+        recs in prop::collection::vec(
+            (0usize..LABELS.len(), 0u64..=u64::MAX), 0..300),
+        chunk in 1usize..64,
+    ) {
+        let recs: Vec<(String, u64)> =
+            recs.into_iter().map(|(i, t)| (LABELS[i].to_string(), t)).collect();
+        let mut enc = v2::FrameEncoder::new();
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for (seq, batch) in recs.chunks(chunk).enumerate() {
+            let mut out = Vec::new();
+            enc.encode_data(seq as u32, batch, &mut out);
+            frames.push(out);
+        }
+        let mut dict = Vec::new();
+        let mut decoded = Vec::new();
+        for frame in &frames {
+            decoded.extend(decode_frame(frame, &mut dict).expect("valid frame decodes"));
+        }
+        prop_assert_eq!(decoded, recs);
+        prop_assert!(dict.len() <= LABELS.len(), "labels are interned once");
+    }
+
+    /// Any single bit flip anywhere in a frame is caught by one of the
+    /// two CRCs (or an earlier header check) — it never decodes
+    /// cleanly and never panics.
+    #[test]
+    fn single_bit_flips_never_decode(
+        recs in prop::collection::vec((0usize..LABELS.len(), 0u64..100_000), 1..40),
+        flip_bit in 0usize..8,
+        flip_pos in 0u64..=u64::MAX,
+    ) {
+        let recs: Vec<(String, u64)> =
+            recs.into_iter().map(|(i, t)| (LABELS[i].to_string(), t)).collect();
+        let mut enc = v2::FrameEncoder::new();
+        let mut frame = Vec::new();
+        enc.encode_data(7, &recs, &mut frame);
+        let pos = (flip_pos % frame.len() as u64) as usize;
+        frame[pos] ^= 1 << flip_bit;
+        let mut dict = Vec::new();
+        prop_assert!(decode_frame(&frame, &mut dict).is_err(), "flip at byte {} bit {}", pos, flip_bit);
+    }
+
+    /// A truncated payload re-wrapped in a self-consistent header (a
+    /// hostile peer, not line noise — both CRCs check out) still fails
+    /// structurally: declared dictionary/record counts can never match
+    /// a strict prefix. Decode errors, never panics, never over-reads.
+    #[test]
+    fn truncated_payloads_always_error(
+        recs in prop::collection::vec((0usize..LABELS.len(), 0u64..100_000), 1..40),
+        cut in 0u64..=u64::MAX,
+    ) {
+        let recs: Vec<(String, u64)> =
+            recs.into_iter().map(|(i, t)| (LABELS[i].to_string(), t)).collect();
+        let mut enc = v2::FrameEncoder::new();
+        let mut frame = Vec::new();
+        enc.encode_data(0, &recs, &mut frame);
+        let payload = &frame[v2::HEADER_BYTES..];
+        let cut = (cut % payload.len() as u64) as usize;
+        let rewrapped = raw_data_frame(0, &payload[..cut]);
+        let mut dict = Vec::new();
+        prop_assert!(decode_frame(&rewrapped, &mut dict).is_err(), "cut at {}", cut);
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout set");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes");
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("writes frame bytes");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reads a reply line");
+        line.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+
+    /// Negotiates the session into binary mode.
+    fn upgrade(&mut self) {
+        assert_eq!(self.roundtrip("HELLO v2"), "OK v2");
+        assert_eq!(self.roundtrip("UPGRADE"), "OK upgraded");
+    }
+
+    /// True once the server closed this session (EOF on the reader).
+    fn closed(&mut self) -> bool {
+        let mut buf = [0u8; 1];
+        matches!(self.reader.read(&mut buf), Ok(0))
+    }
+}
+
+#[test]
+fn negotiation_acks_and_end_round_trip() {
+    let server = Server::start(config()).expect("server starts");
+    let mut client = Client::connect(&server);
+
+    // The probe is stateless: the session still speaks text after it.
+    assert_eq!(client.roundtrip("HELLO v2"), "OK v2");
+    assert_eq!(client.roundtrip("PING"), "PONG");
+    assert!(client.roundtrip("HELLO v3").starts_with("ERR "), "unknown capability refused");
+
+    client.upgrade();
+    let mut enc = v2::FrameEncoder::new();
+    let mut frame = Vec::new();
+    enc.encode_data(0, &[("tv/no-service", 5u64), ("internet/slow", 9)], &mut frame);
+    client.send_bytes(&frame);
+    assert_eq!(client.recv(), "OK frame=0 n=2 late=0 ahead=0");
+
+    // PING frames answer PONG with the echoed seq.
+    client.send_bytes(&v2::control_frame(v2::FrameKind::Ping, 41));
+    assert_eq!(client.recv(), "PONG frame=41");
+
+    // While the session is in binary mode the proto gauges say so.
+    let mut control = Client::connect(&server);
+    let stats = control.roundtrip("STATS");
+    assert!(stats.contains("proto_v2=1"), "{stats}");
+    assert!(stats.contains("v2_frames=2"), "{stats}");
+    assert!(stats.contains("v2_dict_entries=2"), "{stats}");
+
+    // An absurdly-ahead timestamp is dropped and reported in the
+    // frame ack — it never poisons the session, and the dictionaries
+    // still agree afterwards.
+    frame.clear();
+    enc.encode_data(1, &[("tv/no-service", u64::MAX)], &mut frame);
+    client.send_bytes(&frame);
+    assert_eq!(client.recv(), "OK frame=1 n=0 late=0 ahead=1");
+
+    // END drops back to text; the dictionary survives for the next
+    // UPGRADE on this connection, so a dictionary-less frame still
+    // resolves ids interned before the END.
+    client.send_bytes(&v2::control_frame(v2::FrameKind::End, 2));
+    assert_eq!(client.recv(), "OK text");
+    assert_eq!(client.roundtrip("PING"), "PONG");
+    assert_eq!(client.roundtrip("UPGRADE"), "OK upgraded");
+    frame.clear();
+    enc.encode_data(3, &[("tv/no-service", 11u64), ("internet/slow", 14)], &mut frame);
+    assert_eq!(enc.dict_len(), 2, "the encoder resent no labels");
+    client.send_bytes(&frame);
+    assert_eq!(client.recv(), "OK frame=3 n=2 late=0 ahead=0");
+
+    let stats = control.roundtrip("STATS");
+    assert!(stats.contains("records=4"), "{stats}");
+    assert_eq!(control.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn corrupt_frames_answer_err_close_the_session_and_spare_the_daemon() {
+    let server = Server::start(config()).expect("server starts");
+
+    // Each hostile frame gets its own session; after the ERR the
+    // session must be closed (the byte stream can't be trusted), and
+    // the daemon must keep serving everyone else.
+    let mut valid = Vec::new();
+    v2::FrameEncoder::new().encode_data(0, &[("tv/no-service", 5u64)], &mut valid);
+
+    // Garbage magic.
+    let mut garbage = valid.clone();
+    garbage[0] = b'X';
+    // A payload bit flip behind an intact header.
+    let mut flipped = valid.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    // An oversized payload claim with self-consistent CRCs.
+    let mut oversized = raw_data_frame(9, &[]);
+    oversized[8..12].copy_from_slice(&(v2::MAX_PAYLOAD_BYTES + 1).to_le_bytes());
+    let hcrc = v2::crc32(&oversized[0..16]);
+    oversized[16..20].copy_from_slice(&hcrc.to_le_bytes());
+    // A record referencing a dictionary id that was never interned.
+    let mut bad_id = Vec::new();
+    v2::put_uvarint(&mut bad_id, 0); // no new dictionary entries
+    v2::put_uvarint(&mut bad_id, 1); // one record …
+    v2::put_uvarint(&mut bad_id, 7); // … naming id 7 of an empty dict
+    v2::put_uvarint(&mut bad_id, 0);
+    let bad_id = raw_data_frame(3, &bad_id);
+    // A control frame smuggling a payload.
+    let ping_payload = {
+        let mut f = raw_data_frame(4, &[0x00]);
+        f[3] = 2; // PING
+        let hcrc = v2::crc32(&f[0..16]);
+        f[16..20].copy_from_slice(&hcrc.to_le_bytes());
+        f
+    };
+
+    for (what, frame) in [
+        ("garbage magic", &garbage),
+        ("payload bit flip", &flipped),
+        ("oversized payload claim", &oversized),
+        ("unknown dictionary id", &bad_id),
+        ("ping with payload", &ping_payload),
+    ] {
+        let mut client = Client::connect(&server);
+        client.upgrade();
+        client.send_bytes(frame);
+        let reply = client.recv();
+        assert!(reply.starts_with("ERR "), "{what}: {reply}");
+        assert!(client.closed(), "{what}: session must close after a corrupt frame");
+    }
+
+    // The daemon survived all of it.
+    let mut survivor = Client::connect(&server);
+    assert_eq!(survivor.roundtrip("PUSH tv/no-service 3"), "OK");
+    let stats = survivor.roundtrip("STATS");
+    assert!(stats.contains("records=1"), "only the survivor's record admitted: {stats}");
+    assert_eq!(survivor.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("clean shutdown");
+}
+
+/// `(path, timestamp)` records over several top-level categories with
+/// bursts at `burst_unit` on two of them (the live_server workload).
+fn workload(units: u64, burst_unit: u64) -> Vec<(String, u64)> {
+    let mut records = Vec::new();
+    for u in 0..units {
+        for k in 0..6u64 {
+            let count = if u == burst_unit && (k == 0 || k == 3) { 80 } else { 8 };
+            for i in 0..count {
+                records.push((format!("cat{k}/leaf"), u * TIMEUNIT + (i % TIMEUNIT)));
+            }
+        }
+    }
+    records
+}
+
+fn offline_event_frames(records: &[(String, u64)]) -> Vec<String> {
+    let mut engine = builder().build_sharded().expect("valid test config");
+    engine.push_batch(records).expect("replay ingests");
+    let mut frames: Vec<String> = engine.anomalies().iter().map(format_event).collect();
+    frames.sort();
+    frames
+}
+
+fn collect_events(subscriber: &mut Client, expected: usize, deadline: Duration) -> Vec<String> {
+    let start = Instant::now();
+    let mut frames = Vec::new();
+    while frames.len() < expected && start.elapsed() < deadline {
+        let mut line = String::new();
+        match subscriber.reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim_end();
+                if line.starts_with("EVENT ") {
+                    frames.push(line.to_string());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+    }
+    frames
+}
+
+/// Pulls the `top_paths=` field out of a `STATS` line.
+fn top_paths(stats: &str) -> String {
+    stats
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("top_paths="))
+        .unwrap_or_else(|| panic!("top_paths= missing from {stats}"))
+        .to_string()
+}
+
+/// The same workload admitted over text on one daemon and over v2
+/// frames on another — with a text and a v2 session *coexisting* on
+/// the latter — must produce byte-identical anomaly streams and
+/// heavy-hitter gauges.
+#[test]
+fn text_and_v2_admission_are_equivalent_and_coexist() {
+    let records = workload(10, 8);
+    let expected = offline_event_frames(&records);
+    assert!(!expected.is_empty(), "the workload produces anomalies");
+
+    // Daemon A: everything over text.
+    let server_a = Server::start(config()).expect("server starts");
+    let mut sub_a = Client::connect(&server_a);
+    assert!(sub_a.roundtrip("SUBSCRIBE").starts_with("OK subscribed from="));
+    {
+        let mut client = Client::connect(&server_a);
+        assert_eq!(client.roundtrip("NOACK"), "OK");
+        let mut payload = String::new();
+        for (path, t) in &records {
+            payload.push_str(&format!("PUSH {path} {t}\n"));
+        }
+        client.send_bytes(payload.as_bytes());
+        assert_eq!(client.roundtrip("QUIT"), "BYE");
+    }
+
+    // Daemon B: the even-indexed records over a v2 session, the odd
+    // ones over a concurrent text session on the same daemon.
+    let server_b = Server::start(config()).expect("server starts");
+    let mut sub_b = Client::connect(&server_b);
+    assert!(sub_b.roundtrip("SUBSCRIBE").starts_with("OK subscribed from="));
+    std::thread::scope(|scope| {
+        let recs = &records;
+        let server = &server_b;
+        scope.spawn(move || {
+            let mut client = Client::connect(server);
+            assert_eq!(client.roundtrip("NOACK"), "OK");
+            client.upgrade();
+            let mut enc = v2::FrameEncoder::new();
+            let even: Vec<(String, u64)> = recs.iter().step_by(2).cloned().collect();
+            for (seq, batch) in even.chunks(97).enumerate() {
+                let mut frame = Vec::new();
+                enc.encode_data(seq as u32, batch, &mut frame);
+                client.send_bytes(&frame);
+            }
+            let fence = v2::control_frame(v2::FrameKind::Ping, 1_000_000);
+            client.send_bytes(&fence);
+            assert_eq!(client.recv(), "PONG frame=1000000");
+        });
+        scope.spawn(move || {
+            let mut client = Client::connect(server);
+            assert_eq!(client.roundtrip("NOACK"), "OK");
+            let mut payload = String::new();
+            for (path, t) in recs.iter().skip(1).step_by(2) {
+                payload.push_str(&format!("PUSH {path} {t}\n"));
+            }
+            client.send_bytes(payload.as_bytes());
+            assert_eq!(client.roundtrip("QUIT"), "BYE");
+        });
+    });
+
+    let deadline = Duration::from_secs(30);
+    let mut got_a = collect_events(&mut sub_a, expected.len(), deadline);
+    let mut got_b = collect_events(&mut sub_b, expected.len(), deadline);
+    got_a.sort();
+    got_b.sort();
+    assert_eq!(got_a, expected, "text admission equals the offline replay");
+    assert_eq!(got_b, expected, "mixed text+v2 admission equals the offline replay");
+
+    let mut control_a = Client::connect(&server_a);
+    let mut control_b = Client::connect(&server_b);
+    let stats_a = control_a.roundtrip("STATS");
+    let stats_b = control_b.roundtrip("STATS");
+    for stats in [&stats_a, &stats_b] {
+        assert!(stats.contains(&format!("records={}", records.len())), "{stats}");
+        assert!(stats.contains("late=0"), "{stats}");
+    }
+    assert_eq!(
+        top_paths(&stats_a),
+        top_paths(&stats_b),
+        "the heavy-hitter gauge is protocol-independent"
+    );
+
+    assert_eq!(control_a.roundtrip("SHUTDOWN"), "OK shutting down");
+    assert_eq!(control_b.roundtrip("SHUTDOWN"), "OK shutting down");
+    server_a.join().expect("clean shutdown");
+    server_b.join().expect("clean shutdown");
+}
+
+/// Under `NOACK`, a frame whose records were (partially) dropped still
+/// reports the drops: the ack line is suppressed only when nothing was
+/// lost.
+#[test]
+fn noack_v2_reports_dropped_records_unsolicited() {
+    let server = Server::start(config()).expect("server starts");
+    let mut client = Client::connect(&server);
+    assert_eq!(client.roundtrip("NOACK"), "OK");
+    client.upgrade();
+
+    let mut enc = v2::FrameEncoder::new();
+    let mut frame = Vec::new();
+    // Anchor the stream and advance far enough that unit 0 closes once
+    // the grace window expires.
+    let recs: Vec<(String, u64)> =
+        (0..8u64).map(|u| ("tv/no-service".to_string(), u * TIMEUNIT)).collect();
+    enc.encode_data(0, &recs, &mut frame);
+    client.send_bytes(&frame);
+    client.send_bytes(&v2::control_frame(v2::FrameKind::Ping, 1));
+    assert_eq!(client.recv(), "PONG frame=1");
+
+    // Wait for the grace window so early units are closed.
+    let mut control = Client::connect(&server);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = control.roundtrip("STATS");
+        if stats.contains("last_closed=6") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "units never closed: {stats}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A frame landing in a closed unit is dropped as late — and the
+    // drop is reported even though the session never asked for acks.
+    frame.clear();
+    enc.encode_data(2, &[("tv/no-service", 1u64)], &mut frame);
+    client.send_bytes(&frame);
+    assert_eq!(client.recv(), "OK frame=2 n=0 late=1 ahead=0");
+
+    assert_eq!(control.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("clean shutdown");
+}

@@ -71,6 +71,7 @@ use std::time::Duration;
 use tiresias::core::{events_to_csv, CoreError, TiresiasBuilder};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 use tiresias::hierarchy::render_ascii;
+use tiresias::server::protocol::v2;
 use tiresias::server::{Router, RouterConfig, Server, ServerConfig};
 
 #[derive(Debug, Clone)]
@@ -556,6 +557,260 @@ fn cmd_query(args: &QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Arguments of the `load` subcommand.
+#[derive(Debug)]
+struct LoadArgs {
+    file: String,
+    addr: String,
+    ack: bool,
+    batch: usize,
+}
+
+fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
+    let Some((file, flags)) = args.split_first() else {
+        return Err("load needs a CSV/TSV file argument".to_string());
+    };
+    if file.starts_with("--") {
+        return Err(format!("load needs a CSV/TSV file argument, found flag `{file}`"));
+    }
+    let mut load = LoadArgs {
+        file: file.clone(),
+        addr: "127.0.0.1:7171".to_string(),
+        ack: false,
+        batch: 8_192,
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--ack" => load.ack = true,
+            "--addr" => {
+                load.addr = it.next().ok_or("--addr needs a host:port value")?.clone();
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                load.batch = v.parse::<usize>().map_err(|_| format!("bad --batch value `{v}`"))?;
+                if load.batch == 0 {
+                    return Err("--batch must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(load)
+}
+
+/// Reads one trimmed reply line, treating EOF as a hard error (the
+/// daemon never closes a healthy load session first).
+fn load_read_line(
+    replies: &mut std::io::BufReader<std::net::TcpStream>,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let mut line = String::new();
+    if replies.read_line(&mut line)? == 0 {
+        return Err("daemon closed the connection".into());
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// Extracts `key<digits>` (e.g. `n=5`) from an ack tail like
+/// `3 n=5 late=0 ahead=0`; 0 when the key is absent.
+fn load_ack_field(rest: &str, key: &str) -> u64 {
+    rest.split(' ').find_map(|tok| tok.strip_prefix(key)).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// One live v2 load session: the encoder's dictionary is tied to the
+/// connection, so both halves live and die together.
+struct LoadSession {
+    enc: v2::FrameEncoder,
+    out: Vec<u8>,
+    seq: u32,
+    write: std::net::TcpStream,
+    replies: std::io::BufReader<std::net::TcpStream>,
+    ack: bool,
+    frames: u64,
+    accepted: u64,
+    late: u64,
+    ahead: u64,
+}
+
+impl LoadSession {
+    /// Ships the staged records as one DATA frame; in `--ack` mode the
+    /// daemon's per-frame ack is read synchronously and its admission
+    /// counts accumulated.
+    fn flush(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+        use std::io::Write as _;
+        if self.enc.pending() == 0 {
+            return Ok(());
+        }
+        let seq = self.seq;
+        self.out.clear();
+        self.enc.finish(seq, &mut self.out);
+        self.seq = self.seq.wrapping_add(1);
+        self.write.write_all(&self.out)?;
+        self.frames += 1;
+        if self.ack {
+            let line = load_read_line(&mut self.replies)?;
+            if let Some(rest) = line.strip_prefix("OK frame=") {
+                self.accepted += load_ack_field(rest, "n=");
+                self.late += load_ack_field(rest, "late=");
+                self.ahead += load_ack_field(rest, "ahead=");
+            } else if let Some(why) = line.strip_prefix("ERR ") {
+                return Err(format!("daemon refused frame {seq}: {why}").into());
+            } else {
+                return Err(format!("unexpected reply to frame {seq}: `{line}`").into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fences the stream with a PING (answered even under `NOACK`,
+    /// after every prior frame was admitted), folding in any
+    /// unsolicited drop reports queued ahead of the PONG, then drops
+    /// back to text with END and says goodbye.
+    fn finish(mut self) -> Result<LoadTotals, Box<dyn std::error::Error>> {
+        use std::io::Write as _;
+        let fence = self.seq;
+        self.write.write_all(&v2::control_frame(v2::FrameKind::Ping, fence))?;
+        let pong = format!("PONG frame={fence}");
+        loop {
+            let line = load_read_line(&mut self.replies)?;
+            if line == pong {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("OK frame=") {
+                self.late += load_ack_field(rest, "late=");
+                self.ahead += load_ack_field(rest, "ahead=");
+            } else if let Some(why) = line.strip_prefix("ERR ") {
+                return Err(format!("daemon reported an error mid-load: {why}").into());
+            }
+        }
+        self.write.write_all(&v2::control_frame(v2::FrameKind::End, fence.wrapping_add(1)))?;
+        let line = load_read_line(&mut self.replies)?;
+        if line != "OK text" {
+            return Err(format!("unexpected reply to END: `{line}`").into());
+        }
+        let _ = writeln!(self.write, "QUIT");
+        Ok(LoadTotals {
+            frames: self.frames,
+            accepted: self.accepted,
+            late: self.late,
+            ahead: self.ahead,
+            dict: self.enc.dict_len(),
+        })
+    }
+}
+
+/// What a finished load session admitted, for the final summary.
+struct LoadTotals {
+    frames: u64,
+    accepted: u64,
+    late: u64,
+    ahead: u64,
+    dict: usize,
+}
+
+/// Bulk-replays a CSV/TSV corpus of `timestamp_secs,category/path`
+/// records into a running daemon over binary wire protocol v2: one
+/// `NOACK` (unless `--ack`) + `HELLO v2` + `UPGRADE` negotiation, then
+/// `--batch`-sized DATA frames through a per-connection label
+/// dictionary, a PING fence, and a clean END.
+fn cmd_load(args: &LoadArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+    let file = std::fs::File::open(&args.file)
+        .map_err(|e| format!("cannot read input file `{}`: {e}", args.file))?;
+    let stream = std::net::TcpStream::connect(&args.addr)
+        .map_err(|e| format!("connect to `{}` failed: {e}", args.addr))?;
+    let mut write = stream.try_clone().map_err(|e| format!("socket error: {e}"))?;
+    let mut replies = std::io::BufReader::new(stream);
+
+    // Negotiate: bulk mode first (unless `--ack`), then the capability
+    // probe and the binary upgrade.
+    if !args.ack {
+        writeln!(write, "NOACK")?;
+        let line = load_read_line(&mut replies)?;
+        if line != "OK" {
+            return Err(format!("daemon refused NOACK: `{line}`").into());
+        }
+    }
+    writeln!(write, "HELLO v2")?;
+    let line = load_read_line(&mut replies)?;
+    if line != "OK v2" {
+        return Err(format!("daemon does not speak wire protocol v2: `{line}`").into());
+    }
+    writeln!(write, "UPGRADE")?;
+    let line = load_read_line(&mut replies)?;
+    if line != "OK upgraded" {
+        return Err(format!("daemon refused UPGRADE: `{line}`").into());
+    }
+
+    let mut session = LoadSession {
+        enc: v2::FrameEncoder::new(),
+        out: Vec::with_capacity(64 * 1024),
+        seq: 0,
+        write,
+        replies,
+        ack: args.ack,
+        frames: 0,
+        accepted: 0,
+        late: 0,
+        ahead: 0,
+    };
+    let mut line_no = 0u64;
+    let mut sent = 0u64;
+    let mut skipped = 0u64;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        line_no += 1;
+        let line = line.trim();
+        if line.is_empty()
+            || line.starts_with('#')
+            || (line_no == 1 && line.starts_with("timestamp"))
+        {
+            continue;
+        }
+        // CSV or TSV: whichever delimiter appears first wins, so paths
+        // containing the other character still parse.
+        let Some((ts, category)) = line.find([',', '\t']).map(|i| (&line[..i], &line[i + 1..]))
+        else {
+            eprintln!("line {line_no}: expected `timestamp,category`, skipping");
+            skipped += 1;
+            continue;
+        };
+        let Ok(t) = ts.trim().parse::<u64>() else {
+            eprintln!("line {line_no}: bad timestamp `{ts}`, skipping");
+            skipped += 1;
+            continue;
+        };
+        let category = category.trim();
+        if category.is_empty() {
+            eprintln!("line {line_no}: empty category path, skipping");
+            skipped += 1;
+            continue;
+        }
+        session.enc.add(category, t);
+        sent += 1;
+        if session.enc.pending() >= args.batch {
+            session.flush()?;
+        }
+    }
+    session.flush()?;
+    let ack = args.ack;
+    let LoadTotals { frames, accepted, late, ahead, dict } = session.finish()?;
+    if ack {
+        eprintln!(
+            "loaded {sent} records in {frames} v2 frames ({dict} dictionary entries) \
+             into {}: accepted={accepted} late={late} ahead={ahead}; {skipped} line(s) skipped",
+            args.addr,
+        );
+    } else {
+        eprintln!(
+            "loaded {sent} records in {frames} v2 frames ({dict} dictionary entries) \
+             into {} (noack): reported late={late} ahead={ahead}; {skipped} line(s) skipped",
+            args.addr,
+        );
+    }
+    Ok(())
+}
+
 /// Arguments of the `route` subcommand.
 #[derive(Debug)]
 struct RouteArgs {
@@ -962,6 +1217,9 @@ subcommands:
   serve               run the live TCP streaming-ingestion daemon
   route               run the fault-tolerant routing daemon over N
                       serve nodes (consistent-hash by top-level label)
+  load <file.csv>     bulk-replay a CSV/TSV corpus of
+                      `timestamp_secs,category/path` records into a
+                      running daemon over binary wire protocol v2
   query <addr> <from> <to>
                       query a running daemon's retained report store
                       and print the matching anomalies as CSV
@@ -986,6 +1244,11 @@ route options:
   --addr host:port  --probe-ms n  --node-timeout-ms n
   --backoff-max-ms n  --buffer records
   --metrics-addr host:port  --slow-log file  --slow-ms n
+
+load options:
+  --addr host:port    daemon to stream into (default 127.0.0.1:7171)
+  --ack               per-frame acks (default: NOACK bulk mode)
+  --batch n           records per v2 DATA frame (default 8192)
 
 query options:
   --prefix path  --level n  --limit k  --retries n  --retry-max-ms ms
@@ -1028,6 +1291,10 @@ fn main() {
         },
         Some((cmd, rest)) if cmd == "route" => match parse_route_args(rest) {
             Ok(args) => cmd_route(&args).map_or_else(run_error, |()| 0),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "load" => match parse_load_args(rest) {
+            Ok(args) => cmd_load(&args).map_or_else(run_error, |()| 0),
             Err(e) => usage_error(&e),
         },
         Some((cmd, rest)) if cmd == "query" => match parse_query_args(rest) {
