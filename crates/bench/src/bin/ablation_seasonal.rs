@@ -21,6 +21,7 @@ fn main() {
         arrival: ArrivalModel::ccd(800.0),
         zipf_exponent: 1.0,
         noise_sigma: 0.08,
+        top_level_skew: 0.0,
     };
     let workload = Workload::with_popularity(tree, config, &mix, 131);
     let series: Vec<f64> =

@@ -28,8 +28,8 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use tiresias_bench::scenarios::ccd_location_workload;
-use tiresias_core::{ShardedTiresias, TiresiasBuilder};
+use tiresias_bench::scenarios::{ccd_location_workload, ccd_location_workload_skewed};
+use tiresias_core::{RebalanceConfig, ShardedTiresias, TiresiasBuilder};
 
 const UNITS: u64 = 48;
 const BASE_RATE: f64 = 4000.0;
@@ -42,6 +42,31 @@ const BATCH_SWEEP: [usize; 4] = [1024, 4096, 16384, 65536];
 /// Measurement repetitions per configuration; the minimum is reported
 /// (scheduling noise on a shared host is strictly additive).
 const REPS: usize = 3;
+/// Top-level Zipf exponent of the skewed variant (the `--zipf-s` knob):
+/// the hottest VHO carries ~29% of all traffic — under the 1/SHARDS
+/// ceiling, so a perfect reassignment can still even the shards out.
+const SKEW_ZIPF_S: f64 = 0.9;
+/// Tree scale of the skewed variant: 0.2 gives 12 VHO labels, enough
+/// for the greedy planner to mix hot and cold labels per shard but few
+/// enough that per-label close-out overhead (tracker iteration at every
+/// epoch barrier) does not drown the per-record cost being balanced.
+const SKEW_SCALE: f64 = 0.2;
+/// Per-tree base rate of the skewed variant; high so busy time is
+/// dominated by per-record work, which is what label moves redistribute.
+const SKEW_BASE_RATE: f64 = 20000.0;
+/// Workload seed of the skewed variant, chosen so the hash-routed
+/// baseline is genuinely pathological: the hot VHOs collide onto one
+/// shard (~69% of records), the failure mode rebalancing exists for.
+const SKEW_SEED: u64 = 3;
+/// Shard count of the skewed static-vs-adaptive comparison (the CI
+/// busy-ratio gate runs at this count).
+const SKEW_SHARDS: usize = 4;
+/// Worst/mean load threshold handed to the rebalancer.
+const SKEW_THRESHOLD: f64 = 1.15;
+/// Repetitions of the skewed comparison. Higher than the sweep's
+/// `REPS`: the CI gate rides on the busy *ratio*, whose scheduling
+/// noise shrinks with the minimum over more repetitions.
+const SKEW_REPS: usize = 5;
 
 fn builder() -> TiresiasBuilder {
     TiresiasBuilder::new()
@@ -85,6 +110,9 @@ struct ShardReport {
     speedup: f64,
     /// Wall-clock speedup on this host (≈ 1 on a single core).
     wall_speedup: f64,
+    /// Worst-shard / mean-shard busy seconds (1.0 = perfectly
+    /// balanced; the pipeline waits on the worst shard).
+    busy_ratio: f64,
     anomalies: usize,
     heavy_hitters: usize,
 }
@@ -96,6 +124,31 @@ struct BatchSweepPoint {
     wall_records_per_sec: f64,
 }
 
+/// One routing mode of the skewed-workload comparison.
+#[derive(Debug, Serialize)]
+struct SkewedVariant {
+    busy_ratio: f64,
+    critical_path_seconds: f64,
+    records_per_sec: f64,
+}
+
+/// Static vs adaptive routing on the Zipfian workload: same records,
+/// same shard count, byte-identical output — only the balance and the
+/// critical path differ.
+#[derive(Debug, Serialize)]
+struct SkewedReport {
+    zipf_s: f64,
+    records: usize,
+    shards: usize,
+    balance_threshold: f64,
+    static_routing: SkewedVariant,
+    adaptive: SkewedVariant,
+    rebalances: u64,
+    pinned_labels: usize,
+    outputs_identical: bool,
+    level1_matches_unsharded: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -105,7 +158,16 @@ struct Report {
     workload: WorkloadInfo,
     baseline_unsharded: BaselineReport,
     shard_counts: Vec<ShardReport>,
+    /// Uniform-workload critical-path throughput at 4 shards, hoisted
+    /// out of `shard_counts` for the CI regression gate.
+    critical_path_records_per_sec_4_shards: f64,
+    /// Uniform-workload critical-path speedup at 4 shards, hoisted for
+    /// the CI regression gate: a same-run ratio, so host-speed noise
+    /// cancels where the absolute records/sec above swings ~30%
+    /// between container runs.
+    critical_path_speedup_4_shards: f64,
     batch_sweep_at_4_shards: Vec<BatchSweepPoint>,
+    skewed: SkewedReport,
     outputs_identical: bool,
     level1_matches_unsharded: bool,
 }
@@ -141,13 +203,36 @@ fn run_threaded(
 }
 
 fn run_sequential(shards: usize, records: &[(String, u64)], end_secs: u64) -> ShardedTiresias {
+    run_sequential_with(shards, records, end_secs, RebalanceConfig::default())
+}
+
+fn run_sequential_with(
+    shards: usize,
+    records: &[(String, u64)],
+    end_secs: u64,
+    rebalance: RebalanceConfig,
+) -> ShardedTiresias {
     let mut engine = builder().shards(shards).build_sharded().expect("static config is valid");
     engine.set_threaded(false);
+    engine.set_rebalance(rebalance);
     for chunk in records.chunks(BATCH_RECORDS) {
         engine.push_batch(chunk).expect("in-order stream");
     }
     engine.advance_to(end_secs).expect("close last unit");
     engine
+}
+
+/// Worst-shard / mean-shard busy seconds of a finished replay.
+fn busy_ratio(engine: &ShardedTiresias) -> f64 {
+    let busy: Vec<f64> = engine.shard_busy().iter().map(|d| d.as_secs_f64()).collect();
+    let worst = busy.iter().cloned().fold(0.0, f64::max);
+    worst / (busy.iter().sum::<f64>() / busy.len() as f64)
+}
+
+/// Critical-path seconds of a finished sequential replay.
+fn critical_path(engine: &ShardedTiresias) -> f64 {
+    let router = engine.router_busy().as_secs_f64();
+    engine.shard_busy().iter().map(|d| d.as_secs_f64()).fold(router, f64::max)
 }
 
 fn main() {
@@ -197,6 +282,7 @@ fn main() {
         let mut router_seconds = f64::INFINITY;
         let mut shard_busy_seconds: Vec<f64> = vec![f64::INFINITY; n];
         let mut critical_path_seconds = f64::INFINITY;
+        let mut ratio = f64::INFINITY;
         let mut threaded = None;
         for _ in 0..REPS {
             let (w, engine) = run_threaded(n, &records, BATCH_RECORDS, end_secs);
@@ -212,6 +298,7 @@ fn main() {
             critical_path_seconds =
                 critical_path_seconds.min(busy.iter().cloned().fold(router, f64::max));
             router_seconds = router_seconds.min(router);
+            ratio = ratio.min(busy_ratio(&sequential));
             for (slot, b) in shard_busy_seconds.iter_mut().zip(busy) {
                 *slot = slot.min(b);
             }
@@ -245,6 +332,7 @@ fn main() {
             records_per_sec: records.len() as f64 / critical_path_seconds,
             speedup: critical_1 / critical_path_seconds,
             wall_speedup: wall_1 / wall,
+            busy_ratio: ratio,
             anomalies: threaded.anomalies().len(),
             heavy_hitters: threaded.heavy_hitter_paths().len(),
         });
@@ -268,6 +356,92 @@ fn main() {
     one_shard_events.sort();
     let level1_matches_unsharded = baseline_level1 == one_shard_events;
 
+    // Skewed workload: same tree, Zipfian mass over the top-level
+    // labels. Static hash routing piles the hot prefixes onto a few
+    // shards; the adaptive rebalancer repins them at epoch barriers.
+    // Output must stay byte-identical either way.
+    let skew_workload =
+        ccd_location_workload_skewed(SKEW_SCALE, SKEW_BASE_RATE, SKEW_SEED, SKEW_ZIPF_S);
+    let skew_tree = skew_workload.tree();
+    let mut skew_records: Vec<(String, u64)> = Vec::new();
+    for unit in 0..UNITS {
+        for (node, t) in skew_workload.generate_records(unit) {
+            skew_records.push((skew_tree.path_of(node).to_string(), t));
+        }
+    }
+    eprintln!(
+        "skewed variant (zipf_s={SKEW_ZIPF_S}): {} records at {SKEW_SHARDS} shards…",
+        skew_records.len(),
+    );
+    let adaptive_config = RebalanceConfig::enabled().with_threshold(SKEW_THRESHOLD);
+    let mut static_cp = f64::INFINITY;
+    let mut adaptive_cp = f64::INFINITY;
+    let mut static_ratio = f64::INFINITY;
+    let mut adaptive_ratio = f64::INFINITY;
+    let mut static_engine = None;
+    let mut adaptive_engine = None;
+    for rep in 0..SKEW_REPS {
+        let st = run_sequential(SKEW_SHARDS, &skew_records, end_secs);
+        static_cp = static_cp.min(critical_path(&st));
+        static_ratio = static_ratio.min(busy_ratio(&st));
+        let rep_static = busy_ratio(&st);
+        static_engine = Some(st);
+        let ad = run_sequential_with(SKEW_SHARDS, &skew_records, end_secs, adaptive_config);
+        adaptive_cp = adaptive_cp.min(critical_path(&ad));
+        adaptive_ratio = adaptive_ratio.min(busy_ratio(&ad));
+        let rep_adaptive = busy_ratio(&ad);
+        adaptive_engine = Some(ad);
+        eprintln!("  rep {rep}: busy ratio {rep_static:.3} static, {rep_adaptive:.3} adaptive");
+    }
+    let static_engine = static_engine.expect("at least one rep ran");
+    let adaptive_engine = adaptive_engine.expect("at least one rep ran");
+    let skew_outputs_identical = fingerprint(&static_engine) == fingerprint(&adaptive_engine);
+    assert!(skew_outputs_identical, "adaptive routing must not change the output");
+    // And against the unsharded detector, level ≥ 1 (the engines differ
+    // at the root by design).
+    let mut skew_baseline = builder().build().expect("static config is valid");
+    for chunk in skew_records.chunks(BATCH_RECORDS) {
+        skew_baseline.push_batch(chunk).expect("in-order stream");
+    }
+    skew_baseline.advance_to(end_secs).expect("close last unit");
+    let mut skew_baseline_level1: Vec<(String, u64)> = skew_baseline
+        .anomalies()
+        .iter()
+        .filter(|e| e.level >= 1)
+        .map(|e| (e.path.to_string(), e.unit))
+        .collect();
+    skew_baseline_level1.sort();
+    let mut skew_adaptive_events: Vec<(String, u64)> =
+        adaptive_engine.anomalies().iter().map(|e| (e.path.to_string(), e.unit)).collect();
+    skew_adaptive_events.sort();
+    eprintln!(
+        "skewed at {SKEW_SHARDS} shards: busy ratio {static_ratio:.2} static → \
+         {adaptive_ratio:.2} adaptive ({} rebalances, {} pinned), critical path \
+         {static_cp:.3}s → {adaptive_cp:.3}s",
+        adaptive_engine.rebalances(),
+        adaptive_engine.router().pinned_count(),
+    );
+    let skewed = SkewedReport {
+        zipf_s: SKEW_ZIPF_S,
+        records: skew_records.len(),
+        shards: SKEW_SHARDS,
+        balance_threshold: SKEW_THRESHOLD,
+        static_routing: SkewedVariant {
+            busy_ratio: static_ratio,
+            critical_path_seconds: static_cp,
+            records_per_sec: skew_records.len() as f64 / static_cp,
+        },
+        adaptive: SkewedVariant {
+            busy_ratio: adaptive_ratio,
+            critical_path_seconds: adaptive_cp,
+            records_per_sec: skew_records.len() as f64 / adaptive_cp,
+        },
+        rebalances: adaptive_engine.rebalances(),
+        pinned_labels: adaptive_engine.router().pinned_count(),
+        outputs_identical: skew_outputs_identical,
+        level1_matches_unsharded: skew_baseline_level1 == skew_adaptive_events,
+    };
+
     // Batch-size sweep at 4 shards, threaded: what the batched API
     // amortises.
     let batch_sweep: Vec<BatchSweepPoint> = BATCH_SWEEP
@@ -282,8 +456,11 @@ fn main() {
         })
         .collect();
 
+    let four_shards = shard_reports.iter().find(|r| r.shards == 4).expect("4 is in SHARD_COUNTS");
+    let critical_path_records_per_sec_4_shards = four_shards.records_per_sec;
+    let critical_path_speedup_4_shards = four_shards.speedup;
     let report = Report {
-        schema: "tiresias-bench-sharded/v1".to_string(),
+        schema: "tiresias-bench-sharded/v2".to_string(),
         generated_by: "cargo run --release -p tiresias-bench --bin bench_sharded".to_string(),
         host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         speedup_model: "critical-path: records / max(router_busy, max(shard_busy)) from a \
@@ -307,7 +484,10 @@ fn main() {
             anomalies: baseline.anomalies().len(),
         },
         shard_counts: shard_reports,
+        critical_path_records_per_sec_4_shards,
+        critical_path_speedup_4_shards,
         batch_sweep_at_4_shards: batch_sweep,
+        skewed,
         outputs_identical,
         level1_matches_unsharded,
     };

@@ -9,7 +9,7 @@
 //! explicit envelope instead:
 //!
 //! ```json
-//! {"version": 3, "kind": "sharded", "engine": { ...detector state... }}
+//! {"version": 4, "kind": "sharded", "engine": { ...detector state... }}
 //! ```
 //!
 //! * `version` is [`CHECKPOINT_VERSION`]; loaders reject versions from
@@ -23,7 +23,11 @@
 //! JSON with no envelope, as written before this module existed — and
 //! migrates them on load: every builder object missing the PR 2 fields
 //! gets `shards = 1` and `root_isolation = false`, which is exactly the
-//! configuration every pre-sharding detector ran with.
+//! configuration every pre-sharding detector ran with. **v3 and older
+//! envelopes** predate the router's pinned-override table (the
+//! skew-adaptive rebalancer's learned placement, the v4 addition);
+//! their router objects are migrated on load with an empty table —
+//! exactly the static hash routing those checkpoints ran with.
 
 use serde::Value;
 
@@ -31,11 +35,14 @@ use crate::detector::Tiresias;
 use crate::error::CoreError;
 use crate::sharded::ShardedTiresias;
 
-/// Current checkpoint envelope version. v3 moved the merged report
-/// store to the indexed, retention-aware [`crate::ReportStore`] schema
-/// (which still loads the v2 event-list shape transparently); v2
-/// introduced the envelope itself.
-pub const CHECKPOINT_VERSION: u64 = 3;
+/// Current checkpoint envelope version. v4 added the
+/// [`crate::ShardRouter`]'s pinned-override table (`overrides`), the
+/// skew-adaptive rebalancer's learned placement — v3 routers migrate on
+/// load with an empty table; v3 moved the merged report store to the
+/// indexed, retention-aware [`crate::ReportStore`] schema (which still
+/// loads the v2 event-list shape transparently); v2 introduced the
+/// envelope itself.
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// A checkpointed engine of either flavour, as restored by
 /// [`load_checkpoint`].
@@ -69,7 +76,7 @@ impl From<ShardedTiresias> for CheckpointEngine {
 ///
 /// let detector = TiresiasBuilder::new().season_length(4).window_len(16).build()?;
 /// let json = save_checkpoint(&CheckpointEngine::from(detector));
-/// assert!(json.starts_with("{\"version\":3,"));
+/// assert!(json.starts_with("{\"version\":4,"));
 /// assert!(matches!(load_checkpoint(&json)?, CheckpointEngine::Single(_)));
 /// # Ok::<(), tiresias_core::CoreError>(())
 /// ```
@@ -180,6 +187,12 @@ pub fn load_checkpoint(json: &str) -> Result<CheckpointEngine, CoreError> {
                     ));
                 }
             };
+            let mut value = value;
+            if version < 4 {
+                // Pre-v4 routers carry no pinned-override table; an
+                // empty one is exactly the static routing they ran.
+                migrate_v3_routers(&mut value);
+            }
             let engine = map_get(&value, "engine").ok_or_else(|| {
                 CoreError::Checkpoint("checkpoint envelope is missing the `engine` field".into())
             })?;
@@ -191,6 +204,7 @@ pub fn load_checkpoint(json: &str) -> Result<CheckpointEngine, CoreError> {
         None => {
             let mut value = value;
             migrate_v1_builders(&mut value);
+            migrate_v3_routers(&mut value);
             // Only `ShardedTiresias` carries a router; everything a v1
             // deployment could have written is a single detector, but
             // infer the kind structurally so a hand-rolled envelope-less
@@ -257,6 +271,31 @@ fn migrate_v1_builders(value: &mut Value) {
     }
 }
 
+/// Patches every `router` object that predates the v4 pinned-override
+/// table with an empty one. Keyed on the field name (not the shape):
+/// only [`crate::ShardRouter`] serialises under `router`, and builder
+/// objects — which also carry a `shards` key — are never reached
+/// through it.
+fn migrate_v3_routers(value: &mut Value) {
+    if let Value::Map(entries) = value {
+        for (key, v) in entries.iter_mut() {
+            if key == "router" {
+                if let Value::Map(router) = v {
+                    let has = |k: &str| router.iter().any(|(rk, _)| rk == k);
+                    if has("shards") && !has("overrides") {
+                        router.push(("overrides".to_string(), Value::Seq(Vec::new())));
+                    }
+                }
+            }
+            migrate_v3_routers(v);
+        }
+    } else if let Value::Seq(items) = value {
+        for v in items {
+            migrate_v3_routers(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +334,7 @@ mod tests {
     fn envelope_round_trips_single() {
         let d = fed_detector();
         let json = save_checkpoint(&CheckpointEngine::from(d.clone()));
-        assert!(json.contains("\"version\":3"));
+        assert!(json.contains("\"version\":4"));
         assert!(json.contains("\"kind\":\"single\""));
         let CheckpointEngine::Single(restored) = load_checkpoint(&json).unwrap() else {
             panic!("expected a single detector");
@@ -369,6 +408,75 @@ mod tests {
         let plain = save_sharded_checkpoint(&engine);
         let (_, wal_seq) = load_checkpoint_meta(&plain).unwrap();
         assert_eq!(wal_seq, None);
+    }
+
+    /// One barrier-aligned sharded engine with a non-trivial pinned
+    /// override table, plus the batch that fed it.
+    fn pinned_engine() -> (ShardedTiresias, Vec<(String, u64)>) {
+        let mut engine = builder().shards(4).build_sharded().unwrap();
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let batch: Vec<(String, u64)> = (0..6u64)
+            .flat_map(|u| {
+                paths.iter().flat_map(move |p| (0..10).map(move |i| (p.to_string(), u * 900 + i)))
+            })
+            .collect();
+        engine.push_batch(&batch).unwrap();
+        for (i, label) in ["TV", "Net", "Phone"].iter().enumerate() {
+            engine.pin_label(label, i);
+        }
+        engine.advance_to(6 * 900).unwrap();
+        assert_eq!(engine.router().pinned_count(), 3);
+        (engine, batch)
+    }
+
+    #[test]
+    fn v4_envelope_round_trips_the_pinned_override_table() {
+        let (engine, _) = pinned_engine();
+        let json = save_checkpoint(&CheckpointEngine::from(engine.clone()));
+        assert!(json.contains("\"version\":4"));
+        assert!(json.contains("\"overrides\""));
+        let CheckpointEngine::Sharded(restored) = load_checkpoint(&json).unwrap() else {
+            panic!("expected a sharded engine");
+        };
+        assert_eq!(restored.router(), engine.router(), "learned placement survives");
+        for label in ["TV/x", "Net/x", "Phone/x", "Unpinned/x"] {
+            assert_eq!(restored.router().route(label), engine.router().route(label));
+        }
+    }
+
+    #[test]
+    fn v3_checkpoint_router_migrates_to_an_empty_override_table() {
+        // Reconstruct a v3 checkpoint from a current one: the envelope
+        // version rolls back and the router loses its (empty) override
+        // table — the exact shape v3 deployments wrote.
+        let mut engine = builder().shards(3).build_sharded().unwrap();
+        let batch: Vec<(String, u64)> =
+            (0..5u64).flat_map(|u| (0..8).map(move |i| ("a/x".to_string(), u * 900 + i))).collect();
+        engine.push_batch(&batch).unwrap();
+        let json = save_checkpoint(&CheckpointEngine::from(engine.clone()));
+        let v3 = json.replace("\"version\":4", "\"version\":3").replace(",\"overrides\":[]", "");
+        assert_ne!(v3, json, "both replacements took effect");
+        let CheckpointEngine::Sharded(mut restored) = load_checkpoint(&v3).unwrap() else {
+            panic!("expected a sharded engine");
+        };
+        assert_eq!(restored.router().pinned_count(), 0, "static hash routing, as before");
+        // The migrated engine continues the stream identically — and
+        // can start pinning from here.
+        let mut original = engine;
+        let more: Vec<(String, u64)> = (5..9u64)
+            .flat_map(|u| {
+                let count = if u == 7 { 90 } else { 8 };
+                (0..count).map(move |i| ("a/x".to_string(), u * 900 + i))
+            })
+            .collect();
+        original.push_batch(&more).unwrap();
+        restored.pin_label("a", 2);
+        restored.push_batch(&more).unwrap();
+        original.advance_to(9 * 900).unwrap();
+        restored.advance_to(9 * 900).unwrap();
+        assert_eq!(restored.router().route("a/x"), 2);
+        assert_eq!(original.anomalies(), restored.anomalies());
+        assert!(!original.anomalies().is_empty(), "the burst is detected");
     }
 
     #[test]

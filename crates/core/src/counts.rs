@@ -88,6 +88,34 @@ impl DenseCounts {
         &self.counts
     }
 
+    /// Splits the pending counts along a tree compaction (subtree
+    /// rebalancing): entries whose index maps to a moved slot through
+    /// `slot_of` are returned as `(slot, count)` pairs, and the
+    /// surviving entries are remapped in place through `old_to_new`.
+    pub fn extract_remap(
+        &mut self,
+        slot_of: impl Fn(usize) -> Option<u32>,
+        old_to_new: &[Option<tiresias_hierarchy::NodeId>],
+    ) -> Vec<(u32, f64)> {
+        let old = self.take();
+        let mut moved = Vec::new();
+        for &i in &old.touched {
+            let idx = i as usize;
+            let w = old.counts[idx];
+            match slot_of(idx) {
+                Some(slot) => moved.push((slot, w)),
+                None => {
+                    let new = old_to_new
+                        .get(idx)
+                        .and_then(|s| *s)
+                        .expect("unmoved touched count survives compaction");
+                    self.add(new.index(), w);
+                }
+            }
+        }
+        moved
+    }
+
     /// Zeroes all touched slots in O(touched) and clears the touch
     /// list, keeping both allocations for reuse.
     pub fn reset(&mut self) {

@@ -1,7 +1,9 @@
 use std::time::Instant;
 
-use tiresias_hhh::{Ada, HhhConfig, MemoryReport, ModelSpec, Sta, StageTimings};
-use tiresias_hierarchy::{NodeId, Tree};
+use tiresias_hhh::{
+    Ada, AdaSlice, HhhConfig, MemoryReport, ModelSpec, Sta, StaSlice, StageTimings,
+};
+use tiresias_hierarchy::{MovedNode, NodeId, Tree};
 use tiresias_spectral::SeasonalityAnalysis;
 use tiresias_timeseries::SeasonalFactor;
 
@@ -24,6 +26,53 @@ enum Tracker {
 enum State {
     Warmup { units: Vec<Vec<f64>> },
     Running { tracker: Tracker },
+}
+
+/// Tracker-phase half of a [`SubtreeState`]: either the moved nodes'
+/// columns of every buffered warm-up unit, or a running tracker's
+/// per-node slice.
+#[derive(Debug)]
+enum TrackerSlice {
+    /// One column vector per buffered warm-up unit, aligned with the
+    /// moved-node list.
+    Warmup(Vec<Vec<f64>>),
+    Ada(Box<AdaSlice>),
+    Sta(Box<StaSlice>),
+}
+
+/// Detached detector state of a set of top-level subtrees, produced by
+/// [`Tiresias::extract_subtrees`] and consumed by
+/// [`Tiresias::adopt_subtrees`] — the unit of work the skew-adaptive
+/// rebalancer moves between shards at an epoch barrier.
+///
+/// Under root isolation a depth ≥ 1 subtree's tracker state is a pure
+/// function of its own records, so transplanting this state into
+/// another detector at the same point of the global timeline leaves the
+/// merged output stream byte-identical to having routed the subtree's
+/// records there from the start.
+#[derive(Debug)]
+pub struct SubtreeState {
+    /// The moved arena nodes (subtree roots plus descendants).
+    moved: Vec<MovedNode>,
+    tracker: TrackerSlice,
+    /// Pending open-unit counts of the moved nodes, as
+    /// (moved-slot, count) pairs.
+    open: Vec<(u32, f64)>,
+    open_unit: Option<u64>,
+    units_processed: u64,
+}
+
+impl SubtreeState {
+    /// `true` when nothing matched the extraction selector — adopting
+    /// an empty state is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+    }
+
+    /// Labels of the moved top-level subtrees.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.moved.iter().filter(|m| m.parent.is_none()).map(|m| m.label.as_str())
+    }
 }
 
 /// The Tiresias online anomaly detector (Fig. 3 of the paper).
@@ -87,6 +136,22 @@ pub(crate) fn validate_batch_order<S>(
         }
     }
     Ok(watermark)
+}
+
+/// Remaps one buffered warm-up unit through a tree compaction,
+/// dropping moved slots and padding to the survivor count (warm-up
+/// units are dense but may lag a tree that grew after they closed).
+fn compact_warmup_unit(unit: &mut Vec<f64>, old_to_new: &[Option<NodeId>]) {
+    let new_len = old_to_new.iter().flatten().count();
+    let old = std::mem::take(unit);
+    unit.resize(new_len, 0.0);
+    for (i, slot) in old_to_new.iter().enumerate() {
+        if let Some(new) = slot {
+            if i < old.len() {
+                unit[new.index()] = old[i];
+            }
+        }
+    }
 }
 
 impl Tiresias {
@@ -387,6 +452,151 @@ impl Tiresias {
         }
         self.tree = tree;
         Ok(())
+    }
+
+    /// Extracts every top-level subtree whose label matches `select`,
+    /// detaching its tree nodes, tracker state and pending open-unit
+    /// counts into a transplantable [`SubtreeState`] and compacting this
+    /// detector down to the survivors.
+    ///
+    /// Must only be called at a timeunit barrier alignment point — the
+    /// extracted state carries the detector's `open_unit` and
+    /// `units_processed`, and [`Tiresias::adopt_subtrees`] asserts they
+    /// match the adopter's. Anomaly events already emitted for the
+    /// moved subtrees stay in this detector's store; a merging caller
+    /// orders events by `(unit, path)`, so the merged stream is
+    /// unaffected by which store holds them.
+    pub fn extract_subtrees(&mut self, select: impl FnMut(&str) -> bool) -> SubtreeState {
+        let surgery = self.tree.extract_top_subtrees(select);
+        let mut slot_of = vec![None; surgery.old_to_new.len()];
+        for (slot, m) in surgery.moved.iter().enumerate() {
+            slot_of[m.old_id.index()] = Some(slot as u32);
+        }
+        let tracker = match &mut self.state {
+            State::Warmup { units } => {
+                let mut cols = Vec::with_capacity(units.len());
+                for unit in units.iter_mut() {
+                    let col: Vec<f64> = surgery
+                        .moved
+                        .iter()
+                        .map(|m| unit.get(m.old_id.index()).copied().unwrap_or(0.0))
+                        .collect();
+                    compact_warmup_unit(unit, &surgery.old_to_new);
+                    cols.push(col);
+                }
+                TrackerSlice::Warmup(cols)
+            }
+            State::Running { tracker } => match tracker {
+                Tracker::Ada(a) => {
+                    TrackerSlice::Ada(Box::new(a.extract_nodes(&self.tree, &surgery)))
+                }
+                Tracker::Sta(s) => {
+                    TrackerSlice::Sta(Box::new(s.extract_nodes(&self.tree, &surgery)))
+                }
+            },
+        };
+        let open = self
+            .open_counts
+            .extract_remap(|i| slot_of.get(i).copied().flatten(), &surgery.old_to_new);
+        SubtreeState {
+            moved: surgery.moved,
+            tracker,
+            open,
+            open_unit: self.open_unit,
+            units_processed: self.units_processed,
+        }
+    }
+
+    /// Grafts subtrees extracted from an equally-advanced detector
+    /// (same open unit, same processed-unit count, same lifecycle
+    /// phase) into this one. Inverse of [`Tiresias::extract_subtrees`];
+    /// adopting an empty state is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timelines are unaligned, the detectors are in
+    /// different lifecycle phases (one still warming up), or a moved
+    /// top-level label already exists here — all contract violations of
+    /// the epoch-barrier rebalancing protocol.
+    pub fn adopt_subtrees(&mut self, state: SubtreeState) {
+        if state.is_empty() {
+            return;
+        }
+        assert_eq!(
+            state.units_processed, self.units_processed,
+            "adopting subtree state across unaligned timelines"
+        );
+        assert_eq!(
+            state.open_unit, self.open_unit,
+            "adopting subtree state across different open units"
+        );
+        let ids = self.tree.adopt_top_subtrees(&state.moved);
+        match (&mut self.state, state.tracker) {
+            (State::Warmup { units }, TrackerSlice::Warmup(cols)) => {
+                assert_eq!(
+                    units.len(),
+                    cols.len(),
+                    "adopting subtree state across different warm-up depths"
+                );
+                let tree_len = self.tree.len();
+                for (unit, col) in units.iter_mut().zip(cols) {
+                    if unit.len() < tree_len {
+                        unit.resize(tree_len, 0.0);
+                    }
+                    for (slot, v) in col.into_iter().enumerate() {
+                        if v != 0.0 {
+                            unit[ids[slot].index()] = v;
+                        }
+                    }
+                }
+            }
+            (State::Running { tracker: Tracker::Ada(a) }, TrackerSlice::Ada(slice)) => {
+                a.adopt_nodes(&self.tree, &ids, *slice);
+            }
+            (State::Running { tracker: Tracker::Sta(s) }, TrackerSlice::Sta(slice)) => {
+                s.adopt_nodes(&self.tree, &ids, *slice);
+            }
+            _ => panic!("adopting subtree state across mismatched detector phases"),
+        }
+        for (slot, w) in state.open {
+            self.open_counts.add(ids[slot as usize].index(), w);
+        }
+    }
+
+    /// Per-top-level-label load of the most recent timeunit, as
+    /// `(label, aggregate record count)` pairs in child order — the
+    /// measurement the skew-adaptive rebalancer feeds on.
+    pub fn top_level_unit_loads(&self) -> Vec<(String, f64)> {
+        let children = self.tree.children(self.tree.root());
+        if children.is_empty() {
+            return Vec::new();
+        }
+        let load_of: Vec<f64> = match &self.state {
+            State::Running { tracker: Tracker::Ada(a) } => {
+                children.iter().map(|&c| a.aggregate_weight(c)).collect()
+            }
+            State::Running { tracker: Tracker::Sta(s) } => {
+                let agg = s.latest_aggregates(&self.tree);
+                children.iter().map(|&c| agg.get(c.index()).copied().unwrap_or(0.0)).collect()
+            }
+            State::Warmup { units } => match units.last() {
+                None => vec![0.0; children.len()],
+                Some(unit) => children
+                    .iter()
+                    .map(|&c| {
+                        self.tree
+                            .subtree(c)
+                            .map(|n| unit.get(n.index()).copied().unwrap_or(0.0))
+                            .sum()
+                    })
+                    .collect(),
+            },
+        };
+        children
+            .iter()
+            .zip(load_of)
+            .map(|(&c, load)| (self.tree.label(c).to_string(), load))
+            .collect()
     }
 
     /// Closes units `[open, target)`.
@@ -732,6 +942,134 @@ mod tests {
         assert!(!hh.is_empty());
         let leaf = d.tree().find(&["hot", "leaf"]).unwrap();
         assert!(hh.contains(&leaf));
+    }
+
+    /// A root-isolated detector, as the shards of a `ShardedTiresias`
+    /// run — the configuration under which subtree surgery is exact.
+    fn isolated_detector(warmup: usize) -> Tiresias {
+        let mut b = TiresiasBuilder::new()
+            .timeunit_secs(900)
+            .window_len(32)
+            .threshold(5.0)
+            .season_length(4)
+            .sensitivity(2.0, 5.0)
+            .warmup_units(warmup)
+            .ref_levels(1);
+        b.root_isolation = true;
+        b.build().unwrap()
+    }
+
+    fn feed(d: &mut Tiresias, unit: u64, paths: &[(&str, u64)]) {
+        for &(path, count) in paths {
+            for i in 0..count {
+                d.push_str(path, unit * 900 + i).unwrap();
+            }
+        }
+        d.advance_to((unit + 1) * 900).unwrap();
+    }
+
+    fn hh_paths(d: &Tiresias) -> Vec<String> {
+        let mut p: Vec<String> =
+            d.heavy_hitters().iter().map(|&n| d.tree().path_of(n).to_string()).collect();
+        p.sort();
+        p
+    }
+
+    /// Events after `unit` in `(unit, path)` order — the order the
+    /// sharded merge normalises to. Within one detector, same-unit
+    /// events surface in tree-node order, which adoption legitimately
+    /// permutes (the adopted subtree's nodes append last).
+    fn events_after(d: &Tiresias, unit: u64) -> Vec<(u64, String, f64, f64)> {
+        let mut events: Vec<(u64, String, f64, f64)> = d
+            .anomalies()
+            .iter()
+            .filter(|e| e.unit > unit)
+            .map(|e| (e.unit, e.path.to_string(), e.actual, e.forecast))
+            .collect();
+        events.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        events
+    }
+
+    #[test]
+    fn extract_adopt_matches_native_routing_while_running() {
+        let mut src = isolated_detector(4);
+        let mut dst = isolated_detector(4);
+        let mut native = isolated_detector(4);
+        for u in 0..10 {
+            feed(&mut src, u, &[("a/x", 12), ("b/y", 30)]);
+            feed(&mut dst, u, &[("c/z", 12)]);
+            feed(&mut native, u, &[("b/y", 30), ("c/z", 12)]);
+        }
+        assert!(src.is_warmed_up() && dst.is_warmed_up());
+
+        // Loads reflect the last closed unit, per top-level label.
+        let loads = src.top_level_unit_loads();
+        assert_eq!(loads, vec![("a".to_string(), 12.0), ("b".to_string(), 30.0)]);
+
+        // Pending open-unit records move with the subtree.
+        for d in [&mut src, &mut native] {
+            for i in 0..3 {
+                d.push_str("b/y", 10 * 900 + i).unwrap();
+            }
+        }
+
+        let state = src.extract_subtrees(|l| l == "b");
+        assert!(!state.is_empty());
+        assert_eq!(state.labels().collect::<Vec<_>>(), vec!["b"]);
+        assert!(src.tree().find(&["b"]).is_none(), "source no longer owns b");
+        dst.adopt_subtrees(state);
+        assert!(dst.tree().find(&["b", "y"]).is_some());
+
+        // Steady, then burst both the adopted and the resident subtree.
+        for u in 10..13 {
+            feed(&mut dst, u, &[("b/y", 30), ("c/z", 12)]);
+            feed(&mut native, u, &[("b/y", 30), ("c/z", 12)]);
+        }
+        feed(&mut dst, 13, &[("b/y", 200), ("c/z", 150)]);
+        feed(&mut native, 13, &[("b/y", 200), ("c/z", 150)]);
+
+        assert_eq!(hh_paths(&dst), hh_paths(&native));
+        let dst_events = events_after(&dst, 10);
+        assert_eq!(dst_events, events_after(&native, 10));
+        assert!(dst_events.iter().any(|(_, p, ..)| p == "b/y"), "burst detected post-move");
+        assert!(dst_events.iter().any(|(_, p, ..)| p == "c/z"));
+    }
+
+    #[test]
+    fn extract_adopt_matches_native_routing_during_warmup() {
+        let mut src = isolated_detector(6);
+        let mut dst = isolated_detector(6);
+        let mut native = isolated_detector(6);
+        for u in 0..3 {
+            feed(&mut src, u, &[("a/x", 12), ("b/y", 30)]);
+            feed(&mut dst, u, &[("c/z", 12)]);
+            feed(&mut native, u, &[("b/y", 30), ("c/z", 12)]);
+        }
+        assert!(!src.is_warmed_up());
+        let state = src.extract_subtrees(|l| l == "b");
+        dst.adopt_subtrees(state);
+        for u in 3..10 {
+            feed(&mut dst, u, &[("b/y", 30), ("c/z", 12)]);
+            feed(&mut native, u, &[("b/y", 30), ("c/z", 12)]);
+        }
+        assert!(dst.is_warmed_up());
+        feed(&mut dst, 10, &[("b/y", 200), ("c/z", 12)]);
+        feed(&mut native, 10, &[("b/y", 200), ("c/z", 12)]);
+        assert_eq!(hh_paths(&dst), hh_paths(&native));
+        assert_eq!(events_after(&dst, 0), events_after(&native, 0));
+        assert!(dst.anomalies().iter().any(|e| e.path.to_string() == "b/y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned timelines")]
+    fn adopting_across_unaligned_timelines_panics() {
+        let mut src = isolated_detector(2);
+        let mut dst = isolated_detector(2);
+        feed(&mut src, 0, &[("b/y", 10)]);
+        feed(&mut src, 1, &[("b/y", 10)]);
+        feed(&mut dst, 0, &[("c/z", 10)]);
+        let state = src.extract_subtrees(|l| l == "b");
+        dst.adopt_subtrees(state);
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub use checkpoint::{
     load_checkpoint, load_checkpoint_meta, save_checkpoint, save_sharded_checkpoint,
     save_sharded_checkpoint_with_wal, save_single_checkpoint, CheckpointEngine, CHECKPOINT_VERSION,
 };
-pub use detector::Tiresias;
+pub use detector::{SubtreeState, Tiresias};
 pub use error::CoreError;
 pub use export::{events_to_csv, CSV_HEADER};
 pub use fault::FaultFs;
@@ -132,7 +132,7 @@ pub use quality::{ComparisonReport, ConfusionCounts};
 pub use record::Record;
 pub use reference_method::{ControlChartConfig, ControlChartDetector};
 pub use segments::{SegmentStore, DEFAULT_SEGMENT_BYTES};
-pub use sharded::{ShardRouter, ShardedTiresias};
+pub use sharded::{RebalanceConfig, ShardRouter, ShardedTiresias};
 pub use store::ReportStore;
 pub use telem::EngineTelemetry;
 pub use wal::{

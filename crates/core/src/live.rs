@@ -57,16 +57,18 @@ use std::time::{Duration, Instant};
 
 use crate::anomaly::AnomalyEvent;
 use crate::builder::TiresiasBuilder;
-use crate::detector::Tiresias;
+use crate::detector::{SubtreeState, Tiresias};
 use crate::error::CoreError;
 use crate::ring::ShardRing;
 use crate::segments::SegmentStore;
-use crate::sharded::{ShardRouter, ShardedParts, ShardedTiresias};
+use crate::sharded::{
+    Balancer, RebalanceConfig, RouteScratch, ShardRouter, ShardedParts, ShardedTiresias,
+};
 use crate::store::ReportStore;
 use crate::telem::EngineTelemetry;
 use crate::wal::{encode_record, Wal};
 
-use tiresias_hierarchy::CategoryPath;
+use tiresias_hierarchy::{first_segment_hash, CategoryPath};
 
 /// Default bound on how many timeunits ahead of the open unit a record
 /// may be. Catches unit confusion (e.g. millisecond timestamps where
@@ -109,6 +111,22 @@ enum ShardMsg {
     /// Final drain: feed the whole stash (closing what the data
     /// closes), align to `align`, acknowledge and exit.
     Drain { seq: u64, from: u64, align: Option<u64> },
+    /// Rebalancing, step 1: extract the top-level subtrees whose
+    /// first-segment hash is `hash` — detector state *and* stashed
+    /// future records — and reply with them. Sent only under the held
+    /// write gate, right after a barrier ack: the shard is aligned and
+    /// no admission can race the transplant.
+    Extract { hash: u64, reply: Sender<Migration> },
+    /// Rebalancing, step 2: adopt a migration extracted from another
+    /// shard at the same (gate-held) barrier.
+    Adopt { migration: Migration },
+}
+
+/// A top-level subtree in flight between two shard workers: its
+/// detector state plus the stashed future records that belong to it.
+struct Migration {
+    state: SubtreeState,
+    stash: Vec<(String, u64)>,
 }
 
 /// A worker's reply to a `Barrier` or `Drain`.
@@ -121,13 +139,21 @@ struct ShardAck {
     /// a close consumed part of the stash.
     stash_max: Option<u64>,
     units_processed: u64,
+    /// Per-top-level-label subtree load of the last closed unit (empty
+    /// on drains and poisoned shards) — the rebalancer's epoch
+    /// measurement.
+    loads: Vec<(String, f64)>,
     error: Option<CoreError>,
 }
 
 /// State shared between every [`IngestHandle`] clone, the shard
 /// workers and the back-end.
 struct FrontShared {
-    router: ShardRouter,
+    /// The label→shard routing table. Read-mostly: admissions take the
+    /// read side once per batch; only an epoch-barrier rebalance (which
+    /// already holds the write gate, so no admission is in flight)
+    /// takes the write side to repoint a pinned label.
+    router: RwLock<ShardRouter>,
     timeunit: u64,
     max_ahead: u64,
     /// Largest admissible (and anchorable) unit. Keeps every close
@@ -164,6 +190,13 @@ struct FrontShared {
     admitted: AtomicU64,
     late: AtomicU64,
     ahead: AtomicU64,
+    /// Label moves applied at epoch barriers (mirror of the
+    /// scheduler-owned counter, readable lock-free by exporters).
+    rebalances: AtomicU64,
+    /// Worst/mean shard-load ratio of the last measured epoch in
+    /// thousandths (`0` = not yet measured) — fixed-point so the
+    /// exporters need no float atomic.
+    balance_milli: AtomicU64,
     /// `max(future unit admitted) + 1`, `0` when none — drives the
     /// serving layer's data-watermark close rule.
     ahead_max: AtomicU64,
@@ -223,7 +256,7 @@ pub struct IngestHandle {
 impl std::fmt::Debug for IngestHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IngestHandle")
-            .field("shards", &self.shared.router.shards())
+            .field("shards", &self.shared.rings.len())
             .field("watermark", &self.watermark())
             .finish()
     }
@@ -298,6 +331,11 @@ impl IngestHandle {
         let (mut n_accepted, mut n_late, mut n_ahead) = (0u64, 0u64, 0u64);
         let mut future_max: Option<u64> = None;
         let mut wal_buf: Vec<u8> = Vec::new();
+        // One routing-table read lock per batch, one table lookup per
+        // *distinct* label within it (the scratch short-circuits
+        // repeats).
+        let router = s.router.read().expect("router lock never poisoned");
+        let mut scratch = RouteScratch::new();
         for (path, t) in records.drain(..) {
             let unit = t / s.timeunit;
             let outcome =
@@ -315,11 +353,12 @@ impl IngestHandle {
                     if s.wal.is_some() {
                         encode_record(&mut wal_buf, &path, t);
                     }
-                    chunks[s.router.route(&path)].push((path, t));
+                    chunks[scratch.route(&router, &path)].push((path, t));
                     Admission::Accepted
                 };
             outcomes.push(outcome);
         }
+        drop(router);
         // Log the accepted records before any ring sees them: a record
         // a worker processed but the WAL missed could be acknowledged
         // yet lost on restart. The append fails the whole batch before
@@ -524,6 +563,24 @@ impl IngestHandle {
     pub fn stashed_records(&self) -> Vec<u64> {
         self.shared.stashed.iter().map(|q| q.load(Ordering::SeqCst)).collect()
     }
+
+    /// Label moves (explicit pins plus adaptive rebalances) applied at
+    /// epoch barriers so far.
+    pub fn rebalances(&self) -> u64 {
+        self.shared.rebalances.load(Ordering::SeqCst)
+    }
+
+    /// Labels currently pinned in the routing table (the adaptive
+    /// override count; hash-routed labels are not counted).
+    pub fn pinned_labels(&self) -> u64 {
+        self.shared.router.read().expect("router lock never poisoned").pinned_count() as u64
+    }
+
+    /// Worst/mean per-shard load ratio of the last measured epoch
+    /// (`1.0` = perfectly balanced, `0.0` = not yet measured).
+    pub fn shard_balance(&self) -> f64 {
+        self.shared.balance_milli.load(Ordering::SeqCst) as f64 / 1000.0
+    }
 }
 
 /// A cloneable, read-only handle onto a live engine's merged
@@ -636,6 +693,18 @@ struct LiveInner {
     router_nanos: u64,
     seq: u64,
     units_done: u64,
+    /// Skew-adaptive rebalancer policy (runtime configuration, carried
+    /// back into the reassembled engine by `finish`).
+    rebalance: RebalanceConfig,
+    /// The hot-label sketch, move counter and balance gauge.
+    bal: Balancer,
+    /// Explicit `pin_label` requests awaiting the next close.
+    pending_pins: Vec<(String, u32)>,
+    /// Per-label loads gathered from the latest barrier's acks.
+    epoch_loads: Vec<(String, f64)>,
+    /// `units_done` at the last epoch measurement, so a close that
+    /// advanced nothing does not re-measure.
+    measured_units: u64,
 }
 
 /// The serialized close/report back-end of a live sharded engine.
@@ -729,7 +798,7 @@ impl LiveSharded {
             wal.set_telemetry(Arc::clone(&t.wal_append), Arc::clone(&t.wal_fsync));
         }
         let shared = Arc::new(FrontShared {
-            router: parts.router,
+            router: RwLock::new(parts.router),
             timeunit: parts.builder.timeunit_secs,
             max_ahead: max_ahead_units,
             max_unit,
@@ -742,6 +811,8 @@ impl LiveSharded {
             admitted: AtomicU64::new(0),
             late: AtomicU64::new(0),
             ahead: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            balance_milli: AtomicU64::new(0),
             ahead_max: AtomicU64::new(0),
             first_future_nanos: AtomicU64::new(0),
             first_admit_nanos: AtomicU64::new(0),
@@ -781,6 +852,11 @@ impl LiveSharded {
                 router_nanos: parts.router_nanos,
                 seq: 0,
                 units_done,
+                rebalance: parts.rebalance,
+                bal: Balancer::default(),
+                pending_pins: Vec::new(),
+                epoch_loads: Vec::new(),
+                measured_units: units_done,
             }),
         })
     }
@@ -931,8 +1007,54 @@ impl LiveSharded {
         // Every unit below `target` is now closed on every shard.
         match collect_acks(inner, seq, Some(target - 1))? {
             Some(shard_err) => Err(shard_err),
-            None => Ok(Some(target)),
+            None => {
+                // All shards are aligned on `target` and their acks
+                // carried the closed epoch's loads: the one safe point
+                // to apply pins and adaptive moves, exactly like the
+                // offline engine's barrier hook.
+                rebalance_at_barrier(inner)?;
+                Ok(Some(target))
+            }
         }
+    }
+
+    /// Sets the skew-adaptive rebalancer policy (takes effect at the
+    /// next [`LiveSharded::close_to`] barrier). Policy is runtime
+    /// configuration and is not checkpointed — only the learned
+    /// placement (the router's override table) persists.
+    pub fn set_rebalance(&mut self, config: RebalanceConfig) {
+        self.inner.as_mut().expect("live engine present until finish").rebalance = config;
+    }
+
+    /// Requests that top-level label `label` be owned by `shard`. The
+    /// move — routing-table pin plus subtree state transplant between
+    /// the owning workers — happens inside the next
+    /// [`LiveSharded::close_to`], under the admission gate. Output is
+    /// unaffected: the moved subtree's detector state and stashed
+    /// future records move with it.
+    pub fn pin_label(&mut self, label: &str, shard: usize) {
+        self.inner
+            .as_mut()
+            .expect("live engine present until finish")
+            .pending_pins
+            .push((label.to_string(), shard as u32));
+    }
+
+    /// Label moves applied so far (explicit pins that changed ownership
+    /// plus automatic rebalances).
+    pub fn rebalances(&self) -> u64 {
+        self.inner().bal.rebalances
+    }
+
+    /// Worst/mean per-shard load ratio of the last measured epoch
+    /// (1.0 = perfectly balanced, 0.0 = not yet measured).
+    pub fn shard_balance(&self) -> f64 {
+        self.inner().bal.last_balance
+    }
+
+    /// Labels currently pinned in the routing table.
+    pub fn pinned_labels(&self) -> usize {
+        self.inner().shared.router.read().expect("router lock never poisoned").pinned_count()
     }
 
     /// Stops admissions without draining: every handle starts
@@ -1012,15 +1134,17 @@ impl LiveSharded {
         // obtained before the drain stay valid and keep serving the
         // retained history after the engine dissolves.
         let store = inner.store.read().expect("report lock never poisoned").clone();
+        let router = inner.shared.router.read().expect("router lock never poisoned").clone();
         Ok(ShardedTiresias::from_parts(ShardedParts {
             builder: inner.builder,
-            router: inner.shared.router,
+            router,
             shards,
             store,
             pending: Vec::new(),
             open_unit,
             busy_nanos: inner.busy_nanos,
             router_nanos: inner.router_nanos,
+            rebalance: inner.rebalance,
         }))
     }
 }
@@ -1083,6 +1207,7 @@ fn collect_acks(
         }
         seen += 1;
         min_units = min_units.min(ack.units_processed);
+        inner.epoch_loads.extend(ack.loads);
         if let Some(u) = ack.stash_max {
             inner.shared.ahead_max.fetch_max(u + 1, Ordering::SeqCst);
             let now = inner.shared.nanos_now();
@@ -1124,6 +1249,79 @@ fn collect_acks(
         t.merge.record_duration(t0.elapsed());
     }
     Ok(first_err)
+}
+
+/// Applies pending pins and — when adaptive rebalancing is enabled —
+/// the greedy plan for the epoch the just-collected barrier acks
+/// measured. Each move transplants a top-level subtree (detector state
+/// plus stashed future records) between its two worker threads through
+/// an [`ShardMsg::Extract`]/[`ShardMsg::Adopt`] pair, then repoints the
+/// routing table.
+///
+/// The whole transplant runs under the **write gate**: no admission is
+/// in flight, so a record can never reach the old owner after its
+/// subtree left (which would re-seed the label there and split its
+/// series). Records admitted *before* the gate was acquired precede the
+/// `Extract` in ring order and land in the source shard's open unit or
+/// stash — both of which migrate with the subtree — so the merged
+/// output stays byte-identical to static routing.
+fn rebalance_at_barrier(inner: &mut LiveInner) -> Result<(), CoreError> {
+    let mut moves = std::mem::take(&mut inner.pending_pins);
+    let loads = std::mem::take(&mut inner.epoch_loads);
+    if inner.units_done > inner.measured_units && inner.workers.len() > 1 {
+        inner.measured_units = inner.units_done;
+        let router = inner.shared.router.read().expect("router lock never poisoned");
+        moves.extend(inner.bal.measure(loads, &router, &inner.rebalance));
+        drop(router);
+        inner
+            .shared
+            .balance_milli
+            .store((inner.bal.last_balance * 1000.0).round() as u64, Ordering::SeqCst);
+    }
+    if moves.is_empty() {
+        return Ok(());
+    }
+    let s = &*inner.shared;
+    let _g = s.gate.write().expect("gate never poisoned");
+    if s.poisoned.load(Ordering::SeqCst) {
+        // A shard that stopped advancing is no longer aligned with the
+        // others; transplanting against it could only corrupt the last
+        // good state the final checkpoint wants to keep.
+        return Ok(());
+    }
+    for (label, shard) in moves {
+        let h = first_segment_hash(&label);
+        if h == 0 {
+            continue;
+        }
+        let to = (shard as usize).min(inner.workers.len() - 1);
+        let from = {
+            let mut router = s.router.write().expect("router lock never poisoned");
+            let from = router.route_hash(h);
+            router.pin(&label, to as u32);
+            from
+        };
+        if from == to {
+            continue;
+        }
+        let (tx, rx) = channel();
+        if !s.rings[from].push(ShardMsg::Extract { hash: h, reply: tx }) {
+            return Err(CoreError::Closed);
+        }
+        let migration = rx.recv_timeout(ACK_TIMEOUT).map_err(|_| CoreError::Closed)?;
+        if migration.state.is_empty() && migration.stash.is_empty() {
+            continue;
+        }
+        let moved_state = !migration.state.is_empty();
+        if !s.rings[to].push(ShardMsg::Adopt { migration }) {
+            return Err(CoreError::Closed);
+        }
+        if moved_state {
+            inner.bal.rebalances += 1;
+        }
+    }
+    s.rebalances.store(inner.bal.rebalances, Ordering::SeqCst);
+    Ok(())
 }
 
 /// The two-phase retention handoff: persist the over-budget prefix
@@ -1219,7 +1417,49 @@ fn run_worker(
                 update_gauges(idx, &shard, &stash, shared);
                 let error = if reported { None } else { poison.clone() };
                 reported = poison.is_some();
-                let _ = acks.send(make_ack(seq, &mut shard, &stash, &mut cursor, error, timeunit));
+                // A healthy shard reports the closed epoch's per-label
+                // loads with its ack — the rebalancer's measurement.
+                let loads =
+                    if poison.is_none() { shard.top_level_unit_loads() } else { Vec::new() };
+                let _ = acks.send(make_ack(
+                    seq,
+                    &mut shard,
+                    &stash,
+                    &mut cursor,
+                    loads,
+                    error,
+                    timeunit,
+                ));
+            }
+            ShardMsg::Extract { hash, reply } => {
+                // Sent only under the held write gate after this
+                // shard's barrier ack: aligned, and nothing in flight.
+                // A poisoned shard keeps its last good state instead —
+                // it may no longer be aligned with the adopter.
+                let state = if poison.is_none() {
+                    shard.extract_subtrees(|l| first_segment_hash(l) == hash)
+                } else {
+                    shard.extract_subtrees(|_| false)
+                };
+                let mut moved: Vec<(String, u64)> = Vec::new();
+                if poison.is_none() {
+                    stash.retain_mut(|entry| {
+                        let migrate = first_segment_hash(&entry.0) == hash;
+                        if migrate {
+                            moved.push(std::mem::take(entry));
+                        }
+                        !migrate
+                    });
+                }
+                update_gauges(idx, &shard, &stash, shared);
+                let _ = reply.send(Migration { state, stash: moved });
+            }
+            ShardMsg::Adopt { migration } => {
+                if !migration.state.is_empty() {
+                    shard.adopt_subtrees(migration.state);
+                }
+                stash.extend(migration.stash);
+                update_gauges(idx, &shard, &stash, shared);
             }
             ShardMsg::Drain { seq, from, align } => {
                 if poison.is_none() {
@@ -1231,7 +1471,15 @@ fn run_worker(
                 }
                 update_gauges(idx, &shard, &stash, shared);
                 let error = if reported { None } else { poison.clone() };
-                let _ = acks.send(make_ack(seq, &mut shard, &stash, &mut cursor, error, timeunit));
+                let _ = acks.send(make_ack(
+                    seq,
+                    &mut shard,
+                    &stash,
+                    &mut cursor,
+                    Vec::new(),
+                    error,
+                    timeunit,
+                ));
                 break;
             }
         }
@@ -1285,6 +1533,7 @@ fn make_ack(
     shard: &mut Tiresias,
     stash: &[(String, u64)],
     cursor: &mut u64,
+    loads: Vec<(String, f64)>,
     error: Option<CoreError>,
     timeunit: u64,
 ) -> ShardAck {
@@ -1302,6 +1551,7 @@ fn make_ack(
         events: new,
         stash_max: stash.iter().map(|&(_, t)| t / timeunit).max(),
         units_processed: shard.units_processed(),
+        loads,
         error,
     }
 }
@@ -1795,6 +2045,104 @@ mod tests {
         let disk_only = reader.query_merged(0, ram_from - 1, None, None, usize::MAX).unwrap();
         assert!(disk_only.iter().all(|e| e.unit < ram_from));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_rebalancing_matches_offline_replay() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce", "Web/500"];
+        // Skewed: the first label dominates, so the adaptive rebalancer
+        // has real moves to make at nearly every barrier.
+        let mut records: Vec<(String, u64)> = Vec::new();
+        for u in 0..12u64 {
+            for (k, p) in paths.iter().enumerate() {
+                let count = if k == 0 {
+                    60
+                } else if u == 10 && k == 1 {
+                    90
+                } else {
+                    6
+                };
+                for i in 0..count {
+                    records.push((p.to_string(), u * 900 + i));
+                }
+            }
+        }
+        let offline = offline_replay(&records, 4, 12);
+        assert!(!offline.anomalies().is_empty(), "the burst is detected");
+
+        let mut live = builder()
+            .shards(4)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        live.set_rebalance(RebalanceConfig::enabled().with_threshold(1.05));
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        for (i, chunk) in records.chunks(151).enumerate() {
+            let mut owned: Vec<(String, u64)> = chunk.to_vec();
+            handle.admit_batch(&mut owned, &mut outcomes).unwrap();
+            assert!(outcomes.iter().all(|&o| o == Admission::Accepted));
+            if i % 2 == 1 {
+                live.close_to(chunk.last().unwrap().1 / 900).unwrap();
+            }
+        }
+        live.close_to(12).unwrap();
+        assert!(live.rebalances() > 0, "the skew forced moves");
+        assert!(live.pinned_labels() > 0);
+        assert!(live.shard_balance() >= 1.0);
+        assert_eq!(live.anomalies(), offline.anomalies());
+
+        // The reassembled engine checkpoints with the learned placement.
+        let finished = live.finish().unwrap();
+        assert!(finished.router().pinned_count() > 0);
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.heavy_hitter_paths(), offline.heavy_hitter_paths());
+        assert_eq!(finished.tree_paths(), offline.tree_paths());
+    }
+
+    #[test]
+    fn live_pins_transplant_subtrees_and_stashes() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce"];
+        let records = burst_batch(&paths, 10, 9);
+        // The reference stream includes the future record the live run
+        // admits out of band below (inserted in unit order, as the
+        // offline batch contract requires).
+        let mut offline_records = records.clone();
+        let pos = offline_records.iter().position(|&(_, t)| t >= 7 * 900).unwrap();
+        offline_records.insert(pos, ("TV/NoService".to_string(), 7 * 900));
+        let offline = offline_replay(&offline_records, 2, 10);
+
+        let mut live = builder()
+            .shards(2)
+            .build_sharded()
+            .unwrap()
+            .into_live(DEFAULT_MAX_AHEAD_UNITS)
+            .unwrap();
+        let handle = live.handle();
+        let mut outcomes = Vec::new();
+        let split = records.iter().position(|&(_, t)| t >= 5 * 900).unwrap();
+        let mut first: Vec<(String, u64)> = records[..split].to_vec();
+        handle.admit_batch(&mut first, &mut outcomes).unwrap();
+        // A stashed future record for a label about to move migrates
+        // with its subtree.
+        assert_eq!(handle.admit("TV/NoService", 7 * 900).unwrap(), Admission::Accepted);
+        // Consolidate everything onto shard 1 mid-stream.
+        for label in ["TV", "Net", "Phone", "Mail"] {
+            live.pin_label(label, 1);
+        }
+        live.close_to(5).unwrap();
+        assert!(live.rebalances() > 0);
+        assert_eq!(live.pinned_labels(), 4);
+        let mut second: Vec<(String, u64)> = records[split..].to_vec();
+        handle.admit_batch(&mut second, &mut outcomes).unwrap();
+        live.close_to(10).unwrap();
+
+        let finished = live.finish().unwrap();
+        assert_eq!(finished.anomalies(), offline.anomalies());
+        assert_eq!(finished.heavy_hitter_paths(), offline.heavy_hitter_paths());
+        assert_eq!(finished.tree_paths(), offline.tree_paths());
+        assert!(!finished.anomalies().is_empty(), "the burst is detected");
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use tiresias_hierarchy::{first_segment_hash, Tree};
+use tiresias_sketch::SpaceSaving;
 
 use crate::anomaly::AnomalyEvent;
 use crate::builder::TiresiasBuilder;
@@ -61,38 +62,82 @@ const CHUNK_RECORDS: usize = 1024;
 /// Chunks a shard ring buffers before the router blocks (backpressure).
 const RING_CAPACITY: usize = 8;
 
-/// Deterministic record router: hashes a record's top-level label to a
-/// shard.
+/// Deterministic record router: maps a record's top-level label to a
+/// shard through an explicit routing table with a hash fallback.
 ///
-/// Routing uses [`first_segment_hash`] — a stable Fx hash of the first
-/// non-empty path segment — so the same label maps to the same shard
-/// across runs, restarts and checkpoints, and the router needs no state
-/// beyond the shard count. All records of one top-level subtree land on
-/// one shard, which is what lets each shard run a full detector over
-/// its subtrees without coordinating with the others.
+/// Unseen labels route by a stable Fx hash of the first non-empty path
+/// segment ([`first_segment_hash`]), so the same label maps to the same
+/// shard across runs, restarts and checkpoints. Hot labels can be
+/// **pinned** to an explicit shard ([`ShardRouter::pin`]) — the
+/// adaptive rebalancer's output — and the pinned table persists in
+/// checkpoints so a restart resumes with the learned placement. Either
+/// way, all records of one top-level subtree land on one shard, which
+/// is what lets each shard run a full detector over its subtrees
+/// without coordinating with the others.
 ///
 /// # Example
 ///
 /// ```
 /// use tiresias_core::ShardRouter;
 ///
-/// let router = ShardRouter::new(4);
+/// let mut router = ShardRouter::new(4);
 /// let shard = router.route("TV/No Service");
 /// assert!(shard < 4);
 /// // Only the top-level label matters.
 /// assert_eq!(shard, router.route("TV/Pixelation"));
 /// // The root path (no label) deterministically maps to shard 0.
 /// assert_eq!(router.route("//"), 0);
+/// // Pinning overrides the hash fallback.
+/// router.pin("TV", (shard as u32 + 1) % 4);
+/// assert_eq!(router.route("TV/Pixelation"), (shard + 1) % 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "RouterRepr", into = "RouterRepr")]
 pub struct ShardRouter {
     shards: u32,
+    /// Pinned label → shard overrides, sorted by label text. This is
+    /// the canonical (persisted) form of the routing table.
+    overrides: Vec<(String, u32)>,
+    /// First-segment-hash → shard lookup derived from `overrides`,
+    /// sorted by hash for the hot path's binary search.
+    by_hash: Vec<(u64, u32)>,
+}
+
+/// Serialised form of [`ShardRouter`]: the shard count plus the pinned
+/// override table (the checkpoint-envelope v4 addition; v3 checkpoints
+/// migrate by inserting an empty table). The hash lookup is rebuilt on
+/// deserialisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RouterRepr {
+    shards: u32,
+    overrides: Vec<(String, u32)>,
+}
+
+impl From<ShardRouter> for RouterRepr {
+    fn from(r: ShardRouter) -> Self {
+        RouterRepr { shards: r.shards, overrides: r.overrides }
+    }
+}
+
+impl From<RouterRepr> for ShardRouter {
+    fn from(r: RouterRepr) -> Self {
+        let mut router = ShardRouter::new(r.shards as usize);
+        for (label, shard) in r.overrides {
+            router.pin(&label, shard);
+        }
+        router
+    }
 }
 
 impl ShardRouter {
-    /// Creates a router over `shards` shards (minimum 1).
+    /// Creates a router over `shards` shards (minimum 1) with no pinned
+    /// labels.
     pub fn new(shards: usize) -> Self {
-        ShardRouter { shards: u32::try_from(shards.max(1)).expect("shard count fits in u32") }
+        ShardRouter {
+            shards: u32::try_from(shards.max(1)).expect("shard count fits in u32"),
+            overrides: Vec::new(),
+            by_hash: Vec::new(),
+        }
     }
 
     /// Number of shards routed over.
@@ -103,15 +148,278 @@ impl ShardRouter {
     /// The shard owning `path`'s top-level label.
     #[inline]
     pub fn route(&self, path: &str) -> usize {
+        self.route_hash(first_segment_hash(path))
+    }
+
+    /// The shard owning the top-level label with first-segment hash `h`
+    /// — the half of [`ShardRouter::route`] after path parsing, for
+    /// callers that already hold the hash (batch scratch, rebalancer).
+    #[inline]
+    pub fn route_hash(&self, h: u64) -> usize {
+        if !self.by_hash.is_empty() {
+            if let Ok(i) = self.by_hash.binary_search_by_key(&h, |&(k, _)| k) {
+                return self.by_hash[i].1 as usize;
+            }
+        }
         // The Fx multiply concentrates its entropy in the high bits,
         // which a plain modulo would ignore — run the 64-bit
         // xor-shift-multiply finaliser (splitmix64's) so similar labels
         // spread over small shard counts too.
-        let mut h = first_segment_hash(path);
-        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        h ^= h >> 31;
-        (h % u64::from(self.shards)) as usize
+        let mut x = h;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % u64::from(self.shards)) as usize
+    }
+
+    /// Pins top-level label `label` to `shard` (clamped to the shard
+    /// count), overriding the hash fallback. Pinning the empty label
+    /// (the root path) is a no-op: root-path records always take the
+    /// deterministic fallback.
+    ///
+    /// Labels whose first-segment hashes collide share one hash-table
+    /// entry and therefore always route — and rebalance — together,
+    /// which keeps routing and subtree migration consistent even in
+    /// that astronomically unlikely case.
+    pub fn pin(&mut self, label: &str, shard: u32) {
+        let h = first_segment_hash(label);
+        if h == 0 {
+            return;
+        }
+        let shard = shard.min(self.shards - 1);
+        match self.overrides.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
+            Ok(i) => self.overrides[i].1 = shard,
+            Err(i) => self.overrides.insert(i, (label.to_string(), shard)),
+        }
+        match self.by_hash.binary_search_by_key(&h, |&(k, _)| k) {
+            Ok(i) => self.by_hash[i].1 = shard,
+            Err(i) => self.by_hash.insert(i, (h, shard)),
+        }
+    }
+
+    /// The pinned override table, sorted by label text.
+    pub fn overrides(&self) -> &[(String, u32)] {
+        &self.overrides
+    }
+
+    /// Number of pinned labels.
+    pub fn pinned_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+/// A tiny per-batch routing cache: a direct-mapped (hash → shard) table
+/// that skips the override search and the mixing finaliser for labels
+/// repeated within one batch — which, under the Zipfian traffic that
+/// motivates adaptive routing, is almost all of them.
+pub(crate) struct RouteScratch {
+    slots: [(u64, u32); Self::SLOTS],
+}
+
+impl RouteScratch {
+    const SLOTS: usize = 64;
+
+    pub fn new() -> Self {
+        // Hash 0 is the root path, which `route_hash` resolves without
+        // a table anyway, so it doubles as the empty-slot sentinel.
+        RouteScratch { slots: [(0, 0); Self::SLOTS] }
+    }
+
+    /// [`ShardRouter::route`] through the cache.
+    #[inline]
+    pub fn route(&mut self, router: &ShardRouter, path: &str) -> usize {
+        let h = first_segment_hash(path);
+        if h == 0 {
+            return router.route_hash(0);
+        }
+        let slot = (h as usize) & (Self::SLOTS - 1);
+        let (key, shard) = self.slots[slot];
+        if key == h {
+            return shard as usize;
+        }
+        let shard = router.route_hash(h);
+        self.slots[slot] = (h, shard as u32);
+        shard
+    }
+}
+
+/// Configuration of the skew-adaptive label→shard rebalancer.
+///
+/// When enabled, the engine measures per-top-label load every epoch
+/// (timeunit close), folds the hot labels into a bounded
+/// [`SpaceSaving`](tiresias_sketch::SpaceSaving) sketch, and — at the
+/// epoch barrier, the only point where no admission is in flight —
+/// greedily pins the hottest labels of the most loaded shard onto the
+/// least loaded one until the projected worst/mean load ratio drops to
+/// `threshold`. Subtree detector state moves with the label, so output
+/// stays byte-identical to static routing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceConfig {
+    /// Master switch; `false` keeps routing fully static.
+    pub enabled: bool,
+    /// Rebalance until worst/mean projected shard load ≤ this (≥ 1.0;
+    /// lower is more aggressive).
+    pub threshold: f64,
+    /// Budget of label moves applied per epoch barrier (moving a label
+    /// transplants its whole subtree's tracker state, so the work is
+    /// bounded per close).
+    pub max_moves_per_epoch: usize,
+    /// Ceiling on the pinned override table; beyond it no new labels
+    /// are pinned (existing pins may still be repointed).
+    pub max_overrides: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            threshold: 1.15,
+            max_moves_per_epoch: 4,
+            max_overrides: 512,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// An enabled config with the default aggressiveness.
+    pub fn enabled() -> Self {
+        RebalanceConfig { enabled: true, ..RebalanceConfig::default() }
+    }
+
+    /// Sets the worst/mean threshold (clamped to ≥ 1.0).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = if threshold.is_finite() { threshold.max(1.0) } else { 1.15 };
+        self
+    }
+}
+
+/// Greedy rebalancing plan: moves the hottest labels off the most
+/// loaded shard onto the least loaded one until the projected
+/// worst/mean ratio reaches `cfg.threshold`, the per-epoch move budget
+/// is spent, or no single move improves the worst shard. Deterministic:
+/// ties break toward the lower shard index and the lexicographically
+/// smaller label.
+///
+/// `loads` is the per-epoch load (records attributed to the label's
+/// subtree) of every candidate label; labels not listed keep their
+/// current route. Returns `(label, target_shard)` moves.
+pub(crate) fn plan_rebalance(
+    loads: &[(String, f64)],
+    router: &ShardRouter,
+    cfg: &RebalanceConfig,
+) -> Vec<(String, u32)> {
+    let n = router.shards();
+    if n < 2 || loads.is_empty() {
+        return Vec::new();
+    }
+    // Candidate labels sorted hottest-first (label text breaks ties so
+    // the plan is independent of input order).
+    let mut labels: Vec<(&str, f64, usize)> = loads
+        .iter()
+        .filter(|(label, load)| *load > 0.0 && !label.is_empty())
+        .map(|(label, load)| (label.as_str(), *load, router.route(label)))
+        .collect();
+    labels.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+    });
+    let mut shard_load = vec![0.0f64; n];
+    for &(_, load, shard) in &labels {
+        shard_load[shard] += load;
+    }
+    let total: f64 = shard_load.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mean = total / n as f64;
+    let budget = cfg.max_moves_per_epoch.max(1);
+    let headroom = cfg.max_overrides.saturating_sub(router.pinned_count());
+    let mut moves: Vec<(String, u32)> = Vec::new();
+    while moves.len() < budget.min(headroom) {
+        let worst = (0..n)
+            .max_by(|&a, &b| {
+                shard_load[a].partial_cmp(&shard_load[b]).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("n >= 2");
+        if shard_load[worst] <= cfg.threshold * mean {
+            break;
+        }
+        let target = (0..n)
+            .min_by(|&a, &b| {
+                shard_load[a].partial_cmp(&shard_load[b]).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("n >= 2");
+        // Hottest label on the worst shard whose move strictly shrinks
+        // the maximum (the target must not become the new worst).
+        let pick = labels.iter().position(|&(_, load, shard)| {
+            shard == worst && shard_load[target] + load < shard_load[worst]
+        });
+        let Some(i) = pick else { break };
+        let (label, load, _) = labels[i];
+        shard_load[worst] -= load;
+        shard_load[target] += load;
+        labels[i].2 = target;
+        moves.push((label.to_string(), target as u32));
+    }
+    moves
+}
+
+/// Per-epoch rebalancing state shared by the offline engine's barrier
+/// hook and the live back-end's `close_to`: the recency-weighted
+/// hot-label sketch, the applied-move counter and the measured balance
+/// gauge. Runtime state, never checkpointed — only the learned
+/// placement (the router's override table) persists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Balancer {
+    /// Recency-weighted hot-label sketch (keyed by first-segment hash),
+    /// aged by one `halve` per epoch; only labels it monitors are
+    /// eligible for pinning, which bounds override-table churn to
+    /// labels that are persistently hot.
+    hot_labels: SpaceSaving,
+    /// Label moves applied so far (monotone counter, telemetry).
+    pub rebalances: u64,
+    /// Worst/mean per-shard load ratio of the last measured epoch
+    /// (1.0 = perfectly balanced; 0.0 = not yet measured).
+    pub last_balance: f64,
+}
+
+impl Balancer {
+    /// Folds one closed epoch's per-label subtree loads into the
+    /// balance gauge and the hot-label sketch, and returns the moves a
+    /// greedy rebalance would apply (empty when `cfg` is disabled).
+    pub fn measure(
+        &mut self,
+        mut loads: Vec<(String, f64)>,
+        router: &ShardRouter,
+        cfg: &RebalanceConfig,
+    ) -> Vec<(String, u32)> {
+        let mut shard_load = vec![0.0f64; router.shards()];
+        for (label, load) in &loads {
+            shard_load[router.route(label)] += load;
+        }
+        let total: f64 = shard_load.iter().sum();
+        if total > 0.0 {
+            let worst = shard_load.iter().cloned().fold(0.0f64, f64::max);
+            self.last_balance = worst / (total / shard_load.len() as f64);
+        }
+        if !cfg.enabled {
+            return Vec::new();
+        }
+        if self.hot_labels.capacity() == 0 {
+            self.hot_labels = SpaceSaving::new(cfg.max_overrides.max(64));
+        }
+        // Age, then fold this epoch in: the sketch tracks
+        // recency-weighted hot labels across epochs.
+        self.hot_labels.halve();
+        for (label, load) in &loads {
+            let weight = load.round() as u64;
+            if weight > 0 {
+                self.hot_labels.add(first_segment_hash(label), weight);
+            }
+        }
+        // Only persistently hot labels are move candidates.
+        loads.retain(|(label, _)| self.hot_labels.contains(first_segment_hash(label)));
+        plan_rebalance(&loads, router, cfg)
     }
 }
 
@@ -185,6 +493,21 @@ pub struct ShardedTiresias {
     /// Cumulative router busy time (validation + routing) in
     /// nanoseconds.
     router_nanos: u64,
+    /// Skew-adaptive rebalancer knobs. Runtime policy, not state: a
+    /// resumed checkpoint re-applies the serving configuration, so only
+    /// the *learned placement* (the router's override table) persists.
+    #[serde(skip)]
+    rebalance: RebalanceConfig,
+    /// Explicit `pin_label` requests awaiting the next epoch barrier.
+    #[serde(skip)]
+    pending_pins: Vec<(String, u32)>,
+    /// The hot-label sketch, move counter and balance gauge.
+    #[serde(skip)]
+    bal: Balancer,
+    /// `units_processed` at the last epoch measurement, so a barrier
+    /// that closed no unit does not re-measure.
+    #[serde(skip)]
+    measured_units: u64,
 }
 
 /// The engine's state decomposed into the pieces the live
@@ -201,6 +524,7 @@ pub(crate) struct ShardedParts {
     pub open_unit: Option<u64>,
     pub busy_nanos: Vec<u64>,
     pub router_nanos: u64,
+    pub rebalance: RebalanceConfig,
 }
 
 impl ShardedTiresias {
@@ -235,6 +559,10 @@ impl ShardedTiresias {
             busy_nanos: vec![0; n],
             router_nanos: 0,
             builder,
+            rebalance: RebalanceConfig::default(),
+            pending_pins: Vec::new(),
+            bal: Balancer::default(),
+            measured_units: 0,
         })
     }
 
@@ -249,6 +577,7 @@ impl ShardedTiresias {
             open_unit: self.open_unit,
             busy_nanos: self.busy_nanos,
             router_nanos: self.router_nanos,
+            rebalance: self.rebalance,
         }
     }
 
@@ -269,6 +598,10 @@ impl ShardedTiresias {
             threaded: true,
             busy_nanos: parts.busy_nanos,
             router_nanos: parts.router_nanos,
+            rebalance: parts.rebalance,
+            pending_pins: Vec::new(),
+            bal: Balancer::default(),
+            measured_units: 0,
         }
     }
 
@@ -328,6 +661,87 @@ impl ShardedTiresias {
     /// The router mapping top-level labels to shards.
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// Sets the skew-adaptive rebalancer policy (takes effect at the
+    /// next epoch barrier). Policy is runtime configuration and is not
+    /// checkpointed — only the learned placement (the router's override
+    /// table) persists.
+    pub fn set_rebalance(&mut self, config: RebalanceConfig) {
+        self.rebalance = config;
+    }
+
+    /// The active rebalancer policy.
+    pub fn rebalance_config(&self) -> RebalanceConfig {
+        self.rebalance
+    }
+
+    /// Requests that top-level label `label` be owned by `shard`. The
+    /// move — routing-table pin plus subtree state transplant — is
+    /// applied at the next epoch barrier (the next
+    /// [`ShardedTiresias::push_batch`] / [`ShardedTiresias::advance_to`]
+    /// / [`ShardedTiresias::close_current_unit`]), the only points
+    /// where all shards are aligned. Output is unaffected: the moved
+    /// subtree's detector state moves with it.
+    pub fn pin_label(&mut self, label: &str, shard: usize) {
+        self.pending_pins.push((label.to_string(), shard as u32));
+    }
+
+    /// Label moves applied so far (explicit pins that changed ownership
+    /// plus automatic rebalances).
+    pub fn rebalances(&self) -> u64 {
+        self.bal.rebalances
+    }
+
+    /// Worst/mean per-shard load ratio of the last measured epoch
+    /// (1.0 = perfectly balanced, 0.0 = not yet measured).
+    pub fn shard_balance(&self) -> f64 {
+        self.bal.last_balance
+    }
+
+    /// Measures the closed epoch's per-label loads, applies pending
+    /// explicit pins, and — when adaptive rebalancing is enabled —
+    /// greedily moves hot labels off the worst shard. Called at every
+    /// epoch barrier, after events merge: all shards are aligned on the
+    /// same open unit and processed-unit count there, which is the
+    /// transplant contract of [`Tiresias::adopt_subtrees`].
+    fn maybe_rebalance(&mut self) {
+        let mut moves = std::mem::take(&mut self.pending_pins);
+        let units = self.units_processed();
+        if units > self.measured_units && self.shards.len() > 1 {
+            self.measured_units = units;
+            let mut loads: Vec<(String, f64)> = Vec::new();
+            for shard in &self.shards {
+                loads.extend(shard.top_level_unit_loads());
+            }
+            moves.extend(self.bal.measure(loads, &self.router, &self.rebalance));
+        }
+        for (label, shard) in moves {
+            self.move_label(&label, shard);
+        }
+    }
+
+    /// Pins `label` to `shard` and transplants its subtree state (and
+    /// that of any hash-colliding sibling label, which necessarily
+    /// routes with it) from its current owner. No-op when the label
+    /// already lives there or has never been seen.
+    fn move_label(&mut self, label: &str, shard: u32) {
+        let h = first_segment_hash(label);
+        if h == 0 {
+            return;
+        }
+        let to = (shard as usize).min(self.shards.len() - 1);
+        let from = self.router.route_hash(h);
+        self.router.pin(label, to as u32);
+        if from == to {
+            return;
+        }
+        let state = self.shards[from].extract_subtrees(|l| first_segment_hash(l) == h);
+        if state.is_empty() {
+            return;
+        }
+        self.shards[to].adopt_subtrees(state);
+        self.bal.rebalances += 1;
     }
 
     /// Read-only access to the per-shard detectors (shard trees, heavy
@@ -567,6 +981,7 @@ impl ShardedTiresias {
         }
         self.open_unit = Some(final_unit);
         self.merge_events();
+        self.maybe_rebalance();
         Ok(())
     }
 
@@ -618,6 +1033,7 @@ impl ShardedTiresias {
         }
         self.open_unit = Some(target);
         self.merge_events();
+        self.maybe_rebalance();
         Ok(())
     }
 
@@ -641,7 +1057,7 @@ impl ShardedTiresias {
         final_unit: u64,
     ) -> Result<(), CoreError> {
         let n = self.shards.len();
-        let router = self.router;
+        let router = &self.router;
         let advance_secs = final_unit * self.builder.timeunit_secs;
         let rings: Vec<ShardRing<Vec<u32>>> =
             (0..n).map(|_| ShardRing::new(RING_CAPACITY)).collect();
@@ -696,9 +1112,10 @@ impl ShardedTiresias {
 
             // Route on the calling thread, overlapping the workers.
             let t0 = Instant::now();
+            let mut scratch = RouteScratch::new();
             let mut chunks: Vec<Vec<u32>> = vec![Vec::with_capacity(CHUNK_RECORDS); n];
             for (i, (path, _)) in records.iter().enumerate() {
-                let shard = router.route(path.as_ref());
+                let shard = scratch.route(router, path.as_ref());
                 let chunk = &mut chunks[shard];
                 chunk.push(i as u32);
                 if chunk.len() >= CHUNK_RECORDS {
@@ -734,9 +1151,11 @@ impl ShardedTiresias {
         let n = self.shards.len();
         let advance_secs = final_unit * self.builder.timeunit_secs;
         let t0 = Instant::now();
+        let router = &self.router;
+        let mut scratch = RouteScratch::new();
         let mut routed: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, (path, _)) in records.iter().enumerate() {
-            routed[self.router.route(path.as_ref())].push(i as u32);
+            routed[scratch.route(router, path.as_ref())].push(i as u32);
         }
         self.router_nanos += t0.elapsed().as_nanos() as u64;
         for ((shard, indices), busy_slot) in
@@ -783,7 +1202,12 @@ impl ShardedTiresias {
         // only strictly older units are final.
         let release_before =
             self.shards.iter().map(|s| s.current_unit().unwrap_or(0)).min().unwrap_or(0);
-        self.pending.sort_by(|a, b| (a.unit, &a.path).cmp(&(b.unit, &b.path)));
+        // No `(unit, path)` duplicates exist across shards (a unit
+        // reports a path at most once, and a path lives on one shard),
+        // so the order is total and an unstable sort is safe; comparing
+        // fields directly skips the tuple construction of the obvious
+        // `(a.unit, &a.path).cmp(..)` in this O(n log n) inner loop.
+        self.pending.sort_unstable_by(|a, b| a.unit.cmp(&b.unit).then_with(|| a.path.cmp(&b.path)));
         let releasable = self
             .pending
             .iter()
@@ -982,5 +1406,155 @@ mod tests {
         assert_eq!(reference.heavy_hitter_paths(), resumed.heavy_hitter_paths());
         assert_eq!(reference.units_processed(), resumed.units_processed());
         assert!(!reference.anomalies().is_empty(), "the burst is detected");
+    }
+
+    #[test]
+    fn router_overrides_round_trip_through_serde() {
+        let mut r = ShardRouter::new(4);
+        let native = r.route("TV/x");
+        r.pin("TV", ((native + 1) % 4) as u32);
+        r.pin("Net", 3);
+        r.pin("", 2); // root label: ignored
+        assert_eq!(r.pinned_count(), 2);
+        assert_eq!(r.route("TV/anything"), (native + 1) % 4);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("overrides"), "table is the persisted form: {json}");
+        let back: ShardRouter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r, "overrides and rebuilt hash index round-trip");
+        assert_eq!(back.route("TV/anything"), (native + 1) % 4);
+        // Re-pinning repoints rather than duplicating.
+        r.pin("TV", 0);
+        assert_eq!(r.pinned_count(), 2);
+        assert_eq!(r.route("TV/x"), 0);
+    }
+
+    #[test]
+    fn plan_rebalance_moves_hot_labels_until_threshold() {
+        let router = ShardRouter::new(4);
+        // Everything on one shard: three hot labels plus a tail.
+        let hot_shard = router.route("hot0/x");
+        let mut loads: Vec<(String, f64)> = Vec::new();
+        let mut name = 0usize;
+        let mut labels_on_hot = Vec::new();
+        while labels_on_hot.len() < 6 {
+            let label = format!("hot{name}");
+            name += 1;
+            if router.route(&format!("{label}/x")) == hot_shard {
+                labels_on_hot.push(label);
+            }
+        }
+        for (i, l) in labels_on_hot.iter().enumerate() {
+            loads.push((l.clone(), 100.0 - i as f64));
+        }
+        let cfg = RebalanceConfig::enabled().with_threshold(1.2);
+        let moves = plan_rebalance(&loads, &router, &cfg);
+        assert!(!moves.is_empty());
+        assert!(moves.len() <= cfg.max_moves_per_epoch);
+        // Deterministic: same inputs, same plan — and input order is
+        // irrelevant.
+        let mut shuffled = loads.clone();
+        shuffled.reverse();
+        assert_eq!(moves, plan_rebalance(&shuffled, &router, &cfg));
+        // Every move strictly improves: re-planning after applying the
+        // moves to a router leaves the worst shard at or under its
+        // pre-move load.
+        let mut pinned = router.clone();
+        for (label, shard) in &moves {
+            pinned.pin(label, *shard);
+        }
+        let load_of = |r: &ShardRouter| {
+            let mut per = [0.0f64; 4];
+            for (l, w) in &loads {
+                per[r.route(l)] += w;
+            }
+            per.iter().cloned().fold(0.0f64, f64::max)
+        };
+        assert!(load_of(&pinned) < load_of(&router));
+        // A balanced load plans nothing.
+        let balanced: Vec<(String, f64)> = (0..4).map(|s| (format!("s{s}"), 10.0)).collect();
+        let spread_router = ShardRouter::new(1);
+        assert!(plan_rebalance(&balanced, &spread_router, &cfg).is_empty(), "one shard");
+    }
+
+    #[test]
+    fn adaptive_rebalancing_is_byte_identical_to_static_routing() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead", "Mail/Bounce", "Web/500"];
+        // Heavy skew: the first label dominates.
+        let mut batch: Vec<(String, u64)> = Vec::new();
+        for u in 0..12u64 {
+            for (k, p) in paths.iter().enumerate() {
+                let count = if k == 0 {
+                    60
+                } else if u == 10 && k == 1 {
+                    90
+                } else {
+                    6
+                };
+                for i in 0..count {
+                    batch.push((p.to_string(), u * 900 + i));
+                }
+            }
+        }
+        let mut fixed = builder().shards(4).build_sharded().unwrap();
+        let mut adaptive = builder().shards(4).build_sharded().unwrap();
+        adaptive.set_rebalance(RebalanceConfig::enabled().with_threshold(1.05));
+        assert!(adaptive.rebalance_config().enabled);
+        for chunk in batch.chunks(217) {
+            fixed.push_batch(chunk).unwrap();
+            adaptive.push_batch(chunk).unwrap();
+        }
+        fixed.advance_to(12 * 900).unwrap();
+        adaptive.advance_to(12 * 900).unwrap();
+        assert!(adaptive.rebalances() > 0, "the skew forced moves");
+        assert!(adaptive.shard_balance() >= 1.0);
+        assert!(adaptive.router().pinned_count() > 0);
+        assert_eq!(fixed.anomalies(), adaptive.anomalies());
+        assert_eq!(fixed.heavy_hitter_paths(), adaptive.heavy_hitter_paths());
+        assert_eq!(fixed.tree_paths(), adaptive.tree_paths());
+        assert!(!fixed.anomalies().is_empty(), "the burst is detected");
+    }
+
+    #[test]
+    fn explicit_pins_apply_at_the_next_barrier_without_changing_output() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let batch = burst_batch(&paths, 10, 8);
+        let split = batch.iter().position(|&(_, t)| t >= 5 * 900).unwrap();
+        let mut fixed = builder().shards(4).build_sharded().unwrap();
+        fixed.push_batch(&batch).unwrap();
+        fixed.advance_to(10 * 900).unwrap();
+
+        let mut pinned = builder().shards(4).build_sharded().unwrap();
+        pinned.push_batch(&batch[..split]).unwrap();
+        // Mid-stream, move every label onto shard 0; the transplants
+        // happen at the next batch's barrier.
+        for label in ["TV", "Net", "Phone"] {
+            pinned.pin_label(label, 0);
+        }
+        pinned.push_batch(&batch[split..]).unwrap();
+        pinned.advance_to(10 * 900).unwrap();
+        for label in ["TV", "Net", "Phone"] {
+            assert_eq!(pinned.router().route(&format!("{label}/x")), 0);
+        }
+        assert!(pinned.rebalances() > 0, "at least one pin changed ownership");
+        assert_eq!(fixed.anomalies(), pinned.anomalies());
+        assert_eq!(fixed.heavy_hitter_paths(), pinned.heavy_hitter_paths());
+        assert_eq!(fixed.tree_paths(), pinned.tree_paths());
+        assert!(!fixed.anomalies().is_empty(), "the burst is detected");
+    }
+
+    #[test]
+    fn pinned_placement_survives_a_checkpoint() {
+        let paths = ["TV/NoService", "Net/Slow", "Phone/Dead"];
+        let batch = burst_batch(&paths, 6, 99);
+        let mut engine = builder().shards(4).build_sharded().unwrap();
+        engine.set_rebalance(RebalanceConfig::enabled().with_threshold(1.0));
+        engine.push_batch(&batch).unwrap();
+        engine.advance_to(6 * 900).unwrap();
+        let pins = engine.router().overrides().to_vec();
+        let json = serde_json::to_string(&engine).unwrap();
+        let resumed: ShardedTiresias = serde_json::from_str(&json).unwrap();
+        assert_eq!(resumed.router().overrides(), pins.as_slice());
+        // Policy is runtime config and intentionally not persisted.
+        assert!(!resumed.rebalance_config().enabled);
     }
 }

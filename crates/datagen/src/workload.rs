@@ -22,6 +22,12 @@ pub struct WorkloadConfig {
     /// log space. Adds the super-Poisson volatility the paper observes;
     /// 0 disables it.
     pub noise_sigma: f64,
+    /// Zipf exponent over the **top-level subtrees** (the `--zipf-s`
+    /// CLI knob): each top-level label gets a Zipf-distributed share of
+    /// the total mass, so traffic concentrates on a few hot prefixes —
+    /// the skew that motivates adaptive shard rebalancing. `0.0`
+    /// (default) keeps top-level mass driven by leaf popularity alone.
+    pub top_level_skew: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -31,6 +37,7 @@ impl Default for WorkloadConfig {
             arrival: ArrivalModel::ccd(200.0),
             zipf_exponent: 1.0,
             noise_sigma: 0.2,
+            top_level_skew: 0.0,
         }
     }
 }
@@ -44,6 +51,7 @@ impl WorkloadConfig {
             arrival: ArrivalModel::ccd(base_rate),
             zipf_exponent: 1.0,
             noise_sigma: 0.25,
+            top_level_skew: 0.0,
         }
     }
 
@@ -54,7 +62,18 @@ impl WorkloadConfig {
             arrival: ArrivalModel::scd(base_rate),
             zipf_exponent: 0.8,
             noise_sigma: 0.1,
+            top_level_skew: 0.0,
         }
+    }
+
+    /// Sets the Zipf exponent over top-level subtrees (`--zipf-s`):
+    /// `0.0` disables the skew, `1.0` yields the classic heavy head
+    /// (the hottest prefix carries a multiple of the mean), larger
+    /// values concentrate further.
+    #[must_use]
+    pub fn with_top_level_skew(mut self, s: f64) -> Self {
+        self.top_level_skew = s;
+        self
     }
 }
 
@@ -110,6 +129,40 @@ impl Workload {
         for i in (1..weights.len()).rev() {
             let j = rng.gen_range(0..=i);
             weights.swap(i, j);
+        }
+        if config.top_level_skew > 0.0 {
+            // Top-level skew: scale every leaf by a Zipf share assigned
+            // to its top-level subtree (own deterministic shuffle, so
+            // which prefix is hot is seed-dependent but reproducible).
+            let tops: Vec<NodeId> = tree.children(tree.root()).to_vec();
+            let mut shares = zipf_weights(tops.len().max(1), config.top_level_skew);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x70b0_5eed);
+            for i in (1..shares.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                shares.swap(i, j);
+            }
+            // Rescale so each subtree's total mass IS its Zipf share
+            // (leaf popularity only shapes the mix *within* a subtree).
+            let top_index: Vec<Option<usize>> = leaves
+                .iter()
+                .map(|&l| {
+                    let top = top_ancestor(&tree, l);
+                    tops.iter().position(|&t| t == top)
+                })
+                .collect();
+            let mut subtree_mass = vec![0.0f64; tops.len()];
+            for (w, i) in weights.iter().zip(&top_index) {
+                if let Some(i) = *i {
+                    subtree_mass[i] += w;
+                }
+            }
+            for (weight, i) in weights.iter_mut().zip(&top_index) {
+                if let Some(i) = *i {
+                    if subtree_mass[i] > 0.0 {
+                        *weight *= shares[i] / subtree_mass[i];
+                    }
+                }
+            }
         }
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
@@ -232,6 +285,18 @@ impl Workload {
     }
 }
 
+/// The child of the root on `n`'s path (or `n` itself when it hangs
+/// directly off the root) — the subtree a shard router assigns.
+fn top_ancestor(tree: &Tree, mut n: NodeId) -> NodeId {
+    while let Some(p) = tree.parent(n) {
+        if p == tree.root() {
+            return n;
+        }
+        n = p;
+    }
+    n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +312,7 @@ mod tests {
             arrival: ArrivalModel::flat(rate),
             zipf_exponent: 1.0,
             noise_sigma: 0.0,
+            top_level_skew: 0.0,
         }
     }
 
@@ -340,6 +406,33 @@ mod tests {
         let peak: f64 = w.generate_unit(64).iter().sum();
         let trough: f64 = w.generate_unit(16).iter().sum();
         assert!(peak > trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn top_level_skew_concentrates_mass_on_a_hot_prefix() {
+        let per_top_mass = |skew: f64| -> Vec<f64> {
+            let w = Workload::new(small_tree(), flat_config(400.0).with_top_level_skew(skew), 11);
+            let totals: Vec<f64> = (0..40).map(|u| w.generate_unit(u)).fold(
+                vec![0.0; w.tree().children(w.tree().root()).len()],
+                |mut acc, counts| {
+                    for (i, &top) in w.tree().children(w.tree().root()).iter().enumerate() {
+                        acc[i] += w.tree().subtree(top).map(|n| counts[n.index()]).sum::<f64>();
+                    }
+                    acc
+                },
+            );
+            totals
+        };
+        let ratio = |totals: &[f64]| {
+            let worst = totals.iter().cloned().fold(0.0f64, f64::max);
+            worst / (totals.iter().sum::<f64>() / totals.len() as f64)
+        };
+        let skewed = ratio(&per_top_mass(1.5));
+        let uniform = ratio(&per_top_mass(0.0));
+        assert!(skewed > 2.0, "skewed worst/mean {skewed}");
+        assert!(skewed > uniform + 0.5, "skewed {skewed} vs uniform {uniform}");
+        // Still deterministic per seed.
+        assert_eq!(per_top_mass(1.5), per_top_mass(1.5));
     }
 
     #[test]

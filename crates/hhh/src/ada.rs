@@ -11,8 +11,35 @@ use crate::shhh::{
     aggregate_weights, aggregate_weights_into, compute_shhh, compute_shhh_into, series_values,
     ShhhResult,
 };
-use crate::split_rule::SplitStats;
+use crate::split_rule::{SplitStats, StatRow};
+use crate::surgery::compact_vec;
 use crate::timings::StageTimings;
+
+use tiresias_hierarchy::TreeSurgery;
+
+/// Detached per-node ADA state for an extracted set of top-level
+/// subtrees, aligned with [`TreeSurgery::moved`]. Produced by
+/// [`Ada::extract_nodes`] on the shard losing the subtrees and consumed
+/// by [`Ada::adopt_nodes`] on the shard gaining them.
+#[derive(Debug)]
+pub struct AdaSlice {
+    nodes: Vec<AdaNode>,
+    series_len: usize,
+    instances: u64,
+}
+
+#[derive(Debug)]
+struct AdaNode {
+    in_shhh: bool,
+    ishh: bool,
+    washh: bool,
+    tosplit: bool,
+    weight: f64,
+    agg: f64,
+    series: Option<NodeSeries>,
+    ref_actual: Option<Series>,
+    stats: StatRow,
+}
 
 /// The time-series state bound to a live heavy hitter node.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -572,6 +599,87 @@ impl Ada {
         self.timings
     }
 
+    /// Detaches the tracker state of the nodes removed from the tree by
+    /// `surgery` and compacts the per-node vectors to match `tree` (the
+    /// post-[`Tree::extract_top_subtrees`] tree).
+    ///
+    /// Under `root_isolation`, a depth-1 subtree's membership, series,
+    /// reference series and split statistics are pure functions of its
+    /// own record stream, so carrying this slice to another shard's
+    /// tracker reproduces exactly the state that shard would hold had
+    /// the subtree's records been routed there from the start. Root-node
+    /// state (which reflects the grouping) stays behind; it is output-
+    /// irrelevant in isolated mode.
+    pub fn extract_nodes(&mut self, tree: &Tree, surgery: &TreeSurgery) -> AdaSlice {
+        let nodes = surgery
+            .moved
+            .iter()
+            .map(|m| {
+                let i = m.old_id.index();
+                AdaNode {
+                    in_shhh: self.in_shhh.get(i).copied().unwrap_or(false),
+                    ishh: self.ishh.get(i).copied().unwrap_or(false),
+                    washh: self.washh.get(i).copied().unwrap_or(false),
+                    tosplit: self.tosplit.get(i).copied().unwrap_or(false),
+                    weight: self.weight.get(i).copied().unwrap_or(0.0),
+                    agg: self.agg.get(i).copied().unwrap_or(0.0),
+                    series: self.series.get_mut(i).and_then(Option::take),
+                    ref_actual: self.ref_actual.get_mut(i).and_then(Option::take),
+                    stats: self.stats.row(i),
+                }
+            })
+            .collect();
+        compact_vec(&mut self.in_shhh, &surgery.old_to_new);
+        compact_vec(&mut self.ishh, &surgery.old_to_new);
+        compact_vec(&mut self.washh, &surgery.old_to_new);
+        compact_vec(&mut self.tosplit, &surgery.old_to_new);
+        compact_vec(&mut self.weight, &surgery.old_to_new);
+        compact_vec(&mut self.agg, &surgery.old_to_new);
+        compact_vec(&mut self.series, &surgery.old_to_new);
+        compact_vec(&mut self.ref_actual, &surgery.old_to_new);
+        self.stats.compact(&surgery.old_to_new);
+        self.rebuild_members(tree);
+        AdaSlice { nodes, series_len: self.series_len, instances: self.instances }
+    }
+
+    /// Grafts a detached slice at `new_ids` (the node ids returned by
+    /// [`Tree::adopt_top_subtrees`] for the same moved list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice was cut at a different global timeline
+    /// position than this tracker's (shards rebalance only at epoch
+    /// barriers, where `instances` and the aligned series length agree
+    /// everywhere), or if `new_ids` does not match the slice.
+    pub fn adopt_nodes(&mut self, tree: &Tree, new_ids: &[NodeId], slice: AdaSlice) {
+        assert_eq!(slice.instances, self.instances, "adopting across unaligned timelines");
+        assert_eq!(slice.series_len, self.series_len, "adopting across unaligned windows");
+        assert_eq!(new_ids.len(), slice.nodes.len(), "ids must align with the moved list");
+        self.ensure_capacity(tree);
+        for (&id, node) in new_ids.iter().zip(slice.nodes) {
+            let i = id.index();
+            self.in_shhh[i] = node.in_shhh;
+            self.ishh[i] = node.ishh;
+            self.washh[i] = node.washh;
+            self.tosplit[i] = node.tosplit;
+            self.weight[i] = node.weight;
+            self.agg[i] = node.agg;
+            self.series[i] = node.series;
+            self.ref_actual[i] = node.ref_actual;
+            self.stats.set_row(i, node.stats);
+        }
+        self.rebuild_members(tree);
+    }
+
+    /// Recomputes the member list from the membership flags, in the
+    /// top-down level order [`Ada::push_timeunit`] produces.
+    fn rebuild_members(&mut self, tree: &Tree) {
+        let mut members = std::mem::take(&mut self.members);
+        members.clear();
+        members.extend(tree.level_order().filter(|n| self.in_shhh[n.index()]));
+        self.members = members;
+    }
+
     /// Memory accounting (see [`MemoryReport`]).
     pub fn memory_report(&self, tree: &Tree) -> MemoryReport {
         MemoryReport {
@@ -905,5 +1013,86 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         assert!(matches!(Ada::new(HhhConfig::new(-1.0, 8)), Err(HhhError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn extract_adopt_matches_native_routing() {
+        // Two isolated subtrees tracked together, then `b` migrates to a
+        // tracker that only ever saw `c`. After the transplant, both
+        // trackers must behave exactly as if the routing had been
+        // (a)/(b, c) from the start.
+        let config = cfg(10.0, 8).with_ref_levels(1).with_root_isolation(true);
+        let mut src_tree = Tree::new("root");
+        src_tree.insert_path(&["a", "x"]);
+        src_tree.insert_path(&["b", "y"]);
+        let mut dst_tree = Tree::new("root");
+        dst_tree.insert_path(&["c", "z"]);
+        // Native reference: b and c together from the start.
+        let mut native_tree = Tree::new("root");
+        native_tree.insert_path(&["b", "y"]);
+        native_tree.insert_path(&["c", "z"]);
+
+        let mut src = Ada::new(config.clone()).unwrap();
+        let mut dst = Ada::new(config.clone()).unwrap();
+        let mut native = Ada::new(config).unwrap();
+        let feed = |tree: &Tree, ada: &mut Ada, pairs: &[(&[&str], f64)]| {
+            let mut d = vec![0.0; tree.len()];
+            for (path, w) in pairs {
+                if let Some(n) = tree.find(path) {
+                    d[n.index()] = *w;
+                }
+            }
+            ada.push_timeunit(tree, &d);
+        };
+        for i in 0..6 {
+            let by = 12.0 + i as f64;
+            feed(&src_tree, &mut src, &[(&["a", "x"], 20.0), (&["b", "y"], by)]);
+            feed(&dst_tree, &mut dst, &[(&["c", "z"], 15.0)]);
+            feed(&native_tree, &mut native, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+        }
+
+        let surgery = src_tree.extract_top_subtrees(|l| l == "b");
+        let slice = src.extract_nodes(&src_tree, &surgery);
+        let ids = dst_tree.adopt_top_subtrees(&surgery.moved);
+        dst.adopt_nodes(&dst_tree, &ids, slice);
+
+        // Membership and series carried over verbatim.
+        let by_dst = dst_tree.find(&["b", "y"]).unwrap();
+        let by_native = native_tree.find(&["b", "y"]).unwrap();
+        assert!(dst.is_heavy_hitter(by_dst));
+        let got: Vec<f64> = dst.view(by_dst).unwrap().actual.iter().collect();
+        let want: Vec<f64> = native.view(by_native).unwrap().actual.iter().collect();
+        assert_eq!(got, want);
+        // The source no longer tracks b.
+        assert!(src_tree.find(&["b"]).is_none());
+        assert!(src.heavy_hitters().iter().all(|&n| src_tree.find(&["a", "x"]) == Some(n)));
+
+        // Future units evolve identically on both sides of the move.
+        for i in 0..6 {
+            let by = if i % 2 == 0 { 25.0 } else { 3.0 };
+            feed(&src_tree, &mut src, &[(&["a", "x"], 20.0)]);
+            feed(&dst_tree, &mut dst, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+            feed(&native_tree, &mut native, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+            for (path, tree, other_tree) in
+                [(["b", "y"], &dst_tree, &native_tree), (["c", "z"], &dst_tree, &native_tree)]
+            {
+                let n = tree.find(&path).unwrap();
+                let m = other_tree.find(&path).unwrap();
+                assert_eq!(dst.is_heavy_hitter(n), native.is_heavy_hitter(m), "unit {i}");
+                assert_eq!(dst.modified_weight(n), native.modified_weight(m), "unit {i}");
+                match (dst.view(n), native.view(m)) {
+                    (Some(a), Some(b)) => {
+                        let av: Vec<f64> = a.actual.iter().collect();
+                        let bv: Vec<f64> = b.actual.iter().collect();
+                        assert_eq!(av, bv, "unit {i}");
+                        let af: Vec<f64> = a.forecast.iter().collect();
+                        let bf: Vec<f64> = b.forecast.iter().collect();
+                        assert_eq!(af, bf, "unit {i}");
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("view divergence at unit {i}: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 }

@@ -59,9 +59,10 @@ mod multiscale;
 mod shhh;
 mod split_rule;
 mod sta;
+mod surgery;
 mod timings;
 
-pub use ada::{Ada, HeavyHitterView};
+pub use ada::{Ada, AdaSlice, HeavyHitterView};
 pub use config::HhhConfig;
 pub use error::HhhError;
 pub use memory::MemoryReport;
@@ -71,6 +72,6 @@ pub use shhh::{
     aggregate_weights, aggregate_weights_into, compute_shhh, compute_shhh_into, series_values,
     ShhhResult,
 };
-pub use split_rule::{SplitRule, SplitStats};
-pub use sta::Sta;
+pub use split_rule::{SplitRule, SplitStats, StatRow};
+pub use sta::{Sta, StaSlice};
 pub use timings::StageTimings;

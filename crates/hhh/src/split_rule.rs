@@ -54,6 +54,21 @@ pub struct SplitStats {
     ewma_seeded: Vec<bool>,
 }
 
+/// One node's detached statistics row, used when a subtree (and the
+/// split-ratio history that shapes its future splits) migrates between
+/// shard detectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatRow {
+    /// Previous-unit aggregate (`LastTimeUnit` property).
+    pub prev: f64,
+    /// Cumulative aggregate (`LongTermHistory` property).
+    pub total: f64,
+    /// Smoothed aggregate (`Ewma` property).
+    pub ewma: f64,
+    /// Whether the EWMA has observed its seeding unit.
+    pub seeded: bool,
+}
+
 impl SplitStats {
     /// Creates zeroed statistics for a tree of `len` nodes.
     pub fn with_len(len: usize) -> Self {
@@ -104,6 +119,52 @@ impl SplitStats {
                 self.ewma_seeded[i] = true;
             }
         }
+    }
+
+    /// The detached row of node index `i` (zeros when the statistics
+    /// have not grown to cover `i` yet).
+    pub fn row(&self, i: usize) -> StatRow {
+        StatRow {
+            prev: self.prev.get(i).copied().unwrap_or(0.0),
+            total: self.total.get(i).copied().unwrap_or(0.0),
+            ewma: self.ewma.get(i).copied().unwrap_or(0.0),
+            seeded: self.ewma_seeded.get(i).copied().unwrap_or(false),
+        }
+    }
+
+    /// Writes `row` at node index `i`, growing the statistics as needed.
+    pub fn set_row(&mut self, i: usize, row: StatRow) {
+        self.resize(i + 1);
+        self.prev[i] = row.prev;
+        self.total[i] = row.total;
+        self.ewma[i] = row.ewma;
+        self.ewma_seeded[i] = row.seeded;
+    }
+
+    /// Remaps the statistics through a tree compaction: entry `i` moves
+    /// to `old_to_new[i]`, entries mapped to `None` are dropped, and the
+    /// vectors shrink to the surviving count. Indices past the current
+    /// length are treated as zero rows.
+    pub fn compact(&mut self, old_to_new: &[Option<NodeId>]) {
+        let new_len = old_to_new.iter().flatten().count();
+        let mut prev = vec![0.0; new_len];
+        let mut total = vec![0.0; new_len];
+        let mut ewma = vec![0.0; new_len];
+        let mut seeded = vec![false; new_len];
+        for (i, slot) in old_to_new.iter().enumerate() {
+            if let Some(new) = slot {
+                if i < self.prev.len() {
+                    prev[new.index()] = self.prev[i];
+                    total[new.index()] = self.total[i];
+                    ewma[new.index()] = self.ewma[i];
+                    seeded[new.index()] = self.ewma_seeded[i];
+                }
+            }
+        }
+        self.prev = prev;
+        self.total = total;
+        self.ewma = ewma;
+        self.ewma_seeded = seeded;
     }
 
     /// The property `X_n` of `node` under `rule`.

@@ -1,7 +1,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
-use tiresias_hierarchy::{NodeId, Tree};
+use tiresias_hierarchy::{NodeId, Tree, TreeSurgery};
 
 use crate::config::HhhConfig;
 use crate::error::HhhError;
@@ -98,6 +98,21 @@ mod node_keyed_map {
         let pairs: Vec<(NodeId, V)> = serde::Deserialize::deserialize(d)?;
         Ok(pairs.into_iter().collect())
     }
+}
+
+/// Detached per-node STA state for an extracted set of top-level
+/// subtrees. Node references are positions in the moved list of the
+/// [`TreeSurgery`] that produced the slice; [`Sta::adopt_nodes`]
+/// resolves them against the adopting tree's new ids.
+#[derive(Debug)]
+pub struct StaSlice {
+    /// Sparse direct counts of the moved nodes per stored unit, oldest
+    /// → newest, aligned one-to-one with the source window.
+    units: Vec<Vec<(u32, f64)>>,
+    series: Vec<(u32, StaSeries)>,
+    is_member: Vec<bool>,
+    modified: Vec<f64>,
+    instances: u64,
 }
 
 impl Sta {
@@ -250,6 +265,115 @@ impl Sta {
             return aggregate_weights(tree, &dense);
         }
         dense
+    }
+
+    /// Detaches the tracker state of the nodes removed from the tree by
+    /// `surgery` and remaps everything that survives to the compacted
+    /// `tree` (the post-[`Tree::extract_top_subtrees`] tree).
+    ///
+    /// STA's window holds *raw* per-unit counts, so the cut is exact by
+    /// construction: the moved sparse entries are precisely the records
+    /// the subtree's stream contributed, and replaying them into another
+    /// shard's window reproduces the state that shard would hold had the
+    /// records been routed there from the start.
+    pub fn extract_nodes(&mut self, tree: &Tree, surgery: &TreeSurgery) -> StaSlice {
+        let mut slot_of: Vec<Option<u32>> = vec![None; surgery.old_to_new.len()];
+        for (slot, m) in surgery.moved.iter().enumerate() {
+            slot_of[m.old_id.index()] = Some(slot as u32);
+        }
+        let mut moved_units = Vec::with_capacity(self.units.len());
+        for unit in self.units.iter_mut() {
+            let old_unit = std::mem::take(unit);
+            let mut moved = Vec::new();
+            for (i, v) in old_unit {
+                match slot_of[i as usize] {
+                    Some(slot) => moved.push((slot, v)),
+                    None => {
+                        let new = surgery.old_to_new[i as usize]
+                            .expect("unmoved sparse entry survives compaction");
+                        unit.push((new.index() as u32, v));
+                    }
+                }
+            }
+            moved_units.push(moved);
+        }
+        let mut moved_series = Vec::new();
+        let old_series = std::mem::take(&mut self.series);
+        for (n, s) in old_series {
+            match slot_of[n.index()] {
+                Some(slot) => moved_series.push((slot, s)),
+                None => {
+                    let new = surgery.old_to_new[n.index()]
+                        .expect("unmoved series entry survives compaction");
+                    self.series.insert(new, s);
+                }
+            }
+        }
+        moved_series.sort_by_key(|&(slot, _)| slot);
+        let slice = StaSlice {
+            units: moved_units,
+            series: moved_series,
+            is_member: surgery
+                .moved
+                .iter()
+                .map(|m| self.is_member.get(m.old_id.index()).copied().unwrap_or(false))
+                .collect(),
+            modified: surgery
+                .moved
+                .iter()
+                .map(|m| self.modified.get(m.old_id.index()).copied().unwrap_or(0.0))
+                .collect(),
+            instances: self.instances,
+        };
+        crate::surgery::compact_vec(&mut self.is_member, &surgery.old_to_new);
+        crate::surgery::compact_vec(&mut self.modified, &surgery.old_to_new);
+        self.rebuild_members(tree);
+        slice
+    }
+
+    /// Grafts a detached slice at `new_ids` (the node ids returned by
+    /// [`Tree::adopt_top_subtrees`] for the same moved list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice was cut at a different timeline position —
+    /// shards rebalance only at epoch barriers, where `instances` (and
+    /// therefore the stored window length) agree everywhere — or if
+    /// `new_ids` does not match the slice.
+    pub fn adopt_nodes(&mut self, tree: &Tree, new_ids: &[NodeId], slice: StaSlice) {
+        assert_eq!(slice.instances, self.instances, "adopting across unaligned timelines");
+        assert_eq!(slice.units.len(), self.units.len(), "adopting across unaligned windows");
+        for (unit, moved) in self.units.iter_mut().zip(slice.units) {
+            for (slot, v) in moved {
+                unit.push((new_ids[slot as usize].index() as u32, v));
+            }
+            // Restore the canonical ascending-index form the dense
+            // scatter produces; entries are unique by construction.
+            unit.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for (slot, s) in slice.series {
+            self.series.insert(new_ids[slot as usize], s);
+        }
+        let len = tree.len();
+        if self.is_member.len() < len {
+            self.is_member.resize(len, false);
+            self.modified.resize(len, 0.0);
+        }
+        for (slot, &id) in new_ids.iter().enumerate() {
+            self.is_member[id.index()] = slice.is_member[slot];
+            self.modified[id.index()] = slice.modified[slot];
+        }
+        self.rebuild_members(tree);
+    }
+
+    /// Recomputes the member list from the membership flags, in the
+    /// bottom-up discovery order [`compute_shhh`] produces.
+    fn rebuild_members(&mut self, tree: &Tree) {
+        self.members.clear();
+        self.members.extend(
+            tree.rev_level_order()
+                .filter(|n| self.is_member.get(n.index()).copied().unwrap_or(false)),
+        );
     }
 
     /// Cumulative stage timings.
@@ -410,5 +534,69 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         assert!(matches!(Sta::new(HhhConfig::new(0.0, 8)), Err(HhhError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn extract_adopt_matches_native_routing() {
+        use tiresias_hierarchy::Tree;
+        // `b` migrates from a tracker holding (a, b) to one holding (c);
+        // the result must equal a tracker that held (b, c) all along.
+        let config = cfg(10.0, 4);
+        let mut src_tree = Tree::new("root");
+        src_tree.insert_path(&["a", "x"]);
+        src_tree.insert_path(&["b", "y"]);
+        let mut dst_tree = Tree::new("root");
+        dst_tree.insert_path(&["c", "z"]);
+        let mut native_tree = Tree::new("root");
+        native_tree.insert_path(&["b", "y"]);
+        native_tree.insert_path(&["c", "z"]);
+
+        let mut src = Sta::new(config.clone()).unwrap();
+        let mut dst = Sta::new(config.clone()).unwrap();
+        let mut native = Sta::new(config).unwrap();
+        let feed = |tree: &Tree, sta: &mut Sta, pairs: &[(&[&str], f64)]| {
+            let mut d = vec![0.0; tree.len()];
+            for (path, w) in pairs {
+                if let Some(n) = tree.find(path) {
+                    d[n.index()] = *w;
+                }
+            }
+            sta.push_timeunit(tree, &d);
+        };
+        // Long enough that the bounded window (ℓ = 4) has rolled.
+        for i in 0..6 {
+            let by = 12.0 + i as f64;
+            feed(&src_tree, &mut src, &[(&["a", "x"], 20.0), (&["b", "y"], by)]);
+            feed(&dst_tree, &mut dst, &[(&["c", "z"], 15.0)]);
+            feed(&native_tree, &mut native, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+        }
+
+        let surgery = src_tree.extract_top_subtrees(|l| l == "b");
+        let slice = src.extract_nodes(&src_tree, &surgery);
+        let ids = dst_tree.adopt_top_subtrees(&surgery.moved);
+        dst.adopt_nodes(&dst_tree, &ids, slice);
+
+        let by_dst = dst_tree.find(&["b", "y"]).unwrap();
+        let by_native = native_tree.find(&["b", "y"]).unwrap();
+        assert!(dst.is_heavy_hitter(by_dst));
+        assert_eq!(dst.actual_series(by_dst), native.actual_series(by_native));
+        assert_eq!(dst.modified_weight(by_dst), native.modified_weight(by_native));
+        assert!(!src.is_heavy_hitter(by_dst), "source dropped the moved state");
+
+        // Future units (including full window reconstruction from the
+        // transplanted raw counts) evolve identically.
+        for i in 0..6 {
+            let by = if i % 2 == 0 { 25.0 } else { 3.0 };
+            feed(&src_tree, &mut src, &[(&["a", "x"], 20.0)]);
+            feed(&dst_tree, &mut dst, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+            feed(&native_tree, &mut native, &[(&["b", "y"], by), (&["c", "z"], 15.0)]);
+            for path in [["b", "y"], ["c", "z"]] {
+                let n = dst_tree.find(&path).unwrap();
+                let m = native_tree.find(&path).unwrap();
+                assert_eq!(dst.is_heavy_hitter(n), native.is_heavy_hitter(m), "unit {i}");
+                assert_eq!(dst.actual_series(n), native.actual_series(m), "unit {i}");
+                assert_eq!(dst.forecast_series(n), native.forecast_series(m), "unit {i}");
+            }
+        }
     }
 }

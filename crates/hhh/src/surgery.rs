@@ -1,0 +1,47 @@
+//! Shared helpers for moving per-node tracker state between shard
+//! detectors when a top-level subtree is rebalanced (see
+//! [`crate::Ada::extract_nodes`] and [`crate::Sta::extract_nodes`]).
+
+use tiresias_hierarchy::NodeId;
+
+/// Remaps a per-node vector through a tree compaction: entry `i` moves
+/// to `old_to_new[i]`, entries mapped to `None` are dropped, and the
+/// vector shrinks to the surviving count. Indices past the current
+/// length are treated as default values (per-node vectors grow lazily,
+/// so they may lag a tree that gained nodes since the last timeunit).
+pub(crate) fn compact_vec<T: Default>(v: &mut Vec<T>, old_to_new: &[Option<NodeId>]) {
+    let new_len = old_to_new.iter().flatten().count();
+    let mut old = std::mem::take(v);
+    let mut out = Vec::with_capacity(new_len);
+    out.resize_with(new_len, T::default);
+    for (i, slot) in old_to_new.iter().enumerate() {
+        if let Some(new) = slot {
+            if i < old.len() {
+                out[new.index()] = std::mem::take(&mut old[i]);
+            }
+        }
+    }
+    *v = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiresias_hierarchy::Tree;
+
+    #[test]
+    fn compact_drops_moves_and_shrinks() {
+        // Arena: [root, a, x, b]; extracting `a` drops indices 1..=2.
+        let mut t = Tree::new("r");
+        t.insert_path(&["a", "x"]);
+        t.insert_path(&["b"]);
+        let map = t.extract_top_subtrees(|l| l == "a").old_to_new;
+        let mut v = vec![10, 20, 30, 40];
+        compact_vec(&mut v, &map);
+        assert_eq!(v, vec![10, 40]);
+        // Short vectors pad the missing tail with defaults.
+        let mut short = vec![10];
+        compact_vec(&mut short, &map);
+        assert_eq!(short, vec![10, 0]);
+    }
+}

@@ -49,5 +49,5 @@ pub use path::{first_segment, first_segment_hash, CategoryPath};
 pub use render::{render_ascii, render_dot};
 pub use spec::{HierarchySpec, LevelSpec};
 pub use traversal::{LevelOrder, RevLevelOrder, Subtree};
-pub use tree::{LabelId, NodeId, Tree};
+pub use tree::{LabelId, MovedNode, NodeId, Tree, TreeSurgery};
 pub use weights::WeightMap;

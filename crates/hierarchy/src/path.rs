@@ -23,7 +23,44 @@ use crate::fx::FxHasher;
 /// assert_eq!(first_segment("//"), None);
 /// ```
 pub fn first_segment(path: &str) -> Option<&str> {
-    path.split('/').find(|s| !s.is_empty())
+    let bytes = path.as_bytes();
+    let mut start = 0;
+    while start < bytes.len() && bytes[start] == b'/' {
+        start += 1;
+    }
+    if start == bytes.len() {
+        return None;
+    }
+    let end = match find_slash(&bytes[start..]) {
+        Some(off) => start + off,
+        None => bytes.len(),
+    };
+    // `/` is ASCII, so `start` and `end` are always char boundaries.
+    Some(&path[start..end])
+}
+
+/// Byte offset of the first `/` in `bytes`, scanning a word at a time.
+///
+/// Zero-in-word SWAR trick: xor with a splatted `/`, then
+/// `(x - LO) & !x & HI` has the high bit set in exactly the bytes that
+/// were `/`. The router calls this once per admitted record, so the
+/// eight-bytes-per-iteration scan is worth the bit-twiddling.
+#[inline]
+fn find_slash(bytes: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const SPLAT: u64 = LO.wrapping_mul(b'/' as u64);
+    let mut i = 0;
+    while i + 8 <= bytes.len() {
+        let word = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let x = word ^ SPLAT;
+        let hit = x.wrapping_sub(LO) & !x & HI;
+        if hit != 0 {
+            return Some(i + (hit.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    bytes[i..].iter().position(|&b| b == b'/').map(|p| i + p)
 }
 
 /// A stable hash of the first non-empty segment of a `/`-separated
@@ -282,6 +319,35 @@ mod tests {
         assert_eq!(first_segment("solo"), Some("solo"));
         assert_eq!(first_segment(""), None);
         assert_eq!(first_segment("///"), None);
+    }
+
+    #[test]
+    fn first_segment_matches_split_reference() {
+        // The SWAR scan must agree with the obvious split-based spec on
+        // every length (word-aligned, tail, multi-byte labels, …).
+        let cases = [
+            "",
+            "/",
+            "//",
+            "a",
+            "a/",
+            "/a",
+            "abcdefgh",
+            "abcdefgh/i",
+            "abcdefg/h",
+            "abcdefghi/j",
+            "twelve-bytes!/x",
+            "exactly-15-byte/",
+            "é/è",
+            "日本語/テスト",
+            "///deep//nest///",
+            "no-slash-at-all-in-a-long-label-here",
+            "/leading-then-a-really-long-first-segment/tail",
+        ];
+        for case in cases {
+            let expect = case.split('/').find(|s| !s.is_empty());
+            assert_eq!(first_segment(case), expect, "case {case:?}");
+        }
     }
 
     #[test]

@@ -126,6 +126,41 @@ struct ReprNode {
     parent: Option<NodeId>,
 }
 
+/// One node of an extracted top-level subtree (see
+/// [`Tree::extract_top_subtrees`]), in source-arena order.
+#[derive(Debug, Clone)]
+pub struct MovedNode {
+    /// The node's id in the source tree *before* extraction — the index
+    /// for gathering per-node side-table state that moves with it.
+    pub old_id: NodeId,
+    /// The node's label text.
+    pub label: String,
+    /// Index into the moved list of this node's parent; `None` for a
+    /// depth-1 subtree root, which re-parents onto the adopting tree's
+    /// root.
+    pub parent: Option<usize>,
+}
+
+/// The outcome of [`Tree::extract_top_subtrees`]: which nodes left, and
+/// where every surviving node's id moved during compaction.
+#[derive(Debug, Clone, Default)]
+pub struct TreeSurgery {
+    /// Extracted nodes in source-arena order (parents precede
+    /// children), ready for [`Tree::adopt_top_subtrees`].
+    pub moved: Vec<MovedNode>,
+    /// Old arena index → compacted id for surviving nodes (`None` for
+    /// moved nodes). Identity when nothing was selected.
+    pub old_to_new: Vec<Option<NodeId>>,
+}
+
+impl TreeSurgery {
+    /// `true` iff the selection matched nothing (the tree is untouched
+    /// and `old_to_new` is the identity).
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+    }
+}
+
 /// Serialised form of a [`Tree`]: the node arena only.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TreeRepr {
@@ -458,6 +493,97 @@ impl Tree {
         self.iter().filter(|&n| self.is_leaf(n)).count()
     }
 
+    /// Removes every depth-1 subtree whose root label satisfies
+    /// `select`, compacting the arena, and returns the extracted nodes
+    /// plus the old→new id map for the survivors.
+    ///
+    /// This is the structural half of moving a top-level subtree
+    /// between shard detectors: the caller gathers per-node side-table
+    /// state at the returned `old_id`s, remaps its surviving state
+    /// through `old_to_new`, and feeds the moved nodes to
+    /// [`Tree::adopt_top_subtrees`] on the receiving tree.
+    ///
+    /// Compaction preserves the arena (insertion) order of surviving
+    /// nodes — and therefore every traversal order — exactly as if the
+    /// moved subtrees had never been inserted. Interned labels are kept
+    /// even when their last node leaves (harmless: the serialised form
+    /// stores only the node arena, and ids of surviving labels are
+    /// unaffected by unused entries). The path memo is invalidated and
+    /// rebuilt lazily, like after deserialisation.
+    pub fn extract_top_subtrees(&mut self, mut select: impl FnMut(&str) -> bool) -> TreeSurgery {
+        let selected: Vec<NodeId> =
+            self.children(self.root()).iter().copied().filter(|&c| select(self.label(c))).collect();
+        if selected.is_empty() {
+            return TreeSurgery {
+                moved: Vec::new(),
+                old_to_new: (0..self.len()).map(|i| Some(NodeId::from_index(i))).collect(),
+            };
+        }
+        // Classify every node in arena order: a node moves iff its
+        // parent moves (seeded by the selected depth-1 roots).
+        let mut moved: Vec<MovedNode> = Vec::new();
+        let mut moved_slot: Vec<Option<usize>> = vec![None; self.len()];
+        let mut survivors: Vec<NodeId> = Vec::new();
+        for i in 1..self.len() {
+            let id = NodeId::from_index(i);
+            let parent = self.nodes[i].parent.expect("non-root node has a parent");
+            let parent_slot = moved_slot[parent.index()];
+            if parent_slot.is_some() || selected.contains(&id) {
+                moved_slot[i] = Some(moved.len());
+                moved.push(MovedNode {
+                    old_id: id,
+                    label: self.label(id).to_string(),
+                    parent: parent_slot,
+                });
+            } else {
+                survivors.push(id);
+            }
+        }
+        // Rebuild the arena from the survivors, preserving their order
+        // (and hence by-depth grouping and every traversal order).
+        let mut compact = Tree::new(self.label(self.root()).to_string());
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; self.len()];
+        old_to_new[0] = Some(compact.root());
+        for id in survivors {
+            let parent = self.nodes[id.index()].parent.expect("non-root node has a parent");
+            let new_parent = old_to_new[parent.index()].expect("parents precede children");
+            old_to_new[id.index()] = Some(compact.insert_child(new_parent, self.label(id)));
+        }
+        *self = compact;
+        TreeSurgery { moved, old_to_new }
+    }
+
+    /// Grafts subtrees extracted by [`Tree::extract_top_subtrees`]
+    /// under this tree's root, returning the new id of each moved node
+    /// (aligned with `moved`). Nodes append to the arena in their
+    /// original relative order, so within-subtree traversal order is
+    /// preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a moved depth-1 label already exists under this root —
+    /// adopting a subtree the tree already has would silently merge two
+    /// detectors' state.
+    pub fn adopt_top_subtrees(&mut self, moved: &[MovedNode]) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = Vec::with_capacity(moved.len());
+        for m in moved {
+            let parent = match m.parent {
+                Some(slot) => ids[slot],
+                None => self.root(),
+            };
+            let expect = self.len();
+            let id = self.insert_child(parent, &m.label);
+            assert_eq!(
+                id.index(),
+                expect,
+                "adopted subtree node `{}` already present under its parent",
+                m.label
+            );
+            ids.push(id);
+        }
+        ids
+    }
+
     /// Mean fan-out of the internal nodes at `depth` (the paper's "typical
     /// degree at the k-th level", Table II). `None` if the level has no
     /// internal nodes.
@@ -693,5 +819,85 @@ mod tests {
         let t = sample();
         // No Pic, No Sound, Pixelation, Slow
         assert_eq!(t.leaf_count(), 4);
+    }
+
+    #[test]
+    fn extract_preserves_survivor_order_and_adopt_preserves_subtree_order() {
+        let mut t = sample();
+        let surgery = t.extract_top_subtrees(|label| label == "TV");
+        // TV, No Service, No Pic, No Sound, Pixelation left.
+        assert_eq!(surgery.moved.len(), 5);
+        assert_eq!(surgery.moved[0].label, "TV");
+        assert_eq!(surgery.moved[0].parent, None);
+        assert_eq!(t.len(), 3, "root, Internet, Slow survive");
+        // The compacted tree equals one that never saw TV.
+        let mut fresh = Tree::new("All");
+        fresh.insert_path(&["Internet", "Slow"]);
+        for (a, b) in t.iter().zip(fresh.iter()) {
+            assert_eq!(t.label(a), fresh.label(b));
+            assert_eq!(t.parent(a), fresh.parent(b));
+        }
+        // Survivor remap points at the compacted ids; moved slots are None.
+        let internet_old = surgery
+            .old_to_new
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|new| (i, new)))
+            .count();
+        assert_eq!(internet_old, 3);
+        // Adoption appends the subtree in original relative order.
+        let mut target = Tree::new("All");
+        target.insert_path(&["Phone", "Dead"]);
+        let ids = target.adopt_top_subtrees(&surgery.moved);
+        assert_eq!(ids.len(), 5);
+        let tv = target.find(&["TV"]).unwrap();
+        assert_eq!(ids[0], tv);
+        assert_eq!(target.find(&["TV", "No Service", "No Pic"]), Some(ids[2]));
+        assert_eq!(target.depth(ids[2]), 3);
+        // A fresh interleaved build has the same per-subtree structure.
+        assert_eq!(target.subtree(tv).count(), 5);
+        // The memo was invalidated: stale spellings resolve correctly.
+        assert_eq!(t.resolve_str("Internet/Slow"), t.find(&["Internet", "Slow"]));
+        assert_eq!(t.resolve_str("TV/Pixelation"), None);
+    }
+
+    #[test]
+    fn extract_with_no_match_is_identity() {
+        let mut t = sample();
+        let before: Vec<_> = t.iter().map(|n| t.label(n).to_string()).collect();
+        let surgery = t.extract_top_subtrees(|_| false);
+        assert!(surgery.is_empty());
+        assert_eq!(surgery.old_to_new.len(), t.len());
+        for (i, slot) in surgery.old_to_new.iter().enumerate() {
+            assert_eq!(slot.map(NodeId::index), Some(i));
+        }
+        let after: Vec<_> = t.iter().map(|n| t.label(n).to_string()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn extract_shared_labels_survive_for_other_subtrees() {
+        let mut t = Tree::new("root");
+        t.insert_path(&["a", "shared"]);
+        t.insert_path(&["b", "shared"]);
+        let surgery = t.extract_top_subtrees(|l| l == "a");
+        assert_eq!(surgery.moved.len(), 2);
+        assert!(t.find(&["b", "shared"]).is_some());
+        assert!(t.find(&["a"]).is_none());
+        // Round trip: move it back and the structure is whole again.
+        let ids = t.adopt_top_subtrees(&surgery.moved);
+        assert_eq!(t.label(ids[1]), "shared");
+        assert_eq!(t.find(&["a", "shared"]), Some(ids[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn adopting_an_existing_top_label_panics() {
+        let mut src = Tree::new("root");
+        src.insert_path(&["a", "x"]);
+        let surgery = src.extract_top_subtrees(|l| l == "a");
+        let mut dst = Tree::new("root");
+        dst.insert_path(&["a", "y"]);
+        dst.adopt_top_subtrees(&surgery.moved);
     }
 }

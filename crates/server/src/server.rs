@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use tiresias_core::{
     load_checkpoint_meta, Admission, AnomalyEvent, CheckpointEngine, IngestHandle, LiveSharded,
-    ReportReader, SegmentStore, TiresiasBuilder, Wal, WalEntry, WalSyncPolicy,
+    RebalanceConfig, ReportReader, SegmentStore, TiresiasBuilder, Wal, WalEntry, WalSyncPolicy,
     DEFAULT_MAX_AHEAD_UNITS, DEFAULT_SEGMENT_BYTES, DEFAULT_WAL_SEGMENT_BYTES,
 };
 use tiresias_hierarchy::{first_segment, first_segment_hash, CategoryPath, FxHashMap};
@@ -131,6 +131,13 @@ pub struct ServerConfig {
     /// reads on admission — and is the baseline the benchmark's
     /// `telemetry_tax_pct` compares against.
     pub telemetry: bool,
+    /// Skew-adaptive shard rebalancing policy (`--rebalance`,
+    /// `--balance-threshold`). Disabled by default: labels stay on
+    /// their hash-assigned shard. When enabled, per-epoch load
+    /// measurements repin hot top-level labels at close barriers until
+    /// the worst/mean shard-load ratio falls under the threshold —
+    /// with byte-identical output either way.
+    pub rebalance: RebalanceConfig,
 }
 
 impl ServerConfig {
@@ -157,6 +164,7 @@ impl ServerConfig {
             slow_log: None,
             slow_ms: DEFAULT_SLOW_MS,
             telemetry: true,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -460,6 +468,7 @@ impl Server {
             engine.into_live_untelemetered(config.max_ahead_units, wal)
         }
         .map_err(ServerError::Core)?;
+        live.set_rebalance(config.rebalance);
         let mut recovered_batches = 0u64;
         let mut recovered_units = 0u64;
         if let Some((wal, segments)) = &durable {

@@ -508,7 +508,8 @@ impl Inner {
              retained_units={} retain={} last_closed={} subscribers={} dropped_slow={} \
              dropped_events={} wal_seq={} wal_bytes={} wal_fsyncs={} wal_errors={} segments={} \
              segment_units={} recovered_batches={} recovered_units={} reaped_sessions={} \
-             proto_text={} proto_v2={} v2_frames={} v2_dict_entries={} top_paths={}",
+             proto_text={} proto_v2={} v2_frames={} v2_dict_entries={} rebalances={} \
+             pinned_labels={} shard_balance={:.3} top_paths={}",
             records,
             handle.late(),
             handle.ahead(),
@@ -541,6 +542,9 @@ impl Inner {
             proto.v2_sessions.load(std::sync::atomic::Ordering::Relaxed),
             proto.v2_frames.load(std::sync::atomic::Ordering::Relaxed),
             proto.v2_dict_entries.load(std::sync::atomic::Ordering::Relaxed),
+            handle.rebalances(),
+            handle.pinned_labels(),
+            handle.shard_balance(),
             if top_paths.is_empty() { "-" } else { top_paths },
         )
     }
@@ -688,7 +692,7 @@ mod tests {
         s.drain(&hub).unwrap();
         assert!(matches!(handle.admit("a/x", 10), Err(CoreError::Closed)));
         let json = s.checkpoint_json().expect("drained engine serialises");
-        assert!(json.starts_with("{\"version\":3,\"kind\":\"sharded\""));
+        assert!(json.starts_with("{\"version\":4,\"kind\":\"sharded\""));
         // STATS and the report reader still answer after the drain.
         assert!(s.stats_line(&hub, "", 0, 0, &Default::default()).starts_with("STATS "));
         let _ = s.reader().with(|store| store.len());

@@ -184,6 +184,31 @@ pub(crate) fn build(
         move || f.stashed_records().iter().sum::<u64>() as f64,
     );
 
+    // Skew-adaptive routing: barrier-applied label moves, the live
+    // override-table size and the last measured worst/mean shard-load
+    // ratio (1.0 = balanced, 0 = not yet measured).
+    let f = front.clone();
+    registry.counter_fn(
+        "tiresias_rebalances_total",
+        "Label reassignments applied at epoch barriers.",
+        &[],
+        move || f.rebalances(),
+    );
+    let f = front.clone();
+    registry.gauge_fn(
+        "tiresias_pinned_labels",
+        "Labels pinned in the adaptive routing table.",
+        &[],
+        move || f.pinned_labels() as f64,
+    );
+    let f = front.clone();
+    registry.gauge_fn(
+        "tiresias_shard_balance",
+        "Worst/mean per-shard load ratio of the last measured epoch.",
+        &[],
+        move || f.shard_balance(),
+    );
+
     // Report store, behind its read-mostly lock (safe: render callers
     // never hold it).
     let r = reader.clone();

@@ -157,6 +157,68 @@ fn metrics_endpoint_and_stats_json_track_a_serve_workload() {
 }
 
 #[test]
+fn rebalancing_gauges_reach_stats_and_metrics() {
+    let mut config = config();
+    config.metrics_addr = Some("127.0.0.1:0".to_string());
+    config.rebalance = tiresias_core::RebalanceConfig::enabled();
+    let server = Server::start(config).expect("starts");
+    let metrics_addr = server.metrics_addr().expect("exporter configured");
+
+    // Untouched engine: all three series exist and read zero.
+    let body = scrape(metrics_addr);
+    assert!(body.contains("tiresias_rebalances_total 0\n"), "{body}");
+    assert!(body.contains("tiresias_pinned_labels 0\n"), "{body}");
+    assert!(body.contains("tiresias_shard_balance 0\n"), "{body}");
+
+    // Skewed pushes: one hot label, a few light ones, two timeunits so
+    // the wall-clock close crosses an epoch barrier and the balancer
+    // measures the epoch it just sealed.
+    let mut client = Client::connect(server.local_addr());
+    for unit in 0..2u64 {
+        for i in 0..40u64 {
+            let reply = client.roundtrip(&format!("PUSH hot/leaf {}", unit * TIMEUNIT + i % 50));
+            assert_eq!(reply, "OK");
+            let reply =
+                client.roundtrip(&format!("PUSH cold{}/leaf {}", i % 4, unit * TIMEUNIT + i % 50));
+            assert_eq!(reply, "OK");
+        }
+    }
+
+    // The measured worst/mean ratio lands in the gauge once the barrier
+    // passes (grace-driven, so poll). Two shards with one dominant
+    // label: the ratio is strictly above 1.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let balance = loop {
+        let body = scrape(metrics_addr);
+        let value = body
+            .lines()
+            .find_map(|l| l.strip_prefix("tiresias_shard_balance "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .expect("gauge always present");
+        if value > 0.0 {
+            break value;
+        }
+        assert!(Instant::now() < deadline, "no epoch ever measured:\n{body}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(balance > 1.0 && balance < 2.0 + f64::EPSILON, "2-shard worst/mean: {balance}");
+
+    // The legacy STATS one-liner carries the same fields.
+    let legacy = client.roundtrip("STATS");
+    assert!(legacy.contains("rebalances="), "{legacy}");
+    assert!(legacy.contains("pinned_labels="), "{legacy}");
+    assert!(legacy.contains(&format!("shard_balance={balance:.3}")), "{legacy}");
+
+    // And STATS JSON exposes the rebalance counter to scrapers that
+    // prefer the socket protocol.
+    let stats = serde_json::parse_value(&client.roundtrip("STATS JSON")).expect("parses");
+    assert!(counter_value(&stats, "tiresias_rebalances_total").is_some(), "{stats:?}");
+
+    server.shutdown();
+    server.join().expect("clean shutdown");
+}
+
+#[test]
 fn router_exports_per_node_metrics_and_stats_json() {
     let node = Server::start(config()).expect("node starts");
     let node_addr = node.local_addr().to_string();

@@ -129,6 +129,26 @@ impl SpaceSaving {
         out
     }
 
+    /// `true` iff `key` is currently monitored.
+    pub fn contains(&self, key: u64) -> bool {
+        self.counters.contains_key(&key)
+    }
+
+    /// Halves every monitored count (and its error bound), dropping
+    /// keys that decay to zero — an exponential-decay step that turns
+    /// the summary into a recency-weighted heavy-key detector when
+    /// applied once per epoch. The `N / capacity` error guarantee keeps
+    /// holding for the decayed totals, since halving is applied
+    /// uniformly to counts, errors and the total mass.
+    pub fn halve(&mut self) {
+        self.counters.retain(|_, e| {
+            e.count /= 2;
+            e.error /= 2;
+            e.count > 0
+        });
+        self.total /= 2;
+    }
+
     /// Resets the summary, keeping the capacity.
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -233,5 +253,23 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SpaceSaving::new(0);
+    }
+
+    #[test]
+    fn halve_decays_and_evicts_stale_keys() {
+        let mut s = SpaceSaving::new(8);
+        s.add(1, 100);
+        s.add(2, 1);
+        assert!(s.contains(1) && s.contains(2));
+        s.halve();
+        assert_eq!(s.estimate(1), 50);
+        assert!(!s.contains(2), "count 1 decays to zero and is dropped");
+        assert_eq!(s.total(), 50);
+        // A once-hot key fades under repeated decay with no traffic.
+        for _ in 0..7 {
+            s.halve();
+        }
+        assert!(!s.contains(1));
+        assert!(s.is_empty());
     }
 }

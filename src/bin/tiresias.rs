@@ -60,6 +60,11 @@
 //! listener; the bound address is echoed as a `METRICS` line),
 //! `--slow-log <file>` (structured NDJSON log of operations over
 //! threshold) and `--slow-ms <n>` (that threshold, default 100).
+//! `serve` additionally takes `--rebalance` (skew-adaptive shard
+//! rebalancing: hot top-level labels are repinned across shards at
+//! epoch barriers, with byte-identical output) and
+//! `--balance-threshold <x>` (rebalance until the worst/mean
+//! shard-load ratio is ≤ x, default 1.15).
 //!
 //! Usage errors (unknown subcommands or flags, missing values) print
 //! the usage to stderr and exit with status 2; runtime errors (such as
@@ -85,6 +90,9 @@ struct Options {
     warmup: Option<usize>,
     shards: Option<usize>,
     batch: usize,
+    /// Zipf exponent over top-level labels for the synthetic
+    /// generator (`demo`); 0 keeps the near-uniform default.
+    zipf_s: f64,
     // `serve`-only options.
     addr: String,
     grace_ms: u64,
@@ -98,6 +106,8 @@ struct Options {
     metrics_addr: Option<String>,
     slow_log: Option<String>,
     slow_ms: u64,
+    rebalance: bool,
+    balance_threshold: f64,
 }
 
 impl Default for Options {
@@ -112,6 +122,7 @@ impl Default for Options {
             warmup: None,
             shards: None,
             batch: 8192,
+            zipf_s: 0.0,
             addr: "127.0.0.1:7171".to_string(),
             grace_ms: 5_000,
             tick_ms: 50,
@@ -126,6 +137,8 @@ impl Default for Options {
             metrics_addr: None,
             slow_log: None,
             slow_ms: tiresias::server::DEFAULT_SLOW_MS,
+            rebalance: false,
+            balance_threshold: tiresias::core::RebalanceConfig::default().threshold,
         }
     }
 }
@@ -156,6 +169,7 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
             "--warmup" => opts.warmup = Some(parsed("--warmup", value("--warmup")?)?),
             "--shards" => opts.shards = Some(parsed("--shards", value("--shards")?)?),
             "--batch" => opts.batch = parsed("--batch", value("--batch")?)?,
+            "--zipf-s" => opts.zipf_s = parsed("--zipf-s", value("--zipf-s")?)?,
             "--addr" if serve => opts.addr = value("--addr")?.clone(),
             "--grace-ms" if serve => opts.grace_ms = parsed("--grace-ms", value("--grace-ms")?)?,
             "--tick-ms" if serve => opts.tick_ms = parsed("--tick-ms", value("--tick-ms")?)?,
@@ -177,6 +191,11 @@ fn parse_options(args: &[String], serve: bool) -> Result<Options, String> {
             }
             "--slow-log" if serve => opts.slow_log = Some(value("--slow-log")?.clone()),
             "--slow-ms" if serve => opts.slow_ms = parsed("--slow-ms", value("--slow-ms")?)?,
+            "--rebalance" if serve => opts.rebalance = true,
+            "--balance-threshold" if serve => {
+                opts.balance_threshold =
+                    parsed("--balance-threshold", value("--balance-threshold")?)?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -327,6 +346,10 @@ fn cmd_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.metrics_addr = opts.metrics_addr.clone();
     config.slow_log = opts.slow_log.clone().map(std::path::PathBuf::from);
     config.slow_ms = opts.slow_ms;
+    if opts.rebalance {
+        config.rebalance =
+            tiresias::core::RebalanceConfig::enabled().with_threshold(opts.balance_threshold);
+    }
     if let Some(ms) = opts.idle_timeout_ms {
         // 0 disables idle reaping; anything else overrides the default.
         config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
@@ -1183,7 +1206,11 @@ fn cmd_wal_dump(dir: &str, records: bool) -> Result<(), Box<dyn std::error::Erro
 fn cmd_demo(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let tree = ccd_location_spec(0.08).build()?;
     let target = tree.find(&["VHO-1", "IO-2"]).expect("exists at this scale");
-    let mut workload = Workload::new(tree.clone(), WorkloadConfig::ccd(250.0), 42);
+    let mut workload = Workload::new(
+        tree.clone(),
+        WorkloadConfig::ccd(250.0).with_top_level_skew(opts.zipf_s),
+        42,
+    );
     workload.inject(InjectedAnomaly::new(target, 140, 6, 500.0));
 
     let mut opts = opts.clone();
@@ -1232,12 +1259,15 @@ subcommands:
 detector options (detect/serve/demo):
   --timeunit s  --window n  --theta w  --season n  --rt x  --dt x
   --warmup n  --shards n  --batch n
+  --zipf-s x (demo: Zipf skew over top-level labels, 0 = uniform)
 
 serve options:
   --addr host:port  --grace-ms n  --tick-ms n  --max-ahead units
   --retain-units n  --checkpoint file  --data-dir dir
   --wal-sync every|interval[:ms]|none  --idle-timeout-ms ms (0 = off)
   --metrics-addr host:port  --slow-log file  --slow-ms n
+  --rebalance (skew-adaptive shard rebalancing at epoch barriers)
+  --balance-threshold x (rebalance until worst/mean load <= x, default 1.15)
 
 route options:
   --node host:port (repeat per downstream, order = routing table)

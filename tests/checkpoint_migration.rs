@@ -161,8 +161,8 @@ fn v2_sharded_checkpoint_loads_and_continues_identically() {
 
 #[test]
 fn unsupported_and_malformed_checkpoints_fail_clearly() {
-    let err = load_checkpoint("{\"version\":4,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
+    let err = load_checkpoint("{\"version\":5,\"kind\":\"single\",\"engine\":{}}").unwrap_err();
     assert!(matches!(err, CoreError::Checkpoint(_)));
-    assert!(err.to_string().contains("version 4"));
+    assert!(err.to_string().contains("version 5"));
     assert!(matches!(load_checkpoint("{nope"), Err(CoreError::Checkpoint(_))));
 }

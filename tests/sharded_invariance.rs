@@ -6,7 +6,9 @@
 
 use proptest::prelude::*;
 
-use tiresias::core::{ShardedTiresias, TiresiasBuilder};
+use tiresias::core::{
+    load_checkpoint, save_checkpoint, CheckpointEngine, ShardedTiresias, TiresiasBuilder,
+};
 use tiresias::datagen::{ccd_location_spec, InjectedAnomaly, Workload, WorkloadConfig};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -199,5 +201,84 @@ proptest! {
             let engine = run_sharded(n, &stream, end);
             assert_invariant(&reference, &engine, &format!("seed {seed}, {n} shards"));
         }
+    }
+
+    /// Forced label reassignments at random epoch boundaries leave the
+    /// output byte-identical to static routing and to the unsharded
+    /// replay — and a checkpoint of the repinned engine (a non-trivial
+    /// override table, envelope v4) round-trips into the same engine.
+    #[test]
+    fn random_reassignments_at_epoch_boundaries_stay_invariant(
+        seed in 0u64..500,
+        rate in 40.0f64..120.0,
+        units in 8u64..16,
+        moves in proptest::collection::vec((0u64..16, 0usize..8, 0usize..4), 1..6),
+    ) {
+        let tree = ccd_location_spec(0.08).build().expect("static spec");
+        // Zipfian top-level mass: reassignments actually move load.
+        let workload = Workload::new(
+            tree,
+            WorkloadConfig::ccd(rate).with_top_level_skew(1.0),
+            seed,
+        );
+        let labels: Vec<String> = workload
+            .tree()
+            .nodes_at_depth(1)
+            .iter()
+            .map(|&n| workload.tree().path_of(n).to_string())
+            .collect();
+        let stream = rendered_stream(&workload, units);
+        let end = units * 900;
+
+        let reference = run_sharded(4, &stream, end);
+
+        // Replay unit by unit, pinning at the drawn epoch boundaries.
+        let mut engine = builder().shards(4).build_sharded().expect("valid config");
+        engine.set_threaded(false);
+        for u in 0..units {
+            let batch: Vec<(String, u64)> = stream
+                .iter()
+                .filter(|&&(_, t)| t / 900 == u)
+                .cloned()
+                .collect();
+            engine.push_batch(&batch).expect("in-order stream");
+            for &(at, label, shard) in &moves {
+                if at % units == u {
+                    engine.pin_label(&labels[label % labels.len()], shard);
+                }
+            }
+            engine.advance_to((u + 1) * 900).expect("close epoch");
+        }
+        prop_assert!(engine.router().pinned_count() > 0, "at least one pin applied");
+        assert_invariant(&reference, &engine, &format!("seed {seed}, repinned"));
+
+        // Against the unsharded detector (level ≥ 1; the engines differ
+        // at the root by design).
+        let mut plain = builder().build().expect("valid config");
+        for batch in stream.chunks(4096) {
+            plain.push_batch(batch).expect("in-order stream");
+        }
+        plain.advance_to(end).expect("close");
+        let mut plain_level1: Vec<(String, u64)> = plain
+            .anomalies()
+            .iter()
+            .filter(|e| e.level >= 1)
+            .map(|e| (e.path.to_string(), e.unit))
+            .collect();
+        plain_level1.sort();
+        let mut sharded_events: Vec<(String, u64)> =
+            engine.anomalies().iter().map(|e| (e.path.to_string(), e.unit)).collect();
+        sharded_events.sort();
+        prop_assert_eq!(plain_level1, sharded_events, "unsharded replay diverged");
+
+        // Checkpoint round-trip carrying the learned override table.
+        let json = save_checkpoint(&CheckpointEngine::from(engine.clone()));
+        prop_assert!(json.contains("\"version\":4"));
+        prop_assert!(json.contains("\"overrides\""));
+        let CheckpointEngine::Sharded(restored) = load_checkpoint(&json).expect("loads") else {
+            panic!("expected a sharded engine");
+        };
+        prop_assert_eq!(restored.router(), engine.router(), "override table survives");
+        assert_invariant(&engine, &restored, &format!("seed {seed}, restored"));
     }
 }
